@@ -1,0 +1,38 @@
+# stwave — build / test / reproduce targets.
+
+GO ?= go
+
+.PHONY: all build vet test race bench reproduce examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One benchmark iteration per paper table/figure plus ablations.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x ./...
+
+# Regenerate every figure and table of the paper (plus extensions).
+reproduce:
+	$(GO) run ./cmd/stbench all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/burstbuffer
+	$(GO) run ./examples/progressive
+	$(GO) run ./examples/isosurface
+	$(GO) run ./examples/pathlines
+
+clean:
+	$(GO) clean ./...
+	rm -rf stbench-out

@@ -1,0 +1,155 @@
+// Command stbench regenerates the paper's evaluation: Figures 2a/2b and
+// 2c, Figure 3, and Tables I-III, printing rows shaped like the paper's.
+//
+// Usage:
+//
+//	stbench [flags] {fig2|fig2c|fig3|table1|table2|table3|all}
+//
+// Flags scale the workloads; the defaults run the full suite in a few
+// minutes on a laptop. Absolute error values differ from the paper's (the
+// substrates are simulators at reduced grids); the comparative structure is
+// the reproduction target.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"stwave/internal/experiments"
+)
+
+func main() {
+	sc := experiments.DefaultScale()
+	flag.IntVar(&sc.GhostN, "ghost-n", sc.GhostN, "Ghost solver resolution (power of two)")
+	flag.IntVar(&sc.GhostSlices, "ghost-slices", sc.GhostSlices, "Ghost slices at base cadence")
+	flag.IntVar(&sc.CloverN, "clover-n", sc.CloverN, "CloverLeaf cells per axis")
+	flag.IntVar(&sc.CloverSlices, "clover-slices", sc.CloverSlices, "CloverLeaf slices")
+	flag.IntVar(&sc.TornadoNx, "tornado-nx", sc.TornadoNx, "Tornado grid X")
+	flag.IntVar(&sc.TornadoNy, "tornado-ny", sc.TornadoNy, "Tornado grid Y")
+	flag.IntVar(&sc.TornadoNz, "tornado-nz", sc.TornadoNz, "Tornado grid Z")
+	flag.IntVar(&sc.TornadoSlices, "tornado-slices", sc.TornadoSlices, "Tornado slices at 1s cadence")
+	flag.IntVar(&sc.Workers, "workers", sc.Workers, "worker goroutines (0 = all CPUs)")
+	flag.Float64Var(&sc.PathlineDt, "pathline-dt", sc.PathlineDt, "RK4 step for Table II (paper: 0.01)")
+	flag.IntVar(&sc.PathlineSeedsPerRake, "seeds-per-rake", sc.PathlineSeedsPerRake, "particles per rake (paper: 48)")
+	quiet := flag.Bool("q", false, "suppress progress output")
+	outdir := flag.String("outdir", "stbench-out", "directory for image artifacts (fig4, fig5)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: stbench [flags] {fig2|fig2c|fig3|fig4|fig5|table1|table2|table3|compare|ablation|ftle|seam|p3|all}\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	progress := os.Stderr
+	if *quiet {
+		progress = nil
+	}
+
+	var run func(string) error
+	run = func(what string) error {
+		switch what {
+		case "fig2":
+			r, err := experiments.RunFig2(sc, progress)
+			if err != nil {
+				return err
+			}
+			r.Write(os.Stdout)
+		case "fig2c":
+			r, err := experiments.RunFig2c(sc, progress)
+			if err != nil {
+				return err
+			}
+			r.Write(os.Stdout)
+		case "fig3":
+			r, err := experiments.RunFig3(sc, nil, progress)
+			if err != nil {
+				return err
+			}
+			r.Write(os.Stdout)
+		case "table1":
+			r, err := experiments.RunTable1(sc, progress)
+			if err != nil {
+				return err
+			}
+			r.Write(os.Stdout)
+		case "table2":
+			r, err := experiments.RunTable2(sc, progress)
+			if err != nil {
+				return err
+			}
+			r.Write(os.Stdout)
+		case "table3":
+			r, err := experiments.RunTable3(sc, progress)
+			if err != nil {
+				return err
+			}
+			r.Write(os.Stdout)
+		case "compare":
+			r, err := experiments.RunComparison(sc, progress)
+			if err != nil {
+				return err
+			}
+			r.Write(os.Stdout)
+		case "ablation":
+			r, err := experiments.RunAblation(sc, progress)
+			if err != nil {
+				return err
+			}
+			r.Write(os.Stdout)
+		case "ftle":
+			r, err := experiments.RunFTLE(sc, progress)
+			if err != nil {
+				return err
+			}
+			r.Write(os.Stdout)
+		case "p3":
+			r, err := experiments.RunP3(sc, progress)
+			if err != nil {
+				return err
+			}
+			r.Write(os.Stdout)
+		case "seam":
+			r, err := experiments.RunSeamProfile(sc, 20, 32, progress)
+			if err != nil {
+				return err
+			}
+			r.Write(os.Stdout)
+		case "fig4":
+			path, g3, g4, err := experiments.RunFig4(sc, *outdir, progress)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("Figure 4 analog written to %s\n", path)
+			fmt.Printf("mean final-position gap vs original at 128:1 — 3D: %.0f m, 4D: %.0f m\n", g3, g4)
+		case "fig5":
+			paths, ao, a3, a4, err := experiments.RunFig5(sc, *outdir, progress)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("Figure 5 analog written: %v\n", paths)
+			fmt.Printf("cloud isosurface areas at 64:1 — orig %.4g, 3D %.4g (%.2f%%), 4D %.4g (%.2f%%)\n",
+				ao, a3, (1-a3/ao)*100, a4, (1-a4/ao)*100)
+		case "all":
+			for _, w := range []string{"fig2", "fig2c", "fig3", "fig4", "fig5", "table1", "table2", "table3", "compare", "ablation", "ftle", "seam", "p3"} {
+				if err := run(w); err != nil {
+					return err
+				}
+				fmt.Println()
+			}
+		default:
+			return fmt.Errorf("unknown experiment %q", what)
+		}
+		return nil
+	}
+
+	for _, what := range flag.Args() {
+		if err := run(strings.ToLower(what)); err != nil {
+			fmt.Fprintf(os.Stderr, "stbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

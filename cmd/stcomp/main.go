@@ -1,0 +1,298 @@
+// Command stcomp compresses and decompresses raw volume time series with
+// the stwave spatiotemporal codec.
+//
+// Compress a series of float32 raw volumes into a container:
+//
+//	stcomp compress -dims 64x64x64 -ratio 32 -window 20 -mode 4d \
+//	    -out data.stw slice000.raw slice001.raw ...
+//
+// Decompress a container back into raw volumes:
+//
+//	stcomp decompress -in data.stw -prefix recon/slice
+//
+// Inspect a container:
+//
+//	stcomp info -in data.stw
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"stwave/internal/core"
+	"stwave/internal/grid"
+	"stwave/internal/storage"
+	"stwave/internal/wavelet"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "compress":
+		err = runCompress(os.Args[2:])
+	case "decompress":
+		err = runDecompress(os.Args[2:])
+	case "info":
+		err = runInfo(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stcomp: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  stcomp compress -dims NXxNYxNZ [-ratio N] [-window T] [-mode 3d|4d]
+         [-skernel K] [-tkernel K] -out FILE slice0.raw [slice1.raw ...]
+  stcomp decompress -in FILE -prefix PREFIX
+  stcomp info -in FILE`)
+}
+
+func parseDims(s string) (grid.Dims, error) {
+	parts := strings.Split(strings.ToLower(s), "x")
+	if len(parts) != 3 {
+		return grid.Dims{}, fmt.Errorf("dims must be NXxNYxNZ, got %q", s)
+	}
+	var vals [3]int
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 1 {
+			return grid.Dims{}, fmt.Errorf("bad dimension %q", p)
+		}
+		vals[i] = v
+	}
+	return grid.Dims{Nx: vals[0], Ny: vals[1], Nz: vals[2]}, nil
+}
+
+func runCompress(args []string) error {
+	fs := flag.NewFlagSet("compress", flag.ExitOnError)
+	dimsStr := fs.String("dims", "", "grid dims NXxNYxNZ (required)")
+	ratio := fs.Float64("ratio", 32, "compression ratio n:1")
+	window := fs.Int("window", 20, "window size (4D mode)")
+	mode := fs.String("mode", "4d", "3d or 4d")
+	skernel := fs.String("skernel", "cdf97", "spatial wavelet kernel")
+	tkernel := fs.String("tkernel", "cdf97", "temporal wavelet kernel")
+	targetNRMSE := fs.Float64("target-nrmse", 0, "if > 0, pick the ratio per window to meet this NRMSE instead of -ratio")
+	deflate := fs.Bool("deflate", false, "apply the DEFLATE entropy stage to stored windows (smaller files, more CPU)")
+	out := fs.String("out", "", "output container path (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dimsStr == "" || *out == "" || fs.NArg() == 0 {
+		return fmt.Errorf("compress requires -dims, -out, and at least one input slice")
+	}
+	dims, err := parseDims(*dimsStr)
+	if err != nil {
+		return err
+	}
+	sk, err := wavelet.ParseKernel(*skernel)
+	if err != nil {
+		return err
+	}
+	tk, err := wavelet.ParseKernel(*tkernel)
+	if err != nil {
+		return err
+	}
+	opts := core.Options{
+		SpatialKernel:  sk,
+		TemporalKernel: tk,
+		WindowSize:     *window,
+		Ratio:          *ratio,
+		SpatialLevels:  -1,
+		TemporalLevels: -1,
+	}
+	switch strings.ToLower(*mode) {
+	case "3d":
+		opts.Mode = core.Spatial3D
+	case "4d":
+		opts.Mode = core.Spatiotemporal4D
+	default:
+		return fmt.Errorf("mode must be 3d or 4d, got %q", *mode)
+	}
+
+	cw, err := storage.CreateContainer(*out)
+	if err != nil {
+		return err
+	}
+	cw.Deflate = *deflate
+
+	if *targetNRMSE > 0 {
+		return compressToTarget(cw, opts, dims, fs.Args(), *targetNRMSE)
+	}
+
+	writer, err := core.NewWriter(opts, dims, func(w *core.CompressedWindow) error {
+		_, err := cw.Append(w)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	for i, path := range fs.Args() {
+		f, err := grid.LoadRawFile(path, dims.Nx, dims.Ny, dims.Nz)
+		if err != nil {
+			return fmt.Errorf("loading %s: %w", path, err)
+		}
+		if err := writer.WriteSlice(f, float64(i)); err != nil {
+			return err
+		}
+	}
+	if err := writer.Flush(); err != nil {
+		return err
+	}
+	if err := cw.Close(); err != nil {
+		return err
+	}
+	st := writer.Stats()
+	rawBytes := int64(st.SlicesIn) * int64(dims.Len()) * 4
+	fmt.Printf("compressed %d slices (%s raw) into %d windows, %s encoded (%.1f:1 effective)\n",
+		st.SlicesIn, fmtBytes(rawBytes), st.WindowsOut, fmtBytes(st.BytesEncoded),
+		float64(rawBytes)/float64(st.BytesEncoded))
+	return nil
+}
+
+// compressToTarget buffers whole windows and chooses each window's ratio by
+// bisection so the reconstruction meets the NRMSE target.
+func compressToTarget(cw *storage.ContainerWriter, opts core.Options, dims grid.Dims, paths []string, target float64) error {
+	windowSize := opts.WindowSize
+	if opts.Mode == core.Spatial3D {
+		windowSize = 1
+	}
+	var encoded int64
+	windows := 0
+	pending := grid.NewWindow(dims)
+	flush := func() error {
+		if pending.Len() == 0 {
+			return nil
+		}
+		win, achieved, err := core.CompressToTarget(opts, pending, target, 1, 1024)
+		if err != nil {
+			return err
+		}
+		if _, err := cw.Append(win); err != nil {
+			return err
+		}
+		fmt.Printf("  window %d: ratio %g:1, NRMSE %.3e (target %.3e)\n",
+			windows, win.Opts.Ratio, achieved, target)
+		encoded += win.EncodedSizeBytes()
+		windows++
+		pending = grid.NewWindow(dims)
+		return nil
+	}
+	for i, path := range paths {
+		f, err := grid.LoadRawFile(path, dims.Nx, dims.Ny, dims.Nz)
+		if err != nil {
+			return fmt.Errorf("loading %s: %w", path, err)
+		}
+		if err := pending.Append(f, float64(i)); err != nil {
+			return err
+		}
+		if pending.Len() >= windowSize {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	if err := cw.Close(); err != nil {
+		return err
+	}
+	rawBytes := int64(len(paths)) * int64(dims.Len()) * 4
+	fmt.Printf("compressed %d slices (%s raw) into %d windows at NRMSE <= %g, %s encoded (%.1f:1 effective)\n",
+		len(paths), fmtBytes(rawBytes), windows, target, fmtBytes(encoded),
+		float64(rawBytes)/float64(encoded))
+	return nil
+}
+
+func runDecompress(args []string) error {
+	fs := flag.NewFlagSet("decompress", flag.ExitOnError)
+	in := fs.String("in", "", "input container (required)")
+	prefix := fs.String("prefix", "slice", "output path prefix")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("decompress requires -in")
+	}
+	r, err := storage.OpenContainer(*in)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	n := 0
+	for i := 0; i < r.NumWindows(); i++ {
+		cwin, err := r.ReadWindow(i)
+		if err != nil {
+			return err
+		}
+		win, err := core.Decompress(cwin)
+		if err != nil {
+			return err
+		}
+		for _, s := range win.Slices {
+			path := fmt.Sprintf("%s%04d.raw", *prefix, n)
+			if err := s.SaveRawFile(path); err != nil {
+				return err
+			}
+			n++
+		}
+	}
+	fmt.Printf("wrote %d slices with prefix %s\n", n, *prefix)
+	return nil
+}
+
+func runInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("in", "", "input container (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("info requires -in")
+	}
+	r, err := storage.OpenContainer(*in)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	fmt.Printf("%s: %d windows\n", *in, r.NumWindows())
+	for i := 0; i < r.NumWindows(); i++ {
+		cwin, err := r.ReadWindow(i)
+		if err != nil {
+			return err
+		}
+		sz, err := r.WindowSizeBytes(i)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  window %d: %v x %d slices, %v, ratio %g:1, kernels %v/%v, levels %d/%d, %s\n",
+			i, cwin.Dims, cwin.NumSlices(), cwin.Opts.Mode, cwin.Opts.Ratio,
+			cwin.Opts.SpatialKernel, cwin.Opts.TemporalKernel,
+			cwin.SpatialLevels, cwin.TemporalLevels, fmtBytes(sz))
+	}
+	return nil
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1e9:
+		return fmt.Sprintf("%.2fGB", float64(n)/1e9)
+	case n >= 1e6:
+		return fmt.Sprintf("%.1fMB", float64(n)/1e6)
+	case n >= 1e3:
+		return fmt.Sprintf("%.1fKB", float64(n)/1e3)
+	}
+	return fmt.Sprintf("%dB", n)
+}

@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+func TestParseDims(t *testing.T) {
+	d, err := parseDims("64x32x16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Nx != 64 || d.Ny != 32 || d.Nz != 16 {
+		t.Errorf("parseDims = %v", d)
+	}
+	if _, err := parseDims("64X32X16"); err != nil {
+		t.Errorf("uppercase separator rejected: %v", err)
+	}
+	for _, bad := range []string{"", "64x32", "64x32x16x8", "ax2x3", "0x2x3", "-1x2x3"} {
+		if _, err := parseDims(bad); err == nil {
+			t.Errorf("parseDims(%q) should fail", bad)
+		}
+	}
+}
+
+func TestFmtBytes(t *testing.T) {
+	cases := map[int64]string{
+		5:           "5B",
+		2048:        "2.0KB",
+		3_500_000:   "3.5MB",
+		2_000000000: "2.00GB",
+	}
+	for n, want := range cases {
+		if got := fmtBytes(n); got != want {
+			t.Errorf("fmtBytes(%d) = %q, want %q", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"testing"
+
+	"stwave/internal/render"
+)
+
+func TestParseAxis(t *testing.T) {
+	cases := map[string]render.MIPAxis{"x": render.AlongX, "Y": render.AlongY, "z": render.AlongZ}
+	for s, want := range cases {
+		got, err := parseAxis(s)
+		if err != nil {
+			t.Fatalf("parseAxis(%q): %v", s, err)
+		}
+		if got != want {
+			t.Errorf("parseAxis(%q) = %d, want %d", s, got, want)
+		}
+	}
+	if _, err := parseAxis("w"); err == nil {
+		t.Error("expected error for unknown axis")
+	}
+}
+
+func TestLoadFieldValidation(t *testing.T) {
+	if _, err := loadField("missing.raw", "", 0, 0); err == nil {
+		t.Error("raw input without dims must fail")
+	}
+	if _, err := loadField("missing.raw", "4x4", 0, 0); err == nil {
+		t.Error("malformed dims must fail")
+	}
+	if _, err := loadField("missing.stw", "", 0, 0); err == nil {
+		t.Error("missing container must fail")
+	}
+}

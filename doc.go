@@ -1,0 +1,16 @@
+// Package stwave is a from-scratch Go reproduction of "Spatiotemporal
+// Wavelet Compression for Visualization of Scientific Simulation Data"
+// (Li, Sane, Orf, Mininni, Clyne, Childs — IEEE CLUSTER 2017).
+//
+// The implementation lives under internal/: the windowed spatiotemporal
+// compressor (internal/core) on top of lifting-scheme wavelet transforms
+// (internal/wavelet, internal/transform) and coefficient thresholding
+// (internal/compress); the simulation substrates that generate evaluation
+// data (internal/sim/...); the visualization analyses (internal/flow,
+// internal/isosurface); the tiered-storage model (internal/storage); and
+// the experiment harness reproducing every figure and table of the paper
+// (internal/experiments).
+//
+// See README.md for a guided tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-versus-measured results.
+package stwave

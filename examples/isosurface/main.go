@@ -1,0 +1,74 @@
+// Isosurface: reproduce the paper's Section VI-B analysis in miniature —
+// extract an isosurface of the tornado's cloud mixing ratio from original,
+// 3D-compressed, and 4D-compressed data and compare total surface areas.
+//
+//	go run ./examples/isosurface
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stwave/internal/core"
+	"stwave/internal/grid"
+	"stwave/internal/isosurface"
+	"stwave/internal/sim/tornado"
+)
+
+func main() {
+	model, err := tornado.NewModel(tornado.DefaultConfig(32, 32, 20))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := model.Config()
+
+	// A window of 18 cloud-mixing-ratio slices (the paper's window size).
+	const windowSize = 18
+	d := grid.Dims{Nx: cfg.Nx, Ny: cfg.Ny, Nz: cfg.Nz}
+	window := grid.NewWindow(d)
+	for i := 0; i < windowSize; i++ {
+		t := 8502 + float64(i)
+		if err := window.Append(model.CloudMixingRatio(t), t); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	dx, dy, dz := model.Spacing()
+	opt := isosurface.Options{SpacingX: dx, SpacingY: dy, SpacingZ: dz}
+	const isovalue = 1.0 // g/kg: the visible cloud edge
+	evalIdx := windowSize / 2
+
+	baseMesh, err := isosurface.Extract(window.Slices[evalIdx], isovalue, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseArea := baseMesh.SurfaceArea()
+	fmt.Printf("baseline cloud isosurface: %d triangles, %.3g m^2\n",
+		len(baseMesh.Triangles), baseArea)
+
+	fmt.Printf("%-8s %10s %10s\n", "ratio", "3D error", "4D error")
+	for _, ratio := range []float64{8, 16, 32, 64, 128} {
+		var errs [2]float64
+		for i, mode := range []core.Mode{core.Spatial3D, core.Spatiotemporal4D} {
+			opts := core.DefaultOptions()
+			opts.Mode = mode
+			opts.WindowSize = windowSize
+			opts.Ratio = ratio
+			comp, err := core.New(opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			recon, _, err := comp.RoundTrip(window)
+			if err != nil {
+				log.Fatal(err)
+			}
+			mesh, err := isosurface.Extract(recon.Slices[evalIdx], isovalue, opt)
+			if err != nil {
+				log.Fatal(err)
+			}
+			errs[i] = isosurface.AreaError(baseArea, mesh.SurfaceArea())
+		}
+		fmt.Printf("%6g:1 %9.2f%% %9.2f%%\n", ratio, errs[0], errs[1])
+	}
+	fmt.Println("Error is (1 - SA/SA_baseline) x 100; closer to 0 preserves more surface detail.")
+}

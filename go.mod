@@ -1,0 +1,3 @@
+module stwave
+
+go 1.22

@@ -1,0 +1,154 @@
+// Package baseline implements an error-bounded Lorenzo-predictor compressor
+// — the spatiotemporal prediction scheme of Ibarria et al. that the paper's
+// related work (Section III-B) positions against wavelet compression, and
+// the core of SZ-style scientific compressors. It serves as an independent
+// comparison point for the wavelet codec: prediction + quantization instead
+// of transform + thresholding.
+//
+// The Lorenzo predictor estimates each sample from its already-processed
+// neighbors by inclusion-exclusion over the corners of the unit cube
+// (3D, 7 terms) or tesseract (4D, 15 terms). Residuals are uniformly
+// quantized with bin width 2*ErrorBound — which guarantees every
+// reconstructed sample is within ErrorBound of the original — and stored as
+// zigzag varints. Prediction always runs on *reconstructed* values so the
+// decoder stays bit-synchronized with the encoder.
+package baseline
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"stwave/internal/grid"
+)
+
+// Compressed holds an error-bounded compressed window.
+type Compressed struct {
+	Dims grid.Dims
+	// NumSlices is the temporal extent.
+	NumSlices int
+	// ErrorBound is the guaranteed point-wise absolute error.
+	ErrorBound float64
+	// FourD records whether the time dimension participated in prediction.
+	FourD bool
+	// Payload is the varint-encoded quantized residual stream.
+	Payload []byte
+}
+
+// SizeBytes returns the compressed payload size plus a fixed header
+// estimate, for comparisons against the wavelet codec's sizes.
+func (c *Compressed) SizeBytes() int64 { return int64(len(c.Payload)) + 32 }
+
+// Compress encodes a window with the Lorenzo predictor. fourD enables
+// prediction across the time dimension (the spatiotemporal variant);
+// otherwise each slice is predicted independently (the spatial baseline).
+// errorBound must be positive.
+func Compress(w *grid.Window, errorBound float64, fourD bool) (*Compressed, error) {
+	if w.Len() == 0 {
+		return nil, fmt.Errorf("baseline: empty window")
+	}
+	if errorBound <= 0 || math.IsNaN(errorBound) {
+		return nil, fmt.Errorf("baseline: error bound must be positive, got %g", errorBound)
+	}
+	d := w.Dims
+	nt := w.Len()
+	recon := make([][]float64, nt)
+	for t := range recon {
+		recon[t] = make([]float64, d.Len())
+	}
+	var buf bytes.Buffer
+	var tmp [binary.MaxVarintLen64]byte
+	bin := 2 * errorBound
+
+	for t := 0; t < nt; t++ {
+		src := w.Slices[t].Data
+		for z := 0; z < d.Nz; z++ {
+			for y := 0; y < d.Ny; y++ {
+				for x := 0; x < d.Nx; x++ {
+					idx := (z*d.Ny+y)*d.Nx + x
+					pred := predict(recon, d, t, x, y, z, fourD)
+					q := int64(math.Round((src[idx] - pred) / bin))
+					recon[t][idx] = pred + float64(q)*bin
+					n := binary.PutUvarint(tmp[:], zigzag(q))
+					buf.Write(tmp[:n])
+				}
+			}
+		}
+	}
+	return &Compressed{
+		Dims:       d,
+		NumSlices:  nt,
+		ErrorBound: errorBound,
+		FourD:      fourD,
+		Payload:    buf.Bytes(),
+	}, nil
+}
+
+// Decompress reconstructs the window. Every sample is within ErrorBound of
+// the original.
+func Decompress(c *Compressed) (*grid.Window, error) {
+	if !c.Dims.Valid() || c.NumSlices < 1 {
+		return nil, fmt.Errorf("baseline: invalid compressed header")
+	}
+	d := c.Dims
+	w := grid.NewWindow(d)
+	recon := make([][]float64, c.NumSlices)
+	r := bytes.NewReader(c.Payload)
+	bin := 2 * c.ErrorBound
+	for t := 0; t < c.NumSlices; t++ {
+		f := grid.NewField3D(d.Nx, d.Ny, d.Nz)
+		recon[t] = f.Data
+		for z := 0; z < d.Nz; z++ {
+			for y := 0; y < d.Ny; y++ {
+				for x := 0; x < d.Nx; x++ {
+					idx := (z*d.Ny+y)*d.Nx + x
+					uq, err := binary.ReadUvarint(r)
+					if err != nil {
+						return nil, fmt.Errorf("baseline: truncated payload at slice %d sample %d: %w", t, idx, err)
+					}
+					pred := predict(recon, d, t, x, y, z, c.FourD)
+					f.Data[idx] = pred + float64(unzigzag(uq))*bin
+				}
+			}
+		}
+		if err := w.Append(f, float64(t)); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// predict evaluates the Lorenzo predictor at (t, x, y, z) over the
+// reconstructed values. Out-of-range neighbors contribute zero, which makes
+// the first sample of each row/plane/slice effectively delta-coded.
+func predict(recon [][]float64, d grid.Dims, t, x, y, z int, fourD bool) float64 {
+	at := func(tt, xx, yy, zz int) float64 {
+		if tt < 0 || xx < 0 || yy < 0 || zz < 0 {
+			return 0
+		}
+		return recon[tt][(zz*d.Ny+yy)*d.Nx+xx]
+	}
+	// 3D Lorenzo over the spatial cube at time t.
+	p := at(t, x-1, y, z) + at(t, x, y-1, z) + at(t, x, y, z-1) -
+		at(t, x-1, y-1, z) - at(t, x-1, y, z-1) - at(t, x, y-1, z-1) +
+		at(t, x-1, y-1, z-1)
+	if !fourD || t == 0 {
+		return p
+	}
+	// 4D extension: inclusion-exclusion over the tesseract corner adds the
+	// previous slice's cube with alternating signs.
+	q := at(t-1, x, y, z) -
+		at(t-1, x-1, y, z) - at(t-1, x, y-1, z) - at(t-1, x, y, z-1) +
+		at(t-1, x-1, y-1, z) + at(t-1, x-1, y, z-1) + at(t-1, x, y-1, z-1) -
+		at(t-1, x-1, y-1, z-1)
+	return p + q
+}
+
+func zigzag(v int64) uint64 {
+	return uint64((v << 1) ^ (v >> 63))
+}
+
+func unzigzag(u uint64) int64 {
+	return int64(u>>1) ^ -int64(u&1)
+}

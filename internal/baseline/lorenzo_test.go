@@ -1,0 +1,209 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"stwave/internal/grid"
+)
+
+func smoothWindow(d grid.Dims, slices int) *grid.Window {
+	w := grid.NewWindow(d)
+	for t := 0; t < slices; t++ {
+		f := grid.NewField3D(d.Nx, d.Ny, d.Nz)
+		tt := float64(t) * 0.1
+		for z := 0; z < d.Nz; z++ {
+			for y := 0; y < d.Ny; y++ {
+				for x := 0; x < d.Nx; x++ {
+					fx := float64(x) / float64(d.Nx)
+					fy := float64(y) / float64(d.Ny)
+					fz := float64(z) / float64(d.Nz)
+					f.Set(x, y, z, math.Sin(2*math.Pi*(fx+tt))*math.Cos(2*math.Pi*fy)+fz)
+				}
+			}
+		}
+		if err := w.Append(f, float64(t)); err != nil {
+			panic(err)
+		}
+	}
+	return w
+}
+
+func noisyWindow(rng *rand.Rand, d grid.Dims, slices int) *grid.Window {
+	w := grid.NewWindow(d)
+	for t := 0; t < slices; t++ {
+		f := grid.NewField3D(d.Nx, d.Ny, d.Nz)
+		for i := range f.Data {
+			f.Data[i] = rng.NormFloat64()
+		}
+		if err := w.Append(f, float64(t)); err != nil {
+			panic(err)
+		}
+	}
+	return w
+}
+
+func TestCompressValidation(t *testing.T) {
+	d := grid.Dims{Nx: 4, Ny: 4, Nz: 4}
+	if _, err := Compress(grid.NewWindow(d), 0.1, false); err == nil {
+		t.Error("expected error for empty window")
+	}
+	w := smoothWindow(d, 2)
+	if _, err := Compress(w, 0, false); err == nil {
+		t.Error("expected error for zero bound")
+	}
+	if _, err := Compress(w, math.NaN(), false); err == nil {
+		t.Error("expected error for NaN bound")
+	}
+}
+
+func TestErrorBoundGuaranteed(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, fourD := range []bool{false, true} {
+		for _, eps := range []float64{0.1, 0.01, 0.001} {
+			w := noisyWindow(rng, grid.Dims{Nx: 7, Ny: 6, Nz: 5}, 6)
+			c, err := Compress(w, eps, fourD)
+			if err != nil {
+				t.Fatal(err)
+			}
+			recon, err := Decompress(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for ti := range w.Slices {
+				for i := range w.Slices[ti].Data {
+					diff := math.Abs(w.Slices[ti].Data[i] - recon.Slices[ti].Data[i])
+					if diff > eps*(1+1e-12) {
+						t.Fatalf("fourD=%v eps=%g: error %g exceeds bound at slice %d sample %d",
+							fourD, eps, diff, ti, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSmoothDataCompressesWell(t *testing.T) {
+	w := smoothWindow(grid.Dims{Nx: 24, Ny: 24, Nz: 24}, 10)
+	rawBytes := int64(w.TotalSamples()) * 8
+	c, err := Compress(w, 1e-3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := float64(rawBytes) / float64(c.SizeBytes()); ratio < 4 {
+		t.Errorf("smooth data compressed only %.1f:1, expected > 4:1", ratio)
+	}
+}
+
+func Test4DPredictionHelpsOnCoherentData(t *testing.T) {
+	// Slices that are near-copies of each other: the 4D predictor should
+	// produce a smaller stream than per-slice 3D prediction.
+	d := grid.Dims{Nx: 16, Ny: 16, Nz: 16}
+	rng := rand.New(rand.NewSource(2))
+	base := grid.NewField3D(d.Nx, d.Ny, d.Nz)
+	for i := range base.Data {
+		base.Data[i] = rng.NormFloat64()
+	}
+	w := grid.NewWindow(d)
+	for t := 0; t < 8; t++ {
+		f := base.Clone()
+		for i := range f.Data {
+			f.Data[i] += 0.001 * float64(t)
+		}
+		if err := w.Append(f, float64(t)); err != nil {
+			panic(err)
+		}
+	}
+	c3, err := Compress(w, 1e-4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c4, err := Compress(w, 1e-4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c4.SizeBytes() >= c3.SizeBytes() {
+		t.Errorf("4D Lorenzo %d bytes not below 3D %d on temporally coherent data",
+			c4.SizeBytes(), c3.SizeBytes())
+	}
+}
+
+func TestTighterBoundCostsMore(t *testing.T) {
+	w := smoothWindow(grid.Dims{Nx: 12, Ny: 12, Nz: 12}, 6)
+	var prev int64 = -1
+	for _, eps := range []float64{1e-1, 1e-2, 1e-3, 1e-4} {
+		c, err := Compress(w, eps, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev >= 0 && c.SizeBytes() < prev {
+			t.Errorf("eps=%g: size %d below looser bound's %d", eps, c.SizeBytes(), prev)
+		}
+		prev = c.SizeBytes()
+	}
+}
+
+func TestDecompressRejectsCorrupt(t *testing.T) {
+	w := smoothWindow(grid.Dims{Nx: 6, Ny: 6, Nz: 6}, 3)
+	c, err := Compress(w, 1e-3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Payload = c.Payload[:len(c.Payload)/2]
+	if _, err := Decompress(c); err == nil {
+		t.Error("expected error for truncated payload")
+	}
+	bad := &Compressed{Dims: grid.Dims{}, NumSlices: 1}
+	if _, err := Decompress(bad); err == nil {
+		t.Error("expected error for invalid dims")
+	}
+}
+
+func TestZigzag(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 2, -2, 1 << 40, -(1 << 40), math.MaxInt64, math.MinInt64} {
+		if got := unzigzag(zigzag(v)); got != v {
+			t.Errorf("zigzag round trip %d -> %d", v, got)
+		}
+	}
+}
+
+// Property: round trip respects the bound for arbitrary data and settings.
+func TestQuickErrorBound(t *testing.T) {
+	prop := func(seed int64, fourD bool, epsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		eps := float64(epsRaw%50+1) / 1000
+		w := noisyWindow(rng, grid.Dims{Nx: 5, Ny: 4, Nz: 3}, 4)
+		c, err := Compress(w, eps, fourD)
+		if err != nil {
+			return false
+		}
+		recon, err := Decompress(c)
+		if err != nil {
+			return false
+		}
+		for ti := range w.Slices {
+			for i := range w.Slices[ti].Data {
+				if math.Abs(w.Slices[ti].Data[i]-recon.Slices[ti].Data[i]) > eps*(1+1e-12) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkLorenzoCompress(b *testing.B) {
+	w := smoothWindow(grid.Dims{Nx: 32, Ny: 32, Nz: 32}, 10)
+	b.SetBytes(int64(w.TotalSamples()) * 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress(w, 1e-3, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package baseline
+
+// Motion-compensated prediction (MCP) — the video-compression family the
+// paper's Section III-B discusses as a candidate for temporal scientific
+// compression. Each slice is divided into cubic blocks; every block
+// searches a small neighborhood of the previous *reconstructed* slice for
+// the best-matching displaced block (sum of absolute differences), stores
+// the 3D motion vector, and quantizes the prediction residual with an
+// absolute error bound. The first slice is intra-coded (zero predictor).
+//
+// On Eulerian simulation data features genuinely translate through the
+// grid, so MCP's premise holds better than in natural video; the paper
+// notes it is "not well understood" how its blockiness interacts with
+// scientific analyses. This implementation makes such comparisons possible.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"stwave/internal/grid"
+)
+
+// MCPOptions configures the codec.
+type MCPOptions struct {
+	// ErrorBound is the guaranteed point-wise absolute error (> 0).
+	ErrorBound float64
+	// BlockSize is the cubic block edge (>= 2).
+	BlockSize int
+	// SearchRadius is the per-axis motion search range in cells (>= 0;
+	// 0 disables motion search, degenerating to temporal delta coding).
+	SearchRadius int
+}
+
+// DefaultMCPOptions returns video-codec-like settings scaled to simulation
+// grids.
+func DefaultMCPOptions(errorBound float64) MCPOptions {
+	return MCPOptions{ErrorBound: errorBound, BlockSize: 4, SearchRadius: 2}
+}
+
+// MCPCompressed is a window compressed with motion-compensated prediction.
+type MCPCompressed struct {
+	Dims      grid.Dims
+	NumSlices int
+	Opts      MCPOptions
+	// Motion holds one packed vector per (slice>=1, block): three int8
+	// offsets. Intra slice 0 has no vectors.
+	Motion []int8
+	// Payload is the varint-encoded quantized residual stream.
+	Payload []byte
+}
+
+// SizeBytes reports the storage cost: motion vectors + residuals + header.
+func (c *MCPCompressed) SizeBytes() int64 {
+	return int64(len(c.Motion)) + int64(len(c.Payload)) + 40
+}
+
+// CompressMCP encodes the window.
+func CompressMCP(w *grid.Window, opts MCPOptions) (*MCPCompressed, error) {
+	if w.Len() == 0 {
+		return nil, fmt.Errorf("baseline: empty window")
+	}
+	if opts.ErrorBound <= 0 || math.IsNaN(opts.ErrorBound) {
+		return nil, fmt.Errorf("baseline: error bound must be positive, got %g", opts.ErrorBound)
+	}
+	if opts.BlockSize < 2 {
+		return nil, fmt.Errorf("baseline: block size must be >= 2, got %d", opts.BlockSize)
+	}
+	if opts.SearchRadius < 0 || opts.SearchRadius > 127 {
+		return nil, fmt.Errorf("baseline: search radius must be in [0,127], got %d", opts.SearchRadius)
+	}
+	d := w.Dims
+	c := &MCPCompressed{Dims: d, NumSlices: w.Len(), Opts: opts}
+	bin := 2 * opts.ErrorBound
+	var buf bytes.Buffer
+	var tmp [binary.MaxVarintLen64]byte
+
+	prevRecon := make([]float64, d.Len())
+	curRecon := make([]float64, d.Len())
+
+	for t := 0; t < w.Len(); t++ {
+		src := w.Slices[t].Data
+		forEachBlock(d, opts.BlockSize, func(bx, by, bz, ex, ey, ez int) {
+			var mx, my, mz int
+			if t > 0 && opts.SearchRadius > 0 {
+				mx, my, mz = bestMotion(src, prevRecon, d, bx, by, bz, ex, ey, ez, opts.SearchRadius)
+			}
+			if t > 0 {
+				c.Motion = append(c.Motion, int8(mx), int8(my), int8(mz))
+			}
+			for z := bz; z < ez; z++ {
+				for y := by; y < ey; y++ {
+					for x := bx; x < ex; x++ {
+						idx := (z*d.Ny+y)*d.Nx + x
+						var pred float64
+						if t > 0 {
+							pred = prevRecon[clampIdx(d, x+mx, y+my, z+mz)]
+						}
+						q := int64(math.Round((src[idx] - pred) / bin))
+						curRecon[idx] = pred + float64(q)*bin
+						n := binary.PutUvarint(tmp[:], zigzag(q))
+						buf.Write(tmp[:n])
+					}
+				}
+			}
+		})
+		prevRecon, curRecon = curRecon, prevRecon
+	}
+	c.Payload = buf.Bytes()
+	return c, nil
+}
+
+// DecompressMCP reconstructs the window; every sample is within
+// Opts.ErrorBound of the original.
+func DecompressMCP(c *MCPCompressed) (*grid.Window, error) {
+	if !c.Dims.Valid() || c.NumSlices < 1 {
+		return nil, fmt.Errorf("baseline: invalid MCP header")
+	}
+	d := c.Dims
+	bin := 2 * c.Opts.ErrorBound
+	w := grid.NewWindow(d)
+	r := bytes.NewReader(c.Payload)
+	prev := make([]float64, d.Len())
+	motionPos := 0
+	for t := 0; t < c.NumSlices; t++ {
+		f := grid.NewField3D(d.Nx, d.Ny, d.Nz)
+		var blockErr error
+		forEachBlock(d, c.Opts.BlockSize, func(bx, by, bz, ex, ey, ez int) {
+			if blockErr != nil {
+				return
+			}
+			var mx, my, mz int
+			if t > 0 {
+				if motionPos+3 > len(c.Motion) {
+					blockErr = fmt.Errorf("baseline: truncated motion stream")
+					return
+				}
+				mx = int(c.Motion[motionPos])
+				my = int(c.Motion[motionPos+1])
+				mz = int(c.Motion[motionPos+2])
+				motionPos += 3
+			}
+			for z := bz; z < ez; z++ {
+				for y := by; y < ey; y++ {
+					for x := bx; x < ex; x++ {
+						idx := (z*d.Ny+y)*d.Nx + x
+						uq, err := binary.ReadUvarint(r)
+						if err != nil {
+							blockErr = fmt.Errorf("baseline: truncated MCP payload: %w", err)
+							return
+						}
+						var pred float64
+						if t > 0 {
+							pred = prev[clampIdx(d, x+mx, y+my, z+mz)]
+						}
+						f.Data[idx] = pred + float64(unzigzag(uq))*bin
+					}
+				}
+			}
+		})
+		if blockErr != nil {
+			return nil, blockErr
+		}
+		if err := w.Append(f, float64(t)); err != nil {
+			return nil, err
+		}
+		copy(prev, f.Data)
+	}
+	return w, nil
+}
+
+// forEachBlock visits the grid in block raster order.
+func forEachBlock(d grid.Dims, bs int, fn func(bx, by, bz, ex, ey, ez int)) {
+	for bz := 0; bz < d.Nz; bz += bs {
+		ez := bz + bs
+		if ez > d.Nz {
+			ez = d.Nz
+		}
+		for by := 0; by < d.Ny; by += bs {
+			ey := by + bs
+			if ey > d.Ny {
+				ey = d.Ny
+			}
+			for bx := 0; bx < d.Nx; bx += bs {
+				ex := bx + bs
+				if ex > d.Nx {
+					ex = d.Nx
+				}
+				fn(bx, by, bz, ex, ey, ez)
+			}
+		}
+	}
+}
+
+// clampIdx maps possibly out-of-range coordinates to the nearest in-range
+// linear index.
+func clampIdx(d grid.Dims, x, y, z int) int {
+	if x < 0 {
+		x = 0
+	} else if x >= d.Nx {
+		x = d.Nx - 1
+	}
+	if y < 0 {
+		y = 0
+	} else if y >= d.Ny {
+		y = d.Ny - 1
+	}
+	if z < 0 {
+		z = 0
+	} else if z >= d.Nz {
+		z = d.Nz - 1
+	}
+	return (z*d.Ny+y)*d.Nx + x
+}
+
+// bestMotion exhaustively searches the (2R+1)^3 neighborhood for the offset
+// minimizing the block SAD against the previous reconstruction.
+func bestMotion(src, prev []float64, d grid.Dims, bx, by, bz, ex, ey, ez, radius int) (mx, my, mz int) {
+	best := math.Inf(1)
+	for dz := -radius; dz <= radius; dz++ {
+		for dy := -radius; dy <= radius; dy++ {
+			for dx := -radius; dx <= radius; dx++ {
+				var sad float64
+				for z := bz; z < ez && sad < best; z++ {
+					for y := by; y < ey; y++ {
+						for x := bx; x < ex; x++ {
+							idx := (z*d.Ny+y)*d.Nx + x
+							sad += math.Abs(src[idx] - prev[clampIdx(d, x+dx, y+dy, z+dz)])
+						}
+					}
+				}
+				if sad < best {
+					best = sad
+					mx, my, mz = dx, dy, dz
+				}
+			}
+		}
+	}
+	return mx, my, mz
+}

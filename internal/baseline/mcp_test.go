@@ -1,0 +1,195 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"stwave/internal/grid"
+)
+
+// translatingWindow builds slices containing a sharp blob that moves one
+// cell in +x per slice — the ideal MCP workload.
+func translatingWindow(d grid.Dims, slices int) *grid.Window {
+	w := grid.NewWindow(d)
+	for t := 0; t < slices; t++ {
+		f := grid.NewField3D(d.Nx, d.Ny, d.Nz)
+		cx := (d.Nx/4 + t) % d.Nx
+		cy, cz := d.Ny/2, d.Nz/2
+		for z := 0; z < d.Nz; z++ {
+			for y := 0; y < d.Ny; y++ {
+				for x := 0; x < d.Nx; x++ {
+					dx := float64(x - cx)
+					dy := float64(y - cy)
+					dz := float64(z - cz)
+					f.Set(x, y, z, 10*math.Exp(-(dx*dx+dy*dy+dz*dz)/4))
+				}
+			}
+		}
+		if err := w.Append(f, float64(t)); err != nil {
+			panic(err)
+		}
+	}
+	return w
+}
+
+func TestMCPValidation(t *testing.T) {
+	d := grid.Dims{Nx: 8, Ny: 8, Nz: 8}
+	if _, err := CompressMCP(grid.NewWindow(d), DefaultMCPOptions(0.1)); err == nil {
+		t.Error("expected error for empty window")
+	}
+	w := translatingWindow(d, 2)
+	if _, err := CompressMCP(w, MCPOptions{ErrorBound: 0, BlockSize: 4, SearchRadius: 2}); err == nil {
+		t.Error("expected error for zero bound")
+	}
+	if _, err := CompressMCP(w, MCPOptions{ErrorBound: 0.1, BlockSize: 1, SearchRadius: 2}); err == nil {
+		t.Error("expected error for block size 1")
+	}
+	if _, err := CompressMCP(w, MCPOptions{ErrorBound: 0.1, BlockSize: 4, SearchRadius: -1}); err == nil {
+		t.Error("expected error for negative radius")
+	}
+}
+
+func TestMCPErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w := noisyWindow(rng, grid.Dims{Nx: 9, Ny: 7, Nz: 6}, 5)
+	for _, eps := range []float64{0.05, 0.005} {
+		c, err := CompressMCP(w, DefaultMCPOptions(eps))
+		if err != nil {
+			t.Fatal(err)
+		}
+		recon, err := DecompressMCP(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ti := range w.Slices {
+			for i := range w.Slices[ti].Data {
+				diff := math.Abs(w.Slices[ti].Data[i] - recon.Slices[ti].Data[i])
+				if diff > eps*(1+1e-12) {
+					t.Fatalf("eps=%g: error %g exceeds bound at slice %d sample %d", eps, diff, ti, i)
+				}
+			}
+		}
+	}
+}
+
+func TestMotionSearchHelpsOnTranslation(t *testing.T) {
+	w := translatingWindow(grid.Dims{Nx: 24, Ny: 16, Nz: 16}, 8)
+	still, err := CompressMCP(w, MCPOptions{ErrorBound: 1e-3, BlockSize: 4, SearchRadius: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	moving, err := CompressMCP(w, MCPOptions{ErrorBound: 1e-3, BlockSize: 4, SearchRadius: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moving.SizeBytes() >= still.SizeBytes() {
+		t.Errorf("motion search did not shrink the stream on translating data: %d vs %d bytes",
+			moving.SizeBytes(), still.SizeBytes())
+	}
+}
+
+func TestMCPFindsTheTrueMotionVector(t *testing.T) {
+	w := translatingWindow(grid.Dims{Nx: 24, Ny: 16, Nz: 16}, 3)
+	c, err := CompressMCP(w, MCPOptions{ErrorBound: 1e-4, BlockSize: 8, SearchRadius: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The blob moves +1 in x per slice; the block containing it should
+	// carry motion vector close to (-1, 0, 0) (prediction looks backward).
+	foundBackward := false
+	for i := 0; i+2 < len(c.Motion); i += 3 {
+		if c.Motion[i] == -1 && c.Motion[i+1] == 0 && c.Motion[i+2] == 0 {
+			foundBackward = true
+			break
+		}
+	}
+	if !foundBackward {
+		t.Error("no block discovered the (-1,0,0) motion of the translating blob")
+	}
+}
+
+func TestMCPRejectsCorrupt(t *testing.T) {
+	w := translatingWindow(grid.Dims{Nx: 8, Ny: 8, Nz: 8}, 4)
+	c, err := CompressMCP(w, DefaultMCPOptions(1e-3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := *c
+	short.Payload = c.Payload[:len(c.Payload)/3]
+	if _, err := DecompressMCP(&short); err == nil {
+		t.Error("expected error for truncated payload")
+	}
+	noMotion := *c
+	noMotion.Motion = c.Motion[:2]
+	if _, err := DecompressMCP(&noMotion); err == nil {
+		t.Error("expected error for truncated motion stream")
+	}
+	bad := &MCPCompressed{Dims: grid.Dims{}, NumSlices: 1}
+	if _, err := DecompressMCP(bad); err == nil {
+		t.Error("expected error for invalid header")
+	}
+}
+
+func TestForEachBlockCoversGridExactlyOnce(t *testing.T) {
+	d := grid.Dims{Nx: 10, Ny: 7, Nz: 5}
+	seen := make([]int, d.Len())
+	forEachBlock(d, 4, func(bx, by, bz, ex, ey, ez int) {
+		for z := bz; z < ez; z++ {
+			for y := by; y < ey; y++ {
+				for x := bx; x < ex; x++ {
+					seen[(z*d.Ny+y)*d.Nx+x]++
+				}
+			}
+		}
+	})
+	for i, n := range seen {
+		if n != 1 {
+			t.Fatalf("cell %d visited %d times", i, n)
+		}
+	}
+}
+
+func TestClampIdx(t *testing.T) {
+	d := grid.Dims{Nx: 4, Ny: 4, Nz: 4}
+	if clampIdx(d, -1, 0, 0) != 0 {
+		t.Error("x underflow not clamped")
+	}
+	if clampIdx(d, 10, 3, 3) != clampIdx(d, 3, 3, 3) {
+		t.Error("x overflow not clamped")
+	}
+	if clampIdx(d, 2, -5, 9) != clampIdx(d, 2, 0, 3) {
+		t.Error("y/z clamp failed")
+	}
+}
+
+// Property: MCP error bound holds for arbitrary block sizes and radii.
+func TestQuickMCPErrorBound(t *testing.T) {
+	prop := func(seed int64, bsRaw, radRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bs := int(bsRaw)%6 + 2
+		rad := int(radRaw) % 3
+		w := noisyWindow(rng, grid.Dims{Nx: 6, Ny: 5, Nz: 4}, 3)
+		eps := 0.01
+		c, err := CompressMCP(w, MCPOptions{ErrorBound: eps, BlockSize: bs, SearchRadius: rad})
+		if err != nil {
+			return false
+		}
+		recon, err := DecompressMCP(c)
+		if err != nil {
+			return false
+		}
+		for ti := range w.Slices {
+			for i := range w.Slices[ti].Data {
+				if math.Abs(w.Slices[ti].Data[i]-recon.Slices[ti].Data[i]) > eps*(1+1e-12) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

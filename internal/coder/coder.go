@@ -1,0 +1,217 @@
+// Package coder implements an embedded (progressive) bitplane coder for
+// wavelet coefficients, in the spirit of the SPECK/SPIHT/EBCOT family the
+// paper cites for "efficient coding and storage of these high-information
+// coefficients" (Section II-B) without addressing. The encoded stream is
+// quality-scalable: decoding any prefix yields a valid, coarser
+// reconstruction, and each additional bitplane roughly halves the maximum
+// error. This also supplies the paper's Section V-E wish — smarter coders
+// on the coefficient stream — as a composable layer on top of the
+// thresholding codec.
+//
+// The coder is a plain bitplane coder (no zerotrees): per plane it emits a
+// significance bit for every still-insignificant coefficient, a sign bit on
+// the transition, and a refinement bit for every already-significant one.
+// Simplicity over entropy optimality: the value of this layer in stwave is
+// progressiveness, not the last few percent of rate.
+package coder
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// header layout: magic 'E','B', version 1, planes uint8, n uint32, maxExp
+// int32 (little endian).
+const headerSize = 12
+
+// Encode produces an embedded stream for coeffs using the given number of
+// bitplanes (1-64). More planes mean a longer stream and a more precise
+// full reconstruction; 24 planes reach well below float32 precision for
+// typical data.
+func Encode(coeffs []float64, planes int) ([]byte, error) {
+	if planes < 1 || planes > 64 {
+		return nil, fmt.Errorf("coder: planes must be in [1,64], got %d", planes)
+	}
+	n := len(coeffs)
+	maxMag := 0.0
+	for _, v := range coeffs {
+		if m := math.Abs(v); m > maxMag {
+			maxMag = m
+		}
+	}
+	var maxExp int32
+	if maxMag > 0 {
+		maxExp = int32(math.Floor(math.Log2(maxMag)))
+	} else {
+		planes = 1 // nothing to encode beyond the (empty) first pass
+	}
+
+	out := make([]byte, headerSize)
+	out[0], out[1], out[2] = 'E', 'B', 1
+	out[3] = byte(planes)
+	binary.LittleEndian.PutUint32(out[4:8], uint32(n))
+	binary.LittleEndian.PutUint32(out[8:12], uint32(maxExp))
+	if maxMag == 0 || n == 0 {
+		return out, nil
+	}
+
+	bw := newBitWriter(out)
+	significant := make([]bool, n)
+	threshold := math.Ldexp(1, int(maxExp)) // 2^maxExp <= maxMag < 2^(maxExp+1)
+	for p := 0; p < planes; p++ {
+		for i, v := range coeffs {
+			m := math.Abs(v)
+			if !significant[i] {
+				if m >= threshold {
+					significant[i] = true
+					bw.writeBit(1)
+					if v < 0 {
+						bw.writeBit(1)
+					} else {
+						bw.writeBit(0)
+					}
+				} else {
+					bw.writeBit(0)
+				}
+			} else {
+				// Refinement: the bit of |v| at this plane.
+				if math.Mod(m, 2*threshold) >= threshold {
+					bw.writeBit(1)
+				} else {
+					bw.writeBit(0)
+				}
+			}
+		}
+		threshold /= 2
+	}
+	return bw.finish(), nil
+}
+
+// Decode reconstructs coefficients from a (possibly truncated) embedded
+// stream. The header must be intact; any amount of payload after it is
+// accepted — missing bits simply leave coefficients at their coarser
+// estimates, which is the point of an embedded code.
+func Decode(data []byte) ([]float64, error) {
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("coder: stream shorter than header (%d bytes)", len(data))
+	}
+	if data[0] != 'E' || data[1] != 'B' {
+		return nil, fmt.Errorf("coder: bad magic %q", data[0:2])
+	}
+	if data[2] != 1 {
+		return nil, fmt.Errorf("coder: unsupported version %d", data[2])
+	}
+	planes := int(data[3])
+	n := int(binary.LittleEndian.Uint32(data[4:8]))
+	maxExp := int32(binary.LittleEndian.Uint32(data[8:12]))
+	if n < 0 {
+		return nil, fmt.Errorf("coder: negative length")
+	}
+	out := make([]float64, n)
+	if n == 0 {
+		return out, nil
+	}
+
+	br := newBitReader(data[headerSize:])
+	// lower[i] is the proven lower bound of |coeff i|; width is the current
+	// uncertainty interval. Reconstruction = sign * (lower + width/2).
+	lower := make([]float64, n)
+	negative := make([]bool, n)
+	significant := make([]bool, n)
+	threshold := math.Ldexp(1, int(maxExp))
+
+decode:
+	for p := 0; p < planes; p++ {
+		for i := 0; i < n; i++ {
+			if !significant[i] {
+				bit, ok := br.readBit()
+				if !ok {
+					break decode
+				}
+				if bit == 1 {
+					significant[i] = true
+					lower[i] = threshold
+					sign, ok := br.readBit()
+					if !ok {
+						break decode
+					}
+					negative[i] = sign == 1
+				}
+			} else {
+				bit, ok := br.readBit()
+				if !ok {
+					break decode
+				}
+				if bit == 1 {
+					lower[i] += threshold
+				}
+			}
+		}
+		threshold /= 2
+	}
+	// threshold is now the half-width of each significant coefficient's
+	// uncertainty interval times 2 (one halving happened after the last
+	// completed pass); reconstruct at interval midpoints.
+	for i := 0; i < n; i++ {
+		if !significant[i] {
+			continue
+		}
+		v := lower[i] + threshold
+		if negative[i] {
+			v = -v
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// EncodedUpperBound returns the worst-case stream size for n coefficients
+// at the given plane count: header + (significance+sign+refinement) bits.
+func EncodedUpperBound(n, planes int) int {
+	bits := n*planes + n // every coefficient could also emit one sign bit
+	return headerSize + (bits+7)/8
+}
+
+// bitWriter appends bits MSB-first to a byte slice.
+type bitWriter struct {
+	buf  []byte
+	cur  byte
+	nCur int
+}
+
+func newBitWriter(initial []byte) *bitWriter { return &bitWriter{buf: initial} }
+
+func (w *bitWriter) writeBit(b int) {
+	w.cur = w.cur<<1 | byte(b&1)
+	w.nCur++
+	if w.nCur == 8 {
+		w.buf = append(w.buf, w.cur)
+		w.cur, w.nCur = 0, 0
+	}
+}
+
+func (w *bitWriter) finish() []byte {
+	if w.nCur > 0 {
+		w.buf = append(w.buf, w.cur<<(8-w.nCur))
+	}
+	return w.buf
+}
+
+// bitReader consumes bits MSB-first.
+type bitReader struct {
+	buf []byte
+	pos int // bit position
+}
+
+func newBitReader(buf []byte) *bitReader { return &bitReader{buf: buf} }
+
+func (r *bitReader) readBit() (int, bool) {
+	byteIdx := r.pos >> 3
+	if byteIdx >= len(r.buf) {
+		return 0, false
+	}
+	bit := int(r.buf[byteIdx]>>(7-uint(r.pos&7))) & 1
+	r.pos++
+	return bit, true
+}

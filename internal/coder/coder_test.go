@@ -1,0 +1,309 @@
+package coder
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randCoeffs(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		// Heavy-tailed like real wavelet coefficients: most small, few big.
+		v := rng.NormFloat64()
+		out[i] = v * v * v
+	}
+	return out
+}
+
+func maxErr(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestEncodeValidation(t *testing.T) {
+	if _, err := Encode([]float64{1}, 0); err == nil {
+		t.Error("expected error for 0 planes")
+	}
+	if _, err := Encode([]float64{1}, 65); err == nil {
+		t.Error("expected error for 65 planes")
+	}
+}
+
+func TestDecodeValidation(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Error("expected error for empty stream")
+	}
+	if _, err := Decode([]byte("XXnot a stream")); err == nil {
+		t.Error("expected error for bad magic")
+	}
+	good, err := Encode([]float64{1, 2, 3}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), good...)
+	bad[2] = 9 // version
+	if _, err := Decode(bad); err == nil {
+		t.Error("expected error for bad version")
+	}
+}
+
+func TestEmptyAndZeroInputs(t *testing.T) {
+	stream, err := Encode(nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decode(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Errorf("decoded %d coefficients from empty input", len(out))
+	}
+	zeros := make([]float64, 100)
+	stream, err = Encode(zeros, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stream) != headerSize {
+		t.Errorf("all-zero stream is %d bytes, want header only (%d)", len(stream), headerSize)
+	}
+	out, err = Decode(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != 0 {
+			t.Fatalf("zero coefficient %d decoded to %g", i, v)
+		}
+	}
+}
+
+func TestFullDecodeAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	coeffs := randCoeffs(rng, 500)
+	var maxMag float64
+	for _, v := range coeffs {
+		if m := math.Abs(v); m > maxMag {
+			maxMag = m
+		}
+	}
+	for _, planes := range []int{4, 8, 16, 32} {
+		stream, err := Encode(coeffs, planes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := Decode(stream)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// After p planes the uncertainty is < 2^(maxExp-p+1).
+		bound := math.Ldexp(1, int(math.Floor(math.Log2(maxMag)))-planes+1)
+		if e := maxErr(coeffs, out); e > bound {
+			t.Errorf("planes=%d: max error %.3g exceeds bound %.3g", planes, e, bound)
+		}
+	}
+}
+
+func TestSignsPreserved(t *testing.T) {
+	coeffs := []float64{-8, 8, -4, 4, -0.5, 0.5}
+	stream, err := Encode(coeffs, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decode(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range coeffs {
+		if math.Signbit(out[i]) != math.Signbit(coeffs[i]) {
+			t.Errorf("coefficient %d: sign flipped (%g -> %g)", i, coeffs[i], out[i])
+		}
+	}
+}
+
+// The embedded property: decoding longer prefixes never increases the
+// reconstruction error.
+func TestProgressiveMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	coeffs := randCoeffs(rng, 300)
+	stream, err := Encode(coeffs, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevErr := math.Inf(1)
+	for frac := 1; frac <= 10; frac++ {
+		cut := headerSize + (len(stream)-headerSize)*frac/10
+		out, err := Decode(stream[:cut])
+		if err != nil {
+			t.Fatalf("truncated decode at %d bytes: %v", cut, err)
+		}
+		e := maxErr(coeffs, out)
+		if e > prevErr*1.0000001 {
+			t.Errorf("error rose from %.4g to %.4g at prefix %d/10", prevErr, e, frac)
+		}
+		prevErr = e
+	}
+	if prevErr > 1e-4*absMax(coeffs) {
+		t.Errorf("full-stream error %.3g still large", prevErr)
+	}
+}
+
+func absMax(x []float64) float64 {
+	var m float64
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Header-only decode yields all zeros (the coarsest valid reconstruction).
+func TestHeaderOnlyDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	coeffs := randCoeffs(rng, 50)
+	stream, err := Encode(coeffs, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decode(stream[:headerSize])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != 0 {
+			t.Fatalf("coefficient %d = %g from header-only stream", i, v)
+		}
+	}
+}
+
+func TestEncodedUpperBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{1, 10, 100, 1000} {
+		for _, planes := range []int{1, 8, 24} {
+			coeffs := randCoeffs(rng, n)
+			stream, err := Encode(coeffs, planes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(stream) > EncodedUpperBound(n, planes) {
+				t.Errorf("n=%d planes=%d: stream %d bytes exceeds bound %d",
+					n, planes, len(stream), EncodedUpperBound(n, planes))
+			}
+		}
+	}
+}
+
+// Sparse (thresholded) coefficient sets compress far below the upper bound:
+// insignificant coefficients cost one bit per plane.
+func TestSparseStreamsAreSmall(t *testing.T) {
+	coeffs := make([]float64, 4096)
+	coeffs[17] = 100
+	coeffs[399] = -55
+	stream, err := Encode(coeffs, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4096 coefficients x 16 planes = 8 KiB of bits; should be close to
+	// that (the coder has no entropy stage) but decode must be precise.
+	out, err := Decode(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out[17]-100) > 0.01 || math.Abs(out[399]+55) > 0.01 {
+		t.Errorf("sparse decode: got %g, %g", out[17], out[399])
+	}
+	for i, v := range out {
+		if i != 17 && i != 399 && math.Abs(v) > 0.01 {
+			t.Fatalf("ghost coefficient %g at %d", v, i)
+		}
+	}
+}
+
+// Property: full round trip error is within the final-plane bound for
+// arbitrary inputs.
+func TestQuickRoundTripBound(t *testing.T) {
+	prop := func(seed int64, nRaw uint8, planesRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%100 + 1
+		planes := int(planesRaw)%24 + 8
+		coeffs := randCoeffs(rng, n)
+		stream, err := Encode(coeffs, planes)
+		if err != nil {
+			return false
+		}
+		out, err := Decode(stream)
+		if err != nil {
+			return false
+		}
+		mm := absMax(coeffs)
+		if mm == 0 {
+			return maxErr(coeffs, out) == 0
+		}
+		bound := math.Ldexp(1, int(math.Floor(math.Log2(mm)))-planes+1)
+		return maxErr(coeffs, out) <= bound
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: any truncation point decodes without error (graceful
+// degradation, never a crash or garbage).
+func TestQuickTruncationSafety(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	coeffs := randCoeffs(rng, 120)
+	stream, err := Encode(coeffs, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm := absMax(coeffs)
+	prop := func(cutRaw uint16) bool {
+		cut := headerSize + int(cutRaw)%(len(stream)-headerSize+1)
+		out, err := Decode(stream[:cut])
+		if err != nil {
+			return false
+		}
+		// Reconstruction must never exceed the data's own magnitude range
+		// by more than a factor of 2 (midpoint estimates).
+		return absMax(out) <= 2*mm
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncode64k(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	coeffs := randCoeffs(rng, 1<<16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(coeffs, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode64k(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	coeffs := randCoeffs(rng, 1<<16)
+	stream, err := Encode(coeffs, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(stream); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

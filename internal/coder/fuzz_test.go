@@ -1,0 +1,31 @@
+package coder
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzDecode: the embedded decoder accepts arbitrary bytes after a valid
+// header without panicking, and never produces NaN/Inf coefficients.
+func FuzzDecode(f *testing.F) {
+	stream, err := Encode([]float64{3, -1.5, 0, 8, 1e-9}, 16)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(stream)
+	f.Add(stream[:headerSize])
+	f.Add([]byte{'E', 'B', 1, 200, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		out, err := Decode(data)
+		if err != nil {
+			return
+		}
+		for i, v := range out {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("coefficient %d decoded to %g", i, v)
+			}
+		}
+	})
+}

@@ -1,0 +1,154 @@
+// Package compress implements coefficient selection and coding: given a
+// target compression ratio n:1, it retains the 1/n largest-magnitude wavelet
+// coefficients and discards (zeroes) the rest, exactly as the paper's
+// Section IV-A step three describes. It also provides a sparse on-disk
+// encoding (significance bitmap + packed float32 values) so real file sizes
+// can be measured, and budget helpers for per-slice (3D) versus whole-window
+// (4D) coefficient accounting.
+package compress
+
+import (
+	"fmt"
+	"math"
+)
+
+// KeepCount returns how many coefficients a ratio:1 compression retains out
+// of total. Ratio 1 retains everything. Always at least 1 when total > 0 so
+// a reconstruction exists at extreme ratios.
+func KeepCount(total int, ratio float64) (int, error) {
+	if ratio < 1 {
+		return 0, fmt.Errorf("compress: ratio must be >= 1, got %g", ratio)
+	}
+	if total <= 0 {
+		return 0, nil
+	}
+	k := int(float64(total) / ratio)
+	if k < 1 {
+		k = 1
+	}
+	if k > total {
+		k = total
+	}
+	return k, nil
+}
+
+// Threshold zeroes, in place, all but the keep largest-magnitude entries of
+// coeffs and returns the number actually retained (== keep except for
+// degenerate inputs). Ties at the cut magnitude are resolved arbitrarily but
+// deterministically: exactly `keep` coefficients survive.
+func Threshold(coeffs []float64, keep int) int {
+	n := len(coeffs)
+	if keep >= n {
+		return n
+	}
+	if keep <= 0 {
+		for i := range coeffs {
+			coeffs[i] = 0
+		}
+		return 0
+	}
+	// Find the keep-th largest magnitude with quickselect over a scratch
+	// copy of magnitudes.
+	mags := make([]float64, n)
+	for i, v := range coeffs {
+		mags[i] = math.Abs(v)
+	}
+	cut := selectKth(mags, keep-1) // 0-indexed: (keep-1)-th in descending order
+
+	// First pass: keep everything strictly above the cut.
+	kept := 0
+	for _, v := range coeffs {
+		if math.Abs(v) > cut {
+			kept++
+		}
+	}
+	// Second pass: admit ties (== cut) until the budget is exhausted, then
+	// zero the rest.
+	remaining := keep - kept
+	for i, v := range coeffs {
+		a := math.Abs(v)
+		if a > cut {
+			continue
+		}
+		if a == cut && remaining > 0 {
+			remaining--
+			continue
+		}
+		coeffs[i] = 0
+	}
+	return keep
+}
+
+// ThresholdRatio is the common entry point: discards coefficients so that a
+// ratio:1 compression is achieved, returning the retained count.
+func ThresholdRatio(coeffs []float64, ratio float64) (int, error) {
+	keep, err := KeepCount(len(coeffs), ratio)
+	if err != nil {
+		return 0, err
+	}
+	return Threshold(coeffs, keep), nil
+}
+
+// selectKth returns the k-th largest element (0-indexed) of a, using
+// iterative quickselect with median-of-three pivoting. a is permuted.
+func selectKth(a []float64, k int) float64 {
+	lo, hi := 0, len(a)-1
+	for {
+		if lo == hi {
+			return a[lo]
+		}
+		p := partitionDesc(a, lo, hi)
+		switch {
+		case k == p:
+			return a[p]
+		case k < p:
+			hi = p - 1
+		default:
+			lo = p + 1
+		}
+	}
+}
+
+// partitionDesc partitions a[lo..hi] in descending order around a
+// median-of-three pivot and returns the pivot's final index.
+func partitionDesc(a []float64, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	// Median-of-three: order a[lo] >= a[mid] >= a[hi] candidates.
+	if a[mid] > a[lo] {
+		a[mid], a[lo] = a[lo], a[mid]
+	}
+	if a[hi] > a[lo] {
+		a[hi], a[lo] = a[lo], a[hi]
+	}
+	if a[hi] > a[mid] {
+		a[hi], a[mid] = a[mid], a[hi]
+	}
+	pivot := a[mid]
+	a[mid], a[hi] = a[hi], a[mid]
+	store := lo
+	for i := lo; i < hi; i++ {
+		if a[i] > pivot {
+			a[i], a[store] = a[store], a[i]
+			store++
+		}
+	}
+	a[store], a[hi] = a[hi], a[store]
+	return store
+}
+
+// CutoffMagnitude returns the magnitude of the keep-th largest coefficient
+// without modifying coeffs — the threshold the paper describes finding
+// relative to the largest-magnitude coefficient.
+func CutoffMagnitude(coeffs []float64, keep int) float64 {
+	if keep <= 0 || len(coeffs) == 0 {
+		return math.Inf(1)
+	}
+	if keep >= len(coeffs) {
+		return 0
+	}
+	mags := make([]float64, len(coeffs))
+	for i, v := range coeffs {
+		mags[i] = math.Abs(v)
+	}
+	return selectKth(mags, keep-1)
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"stwave/internal/grid"
+)
+
+// AsyncWriter is a pipelined variant of Writer: windows are compressed on a
+// background worker pool while the simulation keeps producing slices —
+// overlapping the paper's "Comp. Time" with the solve, which is how a
+// production in-transit pipeline would hide the Table I compute cost.
+// Compressed windows are delivered to the sink strictly in window order
+// regardless of which worker finishes first.
+//
+// WriteSlice and Flush must be called from a single goroutine; the sink is
+// also invoked from a single (internal) goroutine.
+type AsyncWriter struct {
+	comp    *Compressor
+	sink    Sink
+	dims    grid.Dims
+	pending *grid.Window
+
+	jobs     chan asyncJob
+	resultCh chan asyncResult
+	done     chan struct{}
+	sinkErr  error
+
+	nextWindow int // next window id to assign
+	slicesIn   int
+}
+
+type asyncJob struct {
+	id  int
+	win *grid.Window
+}
+
+type asyncResult struct {
+	id  int
+	cw  *CompressedWindow
+	err error
+}
+
+// NewAsyncWriter creates a pipelined writer with the given number of
+// compression workers (>= 1) and a bounded queue of the same depth.
+func NewAsyncWriter(opts Options, dims grid.Dims, workers int, sink Sink) (*AsyncWriter, error) {
+	comp, err := New(opts)
+	if err != nil {
+		return nil, err
+	}
+	if !dims.Valid() {
+		return nil, fmt.Errorf("core: invalid dims %v", dims)
+	}
+	if sink == nil {
+		return nil, fmt.Errorf("core: nil sink")
+	}
+	if workers < 1 {
+		return nil, fmt.Errorf("core: async writer needs >= 1 worker, got %d", workers)
+	}
+	// In 3D mode each slice is its own 1-slice window for pipelining.
+	aw := &AsyncWriter{
+		comp:     comp,
+		sink:     sink,
+		dims:     dims,
+		jobs:     make(chan asyncJob, workers),
+		resultCh: make(chan asyncResult, workers),
+		done:     make(chan struct{}),
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range aw.jobs {
+				cw, err := aw.comp.CompressWindow(job.win)
+				aw.resultCh <- asyncResult{id: job.id, cw: cw, err: err}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(aw.resultCh)
+	}()
+	// Sequencer: delivers results to the sink in id order.
+	go func() {
+		defer close(aw.done)
+		next := 0
+		buffered := map[int]*CompressedWindow{}
+		for res := range aw.resultCh {
+			if res.err != nil {
+				if aw.sinkErr == nil {
+					aw.sinkErr = res.err
+				}
+				continue
+			}
+			buffered[res.id] = res.cw
+			for {
+				cw, ok := buffered[next]
+				if !ok {
+					break
+				}
+				delete(buffered, next)
+				if err := aw.sink(cw); err != nil && aw.sinkErr == nil {
+					aw.sinkErr = err
+				}
+				next++
+			}
+		}
+	}()
+	return aw, nil
+}
+
+// WriteSlice appends one slice; full windows are queued for background
+// compression. The slice is cloned, so the caller may reuse its buffer.
+func (aw *AsyncWriter) WriteSlice(f *grid.Field3D, t float64) error {
+	if f.Dims != aw.dims {
+		return fmt.Errorf("core: slice dims %v != writer dims %v", f.Dims, aw.dims)
+	}
+	aw.slicesIn++
+	if aw.pending == nil {
+		aw.pending = grid.NewWindow(aw.dims)
+	}
+	if err := aw.pending.Append(f.Clone(), t); err != nil {
+		return err
+	}
+	target := aw.comp.opts.WindowSize
+	if aw.comp.opts.Mode == Spatial3D {
+		target = 1
+	}
+	if aw.pending.Len() >= target {
+		aw.enqueue()
+	}
+	return nil
+}
+
+func (aw *AsyncWriter) enqueue() {
+	win := aw.pending
+	aw.pending = nil
+	aw.jobs <- asyncJob{id: aw.nextWindow, win: win}
+	aw.nextWindow++
+}
+
+// Flush queues any partial window, waits for all background work, and
+// returns the first error encountered by a worker or the sink. The writer
+// cannot be used afterwards.
+func (aw *AsyncWriter) Flush() error {
+	if aw.pending != nil && aw.pending.Len() > 0 {
+		aw.enqueue()
+	}
+	close(aw.jobs)
+	<-aw.done
+	return aw.sinkErr
+}
+
+// SlicesIn reports the number of slices accepted.
+func (aw *AsyncWriter) SlicesIn() int { return aw.slicesIn }

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"stwave/internal/grid"
+)
+
+func TestAsyncWriterMatchesSyncWriter(t *testing.T) {
+	d := grid.Dims{Nx: 10, Ny: 10, Nz: 10}
+	src := coherentWindow(d, 27, 0.3)
+	opts := DefaultOptions()
+	opts.WindowSize = 10
+	opts.Ratio = 16
+
+	runSync := func() []*CompressedWindow {
+		var out []*CompressedWindow
+		wr, err := NewWriter(opts, d, func(cw *CompressedWindow) error {
+			out = append(out, cw)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range src.Slices {
+			if err := wr.WriteSlice(s, src.Times[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := wr.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	runAsync := func(workers int) []*CompressedWindow {
+		var out []*CompressedWindow
+		wr, err := NewAsyncWriter(opts, d, workers, func(cw *CompressedWindow) error {
+			out = append(out, cw)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range src.Slices {
+			if err := wr.WriteSlice(s, src.Times[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := wr.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if wr.SlicesIn() != 27 {
+			t.Errorf("SlicesIn = %d", wr.SlicesIn())
+		}
+		return out
+	}
+
+	want := runSync()
+	for _, workers := range []int{1, 4} {
+		got := runAsync(workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d windows, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].NumSlices() != want[i].NumSlices() {
+				t.Fatalf("workers=%d window %d: %d slices vs %d", workers, i, got[i].NumSlices(), want[i].NumSlices())
+			}
+			// In-order delivery: times must be increasing across windows.
+			if got[i].Times[0] != want[i].Times[0] {
+				t.Fatalf("workers=%d window %d starts at t=%g, want %g (out of order?)",
+					workers, i, got[i].Times[0], want[i].Times[0])
+			}
+			// Deterministic compression: identical retained sets.
+			if got[i].RetainedCoefficients() != want[i].RetainedCoefficients() {
+				t.Fatalf("workers=%d window %d: retained %d vs %d",
+					workers, i, got[i].RetainedCoefficients(), want[i].RetainedCoefficients())
+			}
+		}
+	}
+}
+
+func TestAsyncWriterSinkErrorPropagates(t *testing.T) {
+	d := grid.Dims{Nx: 8, Ny: 8, Nz: 8}
+	src := coherentWindow(d, 10, 0)
+	opts := DefaultOptions()
+	opts.WindowSize = 5
+	wr, err := NewAsyncWriter(opts, d, 2, func(cw *CompressedWindow) error {
+		return fmt.Errorf("sink exploded")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range src.Slices {
+		if err := wr.WriteSlice(s, src.Times[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := wr.Flush(); err == nil {
+		t.Error("sink error not propagated through Flush")
+	}
+}
+
+func TestAsyncWriterValidation(t *testing.T) {
+	d := grid.Dims{Nx: 4, Ny: 4, Nz: 4}
+	sink := func(*CompressedWindow) error { return nil }
+	if _, err := NewAsyncWriter(DefaultOptions(), d, 0, sink); err == nil {
+		t.Error("expected error for zero workers")
+	}
+	if _, err := NewAsyncWriter(DefaultOptions(), d, 2, nil); err == nil {
+		t.Error("expected error for nil sink")
+	}
+	if _, err := NewAsyncWriter(DefaultOptions(), grid.Dims{}, 2, sink); err == nil {
+		t.Error("expected error for invalid dims")
+	}
+	wr, err := NewAsyncWriter(DefaultOptions(), d, 2, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wr.WriteSlice(grid.NewField3D(5, 4, 4), 0); err == nil {
+		t.Error("expected error for mismatched dims")
+	}
+	if err := wr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsyncWriter3DMode(t *testing.T) {
+	d := grid.Dims{Nx: 8, Ny: 8, Nz: 8}
+	src := coherentWindow(d, 6, 0)
+	opts := DefaultOptions()
+	opts.Mode = Spatial3D
+	count := 0
+	wr, err := NewAsyncWriter(opts, d, 3, func(cw *CompressedWindow) error {
+		if cw.NumSlices() != 1 {
+			t.Errorf("3D window has %d slices", cw.NumSlices())
+		}
+		count++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range src.Slices {
+		if err := wr.WriteSlice(s, src.Times[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := wr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 6 {
+		t.Errorf("emitted %d windows for 6 slices in 3D mode", count)
+	}
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+
+	"stwave/internal/compress"
+	"stwave/internal/grid"
+	"stwave/internal/transform"
+)
+
+// Compressor applies windowed wavelet compression with a fixed
+// configuration. It is safe for concurrent use by multiple goroutines: all
+// state is per-call.
+type Compressor struct {
+	opts Options
+}
+
+// New validates opts and returns a ready Compressor.
+func New(opts Options) (*Compressor, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	return &Compressor{opts: opts}, nil
+}
+
+// Options returns the compressor's configuration.
+func (c *Compressor) Options() Options { return c.opts }
+
+// CompressedWindow is the compressed form of one window of time slices,
+// carrying everything needed for standalone reconstruction.
+type CompressedWindow struct {
+	Dims  grid.Dims
+	Times []float64
+	// Opts records the configuration used, with levels resolved to the
+	// concrete values applied (never -1).
+	Opts Options
+	// SpatialLevels / TemporalLevels are the resolved transform depths.
+	SpatialLevels  int
+	TemporalLevels int
+	// Blocks holds one sparse coefficient block per time slice.
+	Blocks []*compress.SparseBlock
+}
+
+// NumSlices returns the number of time slices in the window.
+func (cw *CompressedWindow) NumSlices() int { return len(cw.Blocks) }
+
+// EncodedSizeBytes returns the true serialized payload size (bitmaps +
+// values + per-block headers).
+func (cw *CompressedWindow) EncodedSizeBytes() int64 {
+	var n int64
+	for _, b := range cw.Blocks {
+		n += b.EncodedSizeBytes()
+	}
+	return n
+}
+
+// IdealSizeBytes returns the paper's accounting: 4 bytes per retained
+// coefficient.
+func (cw *CompressedWindow) IdealSizeBytes() int64 {
+	var n int64
+	for _, b := range cw.Blocks {
+		n += b.IdealSizeBytes()
+	}
+	return n
+}
+
+// DeflatedSizeBytes returns the size after the DEFLATE entropy stage
+// (framed per block) — the third size accounting next to IdealSizeBytes and
+// EncodedSizeBytes.
+func (cw *CompressedWindow) DeflatedSizeBytes() (int64, error) {
+	var n int64
+	for _, b := range cw.Blocks {
+		d, err := b.DeflatedSizeBytes()
+		if err != nil {
+			return 0, err
+		}
+		n += d
+	}
+	return n, nil
+}
+
+// RetainedCoefficients returns the total number of surviving coefficients.
+func (cw *CompressedWindow) RetainedCoefficients() int {
+	n := 0
+	for _, b := range cw.Blocks {
+		n += b.Retained()
+	}
+	return n
+}
+
+// CompressWindow compresses the window according to the compressor's mode.
+// The window's slices are not modified (they are cloned internally). In 4D
+// mode the window length should normally equal Options.WindowSize, but any
+// length >= 1 is accepted: temporal levels adapt to the actual length
+// (shorter final windows at end of simulation).
+func (c *Compressor) CompressWindow(w *grid.Window) (*CompressedWindow, error) {
+	if w.Len() == 0 {
+		return nil, fmt.Errorf("core: cannot compress an empty window")
+	}
+	work := w.Clone()
+	spec := c.opts.spec(work.Dims, work.Len())
+
+	if err := transform.Forward4D(work, spec); err != nil {
+		return nil, fmt.Errorf("core: forward transform: %w", err)
+	}
+
+	if err := c.threshold(work); err != nil {
+		return nil, err
+	}
+
+	cw := &CompressedWindow{
+		Dims:           work.Dims,
+		Times:          append([]float64(nil), work.Times...),
+		Opts:           c.opts,
+		SpatialLevels:  spec.SpatialLevels,
+		TemporalLevels: spec.TemporalLevels,
+		Blocks:         make([]*compress.SparseBlock, work.Len()),
+	}
+	for i, s := range work.Slices {
+		cw.Blocks[i] = compress.NewSparseBlock(s.Data)
+	}
+	return cw, nil
+}
+
+// threshold applies the ratio budget: per-slice for 3D (and for the
+// PerSliceBudget ablation), jointly over the whole window for 4D.
+func (c *Compressor) threshold(w *grid.Window) error {
+	if c.opts.Mode == Spatial3D || c.opts.PerSliceBudget {
+		for _, s := range w.Slices {
+			if _, err := compress.ThresholdRatio(s.Data, c.opts.Ratio); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Joint budget: rank all T*S coefficients together. Gather into one
+	// slice, threshold, scatter back.
+	total := w.TotalSamples()
+	all := make([]float64, 0, total)
+	for _, s := range w.Slices {
+		all = append(all, s.Data...)
+	}
+	if _, err := compress.ThresholdRatio(all, c.opts.Ratio); err != nil {
+		return err
+	}
+	off := 0
+	for _, s := range w.Slices {
+		copy(s.Data, all[off:off+len(s.Data)])
+		off += len(s.Data)
+	}
+	return nil
+}
+
+// Decompress reconstructs the window from its compressed form. The result is
+// a fully-allocated window independent of cw.
+func Decompress(cw *CompressedWindow) (*grid.Window, error) {
+	if cw.NumSlices() == 0 {
+		return nil, fmt.Errorf("core: empty compressed window")
+	}
+	if !cw.Dims.Valid() {
+		return nil, fmt.Errorf("core: invalid dims %v", cw.Dims)
+	}
+	w := grid.NewWindow(cw.Dims)
+	for i, b := range cw.Blocks {
+		if b.Total != cw.Dims.Len() {
+			return nil, fmt.Errorf("core: block %d has %d coefficients, grid needs %d", i, b.Total, cw.Dims.Len())
+		}
+		f := grid.NewField3D(cw.Dims.Nx, cw.Dims.Ny, cw.Dims.Nz)
+		if err := b.DecodeInto(f.Data); err != nil {
+			return nil, err
+		}
+		t := float64(i)
+		if cw.Times != nil && i < len(cw.Times) {
+			t = cw.Times[i]
+		}
+		if err := w.Append(f, t); err != nil {
+			return nil, err
+		}
+	}
+	spec := transform.Spec{
+		SpatialKernel:  cw.Opts.SpatialKernel,
+		SpatialLevels:  cw.SpatialLevels,
+		TemporalKernel: cw.Opts.TemporalKernel,
+		TemporalLevels: cw.TemporalLevels,
+		Workers:        cw.Opts.Workers,
+	}
+	if err := transform.Inverse4D(w, spec); err != nil {
+		return nil, fmt.Errorf("core: inverse transform: %w", err)
+	}
+	return w, nil
+}
+
+// RoundTrip compresses then decompresses a window — the operation every
+// error-evaluation experiment performs. It never modifies w.
+func (c *Compressor) RoundTrip(w *grid.Window) (*grid.Window, *CompressedWindow, error) {
+	cw, err := c.CompressWindow(w)
+	if err != nil {
+		return nil, nil, err
+	}
+	recon, err := Decompress(cw)
+	if err != nil {
+		return nil, nil, err
+	}
+	return recon, cw, nil
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"stwave/internal/grid"
+)
+
+// FuzzReadCompressedWindow hammers the window deserializer with mutated
+// inputs: it must return an error or a valid window, never panic, and any
+// window it accepts must decompress without panicking.
+func FuzzReadCompressedWindow(f *testing.F) {
+	// Seed with a real serialized window.
+	w := coherentWindow(grid.Dims{Nx: 6, Ny: 5, Nz: 4}, 6, 0.2)
+	opts := DefaultOptions()
+	opts.WindowSize = 6
+	opts.Ratio = 4
+	comp, err := New(opts)
+	if err != nil {
+		f.Fatal(err)
+	}
+	cw, err := comp.CompressWindow(w)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := cw.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("STWV"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cw, err := ReadCompressedWindow(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted: decompression may fail but must not panic, and a
+		// success must produce the declared shape.
+		win, err := Decompress(cw)
+		if err != nil {
+			return
+		}
+		if win.Len() != cw.NumSlices() {
+			t.Fatalf("decompressed %d slices, header says %d", win.Len(), cw.NumSlices())
+		}
+		for _, s := range win.Slices {
+			if s.Dims != cw.Dims {
+				t.Fatalf("slice dims %v != header %v", s.Dims, cw.Dims)
+			}
+		}
+	})
+}

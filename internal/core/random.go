@@ -1,0 +1,50 @@
+package core
+
+import (
+	"fmt"
+
+	"stwave/internal/grid"
+	"stwave/internal/transform"
+)
+
+// DecompressSlice reconstructs a single time slice from a compressed
+// window. The paper's Section V-E observes that spatiotemporal compression
+// loses cheap random access because the inverse temporal transform needs
+// every slice's coefficients; what it does NOT need is the expensive
+// per-slice 3D inverse of the other slices. DecompressSlice therefore runs
+// the temporal inverse over the whole window but the spatial inverse only
+// for the requested slice — for a window of T slices this saves (T-1)/T of
+// the spatial inverse cost, which dominates reconstruction time.
+func DecompressSlice(cw *CompressedWindow, slice int) (*grid.Field3D, error) {
+	if slice < 0 || slice >= cw.NumSlices() {
+		return nil, fmt.Errorf("core: slice %d out of range [0,%d)", slice, cw.NumSlices())
+	}
+	if !cw.Dims.Valid() {
+		return nil, fmt.Errorf("core: invalid dims %v", cw.Dims)
+	}
+	w := grid.NewWindow(cw.Dims)
+	for i, b := range cw.Blocks {
+		if b.Total != cw.Dims.Len() {
+			return nil, fmt.Errorf("core: block %d has %d coefficients, grid needs %d", i, b.Total, cw.Dims.Len())
+		}
+		f := grid.NewField3D(cw.Dims.Nx, cw.Dims.Ny, cw.Dims.Nz)
+		if err := b.DecodeInto(f.Data); err != nil {
+			return nil, err
+		}
+		t := float64(i)
+		if cw.Times != nil && i < len(cw.Times) {
+			t = cw.Times[i]
+		}
+		if err := w.Append(f, t); err != nil {
+			return nil, err
+		}
+	}
+	if err := transform.InverseTemporal(w, cw.Opts.TemporalKernel, cw.TemporalLevels, cw.Opts.Workers); err != nil {
+		return nil, err
+	}
+	target := w.Slices[slice]
+	if err := transform.Inverse3D(target, cw.Opts.SpatialKernel, cw.SpatialLevels, cw.Opts.Workers); err != nil {
+		return nil, err
+	}
+	return target, nil
+}

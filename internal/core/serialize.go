@@ -1,0 +1,181 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"stwave/internal/compress"
+	"stwave/internal/grid"
+	"stwave/internal/wavelet"
+)
+
+// On-disk format of a CompressedWindow:
+//
+//	[0:4]   magic "STWV"
+//	[4]     format version (1 = raw sparse blocks, 2 = DEFLATE-framed blocks)
+//	[5]     mode (0 = 3D, 1 = 4D)
+//	[6]     spatial kernel
+//	[7]     temporal kernel
+//	[8:12]  spatial levels (int32 LE)
+//	[12:16] temporal levels (int32 LE)
+//	[16:24] ratio (float64 LE)
+//	[24:36] dims nx, ny, nz (uint32 LE each)
+//	[36:40] number of slices (uint32 LE)
+//	then numSlices float64 times, then numSlices blocks (raw or deflated
+//	per the version byte).
+
+var magic = [4]byte{'S', 'T', 'W', 'V'}
+
+const (
+	formatVersion        = 1
+	formatVersionDeflate = 2
+)
+
+// WriteTo serializes the compressed window with raw sparse blocks. It
+// implements io.WriterTo.
+func (cw *CompressedWindow) WriteTo(w io.Writer) (int64, error) {
+	return cw.writeTo(w, false)
+}
+
+// WriteToDeflated serializes the window with each block passed through the
+// DEFLATE entropy stage — the significance bitmap compresses to almost
+// nothing at high ratios, so on-disk sizes approach the nominal n:1 budget
+// instead of the bitmap-dominated raw encoding.
+func (cw *CompressedWindow) WriteToDeflated(w io.Writer) (int64, error) {
+	return cw.writeTo(w, true)
+}
+
+func (cw *CompressedWindow) writeTo(w io.Writer, deflate bool) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var written int64
+	hdr := make([]byte, 40)
+	copy(hdr[0:4], magic[:])
+	if deflate {
+		hdr[4] = formatVersionDeflate
+	} else {
+		hdr[4] = formatVersion
+	}
+	hdr[5] = byte(cw.Opts.Mode)
+	hdr[6] = byte(cw.Opts.SpatialKernel)
+	hdr[7] = byte(cw.Opts.TemporalKernel)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(int32(cw.SpatialLevels)))
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(int32(cw.TemporalLevels)))
+	binary.LittleEndian.PutUint64(hdr[16:24], math.Float64bits(cw.Opts.Ratio))
+	binary.LittleEndian.PutUint32(hdr[24:28], uint32(cw.Dims.Nx))
+	binary.LittleEndian.PutUint32(hdr[28:32], uint32(cw.Dims.Ny))
+	binary.LittleEndian.PutUint32(hdr[32:36], uint32(cw.Dims.Nz))
+	binary.LittleEndian.PutUint32(hdr[36:40], uint32(len(cw.Blocks)))
+	n, err := bw.Write(hdr)
+	written += int64(n)
+	if err != nil {
+		return written, err
+	}
+	var tb [8]byte
+	for i := 0; i < len(cw.Blocks); i++ {
+		t := float64(i)
+		if cw.Times != nil && i < len(cw.Times) {
+			t = cw.Times[i]
+		}
+		binary.LittleEndian.PutUint64(tb[:], math.Float64bits(t))
+		n, err = bw.Write(tb[:])
+		written += int64(n)
+		if err != nil {
+			return written, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return written, err
+	}
+	for i, b := range cw.Blocks {
+		var bn int64
+		if deflate {
+			bn, err = b.WriteDeflated(w)
+		} else {
+			bn, err = b.WriteTo(w)
+		}
+		written += bn
+		if err != nil {
+			return written, fmt.Errorf("core: writing block %d: %w", i, err)
+		}
+	}
+	return written, nil
+}
+
+// ReadCompressedWindow deserializes a window written by WriteTo.
+func ReadCompressedWindow(r io.Reader) (*CompressedWindow, error) {
+	hdr := make([]byte, 40)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("core: reading header: %w", err)
+	}
+	if [4]byte(hdr[0:4]) != magic {
+		return nil, fmt.Errorf("core: bad magic %q", hdr[0:4])
+	}
+	deflated := false
+	switch hdr[4] {
+	case formatVersion:
+	case formatVersionDeflate:
+		deflated = true
+	default:
+		return nil, fmt.Errorf("core: unsupported format version %d", hdr[4])
+	}
+	cw := &CompressedWindow{}
+	cw.Opts.Mode = Mode(hdr[5])
+	cw.Opts.SpatialKernel = wavelet.Kernel(hdr[6])
+	cw.Opts.TemporalKernel = wavelet.Kernel(hdr[7])
+	cw.SpatialLevels = int(int32(binary.LittleEndian.Uint32(hdr[8:12])))
+	cw.TemporalLevels = int(int32(binary.LittleEndian.Uint32(hdr[12:16])))
+	cw.Opts.Ratio = math.Float64frombits(binary.LittleEndian.Uint64(hdr[16:24]))
+	cw.Dims = grid.Dims{
+		Nx: int(binary.LittleEndian.Uint32(hdr[24:28])),
+		Ny: int(binary.LittleEndian.Uint32(hdr[28:32])),
+		Nz: int(binary.LittleEndian.Uint32(hdr[32:36])),
+	}
+	numSlices := int(binary.LittleEndian.Uint32(hdr[36:40]))
+	if !cw.Dims.Valid() {
+		return nil, fmt.Errorf("core: invalid dims %v in header", cw.Dims)
+	}
+	// Per-axis cap prevents integer overflow in Dims.Len() and bounds
+	// allocations against forged headers (2^20 per axis is far beyond any
+	// real grid).
+	if cw.Dims.Nx > 1<<20 || cw.Dims.Ny > 1<<20 || cw.Dims.Nz > 1<<20 {
+		return nil, fmt.Errorf("core: implausible dims %v in header", cw.Dims)
+	}
+	if numSlices < 1 || numSlices > 1<<20 {
+		return nil, fmt.Errorf("core: implausible slice count %d", numSlices)
+	}
+	if cw.Opts.Mode != Spatial3D && cw.Opts.Mode != Spatiotemporal4D {
+		return nil, fmt.Errorf("core: invalid mode %d in header", int(cw.Opts.Mode))
+	}
+	if !cw.Opts.SpatialKernel.Valid() || !cw.Opts.TemporalKernel.Valid() {
+		return nil, fmt.Errorf("core: invalid kernel in header")
+	}
+	cw.Times = make([]float64, numSlices)
+	var tb [8]byte
+	for i := range cw.Times {
+		if _, err := io.ReadFull(r, tb[:]); err != nil {
+			return nil, fmt.Errorf("core: reading time %d: %w", i, err)
+		}
+		cw.Times[i] = math.Float64frombits(binary.LittleEndian.Uint64(tb[:]))
+	}
+	cw.Blocks = make([]*compress.SparseBlock, numSlices)
+	for i := range cw.Blocks {
+		var b *compress.SparseBlock
+		var err error
+		if deflated {
+			b, err = compress.ReadDeflatedSparseBlock(r)
+		} else {
+			b, err = compress.ReadSparseBlock(r)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: reading block %d: %w", i, err)
+		}
+		if b.Total != cw.Dims.Len() {
+			return nil, fmt.Errorf("core: block %d size %d != grid size %d", i, b.Total, cw.Dims.Len())
+		}
+		cw.Blocks[i] = b
+	}
+	return cw, nil
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+
+	"stwave/internal/grid"
+)
+
+// Sink receives compressed windows as the stream writer flushes them —
+// typically a storage tier, a file, or a test collector.
+type Sink func(*CompressedWindow) error
+
+// Writer accumulates time slices as a simulation emits them and compresses
+// a window whenever WindowSize slices have been buffered — the Figure 1
+// workflow. In 3D mode every slice is compressed individually the moment it
+// arrives (no buffering).
+//
+// Writer is not safe for concurrent use; simulations emit slices in order.
+type Writer struct {
+	comp    *Compressor
+	sink    Sink
+	dims    grid.Dims
+	pending *grid.Window
+
+	// Stats accumulated across the stream.
+	slicesIn       int
+	windowsOut     int
+	bytesEncoded   int64
+	bytesIdeal     int64
+	peakBufferSize int64
+}
+
+// NewWriter creates a streaming writer feeding compressed windows to sink.
+func NewWriter(opts Options, dims grid.Dims, sink Sink) (*Writer, error) {
+	comp, err := New(opts)
+	if err != nil {
+		return nil, err
+	}
+	if !dims.Valid() {
+		return nil, fmt.Errorf("core: invalid dims %v", dims)
+	}
+	if sink == nil {
+		return nil, fmt.Errorf("core: nil sink")
+	}
+	return &Writer{comp: comp, sink: sink, dims: dims}, nil
+}
+
+// WriteSlice appends one time slice at simulation time t. The slice is
+// cloned during compression, so the caller may reuse its buffer after the
+// call returns. When a window fills, it is compressed and flushed to the
+// sink before WriteSlice returns.
+func (w *Writer) WriteSlice(f *grid.Field3D, t float64) error {
+	if f.Dims != w.dims {
+		return fmt.Errorf("core: slice dims %v != writer dims %v", f.Dims, w.dims)
+	}
+	w.slicesIn++
+
+	if w.comp.opts.Mode == Spatial3D {
+		// No temporal buffering: compress the single slice immediately.
+		win := grid.NewWindow(w.dims)
+		if err := win.Append(f, t); err != nil {
+			return err
+		}
+		return w.flushWindow(win)
+	}
+
+	if w.pending == nil {
+		w.pending = grid.NewWindow(w.dims)
+	}
+	// Buffer a private copy: the simulation will overwrite its buffers.
+	if err := w.pending.Append(f.Clone(), t); err != nil {
+		return err
+	}
+	if sz := int64(w.pending.TotalSamples()) * 8; sz > w.peakBufferSize {
+		w.peakBufferSize = sz
+	}
+	if w.pending.Len() >= w.comp.opts.WindowSize {
+		win := w.pending
+		w.pending = nil
+		return w.flushWindow(win)
+	}
+	return nil
+}
+
+// Flush compresses any partially-filled window. Call once at end of stream.
+func (w *Writer) Flush() error {
+	if w.pending == nil || w.pending.Len() == 0 {
+		return nil
+	}
+	win := w.pending
+	w.pending = nil
+	return w.flushWindow(win)
+}
+
+func (w *Writer) flushWindow(win *grid.Window) error {
+	cw, err := w.comp.CompressWindow(win)
+	if err != nil {
+		return err
+	}
+	w.windowsOut++
+	w.bytesEncoded += cw.EncodedSizeBytes()
+	w.bytesIdeal += cw.IdealSizeBytes()
+	return w.sink(cw)
+}
+
+// Stats reports stream totals.
+type Stats struct {
+	SlicesIn       int
+	WindowsOut     int
+	PendingSlices  int
+	BytesEncoded   int64
+	BytesIdeal     int64
+	PeakBufferSize int64
+}
+
+// Stats returns a snapshot of the writer's counters.
+func (w *Writer) Stats() Stats {
+	pending := 0
+	if w.pending != nil {
+		pending = w.pending.Len()
+	}
+	return Stats{
+		SlicesIn:       w.slicesIn,
+		WindowsOut:     w.windowsOut,
+		PendingSlices:  pending,
+		BytesEncoded:   w.bytesEncoded,
+		BytesIdeal:     w.bytesIdeal,
+		PeakBufferSize: w.peakBufferSize,
+	}
+}

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"stwave/internal/core"
+	"stwave/internal/grid"
+	"stwave/internal/metrics"
+	"stwave/internal/transform"
+	"stwave/internal/wavelet"
+)
+
+// AblationRow is one design-choice variant with its quality impact.
+type AblationRow struct {
+	Study   string
+	Variant string
+	NRMSE   float64
+	NLInf   float64
+}
+
+// AblationResult aggregates the DESIGN.md-called-out ablations.
+type AblationResult struct {
+	Rows []AblationRow
+}
+
+// RunAblation measures the design choices DESIGN.md calls out, all on the
+// same Ghost velocity window at 32:1:
+//
+//   - joint whole-window vs per-slice coefficient budgeting in 4D mode,
+//   - temporal transform depth from 0 (3D-with-buffering) to the Eq. 2 max,
+//   - temporal kernel choice at the sweet-spot window,
+//   - spatial level depth from 0 to max (is the spatial pyramid pulling its
+//     weight once the temporal transform exists?).
+func RunAblation(sc Scale, progress io.Writer) (*AblationResult, error) {
+	seq, err := GhostSeries(sc, GhostVelocityX)
+	if err != nil {
+		return nil, err
+	}
+	n := 20
+	if seq.Len() < n {
+		n = seq.Len()
+	}
+	win := grid.NewWindow(seq.Dims)
+	for i := 0; i < n; i++ {
+		if err := win.Append(seq.Slices[i], seq.Times[i]); err != nil {
+			return nil, err
+		}
+	}
+	res := &AblationResult{}
+	eval := func(study, variant string, opts core.Options) error {
+		fprintf(progress, "ablation: %s / %s\n", study, variant)
+		comp, err := core.New(opts)
+		if err != nil {
+			return err
+		}
+		recon, _, err := comp.RoundTrip(win)
+		if err != nil {
+			return err
+		}
+		ac := metrics.NewAccumulator()
+		for i := range win.Slices {
+			if err := ac.Add(win.Slices[i].Data, recon.Slices[i].Data); err != nil {
+				return err
+			}
+		}
+		res.Rows = append(res.Rows, AblationRow{
+			Study: study, Variant: variant, NRMSE: ac.NRMSE(), NLInf: ac.NLInf(),
+		})
+		return nil
+	}
+
+	base := BaseOptions4D(32, n, sc.Workers)
+
+	// Budget study.
+	if err := eval("budget", "joint (paper)", base); err != nil {
+		return nil, err
+	}
+	perSlice := base
+	perSlice.PerSliceBudget = true
+	if err := eval("budget", "per-slice", perSlice); err != nil {
+		return nil, err
+	}
+
+	// Temporal depth study.
+	maxT := transform.LevelsTemporal(wavelet.CDF97, n)
+	for lvl := 0; lvl <= maxT; lvl++ {
+		o := base
+		o.TemporalLevels = lvl
+		if err := eval("temporal-levels", fmt.Sprintf("%d", lvl), o); err != nil {
+			return nil, err
+		}
+	}
+
+	// Temporal kernel study.
+	for _, k := range []wavelet.Kernel{wavelet.CDF97, wavelet.CDF53, wavelet.Haar} {
+		o := base
+		o.TemporalKernel = k
+		o.TemporalLevels = -1
+		if err := eval("temporal-kernel", k.String(), o); err != nil {
+			return nil, err
+		}
+	}
+
+	// Spatial depth study.
+	maxS := transform.Levels3D(wavelet.CDF97, win.Dims)
+	for lvl := 0; lvl <= maxS; lvl++ {
+		o := base
+		o.SpatialLevels = lvl
+		if err := eval("spatial-levels", fmt.Sprintf("%d", lvl), o); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// StudyRows returns all rows of one study, in insertion order.
+func (r *AblationResult) StudyRows(study string) []AblationRow {
+	var out []AblationRow
+	for _, row := range r.Rows {
+		if row.Study == study {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// Write renders the ablation table grouped by study.
+func (r *AblationResult) Write(w io.Writer) {
+	fmt.Fprintf(w, "Ablations — Ghost velocity-x, 20 slices, 32:1, 4D sweet spot\n")
+	var last string
+	for _, row := range r.Rows {
+		if row.Study != last {
+			fmt.Fprintf(w, "== %s ==\n", row.Study)
+			last = row.Study
+		}
+		fmt.Fprintf(w, "  %-16s %12.4e %12.4e\n", row.Variant, row.NRMSE, row.NLInf)
+	}
+}

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"stwave/internal/baseline"
+	"stwave/internal/core"
+	"stwave/internal/grid"
+	"stwave/internal/metrics"
+)
+
+// CompareRow is one technique/setting point on the rate-distortion plane.
+type CompareRow struct {
+	Technique string
+	Setting   string
+	// Bytes is the honest compressed size; Ratio is raw float32 bytes over
+	// Bytes.
+	Bytes int64
+	Ratio float64
+	NRMSE float64
+	NLInf float64
+}
+
+// CompareResult is the rate-distortion study across compressor families.
+type CompareResult struct {
+	Dataset string
+	RawSize int64
+	Rows    []CompareRow
+}
+
+// RunComparison sweeps the wavelet codec (3D and 4D), the Lorenzo
+// predictor, ISABELA, and motion-compensated prediction over the same Ghost
+// velocity data, reporting honest rate-distortion points for each. This
+// extends the paper's evaluation with the Section III related-work
+// techniques it discusses but does not measure.
+func RunComparison(sc Scale, progress io.Writer) (*CompareResult, error) {
+	seq, err := GhostSeries(sc, GhostVelocityX)
+	if err != nil {
+		return nil, err
+	}
+	// Work on one window worth of slices to keep the baselines' costs flat.
+	n := 20
+	if seq.Len() < n {
+		n = seq.Len()
+	}
+	win := grid.NewWindow(seq.Dims)
+	for i := 0; i < n; i++ {
+		if err := win.Append(seq.Slices[i], seq.Times[i]); err != nil {
+			return nil, err
+		}
+	}
+	res := &CompareResult{
+		Dataset: fmt.Sprintf("Ghost velocity-x, %d slices of %v", n, win.Dims),
+		RawSize: int64(win.TotalSamples()) * 4,
+	}
+	rng := win.Range()
+
+	measure := func(recon *grid.Window) (nrmse, nlinf float64, err error) {
+		ac := metrics.NewAccumulator()
+		for i := range win.Slices {
+			if err := ac.Add(win.Slices[i].Data, recon.Slices[i].Data); err != nil {
+				return 0, 0, err
+			}
+		}
+		return ac.NRMSE(), ac.NLInf(), nil
+	}
+	add := func(tech, setting string, bytes int64, recon *grid.Window) error {
+		nr, nl, err := measure(recon)
+		if err != nil {
+			return err
+		}
+		res.Rows = append(res.Rows, CompareRow{
+			Technique: tech, Setting: setting, Bytes: bytes,
+			Ratio: float64(res.RawSize) / float64(bytes),
+			NRMSE: nr, NLInf: nl,
+		})
+		return nil
+	}
+
+	// Wavelet 3D and 4D across the paper's ratios.
+	for _, mode := range []core.Mode{core.Spatial3D, core.Spatiotemporal4D} {
+		for _, ratio := range Ratios {
+			var opts core.Options
+			if mode == core.Spatial3D {
+				opts = BaseOptions3D(ratio, sc.Workers)
+			} else {
+				opts = BaseOptions4D(ratio, n, sc.Workers)
+			}
+			comp, err := core.New(opts)
+			if err != nil {
+				return nil, err
+			}
+			recon, cw, err := comp.RoundTrip(win)
+			if err != nil {
+				return nil, err
+			}
+			fprintf(progress, "compare: wavelet %v %g:1\n", mode, ratio)
+			if err := add("wavelet-"+mode.String(), fmt.Sprintf("%g:1", ratio), cw.EncodedSizeBytes(), recon); err != nil {
+				return nil, err
+			}
+			if mode == core.Spatiotemporal4D {
+				defl, err := cw.DeflatedSizeBytes()
+				if err != nil {
+					return nil, err
+				}
+				if err := add("wavelet-4D+fl", fmt.Sprintf("%g:1", ratio), defl, recon); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// Lorenzo predictor (4D) across error bounds.
+	for _, frac := range []float64{1e-2, 1e-3, 1e-4, 1e-5} {
+		c, err := baseline.Compress(win, frac*rng, true)
+		if err != nil {
+			return nil, err
+		}
+		recon, err := baseline.Decompress(c)
+		if err != nil {
+			return nil, err
+		}
+		fprintf(progress, "compare: lorenzo eps=%g*range\n", frac)
+		if err := add("lorenzo-4D", fmt.Sprintf("eps=%g*range", frac), c.SizeBytes(), recon); err != nil {
+			return nil, err
+		}
+	}
+
+	// ISABELA at its canonical settings and a high-knot variant.
+	for _, knots := range []int{30, 60} {
+		c, err := baseline.CompressIsabela(win, 1024, knots)
+		if err != nil {
+			return nil, err
+		}
+		recon, err := baseline.DecompressIsabela(c)
+		if err != nil {
+			return nil, err
+		}
+		fprintf(progress, "compare: isabela knots=%d\n", knots)
+		if err := add("isabela", fmt.Sprintf("w=1024,k=%d", knots), c.SizeBytes(), recon); err != nil {
+			return nil, err
+		}
+	}
+
+	// MCP across error bounds.
+	for _, frac := range []float64{1e-2, 1e-3, 1e-4} {
+		c, err := baseline.CompressMCP(win, baseline.DefaultMCPOptions(frac*rng))
+		if err != nil {
+			return nil, err
+		}
+		recon, err := baseline.DecompressMCP(c)
+		if err != nil {
+			return nil, err
+		}
+		fprintf(progress, "compare: mcp eps=%g*range\n", frac)
+		if err := add("mcp", fmt.Sprintf("eps=%g*range", frac), c.SizeBytes(), recon); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// Rows returns all rows for one technique.
+func (r *CompareResult) TechniqueRows(tech string) []CompareRow {
+	var out []CompareRow
+	for _, row := range r.Rows {
+		if row.Technique == tech {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// Write renders the rate-distortion table.
+func (r *CompareResult) Write(w io.Writer) {
+	fmt.Fprintf(w, "Compressor comparison — %s (%d raw bytes)\n", r.Dataset, r.RawSize)
+	fmt.Fprintf(w, "%-14s %-16s %10s %8s %12s %12s\n", "technique", "setting", "bytes", "ratio", "NRMSE", "L-inf")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-14s %-16s %10d %7.1f:1 %12.4e %12.4e\n",
+			row.Technique, row.Setting, row.Bytes, row.Ratio, row.NRMSE, row.NLInf)
+	}
+}

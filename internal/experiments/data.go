@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"fmt"
+
+	"stwave/internal/grid"
+	"stwave/internal/sim/cloverleaf"
+	"stwave/internal/sim/ghost"
+	"stwave/internal/sim/tornado"
+)
+
+// GhostVariable selects a Ghost output field.
+type GhostVariable int
+
+const (
+	// GhostVelocityX is the X component of velocity.
+	GhostVelocityX GhostVariable = iota
+	// GhostEnstrophy is the point-wise enstrophy density.
+	GhostEnstrophy
+)
+
+func (v GhostVariable) String() string {
+	if v == GhostEnstrophy {
+		return "enstrophy"
+	}
+	return "velocity-x"
+}
+
+// GhostSeries runs (or reuses) the Ghost solver and returns `slices` time
+// slices of the requested variable at base cadence. The solver is warmed up
+// past the initial transient first, matching the paper's use of "the later
+// portion of the simulation when interesting phenomena occur."
+func GhostSeries(sc Scale, v GhostVariable) (*grid.Window, error) {
+	key := fmt.Sprintf("ghost/%v/n%d/s%d/e%d", v, sc.GhostN, sc.GhostSlices, sc.GhostOutputEvery)
+	return datasets.get(key, func() (*grid.Window, error) {
+		cfg := ghost.DefaultConfig(sc.GhostN)
+		cfg.Workers = sc.Workers
+		s, err := ghost.NewSolver(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.Run(50) // let turbulence develop
+		w := grid.NewWindow(grid.Dims{Nx: sc.GhostN, Ny: sc.GhostN, Nz: sc.GhostN})
+		for i := 0; i < sc.GhostSlices; i++ {
+			var f *grid.Field3D
+			switch v {
+			case GhostEnstrophy:
+				f = s.Enstrophy()
+			default:
+				f = s.VelocityX()
+			}
+			if err := w.Append(f, s.Time()); err != nil {
+				return nil, err
+			}
+			s.Run(sc.GhostOutputEvery)
+		}
+		return w, nil
+	})
+}
+
+// CloverVariable selects a CloverLeaf output field.
+type CloverVariable int
+
+const (
+	// CloverVelocityX is the node-centered X velocity ((N+1)³).
+	CloverVelocityX CloverVariable = iota
+	// CloverEnergy is the cell-centered specific internal energy (N³).
+	CloverEnergy
+)
+
+func (v CloverVariable) String() string {
+	if v == CloverEnergy {
+		return "energy"
+	}
+	return "velocity-x"
+}
+
+// CloverSeries runs the CloverLeaf solver over its (interesting) life span
+// and returns the requested variable series.
+func CloverSeries(sc Scale, v CloverVariable) (*grid.Window, error) {
+	key := fmt.Sprintf("clover/%v/n%d/s%d/e%d", v, sc.CloverN, sc.CloverSlices, sc.CloverOutputEvery)
+	return datasets.get(key, func() (*grid.Window, error) {
+		s, err := cloverleaf.NewSolver(cloverleaf.DefaultConfig(sc.CloverN))
+		if err != nil {
+			return nil, err
+		}
+		var dims grid.Dims
+		if v == CloverEnergy {
+			dims = grid.Dims{Nx: sc.CloverN, Ny: sc.CloverN, Nz: sc.CloverN}
+		} else {
+			dims = grid.Dims{Nx: sc.CloverN + 1, Ny: sc.CloverN + 1, Nz: sc.CloverN + 1}
+		}
+		w := grid.NewWindow(dims)
+		for i := 0; i < sc.CloverSlices; i++ {
+			var f *grid.Field3D
+			if v == CloverEnergy {
+				f = s.Energy()
+			} else {
+				f = s.VelocityX()
+			}
+			if err := w.Append(f, s.Time()); err != nil {
+				return nil, err
+			}
+			s.Run(sc.CloverOutputEvery)
+		}
+		return w, nil
+	})
+}
+
+// TornadoVariable selects a tornado output field.
+type TornadoVariable int
+
+const (
+	// TornadoVelocityX is the X wind component.
+	TornadoVelocityX TornadoVariable = iota
+	// TornadoEnstrophy is |curl u|² from the gridded winds.
+	TornadoEnstrophy
+	// TornadoCloudRatio is the cloud water mixing ratio.
+	TornadoCloudRatio
+	// TornadoVelocityZ is the vertical wind (isosurface study).
+	TornadoVelocityZ
+	// TornadoPressurePert is the pressure perturbation (isosurface study).
+	TornadoPressurePert
+)
+
+func (v TornadoVariable) String() string {
+	switch v {
+	case TornadoEnstrophy:
+		return "enstrophy"
+	case TornadoCloudRatio:
+		return "cloud-ratio"
+	case TornadoVelocityZ:
+		return "velocity-z"
+	case TornadoPressurePert:
+		return "pressure-pert"
+	default:
+		return "velocity-x"
+	}
+}
+
+// tornadoModel builds the shared model for a scale.
+func tornadoModel(sc Scale) (*tornado.Model, error) {
+	return tornado.NewModel(tornado.DefaultConfig(sc.TornadoNx, sc.TornadoNy, sc.TornadoNz))
+}
+
+// TornadoSeries samples the tornado model at 1-second base cadence
+// starting at the paper's analysis epoch.
+func TornadoSeries(sc Scale, v TornadoVariable) (*grid.Window, error) {
+	key := fmt.Sprintf("tornado/%v/n%dx%dx%d/s%d", v, sc.TornadoNx, sc.TornadoNy, sc.TornadoNz, sc.TornadoSlices)
+	return datasets.get(key, func() (*grid.Window, error) {
+		m, err := tornadoModel(sc)
+		if err != nil {
+			return nil, err
+		}
+		w := grid.NewWindow(grid.Dims{Nx: sc.TornadoNx, Ny: sc.TornadoNy, Nz: sc.TornadoNz})
+		const epoch = 8502 // seconds; the paper's t0
+		for i := 0; i < sc.TornadoSlices; i++ {
+			t := float64(epoch + i)
+			var f *grid.Field3D
+			switch v {
+			case TornadoEnstrophy:
+				f = m.Enstrophy(t)
+			case TornadoCloudRatio:
+				f = m.CloudMixingRatio(t)
+			case TornadoVelocityZ:
+				f = m.VelocityZ(t)
+			case TornadoPressurePert:
+				f = m.PressurePerturbation(t)
+			default:
+				f = m.VelocityX(t)
+			}
+			if err := w.Append(f, t); err != nil {
+				return nil, err
+			}
+		}
+		return w, nil
+	})
+}
+
+// TornadoVelocitySeries samples all three wind components at the paper's
+// analysis cadence of 2 s (res=1/2, "what our domain scientist collaborator
+// uses") for the pathline study.
+func TornadoVelocitySeries(sc Scale, slices int) (u, v, w *grid.Window, err error) {
+	var out [3]*grid.Window
+	for c := 0; c < 3; c++ {
+		k := fmt.Sprintf("tornado/vel%d/n%dx%dx%d/s%d", c, sc.TornadoNx, sc.TornadoNy, sc.TornadoNz, slices)
+		cc := c
+		out[c], err = datasets.get(k, func() (*grid.Window, error) {
+			// Generate all three components in one pass and cache peers.
+			m, err := tornadoModel(sc)
+			if err != nil {
+				return nil, err
+			}
+			d := grid.Dims{Nx: sc.TornadoNx, Ny: sc.TornadoNy, Nz: sc.TornadoNz}
+			wins := [3]*grid.Window{grid.NewWindow(d), grid.NewWindow(d), grid.NewWindow(d)}
+			const epoch = 8502
+			for i := 0; i < slices; i++ {
+				t := float64(epoch + 2*i)
+				uf, vf, wf := m.Velocity(t)
+				if err := wins[0].Append(uf, t); err != nil {
+					return nil, err
+				}
+				if err := wins[1].Append(vf, t); err != nil {
+					return nil, err
+				}
+				if err := wins[2].Append(wf, t); err != nil {
+					return nil, err
+				}
+			}
+			// Seed the cache for the other two components.
+			datasets.mu.Lock()
+			for j := 0; j < 3; j++ {
+				kj := fmt.Sprintf("tornado/vel%d/n%dx%dx%d/s%d", j, sc.TornadoNx, sc.TornadoNy, sc.TornadoNz, slices)
+				if _, ok := datasets.m[kj]; !ok {
+					datasets.m[kj] = wins[j]
+				}
+			}
+			datasets.mu.Unlock()
+			return wins[cc], nil
+		})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	return out[0], out[1], out[2], nil
+}

@@ -1,0 +1,452 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"stwave/internal/core"
+)
+
+// The experiments are expensive even at test scale, so each Run* result is
+// computed once and shared.
+var (
+	fig2Memo   *Fig2Result
+	fig2cMemo  *Fig2cResult
+	fig3Memo   *Fig3Result
+	table1Memo *Table1Result
+	table2Memo *Table2Result
+	table3Memo *Table3Result
+)
+
+func getFig2(t *testing.T) *Fig2Result {
+	t.Helper()
+	if fig2Memo == nil {
+		r, err := RunFig2(TestScale(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fig2Memo = r
+	}
+	return fig2Memo
+}
+
+func getFig2c(t *testing.T) *Fig2cResult {
+	t.Helper()
+	if fig2cMemo == nil {
+		r, err := RunFig2c(TestScale(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fig2cMemo = r
+	}
+	return fig2cMemo
+}
+
+func getFig3(t *testing.T) *Fig3Result {
+	t.Helper()
+	if fig3Memo == nil {
+		r, err := RunFig3(TestScale(), nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fig3Memo = r
+	}
+	return fig3Memo
+}
+
+func getTable1(t *testing.T) *Table1Result {
+	t.Helper()
+	if table1Memo == nil {
+		r, err := RunTable1(TestScale(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		table1Memo = r
+	}
+	return table1Memo
+}
+
+func getTable2(t *testing.T) *Table2Result {
+	t.Helper()
+	if table2Memo == nil {
+		r, err := RunTable2(TestScale(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		table2Memo = r
+	}
+	return table2Memo
+}
+
+func getTable3(t *testing.T) *Table3Result {
+	t.Helper()
+	if table3Memo == nil {
+		r, err := RunTable3(TestScale(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		table3Memo = r
+	}
+	return table3Memo
+}
+
+func TestResLabel(t *testing.T) {
+	if ResLabel(1) != "1" || ResLabel(2) != "1/2" || ResLabel(4) != "1/4" {
+		t.Error("resolution labels must match the paper's notation")
+	}
+}
+
+// Figure 2: every 4D configuration must beat the 3D baseline on NRMSE
+// ("all evaluations clearly show a decrease in error when comparing
+// spatiotemporal to spatial-only compression").
+func TestFig2FourDBeats3D(t *testing.T) {
+	r := getFig2(t)
+	for _, ratio := range Ratios {
+		base := r.Row("3D", ratio)
+		if base == nil {
+			t.Fatalf("missing 3D row at %g:1", ratio)
+		}
+		for _, row := range r.Rows {
+			if row.Ratio != ratio || row.Label == "3D" {
+				continue
+			}
+			if row.NRMSE >= base.NRMSE {
+				t.Errorf("%s at %g:1: NRMSE %.4e not below 3D %.4e", row.Label, ratio, row.NRMSE, base.NRMSE)
+			}
+		}
+	}
+}
+
+// Figure 2: error decreases monotonically with compression ratio relaxing
+// (8:1 best, 128:1 worst) for every configuration.
+func TestFig2ErrorGrowsWithRatio(t *testing.T) {
+	r := getFig2(t)
+	byLabel := map[string][]Fig2Row{}
+	for _, row := range r.Rows {
+		byLabel[row.Label] = append(byLabel[row.Label], row)
+	}
+	for label, rows := range byLabel {
+		for i := 1; i < len(rows); i++ {
+			if rows[i].Ratio > rows[i-1].Ratio && rows[i].NRMSE < rows[i-1].NRMSE {
+				t.Errorf("%s: NRMSE fell from %.4e to %.4e as ratio rose %g->%g",
+					label, rows[i-1].NRMSE, rows[i].NRMSE, rows[i-1].Ratio, rows[i].Ratio)
+			}
+		}
+	}
+}
+
+// Figure 2 window-size finding: a larger window helps (ws=40 <= ws=10 error
+// for the same kernel, averaged over ratios).
+func TestFig2LargerWindowHelps(t *testing.T) {
+	r := getFig2(t)
+	mean := func(label string) float64 {
+		var s float64
+		n := 0
+		for _, row := range r.Rows {
+			if row.Label == label {
+				s += row.NRMSE
+				n++
+			}
+		}
+		if n == 0 {
+			t.Fatalf("no rows labeled %q", label)
+		}
+		return s / float64(n)
+	}
+	if w40, w10 := mean("4D CDF 9/7 ws=40"), mean("4D CDF 9/7 ws=10"); w40 > w10 {
+		t.Errorf("CDF 9/7: window 40 mean NRMSE %.4e worse than window 10 %.4e", w40, w10)
+	}
+}
+
+// Figure 2 kernel finding: CDF 5/3 beats CDF 9/7 at window 10 (where it
+// gets one more transform level).
+func TestFig2CDF53WinsAtWindow10(t *testing.T) {
+	r := getFig2(t)
+	var s97, s53 float64
+	n := 0
+	for _, ratio := range Ratios {
+		r97 := r.Row("4D CDF 9/7 ws=10", ratio)
+		r53 := r.Row("4D CDF 5/3 ws=10", ratio)
+		if r97 == nil || r53 == nil {
+			t.Fatal("missing ws=10 rows")
+		}
+		s97 += r97.NRMSE
+		s53 += r53.NRMSE
+		n++
+	}
+	if s53 >= s97 {
+		t.Errorf("CDF 5/3 at ws=10 mean NRMSE %.4e not below CDF 9/7 %.4e (paper: 5/3 superior at window 10)", s53/float64(n), s97/float64(n))
+	}
+}
+
+// Figure 2c: the 4D benefit must improve as temporal resolution rises —
+// res=1 gives lower error than res=1/4 at every ratio.
+func TestFig2cFinerResolutionHelps(t *testing.T) {
+	r := getFig2c(t)
+	for _, ratio := range Ratios {
+		full := r.Row(core.Spatiotemporal4D, 1, ratio)
+		quarter := r.Row(core.Spatiotemporal4D, 4, ratio)
+		if full == nil || quarter == nil {
+			t.Fatalf("missing rows at %g:1", ratio)
+		}
+		if full.NRMSE > quarter.NRMSE {
+			t.Errorf("%g:1: res=1 NRMSE %.4e worse than res=1/4 %.4e", ratio, full.NRMSE, quarter.NRMSE)
+		}
+	}
+}
+
+// Figure 2c headline: at base resolution, 4D roughly halves the 3D error
+// ("in most cases, both NRMSE and normalized L∞-norm are cut by half").
+func TestFig2cFactorOfTwoAtBaseResolution(t *testing.T) {
+	r := getFig2c(t)
+	halved := 0
+	total := 0
+	for _, ratio := range Ratios {
+		base := r.Row(core.Spatial3D, 1, ratio)
+		full := r.Row(core.Spatiotemporal4D, 1, ratio)
+		if base == nil || full == nil {
+			t.Fatal("missing rows")
+		}
+		total++
+		if full.NRMSE <= base.NRMSE*0.6 {
+			halved++
+		}
+		if full.NRMSE >= base.NRMSE {
+			t.Errorf("%g:1: 4D res=1 NRMSE %.4e not below 3D %.4e", ratio, full.NRMSE, base.NRMSE)
+		}
+	}
+	if halved*2 < total {
+		t.Errorf("only %d/%d ratios show the ~2x improvement at res=1", halved, total)
+	}
+}
+
+// Figure 3: on the coherent datasets (Ghost, CloverLeaf) 4D at res=1 beats
+// 3D at every ratio; on Tornado the benefit is smaller or absent at coarse
+// resolutions — the paper's Section V-E limitation.
+func TestFig3CoherentDatasetsBenefit(t *testing.T) {
+	r := getFig3(t)
+	for _, panel := range []string{"a", "b", "c"} {
+		for _, ratio := range Ratios {
+			base := r.Row(panel, core.Spatial3D, 1, ratio)
+			full := r.Row(panel, core.Spatiotemporal4D, 1, ratio)
+			if base == nil || full == nil {
+				t.Fatalf("panel %s missing rows at %g:1", panel, ratio)
+			}
+			if full.NRMSE >= base.NRMSE {
+				t.Errorf("panel %s %g:1: 4D res=1 NRMSE %.4e not below 3D %.4e", panel, ratio, full.NRMSE, base.NRMSE)
+			}
+		}
+	}
+}
+
+func TestFig3TornadoBenefitSmaller(t *testing.T) {
+	r := getFig3(t)
+	gain := func(panel string, stride int) float64 {
+		var g float64
+		n := 0
+		for _, ratio := range Ratios {
+			base := r.Row(panel, core.Spatial3D, 1, ratio)
+			four := r.Row(panel, core.Spatiotemporal4D, stride, ratio)
+			if base == nil || four == nil || four.NRMSE == 0 {
+				continue
+			}
+			g += base.NRMSE / four.NRMSE
+			n++
+		}
+		if n == 0 {
+			t.Fatalf("no rows for panel %s", panel)
+		}
+		return g / float64(n)
+	}
+	ghostGain := gain("a", 1)
+	tornadoGain := gain("d", 1)
+	if tornadoGain >= ghostGain {
+		t.Errorf("Tornado 4D gain %.2fx not below Ghost gain %.2fx (paper: Tornado has less coherence)", tornadoGain, ghostGain)
+	}
+}
+
+// Figure 3 P2: 4D at 128:1 should be comparable to (or better than) 3D at
+// 64:1 on the coherent Ghost data.
+func TestFig3P2StorageHalving(t *testing.T) {
+	r := getFig3(t)
+	base := r.Row("a", core.Spatial3D, 1, 64)
+	four := r.Row("a", core.Spatiotemporal4D, 1, 128)
+	if base == nil || four == nil {
+		t.Fatal("missing rows")
+	}
+	if four.NRMSE > base.NRMSE*1.5 {
+		t.Errorf("P2 violated on Ghost: 4D@128 NRMSE %.4e vs 3D@64 %.4e", four.NRMSE, base.NRMSE)
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	r := getTable1(t)
+	raw := r.Row("Raw")
+	d3 := r.Row("3D")
+	d4 := r.Row("4D")
+	if raw == nil || d3 == nil || d4 == nil {
+		t.Fatal("missing Table I rows")
+	}
+	// File sizes: compressed = raw/16; 3D and 4D identical budgets.
+	if d3.FileSize != d4.FileSize {
+		t.Errorf("3D file size %d != 4D %d (same coefficient budget)", d3.FileSize, d4.FileSize)
+	}
+	if want := raw.FileSize / 16; d4.FileSize != want {
+		t.Errorf("4D file size %d, want raw/16 = %d", d4.FileSize, want)
+	}
+	// 4D pays buffer traffic; 3D and Raw have none.
+	if d4.BufferWrite <= 0 || d4.BufferRead <= 0 {
+		t.Error("4D must record buffer write and read time")
+	}
+	if d3.BufferWrite != 0 || raw.BufferWrite != 0 {
+		t.Error("3D and Raw must not touch the buffer")
+	}
+	// Raw has no compute and no error.
+	if raw.CompTime != 0 || raw.Error != 0 {
+		t.Errorf("Raw row: comp %v, error %g", raw.CompTime, raw.Error)
+	}
+	// 4D reconstructs more accurately than 3D at the same budget.
+	if d4.Error >= d3.Error {
+		t.Errorf("4D error %.3e not below 3D %.3e", d4.Error, d3.Error)
+	}
+	// Projection reproduces the paper's ordering: raw total I/O is the
+	// largest; 3D total I/O is tiny; 4D sits between.
+	praw := r.ProjectedRow("Raw")
+	p3 := r.ProjectedRow("3D")
+	p4 := r.ProjectedRow("4D")
+	if !(p3.TotalIO < p4.TotalIO && p4.TotalIO < praw.TotalIO) {
+		t.Errorf("projected Total I/O ordering wrong: 3D %v, 4D %v, Raw %v", p3.TotalIO, p4.TotalIO, praw.TotalIO)
+	}
+	// Projected raw perm write should be ~18.9s, 4D buffer W+R ~6.78+6.5s.
+	if s := praw.PermWrite.Seconds(); s < 17 || s > 21 {
+		t.Errorf("projected raw perm write %.2fs, want ~18.9s", s)
+	}
+	if s := p4.BufferWrite.Seconds() + p4.BufferRead.Seconds(); s < 12 || s > 15 {
+		t.Errorf("projected 4D buffer W+R %.2fs, want ~13.3s", s)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	r := getTable2(t)
+	if len(r.Rows) != len(Table2Ratios)*2 {
+		t.Fatalf("have %d rows, want %d", len(r.Rows), len(Table2Ratios)*2)
+	}
+	for _, row := range r.Rows {
+		if len(row.Errors) != len(Table2Thresholds) {
+			t.Fatalf("row %+v has %d thresholds", row, len(row.Errors))
+		}
+		// Errors must be valid percentages and monotone non-increasing in D.
+		for i, e := range row.Errors {
+			if e < 0 || e > 100 {
+				t.Errorf("row %g:1 %v: error[%d] = %g out of range", row.Ratio, row.Mode, i, e)
+			}
+			if i > 0 && e > row.Errors[i-1]+1e-9 {
+				t.Errorf("row %g:1 %v: error rises with larger D", row.Ratio, row.Mode)
+			}
+		}
+	}
+	// P1: 4D <= 3D at every ratio for the collaborator's threshold D=150
+	// (index 2), allowing tiny slack for ties at 0.
+	for _, ratio := range Table2Ratios {
+		r3 := r.Row(ratio, core.Spatial3D)
+		r4 := r.Row(ratio, core.Spatiotemporal4D)
+		if r3 == nil || r4 == nil {
+			t.Fatal("missing Table II rows")
+		}
+		if r4.Errors[2] > r3.Errors[2]+1e-9 {
+			t.Errorf("%g:1 D=150: 4D error %.2f%% above 3D %.2f%%", ratio, r4.Errors[2], r3.Errors[2])
+		}
+	}
+	// Errors grow with compression ratio for 3D at the tightest threshold.
+	prev := -1.0
+	for _, ratio := range Table2Ratios {
+		e := r.Row(ratio, core.Spatial3D).Errors[0]
+		if e < prev-2.0 { // small slack: errors saturate near 100% at D=10
+			t.Errorf("3D D=10 error fell from %.2f to %.2f as ratio rose to %g", prev, e, ratio)
+		}
+		prev = e
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	r := getTable3(t)
+	if len(r.Rows) != len(Table3Variables)*len(Table3Ratios) {
+		t.Fatalf("have %d rows", len(r.Rows))
+	}
+	// 4D's |error| beats 3D's on the sharp-featured fields at high ratios
+	// (the paper's cloud mixing ratio and z-velocity findings).
+	for _, variable := range []string{"Cloud Mixing Ratio", "Z-Velocity"} {
+		row := r.Row(variable, 128)
+		if row == nil {
+			t.Fatalf("missing %s 128:1", variable)
+		}
+		if abs(row.Error4D) >= abs(row.Error3D) {
+			t.Errorf("%s 128:1: |4D| %.2f%% not below |3D| %.2f%%", variable, row.Error4D, row.Error3D)
+		}
+	}
+	// 3D errors grow in magnitude with ratio for cloud mixing ratio.
+	var prev float64
+	for _, ratio := range Table3Ratios {
+		row := r.Row("Cloud Mixing Ratio", ratio)
+		if abs(row.Error3D) < prev-1.0 {
+			t.Errorf("cloud 3D |error| fell sharply from %.2f to %.2f at %g:1", prev, abs(row.Error3D), ratio)
+		}
+		prev = abs(row.Error3D)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestRendering(t *testing.T) {
+	var buf bytes.Buffer
+	getFig2(t).Write(&buf)
+	if !strings.Contains(buf.String(), "Figure 2a/2b") {
+		t.Error("fig2 rendering missing title")
+	}
+	buf.Reset()
+	getFig2c(t).Write(&buf)
+	if !strings.Contains(buf.String(), "4D res=1/4") {
+		t.Error("fig2c rendering missing resolution rows")
+	}
+	buf.Reset()
+	getFig3(t).Write(&buf)
+	if !strings.Contains(buf.String(), "Subfigure 3f") {
+		t.Error("fig3 rendering missing panels")
+	}
+	buf.Reset()
+	getTable1(t).Write(&buf)
+	if !strings.Contains(buf.String(), "Raw") || !strings.Contains(buf.String(), "projected") {
+		t.Error("table1 rendering incomplete")
+	}
+	buf.Reset()
+	getTable2(t).Write(&buf)
+	if !strings.Contains(buf.String(), "D=150") {
+		t.Error("table2 rendering missing thresholds")
+	}
+	buf.Reset()
+	getTable3(t).Write(&buf)
+	if !strings.Contains(buf.String(), "Cloud Mixing Ratio") {
+		t.Error("table3 rendering missing variables")
+	}
+}
+
+func TestRunFig3SinglePanel(t *testing.T) {
+	r, err := RunFig3(TestScale(), []string{"a"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		if row.Panel != "a" {
+			t.Fatalf("unexpected panel %q", row.Panel)
+		}
+	}
+	if _, err := RunFig3(TestScale(), []string{"zz"}, nil); err == nil {
+		t.Error("expected error for unknown panel")
+	}
+}

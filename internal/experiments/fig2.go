@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"stwave/internal/core"
+	"stwave/internal/wavelet"
+)
+
+// Fig2Row is one bar of Figure 2a/2b: a (configuration, ratio) cell with
+// both error metrics.
+type Fig2Row struct {
+	// Label is "3D" for the baseline or "4D k=<kernel> ws=<n>".
+	Label      string
+	Kernel     wavelet.Kernel
+	WindowSize int // 0 for the 3D baseline
+	Ratio      float64
+	NRMSE      float64
+	NLInf      float64
+}
+
+// Fig2Result aggregates the kernel/window study.
+type Fig2Result struct {
+	Rows []Fig2Row
+}
+
+// WindowSizes are the paper's studied temporal window sizes.
+var WindowSizes = []int{10, 20, 40}
+
+// RunFig2 reproduces Figures 2a and 2b: Ghost X-velocity at base temporal
+// resolution, 3D baseline vs 4D with both kernels at window sizes 10/20/40,
+// across the compression ratios.
+func RunFig2(sc Scale, progress io.Writer) (*Fig2Result, error) {
+	seq, err := GhostSeries(sc, GhostVelocityX)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig2Result{}
+	for _, ratio := range Ratios {
+		fprintf(progress, "fig2: ratio %g:1\n", ratio)
+		// 3D baseline.
+		nr, nl, err := EvalWindowed(seq, BaseOptions3D(ratio, sc.Workers))
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Fig2Row{
+			Label: "3D", Kernel: wavelet.CDF97, Ratio: ratio, NRMSE: nr, NLInf: nl,
+		})
+		// 4D sweeps.
+		for _, kernel := range []wavelet.Kernel{wavelet.CDF97, wavelet.CDF53} {
+			for _, ws := range WindowSizes {
+				opts := BaseOptions4D(ratio, ws, sc.Workers)
+				opts.TemporalKernel = kernel
+				nr, nl, err := EvalWindowed(seq, opts)
+				if err != nil {
+					return nil, err
+				}
+				res.Rows = append(res.Rows, Fig2Row{
+					Label:      fmt.Sprintf("4D %s ws=%d", kernel, ws),
+					Kernel:     kernel,
+					WindowSize: ws,
+					Ratio:      ratio,
+					NRMSE:      nr,
+					NLInf:      nl,
+				})
+			}
+		}
+	}
+	return res, nil
+}
+
+// Row finds the entry for a configuration, or nil.
+func (r *Fig2Result) Row(label string, ratio float64) *Fig2Row {
+	for i := range r.Rows {
+		if r.Rows[i].Label == label && r.Rows[i].Ratio == ratio {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// Write renders the result in the layout of Figure 2a/2b: ratios grouped,
+// the 3D baseline leftmost.
+func (r *Fig2Result) Write(w io.Writer) {
+	fmt.Fprintf(w, "Figure 2a/2b — wavelet kernel and window size (Ghost velocity-x, res=1)\n")
+	fmt.Fprintf(w, "%-18s %10s %12s %12s\n", "config", "ratio", "NRMSE", "L-inf")
+	var last float64 = -1
+	for _, row := range r.Rows {
+		if row.Ratio != last {
+			fmt.Fprintf(w, "---- %g:1 ----\n", row.Ratio)
+			last = row.Ratio
+		}
+		fmt.Fprintf(w, "%-18s %9g:1 %12.4e %12.4e\n", row.Label, row.Ratio, row.NRMSE, row.NLInf)
+	}
+}
+
+// Fig2cRow is one bar of Figure 2c: temporal resolution vs error.
+type Fig2cRow struct {
+	// Mode is "3D" or "4D".
+	Mode core.Mode
+	// ResStride is the temporal subsample stride (1, 2, 4).
+	ResStride int
+	Ratio     float64
+	NRMSE     float64
+	NLInf     float64
+}
+
+// Fig2cResult aggregates the temporal-resolution study.
+type Fig2cResult struct {
+	Rows []Fig2cRow
+}
+
+// RunFig2c reproduces Figure 2c: the sweet-spot configuration (CDF 9/7,
+// window 20) on Ghost at temporal resolutions 1, 1/2, 1/4, against the 3D
+// baseline at base resolution.
+func RunFig2c(sc Scale, progress io.Writer) (*Fig2cResult, error) {
+	seq, err := GhostSeries(sc, GhostVelocityX)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig2cResult{}
+	for _, ratio := range Ratios {
+		fprintf(progress, "fig2c: ratio %g:1\n", ratio)
+		nr, nl, err := EvalWindowed(seq, BaseOptions3D(ratio, sc.Workers))
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Fig2cRow{Mode: core.Spatial3D, ResStride: 1, Ratio: ratio, NRMSE: nr, NLInf: nl})
+		for _, stride := range Resolutions {
+			sub, err := seq.Subsample(stride)
+			if err != nil {
+				return nil, err
+			}
+			nr, nl, err := EvalWindowed(sub, BaseOptions4D(ratio, 20, sc.Workers))
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, Fig2cRow{Mode: core.Spatiotemporal4D, ResStride: stride, Ratio: ratio, NRMSE: nr, NLInf: nl})
+		}
+	}
+	return res, nil
+}
+
+// Row finds the entry for a (mode, stride, ratio), or nil.
+func (r *Fig2cResult) Row(mode core.Mode, stride int, ratio float64) *Fig2cRow {
+	for i := range r.Rows {
+		row := &r.Rows[i]
+		if row.Mode == mode && row.ResStride == stride && row.Ratio == ratio {
+			return row
+		}
+	}
+	return nil
+}
+
+// Write renders Figure 2c.
+func (r *Fig2cResult) Write(w io.Writer) {
+	fmt.Fprintf(w, "Figure 2c — temporal resolution (Ghost velocity-x, CDF 9/7, window 20)\n")
+	fmt.Fprintf(w, "%-12s %10s %12s %12s\n", "config", "ratio", "NRMSE", "L-inf")
+	var last float64 = -1
+	for _, row := range r.Rows {
+		if row.Ratio != last {
+			fmt.Fprintf(w, "---- %g:1 ----\n", row.Ratio)
+			last = row.Ratio
+		}
+		label := "3D"
+		if row.Mode == core.Spatiotemporal4D {
+			label = "4D res=" + ResLabel(row.ResStride)
+		}
+		fmt.Fprintf(w, "%-12s %9g:1 %12.4e %12.4e\n", label, row.Ratio, row.NRMSE, row.NLInf)
+	}
+}

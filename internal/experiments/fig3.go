@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"stwave/internal/core"
+	"stwave/internal/grid"
+)
+
+// Fig3Panel identifies one subfigure of Figure 3.
+type Fig3Panel struct {
+	// Key is the subfigure letter (a-f).
+	Key string
+	// Dataset and Variable label the panel.
+	Dataset, Variable string
+}
+
+// Fig3Panels lists the six panels in the paper's order.
+var Fig3Panels = []Fig3Panel{
+	{"a", "Ghost", "velocity-x"},
+	{"b", "CloverLeaf3D", "velocity-x"},
+	{"c", "CloverLeaf3D", "energy"},
+	{"d", "Tornado", "velocity-x"},
+	{"e", "Tornado", "enstrophy"},
+	{"f", "Tornado", "cloud-ratio"},
+}
+
+// Fig3Row is one bar: (panel, config, ratio) with both metrics.
+type Fig3Row struct {
+	Panel     string
+	Mode      core.Mode
+	ResStride int // meaningful for 4D rows
+	Ratio     float64
+	NRMSE     float64
+	NLInf     float64
+}
+
+// Fig3Result aggregates the multi-dataset study.
+type Fig3Result struct {
+	Rows []Fig3Row
+}
+
+// panelSeries fetches the slice sequence for a panel.
+func panelSeries(sc Scale, key string) (*grid.Window, error) {
+	switch key {
+	case "a":
+		return GhostSeries(sc, GhostVelocityX)
+	case "b":
+		return CloverSeries(sc, CloverVelocityX)
+	case "c":
+		return CloverSeries(sc, CloverEnergy)
+	case "d":
+		return TornadoSeries(sc, TornadoVelocityX)
+	case "e":
+		return TornadoSeries(sc, TornadoEnstrophy)
+	case "f":
+		return TornadoSeries(sc, TornadoCloudRatio)
+	}
+	return nil, fmt.Errorf("experiments: unknown Figure 3 panel %q", key)
+}
+
+// RunFig3 reproduces all six panels of Figure 3: each dataset/variable at
+// the sweet-spot 4D configuration across temporal resolutions, against the
+// 3D baseline, across ratios.
+func RunFig3(sc Scale, panels []string, progress io.Writer) (*Fig3Result, error) {
+	if panels == nil {
+		for _, p := range Fig3Panels {
+			panels = append(panels, p.Key)
+		}
+	}
+	res := &Fig3Result{}
+	for _, key := range panels {
+		seq, err := panelSeries(sc, key)
+		if err != nil {
+			return nil, err
+		}
+		fprintf(progress, "fig3: panel %s (%d slices of %v)\n", key, seq.Len(), seq.Dims)
+		for _, ratio := range Ratios {
+			nr, nl, err := EvalWindowed(seq, BaseOptions3D(ratio, sc.Workers))
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, Fig3Row{Panel: key, Mode: core.Spatial3D, ResStride: 1, Ratio: ratio, NRMSE: nr, NLInf: nl})
+			for _, stride := range Resolutions {
+				sub, err := seq.Subsample(stride)
+				if err != nil {
+					return nil, err
+				}
+				nr, nl, err := EvalWindowed(sub, BaseOptions4D(ratio, 20, sc.Workers))
+				if err != nil {
+					return nil, err
+				}
+				res.Rows = append(res.Rows, Fig3Row{Panel: key, Mode: core.Spatiotemporal4D, ResStride: stride, Ratio: ratio, NRMSE: nr, NLInf: nl})
+			}
+		}
+	}
+	return res, nil
+}
+
+// Row finds the entry for (panel, mode, stride, ratio), or nil.
+func (r *Fig3Result) Row(panel string, mode core.Mode, stride int, ratio float64) *Fig3Row {
+	for i := range r.Rows {
+		row := &r.Rows[i]
+		if row.Panel == panel && row.Mode == mode && row.ResStride == stride && row.Ratio == ratio {
+			return row
+		}
+	}
+	return nil
+}
+
+// Write renders the result grouped by panel, the paper's layout.
+func (r *Fig3Result) Write(w io.Writer) {
+	fmt.Fprintf(w, "Figure 3 — NRMSE and normalized L-inf across data sets\n")
+	var lastPanel string
+	var lastRatio float64 = -1
+	for _, row := range r.Rows {
+		if row.Panel != lastPanel {
+			for _, p := range Fig3Panels {
+				if p.Key == row.Panel {
+					fmt.Fprintf(w, "== Subfigure 3%s: %s %s ==\n", p.Key, p.Dataset, p.Variable)
+				}
+			}
+			lastPanel = row.Panel
+			lastRatio = -1
+		}
+		if row.Ratio != lastRatio {
+			fmt.Fprintf(w, "---- %g:1 ----\n", row.Ratio)
+			lastRatio = row.Ratio
+		}
+		label := "3D"
+		if row.Mode == core.Spatiotemporal4D {
+			label = "4D res=" + ResLabel(row.ResStride)
+		}
+		fmt.Fprintf(w, "%-12s %12.4e %12.4e\n", label, row.NRMSE, row.NLInf)
+	}
+}

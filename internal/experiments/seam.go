@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"stwave/internal/core"
+	"stwave/internal/grid"
+	"stwave/internal/metrics"
+)
+
+// SeamResult profiles reconstruction error as a function of a slice's
+// position inside its compression window. Because the temporal transform
+// uses symmetric extension at window edges, boundary slices see less
+// genuine temporal context than interior ones — the window-seam artifact
+// that windowed processing (Section IV-A) trades for bounded memory.
+type SeamResult struct {
+	WindowSize int
+	Ratio      float64
+	// PerPosition[i] is the NRMSE of all slices that sat at position i of
+	// their window, aggregated across windows.
+	PerPosition []float64
+}
+
+// RunSeamProfile compresses the Ghost velocity series in windows and
+// reports NRMSE by window position.
+func RunSeamProfile(sc Scale, windowSize int, ratio float64, progress io.Writer) (*SeamResult, error) {
+	seq, err := GhostSeries(sc, GhostVelocityX)
+	if err != nil {
+		return nil, err
+	}
+	// Use only full windows so every position has the same sample count.
+	full := (seq.Len() / windowSize) * windowSize
+	if full < windowSize {
+		return nil, fmt.Errorf("experiments: need at least %d slices, have %d", windowSize, seq.Len())
+	}
+	win := grid.NewWindow(seq.Dims)
+	for i := 0; i < full; i++ {
+		if err := win.Append(seq.Slices[i], seq.Times[i]); err != nil {
+			return nil, err
+		}
+	}
+	opts := BaseOptions4D(ratio, windowSize, sc.Workers)
+	chunks, err := win.Partition(windowSize)
+	if err != nil {
+		return nil, err
+	}
+	accs := make([]*metrics.Accumulator, windowSize)
+	for i := range accs {
+		accs[i] = metrics.NewAccumulator()
+	}
+	comp, err := core.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	for ci, chunk := range chunks {
+		fprintf(progress, "seam: window %d/%d\n", ci+1, len(chunks))
+		recon, _, err := comp.RoundTrip(chunk)
+		if err != nil {
+			return nil, err
+		}
+		for i := range chunk.Slices {
+			if err := accs[i].Add(chunk.Slices[i].Data, recon.Slices[i].Data); err != nil {
+				return nil, err
+			}
+		}
+	}
+	res := &SeamResult{WindowSize: windowSize, Ratio: ratio}
+	for _, ac := range accs {
+		res.PerPosition = append(res.PerPosition, ac.NRMSE())
+	}
+	return res, nil
+}
+
+// EdgeToCenterRatio summarizes the seam artifact: mean NRMSE of the first
+// and last positions over the mean of the two central positions.
+func (r *SeamResult) EdgeToCenterRatio() float64 {
+	n := len(r.PerPosition)
+	if n < 4 {
+		return 1
+	}
+	edge := (r.PerPosition[0] + r.PerPosition[n-1]) / 2
+	center := (r.PerPosition[n/2-1] + r.PerPosition[n/2]) / 2
+	if center == 0 {
+		return 1
+	}
+	return edge / center
+}
+
+// Write renders the per-position profile.
+func (r *SeamResult) Write(w io.Writer) {
+	fmt.Fprintf(w, "Window-seam profile — Ghost velocity-x, window %d, %g:1 (NRMSE by window position)\n",
+		r.WindowSize, r.Ratio)
+	for i, e := range r.PerPosition {
+		fmt.Fprintf(w, "  position %2d: %12.4e\n", i, e)
+	}
+	fmt.Fprintf(w, "edge/center error ratio: %.2f\n", r.EdgeToCenterRatio())
+}

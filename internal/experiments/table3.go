@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"stwave/internal/core"
+	"stwave/internal/grid"
+	"stwave/internal/isosurface"
+	"stwave/internal/wavelet"
+)
+
+// Table3Variable describes one isosurface study variable with its isovalue.
+type Table3Variable struct {
+	Variable TornadoVariable
+	Label    string
+	Isovalue float64
+}
+
+// Table3Variables lists the paper's three variables. Isovalues are chosen
+// the way the paper's collaborator chose his: at physically meaningful
+// levels (cloud edge, strong updraft, significant pressure deficit).
+var Table3Variables = []Table3Variable{
+	{TornadoCloudRatio, "Cloud Mixing Ratio", 1.0},
+	{TornadoVelocityZ, "Z-Velocity", 15.0},
+	{TornadoPressurePert, "Pressure Perturbation", -2000.0},
+}
+
+// Table3Ratios are the compression ratios of the isosurface study.
+var Table3Ratios = []float64{8, 16, 32, 64, 128}
+
+// Table3Row is one (variable, ratio) row with both modes' area errors.
+type Table3Row struct {
+	Variable string
+	Ratio    float64
+	// Error3D and Error4D are the paper's (1 - SA/SA_B)*100 metric.
+	Error3D, Error4D float64
+}
+
+// Table3Result holds all rows.
+type Table3Result struct {
+	Rows []Table3Row
+}
+
+// RunTable3 reproduces Table III: isosurfaces of three Tornado scalar
+// fields from 3D- and 4D-compressed data (CDF 9/7, window 18), compared to
+// the baseline by total surface area. The evaluated slice sits mid-window,
+// where temporal boundary effects are smallest; the entire window is
+// compressed jointly as the paper does.
+func RunTable3(sc Scale, progress io.Writer) (*Table3Result, error) {
+	const windowSize = 18
+	m, err := tornadoModel(sc)
+	if err != nil {
+		return nil, err
+	}
+	dx, dy, dz := m.Spacing()
+	opt := isosurface.Options{SpacingX: dx, SpacingY: dy, SpacingZ: dz}
+
+	res := &Table3Result{}
+	for _, v := range Table3Variables {
+		seq, err := TornadoSeries(sc, v.Variable)
+		if err != nil {
+			return nil, err
+		}
+		if seq.Len() < windowSize {
+			return nil, fmt.Errorf("experiments: need %d slices for table3, have %d", windowSize, seq.Len())
+		}
+		win := grid.NewWindow(seq.Dims)
+		for i := 0; i < windowSize; i++ {
+			if err := win.Append(seq.Slices[i], seq.Times[i]); err != nil {
+				return nil, err
+			}
+		}
+		evalIdx := windowSize / 2
+		baseMesh, err := isosurface.Extract(win.Slices[evalIdx], v.Isovalue, opt)
+		if err != nil {
+			return nil, err
+		}
+		baseArea := baseMesh.SurfaceArea()
+		fprintf(progress, "table3: %s baseline area %.4g (%d triangles)\n", v.Label, baseArea, len(baseMesh.Triangles))
+
+		for _, ratio := range Table3Ratios {
+			row := Table3Row{Variable: v.Label, Ratio: ratio}
+			for _, mode := range []core.Mode{core.Spatial3D, core.Spatiotemporal4D} {
+				var opts core.Options
+				if mode == core.Spatial3D {
+					opts = BaseOptions3D(ratio, sc.Workers)
+				} else {
+					opts = BaseOptions4D(ratio, windowSize, sc.Workers)
+					opts.TemporalKernel = wavelet.CDF97
+				}
+				comp, err := core.New(opts)
+				if err != nil {
+					return nil, err
+				}
+				recon, _, err := comp.RoundTrip(win)
+				if err != nil {
+					return nil, err
+				}
+				mesh, err := isosurface.Extract(recon.Slices[evalIdx], v.Isovalue, opt)
+				if err != nil {
+					return nil, err
+				}
+				e := isosurface.AreaError(baseArea, mesh.SurfaceArea())
+				if mode == core.Spatial3D {
+					row.Error3D = e
+				} else {
+					row.Error4D = e
+				}
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// Row returns the entry for (variable label, ratio), or nil.
+func (r *Table3Result) Row(variable string, ratio float64) *Table3Row {
+	for i := range r.Rows {
+		if r.Rows[i].Variable == variable && r.Rows[i].Ratio == ratio {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// Write renders Table III.
+func (r *Table3Result) Write(w io.Writer) {
+	fmt.Fprintf(w, "Table III — isosurface area error (1 - SA/SA_B) x 100\n")
+	fmt.Fprintf(w, "%-22s %8s %10s %10s\n", "Variable", "Ratio", "3D Error", "4D Error")
+	var last string
+	for _, row := range r.Rows {
+		label := row.Variable
+		if label == last {
+			label = ""
+		} else {
+			last = label
+		}
+		fmt.Fprintf(w, "%-22s %6g:1 %9.2f%% %9.2f%%\n", label, row.Ratio, row.Error3D, row.Error4D)
+	}
+}

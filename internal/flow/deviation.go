@@ -1,0 +1,60 @@
+package flow
+
+import (
+	"fmt"
+)
+
+// DeviationError implements the paper's Section VI-A pathline metric. Let T
+// be the total advection time and t0 the first time the test pathline
+// deviates more than distance D from its baseline; the error is
+//
+//	(1.0 - t0/T) * 100   [percent]
+//
+// A pathline that never strays beyond D scores 0%; one that deviates
+// immediately scores 100%. ("We designed an error metric that would value
+// the case where a pathline stays close to its baseline throughout its
+// entire trajectory, over one that deviates early but later returns.")
+func DeviationError(baseline, test *Pathline, d float64) (float64, error) {
+	if len(baseline.Points) != len(test.Points) {
+		return 0, fmt.Errorf("flow: pathlines have %d vs %d points; advect with identical options", len(baseline.Points), len(test.Points))
+	}
+	if baseline.Dt != test.Dt {
+		return 0, fmt.Errorf("flow: pathlines have different Dt (%g vs %g)", baseline.Dt, test.Dt)
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("flow: negative distance threshold %g", d)
+	}
+	n := len(baseline.Points)
+	if n < 2 {
+		return 0, nil
+	}
+	total := baseline.Duration()
+	for i := 0; i < n; i++ {
+		if baseline.Points[i].Dist(test.Points[i]) > d {
+			t0 := float64(i) * baseline.Dt
+			return (1 - t0/total) * 100, nil
+		}
+	}
+	return 0, nil
+}
+
+// MeanDeviationError averages the deviation metric over paired pathlines —
+// the per-cell numbers of the paper's Table II ("each evaluation percentage
+// is averaged from all 144 seed particles").
+func MeanDeviationError(baselines, tests []*Pathline, d float64) (float64, error) {
+	if len(baselines) != len(tests) {
+		return 0, fmt.Errorf("flow: %d baselines vs %d tests", len(baselines), len(tests))
+	}
+	if len(baselines) == 0 {
+		return 0, nil
+	}
+	var sum float64
+	for i := range baselines {
+		e, err := DeviationError(baselines[i], tests[i], d)
+		if err != nil {
+			return 0, fmt.Errorf("flow: pathline %d: %w", i, err)
+		}
+		sum += e
+	}
+	return sum / float64(len(baselines)), nil
+}

@@ -1,0 +1,158 @@
+package flow
+
+import (
+	"math"
+	"testing"
+
+	"stwave/internal/grid"
+)
+
+// saddleSeries builds the steady linear saddle flow u = λx', v = -λy'
+// (about the domain center), whose FTLE is exactly λ everywhere.
+func saddleSeries(t *testing.T, n int, L, lambda float64) *VectorSeries {
+	t.Helper()
+	sp := L / float64(n-1)
+	c := L / 2
+	mk := func() (*grid.Field3D, *grid.Field3D, *grid.Field3D) {
+		u := grid.NewField3D(n, n, n)
+		v := grid.NewField3D(n, n, n)
+		w := grid.NewField3D(n, n, n)
+		for z := 0; z < n; z++ {
+			for y := 0; y < n; y++ {
+				Y := float64(y) * sp
+				for x := 0; x < n; x++ {
+					X := float64(x) * sp
+					u.Set(x, y, z, lambda*(X-c))
+					v.Set(x, y, z, -lambda*(Y-c))
+				}
+			}
+		}
+		return u, v, w
+	}
+	u0, v0, w0 := mk()
+	u1, v1, w1 := mk()
+	vs, err := NewVectorSeries(Domain{Spacing: Vec3{sp, sp, sp}}, []VectorSlice{
+		{U: u0, V: v0, W: w0, Time: 0},
+		{U: u1, V: v1, W: w1, Time: 1000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vs
+}
+
+func TestFTLEOnLinearSaddle(t *testing.T) {
+	lambda := 0.05
+	vs := saddleSeries(t, 33, 100, lambda)
+	opt := FTLEOptions{Advect: AdvectOptions{Dt: 0.1, Steps: 100}}
+	// Seed a small plane near the center so particles stay in-domain.
+	p, err := ComputeFTLE(vs,
+		Vec3{X: 45, Y: 45, Z: 50}, Vec3{X: 1}, Vec3{Y: 1}, 11, 11, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 1; j < 10; j++ {
+		for i := 1; i < 10; i++ {
+			got := p.Values[j*11+i]
+			if math.Abs(got-lambda) > 0.003 {
+				t.Fatalf("FTLE at (%d,%d) = %g, want %g (linear saddle)", i, j, got, lambda)
+			}
+		}
+	}
+	if m := p.Max(); math.Abs(m-lambda) > 0.003 {
+		t.Errorf("Max = %g", m)
+	}
+}
+
+func TestFTLEZeroForUniformFlow(t *testing.T) {
+	vs := uniformSeries(t, 9, 100, 1, 0.5, 0, []float64{0, 1000})
+	opt := FTLEOptions{Advect: AdvectOptions{Dt: 0.1, Steps: 50}}
+	p, err := ComputeFTLE(vs,
+		Vec3{X: 20, Y: 20, Z: 50}, Vec3{X: 2}, Vec3{Y: 2}, 5, 5, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 1; j < 4; j++ {
+		for i := 1; i < 4; i++ {
+			if v := math.Abs(p.Values[j*5+i]); v > 1e-9 {
+				t.Fatalf("uniform flow FTLE = %g at (%d,%d), want 0", v, i, j)
+			}
+		}
+	}
+}
+
+func TestFTLEBoundaryIsNaN(t *testing.T) {
+	vs := uniformSeries(t, 9, 100, 0, 0, 0, []float64{0, 10})
+	opt := FTLEOptions{Advect: AdvectOptions{Dt: 0.1, Steps: 10}}
+	p, err := ComputeFTLE(vs, Vec3{X: 40, Y: 40, Z: 50}, Vec3{X: 1}, Vec3{Y: 1}, 4, 4, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(p.Values[0]) || !math.IsNaN(p.Values[15]) {
+		t.Error("boundary seeds must be NaN")
+	}
+}
+
+func TestFTLEValidation(t *testing.T) {
+	vs := uniformSeries(t, 5, 10, 0, 0, 0, []float64{0, 1})
+	opt := FTLEOptions{Advect: AdvectOptions{Dt: 0.1, Steps: 5}}
+	if _, err := ComputeFTLE(vs, Vec3{}, Vec3{X: 1}, Vec3{Y: 1}, 2, 5, opt); err == nil {
+		t.Error("expected error for tiny plane")
+	}
+	bad := FTLEOptions{Advect: AdvectOptions{Dt: 0, Steps: 5}}
+	if _, err := ComputeFTLE(vs, Vec3{}, Vec3{X: 1}, Vec3{Y: 1}, 5, 5, bad); err == nil {
+		t.Error("expected error for invalid advection options")
+	}
+}
+
+func TestFTLEMeanAbsDiff(t *testing.T) {
+	a := &FTLEPlane{Nu: 3, Nv: 3, Values: make([]float64, 9)}
+	b := &FTLEPlane{Nu: 3, Nv: 3, Values: make([]float64, 9)}
+	for i := range a.Values {
+		a.Values[i] = math.NaN()
+		b.Values[i] = math.NaN()
+	}
+	a.Values[4] = 1.0
+	b.Values[4] = 1.5
+	d, err := a.MeanAbsDiff(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-0.5) > 1e-15 {
+		t.Errorf("MeanAbsDiff = %g, want 0.5", d)
+	}
+	if _, err := a.MeanAbsDiff(&FTLEPlane{Nu: 2, Nv: 2, Values: make([]float64, 4)}); err == nil {
+		t.Error("expected dims mismatch error")
+	}
+	empty := &FTLEPlane{Nu: 3, Nv: 3, Values: make([]float64, 9)}
+	for i := range empty.Values {
+		empty.Values[i] = math.NaN()
+	}
+	if d, err := empty.MeanAbsDiff(empty); err != nil || d != 0 {
+		t.Errorf("all-NaN diff = %g, %v", d, err)
+	}
+}
+
+func TestBackwardFTLEOnLinearSaddle(t *testing.T) {
+	// The backward-time FTLE of the saddle equals λ as well: contraction
+	// forward in time is expansion backward (attracting LCS).
+	lambda := 0.05
+	vs := saddleSeries(t, 33, 100, lambda)
+	opt := FTLEOptions{
+		T0:     10, // start inside the time range, integrate backward
+		Advect: AdvectOptions{Dt: 0.1, Steps: 100, Backward: true},
+	}
+	p, err := ComputeFTLE(vs,
+		Vec3{X: 45, Y: 45, Z: 50}, Vec3{X: 1}, Vec3{Y: 1}, 9, 9, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 1; j < 8; j++ {
+		for i := 1; i < 8; i++ {
+			got := p.Values[j*9+i]
+			if math.Abs(got-lambda) > 0.003 {
+				t.Fatalf("backward FTLE at (%d,%d) = %g, want %g", i, j, got, lambda)
+			}
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package flow
+
+import "fmt"
+
+// Streamline integrates a curve tangent to the velocity field *frozen at a
+// single instant* — the steady-field counterpart of a pathline. For
+// time-varying data the two differ, and comparing them is a standard
+// unsteadiness diagnostic; for compression studies streamlines isolate the
+// spatial component of velocity error from the temporal one.
+func Streamline(vs *VectorSeries, seed Vec3, frozenTime float64, opt AdvectOptions) (*Pathline, error) {
+	if opt.Dt <= 0 {
+		return nil, fmt.Errorf("flow: Dt must be positive, got %g", opt.Dt)
+	}
+	if opt.Steps < 1 {
+		return nil, fmt.Errorf("flow: Steps must be >= 1, got %d", opt.Steps)
+	}
+	pl := &Pathline{Seed: seed, Dt: opt.Dt, T0: frozenTime, Points: make([]Vec3, 1, opt.Steps+1)}
+	pl.Points[0] = seed
+	p := seed
+	stopped := false
+	vel := func(q Vec3) Vec3 { return vs.VelocityAt(q, frozenTime) }
+	for s := 0; s < opt.Steps; s++ {
+		if !stopped {
+			k1 := vel(p)
+			k2 := vel(p.Add(k1.Scale(opt.Dt / 2)))
+			k3 := vel(p.Add(k2.Scale(opt.Dt / 2)))
+			k4 := vel(p.Add(k3.Scale(opt.Dt)))
+			next := p.Add(k1.Add(k2.Scale(2)).Add(k3.Scale(2)).Add(k4).Scale(opt.Dt / 6))
+			if opt.StopAtBoundary && !vs.InDomain(next) {
+				stopped = true
+			} else {
+				p = next
+			}
+		}
+		pl.Points = append(pl.Points, p)
+	}
+	return pl, nil
+}

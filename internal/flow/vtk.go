@@ -1,0 +1,65 @@
+package flow
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WritePathlinesVTK writes pathlines as a legacy-ASCII VTK PolyData file
+// (polylines), the format ParaView and VisIt load directly — so the
+// pathline analyses this library computes can be inspected in the same
+// tools the paper's authors used. Each pathline becomes one polyline; a
+// point scalar "t" carries the advection time for color-mapping.
+func WritePathlinesVTK(w io.Writer, pathlines []*Pathline, title string) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	totalPts := 0
+	for _, pl := range pathlines {
+		totalPts += len(pl.Points)
+	}
+	if _, err := fmt.Fprintf(bw, "# vtk DataFile Version 3.0\n%s\nASCII\nDATASET POLYDATA\n", title); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "POINTS %d float\n", totalPts); err != nil {
+		return err
+	}
+	for _, pl := range pathlines {
+		for _, p := range pl.Points {
+			if _, err := fmt.Fprintf(bw, "%g %g %g\n", p.X, p.Y, p.Z); err != nil {
+				return err
+			}
+		}
+	}
+	// LINES section: one polyline per pathline.
+	sizeField := len(pathlines) + totalPts
+	if _, err := fmt.Fprintf(bw, "LINES %d %d\n", len(pathlines), sizeField); err != nil {
+		return err
+	}
+	offset := 0
+	for _, pl := range pathlines {
+		if _, err := fmt.Fprintf(bw, "%d", len(pl.Points)); err != nil {
+			return err
+		}
+		for i := range pl.Points {
+			if _, err := fmt.Fprintf(bw, " %d", offset+i); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw); err != nil {
+			return err
+		}
+		offset += len(pl.Points)
+	}
+	// Advection time as point data.
+	if _, err := fmt.Fprintf(bw, "POINT_DATA %d\nSCALARS t float 1\nLOOKUP_TABLE default\n", totalPts); err != nil {
+		return err
+	}
+	for _, pl := range pathlines {
+		for i := range pl.Points {
+			if _, err := fmt.Fprintf(bw, "%g\n", pl.T0+float64(i)*pl.Dt); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,117 @@
+// Package grid provides the data containers used throughout stwave: scalar
+// fields on 3D rectilinear grids, temporal windows of such fields, and
+// helpers for temporal subsampling and raw-file (de)serialization.
+//
+// All fields store samples in X-fastest (C-contiguous with X innermost)
+// order: index = (z*Ny + y)*Nx + x. This matches the raw-volume conventions
+// of VAPOR and most simulation dumps.
+package grid
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dims describes the extent of a 3D grid.
+type Dims struct {
+	Nx, Ny, Nz int
+}
+
+// Len returns the number of grid points.
+func (d Dims) Len() int { return d.Nx * d.Ny * d.Nz }
+
+// Valid reports whether all extents are positive.
+func (d Dims) Valid() bool { return d.Nx > 0 && d.Ny > 0 && d.Nz > 0 }
+
+// String renders the dims as "NxXNyXNz".
+func (d Dims) String() string { return fmt.Sprintf("%dx%dx%d", d.Nx, d.Ny, d.Nz) }
+
+// Field3D is a scalar field sampled on a 3D rectilinear grid.
+type Field3D struct {
+	Dims Dims
+	// Data holds Dims.Len() samples in X-fastest order.
+	Data []float64
+}
+
+// NewField3D allocates a zeroed field with the given extents.
+func NewField3D(nx, ny, nz int) *Field3D {
+	d := Dims{nx, ny, nz}
+	if !d.Valid() {
+		panic(fmt.Sprintf("grid: invalid dims %v", d))
+	}
+	return &Field3D{Dims: d, Data: make([]float64, d.Len())}
+}
+
+// FromData wraps an existing sample slice as a field. The slice is not
+// copied; len(data) must equal nx*ny*nz.
+func FromData(nx, ny, nz int, data []float64) (*Field3D, error) {
+	d := Dims{nx, ny, nz}
+	if !d.Valid() {
+		return nil, fmt.Errorf("grid: invalid dims %v", d)
+	}
+	if len(data) != d.Len() {
+		return nil, fmt.Errorf("grid: data length %d does not match dims %v (%d)", len(data), d, d.Len())
+	}
+	return &Field3D{Dims: d, Data: data}, nil
+}
+
+// Index returns the linear index of point (x, y, z).
+func (f *Field3D) Index(x, y, z int) int {
+	return (z*f.Dims.Ny+y)*f.Dims.Nx + x
+}
+
+// At returns the sample at (x, y, z).
+func (f *Field3D) At(x, y, z int) float64 { return f.Data[f.Index(x, y, z)] }
+
+// Set stores v at (x, y, z).
+func (f *Field3D) Set(x, y, z int, v float64) { f.Data[f.Index(x, y, z)] = v }
+
+// Clone returns a deep copy of the field.
+func (f *Field3D) Clone() *Field3D {
+	c := &Field3D{Dims: f.Dims, Data: make([]float64, len(f.Data))}
+	copy(c.Data, f.Data)
+	return c
+}
+
+// MinMax returns the smallest and largest sample values. NaNs are ignored;
+// an all-NaN or empty field returns (+Inf, -Inf).
+func (f *Field3D) MinMax() (min, max float64) {
+	min, max = math.Inf(1), math.Inf(-1)
+	for _, v := range f.Data {
+		if math.IsNaN(v) {
+			continue
+		}
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max
+}
+
+// Range returns max-min of the field's samples, used to normalize error
+// metrics ("errors are normalized by the range of the data").
+func (f *Field3D) Range() float64 {
+	min, max := f.MinMax()
+	return max - min
+}
+
+// Fill sets every sample to v.
+func (f *Field3D) Fill(v float64) {
+	for i := range f.Data {
+		f.Data[i] = v
+	}
+}
+
+// AddScaled accumulates a*g into f point-wise. Dims must match.
+func (f *Field3D) AddScaled(a float64, g *Field3D) error {
+	if f.Dims != g.Dims {
+		return fmt.Errorf("grid: dims mismatch %v vs %v", f.Dims, g.Dims)
+	}
+	for i := range f.Data {
+		f.Data[i] += a * g.Data[i]
+	}
+	return nil
+}

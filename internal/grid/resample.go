@@ -1,0 +1,86 @@
+package grid
+
+import "fmt"
+
+// Resample produces a new field of the given extents by trilinear
+// interpolation of f, with the two grids aligned at their corners. Used to
+// compare multiresolution previews against full-resolution data and to
+// bring staggered variables onto a common grid.
+func (f *Field3D) Resample(nx, ny, nz int) (*Field3D, error) {
+	d := Dims{Nx: nx, Ny: ny, Nz: nz}
+	if !d.Valid() {
+		return nil, fmt.Errorf("grid: invalid resample dims %v", d)
+	}
+	out := NewField3D(nx, ny, nz)
+	scale := func(dstN, srcN int) float64 {
+		if dstN <= 1 {
+			return 0
+		}
+		return float64(srcN-1) / float64(dstN-1)
+	}
+	sx := scale(nx, f.Dims.Nx)
+	sy := scale(ny, f.Dims.Ny)
+	sz := scale(nz, f.Dims.Nz)
+	for z := 0; z < nz; z++ {
+		gz := float64(z) * sz
+		for y := 0; y < ny; y++ {
+			gy := float64(y) * sy
+			for x := 0; x < nx; x++ {
+				out.Set(x, y, z, f.interp(float64(x)*sx, gy, gz))
+			}
+		}
+	}
+	return out, nil
+}
+
+// interp evaluates the field at fractional grid coordinates with clamping.
+func (f *Field3D) interp(gx, gy, gz float64) float64 {
+	clamp := func(v float64, n int) (int, float64) {
+		if v < 0 {
+			v = 0
+		}
+		if v > float64(n-1) {
+			v = float64(n - 1)
+		}
+		i := int(v)
+		if i > n-2 {
+			i = n - 2
+		}
+		if i < 0 {
+			i = 0
+		}
+		return i, v - float64(i)
+	}
+	if f.Dims.Nx == 1 && f.Dims.Ny == 1 && f.Dims.Nz == 1 {
+		return f.Data[0]
+	}
+	x0, fx := clamp(gx, max2(f.Dims.Nx, 2))
+	y0, fy := clamp(gy, max2(f.Dims.Ny, 2))
+	z0, fz := clamp(gz, max2(f.Dims.Nz, 2))
+	at := func(x, y, z int) float64 {
+		if x >= f.Dims.Nx {
+			x = f.Dims.Nx - 1
+		}
+		if y >= f.Dims.Ny {
+			y = f.Dims.Ny - 1
+		}
+		if z >= f.Dims.Nz {
+			z = f.Dims.Nz - 1
+		}
+		return f.At(x, y, z)
+	}
+	c00 := at(x0, y0, z0) + fx*(at(x0+1, y0, z0)-at(x0, y0, z0))
+	c10 := at(x0, y0+1, z0) + fx*(at(x0+1, y0+1, z0)-at(x0, y0+1, z0))
+	c01 := at(x0, y0, z0+1) + fx*(at(x0+1, y0, z0+1)-at(x0, y0, z0+1))
+	c11 := at(x0, y0+1, z0+1) + fx*(at(x0+1, y0+1, z0+1)-at(x0, y0+1, z0+1))
+	c0 := c00 + fy*(c10-c00)
+	c1 := c01 + fy*(c11-c01)
+	return c0 + fz*(c1-c0)
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,128 @@
+package grid
+
+import "fmt"
+
+// Window is an ordered group of time slices of one variable, all on the same
+// grid — the unit the paper's spatiotemporal compressor operates on
+// (Section IV-A, Figure 1).
+type Window struct {
+	Dims   Dims
+	Slices []*Field3D
+	// Times holds the simulation time of each slice; optional (nil means
+	// uniformly spaced unit steps). When present, len(Times) == len(Slices).
+	Times []float64
+}
+
+// NewWindow creates an empty window for the given grid extents.
+func NewWindow(d Dims) *Window {
+	return &Window{Dims: d}
+}
+
+// Append adds a slice to the window at simulation time t. The slice's dims
+// must match the window's.
+func (w *Window) Append(f *Field3D, t float64) error {
+	if f.Dims != w.Dims {
+		return fmt.Errorf("grid: slice dims %v do not match window dims %v", f.Dims, w.Dims)
+	}
+	w.Slices = append(w.Slices, f)
+	w.Times = append(w.Times, t)
+	return nil
+}
+
+// Len returns the number of time slices currently in the window.
+func (w *Window) Len() int { return len(w.Slices) }
+
+// TotalSamples returns the number of scalar samples across all slices.
+func (w *Window) TotalSamples() int { return w.Len() * w.Dims.Len() }
+
+// Clone deep-copies the window.
+func (w *Window) Clone() *Window {
+	c := &Window{Dims: w.Dims, Slices: make([]*Field3D, len(w.Slices))}
+	for i, s := range w.Slices {
+		c.Slices[i] = s.Clone()
+	}
+	if w.Times != nil {
+		c.Times = append([]float64(nil), w.Times...)
+	}
+	return c
+}
+
+// Range returns the global max-min across all slices (the normalization used
+// for window-wide error metrics).
+func (w *Window) Range() float64 {
+	if w.Len() == 0 {
+		return 0
+	}
+	min, max := w.Slices[0].MinMax()
+	for _, s := range w.Slices[1:] {
+		lo, hi := s.MinMax()
+		if lo < min {
+			min = lo
+		}
+		if hi > max {
+			max = hi
+		}
+	}
+	return max - min
+}
+
+// Subsample returns a new window containing every stride-th slice starting
+// from slice 0 — the paper's temporal-resolution reduction ("res=1/2" is
+// stride 2, "res=1/4" is stride 4). The returned window shares slice storage
+// with w.
+func (w *Window) Subsample(stride int) (*Window, error) {
+	if stride < 1 {
+		return nil, fmt.Errorf("grid: subsample stride must be >= 1, got %d", stride)
+	}
+	out := NewWindow(w.Dims)
+	for i := 0; i < len(w.Slices); i += stride {
+		out.Slices = append(out.Slices, w.Slices[i])
+		if w.Times != nil {
+			out.Times = append(out.Times, w.Times[i])
+		} else {
+			out.Times = append(out.Times, float64(i))
+		}
+	}
+	return out, nil
+}
+
+// Partition splits the window into consecutive chunks of at most size
+// slices, in order — the paper's fixed-size temporal windows. The final
+// chunk may be shorter. Chunks share slice storage with w.
+func (w *Window) Partition(size int) ([]*Window, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("grid: partition size must be >= 1, got %d", size)
+	}
+	var out []*Window
+	for start := 0; start < len(w.Slices); start += size {
+		end := start + size
+		if end > len(w.Slices) {
+			end = len(w.Slices)
+		}
+		chunk := NewWindow(w.Dims)
+		chunk.Slices = w.Slices[start:end]
+		if w.Times != nil {
+			chunk.Times = w.Times[start:end]
+		}
+		out = append(out, chunk)
+	}
+	return out, nil
+}
+
+// GatherSeries copies the time series at linear grid index p across all
+// slices into dst (len(dst) must be >= w.Len()) and returns the filled
+// prefix. Used by the temporal transform step.
+func (w *Window) GatherSeries(p int, dst []float64) []float64 {
+	n := len(w.Slices)
+	for t := 0; t < n; t++ {
+		dst[t] = w.Slices[t].Data[p]
+	}
+	return dst[:n]
+}
+
+// ScatterSeries writes src back to grid index p across slices.
+func (w *Window) ScatterSeries(p int, src []float64) {
+	for t := range src {
+		w.Slices[t].Data[p] = src[t]
+	}
+}

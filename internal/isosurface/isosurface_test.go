@@ -1,0 +1,310 @@
+package isosurface
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"stwave/internal/grid"
+)
+
+func sphereField(n int, r float64) *grid.Field3D {
+	// Signed distance-like field: value = r - distance from center; the
+	// zero isosurface is a sphere of radius r (in grid units).
+	f := grid.NewField3D(n, n, n)
+	c := float64(n-1) / 2
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				dx, dy, dz := float64(x)-c, float64(y)-c, float64(z)-c
+				f.Set(x, y, z, r-math.Sqrt(dx*dx+dy*dy+dz*dz))
+			}
+		}
+	}
+	return f
+}
+
+func TestTriangleArea(t *testing.T) {
+	tr := Triangle{A: Vec3{0, 0, 0}, B: Vec3{1, 0, 0}, C: Vec3{0, 1, 0}}
+	if got := tr.Area(); math.Abs(got-0.5) > 1e-15 {
+		t.Errorf("area = %g, want 0.5", got)
+	}
+	degenerate := Triangle{A: Vec3{1, 1, 1}, B: Vec3{1, 1, 1}, C: Vec3{2, 2, 2}}
+	if got := degenerate.Area(); got != 0 {
+		t.Errorf("degenerate area = %g", got)
+	}
+}
+
+func TestExtractValidation(t *testing.T) {
+	if _, err := Extract(grid.NewField3D(1, 4, 4), 0, Options{}); err == nil {
+		t.Error("expected error for degenerate grid")
+	}
+}
+
+func TestEmptyWhenIsovalueOutsideRange(t *testing.T) {
+	f := grid.NewField3D(4, 4, 4)
+	f.Fill(1)
+	m, err := Extract(f, 5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Triangles) != 0 {
+		t.Errorf("isovalue above all data produced %d triangles", len(m.Triangles))
+	}
+	m, err = Extract(f, -5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Triangles) != 0 {
+		t.Errorf("isovalue below all data produced %d triangles", len(m.Triangles))
+	}
+}
+
+func TestPlaneAreaExact(t *testing.T) {
+	// Field = z - 2.5: the zero isosurface is the plane z = 2.5 crossing a
+	// (n-1)² cross-section, area (n-1)² in grid units.
+	n := 9
+	f := grid.NewField3D(n, n, n)
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				f.Set(x, y, z, float64(z)-2.5)
+			}
+		}
+	}
+	m, err := Extract(f, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64((n - 1) * (n - 1))
+	if got := m.SurfaceArea(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("plane area = %g, want %g", got, want)
+	}
+}
+
+func TestSphereAreaConverges(t *testing.T) {
+	// The zero level set of (r - |x-c|) is a sphere: area 4πr².
+	areaErr := func(n int, r float64) float64 {
+		f := sphereField(n, r)
+		m, err := Extract(f, 0, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 4 * math.Pi * r * r
+		return math.Abs(m.SurfaceArea()-want) / want
+	}
+	coarse := areaErr(16, 5)
+	fine := areaErr(48, 15) // same relative radius, 3x resolution
+	if coarse > 0.05 {
+		t.Errorf("coarse sphere area off by %.3f, want < 5%%", coarse)
+	}
+	if fine > 0.02 {
+		t.Errorf("fine sphere area off by %.3f, want < 2%%", fine)
+	}
+	if fine >= coarse {
+		t.Errorf("no convergence: fine error %.4f >= coarse %.4f", fine, coarse)
+	}
+}
+
+func TestSpacingScalesArea(t *testing.T) {
+	f := sphereField(16, 5)
+	m1, err := Extract(f, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Extract(f, 0, Options{SpacingX: 2, SpacingY: 2, SpacingZ: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := m2.SurfaceArea() / m1.SurfaceArea()
+	if math.Abs(ratio-4) > 1e-9 {
+		t.Errorf("doubling spacing scaled area by %g, want 4", ratio)
+	}
+}
+
+func TestAnisotropicSpacing(t *testing.T) {
+	// Plane z = const with spacing (2, 3, 1): area = (n-1)²·2·3.
+	n := 5
+	f := grid.NewField3D(n, n, n)
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				f.Set(x, y, z, float64(z)-1.5)
+			}
+		}
+	}
+	m, err := Extract(f, 0, Options{SpacingX: 2, SpacingY: 3, SpacingZ: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64((n-1)*(n-1)) * 6
+	if got := m.SurfaceArea(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("anisotropic plane area = %g, want %g", got, want)
+	}
+}
+
+func TestMeshIsClosedForInteriorSurface(t *testing.T) {
+	// A closed surface has even triangle counts per tetrahedron and no
+	// boundary edges; as a cheap proxy, verify the extracted sphere's area
+	// is stable under isovalue perturbation (no holes popping).
+	f := sphereField(24, 8)
+	m0, err := Extract(f, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := Extract(f, 0.01, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := math.Abs(m0.SurfaceArea()-m1.SurfaceArea()) / m0.SurfaceArea()
+	if rel > 0.01 {
+		t.Errorf("area jumped %.4f under tiny isovalue change", rel)
+	}
+}
+
+func TestAreaError(t *testing.T) {
+	if got := AreaError(100, 100); got != 0 {
+		t.Errorf("perfect fit error = %g", got)
+	}
+	if got := AreaError(100, 95); math.Abs(got-5) > 1e-12 {
+		t.Errorf("5%% smaller surface: error = %g, want 5", got)
+	}
+	if got := AreaError(100, 110); math.Abs(got+10) > 1e-12 {
+		t.Errorf("10%% larger surface: error = %g, want -10", got)
+	}
+	if got := AreaError(0, 0); got != 0 {
+		t.Errorf("0/0 error = %g", got)
+	}
+	if got := AreaError(0, 5); !math.IsInf(got, -1) {
+		t.Errorf("nonzero/0 error = %g, want -Inf", got)
+	}
+}
+
+func BenchmarkExtractSphere32(b *testing.B) {
+	f := sphereField(32, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Extract(f, 0, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestSurfaceNetsSphereAreaAgreesWithMarchingTetrahedra(t *testing.T) {
+	f := sphereField(32, 11)
+	mt, err := Extract(f, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn, err := ExtractSurfaceNets(f, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4 * math.Pi * 11 * 11
+	mtArea, snArea := mt.SurfaceArea(), sn.SurfaceArea()
+	if rel := math.Abs(snArea-want) / want; rel > 0.05 {
+		t.Errorf("surface nets sphere area off by %.3f", rel)
+	}
+	// Two independent algorithms must agree within a few percent.
+	if rel := math.Abs(snArea-mtArea) / mtArea; rel > 0.06 {
+		t.Errorf("surface nets (%.4g) and marching tetrahedra (%.4g) disagree by %.3f", snArea, mtArea, rel)
+	}
+	// Dual meshes are far leaner than simplicial ones.
+	if len(sn.Triangles) >= len(mt.Triangles) {
+		t.Errorf("surface nets has %d triangles vs MT %d — dual should be leaner", len(sn.Triangles), len(mt.Triangles))
+	}
+}
+
+func TestSurfaceNetsPlane(t *testing.T) {
+	n := 10
+	f := grid.NewField3D(n, n, n)
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				f.Set(x, y, z, float64(z)-4.5)
+			}
+		}
+	}
+	m, err := ExtractSurfaceNets(f, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interior-only stitching drops the boundary quads: the z-edge loop
+	// runs x,y over [1, n-2], giving (n-2)^2 unit quads.
+	want := float64((n - 2) * (n - 2))
+	if got := m.SurfaceArea(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("plane area %g, want %g (interior quads)", got, want)
+	}
+}
+
+func TestSurfaceNetsEmptyAndValidation(t *testing.T) {
+	f := grid.NewField3D(4, 4, 4)
+	f.Fill(1)
+	m, err := ExtractSurfaceNets(f, 5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Triangles) != 0 {
+		t.Error("isovalue outside range produced triangles")
+	}
+	if _, err := ExtractSurfaceNets(grid.NewField3D(1, 4, 4), 0, Options{}); err == nil {
+		t.Error("expected error for degenerate grid")
+	}
+}
+
+func TestSTLRoundTrip(t *testing.T) {
+	f := sphereField(16, 5)
+	m, err := Extract(f, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteSTL(&buf, "sphere"); err != nil {
+		t.Fatal(err)
+	}
+	wantSize := 84 + 50*len(m.Triangles)
+	if buf.Len() != wantSize {
+		t.Errorf("STL size %d, want %d", buf.Len(), wantSize)
+	}
+	back, err := ReadSTL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Triangles) != len(m.Triangles) {
+		t.Fatalf("round trip triangle count %d vs %d", len(back.Triangles), len(m.Triangles))
+	}
+	// Areas agree to float32 precision.
+	if rel := math.Abs(back.SurfaceArea()-m.SurfaceArea()) / m.SurfaceArea(); rel > 1e-5 {
+		t.Errorf("round trip area differs by %.3g", rel)
+	}
+}
+
+func TestReadSTLRejectsGarbage(t *testing.T) {
+	if _, err := ReadSTL(bytes.NewReader([]byte("short"))); err == nil {
+		t.Error("expected error for truncated header")
+	}
+	// Valid header, implausible count.
+	data := make([]byte, 84)
+	data[80], data[81], data[82], data[83] = 0xFF, 0xFF, 0xFF, 0x7F
+	if _, err := ReadSTL(bytes.NewReader(data)); err == nil {
+		t.Error("expected error for implausible count")
+	}
+	// Count says 1 facet but no payload.
+	data = make([]byte, 84)
+	data[80] = 1
+	if _, err := ReadSTL(bytes.NewReader(data)); err == nil {
+		t.Error("expected error for truncated facets")
+	}
+}
+
+func TestFacetNormalDegenerate(t *testing.T) {
+	nx, ny, nz := facetNormal(Triangle{A: Vec3{1, 1, 1}, B: Vec3{1, 1, 1}, C: Vec3{1, 1, 1}})
+	if nx != 0 || ny != 0 || nz != 0 {
+		t.Error("degenerate facet normal not zero")
+	}
+	nx, ny, nz = facetNormal(Triangle{A: Vec3{0, 0, 0}, B: Vec3{1, 0, 0}, C: Vec3{0, 1, 0}})
+	if math.Abs(nz-1) > 1e-15 || nx != 0 || ny != 0 {
+		t.Errorf("xy triangle normal (%g,%g,%g), want (0,0,1)", nx, ny, nz)
+	}
+}

@@ -1,0 +1,101 @@
+package isosurface
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// WriteSTL serializes the mesh as binary STL — the lowest-common-denominator
+// triangle format every mesh viewer (ParaView, MeshLab, CAD tools) reads.
+// Normals are computed per facet from the winding order.
+func (m *Mesh) WriteSTL(w io.Writer, name string) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var header [80]byte
+	copy(header[:], name)
+	if _, err := bw.Write(header[:]); err != nil {
+		return err
+	}
+	if len(m.Triangles) > math.MaxUint32 {
+		return fmt.Errorf("isosurface: %d triangles exceed STL's uint32 count", len(m.Triangles))
+	}
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(m.Triangles)))
+	if _, err := bw.Write(n[:]); err != nil {
+		return err
+	}
+	writeVec := func(x, y, z float64) error {
+		var b [12]byte
+		binary.LittleEndian.PutUint32(b[0:4], math.Float32bits(float32(x)))
+		binary.LittleEndian.PutUint32(b[4:8], math.Float32bits(float32(y)))
+		binary.LittleEndian.PutUint32(b[8:12], math.Float32bits(float32(z)))
+		_, err := bw.Write(b[:])
+		return err
+	}
+	for _, t := range m.Triangles {
+		nx, ny, nz := facetNormal(t)
+		if err := writeVec(nx, ny, nz); err != nil {
+			return err
+		}
+		for _, v := range [3]Vec3{t.A, t.B, t.C} {
+			if err := writeVec(v.X, v.Y, v.Z); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.Write([]byte{0, 0}); err != nil { // attribute bytes
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// facetNormal returns the unit normal of the triangle (zero for degenerate
+// facets).
+func facetNormal(t Triangle) (nx, ny, nz float64) {
+	ux, uy, uz := t.B.X-t.A.X, t.B.Y-t.A.Y, t.B.Z-t.A.Z
+	vx, vy, vz := t.C.X-t.A.X, t.C.Y-t.A.Y, t.C.Z-t.A.Z
+	nx = uy*vz - uz*vy
+	ny = uz*vx - ux*vz
+	nz = ux*vy - uy*vx
+	l := math.Sqrt(nx*nx + ny*ny + nz*nz)
+	if l == 0 {
+		return 0, 0, 0
+	}
+	return nx / l, ny / l, nz / l
+}
+
+// ReadSTL parses a binary STL back into a mesh (for round-trip testing and
+// for loading externally-generated reference surfaces).
+func ReadSTL(r io.Reader) (*Mesh, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var header [80]byte
+	if _, err := io.ReadFull(br, header[:]); err != nil {
+		return nil, fmt.Errorf("isosurface: reading STL header: %w", err)
+	}
+	var nb [4]byte
+	if _, err := io.ReadFull(br, nb[:]); err != nil {
+		return nil, fmt.Errorf("isosurface: reading STL count: %w", err)
+	}
+	count := binary.LittleEndian.Uint32(nb[:])
+	if count > 1<<28 {
+		return nil, fmt.Errorf("isosurface: implausible STL triangle count %d", count)
+	}
+	mesh := &Mesh{Triangles: make([]Triangle, 0, count)}
+	buf := make([]byte, 50) // 12 normal + 36 vertices + 2 attr
+	for i := uint32(0); i < count; i++ {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("isosurface: reading facet %d: %w", i, err)
+		}
+		vec := func(off int) Vec3 {
+			return Vec3{
+				X: float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[off:]))),
+				Y: float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[off+4:]))),
+				Z: float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[off+8:]))),
+			}
+		}
+		mesh.Triangles = append(mesh.Triangles, Triangle{A: vec(12), B: vec(24), C: vec(36)})
+	}
+	return mesh, nil
+}

@@ -1,0 +1,139 @@
+package isosurface
+
+import (
+	"fmt"
+
+	"stwave/internal/grid"
+)
+
+// ExtractSurfaceNets computes the isosurface with the (naive) surface nets
+// algorithm — a dual method: every cell crossed by the surface contributes
+// one vertex (the average of its edge-crossing points), and every grid edge
+// with a sign change stitches the four cells sharing it into a quad. It
+// produces smoother, lower-triangle-count meshes than marching tetrahedra
+// and serves as an independent cross-check for the surface-area metric
+// (two very different algorithms should agree on area within discretization
+// error — a property the tests assert).
+//
+// Quads touching the grid boundary (where fewer than four cells share the
+// edge) are skipped, so the mesh is the surface restricted to the interior.
+func ExtractSurfaceNets(f *grid.Field3D, isovalue float64, opt Options) (*Mesh, error) {
+	d := f.Dims
+	if d.Nx < 2 || d.Ny < 2 || d.Nz < 2 {
+		return nil, fmt.Errorf("isosurface: grid %v too small", d)
+	}
+	sx, sy, sz := opt.SpacingX, opt.SpacingY, opt.SpacingZ
+	if sx == 0 {
+		sx = 1
+	}
+	if sy == 0 {
+		sy = 1
+	}
+	if sz == 0 {
+		sz = 1
+	}
+	cx, cy, cz := d.Nx-1, d.Ny-1, d.Nz-1 // cell counts
+	cellIdx := func(x, y, z int) int { return (z*cy+y)*cx + x }
+	verts := make(map[int]Vec3)
+
+	// Cube edges as corner-pair offsets (12 edges).
+	type edge struct{ a, b [3]int }
+	edges := []edge{
+		{[3]int{0, 0, 0}, [3]int{1, 0, 0}}, {[3]int{0, 1, 0}, [3]int{1, 1, 0}},
+		{[3]int{0, 0, 1}, [3]int{1, 0, 1}}, {[3]int{0, 1, 1}, [3]int{1, 1, 1}},
+		{[3]int{0, 0, 0}, [3]int{0, 1, 0}}, {[3]int{1, 0, 0}, [3]int{1, 1, 0}},
+		{[3]int{0, 0, 1}, [3]int{0, 1, 1}}, {[3]int{1, 0, 1}, [3]int{1, 1, 1}},
+		{[3]int{0, 0, 0}, [3]int{0, 0, 1}}, {[3]int{1, 0, 0}, [3]int{1, 0, 1}},
+		{[3]int{0, 1, 0}, [3]int{0, 1, 1}}, {[3]int{1, 1, 0}, [3]int{1, 1, 1}},
+	}
+
+	// Pass 1: one vertex per crossed cell.
+	for z := 0; z < cz; z++ {
+		for y := 0; y < cy; y++ {
+			for x := 0; x < cx; x++ {
+				var sum Vec3
+				count := 0
+				for _, e := range edges {
+					ax, ay, az := x+e.a[0], y+e.a[1], z+e.a[2]
+					bx, by, bz := x+e.b[0], y+e.b[1], z+e.b[2]
+					va := f.At(ax, ay, az)
+					vb := f.At(bx, by, bz)
+					inA, inB := va >= isovalue, vb >= isovalue
+					if inA == inB {
+						continue
+					}
+					t := 0.5
+					if vb != va {
+						t = (isovalue - va) / (vb - va)
+					}
+					sum.X += (float64(ax) + t*float64(bx-ax)) * sx
+					sum.Y += (float64(ay) + t*float64(by-ay)) * sy
+					sum.Z += (float64(az) + t*float64(bz-az)) * sz
+					count++
+				}
+				if count > 0 {
+					inv := 1 / float64(count)
+					verts[cellIdx(x, y, z)] = Vec3{sum.X * inv, sum.Y * inv, sum.Z * inv}
+				}
+			}
+		}
+	}
+
+	mesh := &Mesh{}
+	quad := func(c0, c1, c2, c3 int) {
+		v0, ok0 := verts[c0]
+		v1, ok1 := verts[c1]
+		v2, ok2 := verts[c2]
+		v3, ok3 := verts[c3]
+		if !ok0 || !ok1 || !ok2 || !ok3 {
+			return
+		}
+		mesh.Triangles = append(mesh.Triangles,
+			Triangle{A: v0, B: v1, C: v2},
+			Triangle{A: v0, B: v2, C: v3},
+		)
+	}
+
+	// Pass 2: stitch quads across sign-changing grid edges (interior only).
+	// X-directed edges at sample (x,y,z)-(x+1,y,z) join cells
+	// (x, y-1..y, z-1..z).
+	for z := 1; z < cz; z++ {
+		for y := 1; y < cy; y++ {
+			for x := 0; x < cx; x++ {
+				a := f.At(x, y, z) >= isovalue
+				b := f.At(x+1, y, z) >= isovalue
+				if a == b {
+					continue
+				}
+				quad(cellIdx(x, y-1, z-1), cellIdx(x, y, z-1), cellIdx(x, y, z), cellIdx(x, y-1, z))
+			}
+		}
+	}
+	// Y-directed edges join cells (x-1..x, y, z-1..z).
+	for z := 1; z < cz; z++ {
+		for y := 0; y < cy; y++ {
+			for x := 1; x < cx; x++ {
+				a := f.At(x, y, z) >= isovalue
+				b := f.At(x, y+1, z) >= isovalue
+				if a == b {
+					continue
+				}
+				quad(cellIdx(x-1, y, z-1), cellIdx(x, y, z-1), cellIdx(x, y, z), cellIdx(x-1, y, z))
+			}
+		}
+	}
+	// Z-directed edges join cells (x-1..x, y-1..y, z).
+	for z := 0; z < cz; z++ {
+		for y := 1; y < cy; y++ {
+			for x := 1; x < cx; x++ {
+				a := f.At(x, y, z) >= isovalue
+				b := f.At(x, y, z+1) >= isovalue
+				if a == b {
+					continue
+				}
+				quad(cellIdx(x-1, y-1, z), cellIdx(x, y-1, z), cellIdx(x, y, z), cellIdx(x-1, y, z))
+			}
+		}
+	}
+	return mesh, nil
+}

@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"stwave/internal/grid"
+)
+
+// SSIM3D computes a mean structural similarity index over two 3D fields by
+// sliding a cubic window and averaging the per-window SSIM — the structural
+// quality metric compression papers report alongside point-wise errors.
+// SSIM weights local luminance, contrast, and structure; unlike NRMSE it
+// penalizes blur and structural loss even when point-wise errors are small.
+//
+// windowSize is the cube edge (typical: 4-8); stride windowSize/2 gives
+// overlapping windows. The dynamic range L is taken from the original
+// field. Returns a value in [-1, 1]; 1 means identical.
+func SSIM3D(orig, recon *grid.Field3D, windowSize int) (float64, error) {
+	if orig.Dims != recon.Dims {
+		return 0, fmt.Errorf("metrics: dims mismatch %v vs %v", orig.Dims, recon.Dims)
+	}
+	d := orig.Dims
+	if windowSize < 2 {
+		return 0, fmt.Errorf("metrics: SSIM window must be >= 2, got %d", windowSize)
+	}
+	if windowSize > d.Nx || windowSize > d.Ny || windowSize > d.Nz {
+		return 0, fmt.Errorf("metrics: SSIM window %d exceeds grid %v", windowSize, d)
+	}
+	l := Range(orig.Data)
+	if l == 0 {
+		// Constant original: identical reconstruction is perfect, anything
+		// else has no meaningful structure to compare.
+		for i := range orig.Data {
+			if orig.Data[i] != recon.Data[i] {
+				return 0, nil
+			}
+		}
+		return 1, nil
+	}
+	c1 := (0.01 * l) * (0.01 * l)
+	c2 := (0.03 * l) * (0.03 * l)
+	stride := windowSize / 2
+	if stride < 1 {
+		stride = 1
+	}
+
+	var sum float64
+	count := 0
+	nw := float64(windowSize * windowSize * windowSize)
+	for z0 := 0; z0+windowSize <= d.Nz; z0 += stride {
+		for y0 := 0; y0+windowSize <= d.Ny; y0 += stride {
+			for x0 := 0; x0+windowSize <= d.Nx; x0 += stride {
+				var muX, muY float64
+				for z := z0; z < z0+windowSize; z++ {
+					for y := y0; y < y0+windowSize; y++ {
+						base := (z*d.Ny + y) * d.Nx
+						for x := x0; x < x0+windowSize; x++ {
+							muX += orig.Data[base+x]
+							muY += recon.Data[base+x]
+						}
+					}
+				}
+				muX /= nw
+				muY /= nw
+				var varX, varY, cov float64
+				for z := z0; z < z0+windowSize; z++ {
+					for y := y0; y < y0+windowSize; y++ {
+						base := (z*d.Ny + y) * d.Nx
+						for x := x0; x < x0+windowSize; x++ {
+							dx := orig.Data[base+x] - muX
+							dy := recon.Data[base+x] - muY
+							varX += dx * dx
+							varY += dy * dy
+							cov += dx * dy
+						}
+					}
+				}
+				varX /= nw - 1
+				varY /= nw - 1
+				cov /= nw - 1
+				ssim := ((2*muX*muY + c1) * (2*cov + c2)) /
+					((muX*muX + muY*muY + c1) * (varX + varY + c2))
+				sum += ssim
+				count++
+			}
+		}
+	}
+	if count == 0 {
+		return 0, fmt.Errorf("metrics: no SSIM windows fit grid %v", d)
+	}
+	mean := sum / float64(count)
+	if math.IsNaN(mean) {
+		return 0, fmt.Errorf("metrics: SSIM produced NaN")
+	}
+	return mean, nil
+}

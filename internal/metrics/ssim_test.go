@@ -1,0 +1,117 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"stwave/internal/grid"
+)
+
+func smoothField3(n int) *grid.Field3D {
+	f := grid.NewField3D(n, n, n)
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				f.Set(x, y, z, math.Sin(0.5*float64(x))*math.Cos(0.4*float64(y))+0.1*float64(z))
+			}
+		}
+	}
+	return f
+}
+
+func TestSSIMIdenticalIsOne(t *testing.T) {
+	f := smoothField3(16)
+	s, err := SSIM3D(f, f, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-1) > 1e-12 {
+		t.Errorf("SSIM(f,f) = %g, want 1", s)
+	}
+}
+
+func TestSSIMDegradesWithNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := smoothField3(16)
+	addNoise := func(amp float64) *grid.Field3D {
+		g := f.Clone()
+		for i := range g.Data {
+			g.Data[i] += amp * rng.NormFloat64()
+		}
+		return g
+	}
+	sLow, err := SSIM3D(f, addNoise(0.01), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sHigh, err := SSIM3D(f, addNoise(0.5), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(sHigh < sLow && sLow < 1) {
+		t.Errorf("SSIM not monotone in noise: low=%g high=%g", sLow, sHigh)
+	}
+	if sHigh > 0.7 {
+		t.Errorf("heavy noise SSIM %g suspiciously high", sHigh)
+	}
+}
+
+func TestSSIMPenalizesBlurMoreThanNRMSEWould(t *testing.T) {
+	// Box-blur the field: small point-wise error on smooth data but
+	// structural loss where gradients live. SSIM must drop below 1.
+	f := smoothField3(16)
+	blurred := f.Clone()
+	d := f.Dims
+	for z := 1; z < d.Nz-1; z++ {
+		for y := 1; y < d.Ny-1; y++ {
+			for x := 1; x < d.Nx-1; x++ {
+				sum := 0.0
+				for dz := -1; dz <= 1; dz++ {
+					for dy := -1; dy <= 1; dy++ {
+						for dx := -1; dx <= 1; dx++ {
+							sum += f.At(x+dx, y+dy, z+dz)
+						}
+					}
+				}
+				blurred.Set(x, y, z, sum/27)
+			}
+		}
+	}
+	s, err := SSIM3D(f, blurred, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s >= 0.999 {
+		t.Errorf("blur SSIM %g — metric failed to notice structural loss", s)
+	}
+	if s < 0.5 {
+		t.Errorf("blur SSIM %g implausibly low for mild blur", s)
+	}
+}
+
+func TestSSIMConstantFields(t *testing.T) {
+	f := grid.NewField3D(8, 8, 8)
+	f.Fill(5)
+	if s, err := SSIM3D(f, f.Clone(), 4); err != nil || s != 1 {
+		t.Errorf("constant identical: %g, %v", s, err)
+	}
+	g := f.Clone()
+	g.Data[0] = 6
+	if s, err := SSIM3D(f, g, 4); err != nil || s != 0 {
+		t.Errorf("constant mismatched: %g, %v", s, err)
+	}
+}
+
+func TestSSIMValidation(t *testing.T) {
+	f := grid.NewField3D(8, 8, 8)
+	if _, err := SSIM3D(f, grid.NewField3D(9, 8, 8), 4); err == nil {
+		t.Error("expected dims mismatch error")
+	}
+	if _, err := SSIM3D(f, f, 1); err == nil {
+		t.Error("expected window-too-small error")
+	}
+	if _, err := SSIM3D(f, f, 20); err == nil {
+		t.Error("expected window-too-large error")
+	}
+}

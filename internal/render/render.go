@@ -1,0 +1,212 @@
+// Package render produces quick-look images from scalar fields: grayscale
+// or false-color slices and maximum-intensity projections, written as
+// PGM/PPM (stdlib-only formats every image tool reads). A visualization
+// paper's repo needs a way to actually look at the data; this is the
+// minimal honest version.
+package render
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+
+	"stwave/internal/grid"
+)
+
+// Image is a row-major grayscale image with float64 intensities in [0, 1].
+type Image struct {
+	W, H int
+	Pix  []float64
+}
+
+// NewImage allocates a black image.
+func NewImage(w, h int) *Image {
+	return &Image{W: w, H: h, Pix: make([]float64, w*h)}
+}
+
+// At returns the intensity at (x, y).
+func (im *Image) At(x, y int) float64 { return im.Pix[y*im.W+x] }
+
+// Set stores an intensity at (x, y), clamped to [0, 1].
+func (im *Image) Set(x, y int, v float64) {
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	im.Pix[y*im.W+x] = v
+}
+
+// normalize maps data values to [0,1] over the given range; a zero range
+// maps everything to 0.5.
+func normalize(v, lo, hi float64) float64 {
+	if hi <= lo {
+		return 0.5
+	}
+	return (v - lo) / (hi - lo)
+}
+
+// SliceXY renders the z=k plane of the field, normalized to the field's
+// global min/max (so slices of one variable share a scale).
+func SliceXY(f *grid.Field3D, k int) (*Image, error) {
+	plane, err := f.SliceXY(k)
+	if err != nil {
+		return nil, err
+	}
+	lo, hi := f.MinMax()
+	im := NewImage(f.Dims.Nx, f.Dims.Ny)
+	for y, row := range plane {
+		for x, v := range row {
+			im.Set(x, y, normalize(v, lo, hi))
+		}
+	}
+	return im, nil
+}
+
+// MIPAxis selects the projection axis.
+type MIPAxis int
+
+const (
+	// AlongZ projects onto the XY plane.
+	AlongZ MIPAxis = iota
+	// AlongY projects onto the XZ plane.
+	AlongY
+	// AlongX projects onto the YZ plane.
+	AlongX
+)
+
+// MIP computes a maximum-intensity projection along the chosen axis.
+func MIP(f *grid.Field3D, axis MIPAxis) (*Image, error) {
+	d := f.Dims
+	lo, hi := f.MinMax()
+	var w, h int
+	switch axis {
+	case AlongZ:
+		w, h = d.Nx, d.Ny
+	case AlongY:
+		w, h = d.Nx, d.Nz
+	case AlongX:
+		w, h = d.Ny, d.Nz
+	default:
+		return nil, fmt.Errorf("render: unknown axis %d", int(axis))
+	}
+	im := NewImage(w, h)
+	for i := range im.Pix {
+		im.Pix[i] = math.Inf(-1)
+	}
+	for z := 0; z < d.Nz; z++ {
+		for y := 0; y < d.Ny; y++ {
+			for x := 0; x < d.Nx; x++ {
+				v := f.At(x, y, z)
+				var px, py int
+				switch axis {
+				case AlongZ:
+					px, py = x, y
+				case AlongY:
+					px, py = x, z
+				default:
+					px, py = y, z
+				}
+				if idx := py*im.W + px; v > im.Pix[idx] {
+					im.Pix[idx] = v
+				}
+			}
+		}
+	}
+	for i, v := range im.Pix {
+		im.Pix[i] = normalize(v, lo, hi)
+	}
+	return im, nil
+}
+
+// WritePGM writes the image as a binary PGM (8-bit grayscale).
+func (im *Image) WritePGM(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P5\n%d %d\n255\n", im.W, im.H); err != nil {
+		return err
+	}
+	for _, v := range im.Pix {
+		if err := bw.WriteByte(byte(math.Round(v * 255))); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WritePPM writes the image as a binary PPM using a blue-white-red
+// diverging colormap centered at 0.5 — the conventional palette for signed
+// simulation fields.
+func (im *Image) WritePPM(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P6\n%d %d\n255\n", im.W, im.H); err != nil {
+		return err
+	}
+	for _, v := range im.Pix {
+		r, g, b := divergingRGB(v)
+		if err := bw.WriteByte(r); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(g); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(b); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// divergingRGB maps t in [0,1] through blue -> white -> red.
+func divergingRGB(t float64) (r, g, b byte) {
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	if t < 0.5 {
+		// blue (0.23,0.30,0.75) to white
+		f := t * 2
+		return lerpByte(58, 255, f), lerpByte(76, 255, f), lerpByte(192, 255, f)
+	}
+	// white to red (0.71,0.02,0.15)
+	f := (t - 0.5) * 2
+	return lerpByte(255, 180, f), lerpByte(255, 4, f), lerpByte(255, 38, f)
+}
+
+func lerpByte(a, b int, f float64) byte {
+	return byte(math.Round(float64(a) + f*float64(b-a)))
+}
+
+// ASCII renders the image as a text art string with the given width (for
+// terminal previews); the aspect ratio is corrected for tall characters.
+func (im *Image) ASCII(width int) string {
+	if width < 1 || im.W == 0 || im.H == 0 {
+		return ""
+	}
+	const ramp = " .:-=+*#%@"
+	height := im.H * width / im.W / 2
+	if height < 1 {
+		height = 1
+	}
+	out := make([]byte, 0, (width+1)*height)
+	for y := 0; y < height; y++ {
+		sy := y * im.H / height
+		for x := 0; x < width; x++ {
+			sx := x * im.W / width
+			v := im.At(sx, sy)
+			idx := int(v * float64(len(ramp)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(ramp) {
+				idx = len(ramp) - 1
+			}
+			out = append(out, ramp[idx])
+		}
+		out = append(out, '\n')
+	}
+	return string(out)
+}

@@ -1,0 +1,104 @@
+package cloverleaf
+
+// Second-order MUSCL reconstruction (opt-in via Config.SecondOrder): face
+// states are extrapolated from cell centers with minmod-limited slopes of
+// the primitive variables, halving the numerical diffusion of the
+// first-order scheme. Sharper fronts mean less spatial coherence in the
+// output — a knob for studying how solver accuracy interacts with
+// compression (the real CloverLeaf is second order).
+//
+// Wall faces keep exact conservation: the interior state is reconstructed
+// to the face and the ghost is its mirror (normal velocity negated), so the
+// Rusanov mass/energy fluxes cancel exactly as in the first-order scheme.
+
+// prim5 carries the primitive variables (rho, u, v, w, p).
+type prim5 [5]float64
+
+func (s *Solver) prim5At(x, y, z int) prim5 {
+	c := s.primitive(s.idx(x, y, z))
+	return prim5{c.rho, c.u, c.v, c.w, c.p}
+}
+
+func minmod(a, b float64) float64 {
+	if a*b <= 0 {
+		return 0
+	}
+	if a > 0 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// slope5 returns the minmod-limited one-sided slope of the primitives at
+// (x,y,z) along axis, using reflective neighbor indexing.
+func (s *Solver) slope5(x, y, z, axis int) prim5 {
+	var xm, ym, zm, xp, yp, zp = x, y, z, x, y, z
+	switch axis {
+	case 0:
+		xm, xp = x-1, x+1
+	case 1:
+		ym, yp = y-1, y+1
+	default:
+		zm, zp = z-1, z+1
+	}
+	c := s.prim5At(x, y, z)
+	m := s.prim5At(xm, ym, zm)
+	p := s.prim5At(xp, yp, zp)
+	var out prim5
+	for i := 0; i < 5; i++ {
+		out[i] = minmod(c[i]-m[i], p[i]-c[i])
+	}
+	return out
+}
+
+// toCell converts primitives to the full cell state, flooring pressure and
+// density to keep reconstructed states physical.
+func (p prim5) toCell() cell {
+	rho, u, v, w, pr := p[0], p[1], p[2], p[3], p[4]
+	if rho < 1e-12 {
+		rho = 1e-12
+	}
+	if pr < 1e-12 {
+		pr = 1e-12
+	}
+	e := pr/(gamma-1) + 0.5*rho*(u*u+v*v+w*w)
+	return cell{rho, u, v, w, pr, e}
+}
+
+// faceStates returns the reconstructed (left, right) states at the +axis
+// face of cell (x,y,z); the right cell is (xr,yr,zr). When secondOrder is
+// off this reduces to the plain cell states.
+func (s *Solver) faceStates(x, y, z, xr, yr, zr, axis int) (l, r cell) {
+	if !s.cfg.SecondOrder {
+		return s.primitive(s.idx(x, y, z)), s.primitive(s.idx(xr, yr, zr))
+	}
+	pl := s.prim5At(x, y, z)
+	sl := s.slope5(x, y, z, axis)
+	pr := s.prim5At(xr, yr, zr)
+	sr := s.slope5(xr, yr, zr, axis)
+	var lp, rp prim5
+	for i := 0; i < 5; i++ {
+		lp[i] = pl[i] + 0.5*sl[i]
+		rp[i] = pr[i] - 0.5*sr[i]
+	}
+	return lp.toCell(), rp.toCell()
+}
+
+// mirror negates the normal velocity component — the reflective-wall ghost.
+func mirror(c cell, axis int) cell {
+	switch axis {
+	case 0:
+		c.u = -c.u
+	case 1:
+		c.v = -c.v
+	default:
+		c.w = -c.w
+	}
+	return c
+}

@@ -1,0 +1,139 @@
+package ghost
+
+import (
+	"math"
+
+	"stwave/internal/grid"
+)
+
+// Velocity returns the physical-space velocity components as fresh fields.
+func (s *Solver) Velocity() (u, v, w *grid.Field3D) {
+	out := [3]*grid.Field3D{}
+	for c := 0; c < 3; c++ {
+		copy(s.phys[c], s.uh[c])
+		s.plan.Inverse(s.phys[c])
+		f := grid.NewField3D(s.n, s.n, s.n)
+		for i := range f.Data {
+			f.Data[i] = real(s.phys[c][i])
+		}
+		out[c] = f
+	}
+	return out[0], out[1], out[2]
+}
+
+// VelocityX returns only the X-velocity component — the variable the
+// paper's Figure 2/3 experiments use.
+func (s *Solver) VelocityX() *grid.Field3D {
+	copy(s.phys[0], s.uh[0])
+	s.plan.Inverse(s.phys[0])
+	f := grid.NewField3D(s.n, s.n, s.n)
+	for i := range f.Data {
+		f.Data[i] = real(s.phys[0][i])
+	}
+	return f
+}
+
+// Enstrophy returns the point-wise enstrophy density |ω|² where ω = ∇×u is
+// computed spectrally.
+func (s *Solver) Enstrophy() *grid.Field3D {
+	n := s.n
+	// ω̂_x = i(k_y û_z - k_z û_y), cyclic.
+	curl := func(a, b int, ka, kb func(x, y, z int) float64, dst []complex128) {
+		for z := 0; z < n; z++ {
+			for y := 0; y < n; y++ {
+				base := (z*n + y) * n
+				for x := 0; x < n; x++ {
+					idx := base + x
+					va := s.uh[b][idx]
+					vb := s.uh[a][idx]
+					kA := ka(x, y, z)
+					kB := kb(x, y, z)
+					// i*(kA*u_b - kB*u_a)
+					re := -(kA*imag(va) - kB*imag(vb))
+					im := kA*real(va) - kB*real(vb)
+					dst[idx] = complex(re, im)
+				}
+			}
+		}
+		s.plan.Inverse(dst)
+	}
+	kx := func(x, y, z int) float64 { return s.k[x] }
+	ky := func(x, y, z int) float64 { return s.k[y] }
+	kz := func(x, y, z int) float64 { return s.k[z] }
+
+	wx := s.grad[0][0]
+	wy := s.grad[0][1]
+	wz := s.grad[0][2]
+	curl(1, 2, ky, kz, wx) // ω_x = ∂_y u_z - ∂_z u_y
+	curl(2, 0, kz, kx, wy) // ω_y = ∂_z u_x - ∂_x u_z
+	curl(0, 1, kx, ky, wz) // ω_z = ∂_x u_y - ∂_y u_x
+
+	f := grid.NewField3D(n, n, n)
+	for i := range f.Data {
+		ox, oy, oz := real(wx[i]), real(wy[i]), real(wz[i])
+		f.Data[i] = ox*ox + oy*oy + oz*oz
+	}
+	return f
+}
+
+// KineticEnergy returns the volume-averaged kinetic energy (1/2)<|u|²>,
+// computed spectrally via Parseval.
+func (s *Solver) KineticEnergy() float64 {
+	total := float64(s.n * s.n * s.n)
+	var e float64
+	for c := 0; c < 3; c++ {
+		for _, v := range s.uh[c] {
+			e += real(v)*real(v) + imag(v)*imag(v)
+		}
+	}
+	return 0.5 * e / (total * total)
+}
+
+// MaxDivergence returns max_k |k·û(k)| / max_k |û(k)| — a normalized
+// measure of how divergence-free the spectral state is (should be at
+// round-off).
+func (s *Solver) MaxDivergence() float64 {
+	n := s.n
+	var maxDiv, maxU float64
+	for z := 0; z < n; z++ {
+		kz := s.k[z]
+		for y := 0; y < n; y++ {
+			ky := s.k[y]
+			base := (z*n + y) * n
+			for x := 0; x < n; x++ {
+				kx := s.k[x]
+				idx := base + x
+				div := complex(kx, 0)*s.uh[0][idx] + complex(ky, 0)*s.uh[1][idx] + complex(kz, 0)*s.uh[2][idx]
+				if d := math.Hypot(real(div), imag(div)); d > maxDiv {
+					maxDiv = d
+				}
+				for c := 0; c < 3; c++ {
+					if m := math.Hypot(real(s.uh[c][idx]), imag(s.uh[c][idx])); m > maxU {
+						maxU = m
+					}
+				}
+			}
+		}
+	}
+	if maxU == 0 {
+		return 0
+	}
+	return maxDiv / maxU
+}
+
+// CFL returns the current convective CFL number u_max * dt / dx; stable
+// runs keep this below ~1.
+func (s *Solver) CFL() float64 {
+	var umax float64
+	for c := 0; c < 3; c++ {
+		copy(s.phys[c], s.uh[c])
+		s.plan.Inverse(s.phys[c])
+		for _, v := range s.phys[c] {
+			if a := math.Abs(real(v)); a > umax {
+				umax = a
+			}
+		}
+	}
+	dx := 2 * math.Pi / float64(s.n)
+	return umax * s.cfg.Dt / dx
+}

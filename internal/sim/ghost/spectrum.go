@@ -1,0 +1,54 @@
+package ghost
+
+import "math"
+
+// EnergySpectrum returns the shell-averaged kinetic energy spectrum E(k)
+// for integer wavenumber shells k = 0 .. n/2: the energy of all spectral
+// modes whose |k| rounds to the shell index, with the Parseval
+// normalization matching KineticEnergy (sum over shells equals the total).
+// Turbulence diagnostics use this to verify the forced cascade develops a
+// decreasing spectrum toward the dissipation range.
+func (s *Solver) EnergySpectrum() []float64 {
+	n := s.n
+	shells := n/2 + 1
+	spec := make([]float64, shells)
+	total := float64(n * n * n)
+	norm := 0.5 / (total * total)
+	for z := 0; z < n; z++ {
+		kz := s.k[z]
+		for y := 0; y < n; y++ {
+			ky := s.k[y]
+			base := (z*n + y) * n
+			for x := 0; x < n; x++ {
+				kx := s.k[x]
+				shell := int(math.Round(math.Sqrt(kx*kx + ky*ky + kz*kz)))
+				if shell >= shells {
+					continue
+				}
+				idx := base + x
+				var e float64
+				for c := 0; c < 3; c++ {
+					v := s.uh[c][idx]
+					e += real(v)*real(v) + imag(v)*imag(v)
+				}
+				spec[shell] += e * norm
+			}
+		}
+	}
+	return spec
+}
+
+// IntegralScale returns the energy-weighted inverse wavenumber — a measure
+// of the dominant eddy size, 2π/k_peak-ish, in domain units.
+func (s *Solver) IntegralScale() float64 {
+	spec := s.EnergySpectrum()
+	var num, den float64
+	for k := 1; k < len(spec); k++ {
+		num += spec[k] / float64(k)
+		den += spec[k]
+	}
+	if den == 0 {
+		return 0
+	}
+	return 2 * math.Pi * num / den
+}

@@ -1,0 +1,180 @@
+// Package synth generates synthetic turbulence-like scalar and vector
+// fields by superposing random Fourier modes with a Kolmogorov-like energy
+// spectrum and eddy-turnover temporal decorrelation ("kinematic simulation"
+// in the turbulence literature). It produces fields with controllable
+// spatial and temporal coherence at any grid size in O(modes × gridpoints)
+// time, which makes it the cheap stand-in for large production grids where
+// running the real pseudo-spectral solver would be wasteful.
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"stwave/internal/grid"
+)
+
+// Config controls the generated ensemble.
+type Config struct {
+	// Modes is the number of random Fourier modes (more modes, smoother
+	// statistics). Typical: 32-128.
+	Modes int
+	// MaxWavenumber bounds |k| of the modes; higher adds finer spatial
+	// detail (less spatial coherence).
+	MaxWavenumber float64
+	// SpectrumSlope is the exponent p in amplitude ~ |k|^{-p}. Kolmogorov
+	// velocity spectra correspond to p ≈ 11/6 for component amplitudes.
+	SpectrumSlope float64
+	// TimeScale sets temporal decorrelation: mode frequency
+	// ω = |k|^{2/3} / TimeScale. Larger means more temporal coherence.
+	TimeScale float64
+	// Seed fixes the random ensemble.
+	Seed int64
+}
+
+// DefaultConfig returns a Ghost-like, strongly coherent configuration.
+func DefaultConfig() Config {
+	return Config{
+		Modes:         64,
+		MaxWavenumber: 8,
+		SpectrumSlope: 11.0 / 6.0,
+		TimeScale:     10,
+		Seed:          1,
+	}
+}
+
+type mode struct {
+	kx, ky, kz float64
+	amp        float64
+	phase      float64
+	omega      float64
+	// dir is the unit amplitude direction for vector fields, chosen
+	// perpendicular to k so the synthesized velocity is divergence-free.
+	dx, dy, dz float64
+}
+
+// Field synthesizes time-varying fields from a fixed mode ensemble. It is
+// safe for concurrent sampling.
+type Field struct {
+	cfg   Config
+	modes []mode
+}
+
+// NewField draws the random ensemble.
+func NewField(cfg Config) (*Field, error) {
+	if cfg.Modes < 1 {
+		return nil, fmt.Errorf("synth: need at least 1 mode, got %d", cfg.Modes)
+	}
+	if cfg.MaxWavenumber <= 0 {
+		return nil, fmt.Errorf("synth: MaxWavenumber must be positive, got %g", cfg.MaxWavenumber)
+	}
+	if cfg.TimeScale <= 0 {
+		return nil, fmt.Errorf("synth: TimeScale must be positive, got %g", cfg.TimeScale)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	f := &Field{cfg: cfg, modes: make([]mode, cfg.Modes)}
+	for i := range f.modes {
+		// Wavenumber magnitude log-distributed in [1, MaxWavenumber].
+		kmag := math.Exp(rng.Float64() * math.Log(cfg.MaxWavenumber))
+		// Uniform random direction.
+		theta := math.Acos(2*rng.Float64() - 1)
+		phi := 2 * math.Pi * rng.Float64()
+		kx := kmag * math.Sin(theta) * math.Cos(phi)
+		ky := kmag * math.Sin(theta) * math.Sin(phi)
+		kz := kmag * math.Cos(theta)
+		// Amplitude direction: random vector projected perpendicular to k.
+		ax, ay, az := rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()
+		dot := (ax*kx + ay*ky + az*kz) / (kmag * kmag)
+		ax -= dot * kx
+		ay -= dot * ky
+		az -= dot * kz
+		norm := math.Sqrt(ax*ax + ay*ay + az*az)
+		if norm == 0 {
+			ax, ay, az, norm = 1, 0, 0, 1
+		}
+		f.modes[i] = mode{
+			kx: kx, ky: ky, kz: kz,
+			amp:   math.Pow(kmag, -cfg.SpectrumSlope),
+			phase: 2 * math.Pi * rng.Float64(),
+			omega: math.Pow(kmag, 2.0/3.0) / cfg.TimeScale,
+			dx:    ax / norm, dy: ay / norm, dz: az / norm,
+		}
+	}
+	return f, nil
+}
+
+// ScalarAt evaluates the scalar field at physical point (x, y, z) and time
+// t. Coordinates live on the unit torus scale: one spatial unit spans the
+// lowest wavenumber.
+func (f *Field) ScalarAt(x, y, z, t float64) float64 {
+	var v float64
+	for i := range f.modes {
+		m := &f.modes[i]
+		v += m.amp * math.Sin(m.kx*x+m.ky*y+m.kz*z+m.omega*t+m.phase)
+	}
+	return v
+}
+
+// VelocityAt evaluates the divergence-free synthetic velocity at a point.
+func (f *Field) VelocityAt(x, y, z, t float64) (u, v, w float64) {
+	for i := range f.modes {
+		m := &f.modes[i]
+		s := m.amp * math.Sin(m.kx*x+m.ky*y+m.kz*z+m.omega*t+m.phase)
+		u += m.dx * s
+		v += m.dy * s
+		w += m.dz * s
+	}
+	return u, v, w
+}
+
+// SampleScalar fills an nx×ny×nz grid spanning [0, 2π)³ with the scalar
+// field at time t.
+func (f *Field) SampleScalar(nx, ny, nz int, t float64) *grid.Field3D {
+	out := grid.NewField3D(nx, ny, nz)
+	hx := 2 * math.Pi / float64(nx)
+	hy := 2 * math.Pi / float64(ny)
+	hz := 2 * math.Pi / float64(nz)
+	for z := 0; z < nz; z++ {
+		Z := float64(z) * hz
+		for y := 0; y < ny; y++ {
+			Y := float64(y) * hy
+			for x := 0; x < nx; x++ {
+				out.Set(x, y, z, f.ScalarAt(float64(x)*hx, Y, Z, t))
+			}
+		}
+	}
+	return out
+}
+
+// SampleVelocityX fills a grid with the X component of the synthetic
+// velocity at time t.
+func (f *Field) SampleVelocityX(nx, ny, nz int, t float64) *grid.Field3D {
+	out := grid.NewField3D(nx, ny, nz)
+	hx := 2 * math.Pi / float64(nx)
+	hy := 2 * math.Pi / float64(ny)
+	hz := 2 * math.Pi / float64(nz)
+	for z := 0; z < nz; z++ {
+		Z := float64(z) * hz
+		for y := 0; y < ny; y++ {
+			Y := float64(y) * hy
+			for x := 0; x < nx; x++ {
+				u, _, _ := f.VelocityAt(float64(x)*hx, Y, Z, t)
+				out.Set(x, y, z, u)
+			}
+		}
+	}
+	return out
+}
+
+// ScalarWindow samples `count` scalar slices at interval dt starting at t0.
+func (f *Field) ScalarWindow(nx, ny, nz, count int, t0, dt float64) *grid.Window {
+	w := grid.NewWindow(grid.Dims{Nx: nx, Ny: ny, Nz: nz})
+	for i := 0; i < count; i++ {
+		t := t0 + float64(i)*dt
+		if err := w.Append(f.SampleScalar(nx, ny, nz, t), t); err != nil {
+			panic(err) // dims are ours by construction
+		}
+	}
+	return w
+}

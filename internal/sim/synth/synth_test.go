@@ -1,0 +1,185 @@
+package synth
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewFieldValidation(t *testing.T) {
+	if _, err := NewField(Config{Modes: 0, MaxWavenumber: 4, TimeScale: 1}); err == nil {
+		t.Error("expected error for zero modes")
+	}
+	if _, err := NewField(Config{Modes: 4, MaxWavenumber: 0, TimeScale: 1}); err == nil {
+		t.Error("expected error for zero MaxWavenumber")
+	}
+	if _, err := NewField(Config{Modes: 4, MaxWavenumber: 4, TimeScale: 0}); err == nil {
+		t.Error("expected error for zero TimeScale")
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	f1, err := NewField(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := NewField(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		x := float64(i) * 0.37
+		if f1.ScalarAt(x, 2*x, 0.5*x, 1.0) != f2.ScalarAt(x, 2*x, 0.5*x, 1.0) {
+			t.Fatal("same seed produced different fields")
+		}
+	}
+	cfg := DefaultConfig()
+	cfg.Seed = 99
+	f3, err := NewField(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1.ScalarAt(1, 2, 3, 4) == f3.ScalarAt(1, 2, 3, 4) {
+		t.Error("different seeds produced identical value (vanishingly unlikely)")
+	}
+}
+
+// The synthesized velocity must be (analytically) divergence-free: check
+// numerically with central differences.
+func TestVelocityDivergenceFree(t *testing.T) {
+	f, err := NewField(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := 1e-5
+	checkAt := func(x, y, z, tt float64) {
+		u1, _, _ := f.VelocityAt(x+h, y, z, tt)
+		u0, _, _ := f.VelocityAt(x-h, y, z, tt)
+		_, v1, _ := f.VelocityAt(x, y+h, z, tt)
+		_, v0, _ := f.VelocityAt(x, y-h, z, tt)
+		_, _, w1 := f.VelocityAt(x, y, z+h, tt)
+		_, _, w0 := f.VelocityAt(x, y, z-h, tt)
+		div := (u1-u0)/(2*h) + (v1-v0)/(2*h) + (w1-w0)/(2*h)
+		// Scale tolerance by a typical gradient magnitude.
+		scale := math.Abs(u1-u0)/(2*h) + math.Abs(v1-v0)/(2*h) + math.Abs(w1-w0)/(2*h) + 1
+		if math.Abs(div) > 1e-4*scale {
+			t.Errorf("divergence %g at (%g,%g,%g,t=%g)", div, x, y, z, tt)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		fi := float64(i)
+		checkAt(0.3*fi, 1.1*fi, 0.7*fi, 0.5*fi)
+	}
+}
+
+// Temporal coherence knob: a larger TimeScale must yield higher correlation
+// between consecutive samples.
+func TestTimeScaleControlsTemporalCoherence(t *testing.T) {
+	corr := func(timeScale float64) float64 {
+		cfg := DefaultConfig()
+		cfg.TimeScale = timeScale
+		f, err := NewField(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := f.SampleScalar(12, 12, 12, 0)
+		b := f.SampleScalar(12, 12, 12, 5.0)
+		var num, da, db float64
+		for i := range a.Data {
+			num += a.Data[i] * b.Data[i]
+			da += a.Data[i] * a.Data[i]
+			db += b.Data[i] * b.Data[i]
+		}
+		return num / math.Sqrt(da*db)
+	}
+	coherent := corr(50)
+	incoherent := corr(0.5)
+	if coherent <= incoherent {
+		t.Errorf("correlation with TimeScale=50 (%.3f) not above TimeScale=0.5 (%.3f)", coherent, incoherent)
+	}
+	if coherent < 0.9 {
+		t.Errorf("long TimeScale correlation %.3f, want > 0.9", coherent)
+	}
+}
+
+func TestSampleScalarMatchesPointEvaluation(t *testing.T) {
+	f, err := NewField(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := f.SampleScalar(8, 6, 4, 2.5)
+	if g.Dims.Nx != 8 || g.Dims.Ny != 6 || g.Dims.Nz != 4 {
+		t.Fatalf("dims = %v", g.Dims)
+	}
+	h := 2 * math.Pi
+	want := f.ScalarAt(3*h/8, 2*h/6, 1*h/4, 2.5)
+	if got := g.At(3, 2, 1); got != want {
+		t.Errorf("grid sample %g != point evaluation %g", got, want)
+	}
+}
+
+func TestScalarWindow(t *testing.T) {
+	f, err := NewField(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := f.ScalarWindow(6, 6, 6, 5, 10, 2)
+	if w.Len() != 5 {
+		t.Fatalf("window len = %d", w.Len())
+	}
+	if w.Times[0] != 10 || w.Times[4] != 18 {
+		t.Errorf("times = %v", w.Times)
+	}
+	// Slices must differ over time but not wildly (coherence).
+	var diff, norm float64
+	for i := range w.Slices[0].Data {
+		d := w.Slices[1].Data[i] - w.Slices[0].Data[i]
+		diff += d * d
+		norm += w.Slices[0].Data[i] * w.Slices[0].Data[i]
+	}
+	if diff == 0 {
+		t.Error("consecutive slices identical")
+	}
+	if diff > norm {
+		t.Error("consecutive slices essentially uncorrelated at default settings")
+	}
+}
+
+func TestSpectrumSlopeDampsHighK(t *testing.T) {
+	// With a steep slope, the field is dominated by the lowest wavenumber
+	// modes, so its value changes slowly in space.
+	cfg := DefaultConfig()
+	cfg.SpectrumSlope = 4
+	smoothF, err := NewField(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.SpectrumSlope = 0
+	roughF, err := NewField(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variation := func(f *Field) float64 {
+		var v float64
+		prev := f.ScalarAt(0, 0, 0, 0)
+		for i := 1; i <= 200; i++ {
+			x := float64(i) * 0.05
+			cur := f.ScalarAt(x, 0, 0, 0)
+			v += math.Abs(cur - prev)
+			prev = cur
+		}
+		return v
+	}
+	// Normalize by field amplitude.
+	amp := func(f *Field) float64 {
+		var a float64
+		for i := 0; i < 100; i++ {
+			a += math.Abs(f.ScalarAt(float64(i)*0.173, float64(i)*0.311, 0, 0))
+		}
+		return a / 100
+	}
+	smoothVar := variation(smoothF) / amp(smoothF)
+	roughVar := variation(roughF) / amp(roughF)
+	if smoothVar >= roughVar {
+		t.Errorf("steep-spectrum variation %.3g not below flat-spectrum %.3g", smoothVar, roughVar)
+	}
+}

@@ -1,0 +1,164 @@
+package tornado
+
+import (
+	"stwave/internal/grid"
+)
+
+// Cell spacing helpers: grid index i maps to physical coordinate
+// (i + 0.5) * L / N (cell centers).
+
+// CellX returns the physical X coordinate of cell index i.
+func (m *Model) CellX(i int) float64 { return (float64(i) + 0.5) * m.cfg.Lx / float64(m.cfg.Nx) }
+
+// CellY returns the physical Y coordinate of cell index j.
+func (m *Model) CellY(j int) float64 { return (float64(j) + 0.5) * m.cfg.Ly / float64(m.cfg.Ny) }
+
+// CellZ returns the physical Z coordinate of cell index k.
+func (m *Model) CellZ(k int) float64 { return (float64(k) + 0.5) * m.cfg.Lz / float64(m.cfg.Nz) }
+
+// Spacing returns the physical cell sizes (dx, dy, dz) in meters.
+func (m *Model) Spacing() (dx, dy, dz float64) {
+	return m.cfg.Lx / float64(m.cfg.Nx), m.cfg.Ly / float64(m.cfg.Ny), m.cfg.Lz / float64(m.cfg.Nz)
+}
+
+// sample fills a grid by evaluating fn at every cell center.
+func (m *Model) sample(fn func(x, y, z float64) float64) *grid.Field3D {
+	f := grid.NewField3D(m.cfg.Nx, m.cfg.Ny, m.cfg.Nz)
+	for k := 0; k < m.cfg.Nz; k++ {
+		Z := m.CellZ(k)
+		for j := 0; j < m.cfg.Ny; j++ {
+			Y := m.CellY(j)
+			for i := 0; i < m.cfg.Nx; i++ {
+				f.Set(i, j, k, fn(m.CellX(i), Y, Z))
+			}
+		}
+	}
+	return f
+}
+
+// Velocity samples all three wind components at time t.
+func (m *Model) Velocity(t float64) (u, v, w *grid.Field3D) {
+	u = grid.NewField3D(m.cfg.Nx, m.cfg.Ny, m.cfg.Nz)
+	v = grid.NewField3D(m.cfg.Nx, m.cfg.Ny, m.cfg.Nz)
+	w = grid.NewField3D(m.cfg.Nx, m.cfg.Ny, m.cfg.Nz)
+	for k := 0; k < m.cfg.Nz; k++ {
+		Z := m.CellZ(k)
+		for j := 0; j < m.cfg.Ny; j++ {
+			Y := m.CellY(j)
+			for i := 0; i < m.cfg.Nx; i++ {
+				uu, vv, ww := m.VelocityAt(m.CellX(i), Y, Z, t)
+				idx := u.Index(i, j, k)
+				u.Data[idx] = uu
+				v.Data[idx] = vv
+				w.Data[idx] = ww
+			}
+		}
+	}
+	return u, v, w
+}
+
+// VelocityX samples the X wind component at time t.
+func (m *Model) VelocityX(t float64) *grid.Field3D {
+	return m.sample(func(x, y, z float64) float64 {
+		u, _, _ := m.VelocityAt(x, y, z, t)
+		return u
+	})
+}
+
+// VelocityZ samples the vertical wind component at time t (the paper's
+// isosurface study uses Z-velocity).
+func (m *Model) VelocityZ(t float64) *grid.Field3D {
+	return m.sample(func(x, y, z float64) float64 {
+		_, _, w := m.VelocityAt(x, y, z, t)
+		return w
+	})
+}
+
+// PressurePerturbation samples the pressure deficit field at time t.
+func (m *Model) PressurePerturbation(t float64) *grid.Field3D {
+	return m.sample(func(x, y, z float64) float64 {
+		return m.PressurePerturbationAt(x, y, z, t)
+	})
+}
+
+// CloudMixingRatio samples the cloud water field at time t.
+func (m *Model) CloudMixingRatio(t float64) *grid.Field3D {
+	return m.sample(func(x, y, z float64) float64 {
+		return m.CloudMixingRatioAt(x, y, z, t)
+	})
+}
+
+// Enstrophy samples |curl u|² at time t using centered finite differences
+// of the gridded velocity (matching how a post-processing tool would derive
+// it from stored slices).
+func (m *Model) Enstrophy(t float64) *grid.Field3D {
+	u, v, w := m.Velocity(t)
+	dx, dy, dz := m.Spacing()
+	return CurlMagnitudeSquared(u, v, w, dx, dy, dz)
+}
+
+// CurlMagnitudeSquared computes |∇×(u,v,w)|² by centered differences with
+// one-sided stencils at the boundaries. The three fields must share dims.
+func CurlMagnitudeSquared(u, v, w *grid.Field3D, spacing ...float64) *grid.Field3D {
+	dx, dy, dz := 1.0, 1.0, 1.0
+	if len(spacing) == 3 {
+		dx, dy, dz = spacing[0], spacing[1], spacing[2]
+	}
+	d := u.Dims
+	out := grid.NewField3D(d.Nx, d.Ny, d.Nz)
+	deriv := func(f *grid.Field3D, x, y, z, axis int, h float64) float64 {
+		get := func(dx2, dy2, dz2 int) float64 {
+			xx, yy, zz := x+dx2, y+dy2, z+dz2
+			if xx < 0 {
+				xx = 0
+			}
+			if yy < 0 {
+				yy = 0
+			}
+			if zz < 0 {
+				zz = 0
+			}
+			if xx >= d.Nx {
+				xx = d.Nx - 1
+			}
+			if yy >= d.Ny {
+				yy = d.Ny - 1
+			}
+			if zz >= d.Nz {
+				zz = d.Nz - 1
+			}
+			return f.At(xx, yy, zz)
+		}
+		var plus, minus float64
+		span := 2.0
+		switch axis {
+		case 0:
+			plus, minus = get(1, 0, 0), get(-1, 0, 0)
+			if x == 0 || x == d.Nx-1 {
+				span = 1
+			}
+		case 1:
+			plus, minus = get(0, 1, 0), get(0, -1, 0)
+			if y == 0 || y == d.Ny-1 {
+				span = 1
+			}
+		default:
+			plus, minus = get(0, 0, 1), get(0, 0, -1)
+			if z == 0 || z == d.Nz-1 {
+				span = 1
+			}
+		}
+		return (plus - minus) / (span * h)
+	}
+	for z := 0; z < d.Nz; z++ {
+		for y := 0; y < d.Ny; y++ {
+			for x := 0; x < d.Nx; x++ {
+				ox := deriv(w, x, y, z, 1, dy) - deriv(v, x, y, z, 2, dz)
+				oy := deriv(u, x, y, z, 2, dz) - deriv(w, x, y, z, 0, dx)
+				oz := deriv(v, x, y, z, 0, dx) - deriv(u, x, y, z, 1, dy)
+				out.Set(x, y, z, ox*ox+oy*oy+oz*oz)
+			}
+		}
+	}
+	return out
+}

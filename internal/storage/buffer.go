@@ -1,0 +1,92 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"stwave/internal/grid"
+)
+
+// BurstBuffer stages raw time slices on the fast tier, the way the paper's
+// Figure 1 workflow parks a window of slices on the SSD before
+// spatiotemporal compression. Slices are really written to and read from
+// files under dir (exercising the true serialization path); timing is
+// accounted through the PerfModel so experiments are deterministic and can
+// model hardware other than the machine running them.
+type BurstBuffer struct {
+	dir   string
+	model *PerfModel
+	dims  grid.Dims
+	next  int
+	live  map[int]string
+}
+
+// NewBurstBuffer creates a staging area in dir for slices of the given
+// dims. dir must exist.
+func NewBurstBuffer(dir string, model *PerfModel, dims grid.Dims) (*BurstBuffer, error) {
+	if model == nil {
+		return nil, fmt.Errorf("storage: nil perf model")
+	}
+	if !dims.Valid() {
+		return nil, fmt.Errorf("storage: invalid dims %v", dims)
+	}
+	st, err := os.Stat(dir)
+	if err != nil {
+		return nil, fmt.Errorf("storage: buffer dir: %w", err)
+	}
+	if !st.IsDir() {
+		return nil, fmt.Errorf("storage: %s is not a directory", dir)
+	}
+	return &BurstBuffer{dir: dir, model: model, dims: dims, live: make(map[int]string)}, nil
+}
+
+// PutSlice writes a slice to the buffer tier and returns its id.
+func (b *BurstBuffer) PutSlice(f *grid.Field3D) (int, error) {
+	if f.Dims != b.dims {
+		return 0, fmt.Errorf("storage: slice dims %v != buffer dims %v", f.Dims, b.dims)
+	}
+	id := b.next
+	b.next++
+	path := filepath.Join(b.dir, fmt.Sprintf("slice-%06d.raw", id))
+	if err := f.SaveRawFile(path); err != nil {
+		return 0, err
+	}
+	if _, err := b.model.RecordWrite(Buffer, f.RawSizeBytes(4)); err != nil {
+		return 0, err
+	}
+	b.live[id] = path
+	return id, nil
+}
+
+// GetSlice reads a staged slice back.
+func (b *BurstBuffer) GetSlice(id int) (*grid.Field3D, error) {
+	path, ok := b.live[id]
+	if !ok {
+		return nil, fmt.Errorf("storage: no slice %d in buffer", id)
+	}
+	f, err := grid.LoadRawFile(path, b.dims.Nx, b.dims.Ny, b.dims.Nz)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := b.model.RecordRead(Buffer, f.RawSizeBytes(4)); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Drop removes a staged slice (after it has been compressed away).
+func (b *BurstBuffer) Drop(id int) error {
+	path, ok := b.live[id]
+	if !ok {
+		return fmt.Errorf("storage: no slice %d in buffer", id)
+	}
+	delete(b.live, id)
+	return os.Remove(path)
+}
+
+// Len returns the number of staged slices.
+func (b *BurstBuffer) Len() int { return len(b.live) }
+
+// Model returns the buffer's perf model.
+func (b *BurstBuffer) Model() *PerfModel { return b.model }

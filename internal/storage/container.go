@@ -1,0 +1,192 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"stwave/internal/core"
+)
+
+// Container file format: a sequence of serialized compressed windows
+// followed by a footer index enabling random access to any window (the
+// capability the paper notes is otherwise lost with temporal compression).
+// Each index entry carries a CRC32 of its window's bytes so silent
+// corruption is detected at read time.
+//
+//	window 0 bytes
+//	window 1 bytes
+//	...
+//	index: numWindows * (offset uint64, length uint64, crc32 uint32)
+//	footer: numWindows uint64, magic "STWX"
+var containerMagic = [4]byte{'S', 'T', 'W', 'X'}
+
+const indexEntrySize = 20
+
+// ContainerWriter appends compressed windows to a file.
+type ContainerWriter struct {
+	// Deflate, when set before the first Append, writes windows in the
+	// DEFLATE-framed format (core format version 2): dramatically smaller
+	// files at high ratios, at some CPU cost on write and read.
+	Deflate bool
+
+	f       *os.File
+	offsets []int64
+	lengths []int64
+	crcs    []uint32
+	pos     int64
+	closed  bool
+}
+
+// CreateContainer opens a new container file for writing (truncating any
+// existing file).
+func CreateContainer(path string) (*ContainerWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &ContainerWriter{f: f}, nil
+}
+
+// Append writes one compressed window and returns its index.
+func (w *ContainerWriter) Append(cw *core.CompressedWindow) (int, error) {
+	if w.closed {
+		return 0, fmt.Errorf("storage: container already closed")
+	}
+	crc := crc32.NewIEEE()
+	dst := io.MultiWriter(w.f, crc)
+	var n int64
+	var err error
+	if w.Deflate {
+		n, err = cw.WriteToDeflated(dst)
+	} else {
+		n, err = cw.WriteTo(dst)
+	}
+	if err != nil {
+		return 0, fmt.Errorf("storage: appending window: %w", err)
+	}
+	w.offsets = append(w.offsets, w.pos)
+	w.lengths = append(w.lengths, n)
+	w.crcs = append(w.crcs, crc.Sum32())
+	w.pos += n
+	return len(w.offsets) - 1, nil
+}
+
+// Close writes the index and footer and closes the file.
+func (w *ContainerWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	buf := make([]byte, indexEntrySize*len(w.offsets)+12)
+	for i := range w.offsets {
+		binary.LittleEndian.PutUint64(buf[indexEntrySize*i:], uint64(w.offsets[i]))
+		binary.LittleEndian.PutUint64(buf[indexEntrySize*i+8:], uint64(w.lengths[i]))
+		binary.LittleEndian.PutUint32(buf[indexEntrySize*i+16:], w.crcs[i])
+	}
+	tail := buf[indexEntrySize*len(w.offsets):]
+	binary.LittleEndian.PutUint64(tail[0:8], uint64(len(w.offsets)))
+	copy(tail[8:12], containerMagic[:])
+	if _, err := w.f.Write(buf); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// ContainerReader provides random access to the windows of a container
+// file.
+type ContainerReader struct {
+	f       *os.File
+	offsets []int64
+	lengths []int64
+	crcs    []uint32
+}
+
+// OpenContainer opens a container file and reads its index.
+func OpenContainer(path string) (*ContainerReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() < 12 {
+		f.Close()
+		return nil, fmt.Errorf("storage: %s too small to be a container", path)
+	}
+	var tail [12]byte
+	if _, err := f.ReadAt(tail[:], st.Size()-12); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if [4]byte(tail[8:12]) != containerMagic {
+		f.Close()
+		return nil, fmt.Errorf("storage: %s has bad container magic", path)
+	}
+	num := int(binary.LittleEndian.Uint64(tail[0:8]))
+	indexSize := int64(indexEntrySize*num + 12)
+	if num < 0 || indexSize > st.Size() {
+		f.Close()
+		return nil, fmt.Errorf("storage: corrupt container index (%d windows)", num)
+	}
+	idx := make([]byte, indexEntrySize*num)
+	if _, err := f.ReadAt(idx, st.Size()-indexSize); err != nil {
+		f.Close()
+		return nil, err
+	}
+	r := &ContainerReader{
+		f:       f,
+		offsets: make([]int64, num),
+		lengths: make([]int64, num),
+		crcs:    make([]uint32, num),
+	}
+	for i := 0; i < num; i++ {
+		r.offsets[i] = int64(binary.LittleEndian.Uint64(idx[indexEntrySize*i:]))
+		r.lengths[i] = int64(binary.LittleEndian.Uint64(idx[indexEntrySize*i+8:]))
+		r.crcs[i] = binary.LittleEndian.Uint32(idx[indexEntrySize*i+16:])
+	}
+	return r, nil
+}
+
+// NumWindows returns the number of windows in the container.
+func (r *ContainerReader) NumWindows() int { return len(r.offsets) }
+
+// WindowSizeBytes returns the serialized size of window i.
+func (r *ContainerReader) WindowSizeBytes(i int) (int64, error) {
+	if i < 0 || i >= len(r.lengths) {
+		return 0, fmt.Errorf("storage: window %d out of range [0,%d)", i, len(r.lengths))
+	}
+	return r.lengths[i], nil
+}
+
+// ReadWindow loads window i, verifying its checksum before decoding.
+func (r *ContainerReader) ReadWindow(i int) (*core.CompressedWindow, error) {
+	if i < 0 || i >= len(r.offsets) {
+		return nil, fmt.Errorf("storage: window %d out of range [0,%d)", i, len(r.offsets))
+	}
+	sec := io.NewSectionReader(r.f, r.offsets[i], r.lengths[i])
+	crc := crc32.NewIEEE()
+	if _, err := io.Copy(crc, sec); err != nil {
+		return nil, fmt.Errorf("storage: checksumming window %d: %w", i, err)
+	}
+	if crc.Sum32() != r.crcs[i] {
+		return nil, fmt.Errorf("storage: window %d checksum mismatch (file corrupted)", i)
+	}
+	if _, err := sec.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	cw, err := core.ReadCompressedWindow(sec)
+	if err != nil {
+		return nil, fmt.Errorf("storage: reading window %d: %w", i, err)
+	}
+	return cw, nil
+}
+
+// Close closes the underlying file.
+func (r *ContainerReader) Close() error { return r.f.Close() }

@@ -1,0 +1,88 @@
+package transform
+
+import (
+	"math"
+	"testing"
+
+	"stwave/internal/grid"
+	"stwave/internal/wavelet"
+)
+
+func TestCoarseDims(t *testing.T) {
+	d := grid.Dims{Nx: 64, Ny: 33, Nz: 10}
+	if got := CoarseDims(d, 0); got != d {
+		t.Errorf("0 levels: %v", got)
+	}
+	if got := CoarseDims(d, 1); got != (grid.Dims{Nx: 32, Ny: 17, Nz: 5}) {
+		t.Errorf("1 level: %v", got)
+	}
+	if got := CoarseDims(d, 2); got != (grid.Dims{Nx: 16, Ny: 9, Nz: 3}) {
+		t.Errorf("2 levels: %v", got)
+	}
+}
+
+func TestCoarseApproximationConstantField(t *testing.T) {
+	f := grid.NewField3D(40, 40, 40)
+	f.Fill(4.25)
+	for levels := 0; levels <= 2; levels++ {
+		c, err := CoarseApproximation(f, wavelet.CDF97, levels, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := CoarseDims(f.Dims, levels)
+		if c.Dims != want {
+			t.Fatalf("levels=%d: dims %v, want %v", levels, c.Dims, want)
+		}
+		for i, v := range c.Data {
+			if math.Abs(v-4.25) > 1e-9 {
+				t.Fatalf("levels=%d: sample %d = %g, want 4.25 (constant preserved)", levels, i, v)
+			}
+		}
+	}
+}
+
+func TestCoarseApproximationTracksSmoothField(t *testing.T) {
+	f := smoothField(32, 32, 32)
+	c, err := CoarseApproximation(f, wavelet.CDF97, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The level-1 approximation at (i,j,k) corresponds to the neighborhood
+	// of fine sample (2i,2j,2k); for a smooth field they should be close.
+	var sumErr, count float64
+	for z := 1; z < c.Dims.Nz-1; z++ {
+		for y := 1; y < c.Dims.Ny-1; y++ {
+			for x := 1; x < c.Dims.Nx-1; x++ {
+				diff := math.Abs(c.At(x, y, z) - f.At(2*x, 2*y, 2*z))
+				sumErr += diff
+				count++
+			}
+		}
+	}
+	if mean := sumErr / count; mean > 0.05 {
+		t.Errorf("coarse preview deviates from smooth field by %.4g on average", mean)
+	}
+}
+
+func TestCoarseApproximationDoesNotModifyInput(t *testing.T) {
+	f := smoothField(16, 16, 16)
+	orig := f.Clone()
+	if _, err := CoarseApproximation(f, wavelet.CDF97, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := range f.Data {
+		if f.Data[i] != orig.Data[i] {
+			t.Fatal("input field was modified")
+		}
+	}
+}
+
+func TestCoarseApproximationValidation(t *testing.T) {
+	f := grid.NewField3D(16, 16, 16)
+	if _, err := CoarseApproximation(f, wavelet.CDF97, -1, 1); err == nil {
+		t.Error("expected error for negative levels")
+	}
+	if _, err := CoarseApproximation(f, wavelet.CDF97, 10, 1); err == nil {
+		t.Error("expected error for excessive levels")
+	}
+}

@@ -1,0 +1,51 @@
+// Package transform implements the multi-dimensional wavelet transforms of
+// the paper's Section IV-A: the 3D "non-standard decomposition" applied per
+// time slice (one pass along X, then Y, then Z per level, repeated on the
+// shrinking approximation cube), and the temporal 1D transform applied at
+// every grid point of a time window. Line-level work is distributed across
+// a worker pool.
+package transform
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a requested worker count: values < 1 mean "use all CPUs".
+func Workers(requested int) int {
+	if requested >= 1 {
+		return requested
+	}
+	return runtime.NumCPU()
+}
+
+// parallelFor splits [0, n) into contiguous chunks and runs fn(start, end)
+// on each from a pool of `workers` goroutines. fn is called sequentially
+// when workers <= 1 or n is small.
+func parallelFor(n, workers int, fn func(start, end int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 || n < 64 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			fn(s, e)
+		}(start, end)
+	}
+	wg.Wait()
+}

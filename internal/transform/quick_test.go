@@ -1,0 +1,94 @@
+package transform
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"stwave/internal/grid"
+	"stwave/internal/wavelet"
+)
+
+// Property: the full 4D transform round-trips to identity for random
+// window shapes, lengths, and level choices.
+func TestQuick4DRoundTrip(t *testing.T) {
+	prop := func(seed int64, nxR, nyR, nzR, ntR uint8, sLvlR, tLvlR uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nx := int(nxR)%12 + 4
+		ny := int(nyR)%12 + 4
+		nz := int(nzR)%12 + 4
+		nt := int(ntR)%15 + 2
+		d := grid.Dims{Nx: nx, Ny: ny, Nz: nz}
+		w := grid.NewWindow(d)
+		for ts := 0; ts < nt; ts++ {
+			f := grid.NewField3D(nx, ny, nz)
+			for i := range f.Data {
+				f.Data[i] = rng.NormFloat64()
+			}
+			if err := w.Append(f, float64(ts)); err != nil {
+				return false
+			}
+		}
+		orig := w.Clone()
+		maxS := Levels3D(wavelet.CDF53, d)
+		maxT := LevelsTemporal(wavelet.CDF53, nt)
+		spec := Spec{
+			SpatialKernel:  wavelet.CDF53,
+			SpatialLevels:  int(sLvlR) % (maxS + 1),
+			TemporalKernel: wavelet.CDF53,
+			TemporalLevels: int(tLvlR) % (maxT + 1),
+			Workers:        1 + int(seed)%3,
+		}
+		if err := Forward4D(w, spec); err != nil {
+			return false
+		}
+		if err := Inverse4D(w, spec); err != nil {
+			return false
+		}
+		for i := range w.Slices {
+			for j := range w.Slices[i].Data {
+				if math.Abs(w.Slices[i].Data[j]-orig.Slices[i].Data[j]) > 1e-8 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the 3D transform preserves the sum of squares within the
+// near-orthogonality bound of the kernels, for any dims.
+func TestQuick3DEnergyStability(t *testing.T) {
+	prop := func(seed int64, nxR, nyR, nzR uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nx := int(nxR)%20 + 9
+		ny := int(nyR)%20 + 9
+		nz := int(nzR)%20 + 9
+		f := grid.NewField3D(nx, ny, nz)
+		for i := range f.Data {
+			f.Data[i] = rng.NormFloat64()
+		}
+		var e0 float64
+		for _, v := range f.Data {
+			e0 += v * v
+		}
+		levels := Levels3D(wavelet.CDF97, f.Dims)
+		if err := Forward3D(f, wavelet.CDF97, levels, 1); err != nil {
+			return false
+		}
+		var e1 float64
+		for _, v := range f.Data {
+			e1 += v * v
+		}
+		// CDF 9/7 is near-orthogonal: energy within a factor of 2 in the
+		// worst case for pure noise.
+		return e1 > e0/2 && e1 < e0*2
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,157 @@
+package transform
+
+import (
+	"fmt"
+
+	"stwave/internal/grid"
+	"stwave/internal/wavelet"
+)
+
+// Levels3D returns the number of transform levels the paper's Equation 2
+// permits for a 3D grid: the per-axis maximum evaluated at the shortest
+// axis, so every axis can sustain all levels.
+func Levels3D(k wavelet.Kernel, d grid.Dims) int {
+	n := d.Nx
+	if d.Ny < n {
+		n = d.Ny
+	}
+	if d.Nz < n {
+		n = d.Nz
+	}
+	return wavelet.MaxLevels(k, n)
+}
+
+// Forward3D applies `levels` passes of the non-standard decomposition to the
+// field in place: each pass runs one single-level 1D transform along every X
+// row, then every Y column, then every Z pencil of the current approximation
+// cube, then halves the cube. workers < 1 uses all CPUs.
+func Forward3D(f *grid.Field3D, k wavelet.Kernel, levels, workers int) error {
+	if levels < 0 {
+		return fmt.Errorf("transform: negative level count %d", levels)
+	}
+	if max := Levels3D(k, f.Dims); levels > max {
+		return fmt.Errorf("transform: %d levels exceeds maximum %d for kernel %v on grid %v", levels, max, k, f.Dims)
+	}
+	nx, ny, nz := f.Dims.Nx, f.Dims.Ny, f.Dims.Nz
+	cnx, cny, cnz := nx, ny, nz
+	for l := 0; l < levels; l++ {
+		passX(f, k, cnx, cny, cnz, workers, false)
+		passY(f, k, cnx, cny, cnz, workers, false)
+		passZ(f, k, cnx, cny, cnz, workers, false)
+		cnx, cny, cnz = half(cnx), half(cny), half(cnz)
+	}
+	return nil
+}
+
+// Inverse3D undoes Forward3D with the same kernel and level count.
+func Inverse3D(f *grid.Field3D, k wavelet.Kernel, levels, workers int) error {
+	if levels < 0 {
+		return fmt.Errorf("transform: negative level count %d", levels)
+	}
+	if max := Levels3D(k, f.Dims); levels > max {
+		return fmt.Errorf("transform: %d levels exceeds maximum %d for kernel %v on grid %v", levels, max, k, f.Dims)
+	}
+	// Rebuild the dims pyramid, then invert from the coarsest level out,
+	// reversing the per-level axis order: Z, Y, X.
+	type cube struct{ x, y, z int }
+	dims := make([]cube, levels)
+	cnx, cny, cnz := f.Dims.Nx, f.Dims.Ny, f.Dims.Nz
+	for l := 0; l < levels; l++ {
+		dims[l] = cube{cnx, cny, cnz}
+		cnx, cny, cnz = half(cnx), half(cny), half(cnz)
+	}
+	for l := levels - 1; l >= 0; l-- {
+		c := dims[l]
+		passZ(f, k, c.x, c.y, c.z, workers, true)
+		passY(f, k, c.x, c.y, c.z, workers, true)
+		passX(f, k, c.x, c.y, c.z, workers, true)
+	}
+	return nil
+}
+
+func half(n int) int { return (n + 1) / 2 }
+
+// passX transforms the first cnx samples of every X row inside the
+// (cnx, cny, cnz) approximation cube. Rows are contiguous in memory.
+func passX(f *grid.Field3D, k wavelet.Kernel, cnx, cny, cnz, workers int, inverse bool) {
+	if cnx < 2 {
+		return
+	}
+	nx, ny := f.Dims.Nx, f.Dims.Ny
+	lines := cny * cnz
+	parallelFor(lines, workers, func(start, end int) {
+		scratch := make([]float64, cnx)
+		for li := start; li < end; li++ {
+			y := li % cny
+			z := li / cny
+			row := f.Data[(z*ny+y)*nx : (z*ny+y)*nx+cnx]
+			if inverse {
+				wavelet.InverseStep(k, row, scratch)
+			} else {
+				wavelet.ForwardStep(k, row, scratch)
+			}
+		}
+	})
+}
+
+// passY transforms strided Y lines (stride Nx) inside the approximation
+// cube; lines are gathered into a contiguous buffer, transformed, and
+// scattered back.
+func passY(f *grid.Field3D, k wavelet.Kernel, cnx, cny, cnz, workers int, inverse bool) {
+	if cny < 2 {
+		return
+	}
+	nx, ny := f.Dims.Nx, f.Dims.Ny
+	lines := cnx * cnz
+	parallelFor(lines, workers, func(start, end int) {
+		line := make([]float64, cny)
+		scratch := make([]float64, cny)
+		for li := start; li < end; li++ {
+			x := li % cnx
+			z := li / cnx
+			base := z*ny*nx + x
+			for y := 0; y < cny; y++ {
+				line[y] = f.Data[base+y*nx]
+			}
+			if inverse {
+				wavelet.InverseStep(k, line, scratch)
+			} else {
+				wavelet.ForwardStep(k, line, scratch)
+			}
+			for y := 0; y < cny; y++ {
+				f.Data[base+y*nx] = line[y]
+			}
+		}
+	})
+}
+
+// passZ transforms strided Z pencils (stride Nx*Ny) inside the approximation
+// cube.
+func passZ(f *grid.Field3D, k wavelet.Kernel, cnx, cny, cnz, workers int, inverse bool) {
+	if cnz < 2 {
+		return
+	}
+	nx, ny := f.Dims.Nx, f.Dims.Ny
+	stride := nx * ny
+	lines := cnx * cny
+	parallelFor(lines, workers, func(start, end int) {
+		line := make([]float64, cnz)
+		scratch := make([]float64, cnz)
+		for li := start; li < end; li++ {
+			x := li % cnx
+			y := li / cnx
+			base := y*nx + x
+			for z := 0; z < cnz; z++ {
+				line[z] = f.Data[base+z*stride]
+			}
+			if inverse {
+				wavelet.InverseStep(k, line, scratch)
+			} else {
+				wavelet.ForwardStep(k, line, scratch)
+			}
+			for z := 0; z < cnz; z++ {
+				f.Data[base+z*stride] = line[z]
+			}
+		}
+	})
+}

@@ -1,0 +1,122 @@
+package transform
+
+import (
+	"fmt"
+
+	"stwave/internal/grid"
+	"stwave/internal/wavelet"
+)
+
+// LevelsTemporal returns the Equation 2 level budget for a temporal window
+// of T slices under kernel k. With window 10, CDF 9/7 permits 1 level and
+// CDF 5/3 permits 2, as the paper discusses in Section IV-B.
+func LevelsTemporal(k wavelet.Kernel, windowSize int) int {
+	return wavelet.MaxLevels(k, windowSize)
+}
+
+// ForwardTemporal applies a multi-level 1D wavelet transform along the time
+// axis at every grid point of the window, in place. levels must not exceed
+// LevelsTemporal(k, w.Len()).
+func ForwardTemporal(w *grid.Window, k wavelet.Kernel, levels, workers int) error {
+	return temporalPass(w, k, levels, workers, false)
+}
+
+// InverseTemporal undoes ForwardTemporal.
+func InverseTemporal(w *grid.Window, k wavelet.Kernel, levels, workers int) error {
+	return temporalPass(w, k, levels, workers, true)
+}
+
+func temporalPass(w *grid.Window, k wavelet.Kernel, levels, workers int, inverse bool) error {
+	t := w.Len()
+	if levels < 0 {
+		return fmt.Errorf("transform: negative temporal level count %d", levels)
+	}
+	if max := LevelsTemporal(k, t); levels > max {
+		return fmt.Errorf("transform: %d temporal levels exceeds maximum %d for kernel %v with window %d", levels, max, k, t)
+	}
+	if levels == 0 || t < 2 {
+		return nil
+	}
+	points := w.Dims.Len()
+	// Per-point pyramid lengths, identical for all points.
+	lens := make([]int, 0, levels)
+	n := t
+	for l := 0; l < levels && n >= 2; l++ {
+		lens = append(lens, n)
+		n = (n + 1) / 2
+	}
+	parallelFor(points, workers, func(start, end int) {
+		series := make([]float64, t)
+		scratch := make([]float64, t)
+		for p := start; p < end; p++ {
+			w.GatherSeries(p, series)
+			if inverse {
+				for i := len(lens) - 1; i >= 0; i-- {
+					wavelet.InverseStep(k, series[:lens[i]], scratch)
+				}
+			} else {
+				for _, ln := range lens {
+					wavelet.ForwardStep(k, series[:ln], scratch)
+				}
+			}
+			w.ScatterSeries(p, series)
+		}
+	})
+	return nil
+}
+
+// Spec describes a full spatiotemporal transform configuration.
+type Spec struct {
+	// SpatialKernel and SpatialLevels configure the per-slice 3D step.
+	// SpatialLevels < 0 means "maximum allowed by Equation 2".
+	SpatialKernel wavelet.Kernel
+	SpatialLevels int
+	// TemporalKernel and TemporalLevels configure the in-time step.
+	// TemporalLevels < 0 means "maximum allowed by Equation 2".
+	// TemporalLevels == 0 disables the temporal step (pure 3D transform).
+	TemporalKernel wavelet.Kernel
+	TemporalLevels int
+	// Workers bounds parallelism; < 1 uses all CPUs.
+	Workers int
+}
+
+// resolve fills in the "maximum" placeholders for a concrete window.
+func (s Spec) resolve(d grid.Dims, windowLen int) (spatial, temporal int) {
+	spatial = s.SpatialLevels
+	if spatial < 0 {
+		spatial = Levels3D(s.SpatialKernel, d)
+	}
+	temporal = s.TemporalLevels
+	if temporal < 0 {
+		temporal = LevelsTemporal(s.TemporalKernel, windowLen)
+	}
+	return spatial, temporal
+}
+
+// Forward4D runs the paper's two-step spatiotemporal transform on the window
+// in place: first the 3D non-standard decomposition on every slice, then the
+// temporal transform at every grid point.
+func Forward4D(w *grid.Window, s Spec) error {
+	spatial, temporal := s.resolve(w.Dims, w.Len())
+	for i, slice := range w.Slices {
+		if err := Forward3D(slice, s.SpatialKernel, spatial, s.Workers); err != nil {
+			return fmt.Errorf("transform: slice %d: %w", i, err)
+		}
+	}
+	return ForwardTemporal(w, s.TemporalKernel, temporal, s.Workers)
+}
+
+// Inverse4D undoes Forward4D: temporal inverse first, then per-slice 3D
+// inverse — the order the paper notes costs random access to single slices.
+func Inverse4D(w *grid.Window, s Spec) error {
+	spatial, temporal := s.resolve(w.Dims, w.Len())
+	if err := InverseTemporal(w, s.TemporalKernel, temporal, s.Workers); err != nil {
+		return err
+	}
+	for i, slice := range w.Slices {
+		if err := Inverse3D(slice, s.SpatialKernel, spatial, s.Workers); err != nil {
+			return fmt.Errorf("transform: slice %d: %w", i, err)
+		}
+	}
+	return nil
+}

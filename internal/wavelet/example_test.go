@@ -1,0 +1,49 @@
+package wavelet_test
+
+import (
+	"fmt"
+	"math"
+
+	"stwave/internal/wavelet"
+)
+
+// Example demonstrates the basic forward/inverse transform and the
+// information compaction that makes compression work: a smooth signal's
+// energy concentrates into few coefficients.
+func Example() {
+	n := 64
+	signal := make([]float64, n)
+	for i := range signal {
+		signal[i] = math.Sin(2 * math.Pi * float64(i) / float64(n))
+	}
+	levels := wavelet.MaxLevels(wavelet.CDF97, n)
+	if err := wavelet.Transform1D(wavelet.CDF97, signal, levels, nil); err != nil {
+		panic(err)
+	}
+	big := 0
+	for _, c := range signal {
+		if math.Abs(c) > 1e-3 {
+			big++
+		}
+	}
+	fmt.Printf("levels: %d\n", levels)
+	fmt.Printf("coefficients above 1e-3: %d of %d\n", big, n)
+	// Output:
+	// levels: 3
+	// coefficients above 1e-3: 23 of 64
+}
+
+// ExampleMaxLevels reproduces the paper's Equation 2 table: the temporal
+// transform depth each kernel supports at each window size.
+func ExampleMaxLevels() {
+	for _, ws := range []int{10, 20, 40} {
+		fmt.Printf("window %2d: CDF 9/7 -> %d levels, CDF 5/3 -> %d levels\n",
+			ws,
+			wavelet.MaxLevels(wavelet.CDF97, ws),
+			wavelet.MaxLevels(wavelet.CDF53, ws))
+	}
+	// Output:
+	// window 10: CDF 9/7 -> 1 levels, CDF 5/3 -> 2 levels
+	// window 20: CDF 9/7 -> 2 levels, CDF 5/3 -> 3 levels
+	// window 40: CDF 9/7 -> 3 levels, CDF 5/3 -> 4 levels
+}

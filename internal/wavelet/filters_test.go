@@ -1,0 +1,83 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFilterTapsNormalization(t *testing.T) {
+	sum := func(taps []float64) float64 {
+		var s float64
+		for _, v := range taps {
+			s += v
+		}
+		return s
+	}
+	alt := func(taps []float64) float64 {
+		var s float64
+		for i, v := range taps {
+			if i%2 == 0 {
+				s += v
+			} else {
+				s -= v
+			}
+		}
+		return s
+	}
+	for _, k := range []Kernel{CDF97, CDF53} {
+		lo, hi := AnalysisFilters(k)
+		if math.Abs(sum(lo)-math.Sqrt2) > 1e-12 {
+			t.Errorf("%v: lowpass DC gain %g, want sqrt(2)", k, sum(lo))
+		}
+		if math.Abs(sum(hi)) > 1e-12 {
+			t.Errorf("%v: highpass DC gain %g, want 0 (vanishing moment)", k, sum(hi))
+		}
+		// Highpass must respond at Nyquist.
+		if math.Abs(alt(hi)) < 0.5 {
+			t.Errorf("%v: highpass Nyquist gain %g suspiciously small", k, alt(hi))
+		}
+	}
+	if lo, hi := AnalysisFilters(Haar); lo != nil || hi != nil {
+		t.Error("Haar has no convolution form here")
+	}
+}
+
+// The lifting implementation must compute exactly the same transform as
+// direct convolution with symmetric extension, for even and odd lengths.
+func TestLiftingMatchesConvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, k := range []Kernel{CDF97, CDF53} {
+		for _, n := range []int{2, 3, 8, 9, 16, 17, 33, 64, 101} {
+			src := randSignal(rng, n)
+			viaLift := append([]float64(nil), src...)
+			scratch := make([]float64, n)
+			ForwardStep(k, viaLift, scratch)
+
+			viaConv := make([]float64, n)
+			if !ConvolveStep(k, src, viaConv) {
+				t.Fatalf("%v: ConvolveStep refused", k)
+			}
+			for i := range viaConv {
+				if d := math.Abs(viaLift[i] - viaConv[i]); d > 1e-10 {
+					t.Fatalf("%v n=%d: lifting and convolution disagree at %d: %.12g vs %.12g (diff %.3g)",
+						k, n, i, viaLift[i], viaConv[i], d)
+				}
+			}
+		}
+	}
+}
+
+func TestConvolveStepTinyInput(t *testing.T) {
+	src := []float64{5}
+	dst := make([]float64, 1)
+	if !ConvolveStep(CDF97, src, dst) {
+		t.Fatal("refused single sample")
+	}
+	if dst[0] != 5 {
+		t.Errorf("single sample changed to %g", dst[0])
+	}
+	if ConvolveStep(Haar, src, dst) {
+		t.Error("Haar should report no convolution form")
+	}
+}

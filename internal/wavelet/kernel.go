@@ -1,0 +1,146 @@
+// Package wavelet implements one-dimensional discrete wavelet transforms
+// (DWT) suitable for lossy compression of scientific data.
+//
+// The transforms are "non-expansive": a signal of N samples produces exactly
+// N coefficients for any N >= 1, including odd lengths. This is achieved by
+// implementing the filter banks in their lifting factorization with
+// whole-sample symmetric boundary extension, the same construction used by
+// JPEG 2000 and by the VAPOR scientific-data codec that the paper builds on.
+//
+// Coefficients are scaled so that every kernel is approximately orthonormal
+// (the analysis lowpass has DC gain sqrt(2) per level). This matters for
+// compression: magnitude thresholding across decomposition levels is only
+// meaningful when coefficient magnitudes at different levels are commensurate.
+package wavelet
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kernel identifies a wavelet filter bank.
+type Kernel int
+
+const (
+	// CDF97 is the Cohen-Daubechies-Feauveau 9/7 biorthogonal kernel
+	// (filter sizes 9 analysis lowpass / 7 analysis highpass). It is the
+	// paper's default spatial kernel and one of the two temporal
+	// candidates.
+	CDF97 Kernel = iota
+	// CDF53 is the Cohen-Daubechies-Feauveau 5/3 biorthogonal kernel
+	// (LeGall 5/3). Its shorter support permits one more transform level
+	// than CDF 9/7 at each of the paper's window sizes.
+	CDF53
+	// Haar is the 2-tap orthogonal Haar kernel, included as the shortest
+	// possible symmetric-free baseline.
+	Haar
+	// Daub4 is the 4-tap orthogonal Daubechies kernel (db2), included for
+	// ablation studies; it is not symmetric, so boundaries use periodic
+	// extension and the transform is only non-expansive for even lengths.
+	Daub4
+)
+
+// String returns the conventional name of the kernel.
+func (k Kernel) String() string {
+	switch k {
+	case CDF97:
+		return "CDF 9/7"
+	case CDF53:
+		return "CDF 5/3"
+	case Haar:
+		return "Haar"
+	case Daub4:
+		return "Daub4"
+	}
+	return fmt.Sprintf("Kernel(%d)", int(k))
+}
+
+// FilterSize returns the support length used by the paper's Equation 2 to
+// bound the number of transform levels: the length of the longer (analysis
+// lowpass) filter.
+func (k Kernel) FilterSize() int {
+	switch k {
+	case CDF97:
+		return 9
+	case CDF53:
+		return 5
+	case Haar:
+		return 2
+	case Daub4:
+		return 4
+	}
+	return 0
+}
+
+// Valid reports whether k names a known kernel.
+func (k Kernel) Valid() bool {
+	switch k {
+	case CDF97, CDF53, Haar, Daub4:
+		return true
+	}
+	return false
+}
+
+// ParseKernel converts a human-readable kernel name ("cdf97", "cdf9/7",
+// "CDF 9/7", "cdf53", "haar", "daub4", ...) into a Kernel.
+func ParseKernel(s string) (Kernel, error) {
+	switch normalizeKernelName(s) {
+	case "cdf97":
+		return CDF97, nil
+	case "cdf53":
+		return CDF53, nil
+	case "haar":
+		return Haar, nil
+	case "daub4", "db2":
+		return Daub4, nil
+	}
+	return 0, fmt.Errorf("wavelet: unknown kernel %q", s)
+}
+
+func normalizeKernelName(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'A' && c <= 'Z':
+			out = append(out, c+'a'-'A')
+		case c == ' ' || c == '/' || c == '-' || c == '_' || c == '.':
+			// skip separators
+		default:
+			out = append(out, c)
+		}
+	}
+	return string(out)
+}
+
+// Lifting-step constants for the CDF 9/7 kernel (ITU-T T.800 / JPEG 2000
+// irreversible transform).
+const (
+	cdf97Alpha = -1.586134342059924
+	cdf97Beta  = -0.052980118572961
+	cdf97Gamma = 0.882911075530934
+	cdf97Delta = 0.443506852043971
+)
+
+// cdf97UnscaledDC is the DC gain of the unscaled CDF 9/7 lifting ladder:
+// applying the four lifting steps to a constant-1 signal leaves the even
+// (lowpass) samples at this value. The published constant K = 1.230174...
+// is exactly this gain.
+const cdf97UnscaledDC = 1.230174104914001
+
+// Scale factors applied after the lifting ladder so each kernel's analysis
+// lowpass has DC gain sqrt(2) (orthonormal-like normalization).
+var (
+	cdf97ScaleLo = math.Sqrt2 / cdf97UnscaledDC // ~1.149604398
+	cdf97ScaleHi = cdf97UnscaledDC / math.Sqrt2
+	cdf53ScaleLo = math.Sqrt2 // unscaled 5/3 lifting has DC gain 1
+	cdf53ScaleHi = 1 / math.Sqrt2
+)
+
+// Daubechies-4 (db2) orthonormal filter coefficients.
+var daub4Lo = [4]float64{
+	0.48296291314453414,
+	0.8365163037378079,
+	0.22414386804185735,
+	-0.12940952255126037,
+}

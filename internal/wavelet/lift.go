@@ -1,0 +1,229 @@
+package wavelet
+
+import "math"
+
+// This file implements the lifting-scheme filter banks. A single forward
+// pass works on the interleaved signal x[0..n-1]: even indices carry the
+// (future) approximation samples and odd indices the detail samples. Each
+// lifting step adds a scaled sum of the two opposite-parity neighbours to
+// every sample of one parity:
+//
+//	x[i] += c * (x[i-1] + x[i+1])   for all i of the step's parity
+//
+// Out-of-range neighbour indices are reflected with whole-sample symmetry
+// (-1 -> 1, n -> n-2), which preserves parity and yields a non-expansive,
+// perfectly reconstructing transform for every length n >= 2 with symmetric
+// kernels. After the ladder, samples are de-interleaved into
+// [approximation | detail] halves and scaled.
+
+// reflect maps an out-of-range index into [0, n-1] using whole-sample
+// symmetric extension. n must be >= 2. Indices more than n-1 outside the
+// range are folded repeatedly (only needed for pathological n).
+func reflect(i, n int) int {
+	for i < 0 || i >= n {
+		if i < 0 {
+			i = -i
+		}
+		if i >= n {
+			i = 2*(n-1) - i
+		}
+	}
+	return i
+}
+
+// liftStep applies one lifting step in place to the interleaved signal.
+// parity selects which samples are updated (0 = even, 1 = odd); c is the
+// lifting coefficient.
+func liftStep(x []float64, parity int, c float64) {
+	n := len(x)
+	if n < 2 {
+		return
+	}
+	// Interior samples need no reflection; handle boundaries separately so
+	// the hot loop stays branch-free.
+	start := parity
+	if start == 0 {
+		// x[0] neighbours are x[-1] -> x[1] and x[1].
+		x[0] += c * 2 * x[1]
+		start = 2
+	}
+	i := start
+	for ; i+1 < n; i += 2 {
+		x[i] += c * (x[i-1] + x[i+1])
+	}
+	if i == n-1 {
+		// Last sample's right neighbour x[n] reflects to x[n-2].
+		x[n-1] += c * (x[n-2] + x[n-2])
+	}
+}
+
+// forwardLift runs the full analysis ladder for kernel k on the interleaved
+// signal, then de-interleaves into dst as [approx | detail] and applies the
+// normalization scales. len(dst) == len(x). x is clobbered.
+func forwardLift(k Kernel, x, dst []float64) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	if n == 1 {
+		dst[0] = x[0]
+		return
+	}
+	switch k {
+	case CDF97:
+		liftStep(x, 1, cdf97Alpha)
+		liftStep(x, 0, cdf97Beta)
+		liftStep(x, 1, cdf97Gamma)
+		liftStep(x, 0, cdf97Delta)
+		deinterleaveScaled(x, dst, cdf97ScaleLo, cdf97ScaleHi)
+	case CDF53:
+		liftStep(x, 1, -0.5)
+		liftStep(x, 0, 0.25)
+		deinterleaveScaled(x, dst, cdf53ScaleLo, cdf53ScaleHi)
+	case Haar:
+		forwardHaar(x, dst)
+	case Daub4:
+		forwardDaub4(x, dst)
+	default:
+		copy(dst, x)
+	}
+}
+
+// inverseLift is the exact inverse of forwardLift: src holds
+// [approx | detail] coefficients, dst receives the reconstructed signal.
+// len(src) == len(dst). src is not modified; dst is used as scratch.
+func inverseLift(k Kernel, src, dst []float64) {
+	n := len(src)
+	if n == 0 {
+		return
+	}
+	if n == 1 {
+		dst[0] = src[0]
+		return
+	}
+	switch k {
+	case CDF97:
+		interleaveScaled(src, dst, 1/cdf97ScaleLo, 1/cdf97ScaleHi)
+		liftStep(dst, 0, -cdf97Delta)
+		liftStep(dst, 1, -cdf97Gamma)
+		liftStep(dst, 0, -cdf97Beta)
+		liftStep(dst, 1, -cdf97Alpha)
+	case CDF53:
+		interleaveScaled(src, dst, 1/cdf53ScaleLo, 1/cdf53ScaleHi)
+		liftStep(dst, 0, -0.25)
+		liftStep(dst, 1, 0.5)
+	case Haar:
+		inverseHaar(src, dst)
+	case Daub4:
+		inverseDaub4(src, dst)
+	default:
+		copy(dst, src)
+	}
+}
+
+// approxLen returns the number of approximation coefficients produced from a
+// signal of length n: ceil(n/2).
+func approxLen(n int) int { return (n + 1) / 2 }
+
+// deinterleaveScaled writes even samples of x (scaled by lo) to the first
+// ceil(n/2) slots of dst and odd samples (scaled by hi) to the rest.
+func deinterleaveScaled(x, dst []float64, lo, hi float64) {
+	n := len(x)
+	na := approxLen(n)
+	for i := 0; i < na; i++ {
+		dst[i] = x[2*i] * lo
+	}
+	for i := 0; i < n-na; i++ {
+		dst[na+i] = x[2*i+1] * hi
+	}
+}
+
+// interleaveScaled is the inverse of deinterleaveScaled.
+func interleaveScaled(src, dst []float64, lo, hi float64) {
+	n := len(src)
+	na := approxLen(n)
+	for i := 0; i < na; i++ {
+		dst[2*i] = src[i] * lo
+	}
+	for i := 0; i < n-na; i++ {
+		dst[2*i+1] = src[na+i] * hi
+	}
+}
+
+// forwardHaar computes the orthonormal Haar transform. For odd n the final
+// unpaired sample is carried into the approximation band scaled by sqrt(2)
+// — the lowpass DC gain — so that constant signals still compact perfectly
+// at deeper levels; the transform stays non-expansive and perfectly
+// reconstructing.
+func forwardHaar(x, dst []float64) {
+	n := len(x)
+	na := approxLen(n)
+	const s = 0.7071067811865476 // 1/sqrt(2)
+	for i := 0; 2*i+1 < n; i++ {
+		a, b := x[2*i], x[2*i+1]
+		dst[i] = (a + b) * s
+		dst[na+i] = (a - b) * s
+	}
+	if n%2 == 1 {
+		dst[na-1] = x[n-1] * math.Sqrt2
+	}
+}
+
+func inverseHaar(src, dst []float64) {
+	n := len(src)
+	na := approxLen(n)
+	const s = 0.7071067811865476
+	for i := 0; 2*i+1 < n; i++ {
+		a, d := src[i], src[na+i]
+		dst[2*i] = (a + d) * s
+		dst[2*i+1] = (a - d) * s
+	}
+	if n%2 == 1 {
+		dst[n-1] = src[na-1] * s
+	}
+}
+
+// forwardDaub4 computes the orthonormal Daubechies-4 transform with periodic
+// boundary extension. Requires even n (callers guarantee this via
+// MaxLevels, which returns 0 levels for odd lengths with this kernel).
+func forwardDaub4(x, dst []float64) {
+	n := len(x)
+	if n%2 != 0 {
+		copy(dst, x)
+		return
+	}
+	na := n / 2
+	h := daub4Lo
+	// Highpass is the quadrature mirror: g[k] = (-1)^k h[3-k].
+	g := [4]float64{h[3], -h[2], h[1], -h[0]}
+	for i := 0; i < na; i++ {
+		var lo, hi float64
+		for k := 0; k < 4; k++ {
+			v := x[(2*i+k)%n]
+			lo += h[k] * v
+			hi += g[k] * v
+		}
+		dst[i] = lo
+		dst[na+i] = hi
+	}
+}
+
+func inverseDaub4(src, dst []float64) {
+	n := len(src)
+	if n%2 != 0 {
+		copy(dst, src)
+		return
+	}
+	na := n / 2
+	h := daub4Lo
+	g := [4]float64{h[3], -h[2], h[1], -h[0]}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i := 0; i < na; i++ {
+		lo, hi := src[i], src[na+i]
+		for k := 0; k < 4; k++ {
+			dst[(2*i+k)%n] += h[k]*lo + g[k]*hi
+		}
+	}
+}

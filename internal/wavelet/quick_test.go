@@ -1,0 +1,147 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: forward followed by inverse is the identity (within floating
+// point tolerance) for arbitrary signals, lengths, and level counts.
+func TestQuickPerfectReconstruction(t *testing.T) {
+	for _, k := range symmetricKernels() {
+		k := k
+		prop := func(seed int64, nRaw uint16, lvlRaw uint8) bool {
+			n := int(nRaw)%200 + 2
+			rng := rand.New(rand.NewSource(seed))
+			orig := randSignal(rng, n)
+			max := MaxLevels(k, n)
+			levels := 0
+			if max > 0 {
+				levels = int(lvlRaw) % (max + 1)
+			}
+			data := append([]float64(nil), orig...)
+			if err := Transform1D(k, data, levels, nil); err != nil {
+				return false
+			}
+			if err := Inverse1D(k, data, levels, nil); err != nil {
+				return false
+			}
+			return maxAbsDiff(orig, data) < 1e-8
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%v: %v", k, err)
+		}
+	}
+}
+
+// Property: the transform is linear — T(a*x + b*y) == a*T(x) + b*T(y).
+func TestQuickLinearity(t *testing.T) {
+	for _, k := range symmetricKernels() {
+		k := k
+		prop := func(seed int64, aRaw, bRaw int8) bool {
+			a, b := float64(aRaw)/16, float64(bRaw)/16
+			rng := rand.New(rand.NewSource(seed))
+			n := 48
+			x := randSignal(rng, n)
+			y := randSignal(rng, n)
+			levels := MaxLevels(k, n)
+
+			combo := make([]float64, n)
+			for i := range combo {
+				combo[i] = a*x[i] + b*y[i]
+			}
+			if err := Transform1D(k, combo, levels, nil); err != nil {
+				return false
+			}
+			if err := Transform1D(k, x, levels, nil); err != nil {
+				return false
+			}
+			if err := Transform1D(k, y, levels, nil); err != nil {
+				return false
+			}
+			for i := range combo {
+				if math.Abs(combo[i]-(a*x[i]+b*y[i])) > 1e-8 {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+			t.Errorf("%v: %v", k, err)
+		}
+	}
+}
+
+// Property: MaxLevels is monotone non-decreasing in signal length.
+func TestQuickMaxLevelsMonotone(t *testing.T) {
+	prop := func(nRaw uint16) bool {
+		n := int(nRaw) % 4096
+		for _, k := range []Kernel{CDF97, CDF53, Haar} {
+			if MaxLevels(k, n) > MaxLevels(k, n+1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: reflect always lands in range and is the identity inside range.
+func TestQuickReflectInRange(t *testing.T) {
+	prop := func(iRaw int16, nRaw uint8) bool {
+		n := int(nRaw)%64 + 2
+		i := int(iRaw) % (3 * n)
+		r := reflect(i, n)
+		if r < 0 || r >= n {
+			return false
+		}
+		if i >= 0 && i < n && r != i {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: zeroing detail coefficients of a transformed constant signal and
+// inverting reproduces the constant exactly (idempotence of smooth
+// reconstruction).
+func TestQuickConstantRoundTripWithThreshold(t *testing.T) {
+	for _, k := range symmetricKernels() {
+		k := k
+		prop := func(cRaw int16, nRaw uint8) bool {
+			c := float64(cRaw) / 8
+			n := int(nRaw)%100 + 16
+			levels := MaxLevels(k, n)
+			data := make([]float64, n)
+			for i := range data {
+				data[i] = c
+			}
+			if err := Transform1D(k, data, levels, nil); err != nil {
+				return false
+			}
+			na := ApproxLenAfter(n, levels)
+			for i := na; i < n; i++ {
+				data[i] = 0 // discard all details
+			}
+			if err := Inverse1D(k, data, levels, nil); err != nil {
+				return false
+			}
+			for _, v := range data {
+				if math.Abs(v-c) > 1e-8*(1+math.Abs(c)) {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+			t.Errorf("%v: %v", k, err)
+		}
+	}
+}
