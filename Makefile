@@ -2,9 +2,21 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench reproduce examples clean
+.PHONY: all build vet test race bench reproduce examples check fmt-check clean
 
-all: build vet test
+all: build vet test check
+
+# Fast correctness gate: static checks plus race-detector runs of the
+# packages with real concurrency (the HTTP server and the shared container
+# reader it hammers).
+check: vet fmt-check
+	$(GO) test -race ./internal/server ./internal/storage
+
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -32,6 +44,7 @@ examples:
 	$(GO) run ./examples/progressive
 	$(GO) run ./examples/isosurface
 	$(GO) run ./examples/pathlines
+	$(GO) run ./examples/serve
 
 clean:
 	$(GO) clean ./...

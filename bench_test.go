@@ -9,11 +9,16 @@ package stwave
 import (
 	"fmt"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
 	"testing"
 
 	"stwave/internal/core"
 	"stwave/internal/experiments"
 	"stwave/internal/grid"
+	"stwave/internal/server"
+	"stwave/internal/storage"
 	"stwave/internal/transform"
 	"stwave/internal/wavelet"
 )
@@ -261,6 +266,76 @@ func BenchmarkDecompress(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkServeSlice measures the HTTP slice endpoint hot (window cache
+// populated — the steady-state serving path) and cold (cache flushed every
+// iteration, so each request pays a full ReadWindow + Decompress). The gap
+// between the two is the cache's value; hot should be well over 10x
+// faster.
+func BenchmarkServeSlice(b *testing.B) {
+	d := grid.Dims{Nx: 32, Ny: 32, Nz: 32}
+	const slices, windowSize = 20, 10
+	path := filepath.Join(b.TempDir(), "bench.stw")
+	cont, err := storage.CreateContainer(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	opts.WindowSize = windowSize
+	writer, err := core.NewWriter(opts, d, func(w *core.CompressedWindow) error {
+		_, err := cont.Append(w)
+		return err
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, s := range coherentBenchWindow(d, slices).Slices {
+		if err := writer.WriteSlice(s, float64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := writer.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	if err := cont.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	srv := server.New(server.DefaultConfig())
+	if err := srv.Mount("bench", path); err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	handler := srv.Handler()
+
+	serve := func(t int) {
+		req := httptest.NewRequest("GET", fmt.Sprintf("/v1/bench/slice?t=%d", t), nil)
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+
+	b.Run("hot", func(b *testing.B) {
+		serve(3) // warm the cache
+		b.SetBytes(int64(d.Len()) * 4)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			serve(3)
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		b.SetBytes(int64(d.Len()) * 4)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			srv.Cache().Flush()
+			serve(3)
+		}
+	})
 }
 
 // BenchmarkCompareBaselines regenerates the rate-distortion comparison

@@ -1,0 +1,85 @@
+// Command stserve serves compressed stwave containers over HTTP: time
+// slices, subvolume crops, multiresolution previews, and rendered
+// quick-look images, with a byte-budgeted cache of decompressed windows on
+// the hot path.
+//
+// Mount one or more containers, each as NAME=PATH (or bare PATH, named
+// after the file):
+//
+//	stserve -listen :8080 -cache-mb 256 tornado=data/tornado.stw ghost.stw
+//
+// Then:
+//
+//	curl 'http://localhost:8080/v1/tornado/slice?t=12' -o slice.f32
+//	curl 'http://localhost:8080/v1/tornado/render?t=12&kind=mip&format=ppm' -o mip.ppm
+//	curl 'http://localhost:8080/metrics'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"stwave/internal/server"
+)
+
+func main() {
+	listen := flag.String("listen", ":8080", "address to listen on")
+	cacheMB := flag.Int64("cache-mb", 256, "decompressed-window cache budget in MB (0 disables caching)")
+	maxDecompress := flag.Int("max-decompress", 0, "max concurrent window decompressions (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout (0 disables)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "stserve: at least one container is required (NAME=PATH or PATH)")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	srv := server.New(server.Config{
+		CacheBytes:     *cacheMB << 20,
+		MaxDecompress:  *maxDecompress,
+		RequestTimeout: *timeout,
+	})
+	defer srv.Close()
+	for _, arg := range flag.Args() {
+		name, path, ok := strings.Cut(arg, "=")
+		if !ok {
+			path = arg
+			name = strings.TrimSuffix(filepath.Base(arg), filepath.Ext(arg))
+		}
+		if err := srv.Mount(name, path); err != nil {
+			log.Fatalf("stserve: mounting %s: %v", arg, err)
+		}
+		log.Printf("mounted %q from %s", name, path)
+	}
+
+	httpSrv := &http.Server{Addr: *listen, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("serving on %s (cache %d MB, timeout %v)", *listen, *cacheMB, *timeout)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		log.Fatalf("stserve: %v", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting, let in-flight requests finish.
+	log.Printf("shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("stserve: shutdown: %v", err)
+	}
+}

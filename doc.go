@@ -7,9 +7,10 @@
 // (internal/wavelet, internal/transform) and coefficient thresholding
 // (internal/compress); the simulation substrates that generate evaluation
 // data (internal/sim/...); the visualization analyses (internal/flow,
-// internal/isosurface); the tiered-storage model (internal/storage); and
-// the experiment harness reproducing every figure and table of the paper
-// (internal/experiments).
+// internal/isosurface); the tiered-storage model and container format
+// (internal/storage); the concurrent HTTP volume server (internal/server,
+// cmd/stserve); and the experiment harness reproducing every figure and
+// table of the paper (internal/experiments).
 //
 // See README.md for a guided tour, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for paper-versus-measured results.

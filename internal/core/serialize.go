@@ -104,6 +104,73 @@ func (cw *CompressedWindow) writeTo(w io.Writer, deflate bool) (int64, error) {
 	return written, nil
 }
 
+// WindowInfo summarizes a serialized window from its fixed-size header
+// alone — enough to size buffers, map time indices to windows, and decide
+// cache admission without decoding any coefficient payload.
+type WindowInfo struct {
+	Dims           grid.Dims
+	NumSlices      int
+	Mode           Mode
+	SpatialKernel  wavelet.Kernel
+	TemporalKernel wavelet.Kernel
+	Deflated       bool
+}
+
+// RawSizeBytes returns the size of the window once fully decompressed to
+// float64 samples — the memory cost of holding it in a decompressed-window
+// cache.
+func (wi WindowInfo) RawSizeBytes() int64 {
+	return int64(wi.Dims.Len()) * int64(wi.NumSlices) * 8
+}
+
+// ReadWindowInfo parses only the 40-byte header of a serialized window. It
+// validates the same invariants as ReadCompressedWindow's header path but
+// reads nothing beyond the header, so it is cheap enough to run over every
+// window of a large container at startup.
+func ReadWindowInfo(r io.Reader) (WindowInfo, error) {
+	hdr := make([]byte, 40)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return WindowInfo{}, fmt.Errorf("core: reading header: %w", err)
+	}
+	if [4]byte(hdr[0:4]) != magic {
+		return WindowInfo{}, fmt.Errorf("core: bad magic %q", hdr[0:4])
+	}
+	wi := WindowInfo{
+		Mode:           Mode(hdr[5]),
+		SpatialKernel:  wavelet.Kernel(hdr[6]),
+		TemporalKernel: wavelet.Kernel(hdr[7]),
+	}
+	switch hdr[4] {
+	case formatVersion:
+	case formatVersionDeflate:
+		wi.Deflated = true
+	default:
+		return WindowInfo{}, fmt.Errorf("core: unsupported format version %d", hdr[4])
+	}
+	wi.Dims = grid.Dims{
+		Nx: int(binary.LittleEndian.Uint32(hdr[24:28])),
+		Ny: int(binary.LittleEndian.Uint32(hdr[28:32])),
+		Nz: int(binary.LittleEndian.Uint32(hdr[32:36])),
+	}
+	wi.NumSlices = int(binary.LittleEndian.Uint32(hdr[36:40]))
+	if !wi.Dims.Valid() {
+		return WindowInfo{}, fmt.Errorf("core: invalid dims %v in header", wi.Dims)
+	}
+	if wi.Dims.Nx > 1<<20 || wi.Dims.Ny > 1<<20 || wi.Dims.Nz > 1<<20 {
+		return WindowInfo{}, fmt.Errorf("core: implausible dims %v in header", wi.Dims)
+	}
+	if wi.NumSlices < 1 || wi.NumSlices > 1<<20 {
+		return WindowInfo{}, fmt.Errorf("core: implausible slice count %d", wi.NumSlices)
+	}
+	if wi.Mode != Spatial3D && wi.Mode != Spatiotemporal4D {
+		return WindowInfo{}, fmt.Errorf("core: invalid mode %d in header", int(wi.Mode))
+	}
+	if !wi.SpatialKernel.Valid() || !wi.TemporalKernel.Valid() {
+		return WindowInfo{}, fmt.Errorf("core: invalid kernel in header")
+	}
+	return wi, nil
+}
+
 // ReadCompressedWindow deserializes a window written by WriteTo.
 func ReadCompressedWindow(r io.Reader) (*CompressedWindow, error) {
 	hdr := make([]byte, 40)

@@ -1,0 +1,312 @@
+package server
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+
+	"stwave/internal/grid"
+	"stwave/internal/render"
+	"stwave/internal/transform"
+)
+
+// Handler returns the server's HTTP interface:
+//
+//	GET /healthz                  liveness + mount count
+//	GET /metrics                  counters, latency histogram, cache stats
+//	GET /v1/datasets              list mounted datasets
+//	GET /v1/{dataset}/slice       one time slice     ?t=12&format=raw|json
+//	GET /v1/{dataset}/crop        subvolume          ?t=&x0=&y0=&z0=&nx=&ny=&nz=&format=raw|json
+//	GET /v1/{dataset}/preview     coarse approximation ?t=&levels=2&format=raw|json
+//	GET /v1/{dataset}/render      quick-look image   ?t=&kind=slice|mip&z=&axis=x|y|z&format=pgm|ppm
+//
+// raw responses are little-endian float32 sample streams (x fastest) with
+// the extents in the X-STW-Dims header; every data response carries an
+// X-Cache header saying how the window was obtained.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
+	mux.HandleFunc("GET /v1/{dataset}/slice", s.data(s.handleSlice))
+	mux.HandleFunc("GET /v1/{dataset}/crop", s.data(s.handleCrop))
+	mux.HandleFunc("GET /v1/{dataset}/preview", s.data(s.handlePreview))
+	mux.HandleFunc("GET /v1/{dataset}/render", s.data(s.handleRender))
+	return mux
+}
+
+// httpError carries a status code through the handler return path.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func notFound(format string, args ...any) error {
+	return &httpError{status: http.StatusNotFound, msg: fmt.Sprintf(format, args...)}
+}
+
+// countingWriter tracks payload bytes for the BytesServed counter.
+type countingWriter struct {
+	http.ResponseWriter
+	n int64
+}
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.n += int64(n)
+	return n, err
+}
+
+// data wraps a dataset handler with mount lookup, per-request timeout,
+// metrics, and error-to-status mapping.
+func (s *Server) data(h func(http.ResponseWriter, *http.Request, *mount) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.Requests.Add(1)
+		ctx := r.Context()
+		if s.cfg.RequestTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+			defer cancel()
+		}
+		m, ok := s.mounts[r.PathValue("dataset")]
+		if !ok {
+			s.fail(w, notFound("unknown dataset %q", r.PathValue("dataset")))
+			return
+		}
+		cw := &countingWriter{ResponseWriter: w}
+		if err := h(cw, r.WithContext(ctx), m); err != nil {
+			s.fail(w, err)
+			return
+		}
+		s.metrics.BytesServed.Add(cw.n)
+	}
+}
+
+// fail maps an error to an HTTP status and counts it.
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	s.metrics.Errors.Add(1)
+	var he *httpError
+	switch {
+	case errors.As(err, &he):
+		http.Error(w, he.msg, he.status)
+	case errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, "request timed out", http.StatusGatewayTimeout)
+	case errors.Is(err, context.Canceled):
+		// Client went away; nothing useful to write.
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{"status": "ok", "datasets": len(s.mounts)})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.metrics.Snapshot(s.cache.Stats()))
+}
+
+// datasetInfo is one entry of /v1/datasets.
+type datasetInfo struct {
+	Name    string `json:"name"`
+	Windows int    `json:"windows"`
+	Slices  int    `json:"slices"`
+	Dims    string `json:"dims"`
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	out := make([]datasetInfo, 0, len(s.order))
+	for _, name := range s.order {
+		m := s.mounts[name]
+		out = append(out, datasetInfo{
+			Name:    name,
+			Windows: len(m.windows),
+			Slices:  m.slices,
+			Dims:    m.windows[0].info.Dims.String(),
+		})
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleSlice(w http.ResponseWriter, r *http.Request, m *mount) error {
+	t, err := intParam(r, "t", 0)
+	if err != nil {
+		return err
+	}
+	f, tv, state, err := s.fetchSlice(r.Context(), m, t)
+	if err != nil {
+		return err
+	}
+	return writeField(w, r, f, tv, state)
+}
+
+func (s *Server) handleCrop(w http.ResponseWriter, r *http.Request, m *mount) error {
+	t, err := intParam(r, "t", 0)
+	if err != nil {
+		return err
+	}
+	box := [6]int{}
+	for i, name := range []string{"x0", "y0", "z0", "nx", "ny", "nz"} {
+		v, err := intParam(r, name, -1)
+		if err != nil {
+			return err
+		}
+		if v < 0 {
+			return badRequest("crop requires %s", name)
+		}
+		box[i] = v
+	}
+	f, tv, state, err := s.fetchSlice(r.Context(), m, t)
+	if err != nil {
+		return err
+	}
+	sub, err := f.SubVolume(box[0], box[1], box[2], box[3], box[4], box[5])
+	if err != nil {
+		return badRequest("%v", err)
+	}
+	return writeField(w, r, sub, tv, state)
+}
+
+func (s *Server) handlePreview(w http.ResponseWriter, r *http.Request, m *mount) error {
+	t, err := intParam(r, "t", 0)
+	if err != nil {
+		return err
+	}
+	levels, err := intParam(r, "levels", 1)
+	if err != nil {
+		return err
+	}
+	f, tv, state, err := s.fetchSlice(r.Context(), m, t)
+	if err != nil {
+		return err
+	}
+	// Downsample with the same spatial kernel the container was compressed
+	// with (recorded in every window header).
+	coarse, err := transform.CoarseApproximation(f, m.windows[0].info.SpatialKernel, levels, 0)
+	if err != nil {
+		return badRequest("%v", err)
+	}
+	return writeField(w, r, coarse, tv, state)
+}
+
+func (s *Server) handleRender(w http.ResponseWriter, r *http.Request, m *mount) error {
+	t, err := intParam(r, "t", 0)
+	if err != nil {
+		return err
+	}
+	f, _, state, err := s.fetchSlice(r.Context(), m, t)
+	if err != nil {
+		return err
+	}
+	kind := paramOr(r, "kind", "slice")
+	var im *render.Image
+	switch kind {
+	case "slice":
+		z, err := intParam(r, "z", f.Dims.Nz/2)
+		if err != nil {
+			return err
+		}
+		im, err = render.SliceXY(f, z)
+		if err != nil {
+			return badRequest("%v", err)
+		}
+	case "mip":
+		var axis render.MIPAxis
+		switch paramOr(r, "axis", "z") {
+		case "x":
+			axis = render.AlongX
+		case "y":
+			axis = render.AlongY
+		case "z":
+			axis = render.AlongZ
+		default:
+			return badRequest("axis must be x, y, or z")
+		}
+		im, err = render.MIP(f, axis)
+		if err != nil {
+			return badRequest("%v", err)
+		}
+	default:
+		return badRequest("kind must be slice or mip, got %q", kind)
+	}
+	w.Header().Set("X-Cache", string(state))
+	switch format := paramOr(r, "format", "pgm"); format {
+	case "pgm":
+		w.Header().Set("Content-Type", "image/x-portable-graymap")
+		return im.WritePGM(w)
+	case "ppm":
+		w.Header().Set("Content-Type", "image/x-portable-pixmap")
+		return im.WritePPM(w)
+	default:
+		return badRequest("format must be pgm or ppm, got %q", format)
+	}
+}
+
+// fetchSlice is the handlers' entry into the engine.
+func (s *Server) fetchSlice(ctx context.Context, m *mount, t int) (*grid.Field3D, float64, cacheState, error) {
+	return s.slice(ctx, m, t)
+}
+
+// writeField emits a field as raw float32 or JSON, tagging extent, time,
+// and cache-state headers.
+func writeField(w http.ResponseWriter, r *http.Request, f *grid.Field3D, tv float64, state cacheState) error {
+	w.Header().Set("X-Cache", string(state))
+	w.Header().Set("X-STW-Dims", f.Dims.String())
+	w.Header().Set("X-STW-Time", strconv.FormatFloat(tv, 'g', -1, 64))
+	switch format := paramOr(r, "format", "raw"); format {
+	case "raw":
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", strconv.Itoa(len(f.Data)*4))
+		buf := make([]byte, len(f.Data)*4)
+		for i, v := range f.Data {
+			binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(float32(v)))
+		}
+		_, err := w.Write(buf)
+		return err
+	case "json":
+		return writeJSON(w, map[string]any{
+			"dims": f.Dims.String(),
+			"time": tv,
+			"data": f.Data,
+		})
+	default:
+		return badRequest("format must be raw or json, got %q", format)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) error {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	return enc.Encode(v)
+}
+
+// intParam parses an integer query parameter, returning def when absent.
+func intParam(r *http.Request, name string, def int) (int, error) {
+	s := r.URL.Query().Get(name)
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, badRequest("parameter %s must be an integer, got %q", name, s)
+	}
+	return v, nil
+}
+
+func paramOr(r *http.Request, name, def string) string {
+	if v := r.URL.Query().Get(name); v != "" {
+		return v
+	}
+	return def
+}

@@ -1,0 +1,101 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets are the upper bounds (exclusive) of the decompress-latency
+// histogram, in milliseconds, doubling per bucket; the final implicit
+// bucket catches everything slower.
+var histBuckets = [...]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048}
+
+// Histogram is a fixed-bucket latency histogram safe for concurrent
+// observation. Buckets are non-cumulative counts.
+type Histogram struct {
+	counts [len(histBuckets) + 1]atomic.Int64
+	sumNs  atomic.Int64
+	n      atomic.Int64
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	i := 0
+	for i < len(histBuckets) && ms >= histBuckets[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumNs.Add(int64(d))
+	h.n.Add(1)
+}
+
+// HistogramSnapshot is the JSON-friendly view of a Histogram.
+type HistogramSnapshot struct {
+	Count   int64     `json:"count"`
+	MeanMs  float64   `json:"mean_ms"`
+	UpperMs []float64 `json:"bucket_upper_ms"`
+	Counts  []int64   `json:"bucket_counts"`
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:   h.n.Load(),
+		UpperMs: histBuckets[:],
+		Counts:  make([]int64, len(h.counts)),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	if s.Count > 0 {
+		s.MeanMs = float64(h.sumNs.Load()) / float64(s.Count) / float64(time.Millisecond)
+	}
+	return s
+}
+
+// Metrics holds the server's expvar-style counters. All fields are safe for
+// concurrent update; /metrics serves a Snapshot as JSON.
+type Metrics struct {
+	Requests       atomic.Int64 // data requests accepted (excludes /healthz, /metrics)
+	Errors         atomic.Int64 // requests answered with a non-2xx status
+	CacheHits      atomic.Int64 // window served from the decompressed-window cache
+	CacheMisses    atomic.Int64 // window had to be decompressed (or fetched uncached)
+	Coalesced      atomic.Int64 // requests that piggybacked on another request's decompression
+	Decompressions atomic.Int64 // full-window decompressions actually executed
+	SliceDecodes   atomic.Int64 // single-slice decodes on the uncacheable path
+	BytesServed    atomic.Int64 // response payload bytes written
+
+	DecompressLatency Histogram
+}
+
+// MetricsSnapshot is the JSON document served at /metrics.
+type MetricsSnapshot struct {
+	Requests       int64             `json:"requests"`
+	Errors         int64             `json:"errors"`
+	CacheHits      int64             `json:"cache_hits"`
+	CacheMisses    int64             `json:"cache_misses"`
+	Coalesced      int64             `json:"coalesced"`
+	Decompressions int64             `json:"decompressions"`
+	SliceDecodes   int64             `json:"slice_decodes"`
+	BytesServed    int64             `json:"bytes_served"`
+	Decompress     HistogramSnapshot `json:"decompress_latency"`
+	Cache          CacheStats        `json:"cache"`
+}
+
+// Snapshot captures all counters at one instant (per-counter atomicity; the
+// set is not a consistent cut, which is fine for monitoring).
+func (m *Metrics) Snapshot(cache CacheStats) MetricsSnapshot {
+	return MetricsSnapshot{
+		Requests:       m.Requests.Load(),
+		Errors:         m.Errors.Load(),
+		CacheHits:      m.CacheHits.Load(),
+		CacheMisses:    m.CacheMisses.Load(),
+		Coalesced:      m.Coalesced.Load(),
+		Decompressions: m.Decompressions.Load(),
+		SliceDecodes:   m.SliceDecodes.Load(),
+		BytesServed:    m.BytesServed.Load(),
+		Decompress:     m.DecompressLatency.Snapshot(),
+		Cache:          cache,
+	}
+}

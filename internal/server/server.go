@@ -1,0 +1,286 @@
+// Package server is the online read path for compressed containers: an
+// HTTP service that mounts one or more .stw containers and serves time
+// slices, axis-aligned crops, multiresolution previews, and rendered
+// quick-look images without the client ever touching wavelet code.
+//
+// The hot path is engineered around one observation: decompressing a
+// window is expensive (tens to hundreds of milliseconds) while copying
+// bytes out of a decompressed window is nearly free. So the server keeps a
+// byte-budgeted LRU cache of decompressed windows, coalesces concurrent
+// requests for the same uncached window into a single decompression
+// (flightGroup), and bounds the number of decompressions in flight with a
+// semaphore so a cold-cache burst degrades to queueing instead of memory
+// exhaustion. Windows too large to ever fit the cache budget fall back to
+// core.DecompressSlice, which skips the spatial inverse for every slice
+// except the requested one.
+package server
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"strconv"
+	"time"
+
+	"stwave/internal/core"
+	"stwave/internal/grid"
+	"stwave/internal/storage"
+)
+
+// Config tunes the server's resource envelope.
+type Config struct {
+	// CacheBytes bounds the decompressed-window cache (bytes of float64
+	// samples). <= 0 disables caching entirely. Rule of thumb: one window
+	// costs Nx*Ny*Nz*T*8 bytes; size the budget to hold the working set of
+	// windows your clients scrub across.
+	CacheBytes int64
+	// MaxDecompress bounds concurrent window decompressions. <= 0 means
+	// GOMAXPROCS.
+	MaxDecompress int
+	// RequestTimeout bounds each data request end to end. <= 0 disables.
+	RequestTimeout time.Duration
+}
+
+// DefaultConfig returns a sensible laptop-scale envelope: 256 MB of cache,
+// one decompression per CPU, 30 s per request.
+func DefaultConfig() Config {
+	return Config{
+		CacheBytes:     256 << 20,
+		MaxDecompress:  runtime.GOMAXPROCS(0),
+		RequestTimeout: 30 * time.Second,
+	}
+}
+
+// windowMeta is the per-window index built at mount time from 40-byte
+// header reads: enough to map a global time index to (window, local slice)
+// and to decide cache admission before decompressing anything.
+type windowMeta struct {
+	info       core.WindowInfo
+	startSlice int
+}
+
+// mount is one dataset: a container reader plus its window index. The
+// reader is shared by all requests (ReadWindow is ReadAt-based and
+// goroutine-safe).
+type mount struct {
+	name    string
+	path    string
+	r       *storage.ContainerReader
+	windows []windowMeta
+	slices  int
+}
+
+// locate maps a global time index to (window index, slice within window).
+func (m *mount) locate(t int) (int, int, error) {
+	if t < 0 || t >= m.slices {
+		return 0, 0, notFound("time index %d out of range [0,%d)", t, m.slices)
+	}
+	wi := sort.Search(len(m.windows), func(i int) bool {
+		return m.windows[i].startSlice+m.windows[i].info.NumSlices > t
+	})
+	return wi, t - m.windows[wi].startSlice, nil
+}
+
+// Server serves mounted containers over HTTP. Create with New, add
+// datasets with Mount/MountReader before serving, then expose Handler().
+type Server struct {
+	cfg     Config
+	mounts  map[string]*mount
+	order   []string
+	cache   *WindowCache
+	flights flightGroup
+	sem     chan struct{}
+	metrics Metrics
+}
+
+// New creates an empty server with the given resource envelope.
+func New(cfg Config) *Server {
+	if cfg.MaxDecompress <= 0 {
+		cfg.MaxDecompress = runtime.GOMAXPROCS(0)
+	}
+	return &Server{
+		cfg:    cfg,
+		mounts: make(map[string]*mount),
+		cache:  NewWindowCache(cfg.CacheBytes),
+		sem:    make(chan struct{}, cfg.MaxDecompress),
+	}
+}
+
+// Mount opens the container at path and serves it under the given dataset
+// name. Not safe to call concurrently with request handling: mount the
+// topology first, then serve.
+func (s *Server) Mount(name, path string) error {
+	r, err := storage.OpenContainer(path)
+	if err != nil {
+		return err
+	}
+	if err := s.MountReader(name, r); err != nil {
+		r.Close()
+		return err
+	}
+	s.mounts[name].path = path
+	return nil
+}
+
+// MountReader serves an already-open container under the given dataset
+// name. The server takes ownership of the reader (Close closes it).
+func (s *Server) MountReader(name string, r *storage.ContainerReader) error {
+	if name == "" {
+		return fmt.Errorf("server: empty dataset name")
+	}
+	if _, dup := s.mounts[name]; dup {
+		return fmt.Errorf("server: dataset %q already mounted", name)
+	}
+	if r.NumWindows() == 0 {
+		return fmt.Errorf("server: dataset %q has no windows", name)
+	}
+	m := &mount{name: name, r: r, windows: make([]windowMeta, r.NumWindows())}
+	for i := 0; i < r.NumWindows(); i++ {
+		info, err := r.WindowInfo(i)
+		if err != nil {
+			return fmt.Errorf("server: scanning %q: %w", name, err)
+		}
+		m.windows[i] = windowMeta{info: info, startSlice: m.slices}
+		m.slices += info.NumSlices
+	}
+	s.mounts[name] = m
+	s.order = append(s.order, name)
+	return nil
+}
+
+// Close closes every mounted container.
+func (s *Server) Close() error {
+	var first error
+	for _, name := range s.order {
+		if err := s.mounts[name].r.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Metrics exposes the server's counters (for tests and embedding).
+func (s *Server) Metrics() *Metrics { return &s.metrics }
+
+// Cache exposes the window cache (benchmarks flush it to force the cold
+// path).
+func (s *Server) Cache() *WindowCache { return s.cache }
+
+// acquireSem takes one decompression slot, honoring cancellation while
+// queued.
+func (s *Server) acquireSem(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// cacheState labels how a request's data was obtained, surfaced in the
+// X-Cache response header.
+type cacheState string
+
+const (
+	stateHit       cacheState = "hit"       // served from the window cache
+	stateMiss      cacheState = "miss"      // this request ran the decompression
+	stateCoalesced cacheState = "coalesced" // waited on another request's decompression
+	stateUncached  cacheState = "uncached"  // window exceeds cache budget; single-slice decode
+)
+
+// window returns the decompressed window wi of mount m, consulting the
+// cache and coalescing concurrent misses. The returned window is shared:
+// callers must not modify it.
+func (s *Server) window(ctx context.Context, m *mount, wi int) (*grid.Window, cacheState, error) {
+	key := windowKey{dataset: m.name, window: wi}
+	if w, ok := s.cache.Get(key); ok {
+		s.metrics.CacheHits.Add(1)
+		return w, stateHit, nil
+	}
+	s.metrics.CacheMisses.Add(1)
+	val, coalesced, err := s.flights.Do(ctx, "w\x00"+m.name+"\x00"+strconv.Itoa(wi), func(workCtx context.Context) (any, error) {
+		// Re-check under the flight: a previous flight may have populated
+		// the cache between our Get and Do.
+		if w, ok := s.cache.Get(key); ok {
+			return w, nil
+		}
+		if err := s.acquireSem(workCtx); err != nil {
+			return nil, err
+		}
+		defer func() { <-s.sem }()
+		start := time.Now()
+		cw, err := m.r.ReadWindow(wi)
+		if err != nil {
+			return nil, err
+		}
+		w, err := core.Decompress(cw)
+		if err != nil {
+			return nil, err
+		}
+		s.metrics.Decompressions.Add(1)
+		s.metrics.DecompressLatency.Observe(time.Since(start))
+		s.cache.Put(key, w)
+		return w, nil
+	})
+	if err != nil {
+		return nil, stateMiss, err
+	}
+	state := stateMiss
+	if coalesced {
+		s.metrics.Coalesced.Add(1)
+		state = stateCoalesced
+	}
+	return val.(*grid.Window), state, nil
+}
+
+// slice returns the field at global time index t of the named dataset. For
+// cacheable windows it decompresses (or reuses) the whole window; for
+// windows larger than the cache budget it decodes just the one slice. The
+// returned field may be shared with other requests: treat as read-only.
+func (s *Server) slice(ctx context.Context, m *mount, t int) (*grid.Field3D, float64, cacheState, error) {
+	wi, local, err := m.locate(t)
+	if err != nil {
+		return nil, 0, stateMiss, err
+	}
+	meta := m.windows[wi]
+	if s.cache.Admits(meta.info.RawSizeBytes()) {
+		w, state, err := s.window(ctx, m, wi)
+		if err != nil {
+			return nil, 0, state, err
+		}
+		tv := float64(t)
+		if w.Times != nil && local < len(w.Times) {
+			tv = w.Times[local]
+		}
+		return w.Slices[local], tv, state, nil
+	}
+	// Uncacheable path: the window can never fit the budget, so skip the
+	// full decompression and reconstruct only the requested slice. Still
+	// coalesced (per slice) and bounded by the semaphore.
+	val, coalesced, err := s.flights.Do(ctx, "s\x00"+m.name+"\x00"+strconv.Itoa(wi)+"\x00"+strconv.Itoa(local), func(workCtx context.Context) (any, error) {
+		if err := s.acquireSem(workCtx); err != nil {
+			return nil, err
+		}
+		defer func() { <-s.sem }()
+		start := time.Now()
+		cw, err := m.r.ReadWindow(wi)
+		if err != nil {
+			return nil, err
+		}
+		f, err := core.DecompressSlice(cw, local)
+		if err != nil {
+			return nil, err
+		}
+		s.metrics.SliceDecodes.Add(1)
+		s.metrics.DecompressLatency.Observe(time.Since(start))
+		return f, nil
+	})
+	if err != nil {
+		return nil, 0, stateUncached, err
+	}
+	if coalesced {
+		s.metrics.Coalesced.Add(1)
+	}
+	return val.(*grid.Field3D), float64(t), stateUncached, nil
+}

@@ -1,0 +1,74 @@
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup coalesces concurrent calls with the same key into a single
+// execution of fn — the server's guard against a decompression stampede
+// when N clients ask for slices of the same uncached window at once.
+//
+// Unlike the classic singleflight, execution is tied to the union of the
+// callers' contexts: fn runs with a context that is cancelled only when
+// every waiter has abandoned the call, so one impatient client cannot
+// cancel work that others still need, and work nobody wants any more stops
+// holding the decompression semaphore.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done    chan struct{}
+	val     any
+	err     error
+	waiters int
+	cancel  context.CancelFunc
+}
+
+// Do invokes fn once per key among concurrent callers. It returns fn's
+// result, or ctx.Err() if the caller's context ends first (the call keeps
+// running for the remaining waiters). coalesced is true when this caller
+// joined an execution started by another.
+func (g *flightGroup) Do(ctx context.Context, key string, fn func(context.Context) (any, error)) (val any, coalesced bool, err error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		c.waiters++
+		g.mu.Unlock()
+		return g.wait(ctx, c, true)
+	}
+	// This caller leads: run fn in its own goroutine so the leader can
+	// still honor its own deadline while followers keep the work alive.
+	workCtx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	c := &flightCall{done: make(chan struct{}), waiters: 1, cancel: cancel}
+	g.m[key] = c
+	g.mu.Unlock()
+	go func() {
+		c.val, c.err = fn(workCtx)
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		cancel()
+		close(c.done)
+	}()
+	return g.wait(ctx, c, false)
+}
+
+func (g *flightGroup) wait(ctx context.Context, c *flightCall, coalesced bool) (any, bool, error) {
+	select {
+	case <-c.done:
+		return c.val, coalesced, c.err
+	case <-ctx.Done():
+		g.mu.Lock()
+		c.waiters--
+		if c.waiters == 0 {
+			c.cancel()
+		}
+		g.mu.Unlock()
+		return nil, coalesced, ctx.Err()
+	}
+}

@@ -1,0 +1,153 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestFlightGroupCoalesces proves the core property deterministically: N
+// concurrent Do calls with the same key execute fn exactly once. The fn
+// blocks until every caller has joined, so no caller can arrive "late".
+func TestFlightGroupCoalesces(t *testing.T) {
+	var g flightGroup
+	const n = 16
+	var execs atomic.Int64
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	coalescedCount := atomic.Int64{}
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			val, coalesced, err := g.Do(context.Background(), "k", func(context.Context) (any, error) {
+				execs.Add(1)
+				<-release
+				return 42, nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if val.(int) != 42 {
+				t.Errorf("val = %v", val)
+			}
+			if coalesced {
+				coalescedCount.Add(1)
+			}
+		}()
+	}
+	// Release only once every caller is registered on the in-flight call,
+	// so all n provably share one execution.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		g.mu.Lock()
+		waiters := 0
+		if c := g.m["k"]; c != nil {
+			waiters = c.waiters
+		}
+		g.mu.Unlock()
+		if waiters == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d callers joined the flight", waiters, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := execs.Load(); got != 1 {
+		t.Errorf("fn executed %d times, want exactly 1", got)
+	}
+	if got := coalescedCount.Load(); got != n-1 {
+		t.Errorf("coalesced = %d, want %d", got, n-1)
+	}
+}
+
+func TestFlightGroupSequentialCallsRunSeparately(t *testing.T) {
+	var g flightGroup
+	var execs atomic.Int64
+	for i := 0; i < 3; i++ {
+		_, coalesced, err := g.Do(context.Background(), "k", func(context.Context) (any, error) {
+			execs.Add(1)
+			return nil, nil
+		})
+		if err != nil || coalesced {
+			t.Fatalf("call %d: coalesced=%v err=%v", i, coalesced, err)
+		}
+	}
+	if execs.Load() != 3 {
+		t.Errorf("execs = %d, want 3", execs.Load())
+	}
+}
+
+func TestFlightGroupPropagatesError(t *testing.T) {
+	var g flightGroup
+	boom := errors.New("boom")
+	_, _, err := g.Do(context.Background(), "k", func(context.Context) (any, error) {
+		return nil, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want boom", err)
+	}
+}
+
+func TestFlightGroupCallerCancellation(t *testing.T) {
+	var g flightGroup
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+
+	// Leader with a background context keeps the work alive.
+	go g.Do(context.Background(), "k", func(context.Context) (any, error) {
+		close(started)
+		<-release
+		return nil, nil
+	})
+	<-started
+
+	// A waiter with an expired context must return promptly with ctx.Err
+	// while the call keeps running.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, coalesced, err := g.Do(ctx, "k", func(context.Context) (any, error) {
+		t.Error("fn must not run twice")
+		return nil, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if !coalesced {
+		t.Error("waiter should report coalesced")
+	}
+}
+
+func TestFlightGroupCancelsWorkWhenAllWaitersLeave(t *testing.T) {
+	var g flightGroup
+	workCancelled := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		g.Do(ctx, "k", func(workCtx context.Context) (any, error) {
+			<-workCtx.Done()
+			close(workCancelled)
+			return nil, workCtx.Err()
+		})
+	}()
+
+	cancel() // sole waiter leaves; the work context must be cancelled
+	select {
+	case <-workCancelled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("work context never cancelled after all waiters left")
+	}
+	<-done
+}

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -165,27 +166,42 @@ func (r *ContainerReader) WindowSizeBytes(i int) (int64, error) {
 	return r.lengths[i], nil
 }
 
-// ReadWindow loads window i, verifying its checksum before decoding.
+// ReadWindow loads window i, verifying its checksum before decoding. The
+// window is read from disk exactly once: checksumming and decoding both
+// operate on the same in-memory buffer. ReadWindow is safe for concurrent
+// use by multiple goroutines — all file access goes through ReadAt, which
+// carries no shared cursor.
 func (r *ContainerReader) ReadWindow(i int) (*core.CompressedWindow, error) {
 	if i < 0 || i >= len(r.offsets) {
 		return nil, fmt.Errorf("storage: window %d out of range [0,%d)", i, len(r.offsets))
 	}
-	sec := io.NewSectionReader(r.f, r.offsets[i], r.lengths[i])
-	crc := crc32.NewIEEE()
-	if _, err := io.Copy(crc, sec); err != nil {
-		return nil, fmt.Errorf("storage: checksumming window %d: %w", i, err)
+	buf := make([]byte, r.lengths[i])
+	if _, err := r.f.ReadAt(buf, r.offsets[i]); err != nil {
+		return nil, fmt.Errorf("storage: reading window %d: %w", i, err)
 	}
-	if crc.Sum32() != r.crcs[i] {
+	if crc32.ChecksumIEEE(buf) != r.crcs[i] {
 		return nil, fmt.Errorf("storage: window %d checksum mismatch (file corrupted)", i)
 	}
-	if _, err := sec.Seek(0, io.SeekStart); err != nil {
-		return nil, err
-	}
-	cw, err := core.ReadCompressedWindow(sec)
+	cw, err := core.ReadCompressedWindow(bytes.NewReader(buf))
 	if err != nil {
 		return nil, fmt.Errorf("storage: reading window %d: %w", i, err)
 	}
 	return cw, nil
+}
+
+// WindowInfo parses only window i's fixed-size header: dims, slice count,
+// mode. It reads 40 bytes regardless of window size, so scanning every
+// window of a container to build a time index is cheap.
+func (r *ContainerReader) WindowInfo(i int) (core.WindowInfo, error) {
+	if i < 0 || i >= len(r.offsets) {
+		return core.WindowInfo{}, fmt.Errorf("storage: window %d out of range [0,%d)", i, len(r.offsets))
+	}
+	sec := io.NewSectionReader(r.f, r.offsets[i], r.lengths[i])
+	wi, err := core.ReadWindowInfo(sec)
+	if err != nil {
+		return core.WindowInfo{}, fmt.Errorf("storage: window %d: %w", i, err)
+	}
+	return wi, nil
 }
 
 // Close closes the underlying file.
