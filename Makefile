@@ -6,11 +6,13 @@ GO ?= go
 
 all: build vet test check
 
-# Fast correctness gate: static checks plus race-detector runs of the
-# packages with real concurrency (the HTTP server and the shared container
-# reader it hammers).
+# Fast correctness gate: static checks, race-detector runs of the
+# packages with real concurrency (the HTTP server, the shared container
+# reader, the burst buffer, and the fault-injection recovery matrix), and
+# a short fuzz smoke of the container index parser.
 check: vet fmt-check
 	$(GO) test -race ./internal/server ./internal/storage
+	$(GO) test -run=NONE -fuzz=FuzzOpenContainer -fuzztime=10s ./internal/storage
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \

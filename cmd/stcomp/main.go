@@ -54,7 +54,8 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   stcomp compress -dims NXxNYxNZ [-ratio N] [-window T] [-mode 3d|4d]
-         [-skernel K] [-tkernel K] -out FILE slice0.raw [slice1.raw ...]
+         [-skernel K] [-tkernel K] [-fsync never|window|close] [-atomic]
+         -out FILE slice0.raw [slice1.raw ...]
   stcomp decompress -in FILE -prefix PREFIX
   stcomp info -in FILE`)
 }
@@ -85,6 +86,8 @@ func runCompress(args []string) error {
 	tkernel := fs.String("tkernel", "cdf97", "temporal wavelet kernel")
 	targetNRMSE := fs.Float64("target-nrmse", 0, "if > 0, pick the ratio per window to meet this NRMSE instead of -ratio")
 	deflate := fs.Bool("deflate", false, "apply the DEFLATE entropy stage to stored windows (smaller files, more CPU)")
+	fsyncPolicy := fs.String("fsync", "never", "fsync policy: never, window (after every appended window), or close")
+	atomic := fs.Bool("atomic", false, "stage output at OUT.tmp and rename on Close, so OUT only ever holds a complete container")
 	out := fs.String("out", "", "output container path (required)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -121,11 +124,21 @@ func runCompress(args []string) error {
 		return fmt.Errorf("mode must be 3d or 4d, got %q", *mode)
 	}
 
-	cw, err := storage.CreateContainer(*out)
+	syncPol, err := storage.ParseSyncPolicy(*fsyncPolicy)
+	if err != nil {
+		return err
+	}
+	var cw *storage.ContainerWriter
+	if *atomic {
+		cw, err = storage.CreateContainerAtomic(*out)
+	} else {
+		cw, err = storage.CreateContainer(*out)
+	}
 	if err != nil {
 		return err
 	}
 	cw.Deflate = *deflate
+	cw.Sync = syncPol
 
 	if *targetNRMSE > 0 {
 		return compressToTarget(cw, opts, dims, fs.Args(), *targetNRMSE)

@@ -37,6 +37,7 @@ func main() {
 	cacheMB := flag.Int64("cache-mb", 256, "decompressed-window cache budget in MB (0 disables caching)")
 	maxDecompress := flag.Int("max-decompress", 0, "max concurrent window decompressions (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout (0 disables)")
+	degraded := flag.Bool("degraded", false, "serve containers with corrupt windows: checksum-verify at mount, answer 410 for lost windows, report damage via /healthz and /metrics")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "stserve: at least one container is required (NAME=PATH or PATH)")
@@ -48,6 +49,7 @@ func main() {
 		CacheBytes:     *cacheMB << 20,
 		MaxDecompress:  *maxDecompress,
 		RequestTimeout: *timeout,
+		Degraded:       *degraded,
 	})
 	defer srv.Close()
 	for _, arg := range flag.Args() {

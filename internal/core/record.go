@@ -1,0 +1,73 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Journal record framing (container format v3).
+//
+// A crash mid-run must not destroy the windows already appended to a
+// container, so every window is framed as a self-delimiting journal
+// record: the file is a recoverable sequence of records at every byte
+// boundary, with or without its footer index. The frame is deliberately
+// tiny (20 bytes) and carries two checksums — one over the payload, one
+// over the frame header itself — so a recovery scan can distinguish a
+// torn record, a corrupt payload, and trailing non-record bytes (the
+// footer index, or garbage from a torn write):
+//
+//	[0:4]   record magic "STWR"
+//	[4:12]  payload length (uint64 LE)
+//	[12:16] payload CRC32-IEEE (uint32 LE)
+//	[16:20] header CRC32-IEEE of bytes [0:16] (uint32 LE)
+var RecordMagic = [4]byte{'S', 'T', 'W', 'R'}
+
+// RecordHeaderSize is the fixed on-disk size of a record frame header.
+const RecordHeaderSize = 20
+
+// ErrNotRecord reports that bytes handed to ParseRecordHeader are not a
+// valid record frame: wrong magic, wrong header checksum, or too short.
+// Recovery scans use it to find the end of the durable record sequence.
+var ErrNotRecord = errors.New("core: not a record frame")
+
+// RecordHeader describes one journal record's payload.
+type RecordHeader struct {
+	Length     int64  // payload bytes following the header
+	PayloadCRC uint32 // CRC32-IEEE of the payload
+}
+
+// EncodeRecordHeader serializes a record frame header.
+func EncodeRecordHeader(h RecordHeader) [RecordHeaderSize]byte {
+	var b [RecordHeaderSize]byte
+	copy(b[0:4], RecordMagic[:])
+	binary.LittleEndian.PutUint64(b[4:12], uint64(h.Length))
+	binary.LittleEndian.PutUint32(b[12:16], h.PayloadCRC)
+	binary.LittleEndian.PutUint32(b[16:20], crc32.ChecksumIEEE(b[0:16]))
+	return b
+}
+
+// ParseRecordHeader decodes and validates a record frame header. It
+// returns ErrNotRecord (possibly wrapped) when b does not begin with a
+// well-formed frame, so scanners can treat "no more records" as a clean
+// stop condition rather than corruption.
+func ParseRecordHeader(b []byte) (RecordHeader, error) {
+	if len(b) < RecordHeaderSize {
+		return RecordHeader{}, fmt.Errorf("%w: %d bytes, need %d", ErrNotRecord, len(b), RecordHeaderSize)
+	}
+	if [4]byte(b[0:4]) != RecordMagic {
+		return RecordHeader{}, fmt.Errorf("%w: bad magic %q", ErrNotRecord, b[0:4])
+	}
+	if got, want := crc32.ChecksumIEEE(b[0:16]), binary.LittleEndian.Uint32(b[16:20]); got != want {
+		return RecordHeader{}, fmt.Errorf("%w: header checksum mismatch", ErrNotRecord)
+	}
+	length := binary.LittleEndian.Uint64(b[4:12])
+	if length > 1<<62 {
+		return RecordHeader{}, fmt.Errorf("%w: implausible payload length %d", ErrNotRecord, length)
+	}
+	return RecordHeader{
+		Length:     int64(length),
+		PayloadCRC: binary.LittleEndian.Uint32(b[12:16]),
+	}, nil
+}

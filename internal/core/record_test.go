@@ -1,0 +1,52 @@
+package core
+
+import (
+	"errors"
+	"hash/crc32"
+	"testing"
+)
+
+func TestRecordHeaderRoundTrip(t *testing.T) {
+	payload := []byte("spatiotemporal wavelet window payload")
+	h := RecordHeader{Length: int64(len(payload)), PayloadCRC: crc32.ChecksumIEEE(payload)}
+	b := EncodeRecordHeader(h)
+	got, err := ParseRecordHeader(b[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Errorf("round trip: got %+v, want %+v", got, h)
+	}
+}
+
+func TestParseRecordHeaderRejects(t *testing.T) {
+	good := EncodeRecordHeader(RecordHeader{Length: 10, PayloadCRC: 42})
+
+	short := good[:RecordHeaderSize-1]
+	if _, err := ParseRecordHeader(short); !errors.Is(err, ErrNotRecord) {
+		t.Errorf("short header: err = %v, want ErrNotRecord", err)
+	}
+
+	badMagic := good
+	badMagic[0] ^= 0xFF
+	if _, err := ParseRecordHeader(badMagic[:]); !errors.Is(err, ErrNotRecord) {
+		t.Errorf("bad magic: err = %v, want ErrNotRecord", err)
+	}
+
+	// Flip one bit anywhere in the protected region: the header CRC must
+	// catch it.
+	for bit := 0; bit < 16*8; bit++ {
+		b := EncodeRecordHeader(RecordHeader{Length: 1 << 20, PayloadCRC: 0xDEADBEEF})
+		b[bit/8] ^= 1 << (bit % 8)
+		if _, err := ParseRecordHeader(b[:]); !errors.Is(err, ErrNotRecord) {
+			t.Fatalf("bit flip at %d accepted", bit)
+		}
+	}
+
+	// Corrupt the CRC field itself.
+	badCRC := EncodeRecordHeader(RecordHeader{Length: 5, PayloadCRC: 1})
+	badCRC[16] ^= 0x01
+	if _, err := ParseRecordHeader(badCRC[:]); !errors.Is(err, ErrNotRecord) {
+		t.Errorf("bad header CRC: err = %v, want ErrNotRecord", err)
+	}
+}

@@ -1,0 +1,169 @@
+// Package faultio wraps a file with scripted I/O faults — short writes,
+// torn writes at chosen offsets, bit flips, and transient EIO — so the
+// storage layer's crash-safety and retry behaviour can be driven through
+// a test matrix instead of waiting for production hardware to fail.
+//
+// The wrapper implements the ReaderAt/WriterAt/Truncate/Sync/Close
+// surface the container code needs, so it drops in wherever an *os.File
+// would be used.
+package faultio
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Backend is the file surface faultio wraps. *os.File satisfies it.
+type Backend interface {
+	io.ReaderAt
+	io.WriterAt
+	Truncate(size int64) error
+	Sync() error
+	Close() error
+}
+
+// transientError marks an injected error as retryable; the storage
+// retry policy recognizes it via the Transient() method.
+type transientError struct{ op string }
+
+func (e *transientError) Error() string {
+	return fmt.Sprintf("faultio: injected transient %s error", e.op)
+}
+func (e *transientError) Transient() bool { return true }
+
+// permanentError is an injected hard failure (torn or short write).
+type permanentError struct{ msg string }
+
+func (e *permanentError) Error() string { return "faultio: " + e.msg }
+
+// File wraps a Backend with fault injection. Configure faults before
+// handing the File to the code under test; all methods are safe for
+// concurrent use. The zero fault configuration passes every operation
+// through untouched.
+type File struct {
+	mu    sync.Mutex
+	inner Backend
+
+	transientReads  int   // fail the next N ReadAt calls with a transient error
+	transientWrites int   // fail the next N WriteAt calls with a transient error
+	transientSyncs  int   // fail the next N Sync calls with a transient error
+	tornAt          int64 // absolute offset: the first write crossing it persists only the bytes below, then fails
+	tornArmed       bool
+	shortNext       int // next write persists only this many bytes, then fails
+	shortArmed      bool
+	flipAt          map[int64]struct{} // offsets whose lowest bit flips on every read
+
+	reads, writes, syncs int
+}
+
+// Wrap returns a File passing through to inner with no faults armed.
+func Wrap(inner Backend) *File {
+	return &File{inner: inner, flipAt: make(map[int64]struct{})}
+}
+
+// FailReads arms n transient read failures.
+func (f *File) FailReads(n int) { f.mu.Lock(); f.transientReads = n; f.mu.Unlock() }
+
+// FailWrites arms n transient write failures.
+func (f *File) FailWrites(n int) { f.mu.Lock(); f.transientWrites = n; f.mu.Unlock() }
+
+// FailSyncs arms n transient fsync failures.
+func (f *File) FailSyncs(n int) { f.mu.Lock(); f.transientSyncs = n; f.mu.Unlock() }
+
+// TearAt arms a torn write: the first write spanning absolute offset off
+// persists only the bytes below off and then fails permanently —
+// modelling a crash or power loss mid-write.
+func (f *File) TearAt(off int64) { f.mu.Lock(); f.tornAt, f.tornArmed = off, true; f.mu.Unlock() }
+
+// ShortWrite arms a short write: the next write persists only the first
+// n bytes and then fails permanently.
+func (f *File) ShortWrite(n int) { f.mu.Lock(); f.shortNext, f.shortArmed = n, true; f.mu.Unlock() }
+
+// FlipBitAt flips the lowest bit of the byte at absolute offset off on
+// every subsequent read covering it — modelling silent media corruption.
+func (f *File) FlipBitAt(off int64) { f.mu.Lock(); f.flipAt[off] = struct{}{}; f.mu.Unlock() }
+
+// Counts returns how many ReadAt, WriteAt, and Sync calls reached the
+// wrapper (including ones that were failed).
+func (f *File) Counts() (reads, writes, syncs int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.reads, f.writes, f.syncs
+}
+
+// ReadAt implements io.ReaderAt with transient-failure and bit-flip
+// injection.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	f.reads++
+	if f.transientReads > 0 {
+		f.transientReads--
+		f.mu.Unlock()
+		return 0, &transientError{op: "read"}
+	}
+	f.mu.Unlock()
+	n, err := f.inner.ReadAt(p, off)
+	f.mu.Lock()
+	for flip := range f.flipAt {
+		if flip >= off && flip < off+int64(n) {
+			p[flip-off] ^= 0x01
+		}
+	}
+	f.mu.Unlock()
+	return n, err
+}
+
+// WriteAt implements io.WriterAt with transient, torn, and short write
+// injection. Torn and short writes persist a prefix of p and return an
+// error, exactly as a crash mid-write would leave the file.
+func (f *File) WriteAt(p []byte, off int64) (int, error) {
+	f.mu.Lock()
+	f.writes++
+	if f.transientWrites > 0 {
+		f.transientWrites--
+		f.mu.Unlock()
+		return 0, &transientError{op: "write"}
+	}
+	if f.tornArmed && off < f.tornAt && off+int64(len(p)) > f.tornAt {
+		keep := int(f.tornAt - off)
+		f.tornArmed = false
+		f.mu.Unlock()
+		n, err := f.inner.WriteAt(p[:keep], off)
+		if err != nil {
+			return n, err
+		}
+		return n, &permanentError{msg: fmt.Sprintf("torn write at offset %d", off+int64(keep))}
+	}
+	if f.shortArmed {
+		keep := min(f.shortNext, len(p))
+		f.shortArmed = false
+		f.mu.Unlock()
+		n, err := f.inner.WriteAt(p[:keep], off)
+		if err != nil {
+			return n, err
+		}
+		return n, &permanentError{msg: fmt.Sprintf("short write (%d of %d bytes)", keep, len(p))}
+	}
+	f.mu.Unlock()
+	return f.inner.WriteAt(p, off)
+}
+
+// Truncate passes through to the backend.
+func (f *File) Truncate(size int64) error { return f.inner.Truncate(size) }
+
+// Sync implements fsync with transient-failure injection.
+func (f *File) Sync() error {
+	f.mu.Lock()
+	f.syncs++
+	if f.transientSyncs > 0 {
+		f.transientSyncs--
+		f.mu.Unlock()
+		return &transientError{op: "sync"}
+	}
+	f.mu.Unlock()
+	return f.inner.Sync()
+}
+
+// Close passes through to the backend.
+func (f *File) Close() error { return f.inner.Close() }

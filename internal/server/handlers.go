@@ -12,6 +12,7 @@ import (
 
 	"stwave/internal/grid"
 	"stwave/internal/render"
+	"stwave/internal/storage"
 	"stwave/internal/transform"
 )
 
@@ -54,6 +55,12 @@ func badRequest(format string, args ...any) error {
 
 func notFound(format string, args ...any) error {
 	return &httpError{status: http.StatusNotFound, msg: fmt.Sprintf(format, args...)}
+}
+
+// gone marks data lost to corruption: unlike a 5xx, retrying will not
+// bring it back, and unlike a 404 the time index is valid.
+func gone(format string, args ...any) error {
+	return &httpError{status: http.StatusGone, msg: fmt.Sprintf(format, args...)}
 }
 
 // countingWriter tracks payload bytes for the BytesServed counter.
@@ -100,6 +107,9 @@ func (s *Server) fail(w http.ResponseWriter, err error) {
 	switch {
 	case errors.As(err, &he):
 		http.Error(w, he.msg, he.status)
+	case errors.Is(err, storage.ErrCorrupt):
+		// The bytes on disk fail their checksum; retrying cannot help.
+		http.Error(w, err.Error(), http.StatusGone)
 	case errors.Is(err, context.DeadlineExceeded):
 		http.Error(w, "request timed out", http.StatusGatewayTimeout)
 	case errors.Is(err, context.Canceled):
@@ -110,7 +120,29 @@ func (s *Server) fail(w http.ResponseWriter, err error) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, map[string]any{"status": "ok", "datasets": len(s.mounts)})
+	// Degraded, not dead: corrupt windows mean some time indices answer
+	// 410, but every intact window still serves. Orchestrators should keep
+	// routing traffic and page a human to run stfsck.
+	status := "ok"
+	var perDataset map[string]int
+	if corrupt := s.metrics.CorruptWindows.Load(); corrupt > 0 {
+		status = "degraded"
+		perDataset = make(map[string]int)
+		for _, name := range s.order {
+			if n := s.mounts[name].badCount(); n > 0 {
+				perDataset[name] = n
+			}
+		}
+	}
+	resp := map[string]any{
+		"status":          status,
+		"datasets":        len(s.mounts),
+		"corrupt_windows": s.metrics.CorruptWindows.Load(),
+	}
+	if perDataset != nil {
+		resp["corrupt_by_dataset"] = perDataset
+	}
+	writeJSON(w, resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -123,6 +155,7 @@ type datasetInfo struct {
 	Windows int    `json:"windows"`
 	Slices  int    `json:"slices"`
 	Dims    string `json:"dims"`
+	Corrupt int    `json:"corrupt_windows,omitempty"`
 }
 
 func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
@@ -133,7 +166,8 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 			Name:    name,
 			Windows: len(m.windows),
 			Slices:  m.slices,
-			Dims:    m.windows[0].info.Dims.String(),
+			Dims:    m.ref.Dims.String(),
+			Corrupt: m.badCount(),
 		})
 	}
 	writeJSON(w, out)
@@ -193,7 +227,7 @@ func (s *Server) handlePreview(w http.ResponseWriter, r *http.Request, m *mount)
 	}
 	// Downsample with the same spatial kernel the container was compressed
 	// with (recorded in every window header).
-	coarse, err := transform.CoarseApproximation(f, m.windows[0].info.SpatialKernel, levels, 0)
+	coarse, err := transform.CoarseApproximation(f, m.ref.SpatialKernel, levels, 0)
 	if err != nil {
 		return badRequest("%v", err)
 	}

@@ -65,6 +65,7 @@ type Metrics struct {
 	Decompressions atomic.Int64 // full-window decompressions actually executed
 	SliceDecodes   atomic.Int64 // single-slice decodes on the uncacheable path
 	BytesServed    atomic.Int64 // response payload bytes written
+	CorruptWindows atomic.Int64 // windows known corrupt across all mounts (found at mount scan or read time)
 
 	DecompressLatency Histogram
 }
@@ -79,6 +80,7 @@ type MetricsSnapshot struct {
 	Decompressions int64             `json:"decompressions"`
 	SliceDecodes   int64             `json:"slice_decodes"`
 	BytesServed    int64             `json:"bytes_served"`
+	CorruptWindows int64             `json:"corrupt_windows"`
 	Decompress     HistogramSnapshot `json:"decompress_latency"`
 	Cache          CacheStats        `json:"cache"`
 }
@@ -95,6 +97,7 @@ func (m *Metrics) Snapshot(cache CacheStats) MetricsSnapshot {
 		Decompressions: m.Decompressions.Load(),
 		SliceDecodes:   m.SliceDecodes.Load(),
 		BytesServed:    m.BytesServed.Load(),
+		CorruptWindows: m.CorruptWindows.Load(),
 		Decompress:     m.DecompressLatency.Snapshot(),
 		Cache:          cache,
 	}

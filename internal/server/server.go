@@ -17,10 +17,12 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
 	"strconv"
+	"sync"
 	"time"
 
 	"stwave/internal/core"
@@ -40,6 +42,13 @@ type Config struct {
 	MaxDecompress int
 	// RequestTimeout bounds each data request end to end. <= 0 disables.
 	RequestTimeout time.Duration
+	// Degraded makes mounts tolerate corrupt windows instead of refusing
+	// the whole container: every window is checksum-verified at mount,
+	// corrupt ones are excluded from serving (requests for them answer
+	// 410 Gone), and the damage is surfaced through /healthz and the
+	// corrupt_windows metric. Without it, a mount fails on the first
+	// unreadable window header.
+	Degraded bool
 }
 
 // DefaultConfig returns a sensible laptop-scale envelope: 256 MB of cache,
@@ -62,13 +71,45 @@ type windowMeta struct {
 
 // mount is one dataset: a container reader plus its window index. The
 // reader is shared by all requests (ReadWindow is ReadAt-based and
-// goroutine-safe).
+// goroutine-safe). bad tracks windows known corrupt — populated by the
+// degraded-mount verification scan and grown at read time when a CRC
+// failure is first discovered.
 type mount struct {
 	name    string
 	path    string
 	r       *storage.ContainerReader
 	windows []windowMeta
 	slices  int
+	ref     core.WindowInfo // first readable window header (dims, kernels)
+
+	mu  sync.Mutex
+	bad map[int]bool
+}
+
+// markBad records window wi as corrupt, reporting whether it was newly
+// discovered (so the corrupt_windows metric counts each window once).
+func (m *mount) markBad(wi int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.bad[wi] {
+		return false
+	}
+	m.bad[wi] = true
+	return true
+}
+
+// isBad reports whether window wi is known corrupt.
+func (m *mount) isBad(wi int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.bad[wi]
+}
+
+// badCount returns how many of the mount's windows are known corrupt.
+func (m *mount) badCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.bad)
 }
 
 // locate maps a global time index to (window index, slice within window).
@@ -135,14 +176,38 @@ func (s *Server) MountReader(name string, r *storage.ContainerReader) error {
 	if r.NumWindows() == 0 {
 		return fmt.Errorf("server: dataset %q has no windows", name)
 	}
-	m := &mount{name: name, r: r, windows: make([]windowMeta, r.NumWindows())}
+	m := &mount{name: name, r: r, windows: make([]windowMeta, r.NumWindows()), bad: make(map[int]bool)}
+	haveRef := false
 	for i := 0; i < r.NumWindows(); i++ {
 		info, err := r.WindowInfo(i)
 		if err != nil {
-			return fmt.Errorf("server: scanning %q: %w", name, err)
+			if !s.cfg.Degraded {
+				return fmt.Errorf("server: scanning %q: %w", name, err)
+			}
+			// Header unreadable: the window's slice count is unknowable, so
+			// it contributes nothing to the timeline. Its loss is still
+			// visible through /healthz and corrupt_windows.
+			m.bad[i] = true
+			s.metrics.CorruptWindows.Add(1)
+			m.windows[i] = windowMeta{startSlice: m.slices}
+			continue
+		}
+		if s.cfg.Degraded {
+			if err := r.VerifyWindow(i); err != nil && m.markBad(i) {
+				// Payload corrupt but header intact: keep the window's span
+				// in the timeline (so later windows keep their time indices)
+				// and answer its slices with 410 Gone.
+				s.metrics.CorruptWindows.Add(1)
+			}
+		}
+		if !haveRef {
+			m.ref, haveRef = info, true
 		}
 		m.windows[i] = windowMeta{info: info, startSlice: m.slices}
 		m.slices += info.NumSlices
+	}
+	if !haveRef {
+		return fmt.Errorf("server: dataset %q has no readable windows", name)
 	}
 	s.mounts[name] = m
 	s.order = append(s.order, name)
@@ -212,6 +277,7 @@ func (s *Server) window(ctx context.Context, m *mount, wi int) (*grid.Window, ca
 		start := time.Now()
 		cw, err := m.r.ReadWindow(wi)
 		if err != nil {
+			s.noteCorrupt(m, wi, err)
 			return nil, err
 		}
 		w, err := core.Decompress(cw)
@@ -234,6 +300,16 @@ func (s *Server) window(ctx context.Context, m *mount, wi int) (*grid.Window, ca
 	return val.(*grid.Window), state, nil
 }
 
+// noteCorrupt records a newly discovered corrupt window in the mount and
+// the corrupt_windows metric. Reads that fail for other reasons
+// (transient I/O, cancellation) are not marked — only checksum failures,
+// which are a durable property of the bytes on disk.
+func (s *Server) noteCorrupt(m *mount, wi int, err error) {
+	if errors.Is(err, storage.ErrCorrupt) && m.markBad(wi) {
+		s.metrics.CorruptWindows.Add(1)
+	}
+}
+
 // slice returns the field at global time index t of the named dataset. For
 // cacheable windows it decompresses (or reuses) the whole window; for
 // windows larger than the cache budget it decodes just the one slice. The
@@ -242,6 +318,9 @@ func (s *Server) slice(ctx context.Context, m *mount, t int) (*grid.Field3D, flo
 	wi, local, err := m.locate(t)
 	if err != nil {
 		return nil, 0, stateMiss, err
+	}
+	if m.isBad(wi) {
+		return nil, 0, stateMiss, gone("time index %d falls in corrupt window %d", t, wi)
 	}
 	meta := m.windows[wi]
 	if s.cache.Admits(meta.info.RawSizeBytes()) {
@@ -266,6 +345,7 @@ func (s *Server) slice(ctx context.Context, m *mount, t int) (*grid.Field3D, flo
 		start := time.Now()
 		cw, err := m.r.ReadWindow(wi)
 		if err != nil {
+			s.noteCorrupt(m, wi, err)
 			return nil, err
 		}
 		f, err := core.DecompressSlice(cw, local)

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -8,6 +9,7 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"sync"
 	"testing"
@@ -410,5 +412,227 @@ func TestMountValidation(t *testing.T) {
 	}
 	if err := s.Mount("b", filepath.Join(t.TempDir(), "missing.stw")); err == nil {
 		t.Error("missing container must fail")
+	}
+}
+
+// corruptWindowPayload flips one bit in the middle of window wi's
+// payload in the container at path (v3 record-framed layout).
+func corruptWindowPayload(t testing.TB, path string, wi int) {
+	t.Helper()
+	flipInWindow(t, path, wi, -1)
+}
+
+// corruptWindowHeader flips the first byte of window wi's payload — the
+// serialized window magic — so even the 40-byte header scan fails.
+func corruptWindowHeader(t testing.TB, path string, wi int) {
+	t.Helper()
+	flipInWindow(t, path, wi, 0)
+}
+
+func flipInWindow(t testing.TB, path string, wi int, at int64) {
+	t.Helper()
+	r, err := storage.OpenContainer(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := int64(0)
+	for j := 0; j < wi; j++ {
+		n, err := r.WindowSizeBytes(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		off += core.RecordHeaderSize + n
+	}
+	ln, err := r.WindowSizeBytes(wi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	if at < 0 {
+		at = ln / 2
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[off+core.RecordHeaderSize+at] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDegradedMount: a container with one CRC-corrupt window mounts in
+// degraded mode; its time range answers 410 Gone, every other window
+// serves, and the damage shows in /healthz, /metrics, and /v1/datasets.
+func TestDegradedMount(t *testing.T) {
+	d := grid.Dims{Nx: 8, Ny: 8, Nz: 8}
+	path := buildContainer(t, d, 12, 4) // windows 0,1,2 of 4 slices
+	corruptWindowPayload(t, path, 1)
+
+	cfg := DefaultConfig()
+	cfg.Degraded = true
+	s := New(cfg)
+	if err := s.Mount("test", path); err != nil {
+		t.Fatalf("degraded mount: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+
+	// Mount-time verification already found the damage.
+	if got := s.Metrics().CorruptWindows.Load(); got != 1 {
+		t.Errorf("corrupt_windows after mount = %d, want 1", got)
+	}
+
+	// The corrupt window's whole time range is 410 Gone — repeatedly, and
+	// without double-counting the metric.
+	for _, tt := range []int{4, 5, 6, 7, 5} {
+		resp, body := get(t, fmt.Sprintf("%s/v1/test/slice?t=%d", ts.URL, tt))
+		if resp.StatusCode != http.StatusGone {
+			t.Errorf("t=%d: status %d (%s), want 410", tt, resp.StatusCode, body)
+		}
+	}
+	if got := s.Metrics().CorruptWindows.Load(); got != 1 {
+		t.Errorf("corrupt_windows after requests = %d, want 1", got)
+	}
+
+	// Every slice in the intact windows still serves.
+	for _, tt := range []int{0, 1, 2, 3, 8, 9, 10, 11} {
+		resp, body := get(t, fmt.Sprintf("%s/v1/test/slice?t=%d", ts.URL, tt))
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("t=%d: status %d (%s), want 200", tt, resp.StatusCode, body)
+		}
+	}
+
+	// /healthz reports degraded with a per-dataset breakdown.
+	resp, body := get(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	var health struct {
+		Status           string         `json:"status"`
+		CorruptWindows   int            `json:"corrupt_windows"`
+		CorruptByDataset map[string]int `json:"corrupt_by_dataset"`
+	}
+	if err := json.Unmarshal(body, &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "degraded" || health.CorruptWindows != 1 || health.CorruptByDataset["test"] != 1 {
+		t.Errorf("healthz = %+v", health)
+	}
+
+	// /metrics exposes the counter; /v1/datasets flags the dataset.
+	_, body = get(t, ts.URL+"/metrics")
+	var snap struct {
+		CorruptWindows int64 `json:"corrupt_windows"`
+	}
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.CorruptWindows != 1 {
+		t.Errorf("metrics corrupt_windows = %d", snap.CorruptWindows)
+	}
+	_, body = get(t, ts.URL+"/v1/datasets")
+	var infos []struct {
+		Name    string `json:"name"`
+		Slices  int    `json:"slices"`
+		Corrupt int    `json:"corrupt_windows"`
+	}
+	if err := json.Unmarshal(body, &infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Corrupt != 1 || infos[0].Slices != 12 {
+		t.Errorf("datasets = %+v", infos)
+	}
+}
+
+// TestNonDegradedDiscoversCorruptionAtRead: without Degraded, payload
+// corruption is invisible at mount (headers are intact) but the first
+// read answers 410 and flips /healthz to degraded.
+func TestNonDegradedDiscoversCorruptionAtRead(t *testing.T) {
+	d := grid.Dims{Nx: 8, Ny: 8, Nz: 8}
+	path := buildContainer(t, d, 8, 4)
+	corruptWindowPayload(t, path, 1)
+
+	s := New(DefaultConfig())
+	if err := s.Mount("test", path); err != nil {
+		t.Fatalf("mount: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+
+	if got := s.Metrics().CorruptWindows.Load(); got != 0 {
+		t.Errorf("corrupt_windows before any read = %d", got)
+	}
+	_, body := get(t, ts.URL+"/healthz")
+	if !bytes.Contains(body, []byte(`"status":"ok"`)) && !bytes.Contains(body, []byte(`"status": "ok"`)) {
+		t.Errorf("healthz before read: %s", body)
+	}
+
+	for i := 0; i < 2; i++ { // second hit takes the isBad fast path
+		resp, _ := get(t, ts.URL+"/v1/test/slice?t=6")
+		if resp.StatusCode != http.StatusGone {
+			t.Errorf("read %d: status %d, want 410", i, resp.StatusCode)
+		}
+	}
+	if got := s.Metrics().CorruptWindows.Load(); got != 1 {
+		t.Errorf("corrupt_windows after read = %d, want 1", got)
+	}
+	resp, _ := get(t, ts.URL+"/v1/test/slice?t=0")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("intact window: status %d", resp.StatusCode)
+	}
+}
+
+// TestDegradedMountHeaderDamage: a window whose serialized header is
+// unreadable contributes no slices in degraded mode; without Degraded
+// the mount fails outright.
+func TestDegradedMountHeaderDamage(t *testing.T) {
+	d := grid.Dims{Nx: 8, Ny: 8, Nz: 8}
+	path := buildContainer(t, d, 8, 4)
+	corruptWindowHeader(t, path, 0)
+
+	if err := New(DefaultConfig()).Mount("test", path); err == nil {
+		t.Fatal("non-degraded mount of header-damaged container must fail")
+	}
+
+	cfg := DefaultConfig()
+	cfg.Degraded = true
+	s := New(cfg)
+	if err := s.Mount("test", path); err != nil {
+		t.Fatalf("degraded mount: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+
+	// Window 0 vanished from the timeline: only window 1's 4 slices serve.
+	_, body := get(t, ts.URL+"/v1/datasets")
+	var infos []struct {
+		Slices  int `json:"slices"`
+		Corrupt int `json:"corrupt_windows"`
+	}
+	if err := json.Unmarshal(body, &infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Slices != 4 || infos[0].Corrupt != 1 {
+		t.Errorf("datasets = %+v", infos)
+	}
+	for tt := 0; tt < 4; tt++ {
+		resp, _ := get(t, fmt.Sprintf("%s/v1/test/slice?t=%d", ts.URL, tt))
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("t=%d: status %d", tt, resp.StatusCode)
+		}
+	}
+	resp, _ := get(t, ts.URL+"/v1/test/slice?t=4")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("past shortened timeline: status %d, want 404", resp.StatusCode)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"stwave/internal/grid"
 )
@@ -14,12 +15,19 @@ import (
 // files under dir (exercising the true serialization path); timing is
 // accounted through the PerfModel so experiments are deterministic and can
 // model hardware other than the machine running them.
+//
+// BurstBuffer is safe for concurrent use: simulation ranks stage slices
+// while the compressor drains them, so Put/Get/Drop may race. The mutex
+// guards the id counter and the live map; the file I/O itself runs
+// outside the lock (distinct ids touch distinct files).
 type BurstBuffer struct {
 	dir   string
 	model *PerfModel
 	dims  grid.Dims
-	next  int
-	live  map[int]string
+
+	mu   sync.Mutex
+	next int
+	live map[int]string
 }
 
 // NewBurstBuffer creates a staging area in dir for slices of the given
@@ -46,8 +54,10 @@ func (b *BurstBuffer) PutSlice(f *grid.Field3D) (int, error) {
 	if f.Dims != b.dims {
 		return 0, fmt.Errorf("storage: slice dims %v != buffer dims %v", f.Dims, b.dims)
 	}
+	b.mu.Lock()
 	id := b.next
 	b.next++
+	b.mu.Unlock()
 	path := filepath.Join(b.dir, fmt.Sprintf("slice-%06d.raw", id))
 	if err := f.SaveRawFile(path); err != nil {
 		return 0, err
@@ -55,13 +65,17 @@ func (b *BurstBuffer) PutSlice(f *grid.Field3D) (int, error) {
 	if _, err := b.model.RecordWrite(Buffer, f.RawSizeBytes(4)); err != nil {
 		return 0, err
 	}
+	b.mu.Lock()
 	b.live[id] = path
+	b.mu.Unlock()
 	return id, nil
 }
 
 // GetSlice reads a staged slice back.
 func (b *BurstBuffer) GetSlice(id int) (*grid.Field3D, error) {
+	b.mu.Lock()
 	path, ok := b.live[id]
+	b.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("storage: no slice %d in buffer", id)
 	}
@@ -77,16 +91,22 @@ func (b *BurstBuffer) GetSlice(id int) (*grid.Field3D, error) {
 
 // Drop removes a staged slice (after it has been compressed away).
 func (b *BurstBuffer) Drop(id int) error {
+	b.mu.Lock()
 	path, ok := b.live[id]
+	delete(b.live, id)
+	b.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("storage: no slice %d in buffer", id)
 	}
-	delete(b.live, id)
 	return os.Remove(path)
 }
 
 // Len returns the number of staged slices.
-func (b *BurstBuffer) Len() int { return len(b.live) }
+func (b *BurstBuffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.live)
+}
 
 // Model returns the buffer's perf model.
 func (b *BurstBuffer) Model() *PerfModel { return b.model }

@@ -137,6 +137,83 @@ func TestReadWindowConcurrent(t *testing.T) {
 	}
 }
 
+// TestBurstBufferConcurrent races Put, Get, Drop, and Len from many
+// goroutines — the in-situ pattern where simulation ranks stage slices
+// while the compressor drains them. Run with -race (make check does).
+func TestBurstBufferConcurrent(t *testing.T) {
+	d := grid.Dims{Nx: 6, Ny: 5, Nz: 4}
+	b, err := NewBurstBuffer(t.TempDir(), DefaultModel(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const producers = 8
+	const slicesEach = 6
+	ids := make(chan int, producers*slicesEach)
+	var wg sync.WaitGroup
+	errs := make(chan error, producers*slicesEach*2)
+
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for s := 0; s < slicesEach; s++ {
+				f := grid.NewField3D(d.Nx, d.Ny, d.Nz)
+				for i := range f.Data {
+					f.Data[i] = float64(p)
+				}
+				id, err := b.PutSlice(f)
+				if err != nil {
+					errs <- err
+					return
+				}
+				b.Len() // racing reads of the live map
+				ids <- id
+			}
+		}(p)
+	}
+
+	// Consumers drain concurrently with the producers: read each slice
+	// back, check it is internally consistent, then drop it.
+	var cg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		cg.Add(1)
+		go func() {
+			defer cg.Done()
+			for id := range ids {
+				f, err := b.GetSlice(id)
+				if err != nil {
+					errs <- fmt.Errorf("get %d: %w", id, err)
+					continue
+				}
+				for i := range f.Data {
+					if f.Data[i] != f.Data[0] {
+						errs <- fmt.Errorf("slice %d not uniform: %g vs %g", id, f.Data[i], f.Data[0])
+						break
+					}
+				}
+				if err := b.Drop(id); err != nil {
+					errs <- fmt.Errorf("drop %d: %w", id, err)
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(ids)
+	cg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if b.Len() != 0 {
+		t.Errorf("%d slices left after drain", b.Len())
+	}
+	if got, want := b.Model().BytesWritten(Buffer), int64(producers*slicesEach)*grid.NewField3D(d.Nx, d.Ny, d.Nz).RawSizeBytes(4); got != want {
+		t.Errorf("model recorded %d bytes written, want %d", got, want)
+	}
+}
+
 func TestWindowInfoMatchesFullRead(t *testing.T) {
 	d := grid.Dims{Nx: 10, Ny: 8, Nz: 12}
 	path := buildTestContainer(t, 2, 4, d)

@@ -3,107 +3,330 @@ package storage
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
+	"sync"
 
 	"stwave/internal/core"
 )
 
-// Container file format: a sequence of serialized compressed windows
-// followed by a footer index enabling random access to any window (the
-// capability the paper notes is otherwise lost with temporal compression).
-// Each index entry carries a CRC32 of its window's bytes so silent
+// Container file format v3: a journal of record-framed compressed
+// windows followed by a footer index enabling random access to any
+// window (the capability the paper notes is otherwise lost with temporal
+// compression).
+//
+//	record 0: frame header (core.RecordHeaderSize bytes) + window 0 bytes
+//	record 1: frame header + window 1 bytes
+//	...
+//	index: numWindows * (payload offset uint64, length uint64, crc32 uint32)
+//	footer: numWindows uint64, magic "STW3"
+//
+// Every record is self-delimiting (magic, length, payload CRC, header
+// CRC — see core/record.go), so the data region is a valid journal at
+// every byte boundary: a crash before Close loses at most the window
+// being written, and RecoverContainer rebuilds the index from the frames
+// alone. Index entries carry a CRC32 of their window's payload so silent
 // corruption is detected at read time.
 //
-//	window 0 bytes
-//	window 1 bytes
-//	...
-//	index: numWindows * (offset uint64, length uint64, crc32 uint32)
-//	footer: numWindows uint64, magic "STWX"
-var containerMagic = [4]byte{'S', 'T', 'W', 'X'}
+// Format v2 ("STWX" footer, no record frames) is still readable; it
+// cannot be scanned for recovery.
+var (
+	containerMagic   = [4]byte{'S', 'T', 'W', '3'}
+	containerMagicV2 = [4]byte{'S', 'T', 'W', 'X'}
+)
 
-const indexEntrySize = 20
+const (
+	indexEntrySize = 20
+	footerSize     = 12
+)
 
-// ContainerWriter appends compressed windows to a file.
+// ErrCorrupt tags window reads that failed their checksum; callers use
+// errors.Is to distinguish data loss (degraded-mode candidates) from
+// transient I/O failures.
+var ErrCorrupt = errors.New("storage: window corrupt")
+
+// SyncPolicy says when a ContainerWriter calls fsync. Durability is a
+// spectrum: in-situ runs appending from a live simulation want
+// SyncPerWindow so a node failure loses at most the window in flight;
+// offline re-compressions can take SyncNever and rely on the OS.
+type SyncPolicy int
+
+const (
+	// SyncNever issues no fsync; the OS flushes when it pleases.
+	SyncNever SyncPolicy = iota
+	// SyncPerWindow fsyncs after every appended window, bounding loss on
+	// power failure to the window being written.
+	SyncPerWindow
+	// SyncOnClose fsyncs once, before the footer is finalized in Close.
+	SyncOnClose
+)
+
+// String returns the flag spelling of the policy.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncNever:
+		return "never"
+	case SyncPerWindow:
+		return "window"
+	case SyncOnClose:
+		return "close"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// ParseSyncPolicy parses the -fsync flag spellings.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "never":
+		return SyncNever, nil
+	case "window", "per-window":
+		return SyncPerWindow, nil
+	case "close", "on-close":
+		return SyncOnClose, nil
+	}
+	return 0, fmt.Errorf("storage: unknown fsync policy %q (want never, window, or close)", s)
+}
+
+// WritableFile is the file surface ContainerWriter needs. *os.File
+// satisfies it; faultio.File wraps it with injected faults for the
+// crash-recovery test matrix.
+type WritableFile interface {
+	io.WriterAt
+	Truncate(size int64) error
+	Sync() error
+	Close() error
+}
+
+// ContainerWriter appends compressed windows to a file as framed journal
+// records. Configure the exported fields before the first Append.
 type ContainerWriter struct {
 	// Deflate, when set before the first Append, writes windows in the
 	// DEFLATE-framed format (core format version 2): dramatically smaller
 	// files at high ratios, at some CPU cost on write and read.
 	Deflate bool
+	// Sync is the fsync policy (default SyncNever).
+	Sync SyncPolicy
+	// Retry governs transient write-error retries (default
+	// DefaultRetryPolicy; zero value disables retries).
+	Retry RetryPolicy
 
-	f       *os.File
+	f       WritableFile
+	path    string // final path (atomic mode); "" otherwise
+	tmpPath string // staging path (atomic mode); "" otherwise
 	offsets []int64
 	lengths []int64
 	crcs    []uint32
 	pos     int64
+	buf     bytes.Buffer
 	closed  bool
+	err     error // sticky: set by a failed Append, fails all later calls
 }
 
 // CreateContainer opens a new container file for writing (truncating any
-// existing file).
+// existing file). Windows are journaled directly at path, so a crash
+// leaves a footer-less container that RecoverContainer can rebuild.
 func CreateContainer(path string) (*ContainerWriter, error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, err
 	}
-	return &ContainerWriter{f: f}, nil
+	return NewContainerWriter(f), nil
 }
 
-// Append writes one compressed window and returns its index.
+// CreateContainerAtomic stages the container at path+".tmp" and renames
+// it over path in Close, so the final path only ever holds a complete,
+// indexed container. A crash leaves the journal at the staging path for
+// RecoverContainer. The rename is fsync-backed when Sync != SyncNever.
+func CreateContainerAtomic(path string) (*ContainerWriter, error) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return nil, err
+	}
+	w := NewContainerWriter(f)
+	w.path = path
+	w.tmpPath = tmp
+	return w, nil
+}
+
+// NewContainerWriter writes a container to an already-open file. The
+// writer owns f (Close closes it). Atomic finalize is unavailable on
+// this path — the writer has no path to rename.
+func NewContainerWriter(f WritableFile) *ContainerWriter {
+	return &ContainerWriter{f: f, Retry: DefaultRetryPolicy()}
+}
+
+// writeAt writes buf at off, retrying transient errors per the policy.
+// The write is positional, so a retry after a partial write simply lays
+// the full buffer down again.
+func (w *ContainerWriter) writeAt(buf []byte, off int64) error {
+	return w.Retry.Do(func() error {
+		_, err := w.f.WriteAt(buf, off)
+		return err
+	})
+}
+
+// Append writes one compressed window as a framed record and returns its
+// index. A failed Append (after retries) makes the writer sticky-fail:
+// the half-written record is not indexed, its bytes are truncated away
+// best-effort, and every later Append or Close returns the same error —
+// the caller must not keep appending past a hole in the journal.
 func (w *ContainerWriter) Append(cw *core.CompressedWindow) (int, error) {
 	if w.closed {
 		return 0, fmt.Errorf("storage: container already closed")
 	}
-	crc := crc32.NewIEEE()
-	dst := io.MultiWriter(w.f, crc)
-	var n int64
+	if w.err != nil {
+		return 0, w.err
+	}
+	w.buf.Reset()
+	w.buf.Write(make([]byte, core.RecordHeaderSize)) // frame placeholder
 	var err error
 	if w.Deflate {
-		n, err = cw.WriteToDeflated(dst)
+		_, err = cw.WriteToDeflated(&w.buf)
 	} else {
-		n, err = cw.WriteTo(dst)
+		_, err = cw.WriteTo(&w.buf)
 	}
 	if err != nil {
-		return 0, fmt.Errorf("storage: appending window: %w", err)
+		return 0, fmt.Errorf("storage: encoding window: %w", err)
 	}
-	w.offsets = append(w.offsets, w.pos)
-	w.lengths = append(w.lengths, n)
-	w.crcs = append(w.crcs, crc.Sum32())
-	w.pos += n
+	rec := w.buf.Bytes()
+	payload := rec[core.RecordHeaderSize:]
+	crc := crc32.ChecksumIEEE(payload)
+	hdr := core.EncodeRecordHeader(core.RecordHeader{Length: int64(len(payload)), PayloadCRC: crc})
+	copy(rec[:core.RecordHeaderSize], hdr[:])
+	if err := w.writeAt(rec, w.pos); err != nil {
+		w.err = fmt.Errorf("storage: appending window %d: %w", len(w.offsets), err)
+		// Drop any torn prefix so the durable journal ends at a record
+		// boundary; recovery scans cope even if this fails.
+		w.f.Truncate(w.pos)
+		return 0, w.err
+	}
+	if w.Sync == SyncPerWindow {
+		if err := w.Retry.Do(w.f.Sync); err != nil {
+			w.err = fmt.Errorf("storage: syncing window %d: %w", len(w.offsets), err)
+			return 0, w.err
+		}
+	}
+	w.offsets = append(w.offsets, w.pos+core.RecordHeaderSize)
+	w.lengths = append(w.lengths, int64(len(payload)))
+	w.crcs = append(w.crcs, crc)
+	w.pos += int64(len(rec))
 	return len(w.offsets) - 1, nil
 }
 
-// Close writes the index and footer and closes the file.
+// encodeIndex serializes an index + footer for the given entries.
+func encodeIndex(offsets, lengths []int64, crcs []uint32) []byte {
+	buf := make([]byte, indexEntrySize*len(offsets)+footerSize)
+	for i := range offsets {
+		binary.LittleEndian.PutUint64(buf[indexEntrySize*i:], uint64(offsets[i]))
+		binary.LittleEndian.PutUint64(buf[indexEntrySize*i+8:], uint64(lengths[i]))
+		binary.LittleEndian.PutUint32(buf[indexEntrySize*i+16:], crcs[i])
+	}
+	tail := buf[indexEntrySize*len(offsets):]
+	binary.LittleEndian.PutUint64(tail[0:8], uint64(len(offsets)))
+	copy(tail[8:12], containerMagic[:])
+	return buf
+}
+
+// cleanup closes the file and, on the atomic path, removes the staging
+// file — a failed Close must not leave a half-finalized container behind
+// (the journal is gone with it, but the caller was told the write
+// failed; on the non-atomic path the journal survives for recovery).
+func (w *ContainerWriter) cleanup() {
+	w.f.Close()
+	if w.tmpPath != "" {
+		os.Remove(w.tmpPath)
+	}
+}
+
+// Close finalizes the footer index and closes the file. On the atomic
+// path it then renames the staging file over the final path and fsyncs
+// the directory, so Close is all-or-nothing: either the complete
+// container appears at path, or nothing does. After a sticky Append
+// error, Close cleans up and returns that error instead of writing an
+// index that lies about the journal.
 func (w *ContainerWriter) Close() error {
 	if w.closed {
 		return nil
 	}
 	w.closed = true
-	buf := make([]byte, indexEntrySize*len(w.offsets)+12)
-	for i := range w.offsets {
-		binary.LittleEndian.PutUint64(buf[indexEntrySize*i:], uint64(w.offsets[i]))
-		binary.LittleEndian.PutUint64(buf[indexEntrySize*i+8:], uint64(w.lengths[i]))
-		binary.LittleEndian.PutUint32(buf[indexEntrySize*i+16:], w.crcs[i])
+	if w.err != nil {
+		w.cleanup()
+		return w.err
 	}
-	tail := buf[indexEntrySize*len(w.offsets):]
-	binary.LittleEndian.PutUint64(tail[0:8], uint64(len(w.offsets)))
-	copy(tail[8:12], containerMagic[:])
-	if _, err := w.f.Write(buf); err != nil {
-		w.f.Close()
+	if w.Sync != SyncNever {
+		if err := w.Retry.Do(w.f.Sync); err != nil {
+			w.cleanup()
+			return fmt.Errorf("storage: syncing data region: %w", err)
+		}
+	}
+	if err := w.writeAt(encodeIndex(w.offsets, w.lengths, w.crcs), w.pos); err != nil {
+		w.cleanup()
+		return fmt.Errorf("storage: writing index: %w", err)
+	}
+	if w.Sync != SyncNever {
+		if err := w.Retry.Do(w.f.Sync); err != nil {
+			w.cleanup()
+			return fmt.Errorf("storage: syncing index: %w", err)
+		}
+	}
+	if err := w.f.Close(); err != nil {
+		if w.tmpPath != "" {
+			os.Remove(w.tmpPath)
+		}
 		return err
 	}
-	return w.f.Close()
+	if w.tmpPath != "" {
+		if err := os.Rename(w.tmpPath, w.path); err != nil {
+			os.Remove(w.tmpPath)
+			return fmt.Errorf("storage: finalizing container: %w", err)
+		}
+		if w.Sync != SyncNever {
+			syncDir(filepath.Dir(w.path))
+		}
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power
+// loss. Best-effort: some filesystems refuse directory fsync.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}
+
+// ReadableFile is the file surface ContainerReader needs. *os.File
+// satisfies it.
+type ReadableFile interface {
+	io.ReaderAt
+	Close() error
 }
 
 // ContainerReader provides random access to the windows of a container
-// file.
+// file. It is safe for concurrent use: all file access goes through
+// ReadAt, which carries no shared cursor. Set Retry before first use.
 type ContainerReader struct {
-	f       *os.File
+	// Retry governs transient read-error retries (default
+	// DefaultRetryPolicy). Set before the first read.
+	Retry RetryPolicy
+
+	f       ReadableFile
+	size    int64
+	framed  bool // v3: every window is preceded by a record frame
 	offsets []int64
 	lengths []int64
 	crcs    []uint32
+
+	mu     sync.Mutex
+	winErr map[int]error // windows whose last read or verify failed CRC
 }
 
 // OpenContainer opens a container file and reads its index.
@@ -117,40 +340,78 @@ func OpenContainer(path string) (*ContainerReader, error) {
 		f.Close()
 		return nil, err
 	}
-	if st.Size() < 12 {
+	r, err := NewContainerReader(f, st.Size())
+	if err != nil {
 		f.Close()
-		return nil, fmt.Errorf("storage: %s too small to be a container", path)
+		return nil, fmt.Errorf("storage: %s: %w", path, err)
 	}
-	var tail [12]byte
-	if _, err := f.ReadAt(tail[:], st.Size()-12); err != nil {
-		f.Close()
+	return r, nil
+}
+
+// NewContainerReader reads a container from an already-open file of the
+// given size. The reader owns f (Close closes it). The footer index is
+// validated entry by entry — offsets and lengths that are negative,
+// overlap, run past the data region, or leave no room for their record
+// frame are rejected here, instead of surfacing later as a confusing
+// read error.
+func NewContainerReader(f ReadableFile, size int64) (*ContainerReader, error) {
+	if size < footerSize {
+		return nil, fmt.Errorf("storage: %d bytes is too small to be a container", size)
+	}
+	var tail [footerSize]byte
+	if _, err := f.ReadAt(tail[:], size-footerSize); err != nil {
 		return nil, err
 	}
-	if [4]byte(tail[8:12]) != containerMagic {
-		f.Close()
-		return nil, fmt.Errorf("storage: %s has bad container magic", path)
+	framed := false
+	switch [4]byte(tail[8:12]) {
+	case containerMagic:
+		framed = true
+	case containerMagicV2:
+	default:
+		return nil, fmt.Errorf("storage: bad container magic %q", tail[8:12])
 	}
-	num := int(binary.LittleEndian.Uint64(tail[0:8]))
-	indexSize := int64(indexEntrySize*num + 12)
-	if num < 0 || indexSize > st.Size() {
-		f.Close()
+	numU := binary.LittleEndian.Uint64(tail[0:8])
+	if numU > uint64(size)/indexEntrySize {
+		return nil, fmt.Errorf("storage: corrupt container index (%d windows)", numU)
+	}
+	num := int(numU)
+	indexSize := int64(indexEntrySize*num + footerSize)
+	if indexSize > size {
 		return nil, fmt.Errorf("storage: corrupt container index (%d windows)", num)
 	}
+	dataEnd := size - indexSize
 	idx := make([]byte, indexEntrySize*num)
-	if _, err := f.ReadAt(idx, st.Size()-indexSize); err != nil {
-		f.Close()
+	if _, err := f.ReadAt(idx, dataEnd); err != nil {
 		return nil, err
 	}
 	r := &ContainerReader{
+		Retry:   DefaultRetryPolicy(),
 		f:       f,
+		size:    size,
+		framed:  framed,
 		offsets: make([]int64, num),
 		lengths: make([]int64, num),
 		crcs:    make([]uint32, num),
+		winErr:  make(map[int]error),
 	}
+	var prevEnd uint64
 	for i := 0; i < num; i++ {
-		r.offsets[i] = int64(binary.LittleEndian.Uint64(idx[indexEntrySize*i:]))
-		r.lengths[i] = int64(binary.LittleEndian.Uint64(idx[indexEntrySize*i+8:]))
+		off := binary.LittleEndian.Uint64(idx[indexEntrySize*i:])
+		ln := binary.LittleEndian.Uint64(idx[indexEntrySize*i+8:])
+		minOff := prevEnd
+		if framed {
+			minOff += core.RecordHeaderSize
+		}
+		if off < minOff {
+			return nil, fmt.Errorf("storage: corrupt index: window %d at offset %d overlaps previous data (need >= %d)", i, off, minOff)
+		}
+		if off > uint64(dataEnd) || ln > uint64(dataEnd)-off {
+			return nil, fmt.Errorf("storage: corrupt index: window %d [%d, %d+%d) runs past data region (%d bytes)", i, off, off, ln, dataEnd)
+		}
+		r.offsets[i] = int64(off)
+		r.lengths[i] = int64(ln)
 		r.crcs[i] = binary.LittleEndian.Uint32(idx[indexEntrySize*i+16:])
+		prevEnd = off + ln
 	}
 	return r, nil
 }
@@ -166,21 +427,90 @@ func (r *ContainerReader) WindowSizeBytes(i int) (int64, error) {
 	return r.lengths[i], nil
 }
 
-// ReadWindow loads window i, verifying its checksum before decoding. The
-// window is read from disk exactly once: checksumming and decoding both
-// operate on the same in-memory buffer. ReadWindow is safe for concurrent
-// use by multiple goroutines — all file access goes through ReadAt, which
-// carries no shared cursor.
-func (r *ContainerReader) ReadWindow(i int) (*core.CompressedWindow, error) {
+// readAt fills buf from offset off, retrying transient errors.
+func (r *ContainerReader) readAt(buf []byte, off int64) error {
+	return r.Retry.Do(func() error {
+		_, err := r.f.ReadAt(buf, off)
+		return err
+	})
+}
+
+// recordErr tracks window i's corruption state for WindowErr/BadWindows.
+func (r *ContainerReader) recordErr(i int, err error) {
+	r.mu.Lock()
+	if err != nil {
+		r.winErr[i] = err
+	} else {
+		delete(r.winErr, i)
+	}
+	r.mu.Unlock()
+}
+
+// WindowErr returns the corruption error recorded for window i by the
+// last ReadWindow or VerifyWindow touching it, or nil if the window is
+// not known to be corrupt.
+func (r *ContainerReader) WindowErr(i int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.winErr[i]
+}
+
+// BadWindows returns the indices of windows currently recorded as
+// corrupt, in ascending order.
+func (r *ContainerReader) BadWindows() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]int, 0, len(r.winErr))
+	for i := range r.winErr {
+		out = append(out, i)
+	}
+	sortInts(out)
+	return out
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// loadWindow reads and checksum-verifies window i's payload, recording
+// the result for WindowErr.
+func (r *ContainerReader) loadWindow(i int) ([]byte, error) {
 	if i < 0 || i >= len(r.offsets) {
 		return nil, fmt.Errorf("storage: window %d out of range [0,%d)", i, len(r.offsets))
 	}
 	buf := make([]byte, r.lengths[i])
-	if _, err := r.f.ReadAt(buf, r.offsets[i]); err != nil {
+	if err := r.readAt(buf, r.offsets[i]); err != nil {
 		return nil, fmt.Errorf("storage: reading window %d: %w", i, err)
 	}
 	if crc32.ChecksumIEEE(buf) != r.crcs[i] {
-		return nil, fmt.Errorf("storage: window %d checksum mismatch (file corrupted)", i)
+		err := fmt.Errorf("storage: window %d checksum mismatch: %w", i, ErrCorrupt)
+		r.recordErr(i, err)
+		return nil, err
+	}
+	r.recordErr(i, nil)
+	return buf, nil
+}
+
+// VerifyWindow reads window i and checks its checksum without decoding
+// it, recording the result for WindowErr/BadWindows. Degraded mounts run
+// this over every window to map the damage before serving.
+func (r *ContainerReader) VerifyWindow(i int) error {
+	_, err := r.loadWindow(i)
+	return err
+}
+
+// ReadWindow loads window i, verifying its checksum before decoding. The
+// window is read from disk exactly once: checksumming and decoding both
+// operate on the same in-memory buffer. Checksum failures wrap
+// ErrCorrupt and are recorded for WindowErr.
+func (r *ContainerReader) ReadWindow(i int) (*core.CompressedWindow, error) {
+	buf, err := r.loadWindow(i)
+	if err != nil {
+		return nil, err
 	}
 	cw, err := core.ReadCompressedWindow(bytes.NewReader(buf))
 	if err != nil {

@@ -12,6 +12,7 @@ package storage
 
 import (
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -45,10 +46,14 @@ type TierSpec struct {
 	Latency time.Duration
 }
 
-// PerfModel accumulates simulated I/O time across tiers.
+// PerfModel accumulates simulated I/O time across tiers. It is safe for
+// concurrent use: specs are immutable after NewModel, and the mutex
+// guards the accumulator maps (concurrent simulation ranks account I/O
+// through one shared model).
 type PerfModel struct {
 	specs map[Tier]TierSpec
 
+	mu        sync.Mutex
 	writeTime map[Tier]time.Duration
 	readTime  map[Tier]time.Duration
 	written   map[Tier]int64
@@ -125,8 +130,10 @@ func (m *PerfModel) RecordWrite(t Tier, n int64) (time.Duration, error) {
 	if err != nil {
 		return 0, err
 	}
+	m.mu.Lock()
 	m.writeTime[t] += d
 	m.written[t] += n
+	m.mu.Unlock()
 	return d, nil
 }
 
@@ -136,26 +143,46 @@ func (m *PerfModel) RecordRead(t Tier, n int64) (time.Duration, error) {
 	if err != nil {
 		return 0, err
 	}
+	m.mu.Lock()
 	m.readTime[t] += d
 	m.read[t] += n
+	m.mu.Unlock()
 	return d, nil
 }
 
 // WriteTime returns the accumulated simulated write time on the tier.
-func (m *PerfModel) WriteTime(t Tier) time.Duration { return m.writeTime[t] }
+func (m *PerfModel) WriteTime(t Tier) time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.writeTime[t]
+}
 
 // ReadTime returns the accumulated simulated read time on the tier.
-func (m *PerfModel) ReadTime(t Tier) time.Duration { return m.readTime[t] }
+func (m *PerfModel) ReadTime(t Tier) time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.readTime[t]
+}
 
 // BytesWritten returns the accumulated bytes written to the tier.
-func (m *PerfModel) BytesWritten(t Tier) int64 { return m.written[t] }
+func (m *PerfModel) BytesWritten(t Tier) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.written[t]
+}
 
 // BytesRead returns the accumulated bytes read from the tier.
-func (m *PerfModel) BytesRead(t Tier) int64 { return m.read[t] }
+func (m *PerfModel) BytesRead(t Tier) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.read[t]
+}
 
 // TotalIO returns total simulated I/O time across all tiers — the paper's
 // "Total I/O" column.
 func (m *PerfModel) TotalIO() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	var d time.Duration
 	for _, v := range m.writeTime {
 		d += v
@@ -168,6 +195,8 @@ func (m *PerfModel) TotalIO() time.Duration {
 
 // Reset clears accumulated counters (specs are kept).
 func (m *PerfModel) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	for t := range m.writeTime {
 		delete(m.writeTime, t)
 	}

@@ -1,0 +1,279 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"stwave/internal/core"
+)
+
+// Recovery: a v3 container's data region is a journal of self-delimiting
+// record frames, so the index can always be rebuilt by scanning frames
+// from offset zero — the footer is an optimization, not the source of
+// truth. ScanContainer walks the journal; RecoverContainer repairs a
+// truncated or footer-less file in place by truncating the torn tail and
+// writing a fresh index over exactly the frames that are fully on disk.
+
+// FrameState classifies one scanned record frame.
+type FrameState int
+
+const (
+	// FrameOK: frame fully on disk, payload checksum verified.
+	FrameOK FrameState = iota
+	// FrameCorrupt: frame fully on disk but the payload fails its
+	// checksum — kept through repair so readers see the loss explicitly.
+	FrameCorrupt
+	// FrameTorn: frame header valid but the payload runs past the end of
+	// the file; the record was being written when the crash hit.
+	FrameTorn
+)
+
+// String names the state for reports.
+func (s FrameState) String() string {
+	switch s {
+	case FrameOK:
+		return "ok"
+	case FrameCorrupt:
+		return "corrupt"
+	case FrameTorn:
+		return "torn"
+	}
+	return fmt.Sprintf("FrameState(%d)", int(s))
+}
+
+// FrameInfo describes one record frame found by a scan.
+type FrameInfo struct {
+	Index  int        `json:"index"`
+	Offset int64      `json:"offset"` // payload offset (frame header precedes it)
+	Length int64      `json:"length"` // payload bytes
+	CRC    uint32     `json:"crc"`
+	State  FrameState `json:"-"`
+	StateS string     `json:"state"`
+}
+
+// ScanReport is the result of walking a container's journal.
+type ScanReport struct {
+	Size    int64       `json:"size_bytes"`
+	Legacy  bool        `json:"legacy"` // v2 container: no frames, index verified instead
+	Frames  []FrameInfo `json:"frames"`
+	Good    int         `json:"good_windows"`
+	Corrupt []int       `json:"corrupt_windows"` // indices of FrameCorrupt frames
+	Torn    bool        `json:"torn_record"`     // a record was cut off mid-write
+	// TailOffset is the end of the last fully-on-disk frame: everything
+	// after it is the footer index, a torn record, or garbage.
+	TailOffset int64 `json:"tail_offset"`
+	// FooterOK reports whether [TailOffset, Size) is a valid index +
+	// footer consistent with the scanned frames.
+	FooterOK bool `json:"footer_ok"`
+	// FooterPresent and FooterWindows describe whatever footer magic the
+	// file ends with, even when it disagrees with the journal.
+	FooterPresent bool `json:"footer_present"`
+	FooterWindows int  `json:"footer_windows"`
+}
+
+// NeedsRepair reports whether RecoverContainer would change the file.
+func (rep *ScanReport) NeedsRepair() bool { return !rep.Legacy && !rep.FooterOK }
+
+// ScanContainer walks the record journal of a container image, verifying
+// every frame's checksums, and cross-checks the footer index if one is
+// present. It never modifies the file. Legacy (v2) containers have no
+// journal; for those the scan falls back to verifying each window
+// against the footer index, and recovery is not possible.
+func ScanContainer(f io.ReaderAt, size int64) (*ScanReport, error) {
+	rep := &ScanReport{Size: size}
+	pos := int64(0)
+	for pos+core.RecordHeaderSize <= size {
+		var hdr [core.RecordHeaderSize]byte
+		if _, err := f.ReadAt(hdr[:], pos); err != nil {
+			return nil, fmt.Errorf("storage: scan read at %d: %w", pos, err)
+		}
+		h, err := core.ParseRecordHeader(hdr[:])
+		if err != nil {
+			break // end of journal: footer, torn header, or garbage
+		}
+		fi := FrameInfo{
+			Index:  len(rep.Frames),
+			Offset: pos + core.RecordHeaderSize,
+			Length: h.Length,
+			CRC:    h.PayloadCRC,
+		}
+		if h.Length > size-fi.Offset {
+			fi.State = FrameTorn
+			rep.Torn = true
+			rep.Frames = append(rep.Frames, withStateS(fi))
+			break // nothing durable past a torn record
+		}
+		if crcOfSection(f, fi.Offset, fi.Length) == h.PayloadCRC {
+			fi.State = FrameOK
+			rep.Good++
+		} else {
+			fi.State = FrameCorrupt
+			rep.Corrupt = append(rep.Corrupt, fi.Index)
+		}
+		rep.Frames = append(rep.Frames, withStateS(fi))
+		pos = fi.Offset + fi.Length
+	}
+	rep.TailOffset = pos
+
+	if len(durableFrames(rep)) == 0 && pos == 0 {
+		// No frames at all: either a legacy container or not a container.
+		if legacyRep, ok := scanLegacy(f, size); ok {
+			return legacyRep, nil
+		}
+	}
+	rep.FooterOK = footerMatches(f, size, rep)
+	if n, ok := footerWindows(f, size); ok {
+		rep.FooterPresent = true
+		rep.FooterWindows = int(min(n, 1<<31))
+	}
+	return rep, nil
+}
+
+func withStateS(fi FrameInfo) FrameInfo {
+	fi.StateS = fi.State.String()
+	return fi
+}
+
+// durableFrames returns the frames fully on disk (ok or corrupt).
+func durableFrames(rep *ScanReport) []FrameInfo {
+	out := rep.Frames
+	if n := len(out); n > 0 && out[n-1].State == FrameTorn {
+		out = out[:n-1]
+	}
+	return out
+}
+
+// crcOfSection checksums length bytes at offset without holding them all
+// in memory.
+func crcOfSection(f io.ReaderAt, offset, length int64) uint32 {
+	h := crc32.NewIEEE()
+	if _, err := io.Copy(h, io.NewSectionReader(f, offset, length)); err != nil {
+		return 0xFFFFFFFF // poisoned: will mismatch any stored CRC
+	}
+	return h.Sum32()
+}
+
+// footerMatches reports whether the bytes after the last durable frame
+// are exactly a valid v3 index + footer describing the scanned frames.
+func footerMatches(f io.ReaderAt, size int64, rep *ScanReport) bool {
+	if rep.Torn {
+		return false
+	}
+	frames := durableFrames(rep)
+	want := encodeIndexFromFrames(frames)
+	if size-rep.TailOffset != int64(len(want)) {
+		return false
+	}
+	got := make([]byte, len(want))
+	if _, err := f.ReadAt(got, rep.TailOffset); err != nil {
+		return false
+	}
+	return bytes.Equal(got, want)
+}
+
+// encodeIndexFromFrames builds the index + footer bytes for the given
+// durable frames.
+func encodeIndexFromFrames(frames []FrameInfo) []byte {
+	offsets := make([]int64, len(frames))
+	lengths := make([]int64, len(frames))
+	crcs := make([]uint32, len(frames))
+	for i, fr := range frames {
+		offsets[i] = fr.Offset
+		lengths[i] = fr.Length
+		crcs[i] = fr.CRC
+	}
+	return encodeIndex(offsets, lengths, crcs)
+}
+
+// scanLegacy recognizes a v2 container (valid "STWX" footer, no frames)
+// and verifies its windows against the index.
+func scanLegacy(f io.ReaderAt, size int64) (*ScanReport, bool) {
+	r, err := NewContainerReader(readerAtNopCloser{f}, size)
+	if err != nil || r.framed {
+		return nil, false
+	}
+	rep := &ScanReport{Size: size, Legacy: true, FooterOK: true, FooterPresent: true, FooterWindows: r.NumWindows()}
+	for i := 0; i < r.NumWindows(); i++ {
+		fi := FrameInfo{Index: i, Offset: r.offsets[i], Length: r.lengths[i], CRC: r.crcs[i]}
+		if crcOfSection(f, fi.Offset, fi.Length) == fi.CRC {
+			fi.State = FrameOK
+			rep.Good++
+		} else {
+			fi.State = FrameCorrupt
+			rep.Corrupt = append(rep.Corrupt, i)
+		}
+		rep.Frames = append(rep.Frames, withStateS(fi))
+		rep.TailOffset = fi.Offset + fi.Length
+	}
+	return rep, true
+}
+
+type readerAtNopCloser struct{ io.ReaderAt }
+
+func (readerAtNopCloser) Close() error { return nil }
+
+// RecoverContainer scans the container at path and, if its footer index
+// is missing, torn, or inconsistent with the journal, repairs the file
+// in place: the torn tail is truncated away and a fresh index + footer
+// is written over exactly the frames that are fully on disk (corrupt
+// frames are kept and indexed, so their loss stays visible to readers
+// and fsck rather than silently renumbering later windows). The repair
+// is idempotent — re-running it, even after a crash mid-repair, reaches
+// the same result. The returned report describes the state found by the
+// pre-repair scan.
+func RecoverContainer(path string) (*ScanReport, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	rep, err := ScanContainer(f, st.Size())
+	if err != nil {
+		return nil, err
+	}
+	if rep.Legacy {
+		return rep, fmt.Errorf("storage: %s is a legacy (v2) container with no journal frames; nothing to recover", path)
+	}
+	if rep.FooterOK {
+		return rep, nil
+	}
+	if len(durableFrames(rep)) == 0 {
+		return rep, fmt.Errorf("storage: %s contains no intact record frames; not a recoverable container", path)
+	}
+	if err := f.Truncate(rep.TailOffset); err != nil {
+		return rep, fmt.Errorf("storage: truncating torn tail: %w", err)
+	}
+	idx := encodeIndexFromFrames(durableFrames(rep))
+	if _, err := f.WriteAt(idx, rep.TailOffset); err != nil {
+		return rep, fmt.Errorf("storage: rewriting index: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return rep, fmt.Errorf("storage: syncing repaired container: %w", err)
+	}
+	return rep, nil
+}
+
+// footerWindows reads the window count a footer claims, for reports; ok
+// is false when no valid footer magic is present.
+func footerWindows(f io.ReaderAt, size int64) (n uint64, ok bool) {
+	if size < footerSize {
+		return 0, false
+	}
+	var tail [footerSize]byte
+	if _, err := f.ReadAt(tail[:], size-footerSize); err != nil {
+		return 0, false
+	}
+	switch [4]byte(tail[8:12]) {
+	case containerMagic, containerMagicV2:
+		return binary.LittleEndian.Uint64(tail[0:8]), true
+	}
+	return 0, false
+}

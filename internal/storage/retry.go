@@ -1,0 +1,70 @@
+package storage
+
+import (
+	"errors"
+	"syscall"
+	"time"
+)
+
+// RetryPolicy retries transient I/O errors with capped exponential
+// backoff. Production burst buffers and parallel file systems return
+// transient EIO/EAGAIN under contention; one failed syscall must not
+// abort an in-situ compression run or fail a read that would succeed a
+// millisecond later. The zero value performs no retries.
+type RetryPolicy struct {
+	Attempts  int           // total attempts including the first; <= 1 disables retries
+	BaseDelay time.Duration // delay before the first retry
+	MaxDelay  time.Duration // backoff cap; 0 means no cap
+
+	// sleep stubs time.Sleep in tests.
+	sleep func(time.Duration)
+}
+
+// DefaultRetryPolicy is the container read/write path default: three
+// attempts, 2 ms initial backoff, capped at 50 ms.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{Attempts: 3, BaseDelay: 2 * time.Millisecond, MaxDelay: 50 * time.Millisecond}
+}
+
+// Do runs op, retrying while it fails with a transient error. The last
+// error is returned; non-transient errors are returned immediately.
+func (p RetryPolicy) Do(op func() error) error {
+	delay := p.BaseDelay
+	for attempt := 1; ; attempt++ {
+		err := op()
+		if err == nil || attempt >= p.Attempts || !IsTransient(err) {
+			return err
+		}
+		if p.sleep != nil {
+			p.sleep(delay)
+		} else {
+			time.Sleep(delay)
+		}
+		delay *= 2
+		if p.MaxDelay > 0 && delay > p.MaxDelay {
+			delay = p.MaxDelay
+		}
+	}
+}
+
+// transienter lets error types (e.g. injected faults) declare themselves
+// retryable without this package importing them.
+type transienter interface{ Transient() bool }
+
+// IsTransient reports whether err is worth retrying: kernel errnos that
+// clear on their own under load, or any error declaring Transient().
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	var t transienter
+	if errors.As(err, &t) {
+		return t.Transient()
+	}
+	for _, errno := range []syscall.Errno{syscall.EIO, syscall.EAGAIN, syscall.EINTR, syscall.ETIMEDOUT} {
+		if errors.Is(err, errno) {
+			return true
+		}
+	}
+	return false
+}
