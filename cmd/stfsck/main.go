@@ -57,9 +57,12 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  stfsck verify -in FILE    check journal frames, checksums, and footer; exit 1 on damage
-  stfsck repair -in FILE    rebuild the footer index from the record journal
-  stfsck report -in FILE    print a JSON scan report`)
+  stfsck verify -in FILE            check journal frames, checksums, and footer; exit 1 on damage
+  stfsck repair [-force] -in FILE   rewrite damaged frame headers, or rebuild the footer index
+                                    from the record journal (-force allows truncating tail bytes
+                                    an unvalidatable footer still claims; the tail is backed up
+                                    to FILE.tail.bak first)
+  stfsck report -in FILE            print a JSON scan report`)
 }
 
 func inFlag(name string, args []string) (string, error) {
@@ -115,34 +118,47 @@ func runVerify(args []string, w io.Writer) (dirty bool, err error) {
 		fmt.Fprintf(w, "  torn record at tail (journal ends at byte %d)\n", rep.TailOffset)
 	case !rep.FooterOK:
 		fmt.Fprintf(w, "  footer index missing or inconsistent with journal (run stfsck repair)\n")
+	case len(rep.BadHeaders) > 0:
+		fmt.Fprintf(w, "  %d frame header(s) corrupt but payloads intact via footer (run stfsck repair)\n", len(rep.BadHeaders))
 	}
-	dirty = rep.Torn || !rep.FooterOK || len(rep.Corrupt) > 0
+	dirty = rep.Torn || !rep.FooterOK || len(rep.Corrupt) > 0 || len(rep.BadHeaders) > 0
 	if !dirty {
 		fmt.Fprintf(w, "  clean\n")
 	}
 	return dirty, nil
 }
 
-// runRepair rebuilds the footer index from the journal when needed.
+// runRepair rewrites damaged frame headers or rebuilds the footer index
+// from the journal, whichever the scan calls for.
 func runRepair(args []string, w io.Writer) error {
-	path, err := inFlag("repair", args)
+	fs := flag.NewFlagSet("repair", flag.ExitOnError)
+	in := fs.String("in", "", "container path (required)")
+	force := fs.Bool("force", false, "allow truncating tail bytes an unvalidatable footer still claims (tail backed up to FILE.tail.bak)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("repair requires -in")
+	}
+	path := *in
+	rep, err := storage.RecoverContainerOpts(path, storage.RecoverOptions{Force: *force})
 	if err != nil {
 		return err
 	}
-	rep, err := storage.RecoverContainer(path)
-	if err != nil {
-		return err
-	}
-	if !rep.NeedsRepair() {
+	switch {
+	case !rep.NeedsRepair():
 		fmt.Fprintf(w, "%s: footer consistent with journal, nothing to repair (%d windows, %d corrupt)\n",
 			path, rep.Good+len(rep.Corrupt), len(rep.Corrupt))
-		return nil
+	case rep.FooterOK:
+		fmt.Fprintf(w, "%s: rewrote %d corrupt frame header(s); all %d windows intact (%d corrupt payloads)\n",
+			path, len(rep.BadHeaders), rep.Good+len(rep.Corrupt), len(rep.Corrupt))
+	default:
+		fmt.Fprintf(w, "%s: rebuilt index over %d windows (%d corrupt", path, rep.Good+len(rep.Corrupt), len(rep.Corrupt))
+		if rep.Torn {
+			fmt.Fprintf(w, ", dropped torn record at tail")
+		}
+		fmt.Fprintf(w, ")\n")
 	}
-	fmt.Fprintf(w, "%s: rebuilt index over %d windows (%d corrupt", path, rep.Good+len(rep.Corrupt), len(rep.Corrupt))
-	if rep.Torn {
-		fmt.Fprintf(w, ", dropped torn record at tail")
-	}
-	fmt.Fprintf(w, ")\n")
 	return nil
 }
 

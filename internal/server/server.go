@@ -45,9 +45,10 @@ type Config struct {
 	// Degraded makes mounts tolerate corrupt windows instead of refusing
 	// the whole container: every window is checksum-verified at mount,
 	// corrupt ones are excluded from serving (requests for them answer
-	// 410 Gone), and the damage is surfaced through /healthz and the
-	// corrupt_windows metric. Without it, a mount fails on the first
-	// unreadable window header.
+	// 410 Gone) while keeping their span in the timeline so every other
+	// window's global time index is unchanged, and the damage is surfaced
+	// through /healthz and the corrupt_windows metric. Without it, a
+	// mount fails on the first unreadable window header.
 	Degraded bool
 }
 
@@ -177,6 +178,9 @@ func (s *Server) MountReader(name string, r *storage.ContainerReader) error {
 		return fmt.Errorf("server: dataset %q has no windows", name)
 	}
 	m := &mount{name: name, r: r, windows: make([]windowMeta, r.NumWindows()), bad: make(map[int]bool)}
+	// First pass: read every window header, so the reference window (the
+	// first readable one) is known before the timeline is laid out.
+	infos := make([]*core.WindowInfo, r.NumWindows())
 	haveRef := false
 	for i := 0; i < r.NumWindows(); i++ {
 		info, err := r.WindowInfo(i)
@@ -184,30 +188,38 @@ func (s *Server) MountReader(name string, r *storage.ContainerReader) error {
 			if !s.cfg.Degraded {
 				return fmt.Errorf("server: scanning %q: %w", name, err)
 			}
-			// Header unreadable: the window's slice count is unknowable, so
-			// it contributes nothing to the timeline. Its loss is still
-			// visible through /healthz and corrupt_windows.
 			m.bad[i] = true
 			s.metrics.CorruptWindows.Add(1)
-			m.windows[i] = windowMeta{startSlice: m.slices}
 			continue
 		}
-		if s.cfg.Degraded {
-			if err := r.VerifyWindow(i); err != nil && m.markBad(i) {
-				// Payload corrupt but header intact: keep the window's span
-				// in the timeline (so later windows keep their time indices)
-				// and answer its slices with 410 Gone.
-				s.metrics.CorruptWindows.Add(1)
-			}
-		}
+		infos[i] = &info
 		if !haveRef {
 			m.ref, haveRef = info, true
 		}
-		m.windows[i] = windowMeta{info: info, startSlice: m.slices}
-		m.slices += info.NumSlices
 	}
 	if !haveRef {
 		return fmt.Errorf("server: dataset %q has no readable windows", name)
+	}
+	// Second pass: lay out the timeline. A window whose header is
+	// unreadable is charged the reference window's span — windows are
+	// uniform in practice (the last may be shorter) — so every later
+	// window keeps its global time index; its own span answers 410 Gone
+	// like any corrupt window, instead of silently shifting requests onto
+	// the wrong physical time step.
+	for i := range infos {
+		info := m.ref
+		if infos[i] != nil {
+			info = *infos[i]
+			if s.cfg.Degraded {
+				if err := r.VerifyWindow(i); err != nil && m.markBad(i) {
+					// Payload corrupt but header intact: keep the window's
+					// span in the timeline and answer its slices with 410.
+					s.metrics.CorruptWindows.Add(1)
+				}
+			}
+		}
+		m.windows[i] = windowMeta{info: info, startSlice: m.slices}
+		m.slices += info.NumSlices
 	}
 	s.mounts[name] = m
 	s.order = append(s.order, name)

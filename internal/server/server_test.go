@@ -590,8 +590,10 @@ func TestNonDegradedDiscoversCorruptionAtRead(t *testing.T) {
 }
 
 // TestDegradedMountHeaderDamage: a window whose serialized header is
-// unreadable contributes no slices in degraded mode; without Degraded
-// the mount fails outright.
+// unreadable keeps its span in the timeline in degraded mode — charged
+// at the reference window's slice count — so every later window's global
+// time index is unchanged; its own span answers 410 Gone. Without
+// Degraded the mount fails outright.
 func TestDegradedMountHeaderDamage(t *testing.T) {
 	d := grid.Dims{Nx: 8, Ny: 8, Nz: 8}
 	path := buildContainer(t, d, 8, 4)
@@ -613,7 +615,8 @@ func TestDegradedMountHeaderDamage(t *testing.T) {
 		s.Close()
 	}()
 
-	// Window 0 vanished from the timeline: only window 1's 4 slices serve.
+	// Window 0's span stays in the timeline (assumed 4 slices, like the
+	// reference window): the dataset still spans 8 slices with 1 corrupt.
 	_, body := get(t, ts.URL+"/v1/datasets")
 	var infos []struct {
 		Slices  int `json:"slices"`
@@ -622,17 +625,26 @@ func TestDegradedMountHeaderDamage(t *testing.T) {
 	if err := json.Unmarshal(body, &infos); err != nil {
 		t.Fatal(err)
 	}
-	if len(infos) != 1 || infos[0].Slices != 4 || infos[0].Corrupt != 1 {
+	if len(infos) != 1 || infos[0].Slices != 8 || infos[0].Corrupt != 1 {
 		t.Errorf("datasets = %+v", infos)
 	}
+	// The damaged span answers 410 Gone; it must NOT silently serve
+	// window 1's data shifted into window 0's time range.
 	for tt := 0; tt < 4; tt++ {
 		resp, _ := get(t, fmt.Sprintf("%s/v1/test/slice?t=%d", ts.URL, tt))
-		if resp.StatusCode != http.StatusOK {
-			t.Errorf("t=%d: status %d", tt, resp.StatusCode)
+		if resp.StatusCode != http.StatusGone {
+			t.Errorf("t=%d: status %d, want 410", tt, resp.StatusCode)
 		}
 	}
-	resp, _ := get(t, ts.URL+"/v1/test/slice?t=4")
+	// Window 1's slices keep their original global indices 4..7.
+	for tt := 4; tt < 8; tt++ {
+		resp, _ := get(t, fmt.Sprintf("%s/v1/test/slice?t=%d", ts.URL, tt))
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("t=%d: status %d, want 200", tt, resp.StatusCode)
+		}
+	}
+	resp, _ := get(t, ts.URL+"/v1/test/slice?t=8")
 	if resp.StatusCode != http.StatusNotFound {
-		t.Errorf("past shortened timeline: status %d, want 404", resp.StatusCode)
+		t.Errorf("past timeline: status %d, want 404", resp.StatusCode)
 	}
 }

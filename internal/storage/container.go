@@ -208,6 +208,11 @@ func (w *ContainerWriter) Append(cw *core.CompressedWindow) (int, error) {
 	if w.Sync == SyncPerWindow {
 		if err := w.Retry.Do(w.f.Sync); err != nil {
 			w.err = fmt.Errorf("storage: syncing window %d: %w", len(w.offsets), err)
+			// The record is fully written but its durability was never
+			// acknowledged: drop it, as on the write-failure path, so a
+			// later recovery scan cannot resurrect a window the caller
+			// was told failed (and may have rewritten elsewhere).
+			w.f.Truncate(w.pos)
 			return 0, w.err
 		}
 	}

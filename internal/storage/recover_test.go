@@ -298,6 +298,154 @@ func TestRecoverySectionCorruption(t *testing.T) {
 	})
 }
 
+// TestRecoverBadFrameHeader is the reviewer's reproduction: one flipped
+// bit in a mid-journal frame header must not cost the later windows. The
+// scan resyncs from the still-valid footer, repair rewrites the damaged
+// header in place, and all windows stay readable — no truncation.
+func TestRecoverBadFrameHeader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "badhdr.stw")
+	payloads := buildFramed(t, path, 4)
+	bounds := recordBoundaries(payloads)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origSize := int64(len(raw))
+	raw[bounds[1]+1] ^= 0x01 // inside window 1's frame header magic
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The scan must see past the bad header via the footer: all 4 windows
+	// located, one damaged header, footer consistent, repair needed.
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ScanContainer(f, origSize)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Good != 4 || len(rep.Corrupt) != 0 || !rep.FooterOK {
+		t.Fatalf("scan: %d good, corrupt %v, footerOK %v; want 4 good via footer resync", rep.Good, rep.Corrupt, rep.FooterOK)
+	}
+	if len(rep.BadHeaders) != 1 || rep.BadHeaders[0] != 1 || rep.Frames[1].State != FrameBadHeader {
+		t.Fatalf("scan: bad headers %v, frame 1 state %v; want [1], bad-header", rep.BadHeaders, rep.Frames[1].State)
+	}
+	if !rep.NeedsRepair() {
+		t.Fatal("damaged journal header must need repair")
+	}
+
+	// Repair rewrites the header; every window survives bit-identical.
+	checkRecovered(t, path, payloads, 4)
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != origSize {
+		t.Errorf("repair changed file size %d -> %d; header rewrite must not truncate", origSize, st.Size())
+	}
+	if _, err := os.Stat(path + ".tail.bak"); !os.IsNotExist(err) {
+		t.Error("header rewrite created a tail backup; nothing was dropped")
+	}
+
+	// The journal itself is whole again: a rescan is clean.
+	f, err = os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err = ScanContainer(f, st.Size())
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NeedsRepair() || len(rep.BadHeaders) != 0 {
+		t.Errorf("post-repair scan: needsRepair=%v badHeaders=%v", rep.NeedsRepair(), rep.BadHeaders)
+	}
+}
+
+// TestRecoverRefusesDestructiveTruncation: when the journal scan stops
+// early AND the footer cannot be validated, repair must not silently
+// truncate the windows the footer still claims — it refuses without
+// Force, and with Force it backs the dropped tail up first.
+func TestRecoverRefusesDestructiveTruncation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "force.stw")
+	payloads := buildFramed(t, path, 4)
+	bounds := recordBoundaries(payloads)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origSize := int64(len(raw))
+	raw[bounds[2]+1] ^= 0x01                  // window 2's frame header: scan stops here
+	raw[bounds[4]+3*indexEntrySize+2] ^= 0x01 // footer entry 3's offset: resync impossible
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := RecoverContainer(path); err == nil {
+		t.Fatal("repair must refuse to truncate data an unvalidatable footer still claims")
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != origSize {
+		t.Fatalf("refused repair still modified the file: %d -> %d bytes", origSize, st.Size())
+	}
+
+	// Forced: the durable prefix is recovered and the dropped tail is
+	// backed up byte-for-byte.
+	rep, err := RecoverContainerOpts(path, RecoverOptions{Force: true})
+	if err != nil {
+		t.Fatalf("forced recover: %v", err)
+	}
+	if rep.Good != 2 {
+		t.Fatalf("forced recover found %d good windows, want 2", rep.Good)
+	}
+	bak, err := os.ReadFile(path + ".tail.bak")
+	if err != nil {
+		t.Fatalf("tail backup missing: %v", err)
+	}
+	if !bytes.Equal(bak, raw[bounds[2]:]) {
+		t.Errorf("tail backup is not the dropped bytes (%d bytes, want %d)", len(bak), origSize-bounds[2])
+	}
+	checkRecovered(t, path, payloads, 2)
+}
+
+// TestScanRetriesTransientReads: the scan path retries transient read
+// errors like the read and write paths do, and propagates persistent
+// read errors instead of misclassifying healthy frames as corrupt.
+func TestScanRetriesTransientReads(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "scanretry.stw")
+	buildFramed(t, path, 2)
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff := faultio.Wrap(f)
+
+	ff.FailReads(2)
+	rep, err := ScanContainer(ff, st.Size())
+	if err != nil {
+		t.Fatalf("scan with transient read errors: %v", err)
+	}
+	if rep.Good != 2 || len(rep.Corrupt) != 0 {
+		t.Errorf("scan under transient errors: %d good, corrupt %v; want 2 good", rep.Good, rep.Corrupt)
+	}
+
+	ff.FailReads(50)
+	if _, err := ScanContainer(ff, st.Size()); err == nil {
+		t.Fatal("persistent read errors must propagate, not classify frames corrupt")
+	}
+}
+
 // TestScanLegacyContainer: v2 containers (no frames) are recognized,
 // verified against their index, and refused for repair.
 func TestScanLegacyContainer(t *testing.T) {
@@ -513,6 +661,23 @@ func TestFaultInjectionWritePath(t *testing.T) {
 		if _, err := w.Append(cw); err == nil {
 			t.Fatal("sticky error expected")
 		}
+	})
+
+	t.Run("sync-failure-drops-unacked-record", func(t *testing.T) {
+		w, ff, path := newWriter(t)
+		w.Sync = SyncPerWindow
+		if _, err := w.Append(cw); err != nil {
+			t.Fatal(err)
+		}
+		ff.FailSyncs(10) // exhausts the retries
+		if _, err := w.Append(cw); err == nil {
+			t.Fatal("append with failing fsync should fail under SyncPerWindow")
+		}
+		w.Close()
+		// The second record was fully written before the fsync failed, but
+		// the caller was told the append failed and may rewrite the window
+		// into a new container — recovery must not resurrect it.
+		checkRecoveredCount(t, path, 1)
 	})
 }
 
