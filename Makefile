@@ -2,17 +2,27 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench reproduce examples check fmt-check clean
+.PHONY: all build vet test race bench reproduce examples check fmt-check lint clean
 
 all: build vet test check
 
-# Fast correctness gate: static checks, race-detector runs of the
-# packages with real concurrency (the HTTP server, the shared container
-# reader, the burst buffer, and the fault-injection recovery matrix), and
-# a short fuzz smoke of the container index parser.
-check: vet fmt-check
-	$(GO) test -race ./internal/server ./internal/storage
+# Fast correctness gate: static checks (vet, gofmt, the stlint analyzer
+# suite), race-detector runs of the packages with real concurrency (the
+# HTTP server, the shared container reader and fault-injection wrapper,
+# the burst buffer, and the entropy/sparse codecs), and short fuzz smokes
+# of the container index parser, the 1D wavelet round-trip, and the
+# record-frame codec.
+check: vet fmt-check lint
+	$(GO) test -race ./internal/server ./internal/storage ./internal/compress ./internal/faultio
 	$(GO) test -run=NONE -fuzz=FuzzOpenContainer -fuzztime=10s ./internal/storage
+	$(GO) test -run=NONE -fuzz=FuzzWaveletRoundtrip -fuzztime=5s ./internal/wavelet
+	$(GO) test -run=NONE -fuzz=FuzzRecordFrame -fuzztime=5s ./internal/core
+
+# Domain-aware static analysis: five analyzers proving the pipeline's
+# numeric and I/O invariants (see internal/lint). Zero findings is the
+# merge bar; suppress deliberate cases with //stlint:ignore + reason.
+lint:
+	$(GO) run ./cmd/stlint ./...
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \

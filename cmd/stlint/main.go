@@ -1,0 +1,84 @@
+// Command stlint runs the repository's domain-aware static-analysis
+// suite: five analyzers that prove the compression pipeline's numeric and
+// I/O invariants at compile time (see internal/lint).
+//
+// Usage:
+//
+//	stlint [-list] [packages]
+//
+// With no package patterns, ./... is analyzed. Findings print one per
+// line as "file:line: [analyzer] message" and a non-empty report exits
+// with status 1, so `go run ./cmd/stlint ./...` slots directly into make
+// check and CI. Suppress a deliberate finding with an adjacent
+//
+//	//stlint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// comment; the reason is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"stwave/internal/lint"
+)
+
+func main() {
+	listOnly := flag.Bool("list", false, "print the analyzer roster and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: stlint [-list] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Runs the stwave static-analysis suite. Analyzers:\n\n")
+		printRoster(flag.CommandLine.Output())
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *listOnly {
+		printRoster(os.Stdout)
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stlint: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	cfg := lint.DefaultConfig()
+	exit := 0
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Findings(cfg) {
+			fmt.Println(relativize(cwd, f))
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+// relativize shortens absolute file paths to be relative to the working
+// directory, keeping output stable across checkouts.
+func relativize(cwd string, f lint.Finding) string {
+	if rel, err := filepath.Rel(cwd, f.Pos.Filename); err == nil && !filepath.IsAbs(rel) {
+		f.Pos.Filename = rel
+	}
+	return f.String()
+}
+
+func printRoster(w io.Writer) {
+	for _, a := range lint.All {
+		fmt.Fprintf(w, "  %-12s %s\n", a.Name, a.Doc)
+	}
+	fmt.Fprintln(w)
+}

@@ -136,7 +136,7 @@ func fetch(url string) result {
 		log.Fatal(err)
 	}
 	body, err := io.ReadAll(resp.Body)
-	resp.Body.Close()
+	resp.Body.Close() //stlint:ignore uncheckederr demo client; ReadAll already surfaced any transfer error
 	if err != nil {
 		log.Fatal(err)
 	}

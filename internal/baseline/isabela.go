@@ -16,6 +16,7 @@ import (
 	"math"
 	"sort"
 
+	"stwave/internal/fbits"
 	"stwave/internal/grid"
 )
 
@@ -241,13 +242,13 @@ func fitUniformBSpline(samples []float64, k int) []float64 {
 		first, vals := bsplineBasis(k, t)
 		for a := 0; a < 4; a++ {
 			ia := first + a
-			if ia >= k || vals[a] == 0 {
+			if ia >= k || fbits.Zero(vals[a]) {
 				continue
 			}
 			aty[ia] += vals[a] * samples[i]
 			for b := 0; b < 4; b++ {
 				ib := first + b
-				if ib >= k || vals[b] == 0 {
+				if ib >= k || fbits.Zero(vals[b]) {
 					continue
 				}
 				ata[ia*k+ib] += vals[a] * vals[b]

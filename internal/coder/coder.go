@@ -19,6 +19,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+
+	"stwave/internal/fbits"
 )
 
 // header layout: magic 'E','B', version 1, planes uint8, n uint32, maxExp
@@ -47,12 +49,15 @@ func Encode(coeffs []float64, planes int) ([]byte, error) {
 		planes = 1 // nothing to encode beyond the (empty) first pass
 	}
 
+	if n > math.MaxUint32 {
+		return nil, fmt.Errorf("coder: %d coefficients exceed the uint32 header field", n)
+	}
 	out := make([]byte, headerSize)
 	out[0], out[1], out[2] = 'E', 'B', 1
 	out[3] = byte(planes)
 	binary.LittleEndian.PutUint32(out[4:8], uint32(n))
-	binary.LittleEndian.PutUint32(out[8:12], uint32(maxExp))
-	if maxMag == 0 || n == 0 {
+	binary.LittleEndian.PutUint32(out[8:12], uint32(maxExp)) //stlint:ignore trunccast two's-complement reinterpretation is the wire format; Decode mirrors it with int32(Uint32)
+	if fbits.Zero(maxMag) || n == 0 {
 		return out, nil
 	}
 
@@ -104,7 +109,7 @@ func Decode(data []byte) ([]float64, error) {
 	}
 	planes := int(data[3])
 	n := int(binary.LittleEndian.Uint32(data[4:8]))
-	maxExp := int32(binary.LittleEndian.Uint32(data[8:12]))
+	maxExp := int32(binary.LittleEndian.Uint32(data[8:12])) //stlint:ignore trunccast inverse of Encode's uint32(maxExp) reinterpretation; negative exponents are legal
 	if n < 0 {
 		return nil, fmt.Errorf("coder: negative length")
 	}

@@ -36,7 +36,7 @@ func (b *SparseBlock) WriteDeflated(w io.Writer) (int64, error) {
 		return 0, err
 	}
 	var hdr [8]byte
-	binary.LittleEndian.PutUint64(hdr[:], uint64(comp.Len()))
+	binary.LittleEndian.PutUint64(hdr[:], uint64(comp.Len())) //stlint:ignore trunccast bytes.Buffer.Len is non-negative by construction
 	if _, err := w.Write(hdr[:]); err != nil {
 		return 0, err
 	}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"stwave/internal/fbits"
 )
 
 // Sparse on-disk encoding of a thresholded coefficient array. Layout:
@@ -35,7 +37,7 @@ func NewSparseBlock(coeffs []float64) *SparseBlock {
 		Bitmap: make([]byte, (n+7)/8),
 	}
 	for i, v := range coeffs {
-		if v != 0 {
+		if !fbits.Zero(v) {
 			b.Bitmap[i>>3] |= 1 << uint(i&7)
 			b.Values = append(b.Values, float32(v))
 		}
@@ -90,6 +92,11 @@ func (b *SparseBlock) IdealSizeBytes() int64 { return 4 * int64(len(b.Values)) }
 
 // WriteTo serializes the block. It implements io.WriterTo.
 func (b *SparseBlock) WriteTo(w io.Writer) (int64, error) {
+	// A hand-built block with a negative Total would frame as an enormous
+	// unsigned count and poison every later read; refuse to serialize it.
+	if b.Total < 0 {
+		return 0, fmt.Errorf("compress: negative block total %d", b.Total)
+	}
 	bw := bufio.NewWriterSize(w, 1<<16)
 	var hdr [16]byte
 	binary.LittleEndian.PutUint64(hdr[0:8], uint64(b.Total))
@@ -125,16 +132,19 @@ func ReadSparseBlock(r io.Reader) (*SparseBlock, error) {
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, fmt.Errorf("compress: reading sparse header: %w", err)
 	}
-	total := int(binary.LittleEndian.Uint64(hdr[0:8]))
-	k := int(binary.LittleEndian.Uint64(hdr[8:16]))
-	if total < 0 || k < 0 || k > total {
-		return nil, fmt.Errorf("compress: corrupt sparse header (total=%d retained=%d)", total, k)
+	totalU := binary.LittleEndian.Uint64(hdr[0:8])
+	kU := binary.LittleEndian.Uint64(hdr[8:16])
+	// Validate the raw unsigned fields before narrowing to int: the
+	// sanity cap (one block is one 3D field; 2^31 samples is a 1290³
+	// grid) also bounds allocation against forged headers.
+	if kU > totalU {
+		return nil, fmt.Errorf("compress: corrupt sparse header (total=%d retained=%d)", totalU, kU)
 	}
-	// Sanity cap: a block is one 3D field; 2^31 samples (a 1290³ grid)
-	// bounds allocation against forged headers.
-	if total > 1<<31 {
-		return nil, fmt.Errorf("compress: implausible block size %d samples", total)
+	if totalU > 1<<31 {
+		return nil, fmt.Errorf("compress: implausible block size %d samples", totalU)
 	}
+	total := int(totalU)
+	k := int(kU)
 	b := &SparseBlock{
 		Total:  total,
 		Bitmap: make([]byte, (total+7)/8),

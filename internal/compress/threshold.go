@@ -10,6 +10,8 @@ package compress
 import (
 	"fmt"
 	"math"
+
+	"stwave/internal/fbits"
 )
 
 // KeepCount returns how many coefficients a ratio:1 compression retains out
@@ -70,7 +72,7 @@ func Threshold(coeffs []float64, keep int) int {
 		if a > cut {
 			continue
 		}
-		if a == cut && remaining > 0 {
+		if fbits.Eq(a, cut) && remaining > 0 {
 			remaining--
 			continue
 		}

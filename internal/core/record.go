@@ -40,6 +40,12 @@ type RecordHeader struct {
 
 // EncodeRecordHeader serializes a record frame header.
 func EncodeRecordHeader(h RecordHeader) [RecordHeaderSize]byte {
+	// A negative length would serialize as an enormous unsigned count and
+	// still pass the header CRC (computed over the wrong bytes), so treat
+	// it as a programming error at the source.
+	if h.Length < 0 {
+		panic(fmt.Sprintf("core: negative record payload length %d", h.Length))
+	}
 	var b [RecordHeaderSize]byte
 	copy(b[0:4], RecordMagic[:])
 	binary.LittleEndian.PutUint64(b[4:12], uint64(h.Length))

@@ -48,7 +48,37 @@ func (cw *CompressedWindow) WriteToDeflated(w io.Writer) (int64, error) {
 	return cw.writeTo(w, true)
 }
 
+// Header field ranges shared by the encoder guard and the decoder's
+// forged-header validation: a value outside these bounds cannot be
+// represented in the fixed-width header without silent truncation.
+const (
+	maxHeaderLevels = 64      // decomposition levels; MaxLevels caps far below this
+	maxHeaderAxis   = 1 << 20 // per-axis dimension (far beyond any real grid)
+	maxHeaderSlices = 1 << 20 // time slices per window
+)
+
 func (cw *CompressedWindow) writeTo(w io.Writer, deflate bool) (int64, error) {
+	// Reject fields the fixed-width header cannot represent before any
+	// bytes are written: a truncated mode, level count, or dimension
+	// would pass every downstream checksum (computed over the wrong
+	// bytes) and only fail at reconstruction.
+	if cw.Opts.Mode < 0 || cw.Opts.Mode > 0xff ||
+		cw.Opts.SpatialKernel < 0 || cw.Opts.SpatialKernel > 0xff ||
+		cw.Opts.TemporalKernel < 0 || cw.Opts.TemporalKernel > 0xff {
+		return 0, fmt.Errorf("core: mode %d or kernel %d/%d outside header byte range",
+			cw.Opts.Mode, cw.Opts.SpatialKernel, cw.Opts.TemporalKernel)
+	}
+	if cw.SpatialLevels < 0 || cw.SpatialLevels > maxHeaderLevels ||
+		cw.TemporalLevels < 0 || cw.TemporalLevels > maxHeaderLevels {
+		return 0, fmt.Errorf("core: decomposition levels %d/%d outside header range [0, %d]",
+			cw.SpatialLevels, cw.TemporalLevels, maxHeaderLevels)
+	}
+	if cw.Dims.Nx > maxHeaderAxis || cw.Dims.Ny > maxHeaderAxis || cw.Dims.Nz > maxHeaderAxis {
+		return 0, fmt.Errorf("core: dims %v exceed header axis cap %d", cw.Dims, maxHeaderAxis)
+	}
+	if len(cw.Blocks) > maxHeaderSlices {
+		return 0, fmt.Errorf("core: %d slices exceed header cap %d", len(cw.Blocks), maxHeaderSlices)
+	}
 	bw := bufio.NewWriterSize(w, 1<<16)
 	var written int64
 	hdr := make([]byte, 40)
@@ -61,8 +91,8 @@ func (cw *CompressedWindow) writeTo(w io.Writer, deflate bool) (int64, error) {
 	hdr[5] = byte(cw.Opts.Mode)
 	hdr[6] = byte(cw.Opts.SpatialKernel)
 	hdr[7] = byte(cw.Opts.TemporalKernel)
-	binary.LittleEndian.PutUint32(hdr[8:12], uint32(int32(cw.SpatialLevels)))
-	binary.LittleEndian.PutUint32(hdr[12:16], uint32(int32(cw.TemporalLevels)))
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(cw.SpatialLevels))
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(cw.TemporalLevels))
 	binary.LittleEndian.PutUint64(hdr[16:24], math.Float64bits(cw.Opts.Ratio))
 	binary.LittleEndian.PutUint32(hdr[24:28], uint32(cw.Dims.Nx))
 	binary.LittleEndian.PutUint32(hdr[28:32], uint32(cw.Dims.Ny))
@@ -156,10 +186,10 @@ func ReadWindowInfo(r io.Reader) (WindowInfo, error) {
 	if !wi.Dims.Valid() {
 		return WindowInfo{}, fmt.Errorf("core: invalid dims %v in header", wi.Dims)
 	}
-	if wi.Dims.Nx > 1<<20 || wi.Dims.Ny > 1<<20 || wi.Dims.Nz > 1<<20 {
+	if wi.Dims.Nx > maxHeaderAxis || wi.Dims.Ny > maxHeaderAxis || wi.Dims.Nz > maxHeaderAxis {
 		return WindowInfo{}, fmt.Errorf("core: implausible dims %v in header", wi.Dims)
 	}
-	if wi.NumSlices < 1 || wi.NumSlices > 1<<20 {
+	if wi.NumSlices < 1 || wi.NumSlices > maxHeaderSlices {
 		return WindowInfo{}, fmt.Errorf("core: implausible slice count %d", wi.NumSlices)
 	}
 	if wi.Mode != Spatial3D && wi.Mode != Spatiotemporal4D {
@@ -192,8 +222,13 @@ func ReadCompressedWindow(r io.Reader) (*CompressedWindow, error) {
 	cw.Opts.Mode = Mode(hdr[5])
 	cw.Opts.SpatialKernel = wavelet.Kernel(hdr[6])
 	cw.Opts.TemporalKernel = wavelet.Kernel(hdr[7])
-	cw.SpatialLevels = int(int32(binary.LittleEndian.Uint32(hdr[8:12])))
-	cw.TemporalLevels = int(int32(binary.LittleEndian.Uint32(hdr[12:16])))
+	spatialLevels := binary.LittleEndian.Uint32(hdr[8:12])
+	temporalLevels := binary.LittleEndian.Uint32(hdr[12:16])
+	if spatialLevels > maxHeaderLevels || temporalLevels > maxHeaderLevels {
+		return nil, fmt.Errorf("core: implausible decomposition levels %d/%d in header", spatialLevels, temporalLevels)
+	}
+	cw.SpatialLevels = int(spatialLevels)
+	cw.TemporalLevels = int(temporalLevels)
 	cw.Opts.Ratio = math.Float64frombits(binary.LittleEndian.Uint64(hdr[16:24]))
 	cw.Dims = grid.Dims{
 		Nx: int(binary.LittleEndian.Uint32(hdr[24:28])),
@@ -207,10 +242,10 @@ func ReadCompressedWindow(r io.Reader) (*CompressedWindow, error) {
 	// Per-axis cap prevents integer overflow in Dims.Len() and bounds
 	// allocations against forged headers (2^20 per axis is far beyond any
 	// real grid).
-	if cw.Dims.Nx > 1<<20 || cw.Dims.Ny > 1<<20 || cw.Dims.Nz > 1<<20 {
+	if cw.Dims.Nx > maxHeaderAxis || cw.Dims.Ny > maxHeaderAxis || cw.Dims.Nz > maxHeaderAxis {
 		return nil, fmt.Errorf("core: implausible dims %v in header", cw.Dims)
 	}
-	if numSlices < 1 || numSlices > 1<<20 {
+	if numSlices < 1 || numSlices > maxHeaderSlices {
 		return nil, fmt.Errorf("core: implausible slice count %d", numSlices)
 	}
 	if cw.Opts.Mode != Spatial3D && cw.Opts.Mode != Spatiotemporal4D {

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"stwave/internal/core"
+	"stwave/internal/fbits"
 	"stwave/internal/wavelet"
 )
 
@@ -73,7 +74,7 @@ func RunFig2(sc Scale, progress io.Writer) (*Fig2Result, error) {
 // Row finds the entry for a configuration, or nil.
 func (r *Fig2Result) Row(label string, ratio float64) *Fig2Row {
 	for i := range r.Rows {
-		if r.Rows[i].Label == label && r.Rows[i].Ratio == ratio {
+		if r.Rows[i].Label == label && fbits.Eq(r.Rows[i].Ratio, ratio) {
 			return &r.Rows[i]
 		}
 	}
@@ -87,7 +88,7 @@ func (r *Fig2Result) Write(w io.Writer) {
 	fmt.Fprintf(w, "%-18s %10s %12s %12s\n", "config", "ratio", "NRMSE", "L-inf")
 	var last float64 = -1
 	for _, row := range r.Rows {
-		if row.Ratio != last {
+		if !fbits.Eq(row.Ratio, last) {
 			fmt.Fprintf(w, "---- %g:1 ----\n", row.Ratio)
 			last = row.Ratio
 		}
@@ -146,7 +147,7 @@ func RunFig2c(sc Scale, progress io.Writer) (*Fig2cResult, error) {
 func (r *Fig2cResult) Row(mode core.Mode, stride int, ratio float64) *Fig2cRow {
 	for i := range r.Rows {
 		row := &r.Rows[i]
-		if row.Mode == mode && row.ResStride == stride && row.Ratio == ratio {
+		if row.Mode == mode && row.ResStride == stride && fbits.Eq(row.Ratio, ratio) {
 			return row
 		}
 	}
@@ -159,7 +160,7 @@ func (r *Fig2cResult) Write(w io.Writer) {
 	fmt.Fprintf(w, "%-12s %10s %12s %12s\n", "config", "ratio", "NRMSE", "L-inf")
 	var last float64 = -1
 	for _, row := range r.Rows {
-		if row.Ratio != last {
+		if !fbits.Eq(row.Ratio, last) {
 			fmt.Fprintf(w, "---- %g:1 ----\n", row.Ratio)
 			last = row.Ratio
 		}

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"stwave/internal/core"
+	"stwave/internal/fbits"
 	"stwave/internal/grid"
 )
 
@@ -102,7 +103,7 @@ func RunFig3(sc Scale, panels []string, progress io.Writer) (*Fig3Result, error)
 func (r *Fig3Result) Row(panel string, mode core.Mode, stride int, ratio float64) *Fig3Row {
 	for i := range r.Rows {
 		row := &r.Rows[i]
-		if row.Panel == panel && row.Mode == mode && row.ResStride == stride && row.Ratio == ratio {
+		if row.Panel == panel && row.Mode == mode && row.ResStride == stride && fbits.Eq(row.Ratio, ratio) {
 			return row
 		}
 	}
@@ -124,7 +125,7 @@ func (r *Fig3Result) Write(w io.Writer) {
 			lastPanel = row.Panel
 			lastRatio = -1
 		}
-		if row.Ratio != lastRatio {
+		if !fbits.Eq(row.Ratio, lastRatio) {
 			fmt.Fprintf(w, "---- %g:1 ----\n", row.Ratio)
 			lastRatio = row.Ratio
 		}

@@ -260,7 +260,7 @@ func RunFig5(sc Scale, dir string, progress io.Writer) (paths []string, areaOrig
 			return nil, 0, 0, 0, err
 		}
 		if err := im.WritePGM(f); err != nil {
-			f.Close()
+			f.Close() //stlint:ignore uncheckederr the write failure is what matters; the final Close below is checked
 			return nil, 0, 0, 0, err
 		}
 		if err := f.Close(); err != nil {

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"stwave/internal/core"
+	"stwave/internal/fbits"
 	"stwave/internal/flow"
 	"stwave/internal/grid"
 	"stwave/internal/wavelet"
@@ -154,7 +155,7 @@ func RunFTLE(sc Scale, progress io.Writer) (*FTLEResult, error) {
 // Row returns the entry for (ratio, mode), or nil.
 func (r *FTLEResult) Row(ratio float64, mode core.Mode) *FTLERow {
 	for i := range r.Rows {
-		if r.Rows[i].Ratio == ratio && r.Rows[i].Mode == mode {
+		if fbits.Eq(r.Rows[i].Ratio, ratio) && r.Rows[i].Mode == mode {
 			return &r.Rows[i]
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"stwave/internal/core"
+	"stwave/internal/fbits"
 	"stwave/internal/grid"
 	"stwave/internal/metrics"
 )
@@ -81,7 +82,7 @@ func (r *SeamResult) EdgeToCenterRatio() float64 {
 	}
 	edge := (r.PerPosition[0] + r.PerPosition[n-1]) / 2
 	center := (r.PerPosition[n/2-1] + r.PerPosition[n/2]) / 2
-	if center == 0 {
+	if fbits.Zero(center) {
 		return 1
 	}
 	return edge / center

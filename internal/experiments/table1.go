@@ -198,13 +198,15 @@ func RunTable1(sc Scale, progress io.Writer) (*Table1Result, error) {
 		})
 	}
 
-	res.project()
+	if err := res.project(); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
 // project scales the measured rows to the paper's 10 GB workload: I/O from
 // the bandwidth model (exact), compute from measured per-sample throughput.
-func (r *Table1Result) project() {
+func (r *Table1Result) project() error {
 	paperSamples := int64(20) * 512 * 512 * 512
 	paperBytes := paperSamples * 4
 	ourSamples := int64(r.Slices) * int64(r.Dims.Len())
@@ -216,21 +218,37 @@ func (r *Table1Result) project() {
 		p.FileSize = int64(float64(row.FileSize) * scale)
 		switch row.Tech {
 		case "4D":
-			bw, _ := model.WriteCost(storage.Buffer, paperBytes)
-			br, _ := model.ReadCost(storage.Buffer, paperBytes)
-			pw, _ := model.WriteCost(storage.Permanent, p.FileSize)
+			bw, err := model.WriteCost(storage.Buffer, paperBytes)
+			if err != nil {
+				return err
+			}
+			br, err := model.ReadCost(storage.Buffer, paperBytes)
+			if err != nil {
+				return err
+			}
+			pw, err := model.WriteCost(storage.Permanent, p.FileSize)
+			if err != nil {
+				return err
+			}
 			p.BufferWrite, p.BufferRead, p.PermWrite = bw, br, pw
 			p.TotalIO = bw + br + pw
 		case "3D":
-			pw, _ := model.WriteCost(storage.Permanent, p.FileSize)
+			pw, err := model.WriteCost(storage.Permanent, p.FileSize)
+			if err != nil {
+				return err
+			}
 			p.PermWrite, p.TotalIO = pw, pw
 		case "Raw":
-			pw, _ := model.WriteCost(storage.Permanent, paperBytes)
+			pw, err := model.WriteCost(storage.Permanent, paperBytes)
+			if err != nil {
+				return err
+			}
 			p.FileSize = paperBytes
 			p.PermWrite, p.TotalIO = pw, pw
 		}
 		r.Projected = append(r.Projected, p)
 	}
+	return nil
 }
 
 // Row returns the measured row for a technique, or nil.

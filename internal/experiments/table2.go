@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"stwave/internal/core"
+	"stwave/internal/fbits"
 	"stwave/internal/flow"
 	"stwave/internal/grid"
 	"stwave/internal/wavelet"
@@ -171,7 +172,7 @@ func RunTable2(sc Scale, progress io.Writer) (*Table2Result, error) {
 // Row returns the entry for (ratio, mode), or nil.
 func (r *Table2Result) Row(ratio float64, mode core.Mode) *Table2Row {
 	for i := range r.Rows {
-		if r.Rows[i].Ratio == ratio && r.Rows[i].Mode == mode {
+		if fbits.Eq(r.Rows[i].Ratio, ratio) && r.Rows[i].Mode == mode {
 			return &r.Rows[i]
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"stwave/internal/core"
+	"stwave/internal/fbits"
 	"stwave/internal/grid"
 	"stwave/internal/isosurface"
 	"stwave/internal/wavelet"
@@ -117,7 +118,7 @@ func RunTable3(sc Scale, progress io.Writer) (*Table3Result, error) {
 // Row returns the entry for (variable label, ratio), or nil.
 func (r *Table3Result) Row(variable string, ratio float64) *Table3Row {
 	for i := range r.Rows {
-		if r.Rows[i].Variable == variable && r.Rows[i].Ratio == ratio {
+		if r.Rows[i].Variable == variable && fbits.Eq(r.Rows[i].Ratio, ratio) {
 			return &r.Rows[i]
 		}
 	}

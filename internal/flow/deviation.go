@@ -2,6 +2,8 @@ package flow
 
 import (
 	"fmt"
+
+	"stwave/internal/fbits"
 )
 
 // DeviationError implements the paper's Section VI-A pathline metric. Let T
@@ -18,7 +20,7 @@ func DeviationError(baseline, test *Pathline, d float64) (float64, error) {
 	if len(baseline.Points) != len(test.Points) {
 		return 0, fmt.Errorf("flow: pathlines have %d vs %d points; advect with identical options", len(baseline.Points), len(test.Points))
 	}
-	if baseline.Dt != test.Dt {
+	if !fbits.Eq(baseline.Dt, test.Dt) {
 		return 0, fmt.Errorf("flow: pathlines have different Dt (%g vs %g)", baseline.Dt, test.Dt)
 	}
 	if d < 0 {

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 
+	"stwave/internal/fbits"
 	"stwave/internal/grid"
 )
 
@@ -79,13 +80,13 @@ func Extract(f *grid.Field3D, isovalue float64, opt Options) (*Mesh, error) {
 		return nil, fmt.Errorf("isosurface: grid %v too small", d)
 	}
 	sx, sy, sz := opt.SpacingX, opt.SpacingY, opt.SpacingZ
-	if sx == 0 {
+	if fbits.Zero(sx) {
 		sx = 1
 	}
-	if sy == 0 {
+	if fbits.Zero(sy) {
 		sy = 1
 	}
-	if sz == 0 {
+	if fbits.Zero(sz) {
 		sz = 1
 	}
 	mesh := &Mesh{}
@@ -128,7 +129,7 @@ func marchTet(mesh *Mesh, corners *[8]Vec3, values *[8]float64, tet [4]int, iso 
 		va, vb := values[tet[a]], values[tet[b]]
 		pa, pb := corners[tet[a]], corners[tet[b]]
 		t := 0.5
-		if vb != va {
+		if !fbits.Eq(vb, va) {
 			t = (iso - va) / (vb - va)
 		}
 		return Vec3{
@@ -176,8 +177,8 @@ func marchTet(mesh *Mesh, corners *[8]Vec3, values *[8]float64, tet [4]int, iso 
 // percent. 0 is a perfect fit; positive means the test surface is smaller
 // than the baseline, negative larger.
 func AreaError(baselineArea, testArea float64) float64 {
-	if baselineArea == 0 {
-		if testArea == 0 {
+	if fbits.Zero(baselineArea) {
+		if fbits.Zero(testArea) {
 			return 0
 		}
 		return math.Inf(-1)

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"stwave/internal/fbits"
 )
 
 // WriteSTL serializes the mesh as binary STL — the lowest-common-denominator
@@ -60,7 +62,7 @@ func facetNormal(t Triangle) (nx, ny, nz float64) {
 	ny = uz*vx - ux*vz
 	nz = ux*vy - uy*vx
 	l := math.Sqrt(nx*nx + ny*ny + nz*nz)
-	if l == 0 {
+	if fbits.Zero(l) {
 		return 0, 0, 0
 	}
 	return nx / l, ny / l, nz / l

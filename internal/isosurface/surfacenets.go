@@ -3,6 +3,7 @@ package isosurface
 import (
 	"fmt"
 
+	"stwave/internal/fbits"
 	"stwave/internal/grid"
 )
 
@@ -23,13 +24,13 @@ func ExtractSurfaceNets(f *grid.Field3D, isovalue float64, opt Options) (*Mesh, 
 		return nil, fmt.Errorf("isosurface: grid %v too small", d)
 	}
 	sx, sy, sz := opt.SpacingX, opt.SpacingY, opt.SpacingZ
-	if sx == 0 {
+	if fbits.Zero(sx) {
 		sx = 1
 	}
-	if sy == 0 {
+	if fbits.Zero(sy) {
 		sy = 1
 	}
-	if sz == 0 {
+	if fbits.Zero(sz) {
 		sz = 1
 	}
 	cx, cy, cz := d.Nx-1, d.Ny-1, d.Nz-1 // cell counts
@@ -63,7 +64,7 @@ func ExtractSurfaceNets(f *grid.Field3D, isovalue float64, opt Options) (*Mesh, 
 						continue
 					}
 					t := 0.5
-					if vb != va {
+					if !fbits.Eq(vb, va) {
 						t = (isovalue - va) / (vb - va)
 					}
 					sum.X += (float64(ax) + t*float64(bx-ax)) * sx

@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DeferClose tracks the results of the file- and container-opening
+// functions and reports handles that can never be closed: no deferred
+// Close, no direct Close call on any path, and no escape (returned,
+// passed to another function, stored in a structure) that could transfer
+// ownership. A handle assigned to the blank identifier is reported
+// immediately — the descriptor is unreachable the moment it is opened.
+//
+// The check is deliberately conservative about ownership: any escape
+// counts as "someone else closes it", so it only reports handles that are
+// provably confined to the function and provably never closed.
+var DeferClose = &Analyzer{
+	Name: "deferclose",
+	Doc:  "os.Open/os.Create/storage.OpenContainer results must be closed or handed off",
+	Run:  runDeferClose,
+}
+
+// openerFuncs are the functions whose first result is a handle the caller
+// owns until closed or handed off.
+var openerFuncs = map[string]bool{
+	"os.Open":                               true,
+	"os.Create":                             true,
+	"os.OpenFile":                           true,
+	"os.CreateTemp":                         true,
+	"stwave/internal/storage.OpenContainer": true,
+	"stwave/internal/storage.CreateContainer":       true,
+	"stwave/internal/storage.CreateContainerAtomic": true,
+}
+
+func runDeferClose(pass *Pass) {
+	for _, file := range pass.Files {
+		// Each open site is resolved against its top-level function body,
+		// so a handle opened inside a closure may be closed (or escape)
+		// anywhere in the enclosing function and vice versa.
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if assign, ok := n.(*ast.AssignStmt); ok {
+					checkOpenAssign(pass, fd.Body, assign)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkOpenAssign analyzes one `x, err := opener(...)` site within scope.
+func checkOpenAssign(pass *Pass, scope *ast.BlockStmt, assign *ast.AssignStmt) {
+	if len(assign.Rhs) != 1 {
+		return
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil || !openerFuncs[fn.FullName()] {
+		return
+	}
+	if len(assign.Lhs) == 0 {
+		return
+	}
+	id, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok {
+		return // stored into a field or element: escapes
+	}
+	if id.Name == "_" {
+		pass.Reportf(assign.Pos(), "%s result is discarded without Close; the handle leaks the moment it opens", fn.FullName())
+		return
+	}
+	obj := pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Uses[id]
+	}
+	if obj == nil {
+		return
+	}
+	closed, escapes := handleDisposition(pass.TypesInfo, scope, id, obj)
+	if !closed && !escapes {
+		pass.Reportf(assign.Pos(), "%s result %s is never closed (no defer, no reachable Close, no hand-off)", fn.FullName(), id.Name)
+	}
+}
+
+// handleDisposition classifies every use of obj in scope: a Close call
+// (direct or deferred, possibly inside a closure) marks it closed; any
+// use other than a field/method access — return, call argument, send,
+// composite literal, right-hand side of an assignment, &x — marks it
+// escaped.
+func handleDisposition(info *types.Info, scope *ast.BlockStmt, openIdent *ast.Ident, obj types.Object) (closed, escapes bool) {
+	var stack []ast.Node
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		stack = append(stack, n)
+		id, ok := n.(*ast.Ident)
+		if !ok || id == openIdent {
+			return true
+		}
+		if info.Uses[id] != obj && info.Defs[id] != obj {
+			return true
+		}
+		parent := stack[len(stack)-2]
+		switch p := parent.(type) {
+		case *ast.SelectorExpr:
+			if p.X == id {
+				if p.Sel.Name == "Close" {
+					if len(stack) >= 3 {
+						if call, ok := stack[len(stack)-3].(*ast.CallExpr); ok && call.Fun == p {
+							closed = true
+							return true
+						}
+					}
+					// f.Close used as a method value: treat as escape.
+					escapes = true
+				}
+				return true // plain field/method access keeps ownership here
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range p.Lhs {
+				if lhs == id {
+					return true // reassignment target, not a use of the open handle
+				}
+			}
+			escapes = true
+		default:
+			escapes = true
+		}
+		return true
+	}
+	ast.Inspect(scope, walk)
+	return closed, escapes
+}

@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between floating-point operands, and switches
+// on floating-point values. Coefficient thresholding, error metrics, and
+// recovery comparisons must be exact-bit (math.Float64bits) or
+// tolerance-based; a raw float compare silently diverges once values pass
+// through the lossy transform pipeline.
+//
+// Two comparisons are exempt: constant-folded expressions (both operands
+// known at compile time) and self-comparison (x != x), the standard NaN
+// test.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "==/!= on float operands; use math.Float64bits, an epsilon helper, or a documented suppression",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				xt, xOk := pass.TypesInfo.Types[n.X]
+				yt, yOk := pass.TypesInfo.Types[n.Y]
+				if !xOk || !yOk {
+					return true
+				}
+				if !isFloat(xt.Type) && !isFloat(yt.Type) {
+					return true
+				}
+				if xt.Value != nil && yt.Value != nil {
+					return true // constant-folded; exact by construction
+				}
+				if types.ExprString(n.X) == types.ExprString(n.Y) {
+					return true // x != x: the NaN idiom is exact-bit by definition
+				}
+				pass.Reportf(n.OpPos, "%s on %s operands; use math.Float64bits or an epsilon helper",
+					n.Op, floatOperandType(xt.Type, yt.Type))
+			case *ast.SwitchStmt:
+				if n.Tag == nil {
+					return true
+				}
+				if tv, ok := pass.TypesInfo.Types[n.Tag]; ok && isFloat(tv.Type) {
+					pass.Reportf(n.Switch, "switch on %s compares cases with ==; use explicit range tests", tv.Type)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+func floatOperandType(x, y types.Type) string {
+	if isFloat(x) {
+		return x.String()
+	}
+	return y.String()
+}

@@ -1,0 +1,291 @@
+// Package lint implements stlint, a domain-aware static-analysis suite
+// for this repository. The paper's accuracy and storage claims rest on
+// bit-level invariants — lossless coefficient round-trips, checksum-framed
+// container records, exact index arithmetic across windows — and this
+// package encodes the bug classes that historically break them as
+// compile-time checks:
+//
+//   - uncheckederr: error results from storage/fault-injection/OS/binary
+//     I/O call sites that are discarded or overwritten unread
+//   - floateq: ==/!= on floating-point operands (coefficient thresholding
+//     must use math.Float64bits or an epsilon helper)
+//   - trunccast: unguarded narrowing integer conversions in encode/record
+//     paths, the bug class that corrupts container frames
+//   - lockval: sync.Mutex/RWMutex copied by value, including copies
+//     through channel sends, map stores, and range clauses that go vet's
+//     copylocks pass does not model
+//   - deferclose: opened files and containers whose Close is neither
+//     deferred nor otherwise reachable
+//
+// The driver is built entirely on the standard library's go/parser and
+// go/types (no golang.org/x/tools), matching the module's empty
+// dependency set. Findings are suppressed line-by-line with
+//
+//	//stlint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// where the reason is mandatory: an unexplained suppression is itself
+// reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name is the short identifier used in findings and in
+	// //stlint:ignore directives.
+	Name string
+	// Doc is a one-line description of what the analyzer proves.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// All is the analyzer roster, in reporting order.
+var All = []*Analyzer{
+	UncheckedErr,
+	FloatEq,
+	TruncCast,
+	LockVal,
+	DeferClose,
+}
+
+// Config tunes the suite to the repository being analyzed.
+type Config struct {
+	// TruncScope limits the trunccast analyzer to packages whose import
+	// path contains one of these substrings — the encode/record paths
+	// where a silent narrowing corrupts on-disk frames. Empty means all
+	// packages.
+	TruncScope []string
+}
+
+// DefaultConfig scopes the suite to this repository's pipeline layout.
+func DefaultConfig() Config {
+	return Config{
+		TruncScope: []string{
+			"internal/core",
+			"internal/coder",
+			"internal/storage",
+			"internal/compress",
+			"internal/faultio",
+			"cmd/stcomp",
+		},
+	}
+}
+
+// A Finding is one diagnostic at a source position.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the finding as "file:line: [name] message".
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Message)
+}
+
+// A Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Config    Config
+
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Findings runs the full analyzer roster over one package.
+func (p *Package) Findings(cfg Config) []Finding {
+	return RunPackage(cfg, p, All)
+}
+
+// RunPackage applies every analyzer in analyzers to one loaded package and
+// returns the surviving findings: suppressed lines are dropped, malformed
+// suppressions are reported, and the result is sorted by position.
+func RunPackage(cfg Config, pkg *Package, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			Config:    cfg,
+			findings:  &findings,
+		}
+		a.Run(pass)
+	}
+	findings = applySuppressions(pkg, findings)
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings
+}
+
+// ignoreDirective is one parsed //stlint:ignore comment.
+type ignoreDirective struct {
+	pos       token.Position
+	analyzers map[string]bool
+	malformed string // non-empty description when the directive is unusable
+}
+
+const ignorePrefix = "stlint:ignore"
+
+// parseIgnores extracts every stlint:ignore directive from a file,
+// keyed by the line(s) it suppresses: the directive's own line and the
+// line immediately after it (so a directive may sit on the offending
+// line or alone on the line above).
+func parseIgnores(fset *token.FileSet, file *ast.File) map[string][]*ignoreDirective {
+	byLine := map[string][]*ignoreDirective{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//"+ignorePrefix)
+			if !ok {
+				continue
+			}
+			d := &ignoreDirective{pos: fset.Position(c.Pos()), analyzers: map[string]bool{}}
+			fields := strings.Fields(text)
+			switch {
+			case len(fields) == 0:
+				d.malformed = "missing analyzer name and reason"
+			case len(fields) == 1:
+				d.malformed = fmt.Sprintf("suppressing %q without a reason", fields[0])
+			default:
+				for _, name := range strings.Split(fields[0], ",") {
+					d.analyzers[name] = true
+				}
+			}
+			for _, line := range []int{d.pos.Line, d.pos.Line + 1} {
+				key := lineKey(d.pos.Filename, line)
+				byLine[key] = append(byLine[key], d)
+			}
+		}
+	}
+	return byLine
+}
+
+func lineKey(filename string, line int) string {
+	return fmt.Sprintf("%s:%d", filename, line)
+}
+
+// applySuppressions drops findings covered by a well-formed ignore
+// directive for their analyzer and reports malformed directives.
+func applySuppressions(pkg *Package, findings []Finding) []Finding {
+	byLine := map[string][]*ignoreDirective{}
+	var malformed []*ignoreDirective
+	seen := map[*ignoreDirective]bool{}
+	for _, f := range pkg.Files {
+		for key, ds := range parseIgnores(pkg.Fset, f) {
+			byLine[key] = append(byLine[key], ds...)
+			for _, d := range ds {
+				if d.malformed != "" && !seen[d] {
+					seen[d] = true
+					malformed = append(malformed, d)
+				}
+			}
+		}
+	}
+	out := findings[:0]
+	for _, f := range findings {
+		suppressed := false
+		for _, d := range byLine[lineKey(f.Pos.Filename, f.Pos.Line)] {
+			if d.analyzers[f.Analyzer] || d.analyzers["all"] {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			out = append(out, f)
+		}
+	}
+	for _, d := range malformed {
+		out = append(out, Finding{
+			Pos:      d.pos,
+			Analyzer: "stlint",
+			Message:  "malformed stlint:ignore directive: " + d.malformed,
+		})
+	}
+	return out
+}
+
+// --- shared type helpers used by several analyzers ---
+
+// isErrorType reports whether t is the built-in error interface (or an
+// alias of it).
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// calleeFunc resolves the *types.Func a call expression invokes, looking
+// through parentheses. It returns nil for calls of function values,
+// conversions, and built-ins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// funcPackagePath returns the import path of the package a function (or
+// method) is declared in, or "" for builtins.
+func funcPackagePath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// errorResultIndex returns the index of the first error-typed result of a
+// call's callee signature, or -1. A signature with no results, or whose
+// results contain no error, yields -1.
+func errorResultIndex(info *types.Info, call *ast.CallExpr) int {
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return -1
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return -1
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if isErrorType(res.At(i).Type()) {
+			return i
+		}
+	}
+	return -1
+}

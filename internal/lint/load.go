@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// A Package is one type-checked package ready for analysis. Only non-test
+// Go files are loaded: the invariants stlint proves are about the pipeline
+// itself, and test files legitimately use exact float comparisons against
+// golden values.
+type Package struct {
+	Path      string
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+}
+
+// exportLookup resolves compiled export data for imports. Packages named
+// by the initial `go list -deps -export` run are served from its table;
+// anything else (for example a testdata package importing a module
+// package the main patterns did not reach) is resolved lazily with a
+// one-off `go list -export` invocation.
+type exportLookup struct {
+	dir string
+
+	mu      sync.Mutex
+	exports map[string]string
+}
+
+func (l *exportLookup) lookup(path string) (io.ReadCloser, error) {
+	l.mu.Lock()
+	file, ok := l.exports[path]
+	l.mu.Unlock()
+	if !ok {
+		out, err := goList(l.dir, "-export", "-f", "{{.Export}}", path)
+		if err != nil {
+			return nil, fmt.Errorf("lint: resolving export data for %q: %w", path, err)
+		}
+		file = strings.TrimSpace(string(out))
+		if file == "" {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		l.mu.Lock()
+		l.exports[path] = file
+		l.mu.Unlock()
+	}
+	return os.Open(file)
+}
+
+func goList(dir string, args ...string) ([]byte, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		msg := strings.TrimSpace(stderr.String())
+		if msg != "" {
+			return nil, fmt.Errorf("go list %s: %v: %s", strings.Join(args, " "), err, msg)
+		}
+		return nil, fmt.Errorf("go list %s: %v", strings.Join(args, " "), err)
+	}
+	return out, nil
+}
+
+// Load type-checks every package matched by patterns (for example
+// "./...") relative to dir. It shells out to `go list -deps -export` once
+// to obtain compiled export data for all imports, then parses and
+// type-checks the matched packages from source with the standard
+// library's go/types — no golang.org/x/tools dependency.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"-deps", "-export", "-json=ImportPath,Dir,Export,GoFiles,DepOnly"}, patterns...)
+	out, err := goList(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	lookup := &exportLookup{dir: dir, exports: map[string]string{}}
+	var targets []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		if p.Export != "" {
+			lookup.exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", lookup.lookup)
+	var pkgs []*Package
+	for _, t := range targets {
+		pkg, err := check(fset, imp, t)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func check(fset *token.FileSet, imp types.Importer, t listedPackage) (*Package, error) {
+	var files []*ast.File
+	for _, name := range t.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: imp}
+	typPkg, err := conf.Check(t.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", t.ImportPath, err)
+	}
+	return &Package{
+		Path:      t.ImportPath,
+		Dir:       t.Dir,
+		Fset:      fset,
+		Files:     files,
+		Types:     typPkg,
+		TypesInfo: info,
+	}, nil
+}

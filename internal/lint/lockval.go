@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockVal flags sync.Mutex and sync.RWMutex values (or any type that
+// transitively embeds one by value) being copied. Beyond go vet's
+// copylocks shapes — by-value parameters, receivers, and assignments — it
+// also flags the copies vet does not model: channel sends, map stores and
+// loads, composite-literal captures, range-clause element copies, and
+// by-value returns of existing values.
+//
+// Constructing a fresh value (a composite literal, or the zero value from
+// a declaration without initializer) is not a copy and is never flagged:
+// the whole point of the rule is that a lock that may already be in use
+// must not fork.
+var LockVal = &Analyzer{
+	Name: "lockval",
+	Doc:  "sync.Mutex/RWMutex must not be copied: by-value params/receivers, sends, map stores, range clauses",
+	Run:  runLockVal,
+}
+
+func runLockVal(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Recv != nil {
+					checkLockFields(pass, n.Recv, "receiver")
+				}
+				if n.Type.Params != nil {
+					checkLockFields(pass, n.Type.Params, "parameter")
+				}
+			case *ast.FuncLit:
+				if n.Type.Params != nil {
+					checkLockFields(pass, n.Type.Params, "parameter")
+				}
+			case *ast.SendStmt:
+				checkLockCopy(pass, n.Value, "channel send copies")
+			case *ast.AssignStmt:
+				for _, rhs := range n.Rhs {
+					checkLockCopy(pass, rhs, "assignment copies")
+				}
+			case *ast.ValueSpec:
+				for _, v := range n.Values {
+					checkLockCopy(pass, v, "initialization copies")
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil {
+					if t := exprOrDefType(pass.TypesInfo, n.Value); t != nil {
+						if lock := lockPathOf(t); lock != "" {
+							pass.Reportf(n.For, "range clause copies %s (contains %s); iterate by index or use pointers",
+								t, lock)
+						}
+					}
+				}
+			case *ast.CallExpr:
+				if tv, ok := pass.TypesInfo.Types[n.Fun]; ok && tv.IsType() {
+					return true // conversion, not a call
+				}
+				for _, arg := range n.Args {
+					checkLockCopy(pass, arg, "call passes")
+				}
+			case *ast.ReturnStmt:
+				for _, res := range n.Results {
+					checkLockCopy(pass, res, "return copies")
+				}
+			case *ast.CompositeLit:
+				for _, elt := range n.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						elt = kv.Value
+					}
+					checkLockCopy(pass, elt, "composite literal copies")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkLockFields reports fields (parameters, receivers) whose declared
+// type holds a lock by value.
+func checkLockFields(pass *Pass, fields *ast.FieldList, kind string) {
+	for _, field := range fields.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok {
+			continue
+		}
+		lock := lockPath(tv.Type)
+		if lock == "" {
+			continue
+		}
+		names := "it"
+		if len(field.Names) > 0 {
+			names = field.Names[0].Name
+		}
+		pass.Reportf(field.Pos(), "%s %s passes lock by value: %s contains %s; use a pointer",
+			kind, names, tv.Type, lock)
+	}
+}
+
+// checkLockCopy reports expr when it denotes an *existing* value (not a
+// fresh composite literal or call result) whose type holds a lock.
+func checkLockCopy(pass *Pass, expr ast.Expr, action string) {
+	if !isExistingValue(expr) {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[ast.Unparen(expr)]
+	if !ok {
+		return
+	}
+	lock := lockPath(tv.Type)
+	if lock == "" {
+		return
+	}
+	pass.Reportf(expr.Pos(), "%s %s by value (contains %s); use a pointer", action, tv.Type, lock)
+}
+
+// isExistingValue reports whether expr denotes storage that may already
+// be shared: a variable, field, element, or dereference. Composite
+// literals, conversions, calls, and &x are not value copies of a live
+// lock.
+func isExistingValue(expr ast.Expr) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return e.Name != "_"
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}
+
+// exprOrDefType resolves an expression's type, falling back to the
+// defined object for idents in defining position (range clause LHS).
+func exprOrDefType(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if o := info.Defs[id]; o != nil {
+			return o.Type()
+		}
+		if o := info.Uses[id]; o != nil {
+			return o.Type()
+		}
+	}
+	return nil
+}
+
+// lockPathOf is lockPath on an already-resolved type.
+func lockPathOf(t types.Type) string {
+	return lockPathSeen(t, map[types.Type]bool{})
+}
+
+// lockPath reports the first sync lock type found by value inside t
+// ("sync.Mutex", "sync.RWMutex"), or "" when t holds no lock.
+func lockPath(t types.Type) string {
+	return lockPathSeen(t, map[types.Type]bool{})
+}
+
+func lockPathSeen(t types.Type, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	t = types.Unalias(t)
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex":
+				return "sync." + obj.Name()
+			}
+		}
+		return lockPathSeen(named.Underlying(), seen)
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if lock := lockPathSeen(u.Field(i).Type(), seen); lock != "" {
+				return lock
+			}
+		}
+	case *types.Array:
+		return lockPathSeen(u.Elem(), seen)
+	}
+	return ""
+}

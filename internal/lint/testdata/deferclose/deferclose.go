@@ -1,0 +1,87 @@
+// Package deferclose is a golden test corpus for the deferclose analyzer.
+package deferclose
+
+import (
+	"io"
+	"os"
+
+	"stwave/internal/storage"
+)
+
+func leaks(p string) (int64, error) {
+	f, err := os.Open(p) // want `\[deferclose\] os\.Open result f is never closed`
+	if err != nil {
+		return 0, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+func leakedContainer(p string) (int, error) {
+	r, err := storage.OpenContainer(p) // want `\[deferclose\] stwave/internal/storage\.OpenContainer result r is never closed`
+	if err != nil {
+		return 0, err
+	}
+	return r.NumWindows(), nil
+}
+
+func discardedHandle(p string) {
+	_, _ = os.Open(p) // want `\[deferclose\] os\.Open result is discarded without Close`
+}
+
+func deferred(p string) error {
+	f, err := os.Open(p) // no finding
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Stat()
+	return err
+}
+
+func deferredInClosure(p string) error {
+	f, err := os.Open(p) // no finding: closure closes it
+	if err != nil {
+		return err
+	}
+	defer func() {
+		f.Close()
+	}()
+	return nil
+}
+
+func explicitClose(p string) error {
+	f, err := os.Create(p) // no finding
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString("x"); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func handedOff(p string) (io.ReadCloser, error) {
+	f, err := os.Open(p) // no finding: ownership transfers to the caller
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func passedAlong(p string) ([]byte, error) {
+	f, err := os.Open(p) // no finding: escape via call argument is a hand-off
+	if err != nil {
+		return nil, err
+	}
+	return io.ReadAll(f)
+}
+
+func suppressedLeak(p string) *os.File {
+	f, _ := os.Open(p) //stlint:ignore deferclose,uncheckederr process-lifetime handle, closed by the OS at exit
+	return f
+}

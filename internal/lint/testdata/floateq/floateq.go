@@ -1,0 +1,54 @@
+// Package floateq is a golden test corpus for the floateq analyzer.
+package floateq
+
+import "math"
+
+func equal(a, b float64) bool {
+	return a == b // want `\[floateq\] == on float64 operands`
+}
+
+func notEqual(a, b float32) bool {
+	return a != b // want `\[floateq\] != on float32 operands`
+}
+
+type Coeff float64
+
+func namedFloat(a, b Coeff) bool {
+	return a == b // want `\[floateq\] == on .*Coeff operands`
+}
+
+func literalZero(x float64) bool {
+	return x == 0 // want `\[floateq\] == on float64 operands`
+}
+
+func nanIdiom(x float64) bool {
+	return x != x // self-comparison is the exact-bit NaN test: no finding
+}
+
+func exactBits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b) // integer compare: no finding
+}
+
+func epsilon(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps // relational, not equality: no finding
+}
+
+func ints(a, b int) bool {
+	return a == b // no finding
+}
+
+func constFolded() bool {
+	return 1.0 == 2.0 // constant-folded: no finding
+}
+
+func switchOnFloat(x float64) int {
+	switch x { // want `\[floateq\] switch on float64 compares cases with ==`
+	case 0:
+		return 0
+	}
+	return 1
+}
+
+func suppressedExact(a, b float64) bool {
+	return a == b //stlint:ignore floateq golden-value comparison is this helper's documented contract
+}

@@ -1,0 +1,88 @@
+// Package lockval is a golden test corpus for the lockval analyzer.
+package lockval
+
+import "sync"
+
+// Guarded embeds a mutex by value, so copying a Guarded copies the lock.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Nested embeds Guarded, so the lock travels transitively.
+type Nested struct {
+	g Guarded
+}
+
+func byValueParam(g Guarded) { // want `\[lockval\] parameter g passes lock by value`
+	_ = g.n
+}
+
+func (g Guarded) valueReceiver() int { // want `\[lockval\] receiver g passes lock by value`
+	return g.n
+}
+
+func (g *Guarded) pointerReceiver() int { // pointer receiver: no finding
+	return g.n
+}
+
+func pointerParam(g *Guarded) { // no finding
+	_ = g.n
+}
+
+func nestedParam(n Nested) { // want `\[lockval\] parameter n passes lock by value`
+	_ = n.g.n
+}
+
+func send(ch chan Guarded, g *Guarded) {
+	ch <- *g // want `\[lockval\] channel send copies .*Guarded by value`
+}
+
+func mapStore(m map[string]Guarded, g *Guarded) {
+	m["k"] = *g // want `\[lockval\] assignment copies .*Guarded by value`
+}
+
+func mapLoad(m map[string]Guarded) int {
+	g := m["k"] // want `\[lockval\] assignment copies .*Guarded by value`
+	return g.n
+}
+
+func rangeCopy(s []Guarded) int {
+	total := 0
+	for _, g := range s { // want `\[lockval\] range clause copies .*Guarded`
+		total += g.n
+	}
+	return total
+}
+
+func rangeByIndex(s []Guarded) int {
+	total := 0
+	for i := range s { // no finding
+		total += s[i].n
+	}
+	return total
+}
+
+func freshValue() *Guarded {
+	g := Guarded{} // composite literal is a fresh value: no finding
+	return &g
+}
+
+func callArg(g Guarded) { // want `\[lockval\] parameter g passes lock by value`
+	byValueParam(g) // want `\[lockval\] call passes .*Guarded by value`
+}
+
+var global Guarded
+
+func returnCopy() Guarded {
+	return global // want `\[lockval\] return copies .*Guarded by value`
+}
+
+func compositeCapture(g *Guarded) []Guarded {
+	return []Guarded{*g} // want `\[lockval\] composite literal copies .*Guarded by value`
+}
+
+func suppressedCopy(g *Guarded) {
+	snapshot := *g //stlint:ignore lockval snapshot taken while holding the lock in the caller
+	_ = snapshot.n
+}

@@ -1,0 +1,78 @@
+// Package trunccast is a golden test corpus for the trunccast analyzer.
+package trunccast
+
+import "encoding/binary"
+
+func unguardedLen(b []byte, xs []float64) {
+	binary.LittleEndian.PutUint32(b, uint32(len(xs))) // want `\[trunccast\] uint32\(len\(xs\)\) narrows int without a preceding bounds guard`
+}
+
+func guardedLen(b []byte, xs []float64) bool {
+	if len(xs) > 1<<32-1 {
+		return false
+	}
+	binary.LittleEndian.PutUint32(b, uint32(len(xs))) // guarded above: no finding
+	return true
+}
+
+func signDrop(b []byte, n int64) {
+	binary.LittleEndian.PutUint64(b, uint64(n)) // want `\[trunccast\] uint64\(n\) drops the sign of int64`
+}
+
+func guardedSignDrop(b []byte, n int64) {
+	if n < 0 {
+		panic("negative")
+	}
+	binary.LittleEndian.PutUint64(b, uint64(n)) // guarded above: no finding
+}
+
+func wrapNegative(u uint64) int64 {
+	return int64(u) // want `\[trunccast\] int64\(u\) can wrap uint64 negative`
+}
+
+func guardedWrap(u uint64) int64 {
+	if u > 1<<62 {
+		return 0
+	}
+	return int64(u) // guarded above: no finding
+}
+
+func masked(n int) byte {
+	return byte(n & 0xff) // mask bounds the value: no finding
+}
+
+func constantFits() uint16 {
+	return uint16(512) // constant in range: no finding
+}
+
+func widening(n int32) int64 {
+	return int64(n) // widening preserves every value: no finding
+}
+
+func unsignedWidening(n uint32) int {
+	return int(n) // uint32 always fits in int64-wide int: no finding
+}
+
+func lenToUint64(b []byte, xs []float64) {
+	binary.LittleEndian.PutUint64(b, uint64(len(xs))) // len is non-negative and fits: no finding
+}
+
+func capToUint64(xs []float64) uint64 {
+	return uint64(cap(xs)) // cap is non-negative and fits: no finding
+}
+
+func minBounded(u uint64) int {
+	return int(min(u, 1<<31)) // min with a fitting constant bounds the value: no finding
+}
+
+func minBoundedSigned(n int64) uint64 {
+	return uint64(min(n, 1<<31)) // want `\[trunccast\] uint64\(min\(n, 1 << 31\)\) drops the sign of int64`
+}
+
+func minConstTooBig(u uint64) uint32 {
+	return uint32(min(u, 1<<40)) // want `\[trunccast\] uint32\(min\(u, 1 << 40\)\) narrows uint64`
+}
+
+func suppressedReinterpret(n int32) uint32 {
+	return uint32(n) //stlint:ignore trunccast two's-complement bit reinterpretation is the wire format
+}

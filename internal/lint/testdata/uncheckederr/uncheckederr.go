@@ -1,0 +1,60 @@
+// Package uncheckederr is a golden test corpus for the uncheckederr
+// analyzer. Comments of the form `// want` assert expected findings.
+package uncheckederr
+
+import (
+	"encoding/binary"
+	"io"
+	"os"
+)
+
+func discardStmt(name string) {
+	os.Remove(name) // want `\[uncheckederr\] discarded error from os\.Remove`
+}
+
+func discardMethod(f *os.File) {
+	f.Sync() // want `\[uncheckederr\] discarded error from \(\*os\.File\)\.Sync`
+}
+
+func blankAssign(w io.Writer) {
+	_ = binary.Write(w, binary.LittleEndian, uint32(1)) // want `\[uncheckederr\] error from encoding/binary\.Write discarded with blank identifier`
+}
+
+func blankTuple(name string) {
+	f, _ := os.Create(name) // want `\[uncheckederr\] error from os\.Create discarded with blank identifier`
+	defer f.Close()
+}
+
+func overwritten(w io.Writer) error {
+	err := binary.Write(w, binary.LittleEndian, uint32(1))
+	err = binary.Write(w, binary.LittleEndian, uint32(2)) // want `\[uncheckederr\] error from encoding/binary\.Write assigned to err is overwritten before it is read`
+	return err
+}
+
+func checkedBetween(w io.Writer) error {
+	err := binary.Write(w, binary.LittleEndian, uint32(1))
+	if err != nil {
+		return err
+	}
+	err = binary.Write(w, binary.LittleEndian, uint32(2)) // read intervened: no finding
+	return err
+}
+
+func checkedInline(name string) error {
+	if err := os.Remove(name); err != nil { // no finding
+		return err
+	}
+	return nil
+}
+
+func deferredCloseExempt(f *os.File) {
+	defer f.Close() // defers are deferclose's concern: no finding
+}
+
+func unwatchedPackage(name string) {
+	print(name) // builtin, not watched: no finding
+}
+
+func suppressed(name string) {
+	os.Remove(name) //stlint:ignore uncheckederr removal of a best-effort temp file
+}

@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// UncheckedErr flags error results that are silently lost at call sites of
+// the packages whose errors guard on-disk integrity: the container store,
+// the fault-injection harness, and the OS/binary-encoding layers they sit
+// on. Three shapes are reported:
+//
+//   - a call used as a bare statement, discarding an error result
+//   - an error result assigned to the blank identifier
+//   - an error assigned to a variable that is overwritten by another
+//     watched call before anything reads it
+//
+// Calls in defer statements are exempt: read-path defer Close is
+// idiomatic, and write-path close handling is deferclose's concern.
+var UncheckedErr = &Analyzer{
+	Name: "uncheckederr",
+	Doc:  "error results from storage/faultio/os/io/encoding-binary calls must not be discarded or overwritten unread",
+	Run:  runUncheckedErr,
+}
+
+// watchedErrPackages are the packages whose returned errors protect
+// container integrity. fmt and log are deliberately absent: best-effort
+// terminal output may ignore errors.
+var watchedErrPackages = map[string]bool{
+	"os":                      true,
+	"io":                      true,
+	"encoding/binary":         true,
+	"stwave/internal/storage": true,
+	"stwave/internal/faultio": true,
+}
+
+// watchedErrCall reports whether call invokes a function or method from a
+// watched package that returns an error, and at which result index.
+func watchedErrCall(info *types.Info, call *ast.CallExpr) (fn *types.Func, errIdx int, ok bool) {
+	fn = calleeFunc(info, call)
+	if fn == nil || !watchedErrPackages[funcPackagePath(fn)] {
+		return nil, -1, false
+	}
+	errIdx = errorResultIndex(info, call)
+	if errIdx < 0 {
+		return nil, -1, false
+	}
+	return fn, errIdx, true
+}
+
+func runUncheckedErr(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := n.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if fn, _, ok := watchedErrCall(pass.TypesInfo, call); ok {
+					pass.Reportf(n.Pos(), "discarded error from %s", fn.FullName())
+				}
+			case *ast.AssignStmt:
+				checkBlankErrAssign(pass, n)
+			case *ast.BlockStmt:
+				checkErrOverwrites(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkBlankErrAssign reports `_ = f()` and `x, _ := f()` where the blank
+// sits in the error result position of a watched call.
+func checkBlankErrAssign(pass *Pass, assign *ast.AssignStmt) {
+	if len(assign.Rhs) != 1 {
+		return
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn, errIdx, ok := watchedErrCall(pass.TypesInfo, call)
+	if !ok || errIdx >= len(assign.Lhs) {
+		return
+	}
+	if id, ok := assign.Lhs[errIdx].(*ast.Ident); ok && id.Name == "_" {
+		pass.Reportf(assign.Pos(), "error from %s discarded with blank identifier", fn.FullName())
+	}
+}
+
+// checkErrOverwrites walks one block's statement list and reports error
+// variables that receive a watched call's error and are overwritten by
+// another watched call before any intervening read. Nested blocks are
+// handled by their own visit, so control flow that conditionally
+// overwrites is never (falsely) reported.
+func checkErrOverwrites(pass *Pass, block *ast.BlockStmt) {
+	type write struct {
+		stmtIdx int
+		fn      *types.Func
+	}
+	pending := map[types.Object]write{}
+	for i, stmt := range block.List {
+		assign, ok := stmt.(*ast.AssignStmt)
+		if !ok {
+			continue
+		}
+		if len(assign.Rhs) != 1 {
+			continue
+		}
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		fn, errIdx, ok := watchedErrCall(pass.TypesInfo, call)
+		if !ok || errIdx >= len(assign.Lhs) {
+			continue
+		}
+		id, ok := assign.Lhs[errIdx].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		if obj == nil {
+			continue
+		}
+		if prev, ok := pending[obj]; ok {
+			between := block.List[prev.stmtIdx+1 : i]
+			if !readsObject(pass.TypesInfo, between, obj) &&
+				!readsObjectExpr(pass.TypesInfo, assign.Rhs[0], obj) {
+				pass.Reportf(assign.Pos(),
+					"error from %s assigned to %s is overwritten before it is read (previous value came from %s)",
+					fn.FullName(), id.Name, prev.fn.FullName())
+			}
+		}
+		pending[obj] = write{stmtIdx: i, fn: fn}
+	}
+}
+
+// readsObject reports whether any statement in stmts reads obj. Writes —
+// idents in the left-hand side of an assignment — do not count as reads,
+// but reads nested anywhere else (conditions, call arguments, nested
+// blocks, closures) do.
+func readsObject(info *types.Info, stmts []ast.Stmt, obj types.Object) bool {
+	for _, s := range stmts {
+		if readsObjectExpr(info, s, obj) {
+			return true
+		}
+	}
+	return false
+}
+
+func readsObjectExpr(info *types.Info, root ast.Node, obj types.Object) bool {
+	found := false
+	skip := map[*ast.Ident]bool{}
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					skip[id] = true
+				}
+			}
+		case *ast.Ident:
+			if skip[n] {
+				return true
+			}
+			if info.Uses[n] == obj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

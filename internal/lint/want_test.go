@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// wantExpectation is one `// want "regexp"` assertion in a golden file.
+type wantExpectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// parseWants extracts want expectations from a loaded package. A comment
+// may carry several patterns: // want `a` `b`. Patterns use Go string or
+// backquote syntax and match against "[analyzer] message".
+func parseWants(t *testing.T, pkg *Package) []*wantExpectation {
+	t.Helper()
+	var wants []*wantExpectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for {
+					rest = strings.TrimSpace(rest)
+					if rest == "" {
+						break
+					}
+					quoted, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Fatalf("%s:%d: malformed want pattern %q: %v", pos.Filename, pos.Line, rest, err)
+					}
+					pat, err := strconv.Unquote(quoted)
+					if err != nil {
+						t.Fatalf("%s:%d: unquoting %q: %v", pos.Filename, pos.Line, quoted, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: compiling want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &wantExpectation{
+						file:    pos.Filename,
+						line:    pos.Line,
+						pattern: re,
+					})
+					rest = rest[len(quoted):]
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runGolden loads ./testdata/<name>, runs the given analyzers, and
+// checks findings against the package's want comments, both directions.
+func runGolden(t *testing.T, name string, cfg Config, analyzers ...*Analyzer) {
+	t.Helper()
+	pkgs, err := Load(".", "./testdata/"+name)
+	if err != nil {
+		t.Fatalf("loading testdata/%s: %v", name, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages for testdata/%s, want 1", len(pkgs), name)
+	}
+	findings := RunPackage(cfg, pkgs[0], analyzers)
+	wants := parseWants(t, pkgs[0])
+	if len(wants) == 0 {
+		t.Fatalf("testdata/%s has no want assertions; the golden corpus must demonstrate the analyzer firing", name)
+	}
+
+	for _, f := range findings {
+		text := fmt.Sprintf("[%s] %s", f.Analyzer, f.Message)
+		matched := false
+		for _, w := range wants {
+			if w.matched || w.file != f.Pos.Filename || w.line != f.Pos.Line {
+				continue
+			}
+			if w.pattern.MatchString(text) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+func TestGoldenUncheckedErr(t *testing.T) { runGolden(t, "uncheckederr", Config{}, UncheckedErr) }
+func TestGoldenFloatEq(t *testing.T)      { runGolden(t, "floateq", Config{}, FloatEq) }
+func TestGoldenTruncCast(t *testing.T)    { runGolden(t, "trunccast", Config{}, TruncCast) }
+func TestGoldenLockVal(t *testing.T)      { runGolden(t, "lockval", Config{}, LockVal) }
+func TestGoldenDeferClose(t *testing.T)   { runGolden(t, "deferclose", Config{}, DeferClose) }
+
+// TestGoldenAllAnalyzers runs the full roster over every golden package at
+// once: each corpus is written so that only its own analyzer (plus
+// deliberate cross-hits annotated in the corpus) fires, which catches
+// analyzers bleeding findings into code they should not care about.
+func TestGoldenSuiteHasFiveAnalyzers(t *testing.T) {
+	if len(All) != 5 {
+		t.Fatalf("analyzer roster has %d entries, want 5", len(All))
+	}
+	seen := map[string]bool{}
+	for _, a := range All {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing name, doc, or run", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}

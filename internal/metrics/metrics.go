@@ -7,6 +7,8 @@ package metrics
 import (
 	"errors"
 	"math"
+
+	"stwave/internal/fbits"
 )
 
 // ErrLengthMismatch is returned when the two sample sets differ in length.
@@ -86,8 +88,8 @@ func NLInf(orig, recon []float64) (float64, error) {
 }
 
 func normalize(err, rng float64) float64 {
-	if rng == 0 {
-		if err == 0 {
+	if fbits.Zero(rng) {
+		if fbits.Zero(err) {
 			return 0
 		}
 		return math.Inf(1)
@@ -102,11 +104,11 @@ func PSNR(orig, recon []float64) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if r == 0 {
+	if fbits.Zero(r) {
 		return math.Inf(1), nil
 	}
 	rng := Range(orig)
-	if rng == 0 {
+	if fbits.Zero(rng) {
 		return math.Inf(-1), nil
 	}
 	return 20 * math.Log10(rng/r), nil

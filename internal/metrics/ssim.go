@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"stwave/internal/fbits"
 	"stwave/internal/grid"
 )
 
@@ -28,11 +29,11 @@ func SSIM3D(orig, recon *grid.Field3D, windowSize int) (float64, error) {
 		return 0, fmt.Errorf("metrics: SSIM window %d exceeds grid %v", windowSize, d)
 	}
 	l := Range(orig.Data)
-	if l == 0 {
+	if fbits.Zero(l) {
 		// Constant original: identical reconstruction is perfect, anything
 		// else has no meaningful structure to compare.
 		for i := range orig.Data {
-			if orig.Data[i] != recon.Data[i] {
+			if !fbits.Eq(orig.Data[i], recon.Data[i]) {
 				return 0, nil
 			}
 		}

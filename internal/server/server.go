@@ -158,7 +158,7 @@ func (s *Server) Mount(name, path string) error {
 		return err
 	}
 	if err := s.MountReader(name, r); err != nil {
-		r.Close()
+		r.Close() //stlint:ignore uncheckederr releasing a just-opened reader on an error path already being reported
 		return err
 	}
 	s.mounts[name].path = path

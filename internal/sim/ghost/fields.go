@@ -3,6 +3,7 @@ package ghost
 import (
 	"math"
 
+	"stwave/internal/fbits"
 	"stwave/internal/grid"
 )
 
@@ -115,7 +116,7 @@ func (s *Solver) MaxDivergence() float64 {
 			}
 		}
 	}
-	if maxU == 0 {
+	if fbits.Zero(maxU) {
 		return 0
 	}
 	return maxDiv / maxU

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 
+	"stwave/internal/fbits"
 	"stwave/internal/fft"
 )
 
@@ -163,7 +164,7 @@ func (s *Solver) initCondition() {
 
 // initForcing precomputes the spectral ABC forcing.
 func (s *Solver) initForcing() {
-	if s.cfg.ForcingAmplitude == 0 {
+	if fbits.Zero(s.cfg.ForcingAmplitude) {
 		return
 	}
 	n := s.n
@@ -201,7 +202,7 @@ func (s *Solver) project(v *[3][]complex128) {
 			for x := 0; x < n; x++ {
 				kx := s.k[x]
 				k2 := kx*kx + ky*ky + kz*kz
-				if k2 == 0 {
+				if fbits.Zero(k2) {
 					continue
 				}
 				idx := base + x

@@ -1,6 +1,10 @@
 package ghost
 
-import "math"
+import (
+	"math"
+
+	"stwave/internal/fbits"
+)
 
 // EnergySpectrum returns the shell-averaged kinetic energy spectrum E(k)
 // for integer wavenumber shells k = 0 .. n/2: the energy of all spectral
@@ -47,7 +51,7 @@ func (s *Solver) IntegralScale() float64 {
 		num += spec[k] / float64(k)
 		den += spec[k]
 	}
-	if den == 0 {
+	if fbits.Zero(den) {
 		return 0
 	}
 	return 2 * math.Pi * num / den

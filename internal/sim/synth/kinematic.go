@@ -12,6 +12,7 @@ import (
 	"math"
 	"math/rand"
 
+	"stwave/internal/fbits"
 	"stwave/internal/grid"
 )
 
@@ -90,7 +91,7 @@ func NewField(cfg Config) (*Field, error) {
 		ay -= dot * ky
 		az -= dot * kz
 		norm := math.Sqrt(ax*ax + ay*ay + az*az)
-		if norm == 0 {
+		if fbits.Zero(norm) {
 			ax, ay, az, norm = 1, 0, 0, 1
 		}
 		f.modes[i] = mode{

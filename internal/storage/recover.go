@@ -234,16 +234,19 @@ func footerMatches(f io.ReaderAt, size int64, rep *ScanReport) bool {
 // and entries that form a contiguous sequence of framed records exactly
 // filling the data region.
 func readFooterIndex(f io.ReaderAt, size int64, retry RetryPolicy) (offsets, lengths []int64, crcs []uint32, ok bool) {
+	if size < footerSize {
+		return nil, nil, nil, false
+	}
 	n, present := footerWindows(f, size)
 	if !present || n > uint64(size)/indexEntrySize {
 		return nil, nil, nil, false
 	}
 	num := int(n)
 	indexSize := int64(indexEntrySize*num + footerSize)
-	if indexSize > size {
+	dataEnd := size - indexSize
+	if dataEnd < 0 {
 		return nil, nil, nil, false
 	}
-	dataEnd := size - indexSize
 	idx := make([]byte, indexEntrySize*num)
 	if err := readAtRetry(f, retry, idx, dataEnd); err != nil {
 		return nil, nil, nil, false
@@ -253,9 +256,16 @@ func readFooterIndex(f io.ReaderAt, size int64, retry RetryPolicy) (offsets, len
 	crcs = make([]uint32, num)
 	prevEnd := int64(0)
 	for i := 0; i < num; i++ {
-		off := int64(binary.LittleEndian.Uint64(idx[indexEntrySize*i:]))
-		ln := int64(binary.LittleEndian.Uint64(idx[indexEntrySize*i+8:]))
-		if ln < 0 || off != prevEnd+core.RecordHeaderSize || off+ln > dataEnd {
+		offU := binary.LittleEndian.Uint64(idx[indexEntrySize*i:])
+		lnU := binary.LittleEndian.Uint64(idx[indexEntrySize*i+8:])
+		// Validate in the unsigned domain before narrowing: any entry
+		// past dataEnd — including values that would wrap int64 — marks
+		// the index corrupt.
+		if offU > uint64(dataEnd) || lnU > uint64(dataEnd)-offU {
+			return nil, nil, nil, false
+		}
+		off, ln := int64(offU), int64(lnU)
+		if off != prevEnd+core.RecordHeaderSize {
 			return nil, nil, nil, false
 		}
 		offsets[i] = off
