@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench reproduce examples check fmt-check lint clean
+.PHONY: all build vet test race bench bench-go bench-smoke reproduce examples check fmt-check lint clean
 
 all: build vet test check
 
@@ -12,15 +12,16 @@ all: build vet test check
 # the burst buffer, and the entropy/sparse codecs), and short fuzz smokes
 # of the container index parser, the 1D wavelet round-trip, and the
 # record-frame codec.
-check: vet fmt-check lint
+check: vet fmt-check lint bench-smoke
 	$(GO) test -race ./internal/server ./internal/storage ./internal/compress ./internal/faultio
 	$(GO) test -run=NONE -fuzz=FuzzOpenContainer -fuzztime=10s ./internal/storage
 	$(GO) test -run=NONE -fuzz=FuzzWaveletRoundtrip -fuzztime=5s ./internal/wavelet
 	$(GO) test -run=NONE -fuzz=FuzzRecordFrame -fuzztime=5s ./internal/core
 
-# Domain-aware static analysis: five analyzers proving the pipeline's
-# numeric and I/O invariants (see internal/lint). Zero findings is the
-# merge bar; suppress deliberate cases with //stlint:ignore + reason.
+# Domain-aware static analysis: six analyzers proving the pipeline's
+# numeric and I/O invariants plus godoc coverage of the operator-facing
+# API surface (see internal/lint). Zero findings is the merge bar;
+# suppress deliberate cases with //stlint:ignore + reason.
 lint:
 	$(GO) run ./cmd/stlint ./...
 
@@ -42,8 +43,24 @@ test:
 race:
 	$(GO) test -race ./...
 
-# One benchmark iteration per paper table/figure plus ablations.
+# Machine-readable pipeline benchmark suite. Writes BENCH_pipeline.json
+# in the stable stwave-bench/v1 schema ({name, iters, ns_per_op,
+# mb_per_s, allocs_per_op} per benchmark — see internal/perf).
 bench:
+	$(GO) run ./cmd/stbench perf -out BENCH_pipeline.json
+	$(GO) run ./cmd/stbench perf -validate BENCH_pipeline.json
+
+# Smoke of the perf harness: one iteration per benchmark, schema-validate
+# the output, leave no file behind. Part of make check.
+bench-smoke:
+	@tmp=$$(mktemp); \
+	$(GO) run ./cmd/stbench perf -quick -q -out $$tmp && \
+	$(GO) run ./cmd/stbench perf -validate $$tmp; \
+	rc=$$?; rm -f $$tmp; exit $$rc
+
+# One benchmark iteration per paper table/figure plus ablations
+# (the testing-package benchmarks; human-readable output).
+bench-go:
 	$(GO) test -bench=. -benchmem -benchtime=1x ./...
 
 # Regenerate every figure and table of the paper (plus extensions).

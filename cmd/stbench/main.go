@@ -4,23 +4,110 @@
 // Usage:
 //
 //	stbench [flags] {fig2|fig2c|fig3|table1|table2|table3|all}
+//	stbench perf [-quick] [-out FILE] [-trace FILE]
+//	stbench perf -validate FILE
 //
 // Flags scale the workloads; the defaults run the full suite in a few
 // minutes on a laptop. Absolute error values differ from the paper's (the
 // substrates are simulators at reduced grids); the comparative structure is
 // the reproduction target.
+//
+// The perf subcommand runs the machine-readable pipeline benchmark suite
+// (internal/perf) and writes BENCH_pipeline.json; -validate checks an
+// existing result file against the schema and exits.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"stwave/internal/experiments"
+	"stwave/internal/obs"
+	"stwave/internal/perf"
 )
 
+// runPerf is the "stbench perf" subcommand: measure the pipeline suite,
+// write the schema-tagged result file, optionally dump a span-tree trace
+// of one iteration per benchmark.
+func runPerf(args []string) {
+	fs := flag.NewFlagSet("stbench perf", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "one iteration per benchmark (smoke mode)")
+	minTime := fs.Duration("mintime", 200*time.Millisecond, "measurement window per benchmark")
+	out := fs.String("out", "BENCH_pipeline.json", "result file to write")
+	tracePath := fs.String("trace", "", "also write a span-tree trace of the suite to this file")
+	validate := fs.String("validate", "", "validate an existing result file and exit")
+	obsOn := fs.Bool("obs", true, "record pipeline metrics while benchmarking (-obs=false measures the disabled-instrumentation overhead)")
+	quiet := fs.Bool("q", false, "suppress progress output")
+	fs.Parse(args) //stlint:ignore uncheckederr ExitOnError flag sets exit on their own
+	obs.SetEnabled(*obsOn)
+
+	if *validate != "" {
+		data, err := os.ReadFile(*validate)
+		if err == nil {
+			err = perf.Validate(data)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid (%s)\n", *validate, perf.SchemaVersion)
+		return
+	}
+
+	ctx := context.Background()
+	var root *obs.Span
+	if *tracePath != "" {
+		ctx, root = obs.StartRoot(ctx, "perf.pipeline")
+	}
+	progress := os.Stderr
+	if *quiet {
+		progress = nil
+	}
+	results, err := perf.RunPipeline(ctx, perf.Config{Quick: *quick, MinTime: *minTime}, progress)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stbench: %v\n", err)
+		os.Exit(1)
+	}
+	f, err := os.Create(*out)
+	if err == nil {
+		if err = perf.Write(f, results); err == nil {
+			err = f.Close()
+		} else {
+			f.Close() //stlint:ignore uncheckederr the Write error is what matters
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stbench: writing %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(results))
+
+	if root != nil {
+		root.End()
+		data, err := json.MarshalIndent(root.Tree(), "", "  ")
+		if err == nil {
+			err = os.WriteFile(*tracePath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stbench: writing trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *tracePath)
+	}
+}
+
 func main() {
+	// The perf subcommand has its own flag set; dispatch before the
+	// experiment flags parse (flag stops at the first non-flag argument).
+	if len(os.Args) > 1 && os.Args[1] == "perf" {
+		runPerf(os.Args[2:])
+		return
+	}
 	sc := experiments.DefaultScale()
 	flag.IntVar(&sc.GhostN, "ghost-n", sc.GhostN, "Ghost solver resolution (power of two)")
 	flag.IntVar(&sc.GhostSlices, "ghost-slices", sc.GhostSlices, "Ghost slices at base cadence")

@@ -13,9 +13,15 @@
 // Inspect a container:
 //
 //	stcomp info -in data.stw
+//
+// Compress with -trace FILE to also write a JSON span tree of the run —
+// per-window compress/threshold/encode timings down to the transform
+// stages — for offline inspection (see OPERATIONS.md).
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +30,7 @@ import (
 
 	"stwave/internal/core"
 	"stwave/internal/grid"
+	"stwave/internal/obs"
 	"stwave/internal/storage"
 	"stwave/internal/wavelet"
 )
@@ -55,7 +62,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   stcomp compress -dims NXxNYxNZ [-ratio N] [-window T] [-mode 3d|4d]
          [-skernel K] [-tkernel K] [-fsync never|window|close] [-atomic]
-         -out FILE slice0.raw [slice1.raw ...]
+         [-trace FILE] -out FILE slice0.raw [slice1.raw ...]
   stcomp decompress -in FILE -prefix PREFIX
   stcomp info -in FILE`)
 }
@@ -88,6 +95,7 @@ func runCompress(args []string) error {
 	deflate := fs.Bool("deflate", false, "apply the DEFLATE entropy stage to stored windows (smaller files, more CPU)")
 	fsyncPolicy := fs.String("fsync", "never", "fsync policy: never, window (after every appended window), or close")
 	atomic := fs.Bool("atomic", false, "stage output at OUT.tmp and rename on Close, so OUT only ever holds a complete container")
+	tracePath := fs.String("trace", "", "write a JSON span tree of the compression run to this file")
 	out := fs.String("out", "", "output container path (required)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -140,17 +148,27 @@ func runCompress(args []string) error {
 	cw.Deflate = *deflate
 	cw.Sync = syncPol
 
+	ctx := context.Background()
+	var root *obs.Span
+	if *tracePath != "" {
+		ctx, root = obs.StartRoot(ctx, "stcomp.compress")
+	}
+
 	if *targetNRMSE > 0 {
-		return compressToTarget(cw, opts, dims, fs.Args(), *targetNRMSE)
+		if err := compressToTarget(cw, opts, dims, fs.Args(), *targetNRMSE); err != nil {
+			return err
+		}
+		return dumpTrace(root, *tracePath)
 	}
 
 	writer, err := core.NewWriter(opts, dims, func(w *core.CompressedWindow) error {
-		_, err := cw.Append(w)
+		_, err := cw.AppendCtx(ctx, w)
 		return err
 	})
 	if err != nil {
 		return err
 	}
+	writer.SetContext(ctx)
 	for i, path := range fs.Args() {
 		f, err := grid.LoadRawFile(path, dims.Nx, dims.Ny, dims.Nz)
 		if err != nil {
@@ -171,6 +189,24 @@ func runCompress(args []string) error {
 	fmt.Printf("compressed %d slices (%s raw) into %d windows, %s encoded (%.1f:1 effective)\n",
 		st.SlicesIn, fmtBytes(rawBytes), st.WindowsOut, fmtBytes(st.BytesEncoded),
 		float64(rawBytes)/float64(st.BytesEncoded))
+	return dumpTrace(root, *tracePath)
+}
+
+// dumpTrace ends root and writes its span tree as indented JSON. A nil
+// root (tracing off) is a no-op.
+func dumpTrace(root *obs.Span, path string) error {
+	if root == nil {
+		return nil
+	}
+	root.End()
+	data, err := json.MarshalIndent(root.Tree(), "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote trace to %s\n", path)
 	return nil
 }
 

@@ -1,6 +1,7 @@
 // Command stlint runs the repository's domain-aware static-analysis
-// suite: five analyzers that prove the compression pipeline's numeric and
-// I/O invariants at compile time (see internal/lint).
+// suite: six analyzers that prove the compression pipeline's numeric and
+// I/O invariants — and its documentation bar — at compile time (see
+// internal/lint).
 //
 // Usage:
 //

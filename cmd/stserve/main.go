@@ -13,6 +13,15 @@
 //	curl 'http://localhost:8080/v1/tornado/slice?t=12' -o slice.f32
 //	curl 'http://localhost:8080/v1/tornado/render?t=12&kind=mip&format=ppm' -o mip.ppm
 //	curl 'http://localhost:8080/metrics'
+//
+// Observability (see OPERATIONS.md): /debug/vars always serves the merged
+// server + pipeline metric registries; -trace-requests records a span
+// tree per request, readable at /debug/traces; -pprof exposes the
+// standard profiling endpoints under /debug/pprof/:
+//
+//	curl 'http://localhost:8080/debug/vars'
+//	curl 'http://localhost:8080/debug/traces'
+//	go tool pprof 'http://localhost:8080/debug/pprof/profile?seconds=10'
 package main
 
 import (
@@ -38,6 +47,8 @@ func main() {
 	maxDecompress := flag.Int("max-decompress", 0, "max concurrent window decompressions (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout (0 disables)")
 	degraded := flag.Bool("degraded", false, "serve containers with corrupt windows: checksum-verify at mount, answer 410 for lost windows, report damage via /healthz and /metrics")
+	traceReq := flag.Bool("trace-requests", false, "record a span tree per request, served at /debug/traces (a small ring of recent requests)")
+	pprof := flag.Bool("pprof", false, "expose the net/http/pprof profiling endpoints under /debug/pprof/")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "stserve: at least one container is required (NAME=PATH or PATH)")
@@ -50,6 +61,8 @@ func main() {
 		MaxDecompress:  *maxDecompress,
 		RequestTimeout: *timeout,
 		Degraded:       *degraded,
+		TraceRequests:  *traceReq,
+		Pprof:          *pprof,
 	})
 	defer srv.Close()
 	for _, arg := range flag.Args() {

@@ -1,12 +1,27 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"stwave/internal/compress"
 	"stwave/internal/grid"
+	"stwave/internal/obs"
 	"stwave/internal/transform"
 )
+
+// observeThroughput records one stage's throughput in MB/s (raw float64
+// bytes moved divided by wall time) into the process-wide registry. Calls
+// with a non-positive elapsed time are dropped rather than recorded as
+// infinities.
+func observeThroughput(name string, rawBytes int64, elapsed time.Duration) {
+	if elapsed <= 0 {
+		return
+	}
+	mb := float64(rawBytes) / (1 << 20)
+	obs.Default().Histogram(name).Observe(mb / elapsed.Seconds())
+}
 
 // Compressor applies windowed wavelet compression with a fixed
 // configuration. It is safe for concurrent use by multiple goroutines: all
@@ -94,20 +109,38 @@ func (cw *CompressedWindow) RetainedCoefficients() int {
 // length >= 1 is accepted: temporal levels adapt to the actual length
 // (shorter final windows at end of simulation).
 func (c *Compressor) CompressWindow(w *grid.Window) (*CompressedWindow, error) {
+	return c.CompressWindowCtx(context.Background(), w)
+}
+
+// CompressWindowCtx is CompressWindow with context propagation: when ctx
+// carries a trace, the transform, threshold, and encode stages each record
+// a span, and stage throughputs land in the process-wide metrics registry
+// either way.
+func (c *Compressor) CompressWindowCtx(ctx context.Context, w *grid.Window) (*CompressedWindow, error) {
 	if w.Len() == 0 {
 		return nil, fmt.Errorf("core: cannot compress an empty window")
 	}
+	ctx, sp := obs.Start(ctx, "core.compress_window")
+	defer sp.End()
 	work := w.Clone()
 	spec := c.opts.spec(work.Dims, work.Len())
+	rawBytes := int64(work.TotalSamples()) * 8
 
-	if err := transform.Forward4D(work, spec); err != nil {
+	if err := transform.Forward4DCtx(ctx, work, spec); err != nil {
 		return nil, fmt.Errorf("core: forward transform: %w", err)
 	}
 
+	_, spTh := obs.Start(ctx, "core.threshold")
+	start := time.Now()
 	if err := c.threshold(work); err != nil {
+		spTh.End()
 		return nil, err
 	}
+	observeThroughput("compress.threshold_mb_per_s", rawBytes, time.Since(start))
+	spTh.End()
 
+	_, spEnc := obs.Start(ctx, "core.encode")
+	start = time.Now()
 	cw := &CompressedWindow{
 		Dims:           work.Dims,
 		Times:          append([]float64(nil), work.Times...),
@@ -119,6 +152,9 @@ func (c *Compressor) CompressWindow(w *grid.Window) (*CompressedWindow, error) {
 	for i, s := range work.Slices {
 		cw.Blocks[i] = compress.NewSparseBlock(s.Data)
 	}
+	observeThroughput("compress.encode_mb_per_s", rawBytes, time.Since(start))
+	spEnc.End()
+	obs.Default().Counter("core.compress_windows_total").Add(1)
 	return cw, nil
 }
 
@@ -154,12 +190,24 @@ func (c *Compressor) threshold(w *grid.Window) error {
 // Decompress reconstructs the window from its compressed form. The result is
 // a fully-allocated window independent of cw.
 func Decompress(cw *CompressedWindow) (*grid.Window, error) {
+	return DecompressCtx(context.Background(), cw)
+}
+
+// DecompressCtx is Decompress with context propagation: the sparse-decode
+// and inverse-transform stages record spans under any trace carried by
+// ctx, and decode throughput lands in the process-wide metrics registry.
+func DecompressCtx(ctx context.Context, cw *CompressedWindow) (*grid.Window, error) {
 	if cw.NumSlices() == 0 {
 		return nil, fmt.Errorf("core: empty compressed window")
 	}
 	if !cw.Dims.Valid() {
 		return nil, fmt.Errorf("core: invalid dims %v", cw.Dims)
 	}
+	ctx, sp := obs.Start(ctx, "core.decompress")
+	defer sp.End()
+	_, spDec := obs.Start(ctx, "core.decode_blocks")
+	defer spDec.End()
+	start := time.Now()
 	w := grid.NewWindow(cw.Dims)
 	for i, b := range cw.Blocks {
 		if b.Total != cw.Dims.Len() {
@@ -177,6 +225,8 @@ func Decompress(cw *CompressedWindow) (*grid.Window, error) {
 			return nil, err
 		}
 	}
+	spDec.End()
+	observeThroughput("compress.decode_mb_per_s", int64(w.TotalSamples())*8, time.Since(start))
 	spec := transform.Spec{
 		SpatialKernel:  cw.Opts.SpatialKernel,
 		SpatialLevels:  cw.SpatialLevels,
@@ -184,9 +234,10 @@ func Decompress(cw *CompressedWindow) (*grid.Window, error) {
 		TemporalLevels: cw.TemporalLevels,
 		Workers:        cw.Opts.Workers,
 	}
-	if err := transform.Inverse4D(w, spec); err != nil {
+	if err := transform.Inverse4DCtx(ctx, w, spec); err != nil {
 		return nil, fmt.Errorf("core: inverse transform: %w", err)
 	}
+	obs.Default().Counter("core.decompress_windows_total").Add(1)
 	return w, nil
 }
 

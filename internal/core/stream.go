@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"stwave/internal/grid"
@@ -21,6 +22,7 @@ type Writer struct {
 	sink    Sink
 	dims    grid.Dims
 	pending *grid.Window
+	ctx     context.Context
 
 	// Stats accumulated across the stream.
 	slicesIn       int
@@ -42,7 +44,18 @@ func NewWriter(opts Options, dims grid.Dims, sink Sink) (*Writer, error) {
 	if sink == nil {
 		return nil, fmt.Errorf("core: nil sink")
 	}
-	return &Writer{comp: comp, sink: sink, dims: dims}, nil
+	return &Writer{comp: comp, sink: sink, dims: dims, ctx: context.Background()}, nil
+}
+
+// SetContext installs the context used when compressing flushed windows.
+// Pass a context carrying an obs trace root to record per-window spans
+// across the whole stream (the stcomp -trace path). Call before the first
+// WriteSlice; a nil ctx resets to context.Background().
+func (w *Writer) SetContext(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	w.ctx = ctx
 }
 
 // WriteSlice appends one time slice at simulation time t. The slice is
@@ -93,7 +106,7 @@ func (w *Writer) Flush() error {
 }
 
 func (w *Writer) flushWindow(win *grid.Window) error {
-	cw, err := w.comp.CompressWindow(win)
+	cw, err := w.comp.CompressWindowCtx(w.ctx, win)
 	if err != nil {
 		return err
 	}

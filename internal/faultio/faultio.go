@@ -12,7 +12,16 @@ import (
 	"fmt"
 	"io"
 	"sync"
+
+	"stwave/internal/obs"
 )
+
+// countFault bumps the process-wide injected-fault counter, labelled by
+// fault kind. The harness asserts on these to prove an injection actually
+// fired, and they separate injected failures from real ones in dumps.
+func countFault(kind string) {
+	obs.Default().Counter("faultio.injected_faults_total." + kind).Add(1)
+}
 
 // Backend is the file surface faultio wraps. *os.File satisfies it.
 type Backend interface {
@@ -100,17 +109,23 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	if f.transientReads > 0 {
 		f.transientReads--
 		f.mu.Unlock()
+		countFault("transient_read")
 		return 0, &transientError{op: "read"}
 	}
 	f.mu.Unlock()
 	n, err := f.inner.ReadAt(p, off)
 	f.mu.Lock()
+	flipped := false
 	for flip := range f.flipAt {
 		if flip >= off && flip < off+int64(n) {
 			p[flip-off] ^= 0x01
+			flipped = true
 		}
 	}
 	f.mu.Unlock()
+	if flipped {
+		countFault("bit_flip")
+	}
 	return n, err
 }
 
@@ -123,12 +138,14 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 	if f.transientWrites > 0 {
 		f.transientWrites--
 		f.mu.Unlock()
+		countFault("transient_write")
 		return 0, &transientError{op: "write"}
 	}
 	if f.tornArmed && off < f.tornAt && off+int64(len(p)) > f.tornAt {
 		keep := int(f.tornAt - off)
 		f.tornArmed = false
 		f.mu.Unlock()
+		countFault("torn_write")
 		n, err := f.inner.WriteAt(p[:keep], off)
 		if err != nil {
 			return n, err
@@ -139,6 +156,7 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 		keep := min(f.shortNext, len(p))
 		f.shortArmed = false
 		f.mu.Unlock()
+		countFault("short_write")
 		n, err := f.inner.WriteAt(p[:keep], off)
 		if err != nil {
 			return n, err
@@ -159,6 +177,7 @@ func (f *File) Sync() error {
 	if f.transientSyncs > 0 {
 		f.transientSyncs--
 		f.mu.Unlock()
+		countFault("transient_sync")
 		return &transientError{op: "sync"}
 	}
 	f.mu.Unlock()

@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// ExportedDoc flags exported package-level identifiers — functions,
+// methods on exported types, types, consts, and vars — that carry no doc
+// comment, plus packages with no package comment at all. The
+// observability and serving layers are operator-facing API surface: an
+// undocumented exported name there is a gap in the operations story, not
+// a style nit.
+//
+// Grouped const/var blocks are treated leniently: a doc comment on the
+// block (or on the individual spec) covers every name inside it,
+// matching how the standard library documents enum-like groups. Types
+// always need their own comment, even inside a grouped declaration.
+//
+// Unlike trunccast's TruncScope, an empty Config.DocScope disables the
+// analyzer entirely rather than widening it to every package: the doc
+// bar is opt-in per package tree, and the golden corpora of the other
+// analyzers must not be forced to document their deliberately buggy
+// exports.
+var ExportedDoc = &Analyzer{
+	Name: "exporteddoc",
+	Doc:  "exported identifiers and packages in the documented API surface need doc comments",
+	Run:  runExportedDoc,
+}
+
+func runExportedDoc(pass *Pass) {
+	if !docInScope(pass.Config.DocScope, pass.Pkg.Path()) {
+		return
+	}
+	checkPackageDoc(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				checkFuncDoc(pass, d)
+			case *ast.GenDecl:
+				checkGenDoc(pass, d)
+			}
+		}
+	}
+}
+
+// docInScope reports whether pkgPath is covered by the DocScope list.
+// Empty scope means no package is checked (see the ExportedDoc doc).
+func docInScope(scope []string, pkgPath string) bool {
+	for _, s := range scope {
+		if strings.Contains(pkgPath, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkPackageDoc reports when no file of the package carries a package
+// comment. The finding lands on the package clause of the first file in
+// filename order so the position is deterministic.
+func checkPackageDoc(pass *Pass) {
+	files := make([]*ast.File, len(pass.Files))
+	copy(files, pass.Files)
+	sort.Slice(files, func(i, j int) bool {
+		return pass.Fset.Position(files[i].Package).Filename < pass.Fset.Position(files[j].Package).Filename
+	})
+	for _, f := range files {
+		if f.Doc.Text() != "" {
+			return
+		}
+	}
+	if len(files) > 0 {
+		pass.Reportf(files[0].Name.Pos(), "package %s has no package doc comment", pass.Pkg.Name())
+	}
+}
+
+// checkFuncDoc reports exported functions and exported methods on
+// exported types that lack a doc comment. Methods on unexported types
+// are skipped: they are unreachable outside the package, so godoc never
+// shows them.
+func checkFuncDoc(pass *Pass, d *ast.FuncDecl) {
+	if !d.Name.IsExported() || d.Doc.Text() != "" {
+		return
+	}
+	if d.Recv != nil {
+		recv := receiverTypeName(d.Recv)
+		if recv == "" || !ast.IsExported(recv) {
+			return
+		}
+		pass.Reportf(d.Name.Pos(), "exported method (%s).%s has no doc comment", recv, d.Name.Name)
+		return
+	}
+	pass.Reportf(d.Name.Pos(), "exported function %s has no doc comment", d.Name.Name)
+}
+
+// checkGenDoc reports undocumented exported names in a type, const, or
+// var declaration. A doc comment on a const/var block covers the whole
+// block; a type spec needs its own comment unless it is the sole spec of
+// a documented declaration.
+func checkGenDoc(pass *Pass, d *ast.GenDecl) {
+	declDoc := d.Doc.Text() != ""
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			if s.Doc.Text() != "" || (len(d.Specs) == 1 && declDoc) {
+				continue
+			}
+			pass.Reportf(s.Name.Pos(), "exported type %s has no doc comment", s.Name.Name)
+		case *ast.ValueSpec:
+			if declDoc || s.Doc.Text() != "" {
+				continue
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					pass.Reportf(name.Pos(), "exported %s %s has no doc comment", genDeclKind(d), name.Name)
+				}
+			}
+		}
+	}
+}
+
+// genDeclKind names a GenDecl's keyword for findings ("const", "var").
+func genDeclKind(d *ast.GenDecl) string {
+	return d.Tok.String()
+}
+
+// receiverTypeName unwraps a method receiver to its base type name,
+// looking through pointers and type-parameter instantiations.
+func receiverTypeName(recv *ast.FieldList) string {
+	if len(recv.List) != 1 {
+		return ""
+	}
+	expr := recv.List[0].Type
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.IndexListExpr:
+			expr = e.X
+		case *ast.Ident:
+			return e.Name
+		default:
+			return ""
+		}
+	}
+}

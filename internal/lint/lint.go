@@ -16,6 +16,9 @@
 //     copylocks pass does not model
 //   - deferclose: opened files and containers whose Close is neither
 //     deferred nor otherwise reachable
+//   - exporteddoc: exported identifiers (and packages) in the documented
+//     API surface — the observability, serving, and storage layers —
+//     lacking doc comments
 //
 // The driver is built entirely on the standard library's go/parser and
 // go/types (no golang.org/x/tools), matching the module's empty
@@ -54,6 +57,7 @@ var All = []*Analyzer{
 	TruncCast,
 	LockVal,
 	DeferClose,
+	ExportedDoc,
 }
 
 // Config tunes the suite to the repository being analyzed.
@@ -63,6 +67,12 @@ type Config struct {
 	// where a silent narrowing corrupts on-disk frames. Empty means all
 	// packages.
 	TruncScope []string
+	// DocScope limits the exporteddoc analyzer to packages whose import
+	// path contains one of these substrings — the operator-facing API
+	// surface where undocumented exports are documentation bugs. Unlike
+	// TruncScope, an empty DocScope checks nothing: the doc bar is
+	// opt-in per package tree.
+	DocScope []string
 }
 
 // DefaultConfig scopes the suite to this repository's pipeline layout.
@@ -75,6 +85,11 @@ func DefaultConfig() Config {
 			"internal/compress",
 			"internal/faultio",
 			"cmd/stcomp",
+		},
+		DocScope: []string{
+			"internal/obs",
+			"internal/server",
+			"internal/storage",
 		},
 	}
 }

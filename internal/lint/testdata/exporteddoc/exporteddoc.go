@@ -1,0 +1,55 @@
+// This golden corpus for the exporteddoc analyzer deliberately has no
+// package comment: the blank line below detaches this comment group from
+// the package clause, so the package-level finding fires.
+
+package exporteddoc // want `\[exporteddoc\] package exporteddoc has no package doc comment`
+
+// Documented carries a doc comment: no finding.
+func Documented() {}
+
+func Undocumented() {} // want `\[exporteddoc\] exported function Undocumented has no doc comment`
+
+func unexported() {} // unexported: no finding
+
+// Widget is a documented exported type.
+type Widget struct{}
+
+// Spin is documented: no finding.
+func (w *Widget) Spin() {}
+
+func (w *Widget) Stop() {} // want `\[exporteddoc\] exported method \(Widget\)\.Stop has no doc comment`
+
+type gadget struct{}
+
+// Run is exported but its receiver type is not: godoc never shows it.
+func (g gadget) Run() {}
+
+type Naked struct{} // want `\[exporteddoc\] exported type Naked has no doc comment`
+
+// Grouped types need per-spec comments; this block comment is not enough.
+type (
+	// Inner is documented: no finding.
+	Inner struct{}
+	Outer struct{} // want `\[exporteddoc\] exported type Outer has no doc comment`
+)
+
+// A block doc comment covers every const in the group.
+const (
+	CoveredA = 1
+	CoveredB = 2
+)
+
+const LoneConst = 3 // want `\[exporteddoc\] exported const LoneConst has no doc comment`
+
+var Bare int // want `\[exporteddoc\] exported var Bare has no doc comment`
+
+// DocumentedVar is documented: no finding.
+var DocumentedVar int
+
+var (
+	// SpecDoc has a per-spec doc comment: no finding.
+	SpecDoc  int
+	BareSpec int // want `\[exporteddoc\] exported var BareSpec has no doc comment`
+)
+
+func use() { unexported(); gadget{}.Run(); use() }

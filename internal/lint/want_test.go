@@ -107,13 +107,20 @@ func TestGoldenTruncCast(t *testing.T)    { runGolden(t, "trunccast", Config{}, 
 func TestGoldenLockVal(t *testing.T)      { runGolden(t, "lockval", Config{}, LockVal) }
 func TestGoldenDeferClose(t *testing.T)   { runGolden(t, "deferclose", Config{}, DeferClose) }
 
+// TestGoldenExportedDoc opts the corpus into DocScope explicitly: an
+// empty scope disables the analyzer, which is also what keeps it away
+// from the other corpora's deliberately undocumented exports.
+func TestGoldenExportedDoc(t *testing.T) {
+	runGolden(t, "exporteddoc", Config{DocScope: []string{"exporteddoc"}}, ExportedDoc)
+}
+
 // TestGoldenAllAnalyzers runs the full roster over every golden package at
 // once: each corpus is written so that only its own analyzer (plus
 // deliberate cross-hits annotated in the corpus) fires, which catches
 // analyzers bleeding findings into code they should not care about.
-func TestGoldenSuiteHasFiveAnalyzers(t *testing.T) {
-	if len(All) != 5 {
-		t.Fatalf("analyzer roster has %d entries, want 5", len(All))
+func TestGoldenSuiteHasSixAnalyzers(t *testing.T) {
+	if len(All) != 6 {
+		t.Fatalf("analyzer roster has %d entries, want 6", len(All))
 	}
 	seen := map[string]bool{}
 	for _, a := range All {

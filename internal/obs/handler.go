@@ -1,0 +1,27 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler returns an http.Handler serving the merged snapshot of the
+// given registries as an indented JSON document — the /debug/vars-style
+// endpoint mounted by stserve. Registries are merged left to right, so
+// later registries win name collisions.
+func Handler(regs ...*Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var s Snapshot
+		for i, reg := range regs {
+			if i == 0 {
+				s = reg.Snapshot()
+			} else {
+				s = s.Merge(reg.Snapshot())
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s) //stlint:ignore uncheckederr best-effort HTTP response write; the client sees the truncation
+	})
+}

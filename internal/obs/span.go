@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// A Span is one timed operation in a trace tree: a name, a start time, a
+// duration (set by End), optional string attributes, and child spans.
+// Spans are created with StartRoot (explicitly, at a request or run
+// boundary) and Start (implicitly, anywhere a context is flowing); a nil
+// *Span ignores every method, so instrumentation sites never check for
+// tracing being off.
+//
+// A span's fields are written by the goroutine that created it, but
+// children may be attached concurrently (the transform fans work out to
+// worker goroutines), so child attachment and snapshotting are mutex'd.
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	dur      time.Duration
+	ended    bool
+	attrs    map[string]string
+	children []*Span
+}
+
+// spanKey carries the current span through a context.
+type spanKey struct{}
+
+// StartRoot begins a new trace: a root span stored in the returned
+// context, under which every subsequent Start call in the request or run
+// records. Call End on the root and dump it with Tree when the traced
+// unit finishes. Roots are only created at explicit opt-in points (a
+// -trace flag, a trace-enabled server); when recording is disabled
+// process-wide, StartRoot returns a nil span and tracing stays off.
+func StartRoot(ctx context.Context, name string) (context.Context, *Span) {
+	if !enabled.Load() {
+		return ctx, nil
+	}
+	s := &Span{name: name, start: time.Now()}
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// Start begins a child span under the span carried by ctx, returning a
+// context carrying the child. When ctx carries no span (no root was
+// started — the untraced common case), Start returns ctx and a nil span
+// after a single context lookup.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	parent, _ := ctx.Value(spanKey{}).(*Span)
+	if parent == nil || !enabled.Load() {
+		return ctx, nil
+	}
+	s := &Span{name: name, start: time.Now()}
+	parent.mu.Lock()
+	parent.children = append(parent.children, s)
+	parent.mu.Unlock()
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// FromContext returns the span carried by ctx, or nil.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// End records the span's duration. Calling End more than once keeps the
+// first duration.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.dur = time.Since(s.start)
+	}
+	s.mu.Unlock()
+}
+
+// SetAttr attaches a string attribute to the span (cache state, window
+// index, kernel name, ...).
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]string)
+	}
+	s.attrs[key] = value
+	s.mu.Unlock()
+}
+
+// SpanTree is the JSON snapshot of a span and its children. Times are
+// reported as an offset from the tree's root start plus a duration, both
+// in milliseconds, which keeps dumps compact and diffable.
+type SpanTree struct {
+	// Name is the span's operation name.
+	Name string `json:"name"`
+	// StartMs is the span's start offset from the root span's start.
+	StartMs float64 `json:"start_ms"`
+	// DurationMs is the span's duration (time until snapshot for spans
+	// still running).
+	DurationMs float64 `json:"duration_ms"`
+	// Attrs holds the span's attributes, if any.
+	Attrs map[string]string `json:"attrs,omitempty"`
+	// Children holds the sub-spans in attachment order.
+	Children []SpanTree `json:"children,omitempty"`
+}
+
+// Tree snapshots the span and its descendants. Safe to call while
+// descendants are still recording; unfinished spans report the duration
+// observed so far.
+func (s *Span) Tree() SpanTree {
+	if s == nil {
+		return SpanTree{}
+	}
+	return s.tree(s.start)
+}
+
+func (s *Span) tree(root time.Time) SpanTree {
+	s.mu.Lock()
+	dur := s.dur
+	if !s.ended {
+		dur = time.Since(s.start)
+	}
+	t := SpanTree{
+		Name:       s.name,
+		StartMs:    float64(s.start.Sub(root)) / float64(time.Millisecond),
+		DurationMs: float64(dur) / float64(time.Millisecond),
+	}
+	if len(s.attrs) > 0 {
+		t.Attrs = make(map[string]string, len(s.attrs))
+		for k, v := range s.attrs {
+			t.Attrs[k] = v
+		}
+	}
+	children := make([]*Span, len(s.children))
+	copy(children, s.children)
+	s.mu.Unlock()
+	for _, c := range children {
+		t.Children = append(t.Children, c.tree(root))
+	}
+	return t
+}
+
+// Walk visits the tree depth-first, calling fn with each node and its
+// depth (0 for the root). Used by tests and by textual trace dumps.
+func (t SpanTree) Walk(fn func(node SpanTree, depth int)) {
+	t.walk(fn, 0)
+}
+
+func (t SpanTree) walk(fn func(SpanTree, int), depth int) {
+	fn(t, depth)
+	for _, c := range t.Children {
+		c.walk(fn, depth+1)
+	}
+}

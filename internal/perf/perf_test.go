@@ -1,0 +1,123 @@
+package perf
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"stwave/internal/obs"
+)
+
+func TestMeasureQuickRunsOnce(t *testing.T) {
+	calls := 0
+	r, err := Measure(Config{Quick: true}, "demo", 1<<20, func() error {
+		calls++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 || r.Iters != 1 {
+		t.Errorf("calls = %d, iters = %d, want 1 and 1", calls, r.Iters)
+	}
+	if r.Name != "demo" || r.NsPerOp <= 0 || r.MBPerS <= 0 {
+		t.Errorf("result = %+v", r)
+	}
+}
+
+func TestMeasurePropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	if _, err := Measure(Config{Quick: true}, "bad", 0, func() error { return boom }); !errors.Is(err, boom) {
+		t.Errorf("err = %v, want wrapped boom", err)
+	}
+}
+
+func TestWriteAndValidateRoundTrip(t *testing.T) {
+	results := []Result{
+		{Name: "a", Iters: 3, NsPerOp: 100, MBPerS: 5, AllocsPerOp: 2},
+		{Name: "b", Iters: 1, NsPerOp: 1e6, MBPerS: 0, AllocsPerOp: 0},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(buf.Bytes()); err != nil {
+		t.Errorf("valid file rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsBadFiles(t *testing.T) {
+	cases := map[string]string{
+		"not json":        `{`,
+		"wrong schema":    `{"schema":"other/v9","benchmarks":[{"name":"a","iters":1,"ns_per_op":1}]}`,
+		"empty suite":     `{"schema":"stwave-bench/v1","benchmarks":[]}`,
+		"missing name":    `{"schema":"stwave-bench/v1","benchmarks":[{"iters":1,"ns_per_op":1}]}`,
+		"zero iters":      `{"schema":"stwave-bench/v1","benchmarks":[{"name":"a","ns_per_op":1}]}`,
+		"zero ns_per_op":  `{"schema":"stwave-bench/v1","benchmarks":[{"name":"a","iters":1}]}`,
+		"duplicate names": `{"schema":"stwave-bench/v1","benchmarks":[{"name":"a","iters":1,"ns_per_op":1},{"name":"a","iters":1,"ns_per_op":1}]}`,
+	}
+	for what, data := range cases {
+		if err := Validate([]byte(data)); err == nil {
+			t.Errorf("%s: accepted", what)
+		}
+	}
+}
+
+// TestPipelineQuick smoke-runs the whole suite at one iteration per
+// benchmark and checks the emitted file validates and covers the
+// pipeline layers the acceptance criteria name.
+func TestPipelineQuick(t *testing.T) {
+	results, err := RunPipeline(context.Background(), Config{Quick: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) < 6 {
+		t.Fatalf("suite has %d benchmarks, want >= 6", len(results))
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(buf.Bytes()); err != nil {
+		t.Errorf("suite output does not validate: %v", err)
+	}
+	var f File
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatal(err)
+	}
+	for _, layer := range []string{"xform.", "compress.", "core.", "storage.", "server."} {
+		found := false
+		for _, b := range f.Benchmarks {
+			if strings.HasPrefix(b.Name, layer) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no benchmark for layer %q", layer)
+		}
+	}
+}
+
+// TestPipelineTraced checks the traced demonstration iterations attach
+// one span per benchmark under the caller's root.
+func TestPipelineTraced(t *testing.T) {
+	ctx, root := obs.StartRoot(context.Background(), "perf.pipeline")
+	results, err := RunPipeline(ctx, Config{Quick: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	tree := root.Tree()
+	if len(tree.Children) != len(results) {
+		t.Fatalf("root has %d children, want %d", len(tree.Children), len(results))
+	}
+	// The compress benchmark's traced run must show its stage spans.
+	for _, c := range tree.Children {
+		if c.Name == "perf.core.compress_window" && len(c.Children) == 0 {
+			t.Errorf("traced compress_window has no child spans")
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package perf
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+
+	"stwave/internal/compress"
+	"stwave/internal/core"
+	"stwave/internal/grid"
+	"stwave/internal/obs"
+	"stwave/internal/server"
+	"stwave/internal/storage"
+	"stwave/internal/transform"
+	"stwave/internal/wavelet"
+)
+
+// Pipeline workload shape: small enough that -quick finishes in seconds,
+// large enough that per-op noise stays in the low percents at the
+// default MinTime.
+const (
+	benchN       = 24 // grid edge (24^3 points per slice)
+	benchSlices  = 10
+	benchWindow  = 5
+	benchRatio   = 32
+	benchWorkers = 1 // single-threaded: measure the algorithms, not the scheduler
+)
+
+// benchGrid builds a temporally coherent window that compresses like
+// simulation output (smooth in space, slowly scaling in time).
+func benchGrid() *grid.Window {
+	d := grid.Dims{Nx: benchN, Ny: benchN, Nz: benchN}
+	w := grid.NewWindow(d)
+	for t := 0; t < benchSlices; t++ {
+		f := grid.NewField3D(d.Nx, d.Ny, d.Nz)
+		for z := 0; z < d.Nz; z++ {
+			for y := 0; y < d.Ny; y++ {
+				for x := 0; x < d.Nx; x++ {
+					f.Data[f.Index(x, y, z)] = math.Sin(0.3*float64(x)+0.1*float64(t)) *
+						math.Cos(0.2*float64(y)) * math.Sin(0.25*float64(z)+0.05*float64(t))
+				}
+			}
+		}
+		if err := w.Append(f, float64(t)); err != nil {
+			panic(err) // dims are static; Append cannot fail
+		}
+	}
+	return w
+}
+
+// pipelineBenchmark is one entry of the standard suite. fn receives a
+// context so a traced demonstration run can flow spans through the same
+// code path the measurement used.
+type pipelineBenchmark struct {
+	name       string
+	bytesPerOp int64
+	fn         func(ctx context.Context) error
+}
+
+// RunPipeline measures the standard pipeline suite — transform,
+// threshold, encode/decode, container write/read, HTTP serving — and
+// returns the results in suite order. When ctx carries an obs trace
+// root, each benchmark also runs one traced iteration so the caller can
+// dump a span tree of the exact measured code paths. Progress lines go
+// to progress when non-nil.
+func RunPipeline(ctx context.Context, cfg Config, progress io.Writer) ([]Result, error) {
+	w := benchGrid()
+	rawBytes := int64(w.TotalSamples()) * 8
+
+	opts := core.DefaultOptions()
+	opts.WindowSize = benchWindow
+	opts.Ratio = benchRatio
+	opts.Workers = benchWorkers
+	comp, err := core.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	spec := transform.Spec{
+		SpatialKernel: wavelet.CDF97, SpatialLevels: -1,
+		TemporalKernel: wavelet.CDF97, TemporalLevels: -1,
+		Workers: benchWorkers,
+	}
+
+	// Fixed inputs for the decode-side benchmarks.
+	transformed := w.Clone()
+	if err := transform.Forward4D(transformed, spec); err != nil {
+		return nil, err
+	}
+	cw, err := comp.CompressWindow(w)
+	if err != nil {
+		return nil, err
+	}
+
+	// Container + server fixtures.
+	dir, err := os.MkdirTemp("", "stwave-perf-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir) //stlint:ignore uncheckederr temp-dir cleanup is best-effort
+	contPath := filepath.Join(dir, "bench.stw")
+	if err := writeBenchContainer(contPath, comp, w); err != nil {
+		return nil, err
+	}
+	reader, err := storage.OpenContainer(contPath)
+	if err != nil {
+		return nil, err
+	}
+	defer reader.Close() //stlint:ignore uncheckederr read-only handle released at process exit anyway
+	encodedBytes, err := reader.WindowSizeBytes(0)
+	if err != nil {
+		return nil, err
+	}
+
+	srv := server.New(server.DefaultConfig())
+	if err := srv.Mount("bench", contPath); err != nil {
+		return nil, err
+	}
+	defer srv.Close() //stlint:ignore uncheckederr read-only mounts released at process exit anyway
+	handler := srv.Handler()
+	serveSlice := func(t int) error {
+		req := httptest.NewRequest("GET", fmt.Sprintf("/v1/bench/slice?t=%d", t), nil)
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			return fmt.Errorf("slice t=%d: status %d: %s", t, rec.Code, rec.Body.String())
+		}
+		return nil
+	}
+	sliceBytes := int64(benchN*benchN*benchN) * 4 // float32 response payload
+
+	suite := []pipelineBenchmark{
+		{"xform.forward4d_cdf97", rawBytes, func(ctx context.Context) error {
+			return transform.Forward4DCtx(ctx, w.Clone(), spec)
+		}},
+		{"xform.inverse4d_cdf97", rawBytes, func(ctx context.Context) error {
+			return transform.Inverse4DCtx(ctx, transformed.Clone(), spec)
+		}},
+		{"compress.threshold", rawBytes, func(ctx context.Context) error {
+			work := transformed.Clone()
+			for _, s := range work.Slices {
+				if _, err := compress.ThresholdRatio(s.Data, benchRatio); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{"core.compress_window", rawBytes, func(ctx context.Context) error {
+			_, err := comp.CompressWindowCtx(ctx, w)
+			return err
+		}},
+		{"core.decompress_window", rawBytes, func(ctx context.Context) error {
+			_, err := core.DecompressCtx(ctx, cw)
+			return err
+		}},
+		{"storage.write_container", cw.EncodedSizeBytes(), func(ctx context.Context) error {
+			cont, err := storage.CreateContainer(filepath.Join(dir, "write.stw"))
+			if err != nil {
+				return err
+			}
+			if _, err := cont.AppendCtx(ctx, cw); err != nil {
+				cont.Close() //stlint:ignore uncheckederr the Append error is what matters
+				return err
+			}
+			return cont.Close()
+		}},
+		{"storage.read_window", encodedBytes, func(ctx context.Context) error {
+			_, err := reader.ReadWindowCtx(ctx, 0)
+			return err
+		}},
+		{"server.slice_hot", sliceBytes, func(ctx context.Context) error {
+			return serveSlice(2)
+		}},
+		{"server.slice_cold", sliceBytes, func(ctx context.Context) error {
+			srv.Cache().Flush()
+			return serveSlice(2)
+		}},
+	}
+
+	// Warm the server cache so slice_hot measures the steady state.
+	if err := serveSlice(2); err != nil {
+		return nil, err
+	}
+
+	results := make([]Result, 0, len(suite))
+	for _, b := range suite {
+		r, err := Measure(cfg, b.name, b.bytesPerOp, func() error {
+			return b.fn(context.Background())
+		})
+		if err != nil {
+			return nil, err
+		}
+		if obs.FromContext(ctx) != nil {
+			// One extra traced iteration per benchmark: spans flow through
+			// the exact code the measurement loop just ran.
+			bctx, sp := obs.Start(ctx, "perf."+b.name)
+			if err := b.fn(bctx); err != nil {
+				sp.End()
+				return nil, err
+			}
+			sp.End()
+		}
+		if progress != nil {
+			fmt.Fprintf(progress, "%-28s %10d iters  %14.0f ns/op  %10.2f MB/s  %8.1f allocs/op\n",
+				r.Name, r.Iters, r.NsPerOp, r.MBPerS, r.AllocsPerOp)
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+// writeBenchContainer streams the bench window into a fresh container.
+func writeBenchContainer(path string, comp *core.Compressor, w *grid.Window) error {
+	cont, err := storage.CreateContainer(path)
+	if err != nil {
+		return err
+	}
+	writer, err := core.NewWriter(comp.Options(), w.Dims, func(cw *core.CompressedWindow) error {
+		_, err := cont.Append(cw)
+		return err
+	})
+	if err != nil {
+		cont.Close() //stlint:ignore uncheckederr the construction error is what matters
+		return err
+	}
+	for i, s := range w.Slices {
+		if err := writer.WriteSlice(s, float64(i)); err != nil {
+			cont.Close() //stlint:ignore uncheckederr the write error is what matters
+			return err
+		}
+	}
+	if err := writer.Flush(); err != nil {
+		cont.Close() //stlint:ignore uncheckederr the flush error is what matters
+		return err
+	}
+	return cont.Close()
+}

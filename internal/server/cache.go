@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"stwave/internal/grid"
+	"stwave/internal/obs"
 )
 
 // windowKey identifies one decompressed window across all mounted datasets.
@@ -24,6 +25,13 @@ type WindowCache struct {
 	used   int64
 	ll     *list.List // front = most recently used
 	items  map[windowKey]*list.Element
+
+	// hits/misses are bumped by Get — hit/miss accounting lives here, in
+	// the one place every cacheable lookup passes through, so the
+	// invariant hits+misses == lookups holds no matter how callers
+	// coalesce. Nil counters (tests building a bare cache) are no-ops.
+	hits   *obs.Counter
+	misses *obs.Counter
 }
 
 type cacheEntry struct {
@@ -49,8 +57,21 @@ func windowBytes(w *grid.Window) int64 {
 }
 
 // Get returns the cached window for key, promoting it to most recently
-// used.
+// used, and counts the lookup as a hit or a miss. Callers re-checking
+// the cache for a lookup they already counted (the flight re-check) must
+// use peek instead, so each request counts exactly once.
 func (c *WindowCache) Get(key windowKey) (*grid.Window, bool) {
+	w, ok := c.peek(key)
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return w, ok
+}
+
+// peek is Get without the hit/miss accounting.
+func (c *WindowCache) peek(key windowKey) (*grid.Window, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]

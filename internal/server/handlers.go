@@ -8,9 +8,11 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 
 	"stwave/internal/grid"
+	"stwave/internal/obs"
 	"stwave/internal/render"
 	"stwave/internal/storage"
 	"stwave/internal/transform"
@@ -19,7 +21,10 @@ import (
 // Handler returns the server's HTTP interface:
 //
 //	GET /healthz                  liveness + mount count
-//	GET /metrics                  counters, latency histogram, cache stats
+//	GET /metrics                  counters, latency histogram, cache stats, pipeline metrics
+//	GET /debug/vars               merged obs registries (server + process-wide) as JSON
+//	GET /debug/traces             recent request span trees (needs Config.TraceRequests)
+//	GET /debug/pprof/...          net/http/pprof profiles (needs Config.Pprof)
 //	GET /v1/datasets              list mounted datasets
 //	GET /v1/{dataset}/slice       one time slice     ?t=12&format=raw|json
 //	GET /v1/{dataset}/crop        subvolume          ?t=&x0=&y0=&z0=&nx=&ny=&nz=&format=raw|json
@@ -33,6 +38,15 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.Handle("GET /debug/vars", obs.Handler(s.metrics.Registry(), obs.Default()))
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	if s.cfg.Pprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
 	mux.HandleFunc("GET /v1/{dataset}/slice", s.data(s.handleSlice))
 	mux.HandleFunc("GET /v1/{dataset}/crop", s.data(s.handleCrop))
@@ -76,7 +90,7 @@ func (w *countingWriter) Write(p []byte) (int, error) {
 }
 
 // data wraps a dataset handler with mount lookup, per-request timeout,
-// metrics, and error-to-status mapping.
+// metrics, request tracing, and error-to-status mapping.
 func (s *Server) data(h func(http.ResponseWriter, *http.Request, *mount) error) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.metrics.Requests.Add(1)
@@ -85,6 +99,17 @@ func (s *Server) data(h func(http.ResponseWriter, *http.Request, *mount) error) 
 			var cancel context.CancelFunc
 			ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
 			defer cancel()
+		}
+		var root *obs.Span
+		if s.cfg.TraceRequests {
+			ctx, root = obs.StartRoot(ctx, "handler "+r.URL.Path)
+			root.SetAttr("query", r.URL.RawQuery)
+			defer func() {
+				root.End()
+				if root != nil {
+					s.traces.add(root.Tree())
+				}
+			}()
 		}
 		m, ok := s.mounts[r.PathValue("dataset")]
 		if !ok {
@@ -146,7 +171,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.metrics.Snapshot(s.cache.Stats()))
+	snap := s.metrics.Snapshot(s.cache.Stats())
+	// Pipeline metrics (transform stage timings, storage latencies, coder
+	// throughputs) accumulate process-wide, not per server.
+	snap.Pipeline = obs.Default().Snapshot()
+	writeJSON(w, snap)
 }
 
 // datasetInfo is one entry of /v1/datasets.

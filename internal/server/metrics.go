@@ -1,98 +1,88 @@
 package server
 
 import (
-	"sync/atomic"
-	"time"
+	"stwave/internal/obs"
 )
 
-// histBuckets are the upper bounds (exclusive) of the decompress-latency
-// histogram, in milliseconds, doubling per bucket; the final implicit
-// bucket catches everything slower.
-var histBuckets = [...]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048}
-
-// Histogram is a fixed-bucket latency histogram safe for concurrent
-// observation. Buckets are non-cumulative counts.
-type Histogram struct {
-	counts [len(histBuckets) + 1]atomic.Int64
-	sumNs  atomic.Int64
-	n      atomic.Int64
-}
-
-// Observe records one latency sample.
-func (h *Histogram) Observe(d time.Duration) {
-	ms := float64(d) / float64(time.Millisecond)
-	i := 0
-	for i < len(histBuckets) && ms >= histBuckets[i] {
-		i++
-	}
-	h.counts[i].Add(1)
-	h.sumNs.Add(int64(d))
-	h.n.Add(1)
-}
-
-// HistogramSnapshot is the JSON-friendly view of a Histogram.
-type HistogramSnapshot struct {
-	Count   int64     `json:"count"`
-	MeanMs  float64   `json:"mean_ms"`
-	UpperMs []float64 `json:"bucket_upper_ms"`
-	Counts  []int64   `json:"bucket_counts"`
-}
-
-// Snapshot copies the histogram's current state.
-func (h *Histogram) Snapshot() HistogramSnapshot {
-	s := HistogramSnapshot{
-		Count:   h.n.Load(),
-		UpperMs: histBuckets[:],
-		Counts:  make([]int64, len(h.counts)),
-	}
-	for i := range h.counts {
-		s.Counts[i] = h.counts[i].Load()
-	}
-	if s.Count > 0 {
-		s.MeanMs = float64(h.sumNs.Load()) / float64(s.Count) / float64(time.Millisecond)
-	}
-	return s
-}
-
-// Metrics holds the server's expvar-style counters. All fields are safe for
-// concurrent update; /metrics serves a Snapshot as JSON.
+// Metrics holds the server's counters, backed by a per-Server
+// obs.Registry so /metrics and /debug/vars read the same instruments.
+// The registry is per-Server rather than process-wide so concurrently
+// constructed servers (tests, embedders) never see each other's traffic;
+// pipeline-layer metrics (transform, storage, core) land in obs.Default()
+// and are surfaced separately. All fields are safe for concurrent update.
 type Metrics struct {
-	Requests       atomic.Int64 // data requests accepted (excludes /healthz, /metrics)
-	Errors         atomic.Int64 // requests answered with a non-2xx status
-	CacheHits      atomic.Int64 // window served from the decompressed-window cache
-	CacheMisses    atomic.Int64 // window had to be decompressed (or fetched uncached)
-	Coalesced      atomic.Int64 // requests that piggybacked on another request's decompression
-	Decompressions atomic.Int64 // full-window decompressions actually executed
-	SliceDecodes   atomic.Int64 // single-slice decodes on the uncacheable path
-	BytesServed    atomic.Int64 // response payload bytes written
-	CorruptWindows atomic.Int64 // windows known corrupt across all mounts (found at mount scan or read time)
+	reg *obs.Registry
 
-	DecompressLatency Histogram
+	Requests       *obs.Counter // data requests accepted (excludes /healthz, /metrics)
+	Errors         *obs.Counter // requests answered with a non-2xx status
+	CacheHits      *obs.Counter // window served from the decompressed-window cache
+	CacheMisses    *obs.Counter // window had to be decompressed (or fetched uncached)
+	Coalesced      *obs.Counter // requests that piggybacked on another request's decompression
+	Decompressions *obs.Counter // full-window decompressions actually executed
+	SliceDecodes   *obs.Counter // single-slice decodes on the uncacheable path
+	BytesServed    *obs.Counter // response payload bytes written
+	CorruptWindows *obs.Counter // windows known corrupt across all mounts (found at mount scan or read time)
+
+	// DecompressLatency is the end-to-end read+decompress latency in
+	// seconds, covering both full-window and single-slice paths.
+	DecompressLatency *obs.Histogram
 }
 
-// MetricsSnapshot is the JSON document served at /metrics.
+// newMetrics builds the server's instruments in a fresh registry, under
+// the "server." name prefix the /debug/vars endpoint exposes.
+func newMetrics() *Metrics {
+	reg := obs.NewRegistry()
+	return &Metrics{
+		reg:               reg,
+		Requests:          reg.Counter("server.requests_total"),
+		Errors:            reg.Counter("server.errors_total"),
+		CacheHits:         reg.Counter("server.cache_hits_total"),
+		CacheMisses:       reg.Counter("server.cache_misses_total"),
+		Coalesced:         reg.Counter("server.coalesced_total"),
+		Decompressions:    reg.Counter("server.decompressions_total"),
+		SliceDecodes:      reg.Counter("server.slice_decodes_total"),
+		BytesServed:       reg.Counter("server.bytes_served_total"),
+		CorruptWindows:    reg.Counter("server.corrupt_windows"),
+		DecompressLatency: reg.Histogram("server.decompress_seconds"),
+	}
+}
+
+// Registry exposes the server's metrics registry (for /debug/vars and
+// embedders that want to merge it into their own exposition).
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
+
+// MetricsSnapshot is the JSON document served at /metrics. The named
+// fields are the server's own counters (stable since the first release);
+// Pipeline carries the process-wide registry — transform stage timings,
+// storage latencies, coder throughputs — keyed by metric name.
 type MetricsSnapshot struct {
-	Requests       int64             `json:"requests"`
-	Errors         int64             `json:"errors"`
-	CacheHits      int64             `json:"cache_hits"`
-	CacheMisses    int64             `json:"cache_misses"`
-	Coalesced      int64             `json:"coalesced"`
-	Decompressions int64             `json:"decompressions"`
-	SliceDecodes   int64             `json:"slice_decodes"`
-	BytesServed    int64             `json:"bytes_served"`
-	CorruptWindows int64             `json:"corrupt_windows"`
-	Decompress     HistogramSnapshot `json:"decompress_latency"`
-	Cache          CacheStats        `json:"cache"`
+	Requests       int64                 `json:"requests"`
+	Errors         int64                 `json:"errors"`
+	CacheHits      int64                 `json:"cache_hits"`
+	CacheMisses    int64                 `json:"cache_misses"`
+	Coalesced      int64                 `json:"coalesced"`
+	Decompressions int64                 `json:"decompressions"`
+	SliceDecodes   int64                 `json:"slice_decodes"`
+	BytesServed    int64                 `json:"bytes_served"`
+	CorruptWindows int64                 `json:"corrupt_windows"`
+	Decompress     obs.HistogramSnapshot `json:"decompress_latency"`
+	Cache          CacheStats            `json:"cache"`
+	Pipeline       obs.Snapshot          `json:"pipeline"`
 }
 
-// Snapshot captures all counters at one instant (per-counter atomicity; the
-// set is not a consistent cut, which is fine for monitoring).
+// Snapshot captures all counters at one instant (per-counter atomicity;
+// the set is not a consistent cut, which is fine for monitoring). It also
+// refreshes the derived server.cache_hit_ratio gauge.
 func (m *Metrics) Snapshot(cache CacheStats) MetricsSnapshot {
+	hits, misses := m.CacheHits.Load(), m.CacheMisses.Load()
+	if hits+misses > 0 {
+		m.reg.Gauge("server.cache_hit_ratio").Set(float64(hits) / float64(hits+misses))
+	}
 	return MetricsSnapshot{
 		Requests:       m.Requests.Load(),
 		Errors:         m.Errors.Load(),
-		CacheHits:      m.CacheHits.Load(),
-		CacheMisses:    m.CacheMisses.Load(),
+		CacheHits:      hits,
+		CacheMisses:    misses,
 		Coalesced:      m.Coalesced.Load(),
 		Decompressions: m.Decompressions.Load(),
 		SliceDecodes:   m.SliceDecodes.Load(),

@@ -27,6 +27,7 @@ import (
 
 	"stwave/internal/core"
 	"stwave/internal/grid"
+	"stwave/internal/obs"
 	"stwave/internal/storage"
 )
 
@@ -50,6 +51,15 @@ type Config struct {
 	// through /healthz and the corrupt_windows metric. Without it, a
 	// mount fails on the first unreadable window header.
 	Degraded bool
+	// TraceRequests records a span tree for every data request (handler →
+	// cache → storage → decode) into a bounded ring served at
+	// /debug/traces. Off by default: each traced request allocates a few
+	// spans.
+	TraceRequests bool
+	// Pprof mounts the net/http/pprof profiling endpoints under
+	// /debug/pprof/. Off by default: profiles expose internals and cost
+	// CPU while running, so production servers opt in explicitly.
+	Pprof bool
 }
 
 // DefaultConfig returns a sensible laptop-scale envelope: 256 MB of cache,
@@ -133,7 +143,8 @@ type Server struct {
 	cache   *WindowCache
 	flights flightGroup
 	sem     chan struct{}
-	metrics Metrics
+	metrics *Metrics
+	traces  *traceRing
 }
 
 // New creates an empty server with the given resource envelope.
@@ -141,11 +152,16 @@ func New(cfg Config) *Server {
 	if cfg.MaxDecompress <= 0 {
 		cfg.MaxDecompress = runtime.GOMAXPROCS(0)
 	}
+	m := newMetrics()
+	cache := NewWindowCache(cfg.CacheBytes)
+	cache.hits, cache.misses = m.CacheHits, m.CacheMisses
 	return &Server{
-		cfg:    cfg,
-		mounts: make(map[string]*mount),
-		cache:  NewWindowCache(cfg.CacheBytes),
-		sem:    make(chan struct{}, cfg.MaxDecompress),
+		cfg:     cfg,
+		mounts:  make(map[string]*mount),
+		cache:   cache,
+		sem:     make(chan struct{}, cfg.MaxDecompress),
+		metrics: m,
+		traces:  newTraceRing(traceRingSize),
 	}
 }
 
@@ -238,7 +254,7 @@ func (s *Server) Close() error {
 }
 
 // Metrics exposes the server's counters (for tests and embedding).
-func (s *Server) Metrics() *Metrics { return &s.metrics }
+func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // Cache exposes the window cache (benchmarks flush it to force the cold
 // path).
@@ -268,18 +284,25 @@ const (
 
 // window returns the decompressed window wi of mount m, consulting the
 // cache and coalescing concurrent misses. The returned window is shared:
-// callers must not modify it.
+// callers must not modify it. Hit/miss accounting lives inside cache.Get
+// — the flight's re-check uses the uncounted peek — so every call here
+// counts exactly one hit or one miss.
 func (s *Server) window(ctx context.Context, m *mount, wi int) (*grid.Window, cacheState, error) {
 	key := windowKey{dataset: m.name, window: wi}
-	if w, ok := s.cache.Get(key); ok {
-		s.metrics.CacheHits.Add(1)
+	_, spc := obs.Start(ctx, "cache.lookup")
+	w, ok := s.cache.Get(key)
+	if ok {
+		spc.SetAttr("result", "hit")
+		spc.End()
 		return w, stateHit, nil
 	}
-	s.metrics.CacheMisses.Add(1)
+	spc.SetAttr("result", "miss")
+	spc.End()
 	val, coalesced, err := s.flights.Do(ctx, "w\x00"+m.name+"\x00"+strconv.Itoa(wi), func(workCtx context.Context) (any, error) {
 		// Re-check under the flight: a previous flight may have populated
-		// the cache between our Get and Do.
-		if w, ok := s.cache.Get(key); ok {
+		// the cache between our Get and Do. peek, not Get — this request
+		// already counted its miss.
+		if w, ok := s.cache.peek(key); ok {
 			return w, nil
 		}
 		if err := s.acquireSem(workCtx); err != nil {
@@ -287,17 +310,17 @@ func (s *Server) window(ctx context.Context, m *mount, wi int) (*grid.Window, ca
 		}
 		defer func() { <-s.sem }()
 		start := time.Now()
-		cw, err := m.r.ReadWindow(wi)
+		cw, err := m.r.ReadWindowCtx(workCtx, wi)
 		if err != nil {
 			s.noteCorrupt(m, wi, err)
 			return nil, err
 		}
-		w, err := core.Decompress(cw)
+		w, err := core.DecompressCtx(workCtx, cw)
 		if err != nil {
 			return nil, err
 		}
 		s.metrics.Decompressions.Add(1)
-		s.metrics.DecompressLatency.Observe(time.Since(start))
+		s.metrics.DecompressLatency.ObserveSince(start)
 		s.cache.Put(key, w)
 		return w, nil
 	})
@@ -355,17 +378,19 @@ func (s *Server) slice(ctx context.Context, m *mount, t int) (*grid.Field3D, flo
 		}
 		defer func() { <-s.sem }()
 		start := time.Now()
-		cw, err := m.r.ReadWindow(wi)
+		cw, err := m.r.ReadWindowCtx(workCtx, wi)
 		if err != nil {
 			s.noteCorrupt(m, wi, err)
 			return nil, err
 		}
+		_, spd := obs.Start(workCtx, "core.decompress_slice")
 		f, err := core.DecompressSlice(cw, local)
+		spd.End()
 		if err != nil {
 			return nil, err
 		}
 		s.metrics.SliceDecodes.Add(1)
-		s.metrics.DecompressLatency.Observe(time.Since(start))
+		s.metrics.DecompressLatency.ObserveSince(start)
 		return f, nil
 	})
 	if err != nil {

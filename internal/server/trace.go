@@ -1,0 +1,57 @@
+package server
+
+import (
+	"net/http"
+	"sync"
+
+	"stwave/internal/obs"
+)
+
+// traceRingSize bounds how many recent request traces /debug/traces
+// retains. Small on purpose: traces are a debugging aid, not a log.
+const traceRingSize = 32
+
+// traceRing is a bounded FIFO of recent request span trees, written by
+// the data-request wrapper when Config.TraceRequests is on and served at
+// /debug/traces.
+type traceRing struct {
+	mu    sync.Mutex
+	trees []obs.SpanTree
+	next  int
+	full  bool
+}
+
+func newTraceRing(n int) *traceRing {
+	return &traceRing{trees: make([]obs.SpanTree, n)}
+}
+
+// add records one finished request trace, overwriting the oldest once
+// the ring is full.
+func (r *traceRing) add(t obs.SpanTree) {
+	r.mu.Lock()
+	r.trees[r.next] = t
+	r.next = (r.next + 1) % len(r.trees)
+	if r.next == 0 {
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// snapshot returns the retained traces, oldest first.
+func (r *traceRing) snapshot() []obs.SpanTree {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]obs.SpanTree(nil), r.trees[:r.next]...)
+	}
+	out := make([]obs.SpanTree, 0, len(r.trees))
+	out = append(out, r.trees[r.next:]...)
+	out = append(out, r.trees[:r.next]...)
+	return out
+}
+
+// handleTraces serves the recent request traces as a JSON array, oldest
+// first. Empty unless the server was started with request tracing on.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.traces.snapshot())
+}

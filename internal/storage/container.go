@@ -2,6 +2,7 @@ package storage
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -9,9 +10,12 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync"
+	"time"
 
 	"stwave/internal/core"
+	"stwave/internal/obs"
 )
 
 // Container file format v3: a journal of record-framed compressed
@@ -162,12 +166,31 @@ func NewContainerWriter(f WritableFile) *ContainerWriter {
 
 // writeAt writes buf at off, retrying transient errors per the policy.
 // The write is positional, so a retry after a partial write simply lays
-// the full buffer down again.
+// the full buffer down again. Successful writes record their latency and
+// byte count in the process-wide metrics registry.
 func (w *ContainerWriter) writeAt(buf []byte, off int64) error {
-	return w.Retry.Do(func() error {
+	start := time.Now()
+	err := w.Retry.Do(func() error {
 		_, err := w.f.WriteAt(buf, off)
 		return err
 	})
+	if err == nil {
+		obs.Default().Histogram("storage.write_seconds").ObserveSince(start)
+		obs.Default().Counter("storage.write_bytes_total").Add(int64(len(buf)))
+	}
+	return err
+}
+
+// syncFile fsyncs the container file, retrying transient errors and
+// recording the latency of successful syncs — the fsync histogram is how
+// operators see an over-aggressive -fsync policy costing throughput.
+func (w *ContainerWriter) syncFile() error {
+	start := time.Now()
+	err := w.Retry.Do(w.f.Sync)
+	if err == nil {
+		obs.Default().Histogram("storage.fsync_seconds").ObserveSince(start)
+	}
+	return err
 }
 
 // Append writes one compressed window as a framed record and returns its
@@ -176,6 +199,15 @@ func (w *ContainerWriter) writeAt(buf []byte, off int64) error {
 // best-effort, and every later Append or Close returns the same error —
 // the caller must not keep appending past a hole in the journal.
 func (w *ContainerWriter) Append(cw *core.CompressedWindow) (int, error) {
+	return w.AppendCtx(context.Background(), cw)
+}
+
+// AppendCtx is Append with context propagation: when ctx carries a trace,
+// the encode+write of the record is captured as a "storage.append_window"
+// span carrying the payload size.
+func (w *ContainerWriter) AppendCtx(ctx context.Context, cw *core.CompressedWindow) (int, error) {
+	_, sp := obs.Start(ctx, "storage.append_window")
+	defer sp.End()
 	if w.closed {
 		return 0, fmt.Errorf("storage: container already closed")
 	}
@@ -195,6 +227,7 @@ func (w *ContainerWriter) Append(cw *core.CompressedWindow) (int, error) {
 	}
 	rec := w.buf.Bytes()
 	payload := rec[core.RecordHeaderSize:]
+	sp.SetAttr("bytes", strconv.Itoa(len(payload)))
 	crc := crc32.ChecksumIEEE(payload)
 	hdr := core.EncodeRecordHeader(core.RecordHeader{Length: int64(len(payload)), PayloadCRC: crc})
 	copy(rec[:core.RecordHeaderSize], hdr[:])
@@ -206,7 +239,7 @@ func (w *ContainerWriter) Append(cw *core.CompressedWindow) (int, error) {
 		return 0, w.err
 	}
 	if w.Sync == SyncPerWindow {
-		if err := w.Retry.Do(w.f.Sync); err != nil {
+		if err := w.syncFile(); err != nil {
 			w.err = fmt.Errorf("storage: syncing window %d: %w", len(w.offsets), err)
 			// The record is fully written but its durability was never
 			// acknowledged: drop it, as on the write-failure path, so a
@@ -269,7 +302,7 @@ func (w *ContainerWriter) Close() error {
 		return w.err
 	}
 	if w.Sync != SyncNever {
-		if err := w.Retry.Do(w.f.Sync); err != nil {
+		if err := w.syncFile(); err != nil {
 			w.cleanup()
 			return fmt.Errorf("storage: syncing data region: %w", err)
 		}
@@ -279,7 +312,7 @@ func (w *ContainerWriter) Close() error {
 		return fmt.Errorf("storage: writing index: %w", err)
 	}
 	if w.Sync != SyncNever {
-		if err := w.Retry.Do(w.f.Sync); err != nil {
+		if err := w.syncFile(); err != nil {
 			w.cleanup()
 			return fmt.Errorf("storage: syncing index: %w", err)
 		}
@@ -438,11 +471,19 @@ func (r *ContainerReader) WindowSizeBytes(i int) (int64, error) {
 }
 
 // readAt fills buf from offset off, retrying transient errors.
+// Successful reads record their latency and byte count in the
+// process-wide metrics registry.
 func (r *ContainerReader) readAt(buf []byte, off int64) error {
-	return r.Retry.Do(func() error {
+	start := time.Now()
+	err := r.Retry.Do(func() error {
 		_, err := r.f.ReadAt(buf, off)
 		return err
 	})
+	if err == nil {
+		obs.Default().Histogram("storage.read_seconds").ObserveSince(start)
+		obs.Default().Counter("storage.read_bytes_total").Add(int64(len(buf)))
+	}
+	return err
 }
 
 // recordErr tracks window i's corruption state for WindowErr/BadWindows.
@@ -518,10 +559,21 @@ func (r *ContainerReader) VerifyWindow(i int) error {
 // operate on the same in-memory buffer. Checksum failures wrap
 // ErrCorrupt and are recorded for WindowErr.
 func (r *ContainerReader) ReadWindow(i int) (*core.CompressedWindow, error) {
+	return r.ReadWindowCtx(context.Background(), i)
+}
+
+// ReadWindowCtx is ReadWindow with context propagation: when ctx carries
+// a trace, the read+verify+parse is captured as a "storage.read_window"
+// span carrying the window index and payload size.
+func (r *ContainerReader) ReadWindowCtx(ctx context.Context, i int) (*core.CompressedWindow, error) {
+	_, sp := obs.Start(ctx, "storage.read_window")
+	defer sp.End()
+	sp.SetAttr("window", strconv.Itoa(i))
 	buf, err := r.loadWindow(i)
 	if err != nil {
 		return nil, err
 	}
+	sp.SetAttr("bytes", strconv.Itoa(len(buf)))
 	cw, err := core.ReadCompressedWindow(bytes.NewReader(buf))
 	if err != nil {
 		return nil, fmt.Errorf("storage: reading window %d: %w", i, err)

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"syscall"
 	"time"
+
+	"stwave/internal/obs"
 )
 
 // RetryPolicy retries transient I/O errors with capped exponential
@@ -27,7 +29,10 @@ func DefaultRetryPolicy() RetryPolicy {
 }
 
 // Do runs op, retrying while it fails with a transient error. The last
-// error is returned; non-transient errors are returned immediately.
+// error is returned; non-transient errors are returned immediately. Every
+// retry (re-attempt after a transient failure) increments the
+// "storage.retries_total" counter in the process-wide metrics registry —
+// a rising rate is the early signal of a degrading burst buffer.
 func (p RetryPolicy) Do(op func() error) error {
 	delay := p.BaseDelay
 	for attempt := 1; ; attempt++ {
@@ -35,6 +40,7 @@ func (p RetryPolicy) Do(op func() error) error {
 		if err == nil || attempt >= p.Attempts || !IsTransient(err) {
 			return err
 		}
+		obs.Default().Counter("storage.retries_total").Add(1)
 		if p.sleep != nil {
 			p.sleep(delay)
 		} else {

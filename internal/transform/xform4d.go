@@ -1,9 +1,12 @@
 package transform
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"stwave/internal/grid"
+	"stwave/internal/obs"
 	"stwave/internal/wavelet"
 )
 
@@ -93,30 +96,78 @@ func (s Spec) resolve(d grid.Dims, windowLen int) (spatial, temporal int) {
 	return spatial, temporal
 }
 
+// stageDone records one per-window transform-stage timing into the
+// process-wide registry, keyed by stage and kernel — the split Table I
+// style cost studies need ("transform.forward_3d_seconds.cdf97", ...).
+func stageDone(stage string, k wavelet.Kernel, start time.Time) {
+	obs.Default().Histogram("transform." + stage + "_seconds." + k.Slug()).ObserveSince(start)
+}
+
 // Forward4D runs the paper's two-step spatiotemporal transform on the window
 // in place: first the 3D non-standard decomposition on every slice, then the
 // temporal transform at every grid point.
 func Forward4D(w *grid.Window, s Spec) error {
+	return Forward4DCtx(context.Background(), w, s)
+}
+
+// Forward4DCtx is Forward4D with context propagation for tracing spans:
+// each stage (per-slice 3D, then temporal) records a span under any trace
+// carried by ctx and a per-window duration in the metrics registry.
+func Forward4DCtx(ctx context.Context, w *grid.Window, s Spec) error {
 	spatial, temporal := s.resolve(w.Dims, w.Len())
+	_, sp3 := obs.Start(ctx, "xform.forward_3d")
+	sp3.SetAttr("kernel", s.SpatialKernel.String())
+	start := time.Now()
 	for i, slice := range w.Slices {
 		if err := Forward3D(slice, s.SpatialKernel, spatial, s.Workers); err != nil {
+			sp3.End()
 			return fmt.Errorf("transform: slice %d: %w", i, err)
 		}
 	}
-	return ForwardTemporal(w, s.TemporalKernel, temporal, s.Workers)
+	stageDone("forward_3d", s.SpatialKernel, start)
+	sp3.End()
+
+	_, spT := obs.Start(ctx, "xform.forward_temporal")
+	spT.SetAttr("kernel", s.TemporalKernel.String())
+	start = time.Now()
+	err := ForwardTemporal(w, s.TemporalKernel, temporal, s.Workers)
+	if err == nil {
+		stageDone("forward_temporal", s.TemporalKernel, start)
+	}
+	spT.End()
+	return err
 }
 
 // Inverse4D undoes Forward4D: temporal inverse first, then per-slice 3D
 // inverse — the order the paper notes costs random access to single slices.
 func Inverse4D(w *grid.Window, s Spec) error {
+	return Inverse4DCtx(context.Background(), w, s)
+}
+
+// Inverse4DCtx is Inverse4D with context propagation for tracing spans
+// and per-stage registry timings, mirroring Forward4DCtx.
+func Inverse4DCtx(ctx context.Context, w *grid.Window, s Spec) error {
 	spatial, temporal := s.resolve(w.Dims, w.Len())
+	_, spT := obs.Start(ctx, "xform.inverse_temporal")
+	spT.SetAttr("kernel", s.TemporalKernel.String())
+	start := time.Now()
 	if err := InverseTemporal(w, s.TemporalKernel, temporal, s.Workers); err != nil {
+		spT.End()
 		return err
 	}
+	stageDone("inverse_temporal", s.TemporalKernel, start)
+	spT.End()
+
+	_, sp3 := obs.Start(ctx, "xform.inverse_3d")
+	sp3.SetAttr("kernel", s.SpatialKernel.String())
+	start = time.Now()
 	for i, slice := range w.Slices {
 		if err := Inverse3D(slice, s.SpatialKernel, spatial, s.Workers); err != nil {
+			sp3.End()
 			return fmt.Errorf("transform: slice %d: %w", i, err)
 		}
 	}
+	stageDone("inverse_3d", s.SpatialKernel, start)
+	sp3.End()
 	return nil
 }

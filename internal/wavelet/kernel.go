@@ -55,6 +55,13 @@ func (k Kernel) String() string {
 	return fmt.Sprintf("Kernel(%d)", int(k))
 }
 
+// Slug returns the kernel's flag spelling ("cdf97", "cdf53", "haar",
+// "daub4"): lowercase with no separators, suitable as a metric-name
+// component or file-name fragment.
+func (k Kernel) Slug() string {
+	return normalizeKernelName(k.String())
+}
+
 // FilterSize returns the support length used by the paper's Equation 2 to
 // bound the number of transform levels: the length of the longer (analysis
 // lowpass) filter.
