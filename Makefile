@@ -2,18 +2,22 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-go bench-smoke reproduce examples check fmt-check lint clean
+.PHONY: all build vet test race bench bench-go bench-smoke bench-diff reproduce examples check fmt-check lint clean
 
 all: build vet test check
 
 # Fast correctness gate: static checks (vet, gofmt, the stlint analyzer
 # suite), race-detector runs of the packages with real concurrency (the
 # HTTP server, the shared container reader and fault-injection wrapper,
-# the burst buffer, and the entropy/sparse codecs), and short fuzz smokes
-# of the container index parser, the 1D wavelet round-trip, and the
-# record-frame codec.
+# the burst buffer, the entropy/sparse codecs, and the parallel
+# transform/threshold stages with their serial-equivalence property
+# tests), a GOMAXPROCS=1 smoke of the same parallel stages (worker
+# budgets must degrade to clean sequential execution), and short fuzz
+# smokes of the container index parser, the 1D wavelet round-trip, and
+# the record-frame codec.
 check: vet fmt-check lint bench-smoke
-	$(GO) test -race ./internal/server ./internal/storage ./internal/compress ./internal/faultio
+	$(GO) test -race ./internal/server ./internal/storage ./internal/compress ./internal/faultio ./internal/transform ./internal/core ./internal/par
+	GOMAXPROCS=1 $(GO) test ./internal/par ./internal/transform ./internal/compress ./internal/core
 	$(GO) test -run=NONE -fuzz=FuzzOpenContainer -fuzztime=10s ./internal/storage
 	$(GO) test -run=NONE -fuzz=FuzzWaveletRoundtrip -fuzztime=5s ./internal/wavelet
 	$(GO) test -run=NONE -fuzz=FuzzRecordFrame -fuzztime=5s ./internal/core
@@ -57,6 +61,14 @@ bench-smoke:
 	$(GO) run ./cmd/stbench perf -quick -q -out $$tmp && \
 	$(GO) run ./cmd/stbench perf -validate $$tmp; \
 	rc=$$?; rm -f $$tmp; exit $$rc
+
+# Bench-regression gate: re-measure the pipeline suite (best of 3
+# passes per benchmark, so transient neighbour load can't trip the gate)
+# and fail when any benchmark's ns/op regresses more than 10% against
+# the committed baseline. Run `make bench` first to refresh the baseline
+# deliberately.
+bench-diff:
+	$(GO) run ./cmd/stbench compare -baseline BENCH_pipeline.json -max-regress 10%
 
 # One benchmark iteration per paper table/figure plus ablations
 # (the testing-package benchmarks; human-readable output).

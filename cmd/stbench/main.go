@@ -6,6 +6,7 @@
 //	stbench [flags] {fig2|fig2c|fig3|table1|table2|table3|all}
 //	stbench perf [-quick] [-out FILE] [-trace FILE]
 //	stbench perf -validate FILE
+//	stbench compare -baseline FILE [-current FILE] [-max-regress 10%] [-best 3]
 //
 // Flags scale the workloads; the defaults run the full suite in a few
 // minutes on a laptop. Absolute error values differ from the paper's (the
@@ -15,6 +16,12 @@
 // The perf subcommand runs the machine-readable pipeline benchmark suite
 // (internal/perf) and writes BENCH_pipeline.json; -validate checks an
 // existing result file against the schema and exits.
+//
+// The compare subcommand (with flags) is the bench-regression gate: it
+// re-measures the suite -best times keeping each benchmark's fastest pass
+// (or reads -current) and fails when any benchmark regresses more than
+// -max-regress in ns/op against -baseline. A bare `stbench compare`
+// still runs the rate-distortion comparison experiment.
 package main
 
 import (
@@ -101,11 +108,98 @@ func runPerf(args []string) {
 	}
 }
 
+// runCompare is the "stbench compare -baseline ..." regression gate.
+func runCompare(args []string) {
+	fs := flag.NewFlagSet("stbench compare", flag.ExitOnError)
+	baselinePath := fs.String("baseline", "BENCH_pipeline.json", "committed baseline result file")
+	currentPath := fs.String("current", "", "result file to compare (default: re-measure the suite now)")
+	maxRegressArg := fs.String("max-regress", "10%", "maximum tolerated ns/op regression (percent or fraction)")
+	minTime := fs.Duration("mintime", 200*time.Millisecond, "measurement window per benchmark when re-measuring")
+	best := fs.Int("best", 3, "re-measurement passes; per benchmark, min ns/op across passes is compared")
+	quiet := fs.Bool("q", false, "suppress progress output")
+	fs.Parse(args) //stlint:ignore uncheckederr ExitOnError flag sets exit on their own
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "stbench: %v\n", err)
+		os.Exit(1)
+	}
+	maxRegress, err := perf.ParseMaxRegress(*maxRegressArg)
+	if err != nil {
+		fail(err)
+	}
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fail(err)
+	}
+	baseline, err := perf.ParseFile(data)
+	if err != nil {
+		fail(fmt.Errorf("baseline %s: %w", *baselinePath, err))
+	}
+
+	var current perf.File
+	if *currentPath != "" {
+		data, err := os.ReadFile(*currentPath)
+		if err != nil {
+			fail(err)
+		}
+		if current, err = perf.ParseFile(data); err != nil {
+			fail(fmt.Errorf("current %s: %w", *currentPath, err))
+		}
+	} else {
+		progress := os.Stderr
+		if *quiet {
+			progress = nil
+		}
+		// Best-of-N: take each benchmark's fastest pass. A shared machine's
+		// transient load only ever slows a run down, so the min is the
+		// honest estimate and keeps the gate from tripping on noise.
+		if *best < 1 {
+			*best = 1
+		}
+		var results []perf.Result
+		for pass := 0; pass < *best; pass++ {
+			if progress != nil && *best > 1 {
+				fmt.Fprintf(progress, "compare: measurement pass %d/%d\n", pass+1, *best)
+			}
+			r, err := perf.RunPipeline(context.Background(), perf.Config{MinTime: *minTime}, progress)
+			if err != nil {
+				fail(err)
+			}
+			results = perf.MergeBest(results, r)
+		}
+		env := perf.CurrentEnv()
+		current = perf.File{Schema: perf.SchemaVersion, Env: &env, Benchmarks: results}
+	}
+
+	cmp := perf.Compare(baseline, current)
+	cmp.WriteTable(os.Stdout)
+	if regs := cmp.Regressions(maxRegress); len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "stbench: %d benchmark(s) regressed more than %s vs %s:\n", len(regs), *maxRegressArg, *baselinePath)
+		for _, d := range regs {
+			fmt.Fprintf(os.Stderr, "  %s: %.0f -> %.0f ns/op (%+.1f%%)\n", d.Name, d.Baseline.NsPerOp, d.Current.NsPerOp, d.NsChange()*100)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("compare: %d benchmarks within %s of %s\n", len(cmp.Deltas), *maxRegressArg, *baselinePath)
+}
+
+// benchCompareInvocation reports whether the argument list is the
+// regression-gate form of "compare" (flags follow the subcommand) rather
+// than the rate-distortion experiment, which never takes trailing flags.
+func benchCompareInvocation() bool {
+	return len(os.Args) > 2 && os.Args[1] == "compare" && strings.HasPrefix(os.Args[2], "-")
+}
+
 func main() {
-	// The perf subcommand has its own flag set; dispatch before the
-	// experiment flags parse (flag stops at the first non-flag argument).
+	// The perf and compare subcommands have their own flag sets; dispatch
+	// before the experiment flags parse (flag stops at the first non-flag
+	// argument).
 	if len(os.Args) > 1 && os.Args[1] == "perf" {
 		runPerf(os.Args[2:])
+		return
+	}
+	if benchCompareInvocation() {
+		runCompare(os.Args[2:])
 		return
 	}
 	sc := experiments.DefaultScale()

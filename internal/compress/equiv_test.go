@@ -1,0 +1,209 @@
+package compress
+
+// Property tests pinning the parallel selection and coding paths to the
+// serial reference implementations, bit for bit: ThresholdSlices against
+// thresholdSerial (the original quickselect code, kept in threshold.go),
+// and NewSparseBlockP/DecodeIntoP against the obvious append-growth
+// encoder. Run under -race by `make check` to also prove the chunked
+// passes are data-race free.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"stwave/internal/fbits"
+)
+
+// refSparseBlock is the original append-growth encoder.
+func refSparseBlock(coeffs []float64) *SparseBlock {
+	n := len(coeffs)
+	b := &SparseBlock{
+		Total:  n,
+		Bitmap: make([]byte, (n+7)/8),
+	}
+	for i, v := range coeffs {
+		if !fbits.Zero(v) {
+			b.Bitmap[i>>3] |= 1 << uint(i&7)
+			b.Values = append(b.Values, float32(v))
+		}
+	}
+	return b
+}
+
+// tieHeavy returns a coefficient set dominated by a handful of repeated
+// magnitudes, the adversarial case for deterministic tie admission.
+func tieHeavy(rng *rand.Rand, n int) []float64 {
+	vals := []float64{0, 1.5, -1.5, 2.25, -2.25, 1e-300, -1e-300}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = vals[rng.Intn(len(vals))]
+	}
+	return out
+}
+
+func mixed(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		switch rng.Intn(10) {
+		case 0:
+			out[i] = 0
+		case 1:
+			out[i] = math.Copysign(1e-308, rng.NormFloat64()) // subnormal-adjacent
+		default:
+			out[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(20)-10))
+		}
+	}
+	return out
+}
+
+func sliceBitIdentical(t *testing.T, label string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d != %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s: index %d: got %v, want %v (bit mismatch)", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestThresholdMatchesSerial pins the radix-select Threshold to the
+// quickselect reference across sizes, keeps, distributions, and worker
+// counts. The concatenated multi-slice form must equal the reference run
+// on the materialized concatenation.
+func TestThresholdMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	gens := map[string]func(*rand.Rand, int) []float64{
+		"mixed":    mixed,
+		"tieheavy": tieHeavy,
+		"constant": func(_ *rand.Rand, n int) []float64 {
+			out := make([]float64, n)
+			for i := range out {
+				out[i] = 3.25
+			}
+			return out
+		},
+	}
+	sizes := []int{1, 2, 7, 100, 1000, 70000} // 70000 spans three chunks
+	for name, gen := range gens {
+		for _, n := range sizes {
+			data := gen(rng, n)
+			for _, keep := range []int{0, 1, n / 3, n - 1, n, n + 5} {
+				if keep < 0 {
+					continue
+				}
+				for _, workers := range []int{1, 4} {
+					want := append([]float64(nil), data...)
+					wantKept := thresholdSerial(want, keep)
+					got := append([]float64(nil), data...)
+					gotKept := ThresholdSlices([][]float64{got}, keep, workers)
+					if gotKept != wantKept {
+						t.Fatalf("%s n=%d keep=%d workers=%d: kept %d, want %d", name, n, keep, workers, gotKept, wantKept)
+					}
+					sliceBitIdentical(t, name, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestThresholdSlicesJoint pins the multi-slice form against thresholding
+// the materialized concatenation, the contract core's joint 4D budget
+// relies on — including windows of 1, 10, 20, and 40 slices.
+func TestThresholdSlicesJoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	const per = 500
+	for _, nslices := range []int{1, 10, 20, 40} {
+		slices := make([][]float64, nslices)
+		var all []float64
+		for i := range slices {
+			slices[i] = tieHeavy(rng, per)
+			all = append(all, slices[i]...)
+		}
+		keep := nslices * per / 4
+		wantKept := thresholdSerial(all, keep)
+		gotKept := ThresholdSlices(slices, keep, 4)
+		if gotKept != wantKept {
+			t.Fatalf("%d slices: kept %d, want %d", nslices, gotKept, wantKept)
+		}
+		off := 0
+		for i, s := range slices {
+			sliceBitIdentical(t, "slice", s, all[off:off+len(s)])
+			off += len(s)
+			_ = i
+		}
+	}
+}
+
+// TestCutoffMagnitudeMatchesSerial pins the histogram-based cutoff against
+// the quickselect reference and checks coeffs are untouched.
+func TestCutoffMagnitudeMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range []int{1, 5, 333, 40000} {
+		data := mixed(rng, n)
+		orig := append([]float64(nil), data...)
+		for _, keep := range []int{1, n / 2, n - 1} {
+			if keep < 1 {
+				continue
+			}
+			mags := make([]float64, n)
+			for i, v := range data {
+				mags[i] = math.Abs(v)
+			}
+			var want float64
+			if keep >= n {
+				want = 0
+			} else {
+				want = selectKth(mags, keep-1)
+			}
+			got := CutoffMagnitude(data, keep)
+			if keep < n && math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("n=%d keep=%d: cutoff %v, want %v", n, keep, got, want)
+			}
+		}
+		sliceBitIdentical(t, "input untouched", data, orig)
+	}
+}
+
+// TestSparseBlockMatchesSerial pins the counted two-pass encoder and the
+// chunked decoder to the append-growth reference across sizes that cover
+// empty, sub-chunk, chunk-boundary, and multi-chunk blocks.
+func TestSparseBlockMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	sizes := []int{0, 1, 9, sparseChunk - 1, sparseChunk, sparseChunk + 1, 3*sparseChunk + 17}
+	for _, n := range sizes {
+		data := tieHeavy(rng, n)
+		want := refSparseBlock(data)
+		for _, workers := range []int{1, 4} {
+			got := NewSparseBlockP(data, workers)
+			if got.Total != want.Total {
+				t.Fatalf("n=%d: total %d != %d", n, got.Total, want.Total)
+			}
+			if len(got.Bitmap) != len(want.Bitmap) {
+				t.Fatalf("n=%d: bitmap len %d != %d", n, len(got.Bitmap), len(want.Bitmap))
+			}
+			for i := range want.Bitmap {
+				if got.Bitmap[i] != want.Bitmap[i] {
+					t.Fatalf("n=%d workers=%d: bitmap byte %d: %02x != %02x", n, workers, i, got.Bitmap[i], want.Bitmap[i])
+				}
+			}
+			if len(got.Values) != len(want.Values) {
+				t.Fatalf("n=%d: values len %d != %d", n, len(got.Values), len(want.Values))
+			}
+			for i := range want.Values {
+				if math.Float32bits(got.Values[i]) != math.Float32bits(want.Values[i]) {
+					t.Fatalf("n=%d workers=%d: value %d: %v != %v", n, workers, i, got.Values[i], want.Values[i])
+				}
+			}
+
+			out := make([]float64, n)
+			if err := got.DecodeIntoP(out, workers); err != nil {
+				t.Fatalf("n=%d: DecodeIntoP: %v", n, err)
+			}
+			ref := want.Decode()
+			sliceBitIdentical(t, "decode", out, ref)
+		}
+	}
+}

@@ -8,6 +8,8 @@ import (
 	"math"
 
 	"stwave/internal/fbits"
+	"stwave/internal/par"
+	"stwave/internal/scratch"
 )
 
 // Sparse on-disk encoding of a thresholded coefficient array. Layout:
@@ -28,25 +30,143 @@ type SparseBlock struct {
 	Values []float32
 }
 
+// sparseChunk is the per-task granule of the parallel encode and decode
+// passes. It is a multiple of 8 so no two chunks ever share a bitmap
+// byte, letting chunks write their bitmap regions without coordination.
+const sparseChunk = 1 << 15
+
 // NewSparseBlock encodes a (typically thresholded) coefficient slice.
 // Zero-valued coefficients are treated as discarded.
 func NewSparseBlock(coeffs []float64) *SparseBlock {
+	return NewSparseBlockP(coeffs, 1)
+}
+
+// NewSparseBlockP is NewSparseBlock on up to workers goroutines: a first
+// pass counts survivors per fixed-size chunk, a prefix sum gives every
+// chunk its exact Values segment, and a second pass fills bitmap and
+// values with no appends and no coordination. Output is identical for
+// every worker count.
+func NewSparseBlockP(coeffs []float64, workers int) *SparseBlock {
 	n := len(coeffs)
 	b := &SparseBlock{
 		Total:  n,
 		Bitmap: make([]byte, (n+7)/8),
 	}
-	for i, v := range coeffs {
-		if !fbits.Zero(v) {
-			b.Bitmap[i>>3] |= 1 << uint(i&7)
-			b.Values = append(b.Values, float32(v))
-		}
+	if n == 0 {
+		return b
 	}
+	nch := (n + sparseChunk - 1) / sparseChunk
+	counts := scratch.Uint64s(nch)
+	par.For(nch, workers, 1, func(start, end int) {
+		for ci := start; ci < end; ci++ {
+			lo, hi := ci*sparseChunk, (ci+1)*sparseChunk
+			if hi > n {
+				hi = n
+			}
+			c := 0
+			for _, v := range coeffs[lo:hi] {
+				if !fbits.Zero(v) {
+					c++
+				}
+			}
+			counts[ci] = uint64(c) //stlint:ignore trunccast c is a non-negative element count
+		}
+	})
+	k := 0
+	for ci := range counts {
+		c := int(counts[ci])   //stlint:ignore trunccast counts holds per-chunk tallies bounded by len(coeffs)
+		counts[ci] = uint64(k) //stlint:ignore trunccast k is a running non-negative prefix sum
+		k += c
+	}
+	if k == 0 {
+		scratch.PutUint64s(counts)
+		return b
+	}
+	b.Values = make([]float32, k)
+	par.For(nch, workers, 1, func(start, end int) {
+		for ci := start; ci < end; ci++ {
+			lo, hi := ci*sparseChunk, (ci+1)*sparseChunk
+			if hi > n {
+				hi = n
+			}
+			vi := int(counts[ci]) //stlint:ignore trunccast counts now holds prefix offsets bounded by len(b.Values)
+			for i := lo; i < hi; i++ {
+				v := coeffs[i]
+				if !fbits.Zero(v) {
+					b.Bitmap[i>>3] |= 1 << uint(i&7)
+					b.Values[vi] = float32(v)
+					vi++
+				}
+			}
+		}
+	})
+	scratch.PutUint64s(counts)
 	return b
 }
 
 // Retained returns the number of surviving coefficients.
 func (b *SparseBlock) Retained() int { return len(b.Values) }
+
+// EncodeBlocks encodes one block per coefficient slice, identical to
+// calling NewSparseBlock on each, but with all blocks, bitmaps, and value
+// arrays carved from three shared allocations sized by a parallel count
+// pass — the per-window encode path allocates O(1) instead of O(slices).
+func EncodeBlocks(datas [][]float64, workers int) []*SparseBlock {
+	nb := len(datas)
+	blocks := make([]*SparseBlock, nb)
+	if nb == 0 {
+		return blocks
+	}
+	arr := make([]SparseBlock, nb)
+	counts := scratch.Uint64s(nb)
+	par.For(nb, workers, 1, func(start, end int) {
+		for bi := start; bi < end; bi++ {
+			k := 0
+			for _, v := range datas[bi] {
+				if !fbits.Zero(v) {
+					k++
+				}
+			}
+			counts[bi] = uint64(k) //stlint:ignore trunccast k is a non-negative element count
+		}
+	})
+	totalBits, totalVals := 0, 0
+	for bi, d := range datas {
+		totalBits += (len(d) + 7) / 8
+		totalVals += int(counts[bi]) //stlint:ignore trunccast counts holds per-slice tallies bounded by len(datas[bi])
+	}
+	bitmapSlab := make([]byte, totalBits)
+	valueSlab := make([]float32, totalVals)
+	bo, vo := 0, 0
+	for bi, d := range datas {
+		bn, vn := (len(d)+7)/8, int(counts[bi]) //stlint:ignore trunccast counts holds per-slice tallies bounded by len(d)
+		arr[bi] = SparseBlock{
+			Total:  len(d),
+			Bitmap: bitmapSlab[bo : bo+bn : bo+bn],
+		}
+		if vn > 0 {
+			arr[bi].Values = valueSlab[vo : vo+vn : vo+vn]
+		}
+		blocks[bi] = &arr[bi]
+		bo += bn
+		vo += vn
+	}
+	par.For(nb, workers, 1, func(start, end int) {
+		for bi := start; bi < end; bi++ {
+			b := blocks[bi]
+			vi := 0
+			for i, v := range datas[bi] {
+				if !fbits.Zero(v) {
+					b.Bitmap[i>>3] |= 1 << uint(i&7)
+					b.Values[vi] = float32(v)
+					vi++
+				}
+			}
+		}
+	})
+	scratch.PutUint64s(counts)
+	return blocks
+}
 
 // Decode expands the block back into a dense coefficient slice of length
 // Total (discarded coefficients are zero).
@@ -65,18 +185,65 @@ func (b *SparseBlock) Decode() []float64 {
 // DecodeInto is like Decode but fills a caller-provided slice, which must
 // have length Total.
 func (b *SparseBlock) DecodeInto(out []float64) error {
+	return b.DecodeIntoP(out, 1)
+}
+
+// DecodeIntoP is DecodeInto on up to workers goroutines: a popcount pass
+// over the bitmap gives every chunk its offset into Values, then chunks
+// expand independently. Output is identical for every worker count.
+func (b *SparseBlock) DecodeIntoP(out []float64, workers int) error {
 	if len(out) != b.Total {
-		return fmt.Errorf("compress: DecodeInto length %d != total %d", len(out), b.Total)
+		return fmt.Errorf("compress: DecodeIntoP length %d != total %d", len(out), b.Total)
 	}
-	vi := 0
-	for i := 0; i < b.Total; i++ {
-		if b.Bitmap[i>>3]&(1<<uint(i&7)) != 0 {
-			out[i] = float64(b.Values[vi])
-			vi++
-		} else {
-			out[i] = 0
+	n := b.Total
+	if n == 0 {
+		return nil
+	}
+	nch := (n + sparseChunk - 1) / sparseChunk
+	counts := scratch.Uint64s(nch)
+	par.For(nch, workers, 1, func(start, end int) {
+		for ci := start; ci < end; ci++ {
+			lo, hi := ci*sparseChunk, (ci+1)*sparseChunk
+			if hi > n {
+				hi = n
+			}
+			// Chunks are byte-aligned except possibly the final partial
+			// byte, which belongs wholly to the last chunk.
+			pop := 0
+			for _, byteV := range b.Bitmap[lo>>3 : (hi+7)>>3] {
+				pop += popcount(byteV)
+			}
+			counts[ci] = uint64(pop) //stlint:ignore trunccast pop is a non-negative popcount
 		}
+	})
+	vi := 0
+	for ci := range counts {
+		c := int(counts[ci])    //stlint:ignore trunccast counts holds per-chunk popcounts bounded by b.Total
+		counts[ci] = uint64(vi) //stlint:ignore trunccast vi is a running non-negative prefix sum
+		vi += c
 	}
+	if vi > len(b.Values) {
+		scratch.PutUint64s(counts)
+		return fmt.Errorf("compress: bitmap popcount %d exceeds %d stored values", vi, len(b.Values))
+	}
+	par.For(nch, workers, 1, func(start, end int) {
+		for ci := start; ci < end; ci++ {
+			lo, hi := ci*sparseChunk, (ci+1)*sparseChunk
+			if hi > n {
+				hi = n
+			}
+			vi := int(counts[ci]) //stlint:ignore trunccast counts now holds prefix offsets, checked against len(b.Values) above
+			for i := lo; i < hi; i++ {
+				if b.Bitmap[i>>3]&(1<<uint(i&7)) != 0 {
+					out[i] = float64(b.Values[vi])
+					vi++
+				} else {
+					out[i] = 0
+				}
+			}
+		}
+	})
+	scratch.PutUint64s(counts)
 	return nil
 }
 

@@ -8,6 +8,8 @@ import (
 	"stwave/internal/compress"
 	"stwave/internal/grid"
 	"stwave/internal/obs"
+	"stwave/internal/par"
+	"stwave/internal/scratch"
 	"stwave/internal/transform"
 )
 
@@ -116,14 +118,33 @@ func (c *Compressor) CompressWindow(w *grid.Window) (*CompressedWindow, error) {
 // carries a trace, the transform, threshold, and encode stages each record
 // a span, and stage throughputs land in the process-wide metrics registry
 // either way.
+//
+// The working copy of the window lives in one pooled slab carved into
+// per-slice fields, so the hot path allocates O(1) regardless of window
+// size; the coefficient view is handed to the slice-aware threshold and
+// encode stages directly, with no gather/scatter copies.
 func (c *Compressor) CompressWindowCtx(ctx context.Context, w *grid.Window) (*CompressedWindow, error) {
 	if w.Len() == 0 {
 		return nil, fmt.Errorf("core: cannot compress an empty window")
 	}
 	ctx, sp := obs.Start(ctx, "core.compress_window")
 	defer sp.End()
-	work := w.Clone()
+	t, s := w.Len(), w.Dims.Len()
+	slab := scratch.Floats(t * s)
+	defer scratch.PutFloats(slab)
+	fields := make([]grid.Field3D, t)
+	slices := make([]*grid.Field3D, t)
+	datas := make([][]float64, t)
+	for i := range fields {
+		d := slab[i*s : (i+1)*s : (i+1)*s]
+		copy(d, w.Slices[i].Data)
+		fields[i] = grid.Field3D{Dims: w.Dims, Data: d}
+		slices[i] = &fields[i]
+		datas[i] = d
+	}
+	work := &grid.Window{Dims: w.Dims, Slices: slices, Times: w.Times}
 	spec := c.opts.spec(work.Dims, work.Len())
+	workers := par.Workers(c.opts.Workers)
 	rawBytes := int64(work.TotalSamples()) * 8
 
 	if err := transform.Forward4DCtx(ctx, work, spec); err != nil {
@@ -132,7 +153,7 @@ func (c *Compressor) CompressWindowCtx(ctx context.Context, w *grid.Window) (*Co
 
 	_, spTh := obs.Start(ctx, "core.threshold")
 	start := time.Now()
-	if err := c.threshold(work); err != nil {
+	if err := c.threshold(datas, workers); err != nil {
 		spTh.End()
 		return nil, err
 	}
@@ -147,10 +168,7 @@ func (c *Compressor) CompressWindowCtx(ctx context.Context, w *grid.Window) (*Co
 		Opts:           c.opts,
 		SpatialLevels:  spec.SpatialLevels,
 		TemporalLevels: spec.TemporalLevels,
-		Blocks:         make([]*compress.SparseBlock, work.Len()),
-	}
-	for i, s := range work.Slices {
-		cw.Blocks[i] = compress.NewSparseBlock(s.Data)
+		Blocks:         compress.EncodeBlocks(datas, workers),
 	}
 	observeThroughput("compress.encode_mb_per_s", rawBytes, time.Since(start))
 	spEnc.End()
@@ -159,31 +177,35 @@ func (c *Compressor) CompressWindowCtx(ctx context.Context, w *grid.Window) (*Co
 }
 
 // threshold applies the ratio budget: per-slice for 3D (and for the
-// PerSliceBudget ablation), jointly over the whole window for 4D.
-func (c *Compressor) threshold(w *grid.Window) error {
+// PerSliceBudget ablation), jointly over the whole window for 4D. All
+// slices share one grid, so the per-slice keep count is computed once.
+func (c *Compressor) threshold(datas [][]float64, workers int) error {
 	if c.opts.Mode == Spatial3D || c.opts.PerSliceBudget {
-		for _, s := range w.Slices {
-			if _, err := compress.ThresholdRatio(s.Data, c.opts.Ratio); err != nil {
-				return err
-			}
+		if len(datas) == 0 {
+			return nil
 		}
+		keep, err := compress.KeepCount(len(datas[0]), c.opts.Ratio)
+		if err != nil {
+			return err
+		}
+		par.For(len(datas), workers, 1, func(start, end int) {
+			for i := start; i < end; i++ {
+				compress.ThresholdSlices(datas[i:i+1], keep, 1)
+			}
+		})
 		return nil
 	}
-	// Joint budget: rank all T*S coefficients together. Gather into one
-	// slice, threshold, scatter back.
-	total := w.TotalSamples()
-	all := make([]float64, 0, total)
-	for _, s := range w.Slices {
-		all = append(all, s.Data...)
+	// Joint budget: rank all T*S coefficients together, in place across
+	// the slice views.
+	total := 0
+	for _, d := range datas {
+		total += len(d)
 	}
-	if _, err := compress.ThresholdRatio(all, c.opts.Ratio); err != nil {
+	keep, err := compress.KeepCount(total, c.opts.Ratio)
+	if err != nil {
 		return err
 	}
-	off := 0
-	for _, s := range w.Slices {
-		copy(s.Data, all[off:off+len(s.Data)])
-		off += len(s.Data)
-	}
+	compress.ThresholdSlices(datas, keep, workers)
 	return nil
 }
 
@@ -208,23 +230,40 @@ func DecompressCtx(ctx context.Context, cw *CompressedWindow) (*grid.Window, err
 	_, spDec := obs.Start(ctx, "core.decode_blocks")
 	defer spDec.End()
 	start := time.Now()
-	w := grid.NewWindow(cw.Dims)
+	t, s := len(cw.Blocks), cw.Dims.Len()
 	for i, b := range cw.Blocks {
-		if b.Total != cw.Dims.Len() {
-			return nil, fmt.Errorf("core: block %d has %d coefficients, grid needs %d", i, b.Total, cw.Dims.Len())
+		if b.Total != s {
+			return nil, fmt.Errorf("core: block %d has %d coefficients, grid needs %d", i, b.Total, s)
 		}
-		f := grid.NewField3D(cw.Dims.Nx, cw.Dims.Ny, cw.Dims.Nz)
-		if err := b.DecodeInto(f.Data); err != nil {
-			return nil, err
+	}
+	// The result window is carved from a single backing slab: the caller
+	// owns it, so it cannot come from the pool, but one allocation replaces
+	// one per slice and the blocks decode into it in parallel.
+	slab := make([]float64, t*s)
+	fields := make([]grid.Field3D, t)
+	slices := make([]*grid.Field3D, t)
+	times := make([]float64, t)
+	workers := par.Workers(cw.Opts.Workers)
+	errs := make([]error, t)
+	outer, inner := par.Split(workers, t)
+	par.For(t, outer, 1, func(start, end int) {
+		for i := start; i < end; i++ {
+			d := slab[i*s : (i+1)*s : (i+1)*s]
+			errs[i] = cw.Blocks[i].DecodeIntoP(d, inner)
+			fields[i] = grid.Field3D{Dims: cw.Dims, Data: d}
+			slices[i] = &fields[i]
+			times[i] = float64(i)
+			if cw.Times != nil && i < len(cw.Times) {
+				times[i] = cw.Times[i]
+			}
 		}
-		t := float64(i)
-		if cw.Times != nil && i < len(cw.Times) {
-			t = cw.Times[i]
-		}
-		if err := w.Append(f, t); err != nil {
+	})
+	for _, err := range errs {
+		if err != nil {
 			return nil, err
 		}
 	}
+	w := &grid.Window{Dims: cw.Dims, Slices: slices, Times: times}
 	spDec.End()
 	observeThroughput("compress.decode_mb_per_s", int64(w.TotalSamples())*8, time.Since(start))
 	spec := transform.Spec{

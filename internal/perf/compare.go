@@ -1,0 +1,150 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark comparison: the regression gate behind `stbench compare` and
+// `make bench-diff`. A fresh suite run is diffed against a committed
+// baseline file; any benchmark whose ns/op grew by more than the allowed
+// fraction fails the gate. Benchmarks present on only one side are
+// reported but never fail — the schema grows append-only, so a new
+// harness version comparing against an older baseline is normal.
+
+// Delta is one benchmark's baseline/current pair.
+type Delta struct {
+	Name              string
+	Baseline, Current Result
+}
+
+// NsChange returns the fractional change in ns/op (positive = slower).
+func (d Delta) NsChange() float64 {
+	return (d.Current.NsPerOp - d.Baseline.NsPerOp) / d.Baseline.NsPerOp
+}
+
+// Comparison is the result of diffing two benchmark files.
+type Comparison struct {
+	// Deltas covers benchmarks present in both files, in current-file
+	// order.
+	Deltas []Delta
+	// OnlyBaseline and OnlyCurrent list benchmarks missing from the
+	// other side, sorted by name.
+	OnlyBaseline []string
+	OnlyCurrent  []string
+}
+
+// ParseFile validates data against the stwave-bench/v1 schema and
+// returns the parsed document.
+func ParseFile(data []byte) (File, error) {
+	if err := Validate(data); err != nil {
+		return File{}, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return File{}, err
+	}
+	return f, nil
+}
+
+// Compare pairs up benchmarks by name.
+func Compare(baseline, current File) Comparison {
+	base := make(map[string]Result, len(baseline.Benchmarks))
+	for _, b := range baseline.Benchmarks {
+		base[b.Name] = b
+	}
+	cur := make(map[string]bool, len(current.Benchmarks))
+	var c Comparison
+	for _, b := range current.Benchmarks {
+		cur[b.Name] = true
+		if old, ok := base[b.Name]; ok {
+			c.Deltas = append(c.Deltas, Delta{Name: b.Name, Baseline: old, Current: b})
+		} else {
+			c.OnlyCurrent = append(c.OnlyCurrent, b.Name)
+		}
+	}
+	for _, b := range baseline.Benchmarks {
+		if !cur[b.Name] {
+			c.OnlyBaseline = append(c.OnlyBaseline, b.Name)
+		}
+	}
+	sort.Strings(c.OnlyBaseline)
+	sort.Strings(c.OnlyCurrent)
+	return c
+}
+
+// Regressions returns the deltas whose ns/op grew by more than
+// maxRegress (a fraction: 0.10 allows up to +10%).
+func (c Comparison) Regressions(maxRegress float64) []Delta {
+	var out []Delta
+	for _, d := range c.Deltas {
+		if d.NsChange() > maxRegress {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// WriteTable renders the side-by-side delta table.
+func (c Comparison) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "%-32s %14s %14s %8s %10s %10s\n",
+		"benchmark", "base ns/op", "new ns/op", "Δns/op", "base MB/s", "new MB/s")
+	for _, d := range c.Deltas {
+		fmt.Fprintf(w, "%-32s %14.0f %14.0f %+7.1f%% %10.2f %10.2f\n",
+			d.Name, d.Baseline.NsPerOp, d.Current.NsPerOp, d.NsChange()*100,
+			d.Baseline.MBPerS, d.Current.MBPerS)
+	}
+	for _, name := range c.OnlyCurrent {
+		fmt.Fprintf(w, "%-32s (new benchmark, no baseline)\n", name)
+	}
+	for _, name := range c.OnlyBaseline {
+		fmt.Fprintf(w, "%-32s (in baseline only, skipped)\n", name)
+	}
+}
+
+// MergeBest folds a fresh measurement pass into an accumulator, keeping
+// each benchmark's fastest (lowest ns/op) result across passes. prev may
+// be nil (first pass); order follows the pass that introduced each
+// benchmark. Used by the regression gate: transient neighbour load only
+// slows a run down, so min-over-passes is the robust estimate.
+func MergeBest(prev, pass []Result) []Result {
+	if prev == nil {
+		return append([]Result(nil), pass...)
+	}
+	idx := make(map[string]int, len(prev))
+	for i, r := range prev {
+		idx[r.Name] = i
+	}
+	for _, r := range pass {
+		if i, ok := idx[r.Name]; ok {
+			if r.NsPerOp < prev[i].NsPerOp {
+				prev[i] = r
+			}
+		} else {
+			prev = append(prev, r)
+		}
+	}
+	return prev
+}
+
+// ParseMaxRegress parses a regression bound given as either a percent
+// ("10%") or a fraction ("0.10"). The bound must be non-negative.
+func ParseMaxRegress(s string) (float64, error) {
+	text := strings.TrimSpace(s)
+	pct := strings.HasSuffix(text, "%")
+	v, err := strconv.ParseFloat(strings.TrimSuffix(text, "%"), 64)
+	if err != nil {
+		return 0, fmt.Errorf("perf: bad regression bound %q: %w", s, err)
+	}
+	if pct {
+		v /= 100
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("perf: regression bound %q is negative", s)
+	}
+	return v, nil
+}

@@ -1,0 +1,121 @@
+package perf
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseMaxRegress(t *testing.T) {
+	good := map[string]float64{
+		"10%":   0.10,
+		"0.10":  0.10,
+		" 25% ": 0.25,
+		"0":     0,
+	}
+	for in, want := range good {
+		got, err := ParseMaxRegress(in)
+		if err != nil {
+			t.Errorf("ParseMaxRegress(%q): %v", in, err)
+			continue
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("ParseMaxRegress(%q) = %v, want %v", in, got, want)
+		}
+	}
+	for _, in := range []string{"", "abc", "-5%", "-0.1", "%"} {
+		if _, err := ParseMaxRegress(in); err == nil {
+			t.Errorf("ParseMaxRegress(%q): accepted", in)
+		}
+	}
+}
+
+func TestCompareAndRegressions(t *testing.T) {
+	baseline := File{Benchmarks: []Result{
+		{Name: "a", NsPerOp: 100},
+		{Name: "b", NsPerOp: 100},
+		{Name: "gone", NsPerOp: 50},
+	}}
+	current := File{Benchmarks: []Result{
+		{Name: "a", NsPerOp: 105}, // +5%: inside a 10% bound
+		{Name: "b", NsPerOp: 120}, // +20%: regression
+		{Name: "new", NsPerOp: 10},
+	}}
+	c := Compare(baseline, current)
+	if len(c.Deltas) != 2 {
+		t.Fatalf("deltas = %d, want 2", len(c.Deltas))
+	}
+	if c.Deltas[0].Name != "a" || c.Deltas[1].Name != "b" {
+		t.Errorf("delta order = %v, want current-file order a, b", c.Deltas)
+	}
+	if len(c.OnlyBaseline) != 1 || c.OnlyBaseline[0] != "gone" {
+		t.Errorf("only-baseline = %v, want [gone]", c.OnlyBaseline)
+	}
+	if len(c.OnlyCurrent) != 1 || c.OnlyCurrent[0] != "new" {
+		t.Errorf("only-current = %v, want [new]", c.OnlyCurrent)
+	}
+
+	reg := c.Regressions(0.10)
+	if len(reg) != 1 || reg[0].Name != "b" {
+		t.Fatalf("regressions at 10%% = %v, want just b", reg)
+	}
+	if got := reg[0].NsChange(); math.Abs(got-0.20) > 1e-12 {
+		t.Errorf("NsChange = %v, want 0.20", got)
+	}
+	if reg := c.Regressions(0.25); len(reg) != 0 {
+		t.Errorf("regressions at 25%% = %v, want none", reg)
+	}
+
+	var buf bytes.Buffer
+	c.WriteTable(&buf)
+	out := buf.String()
+	for _, want := range []string{"benchmark", "a", "b", "new benchmark", "baseline only"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMergeBest(t *testing.T) {
+	p1 := MergeBest(nil, []Result{{Name: "a", NsPerOp: 100}, {Name: "b", NsPerOp: 50}})
+	p2 := MergeBest(p1, []Result{{Name: "a", NsPerOp: 90}, {Name: "b", NsPerOp: 60}, {Name: "c", NsPerOp: 1}})
+	if len(p2) != 3 {
+		t.Fatalf("merged = %v, want 3 entries", p2)
+	}
+	want := map[string]float64{"a": 90, "b": 50, "c": 1}
+	for _, r := range p2 {
+		if math.Float64bits(r.NsPerOp) != math.Float64bits(want[r.Name]) {
+			t.Errorf("%s: ns/op = %v, want %v", r.Name, r.NsPerOp, want[r.Name])
+		}
+	}
+}
+
+func TestParseFileAcceptsWriteOutputWithEnv(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, []Result{{Name: "a", Iters: 1, NsPerOp: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ParseFile(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Env == nil || f.Env.Cores <= 0 || f.Env.GoMaxProcs <= 0 || f.Env.GoVersion == "" {
+		t.Errorf("env not stamped: %+v", f.Env)
+	}
+	// A baseline without the optional env block still parses: the schema
+	// grows append-only.
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	delete(doc, "env")
+	old, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseFile(old); err != nil {
+		t.Errorf("env-less file rejected: %v", err)
+	}
+}

@@ -12,6 +12,7 @@
 //
 //	{
 //	  "schema": "stwave-bench/v1",
+//	  "env": {"cores": ..., "gomaxprocs": ..., "go_version": ...},
 //	  "benchmarks": [
 //	    {"name": ..., "iters": ..., "ns_per_op": ..., "mb_per_s": ..., "allocs_per_op": ...},
 //	    ...
@@ -20,7 +21,10 @@
 //
 // mb_per_s is 0 for benchmarks without a natural byte volume. The field
 // set is append-only: consumers may rely on these five fields existing
-// in every entry forever.
+// in every entry forever. "env" is a later append-only addition (it
+// records the machine the numbers came from, which the worker-scaling
+// series is meaningless without); files written before it exist remain
+// valid.
 package perf
 
 import (
@@ -49,9 +53,31 @@ type Result struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
+// Env records the machine a result file was measured on. Worker-scaling
+// results (scaling.*) cannot be interpreted without it.
+type Env struct {
+	// Cores is runtime.NumCPU at measurement time.
+	Cores int `json:"cores"`
+	// GoMaxProcs is the effective GOMAXPROCS at measurement time.
+	GoMaxProcs int `json:"gomaxprocs"`
+	// GoVersion is the toolchain that built the harness.
+	GoVersion string `json:"go_version"`
+}
+
+// CurrentEnv captures the measurement environment of this process.
+func CurrentEnv() Env {
+	return Env{
+		Cores:      runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+	}
+}
+
 // File is the top-level document written to BENCH_pipeline.json.
 type File struct {
-	Schema     string   `json:"schema"`
+	Schema string `json:"schema"`
+	// Env is nil in files written by harness versions that predate it.
+	Env        *Env     `json:"env,omitempty"`
 	Benchmarks []Result `json:"benchmarks"`
 }
 
@@ -130,11 +156,13 @@ func Measure(cfg Config, name string, bytesPerOp int64, fn func() error) (Result
 	return r, nil
 }
 
-// Write emits the results as an indented schema-tagged JSON document.
+// Write emits the results as an indented schema-tagged JSON document,
+// stamped with the current machine's Env.
 func Write(w io.Writer, results []Result) error {
+	env := CurrentEnv()
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(File{Schema: SchemaVersion, Benchmarks: results})
+	return enc.Encode(File{Schema: SchemaVersion, Env: &env, Benchmarks: results})
 }
 
 // Validate checks that data is a well-formed result file: correct schema

@@ -24,11 +24,14 @@ import (
 // large enough that per-op noise stays in the low percents at the
 // default MinTime.
 const (
-	benchN       = 24 // grid edge (24^3 points per slice)
-	benchSlices  = 10
-	benchWindow  = 5
-	benchRatio   = 32
-	benchWorkers = 1 // single-threaded: measure the algorithms, not the scheduler
+	benchN      = 24 // grid edge (24^3 points per slice)
+	benchSlices = 10
+	benchWindow = 5
+	benchRatio  = 32
+	// benchWorkers = 0 measures the shipped default (all CPUs). The
+	// scaling.* series pins explicit worker budgets so cross-machine
+	// files stay interpretable via the env block.
+	benchWorkers = 0
 )
 
 // benchGrid builds a temporally coherent window that compresses like
@@ -96,6 +99,16 @@ func RunPipeline(ctx context.Context, cfg Config, progress io.Writer) ([]Result,
 		return nil, err
 	}
 
+	// Persistent working window for the in-place stages: the timed loop
+	// copies the fixed input over it instead of cloning, so the
+	// measurement sees the stage's own allocations, not the harness's.
+	work := w.Clone()
+	copyInto := func(dst, src *grid.Window) {
+		for i, s := range src.Slices {
+			copy(dst.Slices[i].Data, s.Data)
+		}
+	}
+
 	// Container + server fixtures.
 	dir, err := os.MkdirTemp("", "stwave-perf-")
 	if err != nil {
@@ -135,13 +148,15 @@ func RunPipeline(ctx context.Context, cfg Config, progress io.Writer) ([]Result,
 
 	suite := []pipelineBenchmark{
 		{"xform.forward4d_cdf97", rawBytes, func(ctx context.Context) error {
-			return transform.Forward4DCtx(ctx, w.Clone(), spec)
+			copyInto(work, w)
+			return transform.Forward4DCtx(ctx, work, spec)
 		}},
 		{"xform.inverse4d_cdf97", rawBytes, func(ctx context.Context) error {
-			return transform.Inverse4DCtx(ctx, transformed.Clone(), spec)
+			copyInto(work, transformed)
+			return transform.Inverse4DCtx(ctx, work, spec)
 		}},
 		{"compress.threshold", rawBytes, func(ctx context.Context) error {
-			work := transformed.Clone()
+			copyInto(work, transformed)
 			for _, s := range work.Slices {
 				if _, err := compress.ThresholdRatio(s.Data, benchRatio); err != nil {
 					return err
@@ -179,6 +194,29 @@ func RunPipeline(ctx context.Context, cfg Config, progress io.Writer) ([]Result,
 			srv.Cache().Flush()
 			return serveSlice(2)
 		}},
+	}
+
+	// Worker-scaling series: the full compress under pinned worker
+	// budgets (1, 2, all CPUs), so a result file documents how the hot
+	// path scales on the machine named in its env block.
+	for _, sw := range []struct {
+		name    string
+		workers int
+	}{
+		{"scaling.compress_window_w1", 1},
+		{"scaling.compress_window_w2", 2},
+		{"scaling.compress_window_wmax", 0},
+	} {
+		o := opts
+		o.Workers = sw.workers
+		scomp, err := core.New(o)
+		if err != nil {
+			return nil, err
+		}
+		suite = append(suite, pipelineBenchmark{sw.name, rawBytes, func(ctx context.Context) error {
+			_, err := scomp.CompressWindowCtx(ctx, w)
+			return err
+		}})
 	}
 
 	// Warm the server cache so slice_hot measures the steady state.

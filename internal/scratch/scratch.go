@@ -1,0 +1,114 @@
+// Package scratch is the pipeline's shared scratch-buffer arena: a set of
+// size-classed sync.Pools for the temporary float64 and uint64 slices the
+// compression hot path burns through (transform tile slabs, threshold
+// candidate buffers, cloned work windows). Reusing them drives the
+// steady-state allocation count of core.CompressWindow toward zero.
+//
+// Buffers are pooled by power-of-two capacity class. Get functions return
+// a slice of exactly the requested length whose contents are arbitrary —
+// callers must fully overwrite before reading. Put functions accept any
+// slice; buffers whose capacity is not a pooled class (or that are too
+// small to be worth keeping) are dropped on the floor, so it is always
+// safe to Put a buffer that came from somewhere else.
+package scratch
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// minClass is the smallest pooled capacity (1 << minClass). Buffers under
+// 256 elements are cheaper to allocate than to pool.
+const minClass = 8
+
+// maxClass is the largest pooled capacity exponent (1 << maxClass
+// elements, 128 Mi — a 2 GiB float64 buffer). Larger requests allocate
+// directly and are never pooled.
+const maxClass = 27
+
+// pools[c] holds *[]T buffers of capacity exactly 1 << c.
+var (
+	floatPools  [maxClass + 1]sync.Pool
+	uint64Pools [maxClass + 1]sync.Pool
+	// Box pools recycle the *[]T header boxes between Get and Put: a
+	// pointer round-trips through a sync.Pool without allocating, but
+	// boxing a fresh slice header on every Put would cost one small heap
+	// allocation per call — exactly the steady-state garbage this package
+	// exists to remove.
+	floatBoxes  sync.Pool
+	uint64Boxes sync.Pool
+)
+
+// class returns the pool class for a request of n elements: the smallest
+// c with 1<<c >= n, clamped to minClass. ok is false when n is too large
+// to pool.
+func class(n int) (c int, ok bool) {
+	if n <= 1<<minClass {
+		return minClass, true
+	}
+	c = bits.Len(uint(n - 1))
+	return c, c <= maxClass
+}
+
+// putClass returns the pool class a buffer of capacity cap belongs to:
+// pooled classes have exactly power-of-two capacity. ok is false for
+// foreign capacities, which are dropped rather than pooled.
+func putClass(capacity int) (c int, ok bool) {
+	if capacity < 1<<minClass || capacity&(capacity-1) != 0 {
+		return 0, false
+	}
+	c = bits.Len(uint(capacity)) - 1
+	return c, c <= maxClass
+}
+
+// Floats returns a float64 slice of length n with arbitrary contents.
+func Floats(n int) []float64 {
+	if c, ok := class(n); ok {
+		if p, _ := floatPools[c].Get().(*[]float64); p != nil {
+			s := *p
+			*p = nil
+			floatBoxes.Put(p)
+			return s[:n]
+		}
+		return make([]float64, n, 1<<c)
+	}
+	return make([]float64, n)
+}
+
+// PutFloats returns a buffer to the arena for reuse.
+func PutFloats(s []float64) {
+	if c, ok := putClass(cap(s)); ok {
+		p, _ := floatBoxes.Get().(*[]float64)
+		if p == nil {
+			p = new([]float64)
+		}
+		*p = s[:cap(s)]
+		floatPools[c].Put(p)
+	}
+}
+
+// Uint64s returns a uint64 slice of length n with arbitrary contents.
+func Uint64s(n int) []uint64 {
+	if c, ok := class(n); ok {
+		if p, _ := uint64Pools[c].Get().(*[]uint64); p != nil {
+			s := *p
+			*p = nil
+			uint64Boxes.Put(p)
+			return s[:n]
+		}
+		return make([]uint64, n, 1<<c)
+	}
+	return make([]uint64, n)
+}
+
+// PutUint64s returns a buffer to the arena for reuse.
+func PutUint64s(s []uint64) {
+	if c, ok := putClass(cap(s)); ok {
+		p, _ := uint64Boxes.Get().(*[]uint64)
+		if p == nil {
+			p = new([]uint64)
+		}
+		*p = s[:cap(s)]
+		uint64Pools[c].Put(p)
+	}
+}

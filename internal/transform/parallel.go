@@ -2,50 +2,53 @@
 // the paper's Section IV-A: the 3D "non-standard decomposition" applied per
 // time slice (one pass along X, then Y, then Z per level, repeated on the
 // shrinking approximation cube), and the temporal 1D transform applied at
-// every grid point of a time window. Line-level work is distributed across
-// a worker pool.
+// every grid point of a time window.
+//
+// Parallelism follows a single-owner worker-budget model (see DESIGN.md):
+// the 4D entry points resolve Spec.Workers exactly once and split the
+// budget between window-level slice parallelism and the per-slice passes
+// via par.Split, so nested loops can never oversubscribe the machine. The
+// per-axis passes and the temporal step are cache-blocked: tiles of
+// neighbouring lines (or grid-point time series) are transposed into a
+// contiguous scratch slab and transformed together by the blocked lifting
+// kernels in internal/wavelet.
 package transform
 
 import (
-	"runtime"
-	"sync"
+	"stwave/internal/grid"
+	"stwave/internal/par"
 )
 
 // Workers resolves a requested worker count: values < 1 mean "use all CPUs".
 func Workers(requested int) int {
-	if requested >= 1 {
-		return requested
-	}
-	return runtime.NumCPU()
+	return par.Workers(requested)
 }
 
-// parallelFor splits [0, n) into contiguous chunks and runs fn(start, end)
-// on each from a pool of `workers` goroutines. fn is called sequentially
-// when workers <= 1 or n is small.
-func parallelFor(n, workers int, fn func(start, end int)) {
-	if n <= 0 {
-		return
-	}
-	workers = Workers(workers)
-	if workers > n {
-		workers = n
-	}
-	if workers == 1 || n < 64 {
-		fn(0, n)
-		return
-	}
-	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	for start := 0; start < n; start += chunk {
-		end := start + chunk
-		if end > n {
-			end = n
+// forEachSlice runs fn over every slice of the window, splitting the
+// worker budget once: outer workers cooperate on slices and each call
+// receives the inner per-slice budget. With a single outer worker the
+// loop degenerates to a plain sequential walk with early error return and
+// no goroutines or bookkeeping allocations.
+func forEachSlice(slices []*grid.Field3D, budget int, fn func(i int, f *grid.Field3D, inner int) error) error {
+	outer, inner := par.Split(budget, len(slices))
+	if outer <= 1 {
+		for i, f := range slices {
+			if err := fn(i, f, inner); err != nil {
+				return err
+			}
 		}
-		wg.Add(1)
-		go func(s, e int) {
-			defer wg.Done()
-			fn(s, e)
-		}(start, end)
+		return nil
 	}
-	wg.Wait()
+	errs := make([]error, len(slices))
+	par.For(len(slices), outer, 1, func(start, end int) {
+		for i := start; i < end; i++ {
+			errs[i] = fn(i, slices[i], inner)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -4,8 +4,24 @@ import (
 	"fmt"
 
 	"stwave/internal/grid"
+	"stwave/internal/par"
+	"stwave/internal/scratch"
 	"stwave/internal/wavelet"
 )
+
+// spatialLanes is the tile width (in X samples) of the blocked Y and Z
+// passes: each tile transposes spatialLanes neighbouring strided lines
+// into a contiguous slab and transforms them together. 64 lanes keep a
+// 64-sample × 512-line slab pair under 512 KiB while amortizing the
+// lifting loops over a full cache line of lanes.
+const spatialLanes = 64
+
+// contigSlab caps (in elements) the slab size of the contiguous fast
+// paths in passY and passZ: at level 0 the grid's own memory layout
+// already matches the blocked-kernel lane layout, so the transform can
+// lift straight out of f.Data with no gather copy — worthwhile only
+// while the region still fits in cache (32768 elements = 256 KiB).
+const contigSlab = 1 << 15
 
 // Levels3D returns the number of transform levels the paper's Equation 2
 // permits for a 3D grid: the per-axis maximum evaluated at the shortest
@@ -72,86 +88,184 @@ func Inverse3D(f *grid.Field3D, k wavelet.Kernel, levels, workers int) error {
 func half(n int) int { return (n + 1) / 2 }
 
 // passX transforms the first cnx samples of every X row inside the
-// (cnx, cny, cnz) approximation cube. Rows are contiguous in memory.
+// (cnx, cny, cnz) approximation cube. Rows are contiguous in memory, so
+// the scalar kernel already streams; rows are batched into tasks of at
+// least ~4096 samples so short rows never pay goroutine overhead.
 func passX(f *grid.Field3D, k wavelet.Kernel, cnx, cny, cnz, workers int, inverse bool) {
 	if cnx < 2 {
 		return
 	}
-	nx, ny := f.Dims.Nx, f.Dims.Ny
 	lines := cny * cnz
-	parallelFor(lines, workers, func(start, end int) {
-		scratch := make([]float64, cnx)
-		for li := start; li < end; li++ {
-			y := li % cny
-			z := li / cny
-			row := f.Data[(z*ny+y)*nx : (z*ny+y)*nx+cnx]
-			if inverse {
-				wavelet.InverseStep(k, row, scratch)
-			} else {
-				wavelet.ForwardStep(k, row, scratch)
-			}
-		}
+	// The workers<=1 path calls the range worker directly: creating the
+	// closure for par.For would heap-allocate it at every level of every
+	// slice even though the sequential path never needs it.
+	if workers <= 1 {
+		passXRange(f, k, cnx, cny, 0, lines, inverse)
+		return
+	}
+	grain := 1 + 4096/cnx
+	par.For(lines, workers, grain, func(start, end int) {
+		passXRange(f, k, cnx, cny, start, end, inverse)
 	})
 }
 
+func passXRange(f *grid.Field3D, k wavelet.Kernel, cnx, cny, start, end int, inverse bool) {
+	nx, ny := f.Dims.Nx, f.Dims.Ny
+	scr := scratch.Floats(cnx)
+	for li := start; li < end; li++ {
+		y := li % cny
+		z := li / cny
+		row := f.Data[(z*ny+y)*nx : (z*ny+y)*nx+cnx]
+		if inverse {
+			wavelet.InverseStep(k, row, scr)
+		} else {
+			wavelet.ForwardStep(k, row, scr)
+		}
+	}
+	scratch.PutFloats(scr)
+}
+
 // passY transforms strided Y lines (stride Nx) inside the approximation
-// cube; lines are gathered into a contiguous buffer, transformed, and
-// scattered back.
+// cube. Tiles of spatialLanes neighbouring X positions are transposed
+// into a contiguous (cny × lanes) slab with one bulk copy per Y level,
+// transformed together by the blocked kernel, and scattered back.
 func passY(f *grid.Field3D, k wavelet.Kernel, cnx, cny, cnz, workers int, inverse bool) {
 	if cny < 2 {
 		return
 	}
-	nx, ny := f.Dims.Nx, f.Dims.Ny
-	lines := cnx * cnz
-	parallelFor(lines, workers, func(start, end int) {
-		line := make([]float64, cny)
-		scratch := make([]float64, cny)
-		for li := start; li < end; li++ {
-			x := li % cnx
-			z := li / cnx
-			base := z*ny*nx + x
-			for y := 0; y < cny; y++ {
-				line[y] = f.Data[base+y*nx]
-			}
-			if inverse {
-				wavelet.InverseStep(k, line, scratch)
-			} else {
-				wavelet.ForwardStep(k, line, scratch)
-			}
-			for y := 0; y < cny; y++ {
-				f.Data[base+y*nx] = line[y]
-			}
+	// Contiguous fast path: when the pass covers full X rows (level 0),
+	// the cny×nx plane region at each z is already laid out exactly like
+	// a blocked slab with nx lanes — lift it in place, no gather.
+	if nx := f.Dims.Nx; cnx == nx && cny*nx <= contigSlab {
+		if workers <= 1 {
+			passYContig(f, k, cny, 0, cnz, inverse)
+			return
 		}
+		par.For(cnz, workers, 1, func(start, end int) {
+			passYContig(f, k, cny, start, end, inverse)
+		})
+		return
+	}
+	ntx := (cnx + spatialLanes - 1) / spatialLanes
+	tiles := ntx * cnz
+	if workers <= 1 {
+		passYRange(f, k, cnx, cny, ntx, 0, tiles, inverse)
+		return
+	}
+	par.For(tiles, workers, 1, func(start, end int) {
+		passYRange(f, k, cnx, cny, ntx, start, end, inverse)
 	})
 }
 
-// passZ transforms strided Z pencils (stride Nx*Ny) inside the approximation
-// cube.
+// passYContig transforms the z range [z0, z1) through the blocked kernel
+// directly on f.Data: each z plane's first cny rows form a contiguous
+// (cny × nx) slab. The forward kernel clobbers its source, which is fine —
+// the result is copied over the same region.
+func passYContig(f *grid.Field3D, k wavelet.Kernel, cny, z0, z1 int, inverse bool) {
+	nx, ny := f.Dims.Nx, f.Dims.Ny
+	scr := scratch.Floats(cny * nx)
+	for z := z0; z < z1; z++ {
+		src := f.Data[z*ny*nx : z*ny*nx+cny*nx]
+		if inverse {
+			wavelet.InverseStepBlockTo(k, src, scr, cny, nx)
+		} else {
+			wavelet.ForwardStepBlockTo(k, src, scr, cny, nx)
+		}
+		copy(src, scr[:cny*nx])
+	}
+	scratch.PutFloats(scr)
+}
+
+func passYRange(f *grid.Field3D, k wavelet.Kernel, cnx, cny, ntx, start, end int, inverse bool) {
+	nx, ny := f.Dims.Nx, f.Dims.Ny
+	slab := scratch.Floats(cny * spatialLanes)
+	scr := scratch.Floats(cny * spatialLanes)
+	for ti := start; ti < end; ti++ {
+		x0 := (ti % ntx) * spatialLanes
+		z := ti / ntx
+		lanes := cnx - x0
+		if lanes > spatialLanes {
+			lanes = spatialLanes
+		}
+		base := z*ny*nx + x0
+		for y := 0; y < cny; y++ {
+			copy(slab[y*lanes:(y+1)*lanes], f.Data[base+y*nx:base+y*nx+lanes])
+		}
+		// Single level: lift straight into the second slab and scatter
+		// from there — no copy-back.
+		if inverse {
+			wavelet.InverseStepBlockTo(k, slab, scr, cny, lanes)
+		} else {
+			wavelet.ForwardStepBlockTo(k, slab, scr, cny, lanes)
+		}
+		for y := 0; y < cny; y++ {
+			copy(f.Data[base+y*nx:base+y*nx+lanes], scr[y*lanes:(y+1)*lanes])
+		}
+	}
+	scratch.PutFloats(scr)
+	scratch.PutFloats(slab)
+}
+
+// passZ transforms strided Z pencils (stride Nx*Ny) inside the
+// approximation cube, blocked exactly like passY: lanes are neighbouring
+// X positions at a fixed Y, the series runs along Z.
 func passZ(f *grid.Field3D, k wavelet.Kernel, cnx, cny, cnz, workers int, inverse bool) {
 	if cnz < 2 {
 		return
 	}
+	// Contiguous fast path: when the pass covers the full X×Y extent
+	// (level 0), the whole cnz-deep region is one blocked slab with
+	// nx*ny lanes. Serial only — the tiled path below is what splits the
+	// work across goroutines.
+	if nx, ny := f.Dims.Nx, f.Dims.Ny; workers <= 1 && cnx == nx && cny == ny && cnz*ny*nx <= contigSlab {
+		lanes := ny * nx
+		scr := scratch.Floats(cnz * lanes)
+		src := f.Data[:cnz*lanes]
+		if inverse {
+			wavelet.InverseStepBlockTo(k, src, scr, cnz, lanes)
+		} else {
+			wavelet.ForwardStepBlockTo(k, src, scr, cnz, lanes)
+		}
+		copy(src, scr[:cnz*lanes])
+		scratch.PutFloats(scr)
+		return
+	}
+	ntx := (cnx + spatialLanes - 1) / spatialLanes
+	tiles := ntx * cny
+	if workers <= 1 {
+		passZRange(f, k, cnx, cnz, ntx, 0, tiles, inverse)
+		return
+	}
+	par.For(tiles, workers, 1, func(start, end int) {
+		passZRange(f, k, cnx, cnz, ntx, start, end, inverse)
+	})
+}
+
+func passZRange(f *grid.Field3D, k wavelet.Kernel, cnx, cnz, ntx, start, end int, inverse bool) {
 	nx, ny := f.Dims.Nx, f.Dims.Ny
 	stride := nx * ny
-	lines := cnx * cny
-	parallelFor(lines, workers, func(start, end int) {
-		line := make([]float64, cnz)
-		scratch := make([]float64, cnz)
-		for li := start; li < end; li++ {
-			x := li % cnx
-			y := li / cnx
-			base := y*nx + x
-			for z := 0; z < cnz; z++ {
-				line[z] = f.Data[base+z*stride]
-			}
-			if inverse {
-				wavelet.InverseStep(k, line, scratch)
-			} else {
-				wavelet.ForwardStep(k, line, scratch)
-			}
-			for z := 0; z < cnz; z++ {
-				f.Data[base+z*stride] = line[z]
-			}
+	slab := scratch.Floats(cnz * spatialLanes)
+	scr := scratch.Floats(cnz * spatialLanes)
+	for ti := start; ti < end; ti++ {
+		x0 := (ti % ntx) * spatialLanes
+		y := ti / ntx
+		lanes := cnx - x0
+		if lanes > spatialLanes {
+			lanes = spatialLanes
 		}
-	})
+		base := y*nx + x0
+		for z := 0; z < cnz; z++ {
+			copy(slab[z*lanes:(z+1)*lanes], f.Data[base+z*stride:base+z*stride+lanes])
+		}
+		if inverse {
+			wavelet.InverseStepBlockTo(k, slab, scr, cnz, lanes)
+		} else {
+			wavelet.ForwardStepBlockTo(k, slab, scr, cnz, lanes)
+		}
+		for z := 0; z < cnz; z++ {
+			copy(f.Data[base+z*stride:base+z*stride+lanes], scr[z*lanes:(z+1)*lanes])
+		}
+	}
+	scratch.PutFloats(scr)
+	scratch.PutFloats(slab)
 }

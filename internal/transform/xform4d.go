@@ -7,8 +7,17 @@ import (
 
 	"stwave/internal/grid"
 	"stwave/internal/obs"
+	"stwave/internal/par"
+	"stwave/internal/scratch"
 	"stwave/internal/wavelet"
 )
+
+// temporalLanes is the tile width (in grid points) of the blocked
+// temporal pass: each tile transposes the time series of temporalLanes
+// neighbouring grid points into a contiguous (T × lanes) slab — one bulk
+// copy per slice instead of one strided load per point per slice — and
+// transforms all of them per gather with the blocked lifting kernel.
+const temporalLanes = 128
 
 // LevelsTemporal returns the Equation 2 level budget for a temporal window
 // of T slices under kernel k. With window 10, CDF 9/7 permits 1 level and
@@ -29,6 +38,18 @@ func InverseTemporal(w *grid.Window, k wavelet.Kernel, levels, workers int) erro
 	return temporalPass(w, k, levels, workers, true)
 }
 
+// temporalLens returns the per-point pyramid lengths (identical for all
+// grid points) of a levels-deep temporal transform over t slices.
+func temporalLens(t, levels int) []int {
+	lens := make([]int, 0, levels)
+	n := t
+	for l := 0; l < levels && n >= 2; l++ {
+		lens = append(lens, n)
+		n = (n + 1) / 2
+	}
+	return lens
+}
+
 func temporalPass(w *grid.Window, k wavelet.Kernel, levels, workers int, inverse bool) error {
 	t := w.Len()
 	if levels < 0 {
@@ -41,31 +62,59 @@ func temporalPass(w *grid.Window, k wavelet.Kernel, levels, workers int, inverse
 		return nil
 	}
 	points := w.Dims.Len()
-	// Per-point pyramid lengths, identical for all points.
-	lens := make([]int, 0, levels)
-	n := t
-	for l := 0; l < levels && n >= 2; l++ {
-		lens = append(lens, n)
-		n = (n + 1) / 2
+	lens := temporalLens(t, levels)
+	tiles := (points + temporalLanes - 1) / temporalLanes
+	if workers <= 1 {
+		temporalRange(w, k, lens, t, points, 0, tiles, inverse)
+		return nil
 	}
-	parallelFor(points, workers, func(start, end int) {
-		series := make([]float64, t)
-		scratch := make([]float64, t)
-		for p := start; p < end; p++ {
-			w.GatherSeries(p, series)
-			if inverse {
-				for i := len(lens) - 1; i >= 0; i-- {
-					wavelet.InverseStep(k, series[:lens[i]], scratch)
-				}
-			} else {
-				for _, ln := range lens {
-					wavelet.ForwardStep(k, series[:ln], scratch)
-				}
-			}
-			w.ScatterSeries(p, series)
-		}
+	par.For(tiles, workers, 1, func(start, end int) {
+		temporalRange(w, k, lens, t, points, start, end, inverse)
 	})
 	return nil
+}
+
+func temporalRange(w *grid.Window, k wavelet.Kernel, lens []int, t, points, start, end int, inverse bool) {
+	slab := scratch.Floats(t * temporalLanes)
+	scr := scratch.Floats(t * temporalLanes)
+	for tile := start; tile < end; tile++ {
+		p0 := tile * temporalLanes
+		lanes := points - p0
+		if lanes > temporalLanes {
+			lanes = temporalLanes
+		}
+		for ti := 0; ti < t; ti++ {
+			copy(slab[ti*lanes:(ti+1)*lanes], w.Slices[ti].Data[p0:p0+lanes])
+		}
+		// The pyramid ping-pongs between slab and scr so no level pays
+		// a full-size pre-copy. Forward: each level lifts the slab
+		// prefix into scr; deeper levels only overwrite the shrinking
+		// approx prefix, so every level's detail rows survive in scr and
+		// the scatter reads scr alone. Inverse: each level reconstructs
+		// into scr and copies back so the next (longer) level sees
+		// [approx | detail] contiguous in slab; the copy is skipped for
+		// the outermost level, which scatters straight from scr.
+		if inverse {
+			for i := len(lens) - 1; i >= 0; i-- {
+				wavelet.InverseStepBlockTo(k, slab, scr, lens[i], lanes)
+				if i > 0 {
+					copy(slab[:lens[i]*lanes], scr[:lens[i]*lanes])
+				}
+			}
+		} else {
+			for li, ln := range lens {
+				wavelet.ForwardStepBlockTo(k, slab, scr, ln, lanes)
+				if li+1 < len(lens) {
+					copy(slab[:lens[li+1]*lanes], scr[:lens[li+1]*lanes])
+				}
+			}
+		}
+		for ti := 0; ti < t; ti++ {
+			copy(w.Slices[ti].Data[p0:p0+lanes], scr[ti*lanes:(ti+1)*lanes])
+		}
+	}
+	scratch.PutFloats(scr)
+	scratch.PutFloats(slab)
 }
 
 // Spec describes a full spatiotemporal transform configuration.
@@ -79,7 +128,9 @@ type Spec struct {
 	// TemporalLevels == 0 disables the temporal step (pure 3D transform).
 	TemporalKernel wavelet.Kernel
 	TemporalLevels int
-	// Workers bounds parallelism; < 1 uses all CPUs.
+	// Workers bounds parallelism; < 1 uses all CPUs. The 4D entry points
+	// own the budget: it is resolved once and split between window-level
+	// slice parallelism and the per-slice passes, never both in full.
 	Workers int
 }
 
@@ -112,25 +163,30 @@ func Forward4D(w *grid.Window, s Spec) error {
 
 // Forward4DCtx is Forward4D with context propagation for tracing spans:
 // each stage (per-slice 3D, then temporal) records a span under any trace
-// carried by ctx and a per-window duration in the metrics registry.
+// carried by ctx and a per-window duration in the metrics registry. The
+// 3D stage parallelizes across slices, handing each slice the inner share
+// of the worker budget (par.Split), so the machine is never oversubscribed.
 func Forward4DCtx(ctx context.Context, w *grid.Window, s Spec) error {
 	spatial, temporal := s.resolve(w.Dims, w.Len())
 	_, sp3 := obs.Start(ctx, "xform.forward_3d")
 	sp3.SetAttr("kernel", s.SpatialKernel.String())
 	start := time.Now()
-	for i, slice := range w.Slices {
-		if err := Forward3D(slice, s.SpatialKernel, spatial, s.Workers); err != nil {
-			sp3.End()
+	err := forEachSlice(w.Slices, s.Workers, func(i int, f *grid.Field3D, inner int) error {
+		if err := Forward3D(f, s.SpatialKernel, spatial, inner); err != nil {
 			return fmt.Errorf("transform: slice %d: %w", i, err)
 		}
+		return nil
+	})
+	sp3.End()
+	if err != nil {
+		return err
 	}
 	stageDone("forward_3d", s.SpatialKernel, start)
-	sp3.End()
 
 	_, spT := obs.Start(ctx, "xform.forward_temporal")
 	spT.SetAttr("kernel", s.TemporalKernel.String())
 	start = time.Now()
-	err := ForwardTemporal(w, s.TemporalKernel, temporal, s.Workers)
+	err = ForwardTemporal(w, s.TemporalKernel, temporal, s.Workers)
 	if err == nil {
 		stageDone("forward_temporal", s.TemporalKernel, start)
 	}
@@ -145,7 +201,8 @@ func Inverse4D(w *grid.Window, s Spec) error {
 }
 
 // Inverse4DCtx is Inverse4D with context propagation for tracing spans
-// and per-stage registry timings, mirroring Forward4DCtx.
+// and per-stage registry timings, mirroring Forward4DCtx (including its
+// slice-parallel 3D stage and worker-budget split).
 func Inverse4DCtx(ctx context.Context, w *grid.Window, s Spec) error {
 	spatial, temporal := s.resolve(w.Dims, w.Len())
 	_, spT := obs.Start(ctx, "xform.inverse_temporal")
@@ -161,13 +218,16 @@ func Inverse4DCtx(ctx context.Context, w *grid.Window, s Spec) error {
 	_, sp3 := obs.Start(ctx, "xform.inverse_3d")
 	sp3.SetAttr("kernel", s.SpatialKernel.String())
 	start = time.Now()
-	for i, slice := range w.Slices {
-		if err := Inverse3D(slice, s.SpatialKernel, spatial, s.Workers); err != nil {
-			sp3.End()
+	err := forEachSlice(w.Slices, s.Workers, func(i int, f *grid.Field3D, inner int) error {
+		if err := Inverse3D(f, s.SpatialKernel, spatial, inner); err != nil {
 			return fmt.Errorf("transform: slice %d: %w", i, err)
 		}
+		return nil
+	})
+	sp3.End()
+	if err != nil {
+		return err
 	}
 	stageDone("inverse_3d", s.SpatialKernel, start)
-	sp3.End()
 	return nil
 }

@@ -1,0 +1,548 @@
+package wavelet
+
+import "math"
+
+// This file implements the blocked (multi-lane) form of the lifting filter
+// banks: the same ladder as lift.go applied to L independent signals at
+// once. The signals live interleaved in a sample-major slab — sample i of
+// lane j at slab[i*L+j] — so every lifting step's inner loop walks L
+// contiguous floats instead of chasing one strided element per signal.
+// The multi-dimensional transforms gather a tile of L neighbouring lines
+// (or grid-point time series) into such a slab with plain copies, run the
+// blocked kernel, and scatter back: the strided memory walk happens once
+// per tile as bulk copies rather than once per lifting step per element.
+//
+// Every arithmetic expression here matches lift.go operation for
+// operation, in the same order, so each lane's result is bit-identical to
+// running the scalar kernel on that signal alone. The equivalence is
+// pinned by TestBlockBitIdentical across all kernels, lengths, and lane
+// counts; any change to one file must be mirrored in the other.
+//
+// Inner loops index the slab directly with offsets whose bounds the
+// compiler can prove, rather than materializing per-row subslices — the
+// lifting ladder is the hottest code in the pipeline and bounds checks
+// in it are measurable.
+
+// liftStepBlock applies one lifting step to every lane of the slab
+// holding n samples x L lanes. parity and c as in liftStep.
+func liftStepBlock(x []float64, n, L int, parity int, c float64) {
+	if n < 2 || L < 1 {
+		return
+	}
+	x = x[:n*L]
+	start := parity
+	if start == 0 {
+		// Sample 0's neighbours both reflect to sample 1: += c*2*x[1].
+		c2 := c * 2
+		r0 := x[:L]
+		r1 := x[L : 2*L]
+		r1 = r1[:len(r0)]
+		for j, v := range r0 {
+			r0[j] = v + c2*r1[j]
+		}
+		start = 2
+	}
+	i := start
+	for ; i+1 < n; i += 2 {
+		b := i * L
+		ri := x[b : b+L]
+		rm := x[b-L : b]
+		rp := x[b+L : b+2*L]
+		rm = rm[:len(ri)]
+		rp = rp[:len(ri)]
+		for j, v := range ri {
+			ri[j] = v + c*(rm[j]+rp[j])
+		}
+	}
+	if i == n-1 {
+		// Last sample's right neighbour reflects to sample n-2.
+		b := (n - 1) * L
+		ri := x[b : b+L]
+		rm := x[b-L : b]
+		rm = rm[:len(ri)]
+		for j, v := range ri {
+			m := rm[j]
+			ri[j] = v + c*(m+m)
+		}
+	}
+}
+
+// liftPairOddEvenBlock is liftPairOddEven per lane: two adjacent lifting
+// steps (odd ca, then even cb) fused into one pass over the slab, each
+// even row updated as soon as both odd neighbour rows are. Requires
+// n >= 2. Bit-identical per lane to liftStepBlock(x, n, L, 1, ca)
+// followed by liftStepBlock(x, n, L, 0, cb).
+func liftPairOddEvenBlock(x []float64, n, L int, ca, cb float64) {
+	x = x[:n*L]
+	if n == 2 {
+		r0 := x[:L]
+		r1 := x[L : 2*L]
+		r1 = r1[:len(r0)]
+		for j, v := range r1 {
+			m := r0[j]
+			r1[j] = v + ca*(m+m)
+		}
+		cb2 := cb * 2
+		for j, v := range r0 {
+			r0[j] = v + cb2*r1[j]
+		}
+		return
+	}
+	{
+		// Odd row 1 (interior), then even row 0 against it.
+		r1 := x[L : 2*L]
+		r0 := x[:L]
+		r2 := x[2*L : 3*L]
+		r0 = r0[:len(r1)]
+		r2 = r2[:len(r1)]
+		for j, v := range r1 {
+			r1[j] = v + ca*(r0[j]+r2[j])
+		}
+		cb2 := cb * 2
+		d := x[:L]
+		r1 = r1[:len(d)]
+		for j, v := range d {
+			d[j] = v + cb2*r1[j]
+		}
+	}
+	i := 2
+	for ; i+2 < n; i += 2 {
+		b := i * L
+		// Odd row i+1 reads the still-original even rows i and i+2.
+		ro := x[b+L : b+2*L]
+		re0 := x[b : b+L]
+		re2 := x[b+2*L : b+3*L]
+		re0 = re0[:len(ro)]
+		re2 = re2[:len(ro)]
+		for j, v := range ro {
+			ro[j] = v + ca*(re0[j]+re2[j])
+		}
+		// Even row i reads the updated odd rows i-1 and i+1.
+		ri := x[b : b+L]
+		rm := x[b-L : b]
+		rp := x[b+L : b+2*L]
+		rm = rm[:len(ri)]
+		rp = rp[:len(ri)]
+		for j, v := range ri {
+			ri[j] = v + cb*(rm[j]+rp[j])
+		}
+	}
+	if i+1 < n {
+		// n even: odd row n-1 reflects right to n-2, then even row n-2.
+		b := i * L
+		ro := x[b+L : b+2*L]
+		re := x[b : b+L]
+		re = re[:len(ro)]
+		for j, v := range ro {
+			m := re[j]
+			ro[j] = v + ca*(m+m)
+		}
+		ri := x[b : b+L]
+		rm := x[b-L : b]
+		rp := x[b+L : b+2*L]
+		rm = rm[:len(ri)]
+		rp = rp[:len(ri)]
+		for j, v := range ri {
+			ri[j] = v + cb*(rm[j]+rp[j])
+		}
+	} else {
+		// n odd: even row n-1's neighbours both reflect to n-2.
+		b := i * L
+		ri := x[b : b+L]
+		rm := x[b-L : b]
+		rm = rm[:len(ri)]
+		for j, v := range ri {
+			m := rm[j]
+			ri[j] = v + cb*(m+m)
+		}
+	}
+}
+
+// liftPairDeinterleaveScaledBlock is liftPairDeinterleaveScaled per lane:
+// the ladder's last two lifting steps (odd ca, even cb) fused with the
+// deinterleave+scale pass. Odd rows are updated in place in x as lifting
+// neighbours; even results go straight to dst. Requires n >= 2.
+// Bit-identical per lane to liftStepBlock(x, n, L, 1, ca) followed by the
+// final even step + deinterleave+scale.
+func liftPairDeinterleaveScaledBlock(x, dst []float64, n, L int, ca, cb, lo, hi float64) {
+	x = x[:n*L]
+	na := approxLen(n)
+	if n == 2 {
+		r0 := x[:L]
+		r1 := x[L : 2*L]
+		r1 = r1[:len(r0)]
+		for j, v := range r1 {
+			m := r0[j]
+			r1[j] = v + ca*(m+m)
+		}
+		dd := dst[L : 2*L]
+		dd = dd[:len(r1)]
+		for j, v := range r1 {
+			dd[j] = v * hi
+		}
+		cb2 := cb * 2
+		d := dst[:L]
+		d = d[:len(r0)]
+		for j, v := range r0 {
+			d[j] = (v + cb2*r1[j]) * lo
+		}
+		return
+	}
+	{
+		// Odd row 1 (interior), its detail output, then even row 0.
+		r1 := x[L : 2*L]
+		r0 := x[:L]
+		r2 := x[2*L : 3*L]
+		r0 = r0[:len(r1)]
+		r2 = r2[:len(r1)]
+		for j, v := range r1 {
+			r1[j] = v + ca*(r0[j]+r2[j])
+		}
+		dd := dst[na*L : na*L+L]
+		dd = dd[:len(r1)]
+		for j, v := range r1 {
+			dd[j] = v * hi
+		}
+		cb2 := cb * 2
+		d := dst[:L]
+		d = d[:len(r1)]
+		r0 = x[:L]
+		r0 = r0[:len(d)]
+		for j, v := range r0 {
+			d[j] = (v + cb2*r1[j]) * lo
+		}
+	}
+	i := 2
+	for ; i+2 < n; i += 2 {
+		b := i * L
+		// Odd row i+1 reads the still-original even rows i and i+2 (even
+		// rows are never written here — their results go to dst).
+		ro := x[b+L : b+2*L]
+		re0 := x[b : b+L]
+		re2 := x[b+2*L : b+3*L]
+		re0 = re0[:len(ro)]
+		re2 = re2[:len(ro)]
+		for j, v := range ro {
+			ro[j] = v + ca*(re0[j]+re2[j])
+		}
+		dd := dst[(na+i/2)*L : (na+i/2)*L+L]
+		dd = dd[:len(ro)]
+		for j, v := range ro {
+			dd[j] = v * hi
+		}
+		ri := x[b : b+L]
+		rm := x[b-L : b]
+		rp := x[b+L : b+2*L]
+		d := dst[(i/2)*L : (i/2)*L+L]
+		rm = rm[:len(ri)]
+		rp = rp[:len(ri)]
+		d = d[:len(ri)]
+		for j, v := range ri {
+			d[j] = (v + cb*(rm[j]+rp[j])) * lo
+		}
+	}
+	if i+1 < n {
+		// n even: odd row n-1 reflects right, then even row n-2.
+		b := i * L
+		ro := x[b+L : b+2*L]
+		re := x[b : b+L]
+		re = re[:len(ro)]
+		for j, v := range ro {
+			m := re[j]
+			ro[j] = v + ca*(m+m)
+		}
+		dd := dst[(na+i/2)*L : (na+i/2)*L+L]
+		dd = dd[:len(ro)]
+		for j, v := range ro {
+			dd[j] = v * hi
+		}
+		ri := x[b : b+L]
+		rm := x[b-L : b]
+		rp := x[b+L : b+2*L]
+		d := dst[(i/2)*L : (i/2)*L+L]
+		rm = rm[:len(ri)]
+		rp = rp[:len(ri)]
+		d = d[:len(ri)]
+		for j, v := range ri {
+			d[j] = (v + cb*(rm[j]+rp[j])) * lo
+		}
+	} else {
+		// n odd: even row n-1's neighbours both reflect to n-2.
+		b := i * L
+		ri := x[b : b+L]
+		rm := x[b-L : b]
+		d := dst[((n-1)/2)*L : ((n-1)/2)*L+L]
+		rm = rm[:len(ri)]
+		d = d[:len(ri)]
+		for j, v := range ri {
+			m := rm[j]
+			d[j] = (v + cb*(m+m)) * lo
+		}
+	}
+}
+
+// interleaveScaledLiftEvenBlock is interleaveScaledLiftEven per lane:
+// the interleave+scale expansion fused with the synthesis ladder's first
+// even-parity lifting step. src is read only. Requires n >= 2.
+// Bit-identical per lane to interleaving each lane as
+// [approx*lo | detail*hi] and then running liftStepBlock(dst, n, L, 0, c).
+func interleaveScaledLiftEvenBlock(src, dst []float64, n, L int, lo, hi, c float64) {
+	na := approxLen(n)
+	for i := 0; i < n-na; i++ {
+		s := src[(na+i)*L : (na+i)*L+L]
+		d := dst[(2*i+1)*L : (2*i+1)*L+L]
+		s = s[:len(d)]
+		for j, v := range s {
+			d[j] = v * hi
+		}
+	}
+	{
+		c2 := c * 2
+		s := src[:L]
+		r1 := dst[L : 2*L]
+		d := dst[:L]
+		r1 = r1[:len(d)]
+		s = s[:len(d)]
+		for j, v := range s {
+			d[j] = v*lo + c2*r1[j]
+		}
+	}
+	i := 2
+	for ; i+1 < n; i += 2 {
+		b := i * L
+		s := src[(i/2)*L : (i/2)*L+L]
+		rm := dst[b-L : b]
+		rp := dst[b+L : b+2*L]
+		d := dst[b : b+L]
+		rm = rm[:len(d)]
+		rp = rp[:len(d)]
+		s = s[:len(d)]
+		for j, v := range s {
+			d[j] = v*lo + c*(rm[j]+rp[j])
+		}
+	}
+	if i == n-1 {
+		b := (n - 1) * L
+		s := src[(na-1)*L : (na-1)*L+L]
+		rm := dst[b-L : b]
+		d := dst[b : b+L]
+		rm = rm[:len(d)]
+		s = s[:len(d)]
+		for j, v := range s {
+			m := rm[j]
+			d[j] = v*lo + c*(m+m)
+		}
+	}
+}
+
+// forwardLiftBlock runs the analysis ladder for kernel k on the slab x
+// (n samples x L lanes), writing [approx | detail] per lane into dst.
+// x is clobbered. Mirrors forwardLift exactly.
+func forwardLiftBlock(k Kernel, x, dst []float64, n, L int) {
+	if n == 0 {
+		return
+	}
+	if n == 1 {
+		copy(dst[:L], x[:L])
+		return
+	}
+	switch k {
+	case CDF97:
+		liftPairOddEvenBlock(x, n, L, cdf97Alpha, cdf97Beta)
+		liftPairDeinterleaveScaledBlock(x, dst, n, L, cdf97Gamma, cdf97Delta, cdf97ScaleLo, cdf97ScaleHi)
+	case CDF53:
+		liftPairDeinterleaveScaledBlock(x, dst, n, L, -0.5, 0.25, cdf53ScaleLo, cdf53ScaleHi)
+	case Haar:
+		forwardHaarBlock(x, dst, n, L)
+	case Daub4:
+		forwardDaub4Block(x, dst, n, L)
+	default:
+		copy(dst[:n*L], x[:n*L])
+	}
+}
+
+// inverseLiftBlock is the exact inverse of forwardLiftBlock: src holds
+// [approx | detail] per lane, dst receives the reconstructed signals.
+// src is not modified; dst is used as scratch. Mirrors inverseLift.
+func inverseLiftBlock(k Kernel, src, dst []float64, n, L int) {
+	if n == 0 {
+		return
+	}
+	if n == 1 {
+		copy(dst[:L], src[:L])
+		return
+	}
+	switch k {
+	case CDF97:
+		interleaveScaledLiftEvenBlock(src, dst, n, L, 1/cdf97ScaleLo, 1/cdf97ScaleHi, -cdf97Delta)
+		liftPairOddEvenBlock(dst, n, L, -cdf97Gamma, -cdf97Beta)
+		liftStepBlock(dst, n, L, 1, -cdf97Alpha)
+	case CDF53:
+		interleaveScaledLiftEvenBlock(src, dst, n, L, 1/cdf53ScaleLo, 1/cdf53ScaleHi, -0.25)
+		liftStepBlock(dst, n, L, 1, 0.5)
+	case Haar:
+		inverseHaarBlock(src, dst, n, L)
+	case Daub4:
+		inverseDaub4Block(src, dst, n, L)
+	default:
+		copy(dst[:n*L], src[:n*L])
+	}
+}
+
+// forwardHaarBlock is forwardHaar per lane, odd-length carry included.
+func forwardHaarBlock(x, dst []float64, n, L int) {
+	na := approxLen(n)
+	const s = 0.7071067811865476 // 1/sqrt(2)
+	for i := 0; 2*i+1 < n; i++ {
+		ra := x[2*i*L : 2*i*L+L]
+		rb := x[(2*i+1)*L : (2*i+1)*L+L]
+		dlo := dst[i*L : i*L+L]
+		dhi := dst[(na+i)*L : (na+i)*L+L]
+		rb = rb[:len(ra)]
+		dlo = dlo[:len(ra)]
+		dhi = dhi[:len(ra)]
+		for j, a := range ra {
+			b := rb[j]
+			dlo[j] = (a + b) * s
+			dhi[j] = (a - b) * s
+		}
+	}
+	if n%2 == 1 {
+		src := x[(n-1)*L : (n-1)*L+L]
+		d := dst[(na-1)*L : (na-1)*L+L]
+		src = src[:len(d)]
+		for j, v := range src {
+			d[j] = v * math.Sqrt2
+		}
+	}
+}
+
+func inverseHaarBlock(src, dst []float64, n, L int) {
+	na := approxLen(n)
+	const s = 0.7071067811865476
+	for i := 0; 2*i+1 < n; i++ {
+		ra := src[i*L : i*L+L]
+		rd := src[(na+i)*L : (na+i)*L+L]
+		de := dst[2*i*L : 2*i*L+L]
+		do := dst[(2*i+1)*L : (2*i+1)*L+L]
+		rd = rd[:len(ra)]
+		de = de[:len(ra)]
+		do = do[:len(ra)]
+		for j, a := range ra {
+			d := rd[j]
+			de[j] = (a + d) * s
+			do[j] = (a - d) * s
+		}
+	}
+	if n%2 == 1 {
+		s2 := src[(na-1)*L : (na-1)*L+L]
+		d := dst[(n-1)*L : (n-1)*L+L]
+		s2 = s2[:len(d)]
+		for j, v := range s2 {
+			d[j] = v * s
+		}
+	}
+}
+
+// forwardDaub4Block is forwardDaub4 per lane (periodic extension, even n
+// required; odd n copies through, matching the scalar kernel).
+func forwardDaub4Block(x, dst []float64, n, L int) {
+	if n%2 != 0 {
+		copy(dst[:n*L], x[:n*L])
+		return
+	}
+	na := n / 2
+	h := daub4Lo
+	g := [4]float64{h[3], -h[2], h[1], -h[0]}
+	for i := 0; i < na; i++ {
+		dlo := dst[i*L : i*L+L]
+		dhi := dst[(na+i)*L : (na+i)*L+L]
+		dhi = dhi[:len(dlo)]
+		for j := range dlo {
+			dlo[j] = 0
+			dhi[j] = 0
+		}
+		for k := 0; k < 4; k++ {
+			r := ((2*i + k) % n) * L
+			v := x[r : r+L]
+			v = v[:len(dlo)]
+			hk, gk := h[k], g[k]
+			for j, vj := range v {
+				dlo[j] += hk * vj
+				dhi[j] += gk * vj
+			}
+		}
+	}
+}
+
+func inverseDaub4Block(src, dst []float64, n, L int) {
+	if n%2 != 0 {
+		copy(dst[:n*L], src[:n*L])
+		return
+	}
+	na := n / 2
+	h := daub4Lo
+	g := [4]float64{h[3], -h[2], h[1], -h[0]}
+	for i := range dst[:n*L] {
+		dst[i] = 0
+	}
+	for i := 0; i < na; i++ {
+		rlo := src[i*L : i*L+L]
+		rhi := src[(na+i)*L : (na+i)*L+L]
+		rhi = rhi[:len(rlo)]
+		for k := 0; k < 4; k++ {
+			r := ((2*i + k) % n) * L
+			d := dst[r : r+L]
+			d = d[:len(rlo)]
+			hk, gk := h[k], g[k]
+			for j := range d {
+				d[j] += hk*rlo[j] + gk*rhi[j]
+			}
+		}
+	}
+}
+
+// ForwardStepBlockTo applies exactly one forward transform level to L
+// independent signals held sample-major in src (sample i, lane j at
+// src[i*L+j]), writing each lane's [approx | detail] result into dst:
+// bit-identical per lane to ForwardStep on that signal alone. src is
+// clobbered as lifting scratch. dst must hold at least n*L floats and
+// must not alias src. Slabs with n < 2 samples are left unwritten, so
+// callers treat them as pass-through, like the scalar step.
+func ForwardStepBlockTo(k Kernel, src, dst []float64, n, L int) {
+	if n < 2 || L < 1 {
+		return
+	}
+	forwardLiftBlock(k, src, dst, n, L)
+}
+
+// InverseStepBlockTo undoes exactly one forward level: src holds
+// [approx | detail] per lane and is left unmodified, dst receives the
+// reconstructed signals. Bit-identical per lane to InverseStep. dst must
+// not alias src; n < 2 slabs are left unwritten.
+func InverseStepBlockTo(k Kernel, src, dst []float64, n, L int) {
+	if n < 2 || L < 1 {
+		return
+	}
+	inverseLiftBlock(k, src, dst, n, L)
+}
+
+// ForwardStepBlock is the in-place form of ForwardStepBlockTo: the slab
+// is transformed using scratch (>= n*L floats) as the lifting buffer.
+func ForwardStepBlock(k Kernel, slab []float64, n, L int, scratch []float64) {
+	if n < 2 || L < 1 {
+		return
+	}
+	copy(scratch[:n*L], slab[:n*L])
+	forwardLiftBlock(k, scratch, slab, n, L)
+}
+
+// InverseStepBlock undoes exactly one ForwardStepBlock in place, lane
+// for lane bit-identical to InverseStep.
+func InverseStepBlock(k Kernel, slab []float64, n, L int, scratch []float64) {
+	if n < 2 || L < 1 {
+		return
+	}
+	inverseLiftBlock(k, slab, scratch, n, L)
+	copy(slab[:n*L], scratch[:n*L])
+}

@@ -1,0 +1,125 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestBlockBitIdentical pins the blocked kernels to the scalar ones: for
+// every kernel, signal length (odd and even, degenerate 1 and 2), and
+// lane count, running ForwardStepBlock/InverseStepBlock on a slab of L
+// random signals must produce bit-for-bit the result of running
+// ForwardStep/InverseStep on each signal alone.
+func TestBlockBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	kernels := []Kernel{CDF97, CDF53, Haar, Daub4}
+	for _, k := range kernels {
+		for n := 1; n <= 41; n++ {
+			for _, L := range []int{1, 2, 3, 5, 8, 17} {
+				// Build L random signals, both as scalar copies and a
+				// sample-major slab.
+				signals := make([][]float64, L)
+				slab := make([]float64, n*L)
+				for j := 0; j < L; j++ {
+					signals[j] = make([]float64, n)
+					for i := 0; i < n; i++ {
+						v := rng.NormFloat64() * math.Pow(10, float64(rng.Intn(7)-3))
+						signals[j][i] = v
+						slab[i*L+j] = v
+					}
+				}
+
+				scratchS := make([]float64, n)
+				scratchB := make([]float64, n*L)
+				for j := 0; j < L; j++ {
+					ForwardStep(k, signals[j], scratchS)
+				}
+				ForwardStepBlock(k, slab, n, L, scratchB)
+				compareSlab(t, k, n, L, "forward", signals, slab)
+
+				for j := 0; j < L; j++ {
+					InverseStep(k, signals[j], scratchS)
+				}
+				InverseStepBlock(k, slab, n, L, scratchB)
+				compareSlab(t, k, n, L, "inverse", signals, slab)
+			}
+		}
+	}
+}
+
+func compareSlab(t *testing.T, k Kernel, n, L int, stage string, signals [][]float64, slab []float64) {
+	t.Helper()
+	for j := 0; j < L; j++ {
+		for i := 0; i < n; i++ {
+			want := signals[j][i]
+			got := slab[i*L+j]
+			if math.Float64bits(want) != math.Float64bits(got) {
+				t.Fatalf("%v n=%d L=%d %s: lane %d sample %d: blocked %v (bits %x) != scalar %v (bits %x)",
+					k, n, L, stage, j, i, got, math.Float64bits(got), want, math.Float64bits(want))
+			}
+		}
+	}
+}
+
+// TestBlockMultiLevel runs a multi-level pyramid through the blocked
+// kernel the way the temporal transform does (shrinking prefixes of the
+// slab) and checks bit-identity against the scalar pyramid.
+func TestBlockMultiLevel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, k := range []Kernel{CDF97, CDF53, Haar} {
+		for _, n := range []int{10, 20, 40} {
+			levels := MaxLevels(k, n)
+			const L = 6
+			signals := make([][]float64, L)
+			slab := make([]float64, n*L)
+			for j := 0; j < L; j++ {
+				signals[j] = make([]float64, n)
+				for i := 0; i < n; i++ {
+					v := rng.NormFloat64()
+					signals[j][i] = v
+					slab[i*L+j] = v
+				}
+			}
+			lens := make([]int, 0, levels)
+			for m, l := n, 0; l < levels && m >= 2; l++ {
+				lens = append(lens, m)
+				m = approxLen(m)
+			}
+
+			scratchS := make([]float64, n)
+			scratchB := make([]float64, n*L)
+			for _, ln := range lens {
+				for j := 0; j < L; j++ {
+					ForwardStep(k, signals[j][:ln], scratchS)
+				}
+				ForwardStepBlock(k, slab[:ln*L], ln, L, scratchB)
+			}
+			compareSlab(t, k, n, L, "pyramid-forward", signals, slab)
+
+			for i := len(lens) - 1; i >= 0; i-- {
+				ln := lens[i]
+				for j := 0; j < L; j++ {
+					InverseStep(k, signals[j][:ln], scratchS)
+				}
+				InverseStepBlock(k, slab[:ln*L], ln, L, scratchB)
+			}
+			compareSlab(t, k, n, L, "pyramid-inverse", signals, slab)
+		}
+	}
+}
+
+// TestBlockDegenerate checks n < 2 slabs are untouched, matching the
+// scalar step's contract.
+func TestBlockDegenerate(t *testing.T) {
+	slab := []float64{1.5, -2.5, 3.5}
+	scratch := make([]float64, 3)
+	ForwardStepBlock(CDF97, slab, 1, 3, scratch)
+	InverseStepBlock(CDF97, slab, 1, 3, scratch)
+	want := []float64{1.5, -2.5, 3.5}
+	for i := range want {
+		if math.Float64bits(slab[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("degenerate slab modified: %v", slab)
+		}
+	}
+}

@@ -48,12 +48,103 @@ func liftStep(x []float64, parity int, c float64) {
 		start = 2
 	}
 	i := start
-	for ; i+1 < n; i += 2 {
-		x[i] += c * (x[i-1] + x[i+1])
+	if i >= 1 && i+1 < n {
+		// Rebased slices plus a carried neighbour load: x[i+1] this
+		// iteration is x[i-1] two samples later, so the loop does two
+		// loads per sample instead of three and the compiler can prove
+		// the remaining indices in bounds. Values and evaluation order
+		// match the textbook x[i] += c*(x[i-1]+x[i+1]) exactly.
+		xi := x[start : n-1]
+		xp := x[start+1:]
+		am := x[start-1]
+		j := 0
+		for ; j < len(xi); j += 2 {
+			ap := xp[j]
+			xi[j] += c * (am + ap)
+			am = ap
+		}
+		i = start + j
 	}
 	if i == n-1 {
 		// Last sample's right neighbour x[n] reflects to x[n-2].
 		x[n-1] += c * (x[n-2] + x[n-2])
+	}
+}
+
+// liftPairOddEven fuses two adjacent lifting steps — odd parity with
+// coefficient ca, then even parity with cb — into one pass over x,
+// software-pipelined so each even sample is updated as soon as both its
+// odd neighbours are. Requires len(x) >= 2. Bit-identical to
+// liftStep(x, 1, ca) followed by liftStep(x, 0, cb): every sample sees
+// exactly the same operand values in the same expression shapes.
+func liftPairOddEven(x []float64, ca, cb float64) {
+	n := len(x)
+	if n == 2 {
+		m := x[0]
+		x[1] += ca * (m + m)
+		x[0] += cb * 2 * x[1]
+		return
+	}
+	// Odd sample 1 and even sample 0, then the pipelined interior: odd
+	// i+1 reads the still-original even neighbours, even i reads the two
+	// odd neighbours just produced (am carried, ap fresh).
+	am := x[1] + ca*(x[0]+x[2])
+	x[1] = am
+	x[0] += cb * 2 * am
+	i := 2
+	for ; i+2 < n; i += 2 {
+		ap := x[i+1] + ca*(x[i]+x[i+2])
+		x[i+1] = ap
+		x[i] += cb * (am + ap)
+		am = ap
+	}
+	if i+1 < n {
+		// n even: the last odd sample's right neighbour reflects to n-2.
+		m := x[i]
+		ap := x[i+1] + ca*(m+m)
+		x[i+1] = ap
+		x[i] += cb * (am + ap)
+	} else {
+		// n odd: the last even sample's neighbours both reflect to n-2.
+		x[i] += cb * (am + am)
+	}
+}
+
+// liftPairDeinterleaveScaled fuses the ladder's last two lifting steps
+// (odd ca, even cb) with the deinterleave+scale pass: one walk over x
+// emits dst directly — odd results to the detail half scaled by hi, even
+// results to the approximation half scaled by lo. x is left unmodified.
+// Requires len(x) >= 2. Bit-identical to liftStep(x, 1, ca) followed by
+// liftEvenDeinterleaveScaled(x, dst, cb, lo, hi).
+func liftPairDeinterleaveScaled(x, dst []float64, ca, cb, lo, hi float64) {
+	n := len(x)
+	na := approxLen(n)
+	if n == 2 {
+		m := x[0]
+		o := x[1] + ca*(m+m)
+		dst[1] = o * hi
+		dst[0] = (x[0] + cb*2*o) * lo
+		return
+	}
+	am := x[1] + ca*(x[0]+x[2])
+	dst[na] = am * hi
+	dst[0] = (x[0] + cb*2*am) * lo
+	i := 2
+	for ; i+2 < n; i += 2 {
+		ap := x[i+1] + ca*(x[i]+x[i+2])
+		dst[na+i/2] = ap * hi
+		dst[i/2] = (x[i] + cb*(am+ap)) * lo
+		am = ap
+	}
+	if i+1 < n {
+		// n even: last odd reflects right to n-2, then the last even.
+		m := x[i]
+		ap := x[i+1] + ca*(m+m)
+		dst[na+i/2] = ap * hi
+		dst[i/2] = (x[i] + cb*(am+ap)) * lo
+	} else {
+		// n odd: the last even sample's neighbours both reflect.
+		dst[i/2] = (x[i] + cb*(am+am)) * lo
 	}
 }
 
@@ -71,15 +162,10 @@ func forwardLift(k Kernel, x, dst []float64) {
 	}
 	switch k {
 	case CDF97:
-		liftStep(x, 1, cdf97Alpha)
-		liftStep(x, 0, cdf97Beta)
-		liftStep(x, 1, cdf97Gamma)
-		liftStep(x, 0, cdf97Delta)
-		deinterleaveScaled(x, dst, cdf97ScaleLo, cdf97ScaleHi)
+		liftPairOddEven(x, cdf97Alpha, cdf97Beta)
+		liftPairDeinterleaveScaled(x, dst, cdf97Gamma, cdf97Delta, cdf97ScaleLo, cdf97ScaleHi)
 	case CDF53:
-		liftStep(x, 1, -0.5)
-		liftStep(x, 0, 0.25)
-		deinterleaveScaled(x, dst, cdf53ScaleLo, cdf53ScaleHi)
+		liftPairDeinterleaveScaled(x, dst, -0.5, 0.25, cdf53ScaleLo, cdf53ScaleHi)
 	case Haar:
 		forwardHaar(x, dst)
 	case Daub4:
@@ -103,14 +189,11 @@ func inverseLift(k Kernel, src, dst []float64) {
 	}
 	switch k {
 	case CDF97:
-		interleaveScaled(src, dst, 1/cdf97ScaleLo, 1/cdf97ScaleHi)
-		liftStep(dst, 0, -cdf97Delta)
-		liftStep(dst, 1, -cdf97Gamma)
-		liftStep(dst, 0, -cdf97Beta)
+		interleaveScaledLiftEven(src, dst, 1/cdf97ScaleLo, 1/cdf97ScaleHi, -cdf97Delta)
+		liftPairOddEven(dst, -cdf97Gamma, -cdf97Beta)
 		liftStep(dst, 1, -cdf97Alpha)
 	case CDF53:
-		interleaveScaled(src, dst, 1/cdf53ScaleLo, 1/cdf53ScaleHi)
-		liftStep(dst, 0, -0.25)
+		interleaveScaledLiftEven(src, dst, 1/cdf53ScaleLo, 1/cdf53ScaleHi, -0.25)
 		liftStep(dst, 1, 0.5)
 	case Haar:
 		inverseHaar(src, dst)
@@ -125,28 +208,26 @@ func inverseLift(k Kernel, src, dst []float64) {
 // signal of length n: ceil(n/2).
 func approxLen(n int) int { return (n + 1) / 2 }
 
-// deinterleaveScaled writes even samples of x (scaled by lo) to the first
-// ceil(n/2) slots of dst and odd samples (scaled by hi) to the rest.
-func deinterleaveScaled(x, dst []float64, lo, hi float64) {
-	n := len(x)
-	na := approxLen(n)
-	for i := 0; i < na; i++ {
-		dst[i] = x[2*i] * lo
-	}
-	for i := 0; i < n-na; i++ {
-		dst[na+i] = x[2*i+1] * hi
-	}
-}
-
-// interleaveScaled is the inverse of deinterleaveScaled.
-func interleaveScaled(src, dst []float64, lo, hi float64) {
+// interleaveScaledLiftEven fuses the interleave+scale expansion with the
+// synthesis ladder's first even-parity lifting step: the odd (detail)
+// samples are expanded first, then each even sample is scaled and lifted
+// against the odd neighbours already in dst. Requires len(src) >= 2.
+// Bit-identical to interleaving src as [approx*lo | detail*hi] and then
+// running liftStep(dst, 0, c).
+func interleaveScaledLiftEven(src, dst []float64, lo, hi, c float64) {
 	n := len(src)
 	na := approxLen(n)
-	for i := 0; i < na; i++ {
-		dst[2*i] = src[i] * lo
-	}
 	for i := 0; i < n-na; i++ {
 		dst[2*i+1] = src[na+i] * hi
+	}
+	dst[0] = src[0]*lo + c*2*dst[1]
+	i := 2
+	for ; i+1 < n; i += 2 {
+		dst[i] = src[i/2]*lo + c*(dst[i-1]+dst[i+1])
+	}
+	if i == n-1 {
+		m := dst[n-2]
+		dst[n-1] = src[na-1]*lo + c*(m+m)
 	}
 }
 
