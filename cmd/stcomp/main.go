@@ -28,7 +28,9 @@ import (
 	"strconv"
 	"strings"
 
+	"stwave/internal/codec"
 	"stwave/internal/core"
+	"stwave/internal/entropy"
 	"stwave/internal/grid"
 	"stwave/internal/obs"
 	"stwave/internal/storage"
@@ -61,7 +63,9 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   stcomp compress -dims NXxNYxNZ [-ratio N] [-window T] [-mode 3d|4d]
-         [-skernel K] [-tkernel K] [-fsync never|window|close] [-atomic]
+         [-skernel K] [-tkernel K] [-codec sparse|deflate|entropy]
+         [-entropy-bits N] [-entropy-error-bound X] [-entropy-lossless]
+         [-fsync never|window|close] [-atomic]
          [-trace FILE] -out FILE slice0.raw [slice1.raw ...]
   stcomp decompress -in FILE -prefix PREFIX
   stcomp info -in FILE`)
@@ -92,7 +96,11 @@ func runCompress(args []string) error {
 	skernel := fs.String("skernel", "cdf97", "spatial wavelet kernel")
 	tkernel := fs.String("tkernel", "cdf97", "temporal wavelet kernel")
 	targetNRMSE := fs.Float64("target-nrmse", 0, "if > 0, pick the ratio per window to meet this NRMSE instead of -ratio")
-	deflate := fs.Bool("deflate", false, "apply the DEFLATE entropy stage to stored windows (smaller files, more CPU)")
+	codecName := fs.String("codec", "sparse", "coefficient backend: sparse, deflate, or entropy (see OPERATIONS.md)")
+	entropyBits := fs.Int("entropy-bits", 16, "entropy codec: magnitude bits per quantized value (adaptive per-block step)")
+	entropyBound := fs.Float64("entropy-error-bound", 0, "entropy codec: absolute quantization error bound (overrides -entropy-bits step)")
+	entropyLossless := fs.Bool("entropy-lossless", false, "entropy codec: store exact float32 bits (bit-identical to sparse, still smaller)")
+	deflate := fs.Bool("deflate", false, "apply the DEFLATE entropy stage to stored windows (alias for -codec deflate)")
 	fsyncPolicy := fs.String("fsync", "never", "fsync policy: never, window (after every appended window), or close")
 	atomic := fs.Bool("atomic", false, "stage output at OUT.tmp and rename on Close, so OUT only ever holds a complete container")
 	tracePath := fs.String("trace", "", "write a JSON span tree of the compression run to this file")
@@ -130,6 +138,27 @@ func runCompress(args []string) error {
 		opts.Mode = core.Spatiotemporal4D
 	default:
 		return fmt.Errorf("mode must be 3d or 4d, got %q", *mode)
+	}
+	name := strings.ToLower(*codecName)
+	if *deflate {
+		// Legacy spelling of -codec deflate; an explicit conflicting
+		// -codec wins an error, not a silent override.
+		if name != "sparse" && name != "deflate" {
+			return fmt.Errorf("-deflate conflicts with -codec %s", name)
+		}
+		name = "deflate"
+	}
+	if name == "entropy" {
+		opts.Codec, err = codec.EntropyWith(entropy.Params{
+			BitDepth:   *entropyBits,
+			ErrorBound: *entropyBound,
+			Lossless:   *entropyLossless,
+		})
+	} else {
+		opts.Codec, err = codec.ByName(name)
+	}
+	if err != nil {
+		return err
 	}
 
 	syncPol, err := storage.ParseSyncPolicy(*fsyncPolicy)
@@ -326,9 +355,9 @@ func runInfo(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("  window %d: %v x %d slices, %v, ratio %g:1, kernels %v/%v, levels %d/%d, %s\n",
+		fmt.Printf("  window %d: %v x %d slices, %v, ratio %g:1, codec %s, kernels %v/%v, levels %d/%d, %s\n",
 			i, cwin.Dims, cwin.NumSlices(), cwin.Opts.Mode, cwin.Opts.Ratio,
-			cwin.Opts.SpatialKernel, cwin.Opts.TemporalKernel,
+			cwin.Codec().Name(), cwin.Opts.SpatialKernel, cwin.Opts.TemporalKernel,
 			cwin.SpatialLevels, cwin.TemporalLevels, fmtBytes(sz))
 	}
 	return nil

@@ -107,10 +107,14 @@ func runVerify(args []string, w io.Writer) (dirty bool, err error) {
 		format = "v2 (legacy, no journal)"
 	}
 	fmt.Fprintf(w, "%s: %d bytes, format %s\n", path, rep.Size, format)
-	fmt.Fprintf(w, "  windows: %d ok, %d corrupt\n", rep.Good, len(rep.Corrupt))
+	fmt.Fprintf(w, "  windows: %d ok, %d corrupt%s\n", rep.Good, len(rep.Corrupt), codecSummary(rep))
 	for _, fr := range rep.Frames {
 		if fr.State != storage.FrameOK {
-			fmt.Fprintf(w, "  window %d [%d, +%d): %s\n", fr.Index, fr.Offset, fr.Length, fr.State)
+			codec := fr.Codec
+			if codec == "" {
+				codec = "unreadable header"
+			}
+			fmt.Fprintf(w, "  window %d [%d, +%d): %s (codec %s)\n", fr.Index, fr.Offset, fr.Length, fr.State, codec)
 		}
 	}
 	switch {
@@ -126,6 +130,33 @@ func runVerify(args []string, w io.Writer) (dirty bool, err error) {
 		fmt.Fprintf(w, "  clean\n")
 	}
 	return dirty, nil
+}
+
+// codecSummary renders the per-codec window counts of a scan, e.g.
+// " (codecs: 3 sparse, 2 entropy)". Empty when no window header parsed.
+func codecSummary(rep *storage.ScanReport) string {
+	counts := map[string]int{}
+	var order []string
+	for _, fr := range rep.Frames {
+		if fr.Codec == "" {
+			continue
+		}
+		if _, seen := counts[fr.Codec]; !seen {
+			order = append(order, fr.Codec)
+		}
+		counts[fr.Codec]++
+	}
+	if len(order) == 0 {
+		return ""
+	}
+	s := " (codecs:"
+	for i, name := range order {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprintf(" %d %s", counts[name], name)
+	}
+	return s + ")"
 }
 
 // runRepair rewrites damaged frame headers or rebuilds the footer index

@@ -1,0 +1,50 @@
+package codec
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCodecDecode: arbitrary bytes through every registered codec's
+// ReadBlock must never panic, and whatever a codec accepts must satisfy
+// the Block invariants and decode (or fail) cleanly.
+func FuzzCodecDecode(f *testing.F) {
+	coeffs := make([]float64, 400)
+	coeffs[7], coeffs[350] = 0.5, -1.25
+	for _, name := range Names() {
+		c, err := ByName(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		blocks, err := c.EncodeSlices([][]float64{coeffs}, 1)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := c.WriteBlock(&buf, blocks[0]); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte{})
+	f.Add([]byte("STE"))
+	f.Add(make([]byte, 40))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, name := range Names() {
+			c, err := ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := c.ReadBlock(bytes.NewReader(data))
+			if err != nil {
+				continue
+			}
+			if b.Retained() > b.Total() {
+				t.Fatalf("%s: retained %d > total %d accepted", name, b.Retained(), b.Total())
+			}
+			out := make([]float64, b.Total())
+			_ = b.DecodeInto(out, 2) // error or success both fine; no panic
+		}
+	})
+}

@@ -12,7 +12,11 @@
 // significance bit for every still-insignificant coefficient, a sign bit on
 // the transition, and a refinement bit for every already-significant one.
 // Simplicity over entropy optimality: the value of this layer in stwave is
-// progressiveness, not the last few percent of rate.
+// progressiveness, not the last few percent of rate. When rate matters more
+// than progressiveness, use the Huffman/exp-Golomb coder in
+// internal/entropy instead — it is wired into the storage pipeline as the
+// "entropy" backend of internal/codec, whereas this package remains a
+// standalone analysis layer.
 package coder
 
 import (

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"stwave/internal/codec"
 	"stwave/internal/compress"
 	"stwave/internal/grid"
 	"stwave/internal/obs"
@@ -54,15 +55,19 @@ type CompressedWindow struct {
 	// SpatialLevels / TemporalLevels are the resolved transform depths.
 	SpatialLevels  int
 	TemporalLevels int
-	// Blocks holds one sparse coefficient block per time slice.
-	Blocks []*compress.SparseBlock
+	// Blocks holds one encoded coefficient block per time slice, produced
+	// by the window's codec (Opts.Codec; sparse when unset).
+	Blocks []codec.Block
 }
 
 // NumSlices returns the number of time slices in the window.
 func (cw *CompressedWindow) NumSlices() int { return len(cw.Blocks) }
 
-// EncodedSizeBytes returns the true serialized payload size (bitmaps +
-// values + per-block headers).
+// Codec returns the coefficient backend the window's blocks belong to.
+func (cw *CompressedWindow) Codec() codec.Codec { return cw.Opts.codec() }
+
+// EncodedSizeBytes returns the true serialized payload size of all blocks
+// (headers included).
 func (cw *CompressedWindow) EncodedSizeBytes() int64 {
 	var n int64
 	for _, b := range cw.Blocks {
@@ -72,22 +77,34 @@ func (cw *CompressedWindow) EncodedSizeBytes() int64 {
 }
 
 // IdealSizeBytes returns the paper's accounting: 4 bytes per retained
-// coefficient.
+// coefficient, ignoring significance-map overhead. Backends whose blocks
+// don't expose the idealized column (it is a sparse-format notion) report
+// their true encoded size instead, which never overstates the advantage.
 func (cw *CompressedWindow) IdealSizeBytes() int64 {
 	var n int64
 	for _, b := range cw.Blocks {
-		n += b.IdealSizeBytes()
+		if is, ok := b.(codec.IdealSizer); ok {
+			n += is.IdealSizeBytes()
+		} else {
+			n += b.EncodedSizeBytes()
+		}
 	}
 	return n
 }
 
 // DeflatedSizeBytes returns the size after the DEFLATE entropy stage
 // (framed per block) — the third size accounting next to IdealSizeBytes and
-// EncodedSizeBytes.
+// EncodedSizeBytes. Blocks that don't support the DEFLATE stage (already
+// entropy-coded backends gain nothing from it) report their encoded size.
 func (cw *CompressedWindow) DeflatedSizeBytes() (int64, error) {
 	var n int64
 	for _, b := range cw.Blocks {
-		d, err := b.DeflatedSizeBytes()
+		ds, ok := b.(codec.DeflatedSizer)
+		if !ok {
+			n += b.EncodedSizeBytes()
+			continue
+		}
+		d, err := ds.DeflatedSizeBytes()
 		if err != nil {
 			return 0, err
 		}
@@ -162,15 +179,26 @@ func (c *Compressor) CompressWindowCtx(ctx context.Context, w *grid.Window) (*Co
 
 	_, spEnc := obs.Start(ctx, "core.encode")
 	start = time.Now()
+	cdc := c.opts.codec()
+	blocks, err := cdc.EncodeSlices(datas, workers)
+	if err != nil {
+		spEnc.End()
+		return nil, fmt.Errorf("core: %s encode: %w", cdc.Name(), err)
+	}
 	cw := &CompressedWindow{
 		Dims:           work.Dims,
 		Times:          append([]float64(nil), work.Times...),
 		Opts:           c.opts,
 		SpatialLevels:  spec.SpatialLevels,
 		TemporalLevels: spec.TemporalLevels,
-		Blocks:         compress.EncodeBlocks(datas, workers),
+		Blocks:         blocks,
 	}
-	observeThroughput("compress.encode_mb_per_s", rawBytes, time.Since(start))
+	elapsed := time.Since(start)
+	observeThroughput("compress.encode_mb_per_s", rawBytes, elapsed)
+	observeThroughput("codec.encode_mb_per_s."+cdc.Name(), rawBytes, elapsed)
+	if enc := cw.EncodedSizeBytes(); enc > 0 {
+		obs.Default().Gauge("codec.ratio." + cdc.Name()).Set(float64(rawBytes) / float64(enc))
+	}
 	spEnc.End()
 	obs.Default().Counter("core.compress_windows_total").Add(1)
 	return cw, nil
@@ -232,8 +260,8 @@ func DecompressCtx(ctx context.Context, cw *CompressedWindow) (*grid.Window, err
 	start := time.Now()
 	t, s := len(cw.Blocks), cw.Dims.Len()
 	for i, b := range cw.Blocks {
-		if b.Total != s {
-			return nil, fmt.Errorf("core: block %d has %d coefficients, grid needs %d", i, b.Total, s)
+		if b.Total() != s {
+			return nil, fmt.Errorf("core: block %d has %d coefficients, grid needs %d", i, b.Total(), s)
 		}
 	}
 	// The result window is carved from a single backing slab: the caller
@@ -249,7 +277,7 @@ func DecompressCtx(ctx context.Context, cw *CompressedWindow) (*grid.Window, err
 	par.For(t, outer, 1, func(start, end int) {
 		for i := start; i < end; i++ {
 			d := slab[i*s : (i+1)*s : (i+1)*s]
-			errs[i] = cw.Blocks[i].DecodeIntoP(d, inner)
+			errs[i] = cw.Blocks[i].DecodeInto(d, inner)
 			fields[i] = grid.Field3D{Dims: cw.Dims, Data: d}
 			slices[i] = &fields[i]
 			times[i] = float64(i)
@@ -265,7 +293,9 @@ func DecompressCtx(ctx context.Context, cw *CompressedWindow) (*grid.Window, err
 	}
 	w := &grid.Window{Dims: cw.Dims, Slices: slices, Times: times}
 	spDec.End()
-	observeThroughput("compress.decode_mb_per_s", int64(w.TotalSamples())*8, time.Since(start))
+	decElapsed := time.Since(start)
+	observeThroughput("compress.decode_mb_per_s", int64(w.TotalSamples())*8, decElapsed)
+	observeThroughput("codec.decode_mb_per_s."+cw.Codec().Name(), int64(w.TotalSamples())*8, decElapsed)
 	spec := transform.Spec{
 		SpatialKernel:  cw.Opts.SpatialKernel,
 		SpatialLevels:  cw.SpatialLevels,

@@ -20,6 +20,7 @@ package core
 import (
 	"fmt"
 
+	"stwave/internal/codec"
 	"stwave/internal/grid"
 	"stwave/internal/transform"
 	"stwave/internal/wavelet"
@@ -76,6 +77,10 @@ type Options struct {
 	// coefficients separately instead of ranking the whole window jointly.
 	// This is an ablation knob: the paper's 4D method uses a joint budget.
 	PerSliceBudget bool
+	// Codec selects the coefficient backend that encodes thresholded
+	// coefficients and serializes them (recorded per window, so readers
+	// resolve it from the stream). Nil means codec.Default() (sparse).
+	Codec codec.Codec
 }
 
 // DefaultOptions returns the paper's "sweet spot" configuration from
@@ -119,6 +124,14 @@ func (o Options) Validate() error {
 		return fmt.Errorf("core: invalid temporal levels %d", o.TemporalLevels)
 	}
 	return nil
+}
+
+// codec resolves the configured coefficient backend, defaulting to sparse.
+func (o Options) codec() codec.Codec {
+	if o.Codec != nil {
+		return o.Codec
+	}
+	return codec.Default()
 }
 
 // spec builds the transform configuration for a concrete window length.

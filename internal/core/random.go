@@ -24,11 +24,11 @@ func DecompressSlice(cw *CompressedWindow, slice int) (*grid.Field3D, error) {
 	}
 	w := grid.NewWindow(cw.Dims)
 	for i, b := range cw.Blocks {
-		if b.Total != cw.Dims.Len() {
-			return nil, fmt.Errorf("core: block %d has %d coefficients, grid needs %d", i, b.Total, cw.Dims.Len())
+		if b.Total() != cw.Dims.Len() {
+			return nil, fmt.Errorf("core: block %d has %d coefficients, grid needs %d", i, b.Total(), cw.Dims.Len())
 		}
 		f := grid.NewField3D(cw.Dims.Nx, cw.Dims.Ny, cw.Dims.Nz)
-		if err := b.DecodeInto(f.Data); err != nil {
+		if err := b.DecodeInto(f.Data, 1); err != nil {
 			return nil, err
 		}
 		t := float64(i)

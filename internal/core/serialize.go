@@ -7,7 +7,7 @@ import (
 	"io"
 	"math"
 
-	"stwave/internal/compress"
+	"stwave/internal/codec"
 	"stwave/internal/grid"
 	"stwave/internal/wavelet"
 )
@@ -15,7 +15,10 @@ import (
 // On-disk format of a CompressedWindow:
 //
 //	[0:4]   magic "STWV"
-//	[4]     format version (1 = raw sparse blocks, 2 = DEFLATE-framed blocks)
+//	[4]     codec format ID (1 = sparse, 2 = deflate, 3 = entropy; the
+//	        historical "format version" byte — version 1 files were raw
+//	        sparse blocks and version 2 DEFLATE-framed blocks, so old
+//	        containers decode unchanged through the codec registry)
 //	[5]     mode (0 = 3D, 1 = 4D)
 //	[6]     spatial kernel
 //	[7]     temporal kernel
@@ -24,28 +27,22 @@ import (
 //	[16:24] ratio (float64 LE)
 //	[24:36] dims nx, ny, nz (uint32 LE each)
 //	[36:40] number of slices (uint32 LE)
-//	then numSlices float64 times, then numSlices blocks (raw or deflated
-//	per the version byte).
-
+//	then numSlices float64 times, then numSlices blocks in the codec's
+//	own framing.
 var magic = [4]byte{'S', 'T', 'W', 'V'}
 
-const (
-	formatVersion        = 1
-	formatVersionDeflate = 2
-)
-
-// WriteTo serializes the compressed window with raw sparse blocks. It
-// implements io.WriterTo.
+// WriteTo serializes the compressed window through its codec (Opts.Codec;
+// sparse when unset). It implements io.WriterTo.
 func (cw *CompressedWindow) WriteTo(w io.Writer) (int64, error) {
-	return cw.writeTo(w, false)
+	return cw.writeTo(w, cw.Codec())
 }
 
 // WriteToDeflated serializes the window with each block passed through the
 // DEFLATE entropy stage — the significance bitmap compresses to almost
-// nothing at high ratios, so on-disk sizes approach the nominal n:1 budget
-// instead of the bitmap-dominated raw encoding.
+// nothing at high ratios. It only applies to sparse-family blocks; windows
+// encoded by other backends (which are already entropy-coded) refuse it.
 func (cw *CompressedWindow) WriteToDeflated(w io.Writer) (int64, error) {
-	return cw.writeTo(w, true)
+	return cw.writeTo(w, codec.Deflate())
 }
 
 // Header field ranges shared by the encoder guard and the decoder's
@@ -57,7 +54,7 @@ const (
 	maxHeaderSlices = 1 << 20 // time slices per window
 )
 
-func (cw *CompressedWindow) writeTo(w io.Writer, deflate bool) (int64, error) {
+func (cw *CompressedWindow) writeTo(w io.Writer, cdc codec.Codec) (int64, error) {
 	// Reject fields the fixed-width header cannot represent before any
 	// bytes are written: a truncated mode, level count, or dimension
 	// would pass every downstream checksum (computed over the wrong
@@ -83,11 +80,7 @@ func (cw *CompressedWindow) writeTo(w io.Writer, deflate bool) (int64, error) {
 	var written int64
 	hdr := make([]byte, 40)
 	copy(hdr[0:4], magic[:])
-	if deflate {
-		hdr[4] = formatVersionDeflate
-	} else {
-		hdr[4] = formatVersion
-	}
+	hdr[4] = byte(cdc.ID())
 	hdr[5] = byte(cw.Opts.Mode)
 	hdr[6] = byte(cw.Opts.SpatialKernel)
 	hdr[7] = byte(cw.Opts.TemporalKernel)
@@ -120,12 +113,7 @@ func (cw *CompressedWindow) writeTo(w io.Writer, deflate bool) (int64, error) {
 		return written, err
 	}
 	for i, b := range cw.Blocks {
-		var bn int64
-		if deflate {
-			bn, err = b.WriteDeflated(w)
-		} else {
-			bn, err = b.WriteTo(w)
-		}
+		bn, err := cdc.WriteBlock(w, b)
 		written += bn
 		if err != nil {
 			return written, fmt.Errorf("core: writing block %d: %w", i, err)
@@ -143,7 +131,9 @@ type WindowInfo struct {
 	Mode           Mode
 	SpatialKernel  wavelet.Kernel
 	TemporalKernel wavelet.Kernel
-	Deflated       bool
+	// Codec is the coefficient backend the window's blocks are encoded
+	// with (the header's format ID byte, already registry-validated).
+	Codec codec.ID
 }
 
 // RawSizeBytes returns the size of the window once fully decompressed to
@@ -169,13 +159,10 @@ func ReadWindowInfo(r io.Reader) (WindowInfo, error) {
 		Mode:           Mode(hdr[5]),
 		SpatialKernel:  wavelet.Kernel(hdr[6]),
 		TemporalKernel: wavelet.Kernel(hdr[7]),
+		Codec:          codec.ID(hdr[4]),
 	}
-	switch hdr[4] {
-	case formatVersion:
-	case formatVersionDeflate:
-		wi.Deflated = true
-	default:
-		return WindowInfo{}, fmt.Errorf("core: unsupported format version %d", hdr[4])
+	if _, err := codec.ByID(wi.Codec); err != nil {
+		return WindowInfo{}, fmt.Errorf("core: unsupported format version %d: %w", hdr[4], err)
 	}
 	wi.Dims = grid.Dims{
 		Nx: int(binary.LittleEndian.Uint32(hdr[24:28])),
@@ -201,7 +188,10 @@ func ReadWindowInfo(r io.Reader) (WindowInfo, error) {
 	return wi, nil
 }
 
-// ReadCompressedWindow deserializes a window written by WriteTo.
+// ReadCompressedWindow deserializes a window written by WriteTo. The codec
+// is resolved from the header's format ID, so windows decode transparently
+// whatever backend wrote them; the resolved codec lands in Opts.Codec and
+// is reused on re-serialization.
 func ReadCompressedWindow(r io.Reader) (*CompressedWindow, error) {
 	hdr := make([]byte, 40)
 	if _, err := io.ReadFull(r, hdr); err != nil {
@@ -210,15 +200,12 @@ func ReadCompressedWindow(r io.Reader) (*CompressedWindow, error) {
 	if [4]byte(hdr[0:4]) != magic {
 		return nil, fmt.Errorf("core: bad magic %q", hdr[0:4])
 	}
-	deflated := false
-	switch hdr[4] {
-	case formatVersion:
-	case formatVersionDeflate:
-		deflated = true
-	default:
-		return nil, fmt.Errorf("core: unsupported format version %d", hdr[4])
+	cdc, err := codec.ByID(codec.ID(hdr[4]))
+	if err != nil {
+		return nil, fmt.Errorf("core: unsupported format version %d: %w", hdr[4], err)
 	}
 	cw := &CompressedWindow{}
+	cw.Opts.Codec = cdc
 	cw.Opts.Mode = Mode(hdr[5])
 	cw.Opts.SpatialKernel = wavelet.Kernel(hdr[6])
 	cw.Opts.TemporalKernel = wavelet.Kernel(hdr[7])
@@ -262,20 +249,14 @@ func ReadCompressedWindow(r io.Reader) (*CompressedWindow, error) {
 		}
 		cw.Times[i] = math.Float64frombits(binary.LittleEndian.Uint64(tb[:]))
 	}
-	cw.Blocks = make([]*compress.SparseBlock, numSlices)
+	cw.Blocks = make([]codec.Block, numSlices)
 	for i := range cw.Blocks {
-		var b *compress.SparseBlock
-		var err error
-		if deflated {
-			b, err = compress.ReadDeflatedSparseBlock(r)
-		} else {
-			b, err = compress.ReadSparseBlock(r)
-		}
+		b, err := cdc.ReadBlock(r)
 		if err != nil {
 			return nil, fmt.Errorf("core: reading block %d: %w", i, err)
 		}
-		if b.Total != cw.Dims.Len() {
-			return nil, fmt.Errorf("core: block %d size %d != grid size %d", i, b.Total, cw.Dims.Len())
+		if b.Total() != cw.Dims.Len() {
+			return nil, fmt.Errorf("core: block %d size %d != grid size %d", i, b.Total(), cw.Dims.Len())
 		}
 		cw.Blocks[i] = b
 	}

@@ -1,0 +1,193 @@
+// Package entropy implements the quantize → entropy-code stage of the
+// pipeline: a uniform scalar quantizer (configurable bit depth or absolute
+// error bound, plus an exact lossless mode) feeding a canonical Huffman
+// coder over magnitude classes with an exponential-Golomb escape path for
+// outliers. It is the coefficient backend behind the "entropy" codec in
+// internal/codec, and roughly halves on-disk size against the sparse
+// float32 backend at equal reported error (the WaveRange observation the
+// ROADMAP's first open item calls for).
+//
+// The unit of coding is a Block: one thresholded coefficient slice, mostly
+// zeros, encoded as (gap, value) pairs. Retained positions are coded as
+// exponential-Golomb gaps; retained values are quantized and coded as a
+// Huffman magnitude class plus raw refinement bits and a sign. Blocks are
+// internally split into fixed-size coefficient chunks that encode and
+// decode independently, so both directions parallelize under the
+// internal/par worker budget while producing bit-identical streams at
+// every worker count.
+package entropy
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// BitWriter appends bits MSB-first to a growing byte buffer. The zero
+// value is ready to use; Bytes returns the finished stream with the final
+// partial byte zero-padded.
+type BitWriter struct {
+	buf  []byte
+	acc  uint64 // staged bits, left-aligned within the low `nacc` bits
+	nacc uint   // number of staged bits in acc (< 8 after any Write)
+}
+
+// WriteBits appends the low n bits of v, most significant first. n must be
+// in [0, 64]; bits of v above the low n are ignored.
+func (w *BitWriter) WriteBits(v uint64, n uint) {
+	if n == 0 {
+		return
+	}
+	if n < 64 {
+		v &= (1 << n) - 1
+	}
+	// Drain whole output bytes while the staged bits plus the remaining
+	// input cover one. acc always holds fewer than 8 bits between calls.
+	for w.nacc+n >= 8 {
+		take := 8 - w.nacc // bits of v consumed by this output byte
+		shift := n - take
+		w.buf = append(w.buf, byte(w.acc<<take|v>>shift))
+		w.acc, w.nacc = 0, 0
+		n = shift
+		if n < 64 {
+			v &= (1 << n) - 1
+		}
+	}
+	if n > 0 {
+		w.acc = w.acc<<n | v
+		w.nacc += n
+	}
+}
+
+// WriteBit appends a single bit (any nonzero b writes 1).
+func (w *BitWriter) WriteBit(b uint) {
+	w.WriteBits(uint64(b&1), 1)
+}
+
+// WriteExpGolomb appends v in order-k exponential-Golomb form: with
+// v' = v + 2^k and n = bits.Len(v'), it writes n-1-k zero bits followed by
+// the n bits of v'. Order 0 codes 0 as "1", 1 as "010", 2 as "011"…;
+// higher orders trade a longer minimum code for flatter growth, which
+// suits streams whose typical value is near 2^k.
+func (w *BitWriter) WriteExpGolomb(v uint64, k uint) {
+	if k > 62 {
+		k = 62
+	}
+	// v + 2^k can overflow uint64 only for v > 2^64 - 2^k; callers code
+	// magnitudes clamped far below that (see Quantizer), but saturate
+	// defensively instead of wrapping into a malformed stream.
+	if v > ^uint64(0)-(1<<k) {
+		v = ^uint64(0) - (1 << k)
+	}
+	vp := v + 1<<k
+	n := uint(bits.Len64(vp))
+	zeros := n - 1 - k
+	for zeros > 0 {
+		take := zeros
+		if take > 32 {
+			take = 32
+		}
+		w.WriteBits(0, take)
+		zeros -= take
+	}
+	w.WriteBits(vp, n)
+}
+
+// BitLen returns the number of bits written so far.
+func (w *BitWriter) BitLen() int { return len(w.buf)*8 + int(w.nacc) }
+
+// Bytes returns the finished stream, zero-padding the final partial byte.
+// The writer may not be used after Bytes.
+func (w *BitWriter) Bytes() []byte {
+	if w.nacc > 0 {
+		w.buf = append(w.buf, byte(w.acc<<(8-w.nacc)))
+		w.acc, w.nacc = 0, 0
+	}
+	return w.buf
+}
+
+// Reset drops all written bits but keeps the underlying buffer capacity,
+// so a pooled writer can be reused across chunks without reallocating.
+func (w *BitWriter) Reset() {
+	w.buf = w.buf[:0]
+	w.acc, w.nacc = 0, 0
+}
+
+// BitReader consumes bits MSB-first from a byte slice. Reads past the end
+// of the buffer return errors rather than padding, so a truncated or
+// corrupt stream is always detected.
+type BitReader struct {
+	buf []byte
+	pos int // bit cursor
+}
+
+// NewBitReader reads bits from buf. The reader does not copy buf.
+func NewBitReader(buf []byte) *BitReader { return &BitReader{buf: buf} }
+
+// errTruncated is the error for any read past the end of the stream.
+var errTruncated = fmt.Errorf("entropy: bitstream truncated")
+
+// ReadBits reads n bits (n in [0, 64]) MSB-first.
+func (r *BitReader) ReadBits(n uint) (uint64, error) {
+	if n > 64 {
+		return 0, fmt.Errorf("entropy: cannot read %d bits at once", n)
+	}
+	if r.pos+int(n) > len(r.buf)*8 {
+		return 0, errTruncated
+	}
+	var v uint64
+	pos := r.pos
+	for rem := n; rem > 0; {
+		byteIdx := pos >> 3
+		bitOff := uint(pos & 7)
+		avail := 8 - bitOff
+		take := avail
+		if take > rem {
+			take = rem
+		}
+		chunk := uint64(r.buf[byteIdx]>>(avail-take)) & ((1 << take) - 1)
+		v = v<<take | chunk
+		pos += int(take)
+		rem -= take
+	}
+	r.pos = pos
+	return v, nil
+}
+
+// ReadBit reads a single bit.
+func (r *BitReader) ReadBit() (uint, error) {
+	v, err := r.ReadBits(1)
+	return uint(v), err
+}
+
+// ReadExpGolomb reads one order-k exponential-Golomb value written by
+// WriteExpGolomb. Streams whose zero-run implies a value beyond 64 bits
+// are rejected as corrupt.
+func (r *BitReader) ReadExpGolomb(k uint) (uint64, error) {
+	if k > 62 {
+		k = 62
+	}
+	zeros := uint(0)
+	for {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 1 {
+			break
+		}
+		zeros++
+		if zeros+k+1 > 64 {
+			return 0, fmt.Errorf("entropy: exp-golomb prefix of %d zeros exceeds 64-bit range", zeros)
+		}
+	}
+	n := zeros + k + 1 // total code length including the marker bit read above
+	rest, err := r.ReadBits(n - 1)
+	if err != nil {
+		return 0, err
+	}
+	vp := 1<<(n-1) | rest
+	return vp - 1<<k, nil
+}
+
+// Remaining returns the number of unread bits.
+func (r *BitReader) Remaining() int { return len(r.buf)*8 - r.pos }

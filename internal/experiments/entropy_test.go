@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"stwave/internal/codec"
+	"stwave/internal/core"
+	"stwave/internal/entropy"
+	"stwave/internal/fbits"
+	"stwave/internal/grid"
+)
+
+var entropyMemo *EntropyResult
+
+func getEntropy(t *testing.T) *EntropyResult {
+	t.Helper()
+	if entropyMemo == nil {
+		r, err := RunEntropyStudy(TestScale(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entropyMemo = r
+	}
+	return entropyMemo
+}
+
+// TestEntropyStudyAcceptance is the PR acceptance bar: on the Table-1
+// fixture the entropy backend must land at least 1.5x smaller than the
+// sparse backend at matched reconstruction quality (PSNR within 1 dB)
+// at every paper ratio.
+func TestEntropyStudyAcceptance(t *testing.T) {
+	r := getEntropy(t)
+	if len(r.Rows) != len(Ratios) {
+		t.Fatalf("study has %d rows, want %d", len(r.Rows), len(Ratios))
+	}
+	for _, row := range r.Rows {
+		if row.SizeGain < 1.5 {
+			t.Errorf("ratio %g: entropy gain %.2fx, want >= 1.5x (sparse %d B, entropy %d B)",
+				row.Ratio, row.SizeGain, row.SparseBytes, row.EntropyBytes)
+		}
+		if d := math.Abs(row.SparsePSNR - row.EntropyPSNR); d > 1.0 {
+			t.Errorf("ratio %g: PSNR mismatch %.2f dB (sparse %.2f, entropy %.2f); quantization noise must stay below threshold error",
+				row.Ratio, d, row.SparsePSNR, row.EntropyPSNR)
+		}
+	}
+}
+
+func TestEntropyStudyWrite(t *testing.T) {
+	var buf bytes.Buffer
+	getEntropy(t).Write(&buf)
+	out := buf.String()
+	for _, want := range []string{"Entropy vs sparse", "Gain", "PSNR entropy"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("study output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestEntropyLosslessBitIdenticalOnFixture is the property test on the
+// Table-1 fixture: the lossless entropy backend must reconstruct the
+// same window bit-for-bit as the sparse backend — both store exactly
+// the float32-rounded retained coefficients, so any divergence means an
+// encoding bug, not quantization.
+func TestEntropyLosslessBitIdenticalOnFixture(t *testing.T) {
+	seq, err := GhostSeries(TestScale(), GhostEnstrophy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	win := grid.NewWindow(seq.Dims)
+	for i := 0; i < 20; i++ {
+		if err := win.Append(seq.Slices[i], seq.Times[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	roundTrip := func(cdc codec.Codec) *grid.Window {
+		t.Helper()
+		opts := BaseOptions4D(16, 20, 0)
+		opts.Codec = cdc
+		comp, err := core.New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recon, _, err := comp.RoundTrip(win)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return recon
+	}
+
+	lossless, err := codec.EntropyWith(entropy.Params{Lossless: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse := roundTrip(codec.Default())
+	ent := roundTrip(lossless)
+	for i := range sparse.Slices {
+		for j, sv := range sparse.Slices[i].Data {
+			if ev := ent.Slices[i].Data[j]; !fbits.Same(sv, ev) {
+				t.Fatalf("slice %d sample %d: sparse %x, entropy-lossless %x", i, j,
+					math.Float64bits(sv), math.Float64bits(ev))
+			}
+		}
+	}
+}

@@ -182,3 +182,17 @@ func (ac *Accumulator) NRMSE() float64 { return normalize(ac.RMSE(), ac.DataRang
 
 // NLInf returns LInf normalized by the global original-data range.
 func (ac *Accumulator) NLInf() float64 { return normalize(ac.LInf(), ac.DataRange()) }
+
+// PSNR returns the aggregate peak signal-to-noise ratio in dB,
+// -20*log10(NRMSE). Zero aggregate error yields +Inf; a zero data range
+// with nonzero error yields -Inf.
+func (ac *Accumulator) PSNR() float64 {
+	n := ac.NRMSE()
+	if fbits.Zero(n) {
+		return math.Inf(1)
+	}
+	if math.IsInf(n, 1) {
+		return math.Inf(-1)
+	}
+	return -20 * math.Log10(n)
+}

@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"stwave/internal/codec"
 	"stwave/internal/compress"
 	"stwave/internal/core"
 	"stwave/internal/grid"
@@ -99,6 +100,29 @@ func RunPipeline(ctx context.Context, cfg Config, progress io.Writer) ([]Result,
 		return nil, err
 	}
 
+	// Fixed thresholded coefficient slices for the codec-level
+	// benchmarks, and a compressor pinned to the entropy backend for the
+	// end-to-end comparison against core.compress_window.
+	datas := make([][]float64, len(transformed.Slices))
+	for i, s := range transformed.Slices {
+		datas[i] = append([]float64(nil), s.Data...)
+		if _, err := compress.ThresholdRatio(datas[i], benchRatio); err != nil {
+			return nil, err
+		}
+	}
+	entCodec := codec.Entropy()
+	entBlocks, err := entCodec.EncodeSlices(datas, benchWorkers)
+	if err != nil {
+		return nil, err
+	}
+	decodeScratch := make([]float64, len(datas[0]))
+	entOpts := opts
+	entOpts.Codec = entCodec
+	entComp, err := core.New(entOpts)
+	if err != nil {
+		return nil, err
+	}
+
 	// Persistent working window for the in-place stages: the timed loop
 	// copies the fixed input over it instead of cloning, so the
 	// measurement sees the stage's own allocations, not the harness's.
@@ -172,6 +196,22 @@ func RunPipeline(ctx context.Context, cfg Config, progress io.Writer) ([]Result,
 			_, err := core.DecompressCtx(ctx, cw)
 			return err
 		}},
+		{"codec.entropy_encode", rawBytes, func(ctx context.Context) error {
+			_, err := entCodec.EncodeSlices(datas, benchWorkers)
+			return err
+		}},
+		{"codec.entropy_decode", rawBytes, func(ctx context.Context) error {
+			for _, b := range entBlocks {
+				if err := b.DecodeInto(decodeScratch, benchWorkers); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{"core.compress_window_entropy", rawBytes, func(ctx context.Context) error {
+			_, err := entComp.CompressWindowCtx(ctx, w)
+			return err
+		}},
 		{"storage.write_container", cw.EncodedSizeBytes(), func(ctx context.Context) error {
 			cont, err := storage.CreateContainer(filepath.Join(dir, "write.stw"))
 			if err != nil {
@@ -215,6 +255,23 @@ func RunPipeline(ctx context.Context, cfg Config, progress io.Writer) ([]Result,
 		}
 		suite = append(suite, pipelineBenchmark{sw.name, rawBytes, func(ctx context.Context) error {
 			_, err := scomp.CompressWindowCtx(ctx, w)
+			return err
+		}})
+	}
+
+	// Entropy-encode scaling pair: the codec stage alone under a pinned
+	// single worker and the shipped default, bracketing how the Huffman
+	// chunk pipeline scales on this machine.
+	for _, sw := range []struct {
+		name    string
+		workers int
+	}{
+		{"scaling.entropy_encode_w1", 1},
+		{"scaling.entropy_encode_wmax", 0},
+	} {
+		workers := sw.workers
+		suite = append(suite, pipelineBenchmark{sw.name, rawBytes, func(ctx context.Context) error {
+			_, err := entCodec.EncodeSlices(datas, workers)
 			return err
 		}})
 	}

@@ -184,6 +184,7 @@ type datasetInfo struct {
 	Windows int    `json:"windows"`
 	Slices  int    `json:"slices"`
 	Dims    string `json:"dims"`
+	Codec   string `json:"codec"`
 	Corrupt int    `json:"corrupt_windows,omitempty"`
 }
 
@@ -196,6 +197,7 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 			Windows: len(m.windows),
 			Slices:  m.slices,
 			Dims:    m.ref.Dims.String(),
+			Codec:   m.codecNames(),
 			Corrupt: m.badCount(),
 		})
 	}

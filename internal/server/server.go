@@ -22,6 +22,7 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -121,6 +122,26 @@ func (m *mount) badCount() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return len(m.bad)
+}
+
+// codecNames returns the coefficient backends the mount's readable
+// windows use — normally one name; mixed containers list all, sorted.
+func (m *mount) codecNames() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	seen := map[string]bool{}
+	for i := range m.windows {
+		if m.bad[i] {
+			continue
+		}
+		seen[m.windows[i].info.Codec.String()] = true
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ",")
 }
 
 // locate maps a global time index to (window index, slice within window).

@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"stwave/internal/codec"
 	"stwave/internal/core"
 	"stwave/internal/grid"
 	"stwave/internal/storage"
@@ -24,10 +25,18 @@ import (
 // windowSize and returns its path.
 func buildContainer(t testing.TB, d grid.Dims, numSlices, windowSize int) string {
 	t.Helper()
+	return buildContainerCodec(t, d, numSlices, windowSize, nil)
+}
+
+// buildContainerCodec is buildContainer with an explicit coefficient
+// backend (nil means the default sparse codec).
+func buildContainerCodec(t testing.TB, d grid.Dims, numSlices, windowSize int, cdc codec.Codec) string {
+	t.Helper()
 	path := filepath.Join(t.TempDir(), "data.stw")
 	opts := core.DefaultOptions()
 	opts.WindowSize = windowSize
 	opts.Ratio = 8
+	opts.Codec = cdc
 	cw, err := storage.CreateContainer(path)
 	if err != nil {
 		t.Fatal(err)
@@ -646,5 +655,55 @@ func TestDegradedMountHeaderDamage(t *testing.T) {
 	resp, _ := get(t, ts.URL+"/v1/test/slice?t=8")
 	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("past timeline: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestDegradedMountEntropyCodec: the degraded-mount contract holds for
+// entropy-coded containers exactly as for sparse ones — a corrupt entropy
+// payload answers 410 Gone, intact entropy windows serve, and the dataset
+// listing names the codec.
+func TestDegradedMountEntropyCodec(t *testing.T) {
+	d := grid.Dims{Nx: 8, Ny: 8, Nz: 8}
+	path := buildContainerCodec(t, d, 12, 4, codec.Entropy())
+	corruptWindowPayload(t, path, 1)
+
+	cfg := DefaultConfig()
+	cfg.Degraded = true
+	s := New(cfg)
+	if err := s.Mount("test", path); err != nil {
+		t.Fatalf("degraded mount: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Close()
+	}()
+
+	for _, tt := range []int{4, 5, 6, 7} {
+		resp, body := get(t, fmt.Sprintf("%s/v1/test/slice?t=%d", ts.URL, tt))
+		if resp.StatusCode != http.StatusGone {
+			t.Errorf("t=%d: status %d (%s), want 410", tt, resp.StatusCode, body)
+		}
+	}
+	for _, tt := range []int{0, 3, 8, 11} {
+		resp, body := get(t, fmt.Sprintf("%s/v1/test/slice?t=%d", ts.URL, tt))
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("t=%d: status %d (%s), want 200", tt, resp.StatusCode, body)
+		}
+	}
+
+	resp, body := get(t, ts.URL+"/v1/datasets")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("datasets status %d", resp.StatusCode)
+	}
+	var infos []struct {
+		Codec   string `json:"codec"`
+		Corrupt int    `json:"corrupt_windows"`
+	}
+	if err := json.Unmarshal(body, &infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Codec != "entropy" || infos[0].Corrupt != 1 {
+		t.Errorf("datasets = %+v, want codec entropy with 1 corrupt window", infos)
 	}
 }

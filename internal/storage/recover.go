@@ -68,6 +68,10 @@ type FrameInfo struct {
 	CRC    uint32     `json:"crc"`
 	State  FrameState `json:"-"`
 	StateS string     `json:"state"`
+	// Codec names the coefficient backend of the window payload ("sparse",
+	// "entropy", ...), parsed from the window header. Empty when the
+	// payload is too damaged for even the header to parse.
+	Codec string `json:"codec,omitempty"`
 }
 
 // ScanReport is the result of walking a container's journal.
@@ -143,7 +147,7 @@ func ScanContainer(f io.ReaderAt, size int64) (*ScanReport, error) {
 			fi.State = FrameCorrupt
 			rep.Corrupt = append(rep.Corrupt, fi.Index)
 		}
-		rep.Frames = append(rep.Frames, withStateS(fi))
+		rep.Frames = append(rep.Frames, withStateS(classifyCodec(f, fi)))
 		pos = fi.Offset + fi.Length
 	}
 	rep.TailOffset = pos
@@ -173,6 +177,17 @@ func ScanContainer(f io.ReaderAt, size int64) (*ScanReport, error) {
 
 func withStateS(fi FrameInfo) FrameInfo {
 	fi.StateS = fi.State.String()
+	return fi
+}
+
+// classifyCodec parses the window header at the frame's payload to name
+// its coefficient backend. Damage is expected here — a corrupt payload's
+// header may be garbage — so parse failures just leave Codec empty.
+func classifyCodec(f io.ReaderAt, fi FrameInfo) FrameInfo {
+	wi, err := core.ReadWindowInfo(io.NewSectionReader(f, fi.Offset, fi.Length))
+	if err == nil {
+		fi.Codec = wi.Codec.String()
+	}
 	return fi
 }
 
@@ -327,7 +342,7 @@ func resyncFromFooter(f io.ReaderAt, size int64, retry RetryPolicy, rep *ScanRep
 			fi.State = FrameBadHeader
 			rep.Good++
 		}
-		rep.Frames = append(rep.Frames, withStateS(fi))
+		rep.Frames = append(rep.Frames, withStateS(classifyCodec(f, fi)))
 	}
 	rep.TailOffset = offsets[len(offsets)-1] + lengths[len(lengths)-1]
 	rep.FooterOK = true
@@ -369,7 +384,7 @@ func scanLegacy(f io.ReaderAt, size int64, retry RetryPolicy) (*ScanReport, bool
 			fi.State = FrameCorrupt
 			rep.Corrupt = append(rep.Corrupt, i)
 		}
-		rep.Frames = append(rep.Frames, withStateS(fi))
+		rep.Frames = append(rep.Frames, withStateS(classifyCodec(f, fi)))
 		rep.TailOffset = fi.Offset + fi.Length
 	}
 	return rep, true, nil
