@@ -303,11 +303,12 @@ func ReadSparseBlock(r io.Reader) (*SparseBlock, error) {
 	kU := binary.LittleEndian.Uint64(hdr[8:16])
 	// Validate the raw unsigned fields before narrowing to int: the
 	// sanity cap (one block is one 3D field; 2^31 samples is a 1290³
-	// grid) also bounds allocation against forged headers.
+	// grid) also bounds allocation against forged headers. The cap is
+	// exclusive so an accepted total fits in int on 32-bit platforms.
 	if kU > totalU {
 		return nil, fmt.Errorf("compress: corrupt sparse header (total=%d retained=%d)", totalU, kU)
 	}
-	if totalU > 1<<31 {
+	if totalU >= 1<<31 {
 		return nil, fmt.Errorf("compress: implausible block size %d samples", totalU)
 	}
 	total := int(totalU)

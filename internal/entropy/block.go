@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"math/bits"
+	"slices"
 
 	"stwave/internal/fbits"
 	"stwave/internal/par"
@@ -52,7 +53,9 @@ const (
 
 	// maxBlockTotal caps N against forged headers: one block is one 3D
 	// field, and 2^31 samples is a 1290³ grid (mirrors the sparse
-	// backend's cap).
+	// backend's cap). The bound is exclusive — Read rejects totals >=
+	// maxBlockTotal — so an accepted total always fits in int, even on
+	// 32-bit platforms.
 	maxBlockTotal = 1 << 31
 
 	// maxChunkPayload caps one chunk's payload length against forged
@@ -119,6 +122,9 @@ func Encode(coeffs []float64, p Params, workers int) (*Block, error) {
 		return nil, err
 	}
 	n := len(coeffs)
+	if n >= maxBlockTotal {
+		return nil, fmt.Errorf("entropy: %d coefficients exceed the format cap %d", n, maxBlockTotal)
+	}
 	b := &Block{
 		total:    n,
 		lossless: p.Lossless,
@@ -382,7 +388,10 @@ func (b *Block) decodeChunk(out []float64, ci int, payload []byte, dec *huffDeco
 		if err != nil {
 			return 0, err
 		}
-		if gap >= uint64(hi-pos) { // next index pos+1+gap must stay < hi
+		// The next index is pos+1+gap and must stay < hi. pos is at most
+		// hi-1 here, so hi-pos-1 is non-negative and the uint64 conversion
+		// is safe; an honest encoder only emits gap <= hi-pos-2.
+		if gap >= uint64(hi-pos-1) {
 			return 0, fmt.Errorf("entropy: index gap %d runs past chunk end", gap)
 		}
 		pos += 1 + int(gap)
@@ -501,7 +510,7 @@ func Read(r io.Reader) (*Block, error) {
 	retainedU := binary.LittleEndian.Uint64(hdr[16:24])
 	b.step = math.Float64frombits(binary.LittleEndian.Uint64(hdr[24:32]))
 	nchU := binary.LittleEndian.Uint32(hdr[32:36])
-	if totalU > maxBlockTotal {
+	if totalU >= maxBlockTotal {
 		return nil, fmt.Errorf("entropy: implausible block size %d samples", totalU)
 	}
 	if retainedU > totalU {
@@ -543,7 +552,7 @@ func Read(r io.Reader) (*Block, error) {
 	}
 	nch := int(nchU)
 	b.chunkLen = make([]uint32, nch)
-	payloadBytes := 0
+	var payloadBytes int64
 	if nch > 0 {
 		lens := make([]byte, 4*nch)
 		if _, err := io.ReadFull(r, lens); err != nil {
@@ -555,12 +564,28 @@ func Read(r io.Reader) (*Block, error) {
 				return nil, fmt.Errorf("entropy: chunk %d payload %d exceeds format cap %d", ci, ln, maxChunkPayload)
 			}
 			b.chunkLen[ci] = ln
-			payloadBytes += int(ln)
+			payloadBytes += int64(ln)
 		}
 	}
-	b.payload = make([]byte, payloadBytes)
-	if _, err := io.ReadFull(r, b.payload); err != nil {
-		return nil, fmt.Errorf("entropy: reading %d payload bytes: %w", payloadBytes, err)
+	if payloadBytes >= math.MaxInt {
+		return nil, fmt.Errorf("entropy: chunk lengths sum to %d bytes, beyond addressable payload", payloadBytes)
+	}
+	// Read the payload one chunk at a time rather than trusting the summed
+	// header lengths with a single up-front make(): a forged header can
+	// claim ~64 GiB (65536 chunks at the 1 MiB per-chunk cap) while
+	// carrying no payload at all, so memory must only grow as bytes
+	// actually arrive off the stream.
+	prealloc := payloadBytes
+	if prealloc > maxChunkPayload {
+		prealloc = maxChunkPayload
+	}
+	b.payload = make([]byte, 0, prealloc)
+	for ci, ln := range b.chunkLen {
+		off := len(b.payload)
+		b.payload = slices.Grow(b.payload, int(ln))[:off+int(ln)]
+		if _, err := io.ReadFull(r, b.payload[off:]); err != nil {
+			return nil, fmt.Errorf("entropy: reading chunk %d payload (%d of %d bytes): %w", ci, ln, payloadBytes, err)
+		}
 	}
 	return b, nil
 }

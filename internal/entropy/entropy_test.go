@@ -2,6 +2,7 @@ package entropy
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math"
 	"math/rand"
 	"testing"
@@ -351,6 +352,142 @@ func TestBlockRejectsWrongLength(t *testing.T) {
 	}
 	if err := b.DecodeInto(make([]float64, 99), 1); err == nil {
 		t.Fatal("short output accepted")
+	}
+}
+
+// forgeGapOverflowBlock builds a lossless block whose single chunk claims
+// one value with an index gap of `gap`: with pos starting at lo-1 the
+// decoded index is exactly gap, so gap == total lands one past the end.
+func forgeGapOverflowBlock(total int, gap uint64) *Block {
+	var w BitWriter
+	w.WriteExpGolomb(1, 0)   // kc = 1
+	w.WriteExpGolomb(gap, 0) // forged index gap
+	w.WriteBits(0, 32)       // float32 payload for the lossless path
+	payload := w.Bytes()
+	return &Block{
+		total:    total,
+		retained: 1,
+		lossless: true,
+		chunkLen: []uint32{uint32(len(payload))}, //stlint:ignore trunccast hand-built payload is a few bytes
+		payload:  payload,
+	}
+}
+
+// TestDecodeRejectsGapReachingChunkEnd is the PoC for the decoder's index
+// bounds check: a forged chunk whose one gap lands exactly on the chunk
+// end (pos+1+gap == hi) must fail typed instead of writing out[total].
+func TestDecodeRejectsGapReachingChunkEnd(t *testing.T) {
+	const n = 100
+	b := forgeGapOverflowBlock(n, n)
+	out := make([]float64, n)
+	if err := b.DecodeInto(out, 1); err == nil {
+		t.Fatal("gap landing on the chunk end accepted")
+	}
+	// The same stream through the serialized path must fail typed too.
+	var buf bytes.Buffer
+	if _, err := b.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return // rejecting already at Read is fine
+	}
+	if err := rb.DecodeInto(out, 1); err == nil {
+		t.Fatal("serialized gap-overflow stream accepted")
+	}
+}
+
+// TestDecodeRejectsGapCrossingChunkBoundary: in a multi-chunk block a
+// forged gap whose index lands in the neighboring chunk's range must fail
+// typed — otherwise the write races with the goroutine decoding that chunk.
+func TestDecodeRejectsGapCrossingChunkBoundary(t *testing.T) {
+	n := chunkSize + 10
+	var w0 BitWriter
+	w0.WriteExpGolomb(1, 0)
+	w0.WriteExpGolomb(chunkSize, 0) // decoded index = chunkSize: chunk 1's range
+	w0.WriteBits(0, 32)
+	p0 := w0.Bytes()
+	var w1 BitWriter
+	w1.WriteExpGolomb(0, 0) // chunk 1 carries nothing
+	p1 := w1.Bytes()
+	b := &Block{
+		total:    n,
+		retained: 1,
+		lossless: true,
+		chunkLen: []uint32{uint32(len(p0)), uint32(len(p1))}, //stlint:ignore trunccast hand-built payloads are a few bytes
+		payload:  append(append([]byte(nil), p0...), p1...),
+	}
+	out := make([]float64, n)
+	for _, workers := range []int{1, 2} {
+		if err := b.DecodeInto(out, workers); err == nil {
+			t.Fatalf("workers=%d: gap crossing the chunk boundary accepted", workers)
+		}
+	}
+}
+
+// TestDecodeAcceptsLastIndexInChunk guards the other side of the bounds
+// check: a value at the final coefficient of a chunk is legitimate and
+// must keep round-tripping.
+func TestDecodeAcceptsLastIndexInChunk(t *testing.T) {
+	for _, n := range []int{1, 100, chunkSize, chunkSize + 1} {
+		coeffs := make([]float64, n)
+		coeffs[n-1] = 0.75
+		b, err := Encode(coeffs, Params{Lossless: true}, 2)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		out := make([]float64, n)
+		if err := b.DecodeInto(out, 2); err != nil {
+			t.Fatalf("n=%d: last-index value rejected: %v", n, err)
+		}
+		if out[n-1] != 0.75 {
+			t.Fatalf("n=%d: last-index value decoded as %g", n, out[n-1])
+		}
+	}
+}
+
+// forgeLosslessHeader serializes a syntactically valid lossless block
+// header claiming the given total (with retained = total) followed by the
+// given chunk-length fields — and no payload.
+func forgeLosslessHeader(total uint64, chunkLens []uint32) []byte {
+	hdr := make([]byte, headerSize)
+	hdr[0], hdr[1], hdr[2] = blockMagic0, blockMagic1, blockMagic2
+	hdr[3] = blockVersion
+	hdr[4] = flagLossless
+	binary.LittleEndian.PutUint64(hdr[8:16], total)
+	binary.LittleEndian.PutUint64(hdr[16:24], total)
+	binary.LittleEndian.PutUint32(hdr[32:36], uint32(len(chunkLens))) //stlint:ignore trunccast test headers carry a handful of chunks
+	var lb [4]byte
+	for _, ln := range chunkLens {
+		binary.LittleEndian.PutUint32(lb[:], ln)
+		hdr = append(hdr, lb[:]...)
+	}
+	return hdr
+}
+
+// TestReadRejectsForgedPayloadSum: a header whose chunk lengths sum to far
+// more payload than the stream carries must fail at the first missing
+// chunk — memory grows only as payload bytes actually arrive, never from
+// the claimed sum alone.
+func TestReadRejectsForgedPayloadSum(t *testing.T) {
+	nch := 10
+	lens := make([]uint32, nch)
+	for i := range lens {
+		lens[i] = maxChunkPayload
+	}
+	hdr := forgeLosslessHeader(uint64(nch*chunkSize), lens)
+	if _, err := Read(bytes.NewReader(hdr)); err == nil {
+		t.Fatal("forged payload sum with no payload bytes accepted")
+	}
+}
+
+// TestReadRejectsTotalAtCap: totals at or above maxBlockTotal must be
+// rejected before narrowing to int — 2^31 overflows int on 32-bit
+// platforms.
+func TestReadRejectsTotalAtCap(t *testing.T) {
+	hdr := forgeLosslessHeader(uint64(maxBlockTotal), nil)
+	if _, err := Read(bytes.NewReader(hdr)); err == nil {
+		t.Fatal("total == 2^31 accepted")
 	}
 }
 

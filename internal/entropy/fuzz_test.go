@@ -73,6 +73,17 @@ func FuzzBlockRead(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Add([]byte("STE"))
+	// Regression seed: a forged chunk claiming one value whose index gap
+	// lands exactly on the chunk end previously wrote out[total] and
+	// panicked inside DecodeInto's parallel pass.
+	{
+		fb := forgeGapOverflowBlock(100, 100)
+		var buf bytes.Buffer
+		if _, err := fb.WriteTo(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		b, err := Read(bytes.NewReader(data))
