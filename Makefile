@@ -9,19 +9,22 @@ all: build vet test check
 # Fast correctness gate: static checks (vet, gofmt, the stlint analyzer
 # suite), race-detector runs of the packages with real concurrency (the
 # HTTP server, the shared container reader and fault-injection wrapper,
-# the burst buffer, the entropy/sparse codecs, and the parallel
+# the burst buffer, the entropy/sparse codecs, the streaming ingest
+# engine with its backpressure policies, and the parallel
 # transform/threshold stages with their serial-equivalence property
-# tests), a GOMAXPROCS=1 smoke of the same parallel stages (worker
-# budgets must degrade to clean sequential execution), and short fuzz
-# smokes of the container index parser, the 1D wavelet round-trip, the
-# record-frame codec, the entropy coder round-trip, and the coefficient
-# codec block decoders.
+# tests), a GOMAXPROCS=1 smoke of the same parallel stages plus the
+# ingest engine (worker budgets must degrade to clean sequential
+# execution), and short fuzz smokes of the container index parser, the
+# 1D wavelet round-trip, the record-frame codec, the gap-marker codec,
+# the entropy coder round-trip, and the coefficient codec block
+# decoders.
 check: vet fmt-check lint bench-smoke
-	$(GO) test -race ./internal/server ./internal/storage ./internal/compress ./internal/faultio ./internal/transform ./internal/core ./internal/par ./internal/codec ./internal/entropy
-	GOMAXPROCS=1 $(GO) test ./internal/par ./internal/transform ./internal/compress ./internal/core ./internal/codec ./internal/entropy
+	$(GO) test -race ./internal/server ./internal/storage ./internal/compress ./internal/faultio ./internal/transform ./internal/core ./internal/par ./internal/codec ./internal/entropy ./internal/ingest
+	GOMAXPROCS=1 $(GO) test ./internal/par ./internal/transform ./internal/compress ./internal/core ./internal/codec ./internal/entropy ./internal/ingest
 	$(GO) test -run=NONE -fuzz=FuzzOpenContainer -fuzztime=10s ./internal/storage
 	$(GO) test -run=NONE -fuzz=FuzzWaveletRoundtrip -fuzztime=5s ./internal/wavelet
 	$(GO) test -run=NONE -fuzz=FuzzRecordFrame -fuzztime=5s ./internal/core
+	$(GO) test -run=NONE -fuzz=FuzzGapMarker -fuzztime=5s ./internal/core
 	$(GO) test -run=NONE -fuzz=FuzzEntropyRoundtrip -fuzztime=5s ./internal/entropy
 	$(GO) test -run=NONE -fuzz=FuzzCodecDecode -fuzztime=5s ./internal/codec
 

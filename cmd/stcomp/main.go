@@ -14,6 +14,13 @@
 //
 //	stcomp info -in data.stw
 //
+// Stream straight from a built-in simulation through bounded-memory
+// compression into a container (in-situ ingest), with a backpressure
+// policy for when storage cannot keep up:
+//
+//	stcomp ingest -source synth -dims 64x64x64 -slices 200 -window 20 \
+//	    -policy degrade -ladder 64,128 -mem-budget 268435456 -out data.stw
+//
 // Compress with -trace FILE to also write a JSON span tree of the run —
 // per-window compress/threshold/encode timings down to the transform
 // stages — for offline inspection (see OPERATIONS.md).
@@ -25,14 +32,22 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
+	"time"
 
 	"stwave/internal/codec"
 	"stwave/internal/core"
 	"stwave/internal/entropy"
 	"stwave/internal/grid"
+	"stwave/internal/ingest"
 	"stwave/internal/obs"
+	"stwave/internal/sim/cloverleaf"
+	"stwave/internal/sim/ghost"
+	"stwave/internal/sim/synth"
+	"stwave/internal/sim/tornado"
 	"stwave/internal/storage"
 	"stwave/internal/wavelet"
 )
@@ -50,6 +65,8 @@ func main() {
 		err = runDecompress(os.Args[2:])
 	case "info":
 		err = runInfo(os.Args[2:])
+	case "ingest":
+		err = runIngest(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -68,7 +85,12 @@ func usage() {
          [-fsync never|window|close] [-atomic]
          [-trace FILE] -out FILE slice0.raw [slice1.raw ...]
   stcomp decompress -in FILE -prefix PREFIX
-  stcomp info -in FILE`)
+  stcomp info -in FILE
+  stcomp ingest -source ghost|cloverleaf|tornado|synth -dims NXxNYxNZ
+         -slices N [-window T] [-mode 3d|4d] [-ratio N] [-workers N]
+         [-policy stall|degrade|shed] [-mem-budget BYTES] [-deadline D]
+         [-ladder R1,R2,...] [-stage DIR] [-dt X] [-seed N]
+         [-fsync never|window|close] -out FILE`)
 }
 
 func parseDims(s string) (grid.Dims, error) {
@@ -294,6 +316,191 @@ func compressToTarget(cw *storage.ContainerWriter, opts core.Options, dims grid.
 	return nil
 }
 
+// parseLadder parses the -ladder flag: comma-separated target ratios.
+func parseLadder(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	ladder := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ladder rung %q", p)
+		}
+		ladder = append(ladder, v)
+	}
+	return ladder, nil
+}
+
+// makeSource builds the streaming source for -source. ghost and
+// cloverleaf evolve real solver state, so their grids are cubic; tornado
+// and synth are analytic and sample any dims.
+func makeSource(name string, dims grid.Dims, dt float64, seed int64) (ingest.Source, error) {
+	cubic := func() (int, error) {
+		if dims.Nx != dims.Ny || dims.Ny != dims.Nz {
+			return 0, fmt.Errorf("-source %s needs a cubic grid, got %v", name, dims)
+		}
+		return dims.Nx, nil
+	}
+	switch name {
+	case "ghost":
+		n, err := cubic()
+		if err != nil {
+			return nil, err
+		}
+		cfg := ghost.DefaultConfig(n)
+		cfg.Seed = seed
+		s, err := ghost.NewSolver(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.EnableScalar(ghost.ScalarConfig{Kappa: cfg.Nu, MeanGradient: 1}); err != nil {
+			return nil, err
+		}
+		return ingest.NewGhostSource(s)
+	case "cloverleaf", "clover":
+		n, err := cubic()
+		if err != nil {
+			return nil, err
+		}
+		s, err := cloverleaf.NewSolver(cloverleaf.DefaultConfig(n))
+		if err != nil {
+			return nil, err
+		}
+		return ingest.NewCloverleafSource(s), nil
+	case "tornado":
+		m, err := tornado.NewModel(tornado.DefaultConfig(dims.Nx, dims.Ny, dims.Nz))
+		if err != nil {
+			return nil, err
+		}
+		return ingest.NewTornadoSource(m, dt)
+	case "synth":
+		cfg := synth.DefaultConfig()
+		cfg.Seed = seed
+		f, err := synth.NewField(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return ingest.NewSynthSource(f, dims, dt)
+	}
+	return nil, fmt.Errorf("unknown source %q (ghost, cloverleaf, tornado, synth)", name)
+}
+
+func runIngest(args []string) error {
+	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
+	source := fs.String("source", "synth", "simulation source: ghost, cloverleaf, tornado, or synth")
+	dimsStr := fs.String("dims", "", "grid dims NXxNYxNZ (required)")
+	slices := fs.Int("slices", 0, "total time slices to ingest (required)")
+	window := fs.Int("window", 20, "window size (4D mode)")
+	mode := fs.String("mode", "4d", "3d or 4d")
+	ratio := fs.Float64("ratio", 32, "base target compression ratio n:1")
+	workers := fs.Int("workers", 0, "compression pipeline width (0 = GOMAXPROCS)")
+	policy := fs.String("policy", "stall", "backpressure policy: stall, degrade, or shed")
+	memBudget := fs.Int64("mem-budget", 0, "bytes of raw windows allowed in flight (0 = unbounded)")
+	memLimit := fs.Int64("mem-limit", 0, "soft limit on total process memory, via the Go runtime (bytes; 0 = runtime default)")
+	deadline := fs.Duration("deadline", 30*time.Second, "how long backpressure may block before the run fails")
+	retryEvery := fs.Duration("retry-every", 20*time.Millisecond, "pause between append retries under backpressure")
+	ladderStr := fs.String("ladder", "", "comma-separated coarser ratios for -policy degrade, e.g. 64,128")
+	stageDir := fs.String("stage", "", "stage raw slices through a burst buffer in this directory")
+	dt := fs.Float64("dt", 1, "simulation time per slice (tornado and synth sources)")
+	seed := fs.Int64("seed", 1, "random seed where the source takes one")
+	fsyncPolicy := fs.String("fsync", "never", "fsync policy: never, window (after every appended window), or close")
+	out := fs.String("out", "", "output container path (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dimsStr == "" || *out == "" {
+		return fmt.Errorf("ingest requires -dims and -out")
+	}
+	if *slices < 1 {
+		return fmt.Errorf("ingest requires -slices >= 1")
+	}
+	dims, err := parseDims(*dimsStr)
+	if err != nil {
+		return err
+	}
+	pol, err := ingest.ParsePolicy(*policy)
+	if err != nil {
+		return err
+	}
+	ladder, err := parseLadder(*ladderStr)
+	if err != nil {
+		return err
+	}
+	syncPol, err := storage.ParseSyncPolicy(*fsyncPolicy)
+	if err != nil {
+		return err
+	}
+	if *memLimit > 0 {
+		// An in-situ process shares its node with the solver's neighbors:
+		// the admission gate bounds the raw-window ledger, and this bounds
+		// everything else (GC headroom, encode buffers, solver state) so
+		// peak RSS is set by the limit, not the run length.
+		debug.SetMemoryLimit(*memLimit)
+	}
+	opts := core.DefaultOptions()
+	opts.WindowSize = *window
+	opts.Ratio = *ratio
+	switch strings.ToLower(*mode) {
+	case "3d":
+		opts.Mode = core.Spatial3D
+	case "4d":
+		opts.Mode = core.Spatiotemporal4D
+	default:
+		return fmt.Errorf("mode must be 3d or 4d, got %q", *mode)
+	}
+
+	src, err := makeSource(strings.ToLower(*source), dims, *dt, *seed)
+	if err != nil {
+		return err
+	}
+	cfg := ingest.Config{
+		Opts:       opts,
+		Workers:    *workers,
+		MemBudget:  *memBudget,
+		Policy:     pol,
+		Deadline:   *deadline,
+		RetryEvery: *retryEvery,
+		Ladder:     ladder,
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if *stageDir != "" {
+		if err := os.MkdirAll(*stageDir, 0o755); err != nil {
+			return err
+		}
+		cfg.Stage, err = storage.NewBurstBuffer(*stageDir, storage.DefaultModel(), dims)
+		if err != nil {
+			return err
+		}
+	}
+	cw, err := storage.CreateContainer(*out)
+	if err != nil {
+		return err
+	}
+	cw.Sync = syncPol
+	eng, err := ingest.NewEngine(cfg, dims, cw)
+	if err != nil {
+		return err
+	}
+	st, runErr := eng.Run(src, *slices)
+	closeErr := cw.Close()
+
+	rawBytes := int64(st.SlicesIn) * int64(dims.Len()) * 8
+	fmt.Printf("ingested %d slices (%s raw): %d windows appended, %d shed (%d slices lost, journaled as gaps)\n",
+		st.SlicesIn, fmtBytes(rawBytes), st.WindowsAppended, st.WindowsShed, st.SlicesShed)
+	if st.Backpressure > 0 || st.DegradeSteps > 0 {
+		fmt.Printf("  backpressure: %d events, %d append retries, %d degrade steps (final ratio %g:1), peak %s raw in flight\n",
+			st.Backpressure, st.AppendRetries, st.DegradeSteps, st.FinalRatio, fmtBytes(st.PeakInFlightBytes))
+	}
+	if runErr != nil {
+		return fmt.Errorf("ingest aborted: %w (the journal at %s keeps every durably appended window; recover with stfsck)", runErr, *out)
+	}
+	return closeErr
+}
+
 func runDecompress(args []string) error {
 	fs := flag.NewFlagSet("decompress", flag.ExitOnError)
 	in := fs.String("in", "", "input container (required)")
@@ -309,8 +516,21 @@ func runDecompress(args []string) error {
 		return err
 	}
 	defer r.Close()
-	n := 0
+	n, skipped := 0, 0
 	for i := 0; i < r.NumWindows(); i++ {
+		wi, err := r.WindowInfo(i)
+		if err != nil {
+			return err
+		}
+		if wi.Gap != nil {
+			// A shed window: no data to write, but the slice numbering must
+			// keep its place so every later slice keeps its global index.
+			fmt.Printf("  window %d: gap (%s), skipping slices %04d-%04d\n",
+				i, wi.Gap.Reason, n, n+wi.Gap.Slices-1)
+			n += wi.Gap.Slices
+			skipped += wi.Gap.Slices
+			continue
+		}
 		cwin, err := r.ReadWindow(i)
 		if err != nil {
 			return err
@@ -327,7 +547,10 @@ func runDecompress(args []string) error {
 			n++
 		}
 	}
-	fmt.Printf("wrote %d slices with prefix %s\n", n, *prefix)
+	fmt.Printf("wrote %d slices with prefix %s\n", n-skipped, *prefix)
+	if skipped > 0 {
+		fmt.Printf("  %d slices fall in ingest gaps; their indices are reserved, no files written\n", skipped)
+	}
 	return nil
 }
 
@@ -347,6 +570,15 @@ func runInfo(args []string) error {
 	defer r.Close()
 	fmt.Printf("%s: %d windows\n", *in, r.NumWindows())
 	for i := 0; i < r.NumWindows(); i++ {
+		wi, err := r.WindowInfo(i)
+		if err != nil {
+			return err
+		}
+		if wi.Gap != nil {
+			fmt.Printf("  window %d: gap — %d slices shed at ingest (%s), t=[%g, %g]\n",
+				i, wi.Gap.Slices, wi.Gap.Reason, wi.Gap.T0, wi.Gap.T1)
+			continue
+		}
 		cwin, err := r.ReadWindow(i)
 		if err != nil {
 			return err

@@ -7,39 +7,181 @@ import (
 	"stwave/internal/grid"
 )
 
-// AsyncWriter is a pipelined variant of Writer: windows are compressed on a
-// background worker pool while the simulation keeps producing slices —
-// overlapping the paper's "Comp. Time" with the solve, which is how a
-// production in-transit pipeline would hide the Table I compute cost.
-// Compressed windows are delivered to the sink strictly in window order
-// regardless of which worker finishes first.
+// Pipeline is the reusable compress-and-deliver engine behind AsyncWriter
+// and the streaming ingest path: a bounded worker pool runs jobs (each
+// producing one CompressedWindow) concurrently, and a single sequencer
+// goroutine delivers the results to the sink strictly in submission order
+// regardless of which worker finishes first — overlapping the paper's
+// "Comp. Time" with the solve, the way a production in-transit pipeline
+// hides the Table I compute cost.
 //
-// WriteSlice and Flush must be called from a single goroutine; the sink is
-// also invoked from a single (internal) goroutine.
-type AsyncWriter struct {
-	comp    *Compressor
-	sink    Sink
-	dims    grid.Dims
-	pending *grid.Window
-
-	jobs     chan asyncJob
-	resultCh chan asyncResult
+// Failure semantics are designed for clean drains under storage faults:
+// the first error (from a job or from the sink) sticks, the sink is never
+// invoked again after it, workers stop doing work (they keep consuming
+// jobs so a blocked Submit always unblocks), and Close drains everything
+// without leaking goroutines or deadlocking on a full job queue. Submit
+// fails fast once the pipeline is failed, so producers learn about a bad
+// sink at the next window boundary instead of at Flush.
+//
+// Submit and Close must be called from a single goroutine; the sink is
+// invoked from a single (internal) goroutine.
+type Pipeline struct {
+	jobs     chan pipelineJob
 	done     chan struct{}
-	sinkErr  error
+	failed   chan struct{} // closed after err is set
+	failOnce sync.Once
+	err      error
 
-	nextWindow int // next window id to assign
-	slicesIn   int
+	next   int
+	closed bool
 }
 
-type asyncJob struct {
+type pipelineJob struct {
 	id  int
-	win *grid.Window
+	run func() (*CompressedWindow, error)
 }
 
-type asyncResult struct {
+type pipelineResult struct {
 	id  int
 	cw  *CompressedWindow
 	err error
+}
+
+// NewPipeline starts workers (>= 1) goroutines consuming a job queue of
+// the same depth, delivering in-order to sink. The sink receives the job
+// id assigned by Submit alongside the window.
+func NewPipeline(workers int, sink func(id int, cw *CompressedWindow) error) (*Pipeline, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("core: pipeline needs >= 1 worker, got %d", workers)
+	}
+	if sink == nil {
+		return nil, fmt.Errorf("core: nil sink")
+	}
+	p := &Pipeline{
+		jobs:   make(chan pipelineJob, workers),
+		done:   make(chan struct{}),
+		failed: make(chan struct{}),
+	}
+	results := make(chan pipelineResult, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range p.jobs {
+				if p.Err() != nil {
+					// The pipeline already failed: consume the job so a
+					// blocked Submit or Close can make progress, but skip
+					// the (expensive) work.
+					results <- pipelineResult{id: job.id, err: p.Err()}
+					continue
+				}
+				cw, err := job.run()
+				results <- pipelineResult{id: job.id, cw: cw, err: err}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+	// Sequencer: delivers results to the sink in id order. After the first
+	// error it keeps draining results (so workers never block on a full
+	// results channel) but never calls the sink again — a journal must not
+	// be appended past a hole.
+	go func() {
+		defer close(p.done)
+		next := 0
+		buffered := map[int]*CompressedWindow{}
+		for res := range results {
+			if p.Err() != nil {
+				continue
+			}
+			if res.err != nil {
+				p.fail(res.err)
+				continue
+			}
+			buffered[res.id] = res.cw
+			for {
+				cw, ok := buffered[next]
+				if !ok {
+					break
+				}
+				delete(buffered, next)
+				if err := sink(next, cw); err != nil {
+					p.fail(err)
+					break
+				}
+				next++
+			}
+		}
+	}()
+	return p, nil
+}
+
+// fail records the pipeline's first error and marks it failed.
+func (p *Pipeline) fail(err error) {
+	p.failOnce.Do(func() {
+		p.err = err
+		close(p.failed)
+	})
+}
+
+// Err returns the sticky first error, or nil while the pipeline is
+// healthy. Safe to call from any goroutine.
+func (p *Pipeline) Err() error {
+	select {
+	case <-p.failed:
+		return p.err
+	default:
+		return nil
+	}
+}
+
+// Submit queues one job and returns the sequence id its result will be
+// delivered under. It blocks while the job queue is full (workers always
+// drain it, so the wait is bounded by in-flight work, not by the sink).
+// Once the pipeline has failed, Submit drops the job and returns the
+// sticky error immediately.
+func (p *Pipeline) Submit(run func() (*CompressedWindow, error)) (int, error) {
+	if p.closed {
+		return 0, fmt.Errorf("core: submit on closed pipeline")
+	}
+	if err := p.Err(); err != nil {
+		return 0, err
+	}
+	id := p.next
+	p.next++
+	p.jobs <- pipelineJob{id: id, run: run}
+	return id, nil
+}
+
+// Close stops accepting jobs, waits for every in-flight job and delivery
+// to finish (workers and sequencer exit; nothing leaks), and returns the
+// pipeline's sticky error. Close is idempotent.
+func (p *Pipeline) Close() error {
+	if !p.closed {
+		p.closed = true
+		close(p.jobs)
+	}
+	<-p.done
+	return p.Err()
+}
+
+// AsyncWriter is a pipelined variant of Writer: windows are compressed on
+// a background worker pool while the simulation keeps producing slices,
+// and compressed windows are delivered to the sink strictly in window
+// order. It is a thin window-batching layer over Pipeline.
+//
+// WriteSlice, Flush, and Close must be called from a single goroutine;
+// the sink is also invoked from a single (internal) goroutine.
+type AsyncWriter struct {
+	comp    *Compressor
+	dims    grid.Dims
+	pending *grid.Window
+	pipe    *Pipeline
+
+	slicesIn int
 }
 
 // NewAsyncWriter creates a pipelined writer with the given number of
@@ -55,64 +197,20 @@ func NewAsyncWriter(opts Options, dims grid.Dims, workers int, sink Sink) (*Asyn
 	if sink == nil {
 		return nil, fmt.Errorf("core: nil sink")
 	}
-	if workers < 1 {
-		return nil, fmt.Errorf("core: async writer needs >= 1 worker, got %d", workers)
+	pipe, err := NewPipeline(workers, func(_ int, cw *CompressedWindow) error {
+		return sink(cw)
+	})
+	if err != nil {
+		return nil, err
 	}
-	// In 3D mode each slice is its own 1-slice window for pipelining.
-	aw := &AsyncWriter{
-		comp:     comp,
-		sink:     sink,
-		dims:     dims,
-		jobs:     make(chan asyncJob, workers),
-		resultCh: make(chan asyncResult, workers),
-		done:     make(chan struct{}),
-	}
-	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for job := range aw.jobs {
-				cw, err := aw.comp.CompressWindow(job.win)
-				aw.resultCh <- asyncResult{id: job.id, cw: cw, err: err}
-			}
-		}()
-	}
-	go func() {
-		wg.Wait()
-		close(aw.resultCh)
-	}()
-	// Sequencer: delivers results to the sink in id order.
-	go func() {
-		defer close(aw.done)
-		next := 0
-		buffered := map[int]*CompressedWindow{}
-		for res := range aw.resultCh {
-			if res.err != nil {
-				if aw.sinkErr == nil {
-					aw.sinkErr = res.err
-				}
-				continue
-			}
-			buffered[res.id] = res.cw
-			for {
-				cw, ok := buffered[next]
-				if !ok {
-					break
-				}
-				delete(buffered, next)
-				if err := aw.sink(cw); err != nil && aw.sinkErr == nil {
-					aw.sinkErr = err
-				}
-				next++
-			}
-		}
-	}()
-	return aw, nil
+	return &AsyncWriter{comp: comp, dims: dims, pipe: pipe}, nil
 }
 
 // WriteSlice appends one slice; full windows are queued for background
 // compression. The slice is cloned, so the caller may reuse its buffer.
+// Once a worker or the sink has failed, WriteSlice reports the sticky
+// error immediately instead of buffering toward a Flush that cannot
+// succeed.
 func (aw *AsyncWriter) WriteSlice(f *grid.Field3D, t float64) error {
 	if f.Dims != aw.dims {
 		return fmt.Errorf("core: slice dims %v != writer dims %v", f.Dims, aw.dims)
@@ -126,19 +224,22 @@ func (aw *AsyncWriter) WriteSlice(f *grid.Field3D, t float64) error {
 	}
 	target := aw.comp.opts.WindowSize
 	if aw.comp.opts.Mode == Spatial3D {
+		// In 3D mode each slice is its own 1-slice window for pipelining.
 		target = 1
 	}
 	if aw.pending.Len() >= target {
-		aw.enqueue()
+		return aw.enqueue()
 	}
 	return nil
 }
 
-func (aw *AsyncWriter) enqueue() {
+func (aw *AsyncWriter) enqueue() error {
 	win := aw.pending
 	aw.pending = nil
-	aw.jobs <- asyncJob{id: aw.nextWindow, win: win}
-	aw.nextWindow++
+	_, err := aw.pipe.Submit(func() (*CompressedWindow, error) {
+		return aw.comp.CompressWindow(win)
+	})
+	return err
 }
 
 // Flush queues any partial window, waits for all background work, and
@@ -146,11 +247,20 @@ func (aw *AsyncWriter) enqueue() {
 // cannot be used afterwards.
 func (aw *AsyncWriter) Flush() error {
 	if aw.pending != nil && aw.pending.Len() > 0 {
-		aw.enqueue()
+		if err := aw.enqueue(); err != nil {
+			aw.pipe.Close() //stlint:ignore uncheckederr drain after the sticky error already being returned
+			return err
+		}
 	}
-	close(aw.jobs)
-	<-aw.done
-	return aw.sinkErr
+	return aw.pipe.Close()
+}
+
+// Close drains background work without flushing any partial window — the
+// abort path after an error. Like Flush, the writer cannot be used
+// afterwards. Close is idempotent.
+func (aw *AsyncWriter) Close() error {
+	aw.pending = nil
+	return aw.pipe.Close()
 }
 
 // SlicesIn reports the number of slices accepted.

@@ -1,8 +1,12 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"runtime"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"stwave/internal/grid"
 )
@@ -91,13 +95,24 @@ func TestAsyncWriterSinkErrorPropagates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	var early error
 	for i, s := range src.Slices {
 		if err := wr.WriteSlice(s, src.Times[i]); err != nil {
-			t.Fatal(err)
+			// Fail-fast propagation: once the sink has failed, WriteSlice
+			// may surface the sticky error before Flush.
+			early = err
+			break
 		}
 	}
 	if err := wr.Flush(); err == nil {
-		t.Error("sink error not propagated through Flush")
+		if early == nil {
+			t.Error("sink error not propagated through WriteSlice or Flush")
+		}
+	}
+	// Close after Flush is safe (idempotent drain) and reports the same
+	// sticky error.
+	if err := wr.Close(); err == nil {
+		t.Error("Close after sink error returned nil")
 	}
 }
 
@@ -122,6 +137,169 @@ func TestAsyncWriterValidation(t *testing.T) {
 	}
 	if err := wr.Flush(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// leakCheck snapshots the goroutine count and fails the test if, after a
+// grace period for exiting goroutines to unwind, the count stays above the
+// baseline — the regression guard for Pipeline's drain-on-error contract.
+func leakCheck(t *testing.T) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			runtime.GC()
+			if runtime.NumGoroutine() <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<16)
+				n := runtime.Stack(buf, true)
+				t.Fatalf("goroutine leak: %d before, %d after\n%s",
+					before, runtime.NumGoroutine(), buf[:n])
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+// TestPipelineSinkErrorDrains pins the hardened shutdown contract: after
+// the sink fails, (a) the sink is never invoked again, (b) Submit keeps
+// succeeding or fails fast but never deadlocks even with the job queue
+// saturated, and (c) Close drains every worker without leaking goroutines.
+func TestPipelineSinkErrorDrains(t *testing.T) {
+	defer leakCheck(t)()
+	var sinkCalls atomic.Int64
+	boom := fmt.Errorf("sink exploded")
+	p, err := NewPipeline(2, func(id int, cw *CompressedWindow) error {
+		sinkCalls.Add(1)
+		return boom
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Saturate the queue well past its depth; Submit must never block
+	// forever even though the sink died on delivery 0.
+	for i := 0; i < 64; i++ {
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			p.Submit(func() (*CompressedWindow, error) { //stlint:ignore uncheckederr sticky error checked via Close below
+				return &CompressedWindow{}, nil
+			})
+		}()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("Submit deadlocked on a full queue after sink error")
+		}
+	}
+	if err := p.Close(); !errors.Is(err, boom) {
+		t.Fatalf("Close = %v, want sink error", err)
+	}
+	if got := sinkCalls.Load(); got != 1 {
+		t.Fatalf("sink called %d times after first error, want exactly 1", got)
+	}
+	// Close is idempotent and keeps reporting the sticky error.
+	if err := p.Close(); !errors.Is(err, boom) {
+		t.Fatalf("second Close = %v, want sink error", err)
+	}
+}
+
+// TestPipelineJobErrorDrains: same contract when a worker job (not the
+// sink) fails — later jobs are skipped, earlier completed jobs that sort
+// after the failure never reach the sink.
+func TestPipelineJobErrorDrains(t *testing.T) {
+	defer leakCheck(t)()
+	boom := fmt.Errorf("job exploded")
+	var delivered atomic.Int64
+	p, err := NewPipeline(3, func(id int, cw *CompressedWindow) error {
+		delivered.Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		i := i
+		_, serr := p.Submit(func() (*CompressedWindow, error) {
+			if i == 0 {
+				return nil, boom
+			}
+			return &CompressedWindow{}, nil
+		})
+		if serr != nil {
+			break // fail-fast after the sticky error is legal
+		}
+	}
+	if err := p.Close(); !errors.Is(err, boom) {
+		t.Fatalf("Close = %v, want job error", err)
+	}
+	if got := delivered.Load(); got != 0 {
+		t.Fatalf("sink received %d windows past a hole at id 0, want 0", got)
+	}
+}
+
+// TestPipelineOrdered: out-of-order completion must still deliver in
+// submission order.
+func TestPipelineOrdered(t *testing.T) {
+	defer leakCheck(t)()
+	var got []int
+	p, err := NewPipeline(4, func(id int, cw *CompressedWindow) error {
+		got = append(got, id)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		i := i
+		if _, err := p.Submit(func() (*CompressedWindow, error) {
+			// Earlier jobs sleep longer so completions arrive reversed.
+			time.Sleep(time.Duration(20-i) * time.Millisecond)
+			return &CompressedWindow{}, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range got {
+		if id != i {
+			t.Fatalf("delivery order %v not sequential", got)
+		}
+	}
+}
+
+// TestAsyncWriterCloseNoLeak: the abort path (Close without Flush) drops
+// the partial window and leaks nothing.
+func TestAsyncWriterCloseNoLeak(t *testing.T) {
+	defer leakCheck(t)()
+	d := grid.Dims{Nx: 8, Ny: 8, Nz: 8}
+	src := coherentWindow(d, 7, 0)
+	opts := DefaultOptions()
+	opts.WindowSize = 5
+	count := 0
+	wr, err := NewAsyncWriter(opts, d, 2, func(cw *CompressedWindow) error {
+		count++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range src.Slices {
+		if err := wr.WriteSlice(s, src.Times[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := wr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Fatalf("delivered %d windows, want 1 full window (partial dropped on abort)", count)
 	}
 }
 

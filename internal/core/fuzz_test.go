@@ -35,6 +35,34 @@ func FuzzRecordFrame(f *testing.F) {
 	})
 }
 
+// FuzzGapMarker hammers the gap-marker codec the same way FuzzRecordFrame
+// hammers record frames: ParseGapMarker must never panic, must reject
+// malformed input with ErrNotGap semantics, and any marker it accepts must
+// re-encode to the identical bytes — the property the ingest crash matrix
+// relies on when it reconciles a recovered container's timeline.
+func FuzzGapMarker(f *testing.F) {
+	valid := GapMarker{Slices: 20, T0: 40, T1: 59, Reason: GapShed}.Encode()
+	f.Add(valid[:])
+	f.Add([]byte("STWG"))
+	f.Add([]byte{})
+	f.Add(make([]byte, GapMarkerSize))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ParseGapMarker(data)
+		if err != nil {
+			return
+		}
+		if g.Slices < 1 {
+			t.Fatalf("accepted non-positive slice count %d", g.Slices)
+		}
+		reenc := g.Encode()
+		if !bytes.Equal(reenc[:], data[:GapMarkerSize]) {
+			t.Fatalf("accepted marker does not round-trip: parsed %+v, re-encoded % x, input % x",
+				g, reenc[:], data[:GapMarkerSize])
+		}
+	})
+}
+
 // FuzzReadCompressedWindow hammers the window deserializer with mutated
 // inputs: it must return an error or a valid window, never panic, and any
 // window it accepts must decompress without panicking.

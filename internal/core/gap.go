@@ -1,0 +1,149 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Gap markers (container format v3, payload kind "STWG").
+//
+// The streaming ingest path's shed policy drops whole windows when the
+// storage tier cannot keep up with the solver. Dropping bytes is
+// acceptable; silently shifting every later window's position on the
+// timeline is not — a reader asking for slice 480 must never be handed
+// slice 460 because twenty slices were shed an hour earlier. So a shed
+// window leaves a journaled gap marker in its place: a tiny self-checking
+// payload recording how many slices are missing and the simulation-time
+// span they covered. The marker rides the same record framing and footer
+// index as a compressed window, so crash recovery, fsck, and degraded
+// serving all account for it with the machinery they already have (the
+// alignment discipline PR 2 established for corrupt windows).
+//
+// On-disk payload layout (GapMarkerSize bytes):
+//
+//	[0:4]   magic "STWG"
+//	[4]     version (1)
+//	[5]     reason code
+//	[6:8]   reserved (zero)
+//	[8:12]  dropped slice count (uint32 LE)
+//	[12:20] start simulation time (float64 LE)
+//	[20:28] end simulation time (float64 LE)
+//	[28:32] CRC32-IEEE of bytes [0:28] (uint32 LE)
+//
+// The trailing CRC is redundant with the record frame's payload CRC but
+// makes the marker self-validating wherever it is found — a recovery scan
+// that lost the frame header can still recognize an intact marker.
+var GapMagic = [4]byte{'S', 'T', 'W', 'G'}
+
+// GapMarkerSize is the fixed serialized size of a gap marker payload.
+const GapMarkerSize = 32
+
+const gapVersion = 1
+
+// ErrNotGap reports that bytes handed to ParseGapMarker are not a valid
+// gap marker: wrong magic, wrong version, bad checksum, or too short.
+var ErrNotGap = errors.New("core: not a gap marker")
+
+// ErrGapWindow tags reads of container entries that hold a gap marker
+// instead of a compressed window. Callers use errors.Is to route gaps to
+// timeline accounting instead of treating them as corruption.
+var ErrGapWindow = errors.New("core: entry is a gap marker, not a window")
+
+// GapReason records why a window was shed.
+type GapReason uint8
+
+const (
+	// GapShed: the backpressure policy dropped the window because storage
+	// was behind and the memory budget was exhausted.
+	GapShed GapReason = iota
+	// GapWriteFailed: the window compressed fine but could not be
+	// appended (e.g. ENOSPC after retries) and the policy chose to record
+	// the loss and move on rather than abort the run.
+	GapWriteFailed
+)
+
+// String names the reason for reports.
+func (r GapReason) String() string {
+	switch r {
+	case GapShed:
+		return "shed"
+	case GapWriteFailed:
+		return "write-failed"
+	}
+	return fmt.Sprintf("GapReason(%d)", int(r))
+}
+
+// GapMarker describes one shed window: the slices that are not in the
+// container, and where on the timeline they would have been.
+type GapMarker struct {
+	// Slices is how many time slices the shed window held (>= 1).
+	Slices int
+	// T0 and T1 are the simulation times of the first and last shed
+	// slices.
+	T0, T1 float64
+	// Reason records why the window was shed.
+	Reason GapReason
+}
+
+// Encode serializes the marker.
+func (g GapMarker) Encode() [GapMarkerSize]byte {
+	// An unrepresentable slice count is a programming error at the
+	// source, same contract as EncodeRecordHeader's negative length.
+	if g.Slices < 1 || g.Slices > math.MaxUint32 {
+		panic(fmt.Sprintf("core: gap marker slice count %d outside [1, 2^32)", g.Slices))
+	}
+	var b [GapMarkerSize]byte
+	copy(b[0:4], GapMagic[:])
+	b[4] = gapVersion
+	b[5] = byte(g.Reason)
+	binary.LittleEndian.PutUint32(b[8:12], uint32(g.Slices))
+	binary.LittleEndian.PutUint64(b[12:20], math.Float64bits(g.T0))
+	binary.LittleEndian.PutUint64(b[20:28], math.Float64bits(g.T1))
+	binary.LittleEndian.PutUint32(b[28:32], crc32.ChecksumIEEE(b[0:28]))
+	return b
+}
+
+// IsGapPayload reports whether b begins with the gap marker magic — the
+// cheap pre-test readers use to route a container entry before parsing.
+func IsGapPayload(b []byte) bool {
+	return len(b) >= 4 && [4]byte(b[0:4]) == GapMagic
+}
+
+// ParseGapMarker decodes and validates a gap marker payload. Exactly
+// GapMarkerSize bytes must be present and self-consistent; anything else
+// returns ErrNotGap (possibly wrapped) so scanners can treat "not a gap"
+// as a clean classification result rather than corruption.
+func ParseGapMarker(b []byte) (GapMarker, error) {
+	if len(b) < GapMarkerSize {
+		return GapMarker{}, fmt.Errorf("%w: %d bytes, need %d", ErrNotGap, len(b), GapMarkerSize)
+	}
+	if [4]byte(b[0:4]) != GapMagic {
+		return GapMarker{}, fmt.Errorf("%w: bad magic %q", ErrNotGap, b[0:4])
+	}
+	if got, want := crc32.ChecksumIEEE(b[0:28]), binary.LittleEndian.Uint32(b[28:32]); got != want {
+		return GapMarker{}, fmt.Errorf("%w: checksum mismatch", ErrNotGap)
+	}
+	if b[4] != gapVersion {
+		return GapMarker{}, fmt.Errorf("%w: unsupported version %d", ErrNotGap, b[4])
+	}
+	if b[6] != 0 || b[7] != 0 {
+		return GapMarker{}, fmt.Errorf("%w: nonzero reserved bytes", ErrNotGap)
+	}
+	slices := binary.LittleEndian.Uint32(b[8:12])
+	if slices < 1 {
+		return GapMarker{}, fmt.Errorf("%w: zero slice count", ErrNotGap)
+	}
+	g := GapMarker{
+		Slices: int(slices),
+		T0:     math.Float64frombits(binary.LittleEndian.Uint64(b[12:20])),
+		T1:     math.Float64frombits(binary.LittleEndian.Uint64(b[20:28])),
+		Reason: GapReason(b[5]),
+	}
+	if g.Reason != GapShed && g.Reason != GapWriteFailed {
+		return GapMarker{}, fmt.Errorf("%w: unknown reason %d", ErrNotGap, b[5])
+	}
+	return g, nil
+}

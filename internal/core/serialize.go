@@ -134,6 +134,11 @@ type WindowInfo struct {
 	// Codec is the coefficient backend the window's blocks are encoded
 	// with (the header's format ID byte, already registry-validated).
 	Codec codec.ID
+	// Gap is non-nil when the container entry is a journaled gap marker
+	// (a window shed under backpressure) rather than a compressed window.
+	// For gaps NumSlices carries the dropped slice count so timeline
+	// accounting works uniformly; Dims, Mode, kernels, and Codec are zero.
+	Gap *GapMarker
 }
 
 // RawSizeBytes returns the size of the window once fully decompressed to
@@ -146,10 +151,27 @@ func (wi WindowInfo) RawSizeBytes() int64 {
 // ReadWindowInfo parses only the 40-byte header of a serialized window. It
 // validates the same invariants as ReadCompressedWindow's header path but
 // reads nothing beyond the header, so it is cheap enough to run over every
-// window of a large container at startup.
+// window of a large container at startup. Gap marker entries (shed
+// windows) are recognized and returned with Gap set instead of erroring,
+// so timeline scans account for them without decoding heuristics.
 func ReadWindowInfo(r io.Reader) (WindowInfo, error) {
 	hdr := make([]byte, 40)
-	if _, err := io.ReadFull(r, hdr); err != nil {
+	if _, err := io.ReadFull(r, hdr[:4]); err != nil {
+		return WindowInfo{}, fmt.Errorf("core: reading header: %w", err)
+	}
+	if [4]byte(hdr[0:4]) == GapMagic {
+		gb := make([]byte, GapMarkerSize)
+		copy(gb, hdr[:4])
+		if _, err := io.ReadFull(r, gb[4:]); err != nil {
+			return WindowInfo{}, fmt.Errorf("core: reading gap marker: %w", err)
+		}
+		g, err := ParseGapMarker(gb)
+		if err != nil {
+			return WindowInfo{}, err
+		}
+		return WindowInfo{NumSlices: g.Slices, Gap: &g}, nil
+	}
+	if _, err := io.ReadFull(r, hdr[4:]); err != nil {
 		return WindowInfo{}, fmt.Errorf("core: reading header: %w", err)
 	}
 	if [4]byte(hdr[0:4]) != magic {
@@ -196,6 +218,9 @@ func ReadCompressedWindow(r io.Reader) (*CompressedWindow, error) {
 	hdr := make([]byte, 40)
 	if _, err := io.ReadFull(r, hdr); err != nil {
 		return nil, fmt.Errorf("core: reading header: %w", err)
+	}
+	if [4]byte(hdr[0:4]) == GapMagic {
+		return nil, ErrGapWindow
 	}
 	if [4]byte(hdr[0:4]) != magic {
 		return nil, fmt.Errorf("core: bad magic %q", hdr[0:4])

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"syscall"
 
 	"stwave/internal/obs"
 )
@@ -62,6 +63,8 @@ type File struct {
 	shortNext       int // next write persists only this many bytes, then fails
 	shortArmed      bool
 	flipAt          map[int64]struct{} // offsets whose lowest bit flips on every read
+	freeSpace       int64              // remaining byte budget while freeArmed
+	freeArmed       bool
 
 	reads, writes, syncs int
 }
@@ -92,6 +95,28 @@ func (f *File) ShortWrite(n int) { f.mu.Lock(); f.shortNext, f.shortArmed = n, t
 // FlipBitAt flips the lowest bit of the byte at absolute offset off on
 // every subsequent read covering it — modelling silent media corruption.
 func (f *File) FlipBitAt(off int64) { f.mu.Lock(); f.flipAt[off] = struct{}{}; f.mu.Unlock() }
+
+// SetFreeSpace arms the free-space model with a byte budget: every
+// successful write consumes its length from the budget (conservatively —
+// overwrites at the same offset are charged again), and a write larger
+// than the remainder fails whole with ENOSPC, nothing persisted. ENOSPC
+// is deliberately NOT marked transient: the retry policy must not spin on
+// a full disk — that is a backpressure-policy decision, which is exactly
+// what the ingest fault matrix drives through this model. Truncate does
+// not refund the budget.
+func (f *File) SetFreeSpace(n int64) { f.mu.Lock(); f.freeSpace, f.freeArmed = n, true; f.mu.Unlock() }
+
+// AddFreeSpace grows the armed budget — an operator freeing disk mid-run,
+// the event a stalled ingest is waiting for.
+func (f *File) AddFreeSpace(n int64) { f.mu.Lock(); f.freeSpace += n; f.mu.Unlock() }
+
+// FreeSpace reports the remaining byte budget (0, false when the model is
+// not armed).
+func (f *File) FreeSpace() (int64, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.freeSpace, f.freeArmed
+}
 
 // Counts returns how many ReadAt, WriteAt, and Sync calls reached the
 // wrapper (including ones that were failed).
@@ -140,6 +165,14 @@ func (f *File) WriteAt(p []byte, off int64) (int, error) {
 		f.mu.Unlock()
 		countFault("transient_write")
 		return 0, &transientError{op: "write"}
+	}
+	if f.freeArmed && int64(len(p)) > f.freeSpace {
+		f.mu.Unlock()
+		countFault("enospc")
+		return 0, fmt.Errorf("faultio: injected full disk: %w", syscall.ENOSPC)
+	}
+	if f.freeArmed {
+		f.freeSpace -= int64(len(p))
 	}
 	if f.tornArmed && off < f.tornAt && off+int64(len(p)) > f.tornAt {
 		keep := int(f.tornAt - off)

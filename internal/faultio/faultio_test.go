@@ -3,6 +3,7 @@ package faultio
 import (
 	"errors"
 	"sync"
+	"syscall"
 	"testing"
 )
 
@@ -99,6 +100,40 @@ func TestBitFlipCorruptsReads(t *testing.T) {
 	}
 	if got[0] != 0x10 || got[1] != 0x21 {
 		t.Fatalf("read % x, want 10 21", got)
+	}
+}
+
+// TestFreeSpaceModel pins the ENOSPC contract the ingest backpressure
+// matrix builds on: an over-budget write fails whole (nothing persisted),
+// the error is ENOSPC and NOT transient (the retry policy must not spin
+// on a full disk), and AddFreeSpace un-wedges the next attempt.
+func TestFreeSpaceModel(t *testing.T) {
+	m := &memFile{}
+	f := Wrap(m)
+	f.SetFreeSpace(6)
+	if _, err := f.WriteAt([]byte("abcd"), 0); err != nil {
+		t.Fatalf("write within budget: %v", err)
+	}
+	_, err := f.WriteAt([]byte("wxyz"), 4)
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("over-budget write: %v, want ENOSPC", err)
+	}
+	var tr interface{ Transient() bool }
+	if errors.As(err, &tr) && tr.Transient() {
+		t.Fatal("ENOSPC must not be transient")
+	}
+	if got := string(m.data); got != "abcd" {
+		t.Fatalf("over-budget write persisted %q, want %q (all-or-nothing)", got, "abcd")
+	}
+	if left, armed := f.FreeSpace(); !armed || left != 2 {
+		t.Fatalf("FreeSpace = %d,%v, want 2,true", left, armed)
+	}
+	f.AddFreeSpace(2)
+	if _, err := f.WriteAt([]byte("wxyz"), 4); err != nil {
+		t.Fatalf("write after AddFreeSpace: %v", err)
+	}
+	if left, _ := f.FreeSpace(); left != 0 {
+		t.Fatalf("budget after refill+write = %d, want 0", left)
 	}
 }
 

@@ -1,0 +1,154 @@
+// Package ingest is the in-situ streaming path: it wires a live
+// simulation (internal/sim) into a bounded-memory compress-and-append
+// loop over a container journal, the workflow the paper's Figure 1 sketch
+// assumes but never has to operate — a solver that produces slices
+// whether or not the storage tier can keep up. The engine accumulates
+// slices into windows built from recycled scratch buffers, pipelines
+// compression across windows (core.Pipeline), gates admission on a byte
+// budget, and when storage falls behind applies a configured backpressure
+// policy: stall the solver, degrade to a coarser target ratio, or shed
+// whole windows behind a journaled gap marker so the timeline never
+// shifts.
+package ingest
+
+import (
+	"fmt"
+
+	"stwave/internal/grid"
+	"stwave/internal/sim/cloverleaf"
+	"stwave/internal/sim/ghost"
+	"stwave/internal/sim/synth"
+	"stwave/internal/sim/tornado"
+)
+
+// Source produces one scalar field slice per simulation step. The engine
+// owns dst and recycles it between windows, so implementations must fill
+// it in place rather than retain it.
+type Source interface {
+	// Dims is the slice geometry every Next fill will have.
+	Dims() grid.Dims
+	// Next advances the simulation one step, fills dst with the tracked
+	// field, and returns the slice's simulation time.
+	Next(dst *grid.Field3D) (float64, error)
+	// Skip advances one step without sampling — the shed policy drops a
+	// window's worth of output but the simulation must keep its own state
+	// marching. Returns the skipped slice's simulation time.
+	Skip() (float64, error)
+}
+
+// ghostSource tracks the passive scalar of the pseudo-spectral solver.
+type ghostSource struct{ s *ghost.Solver }
+
+// NewGhostSource adapts a ghost solver (which must have a scalar
+// attached) as a streaming source.
+func NewGhostSource(s *ghost.Solver) (Source, error) {
+	if !s.HasScalar() {
+		return nil, fmt.Errorf("ingest: ghost solver has no scalar attached")
+	}
+	return &ghostSource{s: s}, nil
+}
+
+func (g *ghostSource) Dims() grid.Dims {
+	return grid.Dims{Nx: g.s.N(), Ny: g.s.N(), Nz: g.s.N()}
+}
+
+func (g *ghostSource) Next(dst *grid.Field3D) (float64, error) {
+	g.s.Step()
+	return g.s.Time(), g.s.ScalarInto(dst)
+}
+
+func (g *ghostSource) Skip() (float64, error) {
+	g.s.Step()
+	return g.s.Time(), nil
+}
+
+// cloverleafSource tracks the density field of the Euler solver.
+type cloverleafSource struct{ s *cloverleaf.Solver }
+
+// NewCloverleafSource adapts a cloverleaf solver as a streaming source.
+func NewCloverleafSource(s *cloverleaf.Solver) Source {
+	return &cloverleafSource{s: s}
+}
+
+func (c *cloverleafSource) Dims() grid.Dims {
+	return grid.Dims{Nx: c.s.N(), Ny: c.s.N(), Nz: c.s.N()}
+}
+
+func (c *cloverleafSource) Next(dst *grid.Field3D) (float64, error) {
+	c.s.Step()
+	return c.s.Time(), c.s.DensityInto(dst)
+}
+
+func (c *cloverleafSource) Skip() (float64, error) {
+	c.s.Step()
+	return c.s.Time(), nil
+}
+
+// tornadoSource samples the analytic supercell's cloud mixing ratio on a
+// fixed step size.
+type tornadoSource struct {
+	m    *tornado.Model
+	dt   float64
+	step int
+}
+
+// NewTornadoSource adapts the analytic tornado model as a streaming
+// source stepping dt per slice.
+func NewTornadoSource(m *tornado.Model, dt float64) (Source, error) {
+	if dt <= 0 {
+		return nil, fmt.Errorf("ingest: step size %g must be positive", dt)
+	}
+	return &tornadoSource{m: m, dt: dt}, nil
+}
+
+func (s *tornadoSource) Dims() grid.Dims {
+	cfg := s.m.Config()
+	return grid.Dims{Nx: cfg.Nx, Ny: cfg.Ny, Nz: cfg.Nz}
+}
+
+func (s *tornadoSource) Next(dst *grid.Field3D) (float64, error) {
+	t := float64(s.step) * s.dt
+	s.step++
+	return t, s.m.CloudMixingRatioInto(dst, t)
+}
+
+func (s *tornadoSource) Skip() (float64, error) {
+	t := float64(s.step) * s.dt
+	s.step++
+	return t, nil
+}
+
+// synthSource samples the kinematic turbulence field at a chosen grid
+// size and step.
+type synthSource struct {
+	f    *synth.Field
+	dims grid.Dims
+	dt   float64
+	step int
+}
+
+// NewSynthSource adapts a synthetic kinematic field as a streaming
+// source sampling dims at interval dt.
+func NewSynthSource(f *synth.Field, dims grid.Dims, dt float64) (Source, error) {
+	if !dims.Valid() {
+		return nil, fmt.Errorf("ingest: invalid dims %v", dims)
+	}
+	if dt <= 0 {
+		return nil, fmt.Errorf("ingest: step size %g must be positive", dt)
+	}
+	return &synthSource{f: f, dims: dims, dt: dt}, nil
+}
+
+func (s *synthSource) Dims() grid.Dims { return s.dims }
+
+func (s *synthSource) Next(dst *grid.Field3D) (float64, error) {
+	t := float64(s.step) * s.dt
+	s.step++
+	return t, s.f.SampleScalarInto(dst, t)
+}
+
+func (s *synthSource) Skip() (float64, error) {
+	t := float64(s.step) * s.dt
+	s.step++
+	return t, nil
+}

@@ -14,8 +14,10 @@ import (
 	"stwave/internal/compress"
 	"stwave/internal/core"
 	"stwave/internal/grid"
+	"stwave/internal/ingest"
 	"stwave/internal/obs"
 	"stwave/internal/server"
+	"stwave/internal/sim/synth"
 	"stwave/internal/storage"
 	"stwave/internal/transform"
 	"stwave/internal/wavelet"
@@ -33,6 +35,11 @@ const (
 	// scaling.* series pins explicit worker budgets so cross-machine
 	// files stay interpretable via the env block.
 	benchWorkers = 0
+	// Ingest-scaling workload: small enough that the 100-window run
+	// stays in the hundreds of milliseconds, long enough that the
+	// bounded-memory ledger actually gates admission.
+	ingestN      = 16
+	ingestWindow = 4
 )
 
 // benchGrid builds a temporally coherent window that compresses like
@@ -273,6 +280,59 @@ func RunPipeline(ctx context.Context, cfg Config, progress io.Writer) ([]Result,
 		suite = append(suite, pipelineBenchmark{sw.name, rawBytes, func(ctx context.Context) error {
 			_, err := entCodec.EncodeSlices(datas, workers)
 			return err
+		}})
+	}
+
+	// Streaming-ingest scaling pair: the full in-situ loop — source
+	// sampling, window building, pipelined compression, journal append —
+	// under a fixed three-window memory budget at two run lengths a
+	// decade apart. Flat MB/s between the entries is the bounded-memory
+	// property in throughput form: per-window cost must not grow with
+	// run length. (The ledger ceiling itself is asserted by the ingest
+	// package's bounded-memory test.)
+	synthCfg := synth.DefaultConfig()
+	synthCfg.Modes = 16 // sampling cost scales with modes; keep the 100-window run sub-second
+	synthField, err := synth.NewField(synthCfg)
+	if err != nil {
+		return nil, err
+	}
+	ingestDims := grid.Dims{Nx: ingestN, Ny: ingestN, Nz: ingestN}
+	ingestOpts := core.DefaultOptions()
+	ingestOpts.WindowSize = ingestWindow
+	ingestOpts.Ratio = benchRatio
+	ingestBudget := 3 * ingestWindow * int64(ingestDims.Len()) * 8
+	for _, sw := range []struct {
+		name    string
+		windows int
+	}{
+		{"scaling.ingest_10w", 10},
+		{"scaling.ingest_100w", 100},
+	} {
+		slices := sw.windows * ingestWindow
+		ingestBytes := int64(slices) * int64(ingestDims.Len()) * 8
+		ingestPath := filepath.Join(dir, "ingest.stw")
+		suite = append(suite, pipelineBenchmark{sw.name, ingestBytes, func(ctx context.Context) error {
+			src, err := ingest.NewSynthSource(synthField, ingestDims, 1)
+			if err != nil {
+				return err
+			}
+			cont, err := storage.CreateContainer(ingestPath)
+			if err != nil {
+				return err
+			}
+			eng, err := ingest.NewEngine(ingest.Config{
+				Opts: ingestOpts, Workers: 2,
+				MemBudget: ingestBudget, Policy: ingest.PolicyStall,
+			}, ingestDims, cont)
+			if err != nil {
+				cont.Close() //stlint:ignore uncheckederr the construction error is what matters
+				return err
+			}
+			if _, err := eng.Run(src, slices); err != nil {
+				cont.Close() //stlint:ignore uncheckederr the run error is what matters
+				return err
+			}
+			return cont.Close()
 		}})
 	}
 

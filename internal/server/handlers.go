@@ -186,6 +186,7 @@ type datasetInfo struct {
 	Dims    string `json:"dims"`
 	Codec   string `json:"codec"`
 	Corrupt int    `json:"corrupt_windows,omitempty"`
+	Gaps    int    `json:"gap_windows,omitempty"`
 }
 
 func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
@@ -199,6 +200,7 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 			Dims:    m.ref.Dims.String(),
 			Codec:   m.codecNames(),
 			Corrupt: m.badCount(),
+			Gaps:    m.gaps,
 		})
 	}
 	writeJSON(w, out)

@@ -92,6 +92,7 @@ type mount struct {
 	r       *storage.ContainerReader
 	windows []windowMeta
 	slices  int
+	gaps    int             // journaled gap entries (windows shed at ingest)
 	ref     core.WindowInfo // first readable window header (dims, kernels)
 
 	mu  sync.Mutex
@@ -131,7 +132,7 @@ func (m *mount) codecNames() string {
 	defer m.mu.Unlock()
 	seen := map[string]bool{}
 	for i := range m.windows {
-		if m.bad[i] {
+		if m.bad[i] || m.windows[i].info.Gap != nil {
 			continue
 		}
 		seen[m.windows[i].info.Codec.String()] = true
@@ -230,6 +231,13 @@ func (s *Server) MountReader(name string, r *storage.ContainerReader) error {
 			continue
 		}
 		infos[i] = &info
+		// Gap markers (windows shed under ingest backpressure) are
+		// first-class timeline entries but carry no field data, so they can
+		// neither anchor the reference geometry nor be served.
+		if info.Gap != nil {
+			m.gaps++
+			continue
+		}
 		if !haveRef {
 			m.ref, haveRef = info, true
 		}
@@ -247,7 +255,9 @@ func (s *Server) MountReader(name string, r *storage.ContainerReader) error {
 		info := m.ref
 		if infos[i] != nil {
 			info = *infos[i]
-			if s.cfg.Degraded {
+			// Gaps have no payload to verify and are not corruption: their
+			// NumSlices keeps the timeline aligned, their spans answer 410.
+			if s.cfg.Degraded && info.Gap == nil {
 				if err := r.VerifyWindow(i); err != nil && m.markBad(i) {
 					// Payload corrupt but header intact: keep the window's
 					// span in the timeline and answer its slices with 410.
@@ -375,10 +385,14 @@ func (s *Server) slice(ctx context.Context, m *mount, t int) (*grid.Field3D, flo
 	if err != nil {
 		return nil, 0, stateMiss, err
 	}
+	meta := m.windows[wi]
+	if meta.info.Gap != nil {
+		return nil, 0, stateMiss, gone("time index %d falls in a gap: window %d shed at ingest (%s, t=[%g,%g])",
+			t, wi, meta.info.Gap.Reason, meta.info.Gap.T0, meta.info.Gap.T1)
+	}
 	if m.isBad(wi) {
 		return nil, 0, stateMiss, gone("time index %d falls in corrupt window %d", t, wi)
 	}
-	meta := m.windows[wi]
 	if s.cache.Admits(meta.info.RawSizeBytes()) {
 		w, state, err := s.window(ctx, m, wi)
 		if err != nil {

@@ -338,11 +338,22 @@ func (s *Solver) TotalEnergy() float64 {
 // the paper's CloverLeaf "energy" variable.
 func (s *Solver) Energy() *grid.Field3D {
 	f := grid.NewField3D(s.n, s.n, s.n)
-	for i := range f.Data {
-		c := s.primitive(i)
-		f.Data[i] = c.p / ((gamma - 1) * c.rho)
-	}
+	s.EnergyInto(f) //stlint:ignore uncheckederr dims match by construction
 	return f
+}
+
+// EnergyInto fills dst with the specific internal energy field without
+// allocating; dst must be N³. The allocation-free variant exists for the
+// streaming ingest path, which samples every step into recycled buffers.
+func (s *Solver) EnergyInto(dst *grid.Field3D) error {
+	if want := (grid.Dims{Nx: s.n, Ny: s.n, Nz: s.n}); dst.Dims != want {
+		return fmt.Errorf("cloverleaf: dst dims %v != solver dims %v", dst.Dims, want)
+	}
+	for i := range dst.Data {
+		c := s.primitive(i)
+		dst.Data[i] = c.p / ((gamma - 1) * c.rho)
+	}
+	return nil
 }
 
 // VelocityX returns the X velocity sampled at cell corners ((N+1)³) by
@@ -373,6 +384,16 @@ func (s *Solver) VelocityX() *grid.Field3D {
 // Density returns the cell-centered density field.
 func (s *Solver) Density() *grid.Field3D {
 	f := grid.NewField3D(s.n, s.n, s.n)
-	copy(f.Data, s.rho)
+	s.DensityInto(f) //stlint:ignore uncheckederr dims match by construction
 	return f
+}
+
+// DensityInto fills dst with the cell-centered density field without
+// allocating; dst must be N³.
+func (s *Solver) DensityInto(dst *grid.Field3D) error {
+	if want := (grid.Dims{Nx: s.n, Ny: s.n, Nz: s.n}); dst.Dims != want {
+		return fmt.Errorf("cloverleaf: dst dims %v != solver dims %v", dst.Dims, want)
+	}
+	copy(dst.Data, s.rho)
+	return nil
 }

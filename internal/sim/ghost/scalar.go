@@ -173,13 +173,31 @@ func (s *Solver) Scalar() *grid.Field3D {
 	if s.scalar == nil {
 		return nil
 	}
-	copy(s.scalar.physT, s.scalar.th)
-	s.plan.Inverse(s.scalar.physT)
 	f := grid.NewField3D(s.n, s.n, s.n)
-	for i := range f.Data {
-		f.Data[i] = real(s.scalar.physT[i])
+	if err := s.ScalarInto(f); err != nil {
+		return nil
 	}
 	return f
+}
+
+// ScalarInto fills dst with the physical passive-scalar field without
+// allocating — the streaming ingest path samples every solver step into a
+// recycled window buffer, so the per-step allocation of Scalar would defeat
+// its bounded-memory contract. dst must be N³.
+func (s *Solver) ScalarInto(dst *grid.Field3D) error {
+	if s.scalar == nil {
+		return fmt.Errorf("ghost: no scalar attached")
+	}
+	want := grid.Dims{Nx: s.n, Ny: s.n, Nz: s.n}
+	if dst.Dims != want {
+		return fmt.Errorf("ghost: dst dims %v != solver dims %v", dst.Dims, want)
+	}
+	copy(s.scalar.physT, s.scalar.th)
+	s.plan.Inverse(s.scalar.physT)
+	for i := range dst.Data {
+		dst.Data[i] = real(s.scalar.physT[i])
+	}
+	return nil
 }
 
 // ScalarVariance returns the volume-averaged scalar variance <θ²> - <θ>².

@@ -133,6 +133,18 @@ func (f *Field) VelocityAt(x, y, z, t float64) (u, v, w float64) {
 // field at time t.
 func (f *Field) SampleScalar(nx, ny, nz int, t float64) *grid.Field3D {
 	out := grid.NewField3D(nx, ny, nz)
+	f.SampleScalarInto(out, t) //stlint:ignore uncheckederr dims are valid by construction
+	return out
+}
+
+// SampleScalarInto fills dst with the scalar field at time t without
+// allocating — the recycled-buffer variant the streaming ingest path
+// uses. dst supplies the sampling resolution.
+func (f *Field) SampleScalarInto(dst *grid.Field3D, t float64) error {
+	if !dst.Dims.Valid() {
+		return fmt.Errorf("synth: invalid dst dims %v", dst.Dims)
+	}
+	nx, ny, nz := dst.Dims.Nx, dst.Dims.Ny, dst.Dims.Nz
 	hx := 2 * math.Pi / float64(nx)
 	hy := 2 * math.Pi / float64(ny)
 	hz := 2 * math.Pi / float64(nz)
@@ -141,11 +153,11 @@ func (f *Field) SampleScalar(nx, ny, nz int, t float64) *grid.Field3D {
 		for y := 0; y < ny; y++ {
 			Y := float64(y) * hy
 			for x := 0; x < nx; x++ {
-				out.Set(x, y, z, f.ScalarAt(float64(x)*hx, Y, Z, t))
+				dst.Set(x, y, z, f.ScalarAt(float64(x)*hx, Y, Z, t))
 			}
 		}
 	}
-	return out
+	return nil
 }
 
 // SampleVelocityX fills a grid with the X component of the synthetic

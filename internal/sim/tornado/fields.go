@@ -1,6 +1,8 @@
 package tornado
 
 import (
+	"fmt"
+
 	"stwave/internal/grid"
 )
 
@@ -24,16 +26,26 @@ func (m *Model) Spacing() (dx, dy, dz float64) {
 // sample fills a grid by evaluating fn at every cell center.
 func (m *Model) sample(fn func(x, y, z float64) float64) *grid.Field3D {
 	f := grid.NewField3D(m.cfg.Nx, m.cfg.Ny, m.cfg.Nz)
+	m.sampleInto(f, fn) //stlint:ignore uncheckederr dims match by construction
+	return f
+}
+
+// sampleInto fills dst by evaluating fn at every cell center, without
+// allocating; dst must match the model grid.
+func (m *Model) sampleInto(dst *grid.Field3D, fn func(x, y, z float64) float64) error {
+	if want := (grid.Dims{Nx: m.cfg.Nx, Ny: m.cfg.Ny, Nz: m.cfg.Nz}); dst.Dims != want {
+		return fmt.Errorf("tornado: dst dims %v != model dims %v", dst.Dims, want)
+	}
 	for k := 0; k < m.cfg.Nz; k++ {
 		Z := m.CellZ(k)
 		for j := 0; j < m.cfg.Ny; j++ {
 			Y := m.CellY(j)
 			for i := 0; i < m.cfg.Nx; i++ {
-				f.Set(i, j, k, fn(m.CellX(i), Y, Z))
+				dst.Set(i, j, k, fn(m.CellX(i), Y, Z))
 			}
 		}
 	}
-	return f
+	return nil
 }
 
 // Velocity samples all three wind components at time t.
@@ -84,6 +96,15 @@ func (m *Model) PressurePerturbation(t float64) *grid.Field3D {
 // CloudMixingRatio samples the cloud water field at time t.
 func (m *Model) CloudMixingRatio(t float64) *grid.Field3D {
 	return m.sample(func(x, y, z float64) float64 {
+		return m.CloudMixingRatioAt(x, y, z, t)
+	})
+}
+
+// CloudMixingRatioInto samples the cloud water field at time t into dst
+// without allocating — the streaming ingest path's recycled-buffer
+// variant. dst must match the model grid.
+func (m *Model) CloudMixingRatioInto(dst *grid.Field3D, t float64) error {
+	return m.sampleInto(dst, func(x, y, z float64) float64 {
 		return m.CloudMixingRatioAt(x, y, z, t)
 	})
 }

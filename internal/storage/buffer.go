@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"stwave/internal/grid"
+	"stwave/internal/obs"
 )
 
 // BurstBuffer stages raw time slices on the fast tier, the way the paper's
@@ -31,7 +32,11 @@ type BurstBuffer struct {
 }
 
 // NewBurstBuffer creates a staging area in dir for slices of the given
-// dims. dir must exist.
+// dims. dir must exist and belongs exclusively to this buffer: slice
+// files left behind by a crashed prior run are garbage-collected here
+// (staged slices are a cache of data the producer still owns — after a
+// crash they are unaccounted disk that would let repeated crash/restart
+// cycles fill the burst tier).
 func NewBurstBuffer(dir string, model *PerfModel, dims grid.Dims) (*BurstBuffer, error) {
 	if model == nil {
 		return nil, fmt.Errorf("storage: nil perf model")
@@ -45,6 +50,18 @@ func NewBurstBuffer(dir string, model *PerfModel, dims grid.Dims) (*BurstBuffer,
 	}
 	if !st.IsDir() {
 		return nil, fmt.Errorf("storage: %s is not a directory", dir)
+	}
+	orphans, err := filepath.Glob(filepath.Join(dir, "slice-*.raw"))
+	if err != nil {
+		return nil, fmt.Errorf("storage: scanning buffer dir: %w", err)
+	}
+	for _, p := range orphans {
+		if err := os.Remove(p); err != nil {
+			return nil, fmt.Errorf("storage: removing orphaned slice %s: %w", p, err)
+		}
+	}
+	if len(orphans) > 0 {
+		obs.Default().Counter("storage.buffer_orphans_removed_total").Add(int64(len(orphans)))
 	}
 	return &BurstBuffer{dir: dir, model: model, dims: dims, live: make(map[int]string)}, nil
 }
@@ -60,9 +77,14 @@ func (b *BurstBuffer) PutSlice(f *grid.Field3D) (int, error) {
 	b.mu.Unlock()
 	path := filepath.Join(b.dir, fmt.Sprintf("slice-%06d.raw", id))
 	if err := f.SaveRawFile(path); err != nil {
+		// A torn slice file must not stay behind: it is never registered
+		// in live, so nothing would ever Drop it, and the next run's
+		// orphan GC is a crash-recovery path, not a leak plan.
+		os.Remove(path) //stlint:ignore uncheckederr best-effort cleanup of a partial file; the write error is what matters
 		return 0, err
 	}
 	if _, err := b.model.RecordWrite(Buffer, f.RawSizeBytes(4)); err != nil {
+		os.Remove(path) //stlint:ignore uncheckederr best-effort cleanup; the accounting error is what matters
 		return 0, err
 	}
 	b.mu.Lock()

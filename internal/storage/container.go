@@ -226,13 +226,42 @@ func (w *ContainerWriter) AppendCtx(ctx context.Context, cw *core.CompressedWind
 		return 0, fmt.Errorf("storage: encoding window: %w", err)
 	}
 	rec := w.buf.Bytes()
+	sp.SetAttr("bytes", strconv.Itoa(len(rec)-core.RecordHeaderSize))
+	return w.appendRecord("window")
+}
+
+// AppendGap journals a gap marker in place of a shed window: the marker
+// rides the same record framing and footer index as a compressed window,
+// so every downstream consumer (recovery scan, fsck, timeline layout)
+// accounts for the dropped slices without the timeline ever shifting.
+// Returns the entry index. Failure semantics match Append (sticky error,
+// best-effort trim).
+func (w *ContainerWriter) AppendGap(g core.GapMarker) (int, error) {
+	if w.closed {
+		return 0, fmt.Errorf("storage: container already closed")
+	}
+	if w.err != nil {
+		return 0, w.err
+	}
+	w.buf.Reset()
+	w.buf.Write(make([]byte, core.RecordHeaderSize)) // frame placeholder
+	payload := g.Encode()
+	w.buf.Write(payload[:])
+	obs.Default().Counter("storage.gaps_appended_total." + g.Reason.String()).Add(1)
+	return w.appendRecord("gap marker")
+}
+
+// appendRecord frames w.buf (record-header placeholder + payload) as a
+// journal record, writes it at the tail, applies the per-window sync
+// policy, and indexes it. what names the entry kind in errors.
+func (w *ContainerWriter) appendRecord(what string) (int, error) {
+	rec := w.buf.Bytes()
 	payload := rec[core.RecordHeaderSize:]
-	sp.SetAttr("bytes", strconv.Itoa(len(payload)))
 	crc := crc32.ChecksumIEEE(payload)
 	hdr := core.EncodeRecordHeader(core.RecordHeader{Length: int64(len(payload)), PayloadCRC: crc})
 	copy(rec[:core.RecordHeaderSize], hdr[:])
 	if err := w.writeAt(rec, w.pos); err != nil {
-		w.err = fmt.Errorf("storage: appending window %d: %w", len(w.offsets), err)
+		w.err = fmt.Errorf("storage: appending %s %d: %w", what, len(w.offsets), err)
 		// Drop any torn prefix so the durable journal ends at a record
 		// boundary; recovery scans cope even if this fails.
 		w.f.Truncate(w.pos) //stlint:ignore uncheckederr best-effort trim; recovery scans cope with a torn tail
@@ -240,7 +269,7 @@ func (w *ContainerWriter) AppendCtx(ctx context.Context, cw *core.CompressedWind
 	}
 	if w.Sync == SyncPerWindow {
 		if err := w.syncFile(); err != nil {
-			w.err = fmt.Errorf("storage: syncing window %d: %w", len(w.offsets), err)
+			w.err = fmt.Errorf("storage: syncing %s %d: %w", what, len(w.offsets), err)
 			// The record is fully written but its durability was never
 			// acknowledged: drop it, as on the write-failure path, so a
 			// later recovery scan cannot resurrect a window the caller
@@ -254,6 +283,27 @@ func (w *ContainerWriter) AppendCtx(ctx context.Context, cw *core.CompressedWind
 	w.crcs = append(w.crcs, crc)
 	w.pos += int64(len(rec))
 	return len(w.offsets) - 1, nil
+}
+
+// ClearError re-arms a sticky-failed writer so a backpressure policy can
+// retry: a transient ENOSPC or EIO that failed an Append does not have to
+// end the whole ingest run. It succeeds only if the journal can be proven
+// to end at the last acknowledged record boundary — the failed append's
+// best-effort trim is re-attempted here, and if the file still cannot be
+// truncated the error stays sticky (appending past a torn record would
+// corrupt the journal).
+func (w *ContainerWriter) ClearError() error {
+	if w.closed {
+		return fmt.Errorf("storage: container already closed")
+	}
+	if w.err == nil {
+		return nil
+	}
+	if err := w.Retry.Do(func() error { return w.f.Truncate(w.pos) }); err != nil {
+		return fmt.Errorf("storage: cannot re-arm writer, journal tail not trimmable: %w", err)
+	}
+	w.err = nil
+	return nil
 }
 
 // encodeIndex serializes an index + footer for the given entries.
@@ -574,11 +624,32 @@ func (r *ContainerReader) ReadWindowCtx(ctx context.Context, i int) (*core.Compr
 		return nil, err
 	}
 	sp.SetAttr("bytes", strconv.Itoa(len(buf)))
+	if core.IsGapPayload(buf) {
+		// Not corruption: the entry is a journaled gap marker. Callers
+		// route on errors.Is(err, core.ErrGapWindow) and fetch the marker
+		// with GapMarker(i) for timeline accounting.
+		return nil, fmt.Errorf("storage: window %d: %w", i, core.ErrGapWindow)
+	}
 	cw, err := core.ReadCompressedWindow(bytes.NewReader(buf))
 	if err != nil {
 		return nil, fmt.Errorf("storage: reading window %d: %w", i, err)
 	}
 	return cw, nil
+}
+
+// GapMarker reads entry i as a gap marker. Entries holding a compressed
+// window return an error wrapping core.ErrNotGap; use WindowInfo (whose
+// Gap field is non-nil for gaps) to route without a second read.
+func (r *ContainerReader) GapMarker(i int) (core.GapMarker, error) {
+	buf, err := r.loadWindow(i)
+	if err != nil {
+		return core.GapMarker{}, err
+	}
+	g, err := core.ParseGapMarker(buf)
+	if err != nil {
+		return core.GapMarker{}, fmt.Errorf("storage: window %d: %w", i, err)
+	}
+	return g, nil
 }
 
 // WindowInfo parses only window i's fixed-size header: dims, slice count,

@@ -183,9 +183,16 @@ func withStateS(fi FrameInfo) FrameInfo {
 // classifyCodec parses the window header at the frame's payload to name
 // its coefficient backend. Damage is expected here — a corrupt payload's
 // header may be garbage — so parse failures just leave Codec empty.
+// Journaled gap markers are labeled "gap" so an fsck report reads as a
+// timeline, not as a run of mystery frames.
 func classifyCodec(f io.ReaderAt, fi FrameInfo) FrameInfo {
 	wi, err := core.ReadWindowInfo(io.NewSectionReader(f, fi.Offset, fi.Length))
-	if err == nil {
+	if err != nil {
+		return fi
+	}
+	if wi.Gap != nil {
+		fi.Codec = "gap"
+	} else {
 		fi.Codec = wi.Codec.String()
 	}
 	return fi
