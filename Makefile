@@ -7,19 +7,22 @@ GO ?= go
 all: build vet test check
 
 # Fast correctness gate: static checks (vet, gofmt, the stlint analyzer
-# suite), race-detector runs of the packages with real concurrency (the
+# suite — which self-lints internal/lint along with everything else),
+# race-detector runs of the packages with real concurrency (the
 # HTTP server, the shared container reader and fault-injection wrapper,
 # the burst buffer, the entropy/sparse codecs, the streaming ingest
-# engine with its backpressure policies, and the parallel
+# engine with its backpressure policies, the parallel
 # transform/threshold stages with their serial-equivalence property
-# tests), a GOMAXPROCS=1 smoke of the same parallel stages plus the
+# tests, and the lint suite itself, whose dogfooding test shells out to
+# go list and replays every analyzer over the whole module), a
+# GOMAXPROCS=1 smoke of the same parallel stages plus the
 # ingest engine (worker budgets must degrade to clean sequential
 # execution), and short fuzz smokes of the container index parser, the
 # 1D wavelet round-trip, the record-frame codec, the gap-marker codec,
 # the entropy coder round-trip, and the coefficient codec block
 # decoders.
 check: vet fmt-check lint bench-smoke
-	$(GO) test -race ./internal/server ./internal/storage ./internal/compress ./internal/faultio ./internal/transform ./internal/core ./internal/par ./internal/codec ./internal/entropy ./internal/ingest
+	$(GO) test -race ./internal/server ./internal/storage ./internal/compress ./internal/faultio ./internal/transform ./internal/core ./internal/par ./internal/codec ./internal/entropy ./internal/ingest ./internal/lint
 	GOMAXPROCS=1 $(GO) test ./internal/par ./internal/transform ./internal/compress ./internal/core ./internal/codec ./internal/entropy ./internal/ingest
 	$(GO) test -run=NONE -fuzz=FuzzOpenContainer -fuzztime=10s ./internal/storage
 	$(GO) test -run=NONE -fuzz=FuzzWaveletRoundtrip -fuzztime=5s ./internal/wavelet
@@ -28,10 +31,12 @@ check: vet fmt-check lint bench-smoke
 	$(GO) test -run=NONE -fuzz=FuzzEntropyRoundtrip -fuzztime=5s ./internal/entropy
 	$(GO) test -run=NONE -fuzz=FuzzCodecDecode -fuzztime=5s ./internal/codec
 
-# Domain-aware static analysis: six analyzers proving the pipeline's
-# numeric and I/O invariants plus godoc coverage of the operator-facing
-# API surface (see internal/lint). Zero findings is the merge bar;
-# suppress deliberate cases with //stlint:ignore + reason.
+# Domain-aware static analysis: ten analyzers proving the pipeline's
+# numeric, I/O, taint, scratch-pool, context, and worker-budget
+# invariants plus godoc coverage of the operator-facing API surface
+# (see internal/lint). Zero findings is the merge bar; suppress
+# deliberate cases with //stlint:ignore + reason, and the driver flags
+# any suppression that has gone stale.
 lint:
 	$(GO) run ./cmd/stlint ./...
 

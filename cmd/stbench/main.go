@@ -50,7 +50,7 @@ func runPerf(args []string) {
 	validate := fs.String("validate", "", "validate an existing result file and exit")
 	obsOn := fs.Bool("obs", true, "record pipeline metrics while benchmarking (-obs=false measures the disabled-instrumentation overhead)")
 	quiet := fs.Bool("q", false, "suppress progress output")
-	fs.Parse(args) //stlint:ignore uncheckederr ExitOnError flag sets exit on their own
+	fs.Parse(args)
 	obs.SetEnabled(*obsOn)
 
 	if *validate != "" {
@@ -117,7 +117,7 @@ func runCompare(args []string) {
 	minTime := fs.Duration("mintime", 200*time.Millisecond, "measurement window per benchmark when re-measuring")
 	best := fs.Int("best", 3, "re-measurement passes; per benchmark, min ns/op across passes is compared")
 	quiet := fs.Bool("q", false, "suppress progress output")
-	fs.Parse(args) //stlint:ignore uncheckederr ExitOnError flag sets exit on their own
+	fs.Parse(args)
 
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "stbench: %v\n", err)

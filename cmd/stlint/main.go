@@ -1,16 +1,18 @@
 // Command stlint runs the repository's domain-aware static-analysis
-// suite: six analyzers that prove the compression pipeline's numeric and
-// I/O invariants — and its documentation bar — at compile time (see
-// internal/lint).
+// suite: ten analyzers that prove the compression pipeline's numeric,
+// I/O, taint, scratch-pool, context, and worker-budget invariants — and
+// its documentation bar — at compile time (see internal/lint).
 //
 // Usage:
 //
-//	stlint [-list] [packages]
+//	stlint [-list] [-json] [packages]
 //
 // With no package patterns, ./... is analyzed. Findings print one per
-// line as "file:line: [analyzer] message" and a non-empty report exits
-// with status 1, so `go run ./cmd/stlint ./...` slots directly into make
-// check and CI. Suppress a deliberate finding with an adjacent
+// line as "file:line: [analyzer] message" — or, with -json, as a JSON
+// array of {file, line, column, analyzer, message} objects — and a
+// non-empty report exits with status 1, so `go run ./cmd/stlint ./...`
+// slots directly into make check and CI. Suppress a deliberate finding
+// with an adjacent
 //
 //	//stlint:ignore <analyzer>[,<analyzer>...] <reason>
 //
@@ -29,8 +31,9 @@ import (
 
 func main() {
 	listOnly := flag.Bool("list", false, "print the analyzer roster and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of text lines")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: stlint [-list] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: stlint [-list] [-json] [packages]\n\n")
 		fmt.Fprintf(flag.CommandLine.Output(), "Runs the stwave static-analysis suite. Analyzers:\n\n")
 		printRoster(flag.CommandLine.Output())
 		flag.PrintDefaults()
@@ -58,23 +61,34 @@ func main() {
 	}
 
 	cfg := lint.DefaultConfig()
-	exit := 0
+	var all []lint.Finding
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Findings(cfg) {
-			fmt.Println(relativize(cwd, f))
-			exit = 1
+			all = append(all, relativize(cwd, f))
 		}
 	}
-	os.Exit(exit)
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, all); err != nil {
+			fmt.Fprintf(os.Stderr, "stlint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range all {
+			fmt.Println(f.String())
+		}
+	}
+	if len(all) > 0 {
+		os.Exit(1)
+	}
 }
 
 // relativize shortens absolute file paths to be relative to the working
 // directory, keeping output stable across checkouts.
-func relativize(cwd string, f lint.Finding) string {
+func relativize(cwd string, f lint.Finding) lint.Finding {
 	if rel, err := filepath.Rel(cwd, f.Pos.Filename); err == nil && !filepath.IsAbs(rel) {
 		f.Pos.Filename = rel
 	}
-	return f.String()
+	return f
 }
 
 func printRoster(w io.Writer) {

@@ -248,7 +248,7 @@ func (aw *AsyncWriter) enqueue() error {
 func (aw *AsyncWriter) Flush() error {
 	if aw.pending != nil && aw.pending.Len() > 0 {
 		if err := aw.enqueue(); err != nil {
-			aw.pipe.Close() //stlint:ignore uncheckederr drain after the sticky error already being returned
+			aw.pipe.Close()
 			return err
 		}
 	}

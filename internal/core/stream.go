@@ -53,7 +53,7 @@ func NewWriter(opts Options, dims grid.Dims, sink Sink) (*Writer, error) {
 // WriteSlice; a nil ctx resets to context.Background().
 func (w *Writer) SetContext(ctx context.Context) {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //stlint:ignore ctxflow nil resets to a fresh root by documented contract
 	}
 	w.ctx = ctx
 }

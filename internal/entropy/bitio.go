@@ -45,7 +45,7 @@ func (w *BitWriter) WriteBits(v uint64, n uint) {
 	for w.nacc+n >= 8 {
 		take := 8 - w.nacc // bits of v consumed by this output byte
 		shift := n - take
-		w.buf = append(w.buf, byte(w.acc<<take|v>>shift))
+		w.buf = append(w.buf, byte(w.acc<<take|v>>shift)) //stlint:ignore trunccast packing exactly the top 8 staged bits into one output byte
 		w.acc, w.nacc = 0, 0
 		n = shift
 		if n < 64 {
@@ -79,7 +79,7 @@ func (w *BitWriter) WriteExpGolomb(v uint64, k uint) {
 		v = ^uint64(0) - (1 << k)
 	}
 	vp := v + 1<<k
-	n := uint(bits.Len64(vp))
+	n := uint(bits.Len64(vp)) //stlint:ignore trunccast bits.Len64 of a nonzero value is in [1, 64]
 	zeros := n - 1 - k
 	for zeros > 0 {
 		take := zeros
@@ -93,13 +93,13 @@ func (w *BitWriter) WriteExpGolomb(v uint64, k uint) {
 }
 
 // BitLen returns the number of bits written so far.
-func (w *BitWriter) BitLen() int { return len(w.buf)*8 + int(w.nacc) }
+func (w *BitWriter) BitLen() int { return len(w.buf)*8 + int(w.nacc) } //stlint:ignore trunccast acc holds fewer than 8 bits between calls
 
 // Bytes returns the finished stream, zero-padding the final partial byte.
 // The writer may not be used after Bytes.
 func (w *BitWriter) Bytes() []byte {
 	if w.nacc > 0 {
-		w.buf = append(w.buf, byte(w.acc<<(8-w.nacc)))
+		w.buf = append(w.buf, byte(w.acc<<(8-w.nacc))) //stlint:ignore trunccast zero-padding the final partial byte is the contract
 		w.acc, w.nacc = 0, 0
 	}
 	return w.buf

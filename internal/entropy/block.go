@@ -217,7 +217,7 @@ func Encode(coeffs []float64, p Params, workers int) (*Block, error) {
 			// wrapped uint32 length would corrupt the stream silently.
 			return nil, fmt.Errorf("entropy: chunk %d payload %d exceeds format cap %d", ci, len(c), maxChunkPayload)
 		}
-		b.chunkLen[ci] = uint32(len(c)) //stlint:ignore trunccast guarded against maxChunkPayload above
+		b.chunkLen[ci] = uint32(len(c))
 		totalBytes += len(c)
 	}
 	b.payload = make([]byte, 0, totalBytes)
@@ -233,11 +233,11 @@ func gapOrder(n, k int) uint8 {
 	if k <= 0 || n <= k {
 		return 0
 	}
-	o := bits.Len64(uint64(n/k)) - 1
+	o := bits.Len64(uint64(n/k)) - 1 //stlint:ignore trunccast k > 0 and n > k are checked above, so the quotient is positive
 	if o > 30 {
 		o = 30
 	}
-	return uint8(o) //stlint:ignore trunccast clamped to [0, 30] above
+	return uint8(o)
 }
 
 // classSymbol maps a quantized level to its Huffman symbol: the magnitude
@@ -255,7 +255,7 @@ func classSymbol(level int64, bitDepth int) int {
 // the quantizer, so negation cannot overflow.
 func levelMag(level int64) uint64 {
 	if level < 0 {
-		return uint64(-level)
+		return uint64(-level) //stlint:ignore trunccast negated only on the negative branch; the quantizer clamps to ±2^62
 	}
 	return uint64(level)
 }
@@ -275,7 +275,7 @@ func encodeChunk(coeffs []float64, ci int, b *Block, q Quantizer, codes []uint64
 	w := BitWriter{buf: make([]byte, 0, 16+kc*6)}
 	w.WriteExpGolomb(uint64(kc), 0) //stlint:ignore trunccast kc is a non-negative survivor count
 	prev := lo - 1
-	esc := b.bitDepth + 1
+	esc := len(codes) - 1 // the escape symbol is the table's last entry (b.bitDepth+1)
 	for i := lo; i < hi; i++ {
 		v := coeffs[i]
 		if fbits.Zero(v) {
@@ -296,7 +296,7 @@ func encodeChunk(coeffs []float64, ci int, b *Block, q Quantizer, codes []uint64
 		} else {
 			w.WriteBits(codes[c], uint(b.lengths[c]))
 			if c > 0 {
-				w.WriteBits(mag-1<<uint(c-1), uint(c-1))
+				w.WriteBits(mag-1<<uint(c-1), uint(c-1)) //stlint:ignore trunccast c > 0 on this branch
 			}
 		}
 		if c > 0 {
@@ -378,7 +378,7 @@ func (b *Block) decodeChunk(out []float64, ci int, payload []byte, dec *huffDeco
 	if err != nil {
 		return 0, err
 	}
-	if kcU > uint64(hi-lo) {
+	if kcU > uint64(hi-lo) { //stlint:ignore trunccast chunkBounds always yields lo < hi
 		return 0, fmt.Errorf("entropy: chunk claims %d values for %d coefficients", kcU, hi-lo)
 	}
 	kc := int(kcU)
@@ -391,10 +391,16 @@ func (b *Block) decodeChunk(out []float64, ci int, payload []byte, dec *huffDeco
 		// The next index is pos+1+gap and must stay < hi. pos is at most
 		// hi-1 here, so hi-pos-1 is non-negative and the uint64 conversion
 		// is safe; an honest encoder only emits gap <= hi-pos-2.
-		if gap >= uint64(hi-pos-1) {
+		if gap >= uint64(hi-pos-1) { //stlint:ignore trunccast pos <= hi-1 here per the invariant above
 			return 0, fmt.Errorf("entropy: index gap %d runs past chunk end", gap)
 		}
 		pos += 1 + int(gap)
+		if pos >= hi {
+			// Unreachable while the gap guard above holds; bounding the
+			// index itself keeps every out[pos] write provably in range
+			// even if the gap arithmetic is ever reshaped.
+			return 0, fmt.Errorf("entropy: decoded index %d runs past chunk end", pos)
+		}
 		if b.lossless {
 			vbits, err := r.ReadBits(32)
 			if err != nil {
@@ -415,12 +421,12 @@ func (b *Block) decodeChunk(out []float64, ci int, payload []byte, dec *huffDeco
 		case sym <= b.bitDepth:
 			extra := uint64(0)
 			if sym > 1 {
-				extra, err = r.ReadBits(uint(sym - 1))
+				extra, err = r.ReadBits(uint(sym - 1)) //stlint:ignore trunccast sym > 1 on this branch
 				if err != nil {
 					return 0, err
 				}
 			}
-			mag = 1<<uint(sym-1) | extra
+			mag = 1<<uint(sym-1) | extra //stlint:ignore trunccast sym >= 1: the zero class continues above
 		default: // escape
 			over, err := r.ReadExpGolomb(0)
 			if err != nil {
@@ -463,11 +469,11 @@ func (b *Block) WriteTo(w io.Writer) (int64, error) {
 	}
 	hdr[5] = byte(b.bitDepth) //stlint:ignore trunccast bit depth is validated to [2, 31] at encode
 	hdr[6] = b.gapK
-	hdr[7] = byte(len(b.lengths)) //stlint:ignore trunccast guarded against 0xff above
+	hdr[7] = byte(len(b.lengths))
 	binary.LittleEndian.PutUint64(hdr[8:16], uint64(b.total))
 	binary.LittleEndian.PutUint64(hdr[16:24], uint64(b.retained))
 	binary.LittleEndian.PutUint64(hdr[24:32], math.Float64bits(b.step))
-	binary.LittleEndian.PutUint32(hdr[32:36], uint32(len(b.chunkLen))) //stlint:ignore trunccast guarded against MaxUint32 above
+	binary.LittleEndian.PutUint32(hdr[32:36], uint32(len(b.chunkLen)))
 	hdr = append(hdr, b.lengths...)
 	var lb [4]byte
 	for _, ln := range b.chunkLen {

@@ -178,7 +178,7 @@ func newHuffDecoder(lengths []uint8) (*huffDecoder, error) {
 				d.syms = append(d.syms, s)
 			}
 		}
-		code += uint64(d.count[ln])
+		code += uint64(d.count[ln]) //stlint:ignore trunccast canonical code counts are non-negative
 	}
 	return d, nil
 }

@@ -72,7 +72,7 @@ func (p Params) newQuantizer(maxMag float64) Quantizer {
 	if p.ErrorBound > 0 {
 		return Quantizer{Step: 2 * p.ErrorBound}
 	}
-	levels := float64(uint64(1)<<uint(p.BitDepth) - 1)
+	levels := float64(uint64(1)<<uint(p.BitDepth) - 1) //stlint:ignore trunccast BitDepth is validated to [2, 31] before any quantizer is built
 	if maxMag <= 0 || math.IsInf(maxMag, 0) || math.IsNaN(maxMag) {
 		// Degenerate block (all zeros, or garbage magnitudes): any positive
 		// step works, every value escapes or quantizes safely.

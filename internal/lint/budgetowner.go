@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// BudgetOwner mechanically enforces DESIGN §6's single-owner worker-
+// budget rule: exactly one function per pipeline — the entry point —
+// resolves the machine-wide parallelism budget; every inner stage
+// accepts its share as a plain int parameter and subdivides with
+// par.Split. Two stages independently calling runtime.NumCPU
+// oversubscribe the machine quadratically, which is precisely the bug
+// class PR 5's design review banned.
+//
+// Inside Config.BudgetScope packages:
+//
+//   - calls to par.Workers, runtime.NumCPU, or runtime.GOMAXPROCS are
+//     findings unless the enclosing declared function is listed in
+//     Config.BudgetOwners ("path-suffix.FuncName" entries); closures
+//     are governed by their enclosing declaration
+//   - the workers argument of par.For / par.Split in a non-owner must
+//     be a share handed in from above: derived from an int parameter
+//     (of the function or an enclosing closure) or from a par.Split
+//     result. The literal 1 (explicitly serial) is allowed; any other
+//     constant is a hardcoded budget and is flagged.
+//
+// Scope is opt-in via Config.BudgetScope.
+var BudgetOwner = &Analyzer{
+	Name: "budgetowner",
+	Doc:  "only pipeline entry points may resolve a worker budget; inner stages accept shares (DESIGN §6)",
+	Run:  runBudgetOwner,
+}
+
+func runBudgetOwner(pass *Pass) {
+	if len(pass.Config.BudgetScope) == 0 || !pathInScope(pass.Config.BudgetScope, pass.Pkg.Path()) {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if ok && decl.Body != nil {
+				checkBudget(pass, decl)
+			}
+		}
+	}
+}
+
+func checkBudget(pass *Pass, decl *ast.FuncDecl) {
+	info := pass.TypesInfo
+	if isBudgetOwner(pass, decl) {
+		return // owners may resolve and spend the budget freely
+	}
+
+	// derived: int parameters (shares handed in) and everything assigned
+	// from them or from par.Split results.
+	derived := map[types.Object]bool{}
+	addIntParams(info, decl.Type, derived)
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			addIntParams(info, fl.Type, derived)
+		}
+		return true
+	})
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			fromSplit := len(as.Rhs) == 1 && isParCall(info, as.Rhs[0], "Split")
+			for i, lhs := range as.Lhs {
+				rhs := as.Rhs[0]
+				if len(as.Rhs) == len(as.Lhs) {
+					rhs = as.Rhs[i]
+				}
+				if !fromSplit && !mentionsDerived(info, rhs, derived) {
+					continue
+				}
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					if obj := info.ObjectOf(id); obj != nil && !derived[obj] {
+						derived[obj] = true
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := budgetResolver(info, call); ok {
+			pass.Reportf(call.Pos(), "%s resolves a worker budget outside a budget owner; accept a share as a parameter instead (DESIGN §6)", name)
+			return true
+		}
+		var workersArg ast.Expr
+		switch {
+		case isParCall(info, call, "For") && len(call.Args) >= 2:
+			workersArg = call.Args[1]
+		case isParCall(info, call, "Split") && len(call.Args) >= 1:
+			workersArg = call.Args[0]
+		default:
+			return true
+		}
+		if tv, ok := info.Types[workersArg]; ok && tv.Value != nil {
+			if v, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact && v == 1 {
+				return true // explicitly serial
+			}
+			pass.Reportf(workersArg.Pos(), "hardcoded worker budget %q; inner stages must spend a share handed in from the budget owner (DESIGN §6)", types.ExprString(workersArg))
+			return true
+		}
+		if !mentionsDerived(info, workersArg, derived) {
+			pass.Reportf(workersArg.Pos(), "worker budget %q is not a share handed in from the budget owner (DESIGN §6)", types.ExprString(workersArg))
+		}
+		return true
+	})
+}
+
+// isBudgetOwner matches decl against Config.BudgetOwners entries of the
+// form "path-suffix.FuncName".
+func isBudgetOwner(pass *Pass, decl *ast.FuncDecl) bool {
+	pkg := pass.Pkg.Path()
+	for _, entry := range pass.Config.BudgetOwners {
+		dot := strings.LastIndex(entry, ".")
+		if dot < 0 {
+			continue
+		}
+		if decl.Name.Name == entry[dot+1:] && strings.HasSuffix(pkg, entry[:dot]) {
+			return true
+		}
+	}
+	return false
+}
+
+// budgetResolver reports whether call resolves a machine-wide budget.
+func budgetResolver(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return "", false
+	}
+	switch funcPackagePath(fn) {
+	case "runtime":
+		if fn.Name() == "NumCPU" || fn.Name() == "GOMAXPROCS" {
+			return "runtime." + fn.Name(), true
+		}
+	default:
+		if strings.HasSuffix(funcPackagePath(fn), "internal/par") && fn.Name() == "Workers" {
+			return "par.Workers", true
+		}
+	}
+	return "", false
+}
+
+func isParCall(info *types.Info, e ast.Expr, name string) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(info, call)
+	return fn != nil && strings.HasSuffix(funcPackagePath(fn), "internal/par") && fn.Name() == name
+}
+
+// addIntParams seeds derived with ft's integer-typed parameters.
+func addIntParams(info *types.Info, ft *ast.FuncType, derived map[types.Object]bool) {
+	if ft.Params == nil {
+		return
+	}
+	for _, field := range ft.Params.List {
+		tv, ok := info.Types[field.Type]
+		if !ok {
+			continue
+		}
+		b, ok := tv.Type.Underlying().(*types.Basic)
+		if !ok || b.Info()&types.IsInteger == 0 {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := info.ObjectOf(name); obj != nil {
+				derived[obj] = true
+			}
+		}
+	}
+}

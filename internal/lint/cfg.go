@@ -1,0 +1,403 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// This file builds the intraprocedural control-flow graphs the dataflow
+// analyzers (taintlen, scratchpool) run over. One cfgBlock is a maximal
+// straight-line sequence of statements and control-condition expressions;
+// edges follow Go's structured control flow. The builder models if/else,
+// for, range, switch (including fallthrough), type switch, select,
+// labeled break/continue, return, and panic/os.Exit terminators. goto is
+// the one construct it does not model: a function containing goto is
+// marked unstructured and the flow analyzers skip it rather than guess.
+
+// A cfgBlock is one straight-line run of AST nodes with its successor
+// edges. Nodes are statements plus the condition expressions of the
+// control statements that ended a predecessor block (if/for conditions,
+// switch tags and case expressions), in execution order.
+type cfgBlock struct {
+	nodes []ast.Node
+	succs []*cfgBlock
+}
+
+// A funcCFG is the control-flow graph of one function body. exit is a
+// virtual empty block: every return statement and the fall-off end of the
+// body flow into it, so a forward analysis reads the function's merged
+// final state from exit's in-state. Blocks ending in panic or os.Exit do
+// NOT reach exit — resources held there are reclaimed by the runtime, not
+// by the function's normal epilogue.
+type funcCFG struct {
+	blocks []*cfgBlock
+	entry  *cfgBlock
+	exit   *cfgBlock
+	// unstructured is set when the body contains goto (or a labeled
+	// statement used as a goto target); flow analyses should skip the
+	// function instead of reporting from an incomplete graph.
+	unstructured bool
+}
+
+type loopFrame struct {
+	brk   *cfgBlock // break target
+	cont  *cfgBlock // continue target (post block or loop head)
+	label string    // non-empty for labeled loops/switches
+}
+
+type cfgBuilder struct {
+	cfg   *funcCFG
+	info  *types.Info
+	loops []loopFrame
+	// pendingLabel is the label of a LabeledStmt whose inner statement is
+	// about to be built; the next loop/switch consumes it.
+	pendingLabel string
+}
+
+// buildCFG constructs the CFG of one function body. info resolves
+// identifiers so calls to the builtin panic and os.Exit can be treated as
+// terminators.
+func buildCFG(body *ast.BlockStmt, info *types.Info) *funcCFG {
+	b := &cfgBuilder{cfg: &funcCFG{}, info: info}
+	b.cfg.entry = b.newBlock()
+	b.cfg.exit = &cfgBlock{}
+	end := b.stmtList(body.List, b.cfg.entry)
+	if end != nil {
+		b.edge(end, b.cfg.exit)
+	}
+	b.cfg.blocks = append(b.cfg.blocks, b.cfg.exit)
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{}
+	b.cfg.blocks = append(b.cfg.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *cfgBlock) {
+	from.succs = append(from.succs, to)
+}
+
+// stmtList builds a statement sequence starting in cur and returns the
+// block control falls out of, or nil when every path terminated.
+// Statements after a terminator are unreachable; they are still built
+// (into a detached, predecessor-less block) so their nodes exist, but no
+// state ever reaches them.
+func (b *cfgBuilder) stmtList(stmts []ast.Stmt, cur *cfgBlock) *cfgBlock {
+	terminated := false
+	for _, s := range stmts {
+		if cur == nil {
+			cur = b.newBlock() // detached: unreachable code
+			terminated = true
+		}
+		cur = b.stmt(s, cur)
+	}
+	if terminated && cur != nil {
+		// Control cannot actually leave an unreachable tail.
+		return nil
+	}
+	return cur
+}
+
+// stmt builds one statement into cur and returns the block control flows
+// out of (nil if the statement terminates every path).
+func (b *cfgBuilder) stmt(s ast.Stmt, cur *cfgBlock) *cfgBlock {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmtList(s.List, cur)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur)
+		}
+		cur.nodes = append(cur.nodes, s.Cond)
+		join := b.newBlock()
+		then := b.newBlock()
+		b.edge(cur, then)
+		if end := b.stmtList(s.Body.List, then); end != nil {
+			b.edge(end, join)
+		}
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(cur, els)
+			if end := b.stmt(s.Else, els); end != nil {
+				b.edge(end, join)
+			}
+		} else {
+			b.edge(cur, join)
+		}
+		if len(predsOf(b.cfg, join)) == 0 {
+			return nil // both branches terminated
+		}
+		return join
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur)
+		}
+		head := b.newBlock()
+		b.edge(cur, head)
+		if s.Cond != nil {
+			head.nodes = append(head.nodes, s.Cond)
+		}
+		after := b.newBlock()
+		if s.Cond != nil {
+			b.edge(head, after)
+		}
+		cont := head
+		if s.Post != nil {
+			cont = b.newBlock()
+			cont.nodes = append(cont.nodes, s.Post)
+			b.edge(cont, head)
+		}
+		body := b.newBlock()
+		b.edge(head, body)
+		b.loops = append(b.loops, loopFrame{brk: after, cont: cont, label: label})
+		if end := b.stmtList(s.Body.List, body); end != nil {
+			b.edge(end, cont)
+		}
+		b.loops = b.loops[:len(b.loops)-1]
+		return after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		// The RangeStmt itself is the head node: transfer functions see
+		// the range expression and the per-iteration key/value bindings.
+		head.nodes = append(head.nodes, s)
+		b.edge(cur, head)
+		after := b.newBlock()
+		b.edge(head, after)
+		body := b.newBlock()
+		b.edge(head, body)
+		b.loops = append(b.loops, loopFrame{brk: after, cont: head, label: label})
+		if end := b.stmtList(s.Body.List, body); end != nil {
+			b.edge(end, head)
+		}
+		b.loops = b.loops[:len(b.loops)-1]
+		return after
+
+	case *ast.SwitchStmt:
+		return b.switchStmt(s.Init, s.Tag, s.Body, cur)
+
+	case *ast.TypeSwitchStmt:
+		return b.switchStmt(s.Init, nil, s.Body, cur, s.Assign)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		after := b.newBlock()
+		b.loops = append(b.loops, loopFrame{brk: after, label: label})
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			blk := b.newBlock()
+			b.edge(cur, blk)
+			if cc.Comm != nil {
+				blk.nodes = append(blk.nodes, cc.Comm)
+			}
+			if end := b.stmtList(cc.Body, blk); end != nil {
+				b.edge(end, after)
+			}
+		}
+		b.loops = b.loops[:len(b.loops)-1]
+		if len(s.Body.List) == 0 {
+			return nil // select{} blocks forever
+		}
+		if len(predsOf(b.cfg, after)) == 0 {
+			return nil
+		}
+		return after
+
+	case *ast.LabeledStmt:
+		switch s.Stmt.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			b.pendingLabel = s.Label.Name
+			return b.stmt(s.Stmt, cur)
+		default:
+			// A bare label is a goto target; the graph does not model it.
+			b.cfg.unstructured = true
+			return b.stmt(s.Stmt, cur)
+		}
+
+	case *ast.BranchStmt:
+		return b.branchStmt(s, cur)
+
+	case *ast.ReturnStmt:
+		cur.nodes = append(cur.nodes, s)
+		b.edge(cur, b.cfg.exit)
+		return nil
+
+	case *ast.ExprStmt:
+		cur.nodes = append(cur.nodes, s)
+		if isTerminatorCall(b.info, s.X) {
+			return nil
+		}
+		return cur
+
+	case *ast.EmptyStmt:
+		return cur
+
+	default:
+		// Assign, Decl, IncDec, Defer, Go, Send: straight-line.
+		cur.nodes = append(cur.nodes, s)
+		return cur
+	}
+}
+
+// switchStmt builds an expression or type switch: one block per case
+// clause, all fed from the block that evaluated init and tag. extra
+// carries a type switch's assign statement, evaluated with the tag.
+func (b *cfgBuilder) switchStmt(init ast.Stmt, tag ast.Expr, body *ast.BlockStmt, cur *cfgBlock, extra ...ast.Stmt) *cfgBlock {
+	label := b.takeLabel()
+	if init != nil {
+		cur = b.stmt(init, cur)
+	}
+	if tag != nil {
+		cur.nodes = append(cur.nodes, tag)
+	}
+	for _, e := range extra {
+		cur.nodes = append(cur.nodes, e)
+	}
+	after := b.newBlock()
+	b.loops = append(b.loops, loopFrame{brk: after, label: label})
+
+	clauses := body.List
+	heads := make([]*cfgBlock, len(clauses))
+	hasDefault := false
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		heads[i] = b.newBlock()
+		b.edge(cur, heads[i])
+		if cc.List == nil {
+			hasDefault = true
+		}
+		for _, e := range cc.List {
+			heads[i].nodes = append(heads[i].nodes, e)
+		}
+	}
+	for i, c := range clauses {
+		cc := c.(*ast.CaseClause)
+		end, fellThrough := b.clauseBody(cc.Body, heads[i])
+		if end != nil {
+			b.edge(end, after)
+		}
+		if fellThrough && i+1 < len(clauses) {
+			// fallthrough enters the next clause's block; its case
+			// expressions are re-seen, which only re-applies comparisons.
+			b.edge(heads[i], heads[i+1])
+		}
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	if !hasDefault {
+		b.edge(cur, after)
+	}
+	if len(predsOf(b.cfg, after)) == 0 {
+		return nil
+	}
+	return after
+}
+
+// clauseBody builds one case clause body, reporting whether it ends in a
+// fallthrough statement.
+func (b *cfgBuilder) clauseBody(stmts []ast.Stmt, cur *cfgBlock) (end *cfgBlock, fellThrough bool) {
+	if n := len(stmts); n > 0 {
+		if br, ok := stmts[n-1].(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" {
+			end = b.stmtList(stmts[:n-1], cur)
+			return nil, end != nil
+		}
+	}
+	return b.stmtList(stmts, cur), false
+}
+
+func (b *cfgBuilder) branchStmt(s *ast.BranchStmt, cur *cfgBlock) *cfgBlock {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok.String() {
+	case "break":
+		if t := b.findLoop(label, false); t != nil {
+			b.edge(cur, t)
+		} else {
+			b.cfg.unstructured = true
+		}
+		return nil
+	case "continue":
+		if t := b.findLoop(label, true); t != nil {
+			b.edge(cur, t)
+		} else {
+			b.cfg.unstructured = true
+		}
+		return nil
+	case "fallthrough":
+		// Handled by clauseBody; one outside a switch cannot compile.
+		return nil
+	default: // goto
+		b.cfg.unstructured = true
+		return nil
+	}
+}
+
+// findLoop resolves a break/continue target. For continue, only loop
+// frames (those with a continue target) qualify.
+func (b *cfgBuilder) findLoop(label string, wantCont bool) *cfgBlock {
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		f := b.loops[i]
+		if wantCont && f.cont == nil {
+			continue
+		}
+		if label != "" && f.label != label {
+			continue
+		}
+		if wantCont {
+			return f.cont
+		}
+		return f.brk
+	}
+	return nil
+}
+
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// predsOf counts predecessors by scanning successor lists; the builder
+// only needs it for "did any path reach this join" checks.
+func predsOf(cfg *funcCFG, blk *cfgBlock) []*cfgBlock {
+	var preds []*cfgBlock
+	for _, c := range cfg.blocks {
+		for _, s := range c.succs {
+			if s == blk {
+				preds = append(preds, c)
+			}
+		}
+	}
+	return preds
+}
+
+// isTerminatorCall reports whether e is a call that never returns: the
+// builtin panic, or os.Exit / runtime.Goexit / log.Fatal*.
+func isTerminatorCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if bi, ok := info.Uses[id].(*types.Builtin); ok {
+			return bi.Name() == "panic"
+		}
+	}
+	fn := calleeFunc(info, call)
+	switch funcPackagePath(fn) {
+	case "os":
+		return fn.Name() == "Exit"
+	case "runtime":
+		return fn.Name() == "Goexit"
+	case "log":
+		return fn.Name() == "Fatal" || fn.Name() == "Fatalf" || fn.Name() == "Fatalln"
+	}
+	return false
+}

@@ -1,0 +1,198 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow enforces cancellation threading through the pipeline's ...Ctx
+// entry points (the PR 4 convention): a function that receives a
+// context must pass that context — or one derived from it — to the
+// stages it calls, and library packages must never mint a fresh root
+// context, which silently severs the caller's deadlines and traces.
+//
+// Checked per declared function (closures are analyzed as part of their
+// enclosing declaration):
+//
+//   - a function named ...Ctx must take a context.Context parameter and
+//     must actually use it
+//   - context.Background() / context.TODO() are findings inside any
+//     function that already has a context parameter (or is named ...Ctx);
+//     ctx-less compatibility shims that forward to their Ctx variant with
+//     a fresh root remain legal
+//   - a context-typed call argument must be derived from the incoming
+//     context (the parameter itself, a variable assigned from it, e.g.
+//     via context.WithTimeout). Context-typed struct fields count as
+//     derived: they were checked where they were stored.
+//
+// Scope is opt-in via Config.CtxScope: binaries and tests create root
+// contexts legitimately.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "...Ctx entry points must thread their incoming context; no fresh root contexts in library packages",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) {
+	if len(pass.Config.CtxScope) == 0 || !pathInScope(pass.Config.CtxScope, pass.Pkg.Path()) {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if ok && decl.Body != nil {
+				checkCtxFlow(pass, decl)
+			}
+		}
+	}
+}
+
+func checkCtxFlow(pass *Pass, decl *ast.FuncDecl) {
+	info := pass.TypesInfo
+	ctxName := strings.HasSuffix(decl.Name.Name, "Ctx")
+	params := ctxParams(info, decl.Type)
+	if ctxName && len(params) == 0 {
+		pass.Reportf(decl.Name.Pos(), "function %s is named as a context variant but takes no context.Context", decl.Name.Name)
+		return
+	}
+	if len(params) == 0 {
+		return // ctx-less shim: free to mint a root context
+	}
+
+	// derived: the incoming contexts plus everything assigned from them.
+	derived := map[types.Object]bool{}
+	for _, p := range params {
+		derived[p] = true
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if ft, ok := n.(*ast.FuncLit); ok {
+			for _, p := range ctxParams(info, ft.Type) {
+				derived[p] = true
+			}
+		}
+		return true
+	})
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				rhs := as.Rhs[0]
+				if len(as.Rhs) == len(as.Lhs) {
+					rhs = as.Rhs[i]
+				}
+				if !mentionsDerived(info, rhs, derived) {
+					continue
+				}
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					if obj := info.ObjectOf(id); obj != nil && !derived[obj] {
+						derived[obj] = true
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	used := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if derived[info.ObjectOf(n)] {
+				used = true
+			}
+		case *ast.CallExpr:
+			if fn := calleeFunc(info, n); fn != nil && funcPackagePath(fn) == "context" {
+				if fn.Name() == "Background" || fn.Name() == "TODO" {
+					pass.Reportf(n.Pos(), "context.%s inside a function that already has a ctx; minting a root context severs cancellation", fn.Name())
+					return true
+				}
+			}
+			for _, a := range n.Args {
+				checkCtxArg(pass, a, derived)
+			}
+		}
+		return true
+	})
+	if !used {
+		pass.Reportf(decl.Name.Pos(), "function %s takes a context.Context but never threads it anywhere", decl.Name.Name)
+	}
+}
+
+// checkCtxArg flags context-typed call arguments not derived from the
+// incoming context.
+func checkCtxArg(pass *Pass, arg ast.Expr, derived map[types.Object]bool) {
+	info := pass.TypesInfo
+	tv, ok := info.Types[arg]
+	if !ok || !isContextType(tv.Type) {
+		return
+	}
+	if mentionsDerived(info, arg, derived) {
+		return
+	}
+	// Stored contexts (s.ctx) were threaded at the store; calls minting
+	// roots are reported at the call itself.
+	skip := false
+	ast.Inspect(arg, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if t, ok := info.Types[n]; ok && isContextType(t.Type) {
+				skip = true
+			}
+		case *ast.CallExpr:
+			if fn := calleeFunc(info, n); fn != nil && funcPackagePath(fn) == "context" {
+				skip = true
+			}
+		}
+		return !skip
+	})
+	if skip {
+		return
+	}
+	pass.Reportf(arg.Pos(), "context argument %q is not derived from this function's incoming ctx", types.ExprString(arg))
+}
+
+func mentionsDerived(info *types.Info, e ast.Expr, derived map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && derived[info.ObjectOf(id)] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// ctxParams returns the *types.Var objects of ft's context.Context
+// parameters.
+func ctxParams(info *types.Info, ft *ast.FuncType) []types.Object {
+	var out []types.Object
+	if ft.Params == nil {
+		return nil
+	}
+	for _, field := range ft.Params.List {
+		tv, ok := info.Types[field.Type]
+		if !ok || !isContextType(tv.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := info.ObjectOf(name); obj != nil {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "context" && n.Obj().Name() == "Context"
+}

@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// This file is the dataflow half of the engine: a forward worklist solver
+// over the CFGs cfg.go builds. Abstract states are maps from tracked
+// value keys (local variables, selector paths like "b.total") to small
+// bitmask lattice values whose join is bitwise OR — "tainted on some
+// path" and "still live on some path" are exactly the may-facts the
+// analyzers need. In-states only ever grow under join, so the fixpoint
+// terminates even though transfer functions perform strong updates
+// (assignments overwrite a key's value outright).
+
+// absState maps tracked value keys to analyzer-defined lattice bits. A
+// missing key is the bottom value (0).
+type absState map[string]uint8
+
+func (s absState) clone() absState {
+	c := make(absState, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// joinInto merges src into dst with per-key bitwise OR, reporting whether
+// dst changed.
+func joinInto(dst absState, src absState) bool {
+	changed := false
+	for k, v := range src {
+		if dst[k]|v != dst[k] {
+			dst[k] |= v
+			changed = true
+		}
+	}
+	return changed
+}
+
+// transferFunc advances the abstract state across one CFG node. During
+// fixpoint iteration report is false; after convergence the solver runs
+// one more pass over every reachable block with report true, so findings
+// are emitted exactly once per program point from stable in-states.
+type transferFunc func(n ast.Node, st absState, report bool)
+
+// maxFlowPasses bounds fixpoint iteration defensively. The lattice is
+// finite and in-states grow monotonically, so real functions converge in
+// a handful of passes; the cap only guards against a transfer-function
+// bug looping forever.
+const maxFlowPasses = 64
+
+// solveForward runs transfer to fixpoint over g and returns the merged
+// state at g's virtual exit (the join over every return path). Blocks no
+// path reaches keep a nil in-state and are never reported from.
+func solveForward(g *funcCFG, transfer transferFunc) absState {
+	in := map[*cfgBlock]absState{g.entry: {}}
+	work := []*cfgBlock{g.entry}
+	queued := map[*cfgBlock]bool{g.entry: true}
+	for pass := 0; len(work) > 0 && pass < maxFlowPasses*len(g.blocks); pass++ {
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+		out := in[blk].clone()
+		for _, n := range blk.nodes {
+			transfer(n, out, false)
+		}
+		for _, succ := range blk.succs {
+			if in[succ] == nil {
+				in[succ] = out.clone()
+			} else if !joinInto(in[succ], out) {
+				continue
+			}
+			if !queued[succ] {
+				queued[succ] = true
+				work = append(work, succ)
+			}
+		}
+	}
+	// Reporting pass: once per reachable block, from the converged state.
+	for _, blk := range g.blocks {
+		st := in[blk]
+		if st == nil {
+			continue
+		}
+		st = st.clone()
+		for _, n := range blk.nodes {
+			transfer(n, st, true)
+		}
+	}
+	exit := in[g.exit]
+	if exit == nil {
+		exit = absState{}
+	}
+	return exit
+}
+
+// --- tracked value keys ---
+
+// flowKey canonicalizes an expression into a state key: identifiers
+// resolve to their object (so shadowed names do not collide) and selector
+// chains extend the base key with field names ("b.total"). Expressions
+// the engine does not track — index loads, call results, literals —
+// return "".
+func flowKey(info *types.Info, e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := info.ObjectOf(e)
+		if v, ok := obj.(*types.Var); ok {
+			return fmt.Sprintf("v%p", v)
+		}
+		return ""
+	case *ast.SelectorExpr:
+		base := flowKey(info, e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	}
+	return ""
+}
+
+// killDerived removes every key rooted at k (k itself and k's fields):
+// assigning to a variable invalidates facts about its fields.
+func killDerived(st absState, k string) {
+	delete(st, k)
+	prefix := k + "."
+	for key := range st {
+		if len(key) > len(prefix) && key[:len(prefix)] == prefix {
+			delete(st, key)
+		}
+	}
+}
+
+// eachFuncBody visits every function body in the package exactly once:
+// declared functions and methods, plus each function literal as its own
+// unit (the engine is intraprocedural; a literal's captured variables are
+// not tracked across the closure boundary).
+func eachFuncBody(files []*ast.File, fn func(decl *ast.FuncDecl, lit *ast.FuncLit, body *ast.BlockStmt)) {
+	for _, file := range files {
+		var enclosing *ast.FuncDecl
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				enclosing = n
+				if n.Body != nil {
+					fn(n, nil, n.Body)
+				}
+			case *ast.FuncLit:
+				fn(enclosing, n, n.Body)
+			}
+			return true
+		})
+	}
+}
+
+// pathInScope reports whether pkgPath matches any scope substring; an
+// empty scope matches everything (mirrors trunccast's convention).
+func pathInScope(scope []string, pkgPath string) bool {
+	return truncInScope(scope, pkgPath)
+}
+
+// recvTypeName returns the bare name of a method's receiver type (through
+// one pointer), or "" for functions.
+func recvTypeName(decl *ast.FuncDecl, info *types.Info) string {
+	if decl == nil || decl.Recv == nil || len(decl.Recv.List) == 0 {
+		return ""
+	}
+	tv, ok := info.Types[decl.Recv.List[0].Type]
+	if !ok {
+		return ""
+	}
+	return namedTypeName(tv.Type)
+}
+
+// namedTypeName resolves t (through one pointer) to its named type's
+// bare name, or "".
+func namedTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}

@@ -1,0 +1,244 @@
+package lint
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// parseFlowFunc type-checks src (a complete file) and returns the body
+// of the function named fn plus the package's types.Info.
+func parseFlowFunc(t *testing.T, src, fn string) (*ast.BlockStmt, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "flow.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("flow", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == fn {
+			return fd.Body, info
+		}
+	}
+	t.Fatalf("function %s not found", fn)
+	return nil, nil
+}
+
+// markTransfer sets bit 1 on a variable's key at "x = x" assignments and
+// is otherwise inert — enough to observe which paths reach where.
+func markTransfer(info *types.Info) (transferFunc, func(name string) string) {
+	keys := map[string]string{}
+	tf := func(n ast.Node, st absState, report bool) {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 {
+			return
+		}
+		k := flowKey(info, as.Lhs[0])
+		if k == "" {
+			return
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok {
+			keys[id.Name] = k
+		}
+		st[k] |= 1
+	}
+	return tf, func(name string) string { return keys[name] }
+}
+
+func TestCFGBranchJoin(t *testing.T) {
+	body, info := parseFlowFunc(t, `package p
+func f(c bool) int {
+	a := 0
+	b := 0
+	if c {
+		a = 1
+	} else {
+		b = 1
+	}
+	return a + b
+}`, "f")
+	g := buildCFG(body, info)
+	if g.unstructured {
+		t.Fatal("straight-line function reported unstructured")
+	}
+	tf, keyOf := markTransfer(info)
+	exit := solveForward(g, tf)
+	for _, v := range []string{"a", "b"} {
+		if exit[keyOf(v)]&1 == 0 {
+			t.Errorf("exit state lost the %s assignment across the branch join: %v", v, exit)
+		}
+	}
+}
+
+func TestCFGLoopTerminatesAndJoins(t *testing.T) {
+	body, info := parseFlowFunc(t, `package p
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			continue
+		}
+		s = s + i
+	}
+	return s
+}`, "f")
+	g := buildCFG(body, info)
+	tf, keyOf := markTransfer(info)
+	exit := solveForward(g, tf)
+	if exit[keyOf("s")]&1 == 0 {
+		t.Errorf("loop-body assignment did not reach exit: %v", exit)
+	}
+}
+
+func TestCFGPanicPathDoesNotReachExit(t *testing.T) {
+	body, info := parseFlowFunc(t, `package p
+func f(c bool) int {
+	a := 0
+	if c {
+		b := 1
+		_ = b
+		panic("dead end")
+	}
+	return a
+}`, "f")
+	g := buildCFG(body, info)
+	tf, keyOf := markTransfer(info)
+	exit := solveForward(g, tf)
+	if exit[keyOf("a")]&1 == 0 {
+		t.Errorf("live path assignment missing at exit: %v", exit)
+	}
+	if k := keyOf("b"); k != "" && exit[k]&1 != 0 {
+		t.Errorf("panic-terminated path leaked state into the exit join: %v", exit)
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	body, info := parseFlowFunc(t, `package p
+func f(n int) int {
+	a := 0
+	switch n {
+	case 0:
+		a = 1
+		fallthrough
+	case 1:
+		a = 2
+	default:
+	}
+	return a
+}`, "f")
+	g := buildCFG(body, info)
+	tf, keyOf := markTransfer(info)
+	exit := solveForward(g, tf)
+	if exit[keyOf("a")]&1 == 0 {
+		t.Errorf("switch-case assignment missing at exit: %v", exit)
+	}
+}
+
+func TestCFGGotoIsUnstructured(t *testing.T) {
+	body, info := parseFlowFunc(t, `package p
+func f() int {
+	a := 0
+loop:
+	a++
+	if a < 3 {
+		goto loop
+	}
+	return a
+}`, "f")
+	if g := buildCFG(body, info); !g.unstructured {
+		t.Fatal("goto-bearing function not flagged unstructured")
+	}
+}
+
+func TestFlowKeyShadowing(t *testing.T) {
+	body, info := parseFlowFunc(t, `package p
+func f() int {
+	x := 1
+	{
+		x := 2
+		_ = x
+	}
+	return x
+}`, "f")
+	var keys []string
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if ok {
+			if k := flowKey(info, as.Lhs[0]); k != "" {
+				keys = append(keys, k)
+			}
+		}
+		return true
+	})
+	if len(keys) != 2 || keys[0] == keys[1] {
+		t.Fatalf("shadowed variables must get distinct keys, got %v", keys)
+	}
+}
+
+func TestKillDerived(t *testing.T) {
+	st := absState{"v1": 1, "v1.total": 2, "v1.len": 3, "v12": 4}
+	killDerived(st, "v1")
+	if _, ok := st["v1"]; ok {
+		t.Error("base key survived")
+	}
+	if _, ok := st["v1.total"]; ok {
+		t.Error("field key survived")
+	}
+	if _, ok := st["v12"]; !ok {
+		t.Error("sibling key with shared prefix was wrongly killed")
+	}
+}
+
+func TestJoinIntoReportsChange(t *testing.T) {
+	dst := absState{"a": 1}
+	if joinInto(dst, absState{"a": 1}) {
+		t.Error("no-op join reported change")
+	}
+	if !joinInto(dst, absState{"a": 2, "b": 1}) || dst["a"] != 3 || dst["b"] != 1 {
+		t.Errorf("join result wrong: %v", dst)
+	}
+}
+
+func TestEachFuncBodyVisitsLiterals(t *testing.T) {
+	body, _ := parseFlowFunc(t, `package p
+func f() func() {
+	g := func() {}
+	return g
+}`, "f")
+	_ = body
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "u.go", `package p
+func a() { _ = func() { _ = func() {} } }
+func b() {}`, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var visits []string
+	eachFuncBody([]*ast.File{file}, func(decl *ast.FuncDecl, lit *ast.FuncLit, b *ast.BlockStmt) {
+		name := "lit"
+		if lit == nil {
+			name = decl.Name.Name
+		} else if decl != nil {
+			name = "lit-in-" + decl.Name.Name
+		}
+		visits = append(visits, name)
+	})
+	got := strings.Join(visits, ",")
+	if got != "a,lit-in-a,lit-in-a,b" {
+		t.Fatalf("visit order %q, want a,lit-in-a,lit-in-a,b", got)
+	}
+}

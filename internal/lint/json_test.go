@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"testing"
+)
+
+// TestWriteJSONSchema pins the machine-readable output contract: an
+// array of objects with exactly the file/line/column/analyzer/message
+// keys, in input order.
+func TestWriteJSONSchema(t *testing.T) {
+	findings := []Finding{
+		{
+			Pos:      token.Position{Filename: "internal/core/record.go", Line: 42, Column: 7},
+			Analyzer: "trunccast",
+			Message:  "uint32(n) narrows int",
+		},
+		{
+			Pos:      token.Position{Filename: "cmd/stcomp/main.go", Line: 9, Column: 2},
+			Analyzer: "uncheckederr",
+			Message:  "discarded error from (*os.File).Close",
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, findings); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+
+	var decoded []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(decoded) != len(findings) {
+		t.Fatalf("decoded %d objects, want %d", len(decoded), len(findings))
+	}
+	wantKeys := []string{"file", "line", "column", "analyzer", "message"}
+	for i, obj := range decoded {
+		if len(obj) != len(wantKeys) {
+			t.Errorf("object %d has keys %v, want exactly %v", i, obj, wantKeys)
+		}
+		for _, k := range wantKeys {
+			if _, ok := obj[k]; !ok {
+				t.Errorf("object %d missing key %q", i, k)
+			}
+		}
+	}
+	if got := decoded[0]["file"]; got != "internal/core/record.go" {
+		t.Errorf("file = %v, want internal/core/record.go", got)
+	}
+	if got := decoded[0]["line"]; got != float64(42) {
+		t.Errorf("line = %v, want 42", got)
+	}
+	if got := decoded[1]["analyzer"]; got != "uncheckederr" {
+		t.Errorf("analyzer = %v, want uncheckederr", got)
+	}
+}
+
+// TestWriteJSONEmpty: no findings must encode as [], not null, so
+// consumers can range over the result unconditionally.
+func TestWriteJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if decoded == nil {
+		t.Fatalf("empty findings encoded as null, want []: %s", buf.String())
+	}
+	if len(decoded) != 0 {
+		t.Fatalf("decoded %d objects, want 0", len(decoded))
+	}
+}

@@ -58,6 +58,10 @@ var All = []*Analyzer{
 	LockVal,
 	DeferClose,
 	ExportedDoc,
+	TaintLen,
+	ScratchPool,
+	CtxFlow,
+	BudgetOwner,
 }
 
 // Config tunes the suite to the repository being analyzed.
@@ -73,6 +77,32 @@ type Config struct {
 	// TruncScope, an empty DocScope checks nothing: the doc bar is
 	// opt-in per package tree.
 	DocScope []string
+	// TaintScope limits the taintlen analyzer to packages whose import
+	// path contains one of these substrings — the decode paths that
+	// parse attacker-shaped bytes. Empty means all packages.
+	TaintScope []string
+	// TaintReaders names bit-reader types (bare type names) whose Read*
+	// methods yield untrusted integers for taintlen, outside the
+	// reader's own methods.
+	TaintReaders []string
+	// TaintStructs names decoded-header struct types, as import-path
+	// suffixes like "internal/entropy.Block", whose integer fields are
+	// untrusted for taintlen unless the struct was constructed locally.
+	TaintStructs []string
+	// CtxScope limits the ctxflow analyzer to library packages where
+	// minting a fresh context.Background()/TODO() severs cancellation.
+	// Empty checks nothing (opt-in, like DocScope): binaries and tests
+	// legitimately create root contexts.
+	CtxScope []string
+	// BudgetScope limits the budgetowner analyzer to pipeline packages
+	// governed by DESIGN §6's single-owner worker-budget rule. Empty
+	// checks nothing (opt-in).
+	BudgetScope []string
+	// BudgetOwners lists the functions allowed to resolve a worker
+	// budget (call par.Workers / runtime.NumCPU / runtime.GOMAXPROCS)
+	// inside BudgetScope, as "path-suffix.FuncName" entries like
+	// "internal/core.CompressWindowCtx".
+	BudgetOwners []string
 }
 
 // DefaultConfig scopes the suite to this repository's pipeline layout.
@@ -84,12 +114,50 @@ func DefaultConfig() Config {
 			"internal/storage",
 			"internal/compress",
 			"internal/faultio",
+			"internal/codec",
+			"internal/entropy",
 			"cmd/stcomp",
 		},
 		DocScope: []string{
 			"internal/obs",
 			"internal/server",
 			"internal/storage",
+		},
+		TaintScope: []string{
+			"internal/storage",
+			"internal/core",
+			"internal/codec",
+			"internal/entropy",
+			"internal/compress",
+		},
+		TaintReaders: []string{"BitReader"},
+		TaintStructs: []string{"internal/entropy.Block"},
+		CtxScope: []string{
+			"internal/core",
+			"internal/transform",
+			"internal/server",
+			"internal/ingest",
+			"internal/codec",
+			"internal/entropy",
+		},
+		BudgetScope: []string{
+			"internal/transform",
+			"internal/core",
+			"internal/compress",
+			"internal/codec",
+			"internal/entropy",
+			"internal/wavelet",
+			"internal/ingest",
+			"internal/server",
+		},
+		BudgetOwners: []string{
+			"internal/core.CompressWindowCtx",
+			"internal/core.DecompressCtx",
+			"internal/transform.Workers",
+			// Server construction owns its resource envelope: the
+			// decompress semaphore is sized once, not per request.
+			"internal/server.DefaultConfig",
+			"internal/server.New",
 		},
 	}
 }
@@ -149,7 +217,11 @@ func RunPackage(cfg Config, pkg *Package, analyzers []*Analyzer) []Finding {
 		}
 		a.Run(pass)
 	}
-	findings = applySuppressions(pkg, findings)
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	findings = applySuppressions(pkg, findings, ran)
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -213,43 +285,89 @@ func lineKey(filename string, line int) string {
 }
 
 // applySuppressions drops findings covered by a well-formed ignore
-// directive for their analyzer and reports malformed directives.
-func applySuppressions(pkg *Package, findings []Finding) []Finding {
+// directive for their analyzer, reports malformed directives, and —
+// when the directive's analyzers all ran — reports directives that
+// suppressed nothing. Stale directives are debt: they read as "this
+// line is exempt for a reason" when the finding they justified is long
+// gone, and they silently mask future findings of the same analyzer on
+// that line. ran is the set of analyzer names that actually executed;
+// directives naming any analyzer that did not run (including "all"
+// unless the full roster ran) are exempt from the staleness check, so a
+// partial run never misreports.
+func applySuppressions(pkg *Package, findings []Finding, ran map[string]bool) []Finding {
 	byLine := map[string][]*ignoreDirective{}
-	var malformed []*ignoreDirective
+	var ordered []*ignoreDirective
 	seen := map[*ignoreDirective]bool{}
 	for _, f := range pkg.Files {
 		for key, ds := range parseIgnores(pkg.Fset, f) {
 			byLine[key] = append(byLine[key], ds...)
 			for _, d := range ds {
-				if d.malformed != "" && !seen[d] {
+				if !seen[d] {
 					seen[d] = true
-					malformed = append(malformed, d)
+					ordered = append(ordered, d)
 				}
 			}
 		}
 	}
+	matched := map[*ignoreDirective]bool{}
 	out := findings[:0]
 	for _, f := range findings {
 		suppressed := false
 		for _, d := range byLine[lineKey(f.Pos.Filename, f.Pos.Line)] {
 			if d.analyzers[f.Analyzer] || d.analyzers["all"] {
+				matched[d] = true
 				suppressed = true
-				break
 			}
 		}
 		if !suppressed {
 			out = append(out, f)
 		}
 	}
-	for _, d := range malformed {
-		out = append(out, Finding{
-			Pos:      d.pos,
-			Analyzer: "stlint",
-			Message:  "malformed stlint:ignore directive: " + d.malformed,
-		})
+	allRan := true
+	for _, a := range All {
+		if !ran[a.Name] {
+			allRan = false
+		}
+	}
+	for _, d := range ordered {
+		switch {
+		case d.malformed != "":
+			out = append(out, Finding{
+				Pos:      d.pos,
+				Analyzer: "stlint",
+				Message:  "malformed stlint:ignore directive: " + d.malformed,
+			})
+		case !matched[d] && auditable(d, ran, allRan):
+			names := make([]string, 0, len(d.analyzers))
+			for name := range d.analyzers {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			out = append(out, Finding{
+				Pos:      d.pos,
+				Analyzer: "stlint",
+				Message:  fmt.Sprintf("stale stlint:ignore directive: no %s finding left to suppress here", strings.Join(names, ",")),
+			})
+		}
 	}
 	return out
+}
+
+// auditable reports whether every analyzer a directive names actually
+// executed, making "it matched nothing" meaningful.
+func auditable(d *ignoreDirective, ran map[string]bool, allRan bool) bool {
+	for name := range d.analyzers {
+		if name == "all" {
+			if !allRan {
+				return false
+			}
+			continue
+		}
+		if !ran[name] {
+			return false
+		}
+	}
+	return true
 }
 
 // --- shared type helpers used by several analyzers ---

@@ -91,7 +91,7 @@ func malformedEmpty() {}
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			out := applySuppressions(pkg, []Finding{tc.finding})
+			out := applySuppressions(pkg, []Finding{tc.finding}, nil)
 			kept := false
 			for _, f := range out {
 				if f.Analyzer == tc.finding.Analyzer && f.Pos.Line == tc.finding.Pos.Line {
@@ -115,7 +115,7 @@ func noReason() {}
 func empty() {}
 `
 	pkg := parseSynthetic(t, src)
-	out := applySuppressions(pkg, nil)
+	out := applySuppressions(pkg, nil, nil)
 	if len(out) != 2 {
 		t.Fatalf("got %d findings for 2 malformed directives: %v", len(out), out)
 	}
@@ -126,6 +126,52 @@ func empty() {}
 		if !strings.Contains(f.Message, "malformed stlint:ignore") {
 			t.Errorf("unexpected message %q", f.Message)
 		}
+	}
+}
+
+func TestStaleDirectivesAreReported(t *testing.T) {
+	src := `package p
+
+func a() {} //stlint:ignore floateq exact comparison is the contract here
+
+func b() {} //stlint:ignore trunccast narrowing is deliberate
+
+func c() {} //stlint:ignore lockval copies a guard
+`
+	pkg := parseSynthetic(t, src)
+	ran := map[string]bool{"floateq": true, "trunccast": true}
+	live := findingAt(pkg, 3, "floateq", "x")
+	out := applySuppressions(pkg, []Finding{live}, ran)
+	// The floateq directive matched a finding; trunccast ran and matched
+	// nothing (stale); lockval did not run, so its silence proves nothing.
+	if len(out) != 1 {
+		t.Fatalf("got %d findings, want exactly the stale trunccast report: %v", len(out), out)
+	}
+	f := out[0]
+	if f.Analyzer != "stlint" || f.Pos.Line != 5 || !strings.Contains(f.Message, "stale stlint:ignore") || !strings.Contains(f.Message, "trunccast") {
+		t.Errorf("unexpected stale report: %v", f)
+	}
+}
+
+func TestStaleAllDirectiveNeedsFullRoster(t *testing.T) {
+	src := `package p
+
+func a() {} //stlint:ignore all this line is exempt from everything
+`
+	pkg := parseSynthetic(t, src)
+
+	partial := map[string]bool{"floateq": true}
+	if out := applySuppressions(pkg, nil, partial); len(out) != 0 {
+		t.Errorf("partial run audited an %q directive: %v", "all", out)
+	}
+
+	full := map[string]bool{}
+	for _, a := range All {
+		full[a.Name] = true
+	}
+	out := applySuppressions(pkg, nil, full)
+	if len(out) != 1 || !strings.Contains(out[0].Message, "stale stlint:ignore") {
+		t.Errorf("full run did not report the unused %q directive: %v", "all", out)
 	}
 }
 

@@ -1,0 +1,651 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// TaintLen is the dataflow analyzer for the repository's core CVE class:
+// an integer decoded from attacker-shaped bytes — a container header
+// field, a codec block header, a bit-stream length — flowing into memory
+// sizing or indexing without a proven bound. Both PR 6 security fixes
+// (the entropy gap off-by-one panic and the forged-payload-sum allocation
+// DoS) were instances of exactly this flow; the analyzer encodes the
+// post-mortem discipline mechanically.
+//
+// Untrusted sources (configurable, see Config):
+//
+//   - encoding/binary byte-order reads (Uint16/Uint32/Uint64) and varint
+//     decodes — the container/record header surface
+//   - Read* methods of bit-reader types named in Config.TaintReaders
+//     (e.g. entropy.BitReader), outside the reader's own methods
+//   - integer fields read from decoded header struct types named in
+//     Config.TaintStructs, unless the struct was visibly constructed in
+//     the current function (composite literal, new, or var zero value)
+//
+// Sinks: make sizes, slice/array/string indexing and slice-expression
+// bounds (reads and writes), io.CopyN counts, slices.Grow reserves, and
+// scratch arena allocation sizes.
+//
+// A tainted value is cleared by passing through an explicit comparison
+// (any `<ʻ, `<=`, `>`, `>=`, `==`, `!=` that mentions it), a constant
+// mask (x & C), a modulus with an untainted divisor, or the builtin min
+// with any argument. Crucially, checkedness does NOT survive arithmetic
+// between two non-constant operands: summing per-item lengths that were
+// each individually capped re-taints the sum, which is precisely the
+// forged-payload-sum shape (65536 chunks at the 1 MiB per-chunk cap is a
+// 64 GiB allocation no per-chunk check prevents). A single arithmetic
+// step with a constant operand preserves checkedness (4*nch cannot
+// overflow a bound that was just proven), which keeps honest header math
+// quiet. The analysis is flow-sensitive per function on the CFG in
+// cfg.go; see DESIGN.md §8 for the model's documented limits.
+var TaintLen = &Analyzer{
+	Name: "taintlen",
+	Doc:  "untrusted container/bit-stream integers need a bounding comparison before sizing or indexing memory",
+	Run:  runTaintLen,
+}
+
+const (
+	tChecked uint8 = 1 << iota // passed through an explicit comparison
+	tTainted                   // from an untrusted source, unbounded
+	tOwned                     // struct built locally; fields default clean
+	tKnown                     // key explicitly assigned in this function
+)
+
+// taintValue masks a state entry down to its value lattice (clean /
+// checked / tainted), hiding the bookkeeping bits.
+func taintValue(v uint8) uint8 { return v & (tChecked | tTainted) }
+
+func runTaintLen(pass *Pass) {
+	if !pathInScope(pass.Config.TaintScope, pass.Pkg.Path()) {
+		return
+	}
+	readers := map[string]bool{}
+	for _, r := range pass.Config.TaintReaders {
+		readers[r] = true
+	}
+	eachFuncBody(pass.Files, func(decl *ast.FuncDecl, lit *ast.FuncLit, body *ast.BlockStmt) {
+		t := &taintFlow{
+			pass:    pass,
+			readers: readers,
+			structs: pass.Config.TaintStructs,
+			origin:  map[string]string{},
+		}
+		if rt := recvTypeName(decl, pass.TypesInfo); rt != "" && readers[rt] {
+			// Inside the reader's own methods its primitive reads are the
+			// implementation, not a taint source.
+			t.exemptReader = rt
+		}
+		g := buildCFG(body, pass.TypesInfo)
+		if g.unstructured {
+			return
+		}
+		solveForward(g, t.transfer)
+	})
+}
+
+type taintFlow struct {
+	pass         *Pass
+	readers      map[string]bool
+	structs      []string
+	exemptReader string
+	// origin remembers, per state key, a human description of the source
+	// the taint came from, for findings ("from entropy.BitReader.ReadExpGolomb").
+	origin map[string]string
+	// lastSource carries the most recent source description seen while
+	// evaluating the right-hand side currently being bound.
+	lastSource string
+}
+
+// transfer advances the taint state across one CFG node.
+func (t *taintFlow) transfer(n ast.Node, st absState, report bool) {
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		t.assign(s, st, report)
+	case *ast.DeclStmt:
+		t.declStmt(s, st, report)
+	case *ast.IncDecStmt:
+		t.eval(s.X, st, report) // ±1 preserves the state; check index sinks
+	case *ast.RangeStmt:
+		t.eval(s.X, st, report)
+		// Loop variables are fresh bindings; element loads are clean (a
+		// documented model limit — containers do not carry taint).
+		for _, lv := range []ast.Expr{s.Key, s.Value} {
+			if lv != nil {
+				t.bind(lv, 0, st, report)
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			t.eval(r, st, report)
+		}
+	case *ast.ExprStmt:
+		t.eval(s.X, st, report)
+	case *ast.SendStmt:
+		t.eval(s.Chan, st, report)
+		t.eval(s.Value, st, report)
+	case *ast.DeferStmt:
+		t.call(s.Call, st, report)
+	case *ast.GoStmt:
+		t.call(s.Call, st, report)
+	case ast.Expr:
+		t.eval(s, st, report)
+	}
+}
+
+func (t *taintFlow) declStmt(s *ast.DeclStmt, st absState, report bool) {
+	gd, ok := s.Decl.(*ast.GenDecl)
+	if !ok || gd.Tok != token.VAR {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		switch {
+		case len(vs.Values) == len(vs.Names):
+			for i, name := range vs.Names {
+				t.bindRHS(name, vs.Values[i], st, report)
+			}
+		case len(vs.Values) == 0:
+			// Zero values are locally owned: fields of a `var b Block`
+			// are clean until something untrusted is stored into them.
+			for _, name := range vs.Names {
+				if k := flowKey(t.pass.TypesInfo, name); k != "" {
+					killDerived(st, k)
+					st[k] = tKnown | tOwned
+				}
+			}
+		default: // n, err := f()
+			v := t.eval(vs.Values[0], st, report)
+			for _, name := range vs.Names {
+				t.bind(name, v, st, report)
+			}
+		}
+	}
+}
+
+func (t *taintFlow) assign(s *ast.AssignStmt, st absState, report bool) {
+	switch {
+	case s.Tok == token.ASSIGN || s.Tok == token.DEFINE:
+		if len(s.Lhs) == len(s.Rhs) {
+			for i := range s.Lhs {
+				t.bindRHS(s.Lhs[i], s.Rhs[i], st, report)
+			}
+			return
+		}
+		v := t.eval(s.Rhs[0], st, report) // x, err := f(): one value for all
+		for _, l := range s.Lhs {
+			t.bind(l, v, st, report)
+		}
+	default: // compound: +=, -=, *=, ...
+		lv := t.eval(s.Lhs[0], st, report)
+		rv := t.eval(s.Rhs[0], st, report)
+		v := t.combine(binOpOf(s.Tok), lv, rv, false, t.isConst(s.Rhs[0]))
+		t.bind(s.Lhs[0], v, st, report)
+	}
+}
+
+// bindRHS evaluates one rhs and binds it to one lhs, recognizing locally
+// constructed struct values (composite literals, new) whose fields then
+// default to clean instead of the header-field taint.
+func (t *taintFlow) bindRHS(lhs, rhs ast.Expr, st absState, report bool) {
+	inner := ast.Unparen(rhs)
+	if ue, ok := inner.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+		inner = ast.Unparen(ue.X)
+	}
+	if cl, ok := inner.(*ast.CompositeLit); ok {
+		k := flowKey(t.pass.TypesInfo, lhs)
+		if k != "" {
+			killDerived(st, k)
+			st[k] = tKnown | tOwned
+		}
+		for _, el := range cl.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				v := t.eval(kv.Value, st, report)
+				if k != "" {
+					if id, ok := kv.Key.(*ast.Ident); ok {
+						fk := k + "." + id.Name
+						st[fk] = taintValue(v) | tKnown
+						if v&tTainted != 0 && t.lastSource != "" {
+							t.origin[fk] = t.lastSource
+						}
+					}
+				}
+			} else {
+				t.eval(el, st, report)
+			}
+		}
+		return
+	}
+	if call, ok := inner.(*ast.CallExpr); ok {
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if bi, ok := t.pass.TypesInfo.Uses[id].(*types.Builtin); ok && bi.Name() == "new" {
+				if k := flowKey(t.pass.TypesInfo, lhs); k != "" {
+					killDerived(st, k)
+					st[k] = tKnown | tOwned
+				}
+				return
+			}
+		}
+	}
+	t.lastSource = ""
+	v := t.eval(rhs, st, report)
+	t.bind(lhs, v, st, report)
+}
+
+// bind stores a value state into the key for lhs; non-key lhs (index and
+// dereference targets) are evaluated so their index sinks are checked.
+func (t *taintFlow) bind(lhs ast.Expr, v uint8, st absState, report bool) {
+	if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name == "_" {
+		return
+	}
+	k := flowKey(t.pass.TypesInfo, lhs)
+	if k == "" {
+		t.eval(lhs, st, report)
+		return
+	}
+	killDerived(st, k)
+	st[k] = taintValue(v) | tKnown
+	if v&tTainted != 0 && t.lastSource != "" {
+		t.origin[k] = t.lastSource
+	}
+}
+
+// eval computes the taint value of e, recording sink findings (when
+// report is set) and applying comparison sanitization as it goes.
+func (t *taintFlow) eval(e ast.Expr, st absState, report bool) uint8 {
+	info := t.pass.TypesInfo
+	if tv, ok := info.Types[e]; ok && tv.Value != nil {
+		return 0 // constants are clean by definition
+	}
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return t.eval(e.X, st, report)
+	case *ast.Ident:
+		if k := flowKey(info, e); k != "" {
+			return taintValue(st[k])
+		}
+		return 0
+	case *ast.SelectorExpr:
+		if k := flowKey(info, e); k != "" {
+			if v, ok := st[k]; ok && v&tKnown != 0 {
+				return taintValue(v)
+			}
+			if base := flowKey(info, e.X); base != "" && st[base]&tOwned != 0 {
+				return 0 // locally constructed struct: untouched fields are zero
+			}
+		} else {
+			t.eval(e.X, st, report)
+		}
+		if desc, ok := t.taintField(e); ok {
+			t.lastSource = desc
+			return tTainted
+		}
+		return 0
+	case *ast.CallExpr:
+		return t.call(e, st, report)
+	case *ast.BinaryExpr:
+		return t.binary(e, st, report)
+	case *ast.UnaryExpr:
+		v := t.eval(e.X, st, report)
+		switch e.Op {
+		case token.SUB, token.XOR:
+			if v != 0 {
+				return tTainted // negation/complement escapes any proven bound
+			}
+		}
+		return 0
+	case *ast.IndexExpr:
+		t.eval(e.X, st, report)
+		iv := t.eval(e.Index, st, report)
+		if iv&tTainted != 0 && report && indexableType(info, e.X) {
+			t.reportSink(e.Index, "indexes "+types.ExprString(e.X), st)
+		}
+		return 0
+	case *ast.SliceExpr:
+		t.eval(e.X, st, report)
+		for _, bound := range []ast.Expr{e.Low, e.High, e.Max} {
+			if bound == nil {
+				continue
+			}
+			if v := t.eval(bound, st, report); v&tTainted != 0 && report {
+				t.reportSink(bound, "bounds a reslice of "+types.ExprString(e.X), st)
+			}
+		}
+		return 0
+	case *ast.StarExpr:
+		t.eval(e.X, st, report)
+		return 0
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			t.eval(el, st, report)
+		}
+		return 0
+	case *ast.KeyValueExpr:
+		t.eval(e.Value, st, report)
+		return 0
+	case *ast.TypeAssertExpr:
+		t.eval(e.X, st, report)
+		return 0
+	}
+	return 0 // literals, func lits (separate units), types
+}
+
+// binary handles comparisons (which sanitize their operands) and
+// arithmetic (which propagates — and on two non-constant operands,
+// escalates — taint).
+func (t *taintFlow) binary(e *ast.BinaryExpr, st absState, report bool) uint8 {
+	switch e.Op {
+	case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+		t.eval(e.X, st, report)
+		t.eval(e.Y, st, report)
+		t.sanitize(e.X, st)
+		t.sanitize(e.Y, st)
+		return 0
+	case token.LAND, token.LOR:
+		t.eval(e.X, st, report)
+		t.eval(e.Y, st, report)
+		return 0
+	}
+	lv := t.eval(e.X, st, report)
+	rv := t.eval(e.Y, st, report)
+	return t.combine(e.Op, lv, rv, t.isConst(e.X), t.isConst(e.Y))
+}
+
+// combine is the arithmetic transfer. The central rule: a bound proven by
+// comparison survives one constant-operand step but NOT arithmetic
+// between two variables — per-item caps do not bound a sum of items.
+func (t *taintFlow) combine(op token.Token, lv, rv uint8, lConst, rConst bool) uint8 {
+	if lv|rv == 0 {
+		return 0
+	}
+	switch op {
+	case token.AND:
+		if lConst || rConst {
+			return 0 // x & C is bounded by C
+		}
+	case token.REM:
+		if rv == 0 {
+			return 0 // x % m is bounded by an untainted m
+		}
+	case token.QUO, token.SHR:
+		return lv // division/right-shift cannot grow the numerator
+	}
+	if lConst || rConst {
+		if (lv|rv)&tTainted != 0 {
+			return tTainted
+		}
+		return tChecked
+	}
+	if (lv|rv)&tTainted != 0 {
+		return tTainted
+	}
+	if lv&tChecked != 0 && rv&tChecked != 0 {
+		// Two independently bounded values combined escape their bounds:
+		// this is how a loop accumulator (checked += checked) escalates
+		// to tainted across the fixpoint even though each step was capped.
+		return tTainted
+	}
+	return tChecked // one bounded operand, one trusted: base + offset stays bounded
+}
+
+// sanitize marks every tracked, currently tainted value mentioned inside
+// one side of a comparison as checked.
+func (t *taintFlow) sanitize(e ast.Expr, st absState) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ex, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if k := flowKey(t.pass.TypesInfo, ex); k != "" {
+			if st[k]&tTainted != 0 {
+				st[k] = (st[k] &^ tTainted) | tChecked
+			} else if sel, ok := ex.(*ast.SelectorExpr); ok && st[k]&tKnown == 0 {
+				// A header field with no state yet is tainted by default;
+				// the comparison is exactly what makes it trustworthy.
+				if _, isTaint := t.taintField(sel); isTaint {
+					st[k] = tChecked | tKnown
+				}
+			}
+		}
+		return true
+	})
+}
+
+// call evaluates a call expression: conversions pass taint through,
+// sources return it, allocation-shaped callees are sinks for it.
+func (t *taintFlow) call(call *ast.CallExpr, st absState, report bool) uint8 {
+	info := t.pass.TypesInfo
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		return t.eval(call.Args[0], st, report) // conversion preserves state
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if bi, ok := info.Uses[id].(*types.Builtin); ok {
+			return t.builtin(bi.Name(), call, st, report)
+		}
+	}
+	// Evaluate arguments (their own sinks included) before classifying.
+	vals := make([]uint8, len(call.Args))
+	for i, a := range call.Args {
+		vals[i] = t.eval(a, st, report)
+	}
+	fn := calleeFunc(info, call)
+	if desc, ok := t.sourceCall(fn); ok {
+		t.lastSource = desc
+		return tTainted
+	}
+	if arg, what, ok := sinkArg(fn, call); ok && arg < len(vals) && vals[arg]&tTainted != 0 && report {
+		t.reportSink(call.Args[arg], what, st)
+	}
+	return 0 // trust boundary: results of ordinary calls are the callee's problem
+}
+
+func (t *taintFlow) builtin(name string, call *ast.CallExpr, st absState, report bool) uint8 {
+	switch name {
+	case "make":
+		for _, a := range call.Args[1:] {
+			if v := t.eval(a, st, report); v&tTainted != 0 && report {
+				t.reportSink(a, "sizes make", st)
+			}
+		}
+		return 0
+	case "min":
+		best := uint8(tTainted)
+		for _, a := range call.Args {
+			if v := t.eval(a, st, report); taintRank(v) < taintRank(best) {
+				best = taintValue(v)
+			}
+		}
+		return best // min is bounded by its most-trusted argument
+	case "max":
+		out := uint8(0)
+		for _, a := range call.Args {
+			if v := t.eval(a, st, report); taintRank(v) > taintRank(out) {
+				out = taintValue(v)
+			}
+		}
+		return out
+	default: // len, cap, append, copy, clear, panic, ...
+		for _, a := range call.Args {
+			t.eval(a, st, report)
+		}
+		return 0
+	}
+}
+
+func taintRank(v uint8) int {
+	switch {
+	case v&tTainted != 0:
+		return 2
+	case v&tChecked != 0:
+		return 1
+	}
+	return 0
+}
+
+// sourceCall classifies fn as an untrusted-integer source.
+func (t *taintFlow) sourceCall(fn *types.Func) (string, bool) {
+	if fn == nil {
+		return "", false
+	}
+	if funcPackagePath(fn) == "encoding/binary" {
+		switch fn.Name() {
+		case "Uint16", "Uint32", "Uint64", "ReadUvarint", "ReadVarint", "Uvarint", "Varint":
+			return "encoding/binary." + fn.Name(), true
+		}
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	rt := namedTypeName(sig.Recv().Type())
+	if rt == "" || !t.readers[rt] || rt == t.exemptReader {
+		return "", false
+	}
+	if strings.HasPrefix(fn.Name(), "Read") {
+		return rt + "." + fn.Name(), true
+	}
+	return "", false
+}
+
+// sinkArg classifies fn as an allocation/count sink, returning which
+// argument is the size.
+func sinkArg(fn *types.Func, call *ast.CallExpr) (int, string, bool) {
+	if fn == nil {
+		return 0, "", false
+	}
+	switch funcPackagePath(fn) {
+	case "io":
+		if fn.Name() == "CopyN" && len(call.Args) == 3 {
+			return 2, "sizes io.CopyN", true
+		}
+	case "slices":
+		if fn.Name() == "Grow" && len(call.Args) == 2 {
+			return 1, "sizes slices.Grow", true
+		}
+	}
+	if strings.HasSuffix(funcPackagePath(fn), "internal/scratch") {
+		if (fn.Name() == "Floats" || fn.Name() == "Uint64s") && len(call.Args) == 1 {
+			return 0, "sizes a scratch." + fn.Name() + " buffer", true
+		}
+	}
+	return 0, "", false
+}
+
+// taintField reports whether sel reads an integer field of a configured
+// decoded-header struct type.
+func (t *taintFlow) taintField(sel *ast.SelectorExpr) (string, bool) {
+	s, ok := t.pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return "", false
+	}
+	b, ok := s.Obj().Type().Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsInteger == 0 {
+		return "", false
+	}
+	recv := s.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return "", false
+	}
+	qual := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	for _, s := range t.structs {
+		if strings.HasSuffix(qual, s) {
+			return "header field " + named.Obj().Name() + "." + sel.Sel.Name, true
+		}
+	}
+	return "", false
+}
+
+func (t *taintFlow) isConst(e ast.Expr) bool {
+	tv, ok := t.pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+func indexableType(info *types.Info, x ast.Expr) bool {
+	tv, ok := info.Types[x]
+	if !ok {
+		return false
+	}
+	switch u := tv.Type.Underlying().(type) {
+	case *types.Slice, *types.Array:
+		return true
+	case *types.Pointer:
+		_, ok := u.Elem().Underlying().(*types.Array)
+		return ok
+	case *types.Basic:
+		return u.Info()&types.IsString != 0
+	}
+	return false
+}
+
+func (t *taintFlow) reportSink(e ast.Expr, what string, st absState) {
+	src := "untrusted input"
+	ast.Inspect(e, func(n ast.Node) bool {
+		ex, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if k := flowKey(t.pass.TypesInfo, ex); k != "" {
+			if o, ok := t.origin[k]; ok && st[k]&tTainted != 0 {
+				src = o
+				return false
+			}
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if desc, ok := t.sourceCall(calleeFunc(t.pass.TypesInfo, n)); ok {
+				src = desc
+				return false
+			}
+		case *ast.SelectorExpr:
+			if desc, ok := t.taintField(n); ok {
+				src = desc
+				return false
+			}
+		}
+		return true
+	})
+	t.pass.Reportf(e.Pos(), "untrusted value %q (from %s) %s without a bounding comparison",
+		types.ExprString(e), src, what)
+}
+
+// binOpOf maps a compound assignment token to its binary operator.
+func binOpOf(tok token.Token) token.Token {
+	switch tok {
+	case token.ADD_ASSIGN:
+		return token.ADD
+	case token.SUB_ASSIGN:
+		return token.SUB
+	case token.MUL_ASSIGN:
+		return token.MUL
+	case token.QUO_ASSIGN:
+		return token.QUO
+	case token.REM_ASSIGN:
+		return token.REM
+	case token.AND_ASSIGN:
+		return token.AND
+	case token.OR_ASSIGN:
+		return token.OR
+	case token.XOR_ASSIGN:
+		return token.XOR
+	case token.SHL_ASSIGN:
+		return token.SHL
+	case token.SHR_ASSIGN:
+		return token.SHR
+	case token.AND_NOT_ASSIGN:
+		return token.AND_NOT
+	}
+	return tok
+}

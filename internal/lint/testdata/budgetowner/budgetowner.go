@@ -1,0 +1,63 @@
+// Package budgetowner is a golden test corpus for the budgetowner
+// analyzer. The test configures Owner as the package's sole budget
+// owner.
+package budgetowner
+
+import (
+	"runtime"
+
+	"stwave/internal/par"
+)
+
+// Owner is the configured budget owner: it may resolve the machine
+// budget and hand shares down. No findings.
+func Owner(data []float64, requested int) {
+	workers := par.Workers(requested)
+	outer, inner := par.Split(workers, 2)
+	stageShare(data, outer)
+	stageSplit(data, inner)
+}
+
+func stageShare(data []float64, workers int) {
+	par.For(len(data), workers, 64, func(start, end int) {}) // spends the share it was handed: no finding
+}
+
+func stageSplit(data []float64, workers int) {
+	sub, _ := par.Split(workers, 4) // subdividing a share is how stages nest: no finding
+	par.For(len(data), sub, 1, func(start, end int) {})
+}
+
+func stageClosure(data []float64, workers int) {
+	run := func() {
+		par.For(len(data), workers, 1, func(start, end int) {}) // captured share: no finding
+	}
+	run()
+}
+
+func rogueResolver(data []float64) {
+	workers := par.Workers(0) // want `par\.Workers resolves a worker budget outside a budget owner`
+	_ = workers
+	_ = data
+}
+
+func rogueNumCPU() int {
+	return runtime.NumCPU() // want `runtime\.NumCPU resolves a worker budget outside a budget owner`
+}
+
+func hardcodedBudget(data []float64) {
+	par.For(len(data), 8, 1, func(start, end int) {}) // want `hardcoded worker budget "8"`
+}
+
+func serialIsFine(data []float64) {
+	par.For(len(data), 1, 1, func(start, end int) {}) // explicitly serial: no finding
+}
+
+type opts struct{ W int }
+
+func opaqueBudget(data []float64, o opts) {
+	par.For(len(data), o.W, 1, func(start, end int) {}) // want `worker budget "o\.W" is not a share handed in from the budget owner`
+}
+
+func legacyStage(data []float64) {
+	par.For(len(data), 4, 1, func(start, end int) {}) //stlint:ignore budgetowner corpus demonstrates suppression
+}

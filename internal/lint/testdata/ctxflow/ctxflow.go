@@ -1,0 +1,69 @@
+// Package ctxflow is a golden test corpus for the ctxflow analyzer.
+package ctxflow
+
+import "context"
+
+func stage(ctx context.Context) error {
+	return ctx.Err()
+}
+
+var rootCtx = context.Background() // package scope: legal
+
+func RunCtx(ctx context.Context) error {
+	return stage(ctx) // threads the incoming ctx: no finding
+}
+
+func DerivedCtx(ctx context.Context) error {
+	c, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return stage(c) // derived from the incoming ctx: no finding
+}
+
+func MintsBackground(ctx context.Context) error {
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return stage(context.Background()) // want `context\.Background inside a function that already has a ctx`
+}
+
+func DrainCtx() { // want `function DrainCtx is named as a context variant but takes no context\.Context`
+}
+
+func IgnoresCtx(ctx context.Context, n int) int { // want `function IgnoresCtx takes a context\.Context but never threads it anywhere`
+	return n * 2
+}
+
+func PassesWrongCtx(ctx context.Context) error {
+	if ctx.Err() != nil {
+		return nil
+	}
+	return stage(rootCtx) // want `context argument "rootCtx" is not derived from this function's incoming ctx`
+}
+
+// Run is a ctx-less compatibility shim: minting a root context here is
+// the documented pattern. No finding.
+func Run(n int) error {
+	_ = n
+	return RunCtx(context.Background())
+}
+
+type task struct{ ctx context.Context }
+
+func (t *task) runCtx(ctx context.Context) error {
+	if ctx.Err() != nil {
+		return nil
+	}
+	return stage(t.ctx) // stored ctx was threaded at the store: no finding
+}
+
+func ClosureCtx(ctx context.Context) error {
+	run := func(c context.Context) error { return stage(c) }
+	return run(ctx) // closure parameter threads the ctx: no finding
+}
+
+func LegacyCtx(ctx context.Context) error {
+	if ctx.Err() != nil {
+		return nil
+	}
+	return stage(context.TODO()) //stlint:ignore ctxflow corpus demonstrates suppression
+}

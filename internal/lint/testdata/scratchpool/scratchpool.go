@@ -1,0 +1,127 @@
+// Package scratchpool is a golden test corpus for the scratchpool
+// analyzer.
+package scratchpool
+
+import (
+	"errors"
+
+	"stwave/internal/scratch"
+)
+
+var errTest = errors.New("test")
+
+func use(buf []float64) {
+	for i := range buf {
+		buf[i] = 0
+	}
+}
+
+func balanced(n int) float64 {
+	buf := scratch.Floats(n)
+	s := 0.0
+	for i := range buf {
+		s += buf[i]
+	}
+	scratch.PutFloats(buf)
+	return s
+}
+
+func leakOnError(n int, bad bool) error {
+	buf := scratch.Floats(n) // want `scratch buffer "buf" is not returned to the pool on every path`
+	if bad {
+		return errTest // early return without a Put
+	}
+	scratch.PutFloats(buf)
+	return nil
+}
+
+func leakEntirely(n int) {
+	buf := scratch.Uint64s(n) // want `scratch buffer "buf" is not returned to the pool on every path`
+	for i := range buf {
+		buf[i] = uint64(i)
+	}
+}
+
+func deferredPut(n int) {
+	buf := scratch.Floats(n)
+	defer scratch.PutFloats(buf)
+	use(buf) // lending workspace to a callee is not an escape
+}
+
+func deferredClosurePut(n int, bad bool) error {
+	buf := scratch.Floats(n)
+	defer func() { scratch.PutFloats(buf) }()
+	if bad {
+		return errTest // the deferred closure still puts: no finding
+	}
+	use(buf)
+	return nil
+}
+
+func panicPathIsExempt(n int, bad bool) {
+	buf := scratch.Floats(n)
+	if bad {
+		panic("bad") // crash path may drop the buffer: no finding
+	}
+	scratch.PutFloats(buf)
+}
+
+func useAfterPut(n int) float64 {
+	buf := scratch.Floats(n)
+	scratch.PutFloats(buf)
+	return buf[0] // want `scratch buffer "buf" is used after being returned to the pool`
+}
+
+func doublePut(n int) {
+	buf := scratch.Floats(n)
+	scratch.PutFloats(buf)
+	scratch.PutFloats(buf) // want `scratch buffer "buf" is returned to the pool twice \(double put\)`
+}
+
+func deferAndPut(n int) {
+	buf := scratch.Floats(n)
+	defer scratch.PutFloats(buf)
+	use(buf)
+	scratch.PutFloats(buf) // want `scratch buffer "buf" is returned to the pool here and again by a deferred Put \(double put\)`
+}
+
+type holder struct{ data []float64 }
+
+func storeEscapes(h *holder, n int) {
+	buf := scratch.Floats(n)
+	use(buf)
+	h.data = buf // ownership handed to the holder: no finding
+}
+
+func returnEscapes(n int) []float64 {
+	buf := scratch.Floats(n)
+	return buf[:n/2] // returning a view hands ownership out: no finding
+}
+
+func directHandoff(n int) {
+	use(scratch.Floats(n)) // result handed straight to the callee: no finding
+}
+
+func rename(n int) {
+	buf := scratch.Floats(n)
+	b2 := buf
+	scratch.PutFloats(b2) // renamed ownership, put under the new name: no finding
+}
+
+func resliceKeeps(n int) {
+	buf := scratch.Floats(n)
+	buf = buf[:n/2]
+	scratch.PutFloats(buf) // self-reslice keeps ownership: no finding
+}
+
+func putForeign(data []float64) {
+	scratch.PutFloats(data) // returning a foreign buffer is documented as safe: no finding
+}
+
+func suppressedLeak(n int, bad bool) {
+	buf := scratch.Floats(n) //stlint:ignore scratchpool corpus demonstrates suppression
+	if bad {
+		return
+	}
+	scratch.PutFloats(buf)
+}

@@ -1,0 +1,94 @@
+// Regression fixtures: the exact pre-fix shapes of the two PR 6
+// CVE-style bugs in the entropy codec, plus their fixed counterparts.
+// taintlen must flag both pre-fix shapes and stay quiet on the fixes —
+// this file is the analyzer's reason to exist.
+package taintlen
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+)
+
+// preFixGapDecode is the entropy gap off-by-one (fixed in 429543e): the
+// guard admits gap == hi-pos-1, after which pos advances to exactly hi
+// and out[pos] indexes one past the end. The index is written without
+// ever being bounded itself, only the gap was — and arithmetic over a
+// loop-carried variable does not inherit the gap's bound.
+func preFixGapDecode(br *BitReader, out []float32, hi int) error {
+	pos := 0
+	for pos < hi {
+		gap := br.ReadBits(8)
+		if gap >= uint64(hi-pos) {
+			return errors.New("gap out of range")
+		}
+		pos += 1 + int(gap)
+		out[pos] = 1 // want `untrusted value "pos" .* indexes out`
+		pos++
+	}
+	return nil
+}
+
+// fixedGapDecode re-bounds the position itself after advancing — the
+// shipped fix's shape. No finding.
+func fixedGapDecode(br *BitReader, out []float32, hi int) error {
+	pos := 0
+	for pos < hi {
+		gap := br.ReadBits(8)
+		if gap >= uint64(hi-pos) {
+			return errors.New("gap out of range")
+		}
+		pos += 1 + int(gap)
+		if pos >= hi {
+			return errors.New("position out of range")
+		}
+		out[pos] = 1 // explicitly re-bounded after advancing: no finding
+		pos++
+	}
+	return nil
+}
+
+// preFixPayloadSum is the forged-payload-sum allocation DoS (fixed in
+// 429543e): each chunk length is individually capped, but the sum of
+// 2^16 capped lengths is still unbounded — per-item checks do not bound
+// an accumulator, so the make is driven by attacker-controlled bytes.
+func preFixPayloadSum(r io.Reader, hdr []byte, nChunks int) ([]byte, error) {
+	payloadBytes := 0
+	off := 0
+	for i := 0; i < nChunks; i++ {
+		ln := binary.LittleEndian.Uint32(hdr[off:])
+		off += 4
+		if ln > 1<<20 {
+			return nil, errors.New("chunk too large")
+		}
+		payloadBytes += int(ln)
+	}
+	buf := make([]byte, payloadBytes) // want `untrusted value "payloadBytes" .* sizes make`
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// fixedPayloadSum bounds the accumulator itself on every step — the
+// shipped fix's shape. No finding.
+func fixedPayloadSum(r io.Reader, hdr []byte, nChunks int) ([]byte, error) {
+	var payloadBytes int64
+	off := 0
+	for i := 0; i < nChunks; i++ {
+		ln := binary.LittleEndian.Uint32(hdr[off:])
+		off += 4
+		if ln > 1<<20 {
+			return nil, errors.New("chunk too large")
+		}
+		payloadBytes += int64(ln)
+		if payloadBytes > 1<<30 {
+			return nil, errors.New("payload too large")
+		}
+	}
+	buf := make([]byte, payloadBytes) // the sum itself is bounded each step: no finding
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

@@ -1,0 +1,137 @@
+// Package taintlen is a golden test corpus for the taintlen analyzer.
+package taintlen
+
+import (
+	"encoding/binary"
+	"io"
+
+	"stwave/internal/scratch"
+)
+
+func unboundedMake(hdr []byte) []float64 {
+	n := binary.LittleEndian.Uint32(hdr)
+	return make([]float64, n) // want `\[taintlen\] untrusted value "n" \(from encoding/binary\.Uint32\) sizes make`
+}
+
+func boundedMake(hdr []byte) []float64 {
+	n := binary.LittleEndian.Uint32(hdr)
+	if n > 1<<20 {
+		return nil
+	}
+	return make([]float64, n) // bounded above: no finding
+}
+
+func unboundedIndex(hdr []byte, out []float64) {
+	i := binary.LittleEndian.Uint16(hdr)
+	out[i] = 1 // want `untrusted value "i" \(from encoding/binary\.Uint16\) indexes out`
+}
+
+func unboundedReslice(hdr, payload []byte) []byte {
+	n := int(binary.LittleEndian.Uint32(hdr))
+	return payload[:n] // want `untrusted value "n" \(from encoding/binary\.Uint32\) bounds a reslice of payload`
+}
+
+func boundedReslice(hdr, payload []byte) []byte {
+	n := int(binary.LittleEndian.Uint32(hdr))
+	if n > len(payload) {
+		return nil
+	}
+	return payload[:n] // bounded against the buffer: no finding
+}
+
+func cappedByMin(hdr []byte) []byte {
+	n := int(binary.LittleEndian.Uint32(hdr))
+	return make([]byte, min(n, 4096)) // min caps the size: no finding
+}
+
+func maskedIsClean(hdr []byte, out []float64) {
+	i := binary.LittleEndian.Uint64(hdr) & 0x3f
+	out[i] = 1 // constant mask bounds the index: no finding
+}
+
+func constStepStaysChecked(hdr []byte) []byte {
+	n := int(binary.LittleEndian.Uint32(hdr))
+	if n > 1024 {
+		return nil
+	}
+	return make([]byte, 4*n+16) // one constant step cannot break the proven bound: no finding
+}
+
+func unboundedCopyN(w io.Writer, r io.Reader, hdr []byte) {
+	n := binary.LittleEndian.Uint64(hdr)
+	io.CopyN(w, r, int64(n)) // want `untrusted value "int64\(n\)" \(from encoding/binary\.Uint64\) sizes io\.CopyN`
+}
+
+func unboundedScratch(hdr []byte) []float64 {
+	n := int(binary.LittleEndian.Uint32(hdr))
+	return scratch.Floats(n) // want `untrusted value "n" \(from encoding/binary\.Uint32\) sizes a scratch\.Floats buffer`
+}
+
+// BitReader mimics the entropy decoder's bit reader; its Read* methods
+// are configured as taint sources.
+type BitReader struct{ bits uint64 }
+
+// ReadBits yields n raw bits; inside the reader's own methods the
+// primitive reads are the implementation, not a source.
+func (b *BitReader) ReadBits(n int) uint64 { return b.bits & (1<<n - 1) }
+
+// ReadPair is exempt from its own ReadBits: no finding on the internal
+// make below.
+func (b *BitReader) ReadPair() []uint64 {
+	n := b.ReadBits(4)
+	return make([]uint64, n)
+}
+
+func unboundedFromReader(br *BitReader, out []uint64) {
+	n := br.ReadBits(16)
+	out[n] = 1 // want `untrusted value "n" \(from BitReader\.ReadBits\) indexes out`
+}
+
+func boundedFromReader(br *BitReader, out []uint64) {
+	n := br.ReadBits(16)
+	if n >= uint64(len(out)) {
+		return
+	}
+	out[n] = 1 // bounded against the buffer: no finding
+}
+
+// Hdr mimics a decoded container header; its integer fields are
+// configured as taint sources.
+type Hdr struct {
+	Total int
+	Name  string
+}
+
+func unboundedHeaderField(h *Hdr) []byte {
+	return make([]byte, h.Total) // want `untrusted value "h\.Total" \(from header field Hdr\.Total\) sizes make`
+}
+
+func boundedHeaderField(h *Hdr) []byte {
+	if h.Total < 0 || h.Total > 1<<20 {
+		return nil
+	}
+	return make([]byte, h.Total) // range-checked: no finding
+}
+
+func localStructIsClean() []byte {
+	h := &Hdr{Total: 64}
+	return make([]byte, h.Total) // locally built header, fields trusted: no finding
+}
+
+func zeroValueIsClean() []byte {
+	var h Hdr
+	h.Total = 32
+	return make([]byte, h.Total) // zero value plus trusted store: no finding
+}
+
+func loopBoundIsClean(hdr []byte, out []float64) {
+	n := int(binary.LittleEndian.Uint32(hdr))
+	for i := 0; i < n && i < len(out); i++ {
+		out[i] = 0 // the loop condition bounds i: no finding
+	}
+}
+
+func suppressed(hdr []byte) []byte {
+	n := binary.LittleEndian.Uint32(hdr)
+	return make([]byte, n) //stlint:ignore taintlen corpus demonstrates suppression
+}

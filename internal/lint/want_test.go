@@ -114,13 +114,35 @@ func TestGoldenExportedDoc(t *testing.T) {
 	runGolden(t, "exporteddoc", Config{DocScope: []string{"exporteddoc"}}, ExportedDoc)
 }
 
-// TestGoldenAllAnalyzers runs the full roster over every golden package at
-// once: each corpus is written so that only its own analyzer (plus
-// deliberate cross-hits annotated in the corpus) fires, which catches
-// analyzers bleeding findings into code they should not care about.
-func TestGoldenSuiteHasSixAnalyzers(t *testing.T) {
-	if len(All) != 6 {
-		t.Fatalf("analyzer roster has %d entries, want 6", len(All))
+// The dataflow analyzers opt their corpora in explicitly, mirroring how
+// DefaultConfig scopes them to the pipeline packages.
+func TestGoldenTaintLen(t *testing.T) {
+	runGolden(t, "taintlen", Config{
+		TaintReaders: []string{"BitReader"},
+		TaintStructs: []string{"testdata/taintlen.Hdr"},
+	}, TaintLen)
+}
+
+func TestGoldenScratchPool(t *testing.T) { runGolden(t, "scratchpool", Config{}, ScratchPool) }
+
+func TestGoldenCtxFlow(t *testing.T) {
+	runGolden(t, "ctxflow", Config{CtxScope: []string{"testdata/ctxflow"}}, CtxFlow)
+}
+
+func TestGoldenBudgetOwner(t *testing.T) {
+	runGolden(t, "budgetowner", Config{
+		BudgetScope:  []string{"testdata/budgetowner"},
+		BudgetOwners: []string{"testdata/budgetowner.Owner"},
+	}, BudgetOwner)
+}
+
+// TestGoldenSuiteRoster sanity-checks the full roster: each corpus is
+// written so that only its own analyzer (plus deliberate cross-hits
+// annotated in the corpus) fires, which catches analyzers bleeding
+// findings into code they should not care about.
+func TestGoldenSuiteRoster(t *testing.T) {
+	if len(All) != 10 {
+		t.Fatalf("analyzer roster has %d entries, want 10", len(All))
 	}
 	seen := map[string]bool{}
 	for _, a := range All {

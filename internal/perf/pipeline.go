@@ -145,7 +145,7 @@ func RunPipeline(ctx context.Context, cfg Config, progress io.Writer) ([]Result,
 	if err != nil {
 		return nil, err
 	}
-	defer os.RemoveAll(dir) //stlint:ignore uncheckederr temp-dir cleanup is best-effort
+	defer os.RemoveAll(dir)
 	contPath := filepath.Join(dir, "bench.stw")
 	if err := writeBenchContainer(contPath, comp, w); err != nil {
 		return nil, err
@@ -154,7 +154,7 @@ func RunPipeline(ctx context.Context, cfg Config, progress io.Writer) ([]Result,
 	if err != nil {
 		return nil, err
 	}
-	defer reader.Close() //stlint:ignore uncheckederr read-only handle released at process exit anyway
+	defer reader.Close()
 	encodedBytes, err := reader.WindowSizeBytes(0)
 	if err != nil {
 		return nil, err
@@ -164,7 +164,7 @@ func RunPipeline(ctx context.Context, cfg Config, progress io.Writer) ([]Result,
 	if err := srv.Mount("bench", contPath); err != nil {
 		return nil, err
 	}
-	defer srv.Close() //stlint:ignore uncheckederr read-only mounts released at process exit anyway
+	defer srv.Close()
 	handler := srv.Handler()
 	serveSlice := func(t int) error {
 		req := httptest.NewRequest("GET", fmt.Sprintf("/v1/bench/slice?t=%d", t), nil)

@@ -338,7 +338,7 @@ func (s *Solver) TotalEnergy() float64 {
 // the paper's CloverLeaf "energy" variable.
 func (s *Solver) Energy() *grid.Field3D {
 	f := grid.NewField3D(s.n, s.n, s.n)
-	s.EnergyInto(f) //stlint:ignore uncheckederr dims match by construction
+	s.EnergyInto(f)
 	return f
 }
 
@@ -384,7 +384,7 @@ func (s *Solver) VelocityX() *grid.Field3D {
 // Density returns the cell-centered density field.
 func (s *Solver) Density() *grid.Field3D {
 	f := grid.NewField3D(s.n, s.n, s.n)
-	s.DensityInto(f) //stlint:ignore uncheckederr dims match by construction
+	s.DensityInto(f)
 	return f
 }
 

@@ -133,7 +133,7 @@ func (f *Field) VelocityAt(x, y, z, t float64) (u, v, w float64) {
 // field at time t.
 func (f *Field) SampleScalar(nx, ny, nz int, t float64) *grid.Field3D {
 	out := grid.NewField3D(nx, ny, nz)
-	f.SampleScalarInto(out, t) //stlint:ignore uncheckederr dims are valid by construction
+	f.SampleScalarInto(out, t)
 	return out
 }
 

@@ -26,7 +26,7 @@ func (m *Model) Spacing() (dx, dy, dz float64) {
 // sample fills a grid by evaluating fn at every cell center.
 func (m *Model) sample(fn func(x, y, z float64) float64) *grid.Field3D {
 	f := grid.NewField3D(m.cfg.Nx, m.cfg.Ny, m.cfg.Nz)
-	m.sampleInto(f, fn) //stlint:ignore uncheckederr dims match by construction
+	m.sampleInto(f, fn)
 	return f
 }
 
