@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-go bench-smoke bench-diff reproduce examples check fmt-check lint clean
+.PHONY: all build vet test race bench bench-go bench-smoke bench-diff reproduce examples check fmt-check lint docscheck clean
 
 all: build vet test check
 
@@ -19,15 +19,16 @@ all: build vet test check
 # ingest engine (worker budgets must degrade to clean sequential
 # execution), and short fuzz smokes of the container index parser, the
 # 1D wavelet round-trip, the record-frame codec, the gap-marker codec,
-# the entropy coder round-trip, and the coefficient codec block
-# decoders.
-check: vet fmt-check lint bench-smoke
+# the level-offset table parser of the progressive (v4) layout, the
+# entropy coder round-trip, and the coefficient codec block decoders.
+check: vet fmt-check lint docscheck bench-smoke
 	$(GO) test -race ./internal/server ./internal/storage ./internal/compress ./internal/faultio ./internal/transform ./internal/core ./internal/par ./internal/codec ./internal/entropy ./internal/ingest ./internal/lint
 	GOMAXPROCS=1 $(GO) test ./internal/par ./internal/transform ./internal/compress ./internal/core ./internal/codec ./internal/entropy ./internal/ingest
 	$(GO) test -run=NONE -fuzz=FuzzOpenContainer -fuzztime=10s ./internal/storage
 	$(GO) test -run=NONE -fuzz=FuzzWaveletRoundtrip -fuzztime=5s ./internal/wavelet
 	$(GO) test -run=NONE -fuzz=FuzzRecordFrame -fuzztime=5s ./internal/core
 	$(GO) test -run=NONE -fuzz=FuzzGapMarker -fuzztime=5s ./internal/core
+	$(GO) test -run=NONE -fuzz=FuzzLevelTable -fuzztime=5s ./internal/core
 	$(GO) test -run=NONE -fuzz=FuzzEntropyRoundtrip -fuzztime=5s ./internal/entropy
 	$(GO) test -run=NONE -fuzz=FuzzCodecDecode -fuzztime=5s ./internal/codec
 
@@ -39,6 +40,12 @@ check: vet fmt-check lint bench-smoke
 # any suppression that has gone stale.
 lint:
 	$(GO) run ./cmd/stlint ./...
+
+# Docs-drift greplint: every flag the operator docs mention must exist in
+# its binary (parsed from the cmd/* flag registrations). Undocumented
+# flags are listed as warnings, not failures.
+docscheck:
+	$(GO) run ./cmd/docscheck
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \

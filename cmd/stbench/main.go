@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	stbench [flags] {fig2|fig2c|fig3|table1|table2|table3|all}
+//	stbench [flags] {fig2|fig2c|fig3|table1|table2|table3|progressive|all}
 //	stbench perf [-quick] [-out FILE] [-trace FILE]
 //	stbench perf -validate FILE
 //	stbench compare -baseline FILE [-current FILE] [-max-regress 10%] [-best 3]
@@ -217,7 +217,7 @@ func main() {
 	quiet := flag.Bool("q", false, "suppress progress output")
 	outdir := flag.String("outdir", "stbench-out", "directory for image artifacts (fig4, fig5)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: stbench [flags] {fig2|fig2c|fig3|fig4|fig5|table1|table2|table3|compare|ablation|ftle|seam|p3|entropy|all}\n")
+		fmt.Fprintf(os.Stderr, "usage: stbench [flags] {fig2|fig2c|fig3|fig4|fig5|table1|table2|table3|compare|ablation|ftle|seam|p3|entropy|progressive|all}\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -305,6 +305,12 @@ func main() {
 				return err
 			}
 			r.Write(os.Stdout)
+		case "progressive":
+			r, err := experiments.RunProgressiveStudy(sc, progress)
+			if err != nil {
+				return err
+			}
+			r.Write(os.Stdout)
 		case "fig4":
 			path, g3, g4, err := experiments.RunFig4(sc, *outdir, progress)
 			if err != nil {
@@ -321,7 +327,7 @@ func main() {
 			fmt.Printf("cloud isosurface areas at 64:1 — orig %.4g, 3D %.4g (%.2f%%), 4D %.4g (%.2f%%)\n",
 				ao, a3, (1-a3/ao)*100, a4, (1-a4/ao)*100)
 		case "all":
-			for _, w := range []string{"fig2", "fig2c", "fig3", "fig4", "fig5", "table1", "table2", "table3", "compare", "ablation", "ftle", "seam", "p3", "entropy"} {
+			for _, w := range []string{"fig2", "fig2c", "fig3", "fig4", "fig5", "table1", "table2", "table3", "compare", "ablation", "ftle", "seam", "p3", "entropy", "progressive"} {
 				if err := run(w); err != nil {
 					return err
 				}

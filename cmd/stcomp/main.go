@@ -82,14 +82,15 @@ func usage() {
   stcomp compress -dims NXxNYxNZ [-ratio N] [-window T] [-mode 3d|4d]
          [-skernel K] [-tkernel K] [-codec sparse|deflate|entropy]
          [-entropy-bits N] [-entropy-error-bound X] [-entropy-lossless]
+         [-progressive] [-max-err X] [-roi x0,y0,z0,x1,y1,z1 -roi-max-err X]
          [-fsync never|window|close] [-atomic]
          [-trace FILE] -out FILE slice0.raw [slice1.raw ...]
   stcomp decompress -in FILE -prefix PREFIX
   stcomp info -in FILE
   stcomp ingest -source ghost|cloverleaf|tornado|synth -dims NXxNYxNZ
-         -slices N [-window T] [-mode 3d|4d] [-ratio N] [-workers N]
-         [-policy stall|degrade|shed] [-mem-budget BYTES] [-deadline D]
-         [-ladder R1,R2,...] [-stage DIR] [-dt X] [-seed N]
+         -slices N [-window T] [-mode 3d|4d] [-ratio N] [-progressive]
+         [-workers N] [-policy stall|degrade|shed] [-mem-budget BYTES]
+         [-deadline D] [-ladder R1,R2,...] [-stage DIR] [-dt X] [-seed N]
          [-fsync never|window|close] -out FILE`)
 }
 
@@ -118,6 +119,10 @@ func runCompress(args []string) error {
 	skernel := fs.String("skernel", "cdf97", "spatial wavelet kernel")
 	tkernel := fs.String("tkernel", "cdf97", "temporal wavelet kernel")
 	targetNRMSE := fs.Float64("target-nrmse", 0, "if > 0, pick the ratio per window to meet this NRMSE instead of -ratio")
+	progressive := fs.Bool("progressive", false, "store windows level-major (v4) so readers can stream a coarse preview from a byte prefix")
+	maxErr := fs.Float64("max-err", 0, "if > 0, error-bounded mode: threshold adaptively so max absolute error <= bound everywhere (replaces -ratio)")
+	roiStr := fs.String("roi", "", "region of interest x0,y0,z0,x1,y1,z1 (half-open box) held to -roi-max-err; requires -max-err")
+	roiMaxErr := fs.Float64("roi-max-err", 0, "tighter max absolute error bound inside the -roi box")
 	codecName := fs.String("codec", "sparse", "coefficient backend: sparse, deflate, or entropy (see OPERATIONS.md)")
 	entropyBits := fs.Int("entropy-bits", 16, "entropy codec: magnitude bits per quantized value (adaptive per-block step)")
 	entropyBound := fs.Float64("entropy-error-bound", 0, "entropy codec: absolute quantization error bound (overrides -entropy-bits step)")
@@ -152,6 +157,17 @@ func runCompress(args []string) error {
 		Ratio:          *ratio,
 		SpatialLevels:  -1,
 		TemporalLevels: -1,
+		Progressive:    *progressive,
+		MaxErr:         *maxErr,
+	}
+	if *roiStr != "" {
+		roi, err := parseROI(*roiStr, *roiMaxErr)
+		if err != nil {
+			return err
+		}
+		opts.ROI = roi
+	} else if *roiMaxErr > 0 {
+		return fmt.Errorf("-roi-max-err requires -roi")
 	}
 	switch strings.ToLower(*mode) {
 	case "3d":
@@ -206,6 +222,9 @@ func runCompress(args []string) error {
 	}
 
 	if *targetNRMSE > 0 {
+		if *maxErr > 0 {
+			return fmt.Errorf("-target-nrmse and -max-err are different rate-control modes; pick one")
+		}
 		if err := compressToTarget(cw, opts, dims, fs.Args(), *targetNRMSE); err != nil {
 			return err
 		}
@@ -316,6 +335,36 @@ func compressToTarget(cw *storage.ContainerWriter, opts core.Options, dims grid.
 	return nil
 }
 
+// parseROI parses the -roi flag: six comma-separated grid coordinates
+// x0,y0,z0,x1,y1,z1 forming a half-open box, paired with its -roi-max-err
+// bound.
+func parseROI(s string, bound float64) (*core.ROIBounds, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 6 {
+		return nil, fmt.Errorf("-roi must be x0,y0,z0,x1,y1,z1, got %q", s)
+	}
+	var vals [6]int
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad ROI coordinate %q", p)
+		}
+		vals[i] = v
+	}
+	if bound <= 0 {
+		return nil, fmt.Errorf("-roi requires -roi-max-err > 0")
+	}
+	roi := &core.ROIBounds{
+		X0: vals[0], Y0: vals[1], Z0: vals[2],
+		X1: vals[3], Y1: vals[4], Z1: vals[5],
+		MaxErr: bound,
+	}
+	if !roi.Valid() {
+		return nil, fmt.Errorf("ROI box %q is empty or has a negative origin", s)
+	}
+	return roi, nil
+}
+
 // parseLadder parses the -ladder flag: comma-separated target ratios.
 func parseLadder(s string) ([]float64, error) {
 	if s == "" {
@@ -395,6 +444,7 @@ func runIngest(args []string) error {
 	window := fs.Int("window", 20, "window size (4D mode)")
 	mode := fs.String("mode", "4d", "3d or 4d")
 	ratio := fs.Float64("ratio", 32, "base target compression ratio n:1")
+	progressive := fs.Bool("progressive", false, "store windows level-major (v4); under -policy degrade the engine sheds detail levels before recompressing")
 	workers := fs.Int("workers", 0, "compression pipeline width (0 = GOMAXPROCS)")
 	policy := fs.String("policy", "stall", "backpressure policy: stall, degrade, or shed")
 	memBudget := fs.Int64("mem-budget", 0, "bytes of raw windows allowed in flight (0 = unbounded)")
@@ -442,6 +492,7 @@ func runIngest(args []string) error {
 	opts := core.DefaultOptions()
 	opts.WindowSize = *window
 	opts.Ratio = *ratio
+	opts.Progressive = *progressive
 	switch strings.ToLower(*mode) {
 	case "3d":
 		opts.Mode = core.Spatial3D
@@ -491,9 +542,9 @@ func runIngest(args []string) error {
 	rawBytes := int64(st.SlicesIn) * int64(dims.Len()) * 8
 	fmt.Printf("ingested %d slices (%s raw): %d windows appended, %d shed (%d slices lost, journaled as gaps)\n",
 		st.SlicesIn, fmtBytes(rawBytes), st.WindowsAppended, st.WindowsShed, st.SlicesShed)
-	if st.Backpressure > 0 || st.DegradeSteps > 0 {
-		fmt.Printf("  backpressure: %d events, %d append retries, %d degrade steps (final ratio %g:1), peak %s raw in flight\n",
-			st.Backpressure, st.AppendRetries, st.DegradeSteps, st.FinalRatio, fmtBytes(st.PeakInFlightBytes))
+	if st.Backpressure > 0 || st.DegradeSteps > 0 || st.LevelsShed > 0 {
+		fmt.Printf("  backpressure: %d events, %d append retries, %d detail levels shed, %d degrade steps (final ratio %g:1), peak %s raw in flight\n",
+			st.Backpressure, st.AppendRetries, st.LevelsShed, st.DegradeSteps, st.FinalRatio, fmtBytes(st.PeakInFlightBytes))
 	}
 	if runErr != nil {
 		return fmt.Errorf("ingest aborted: %w (the journal at %s keeps every durably appended window; recover with stfsck)", runErr, *out)
@@ -587,10 +638,14 @@ func runInfo(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("  window %d: %v x %d slices, %v, ratio %g:1, codec %s, kernels %v/%v, levels %d/%d, %s\n",
+		layout := ""
+		if cwin.Progressive() {
+			layout = fmt.Sprintf(", progressive (%d level groups)", len(cwin.LevelBlocks))
+		}
+		fmt.Printf("  window %d: %v x %d slices, %v, ratio %g:1, codec %s, kernels %v/%v, levels %d/%d%s, %s\n",
 			i, cwin.Dims, cwin.NumSlices(), cwin.Opts.Mode, cwin.Opts.Ratio,
 			cwin.Codec().Name(), cwin.Opts.SpatialKernel, cwin.Opts.TemporalKernel,
-			cwin.SpatialLevels, cwin.TemporalLevels, fmtBytes(sz))
+			cwin.SpatialLevels, cwin.TemporalLevels, layout, fmtBytes(sz))
 	}
 	return nil
 }

@@ -56,12 +56,45 @@ type CompressedWindow struct {
 	SpatialLevels  int
 	TemporalLevels int
 	// Blocks holds one encoded coefficient block per time slice, produced
-	// by the window's codec (Opts.Codec; sparse when unset).
+	// by the window's codec (Opts.Codec; sparse when unset). Empty for
+	// progressive windows, which carry LevelBlocks instead.
 	Blocks []codec.Block
+	// LevelBlocks holds the level-major progressive encoding: one row
+	// per level group (coarsest first, see LevelGroups), one block per
+	// time slice within each row. Rows may stop short of
+	// SpatialLevels+1 when finer levels were shed. Exactly one of
+	// Blocks / LevelBlocks is populated.
+	LevelBlocks [][]codec.Block
+	// MaxErrAchieved / ROIMaxErrAchieved record the verified maximum
+	// absolute reconstruction errors (background / ROI) measured at
+	// compress time by the error-bounded mode. Informational only: they
+	// are not serialized. Zero when Ratio-mode thresholding was used.
+	MaxErrAchieved    float64
+	ROIMaxErrAchieved float64
 }
 
 // NumSlices returns the number of time slices in the window.
-func (cw *CompressedWindow) NumSlices() int { return len(cw.Blocks) }
+func (cw *CompressedWindow) NumSlices() int {
+	if len(cw.Blocks) > 0 {
+		return len(cw.Blocks)
+	}
+	if len(cw.LevelBlocks) > 0 {
+		return len(cw.LevelBlocks[0])
+	}
+	return 0
+}
+
+// eachBlock visits every encoded block of the window in either layout.
+func (cw *CompressedWindow) eachBlock(fn func(codec.Block)) {
+	for _, b := range cw.Blocks {
+		fn(b)
+	}
+	for _, row := range cw.LevelBlocks {
+		for _, b := range row {
+			fn(b)
+		}
+	}
+}
 
 // Codec returns the coefficient backend the window's blocks belong to.
 func (cw *CompressedWindow) Codec() codec.Codec { return cw.Opts.codec() }
@@ -70,9 +103,7 @@ func (cw *CompressedWindow) Codec() codec.Codec { return cw.Opts.codec() }
 // (headers included).
 func (cw *CompressedWindow) EncodedSizeBytes() int64 {
 	var n int64
-	for _, b := range cw.Blocks {
-		n += b.EncodedSizeBytes()
-	}
+	cw.eachBlock(func(b codec.Block) { n += b.EncodedSizeBytes() })
 	return n
 }
 
@@ -82,13 +113,13 @@ func (cw *CompressedWindow) EncodedSizeBytes() int64 {
 // their true encoded size instead, which never overstates the advantage.
 func (cw *CompressedWindow) IdealSizeBytes() int64 {
 	var n int64
-	for _, b := range cw.Blocks {
+	cw.eachBlock(func(b codec.Block) {
 		if is, ok := b.(codec.IdealSizer); ok {
 			n += is.IdealSizeBytes()
 		} else {
 			n += b.EncodedSizeBytes()
 		}
-	}
+	})
 	return n
 }
 
@@ -98,17 +129,25 @@ func (cw *CompressedWindow) IdealSizeBytes() int64 {
 // entropy-coded backends gain nothing from it) report their encoded size.
 func (cw *CompressedWindow) DeflatedSizeBytes() (int64, error) {
 	var n int64
-	for _, b := range cw.Blocks {
+	var firstErr error
+	cw.eachBlock(func(b codec.Block) {
+		if firstErr != nil {
+			return
+		}
 		ds, ok := b.(codec.DeflatedSizer)
 		if !ok {
 			n += b.EncodedSizeBytes()
-			continue
+			return
 		}
 		d, err := ds.DeflatedSizeBytes()
 		if err != nil {
-			return 0, err
+			firstErr = err
+			return
 		}
 		n += d
+	})
+	if firstErr != nil {
+		return 0, firstErr
 	}
 	return n, nil
 }
@@ -116,9 +155,7 @@ func (cw *CompressedWindow) DeflatedSizeBytes() (int64, error) {
 // RetainedCoefficients returns the total number of surviving coefficients.
 func (cw *CompressedWindow) RetainedCoefficients() int {
 	n := 0
-	for _, b := range cw.Blocks {
-		n += b.Retained()
-	}
+	cw.eachBlock(func(b codec.Block) { n += b.Retained() })
 	return n
 }
 
@@ -168,38 +205,62 @@ func (c *Compressor) CompressWindowCtx(ctx context.Context, w *grid.Window) (*Co
 		return nil, fmt.Errorf("core: forward transform: %w", err)
 	}
 
-	_, spTh := obs.Start(ctx, "core.threshold")
-	start := time.Now()
-	if err := c.threshold(datas, workers); err != nil {
-		spTh.End()
-		return nil, err
-	}
-	observeThroughput("compress.threshold_mb_per_s", rawBytes, time.Since(start))
-	spTh.End()
-
-	_, spEnc := obs.Start(ctx, "core.encode")
-	start = time.Now()
 	cdc := c.opts.codec()
-	blocks, err := cdc.EncodeSlices(datas, workers)
-	if err != nil {
-		spEnc.End()
-		return nil, fmt.Errorf("core: %s encode: %w", cdc.Name(), err)
-	}
 	cw := &CompressedWindow{
 		Dims:           work.Dims,
 		Times:          append([]float64(nil), work.Times...),
 		Opts:           c.opts,
 		SpatialLevels:  spec.SpatialLevels,
 		TemporalLevels: spec.TemporalLevels,
-		Blocks:         blocks,
 	}
-	elapsed := time.Since(start)
-	observeThroughput("compress.encode_mb_per_s", rawBytes, elapsed)
-	observeThroughput("codec.encode_mb_per_s."+cdc.Name(), rawBytes, elapsed)
+
+	if c.opts.MaxErr > 0 {
+		// Error-bounded mode: threshold and encode fuse into one
+		// verified loop, because the bound is checked on the exact
+		// encoded stream (codec quantization included).
+		_, spTh := obs.Start(ctx, "core.threshold_maxerr")
+		start := time.Now()
+		err := c.thresholdMaxErr(w, datas, spec, workers, cw)
+		spTh.End()
+		if err != nil {
+			return nil, err
+		}
+		observeThroughput("compress.threshold_mb_per_s", rawBytes, time.Since(start))
+	} else {
+		_, spTh := obs.Start(ctx, "core.threshold")
+		start := time.Now()
+		if err := c.threshold(datas, workers); err != nil {
+			spTh.End()
+			return nil, err
+		}
+		observeThroughput("compress.threshold_mb_per_s", rawBytes, time.Since(start))
+		spTh.End()
+
+		_, spEnc := obs.Start(ctx, "core.encode")
+		start = time.Now()
+		if c.opts.Progressive {
+			levelBlocks, err := encodeProgressive(cdc, datas, work.Dims, spec.SpatialLevels, workers)
+			if err != nil {
+				spEnc.End()
+				return nil, err
+			}
+			cw.LevelBlocks = levelBlocks
+		} else {
+			blocks, err := cdc.EncodeSlices(datas, workers)
+			if err != nil {
+				spEnc.End()
+				return nil, fmt.Errorf("core: %s encode: %w", cdc.Name(), err)
+			}
+			cw.Blocks = blocks
+		}
+		elapsed := time.Since(start)
+		observeThroughput("compress.encode_mb_per_s", rawBytes, elapsed)
+		observeThroughput("codec.encode_mb_per_s."+cdc.Name(), rawBytes, elapsed)
+		spEnc.End()
+	}
 	if enc := cw.EncodedSizeBytes(); enc > 0 {
 		obs.Default().Gauge("codec.ratio." + cdc.Name()).Set(float64(rawBytes) / float64(enc))
 	}
-	spEnc.End()
 	obs.Default().Counter("core.compress_windows_total").Add(1)
 	return cw, nil
 }
@@ -252,6 +313,12 @@ func DecompressCtx(ctx context.Context, cw *CompressedWindow) (*grid.Window, err
 	}
 	if !cw.Dims.Valid() {
 		return nil, fmt.Errorf("core: invalid dims %v", cw.Dims)
+	}
+	if cw.Progressive() {
+		// Full-resolution decode of a level-major window: scatter every
+		// group and invert — the operations (and bits) match the legacy
+		// path exactly.
+		return DecompressLevelsCtx(ctx, cw, cw.SpatialLevels)
 	}
 	ctx, sp := obs.Start(ctx, "core.decompress")
 	defer sp.End()

@@ -109,3 +109,59 @@ func FuzzReadCompressedWindow(f *testing.F) {
 		}
 	})
 }
+
+// FuzzLevelTable hammers the progressive (v4) level-offset table parser
+// and the partial-decode read path: forged group counts, lengths, and
+// checksums must fail typed — never panic, never allocate from an
+// attacker-controlled length — and anything the parser accepts must
+// decode (fully and at level 0) without panicking.
+func FuzzLevelTable(f *testing.F) {
+	// Seed with a real progressive window.
+	w := coherentWindow(grid.Dims{Nx: 6, Ny: 5, Nz: 4}, 6, 0.2)
+	opts := DefaultOptions()
+	opts.WindowSize = 6
+	opts.Ratio = 4
+	opts.Progressive = true
+	comp, err := New(opts)
+	if err != nil {
+		f.Fatal(err)
+	}
+	cw, err := comp.CompressWindow(w)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := cw.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("STWV"))
+	f.Add([]byte("STLT"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if wi, table, start, err := ReadWindowLevelTable(bytes.NewReader(data)); err == nil {
+			if len(table.Extents) < 1 || len(table.Extents) > wi.SpatialLevels+1 {
+				t.Fatalf("accepted table with %d groups for %d levels", len(table.Extents), wi.SpatialLevels)
+			}
+			if start < 40 {
+				t.Fatalf("accepted payload start %d before the header end", start)
+			}
+			if table.PrefixBytes(len(table.Extents)-1) < 0 {
+				t.Fatal("accepted table with negative total payload")
+			}
+		}
+		if cw, err := ReadCompressedWindowLevels(bytes.NewReader(data), 0); err == nil {
+			if _, err := DecompressLevels(cw, 0); err != nil {
+				_ = err // partial decode may fail typed, never panic
+			}
+		}
+		cw, err := ReadCompressedWindow(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if _, err := Decompress(cw); err != nil {
+			return
+		}
+	})
+}

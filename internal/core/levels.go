@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+
+	"stwave/internal/grid"
+	"stwave/internal/transform"
+)
+
+// LevelGroup describes one independently addressable band group of the
+// level-major progressive layout. Group 0 is the approximation cube left
+// after all spatial levels; group g > 0 is the detail shell produced by
+// spatial level L-g+1 — the coefficients inside cube Outer but outside
+// cube Inner of the Mallat corner layout. Groups are ordered coarsest
+// first, so a byte prefix of the level-major payload always carries a
+// complete low-resolution reconstruction.
+type LevelGroup struct {
+	// Outer is the approximation-cube extent bounding the group
+	// (CoarseDims of the grid at L-g levels).
+	Outer grid.Dims
+	// Inner is the next-coarser cube excluded from the group; the zero
+	// value for group 0, whose shell is the whole approximation cube.
+	Inner grid.Dims
+	// Count is the number of coefficients in the group.
+	Count int
+}
+
+// LevelGroups partitions a grid's Mallat corner layout into
+// spatialLevels+1 level groups: the approximation cube plus one detail
+// shell per level, coarsest first. The group counts always sum to
+// d.Len(), so gathering every group is a permutation of the full
+// coefficient set.
+func LevelGroups(d grid.Dims, spatialLevels int) []LevelGroup {
+	if spatialLevels < 0 {
+		spatialLevels = 0
+	}
+	groups := make([]LevelGroup, spatialLevels+1)
+	for g := 0; g <= spatialLevels; g++ {
+		outer := transform.CoarseDims(d, spatialLevels-g)
+		lg := LevelGroup{Outer: outer}
+		if g > 0 {
+			lg.Inner = transform.CoarseDims(d, spatialLevels-g+1)
+		}
+		lg.Count = outer.Len() - lg.Inner.Len()
+		groups[g] = lg
+	}
+	return groups
+}
+
+// groupRows invokes fn(srcRowBase, x0, n) for every canonical-order row
+// run of the group within a grid of dims rowDims, where srcRowBase is
+// the flat index of (0, y, z) in that grid, x0 the first X coordinate of
+// the run, and n its length. rowDims must contain the group's Outer
+// cube. Iteration order is z-major then y — the canonical gather order
+// shared by the encoder, the decoder, and the format specification.
+func groupRows(g LevelGroup, rowDims grid.Dims, fn func(rowBase, x0, n int)) {
+	for z := 0; z < g.Outer.Nz; z++ {
+		for y := 0; y < g.Outer.Ny; y++ {
+			x0 := 0
+			if z < g.Inner.Nz && y < g.Inner.Ny {
+				x0 = g.Inner.Nx
+			}
+			n := g.Outer.Nx - x0
+			if n <= 0 {
+				continue
+			}
+			fn((z*rowDims.Ny+y)*rowDims.Nx, x0, n)
+		}
+	}
+}
+
+// gatherGroup copies the group's coefficients out of a full-grid Mallat
+// layout (dims full) into dst in canonical order, returning the number
+// of coefficients written. dst must have room for g.Count values.
+func gatherGroup(dst, src []float64, full grid.Dims, g LevelGroup) int {
+	n := 0
+	groupRows(g, full, func(rowBase, x0, runLen int) {
+		copy(dst[n:n+runLen], src[rowBase+x0:rowBase+x0+runLen])
+		n += runLen
+	})
+	return n
+}
+
+// scatterGroup writes the group's canonical-order coefficients from src
+// into a Mallat layout of dims sub. sub may be any approximation cube
+// that contains g.Outer — scattering into CoarseDims(d, L-K) places the
+// group at the same (x, y, z) coordinates it occupied in the full grid,
+// which is what makes partial reconstruction a plain K-level inverse.
+func scatterGroup(dst []float64, sub grid.Dims, src []float64, g LevelGroup) int {
+	n := 0
+	groupRows(g, sub, func(rowBase, x0, runLen int) {
+		copy(dst[rowBase+x0:rowBase+x0+runLen], src[n:n+runLen])
+		n += runLen
+	})
+	return n
+}
+
+// validateLevelGeometry checks that a group partition is consistent with
+// the grid it claims to cover — the guard both serialization paths run
+// before trusting group counts.
+func validateLevelGeometry(d grid.Dims, spatialLevels int, numGroups int) error {
+	if numGroups < 1 || numGroups > spatialLevels+1 {
+		return fmt.Errorf("core: %d level groups outside [1, %d] for %d spatial levels",
+			numGroups, spatialLevels+1, spatialLevels)
+	}
+	if !d.Valid() {
+		return fmt.Errorf("core: invalid dims %v", d)
+	}
+	return nil
+}

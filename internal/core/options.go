@@ -81,6 +81,46 @@ type Options struct {
 	// coefficients and serializes them (recorded per window, so readers
 	// resolve it from the stream). Nil means codec.Default() (sparse).
 	Codec codec.Codec
+	// Progressive stores windows in the level-major (v4) layout: the
+	// approximation cube and each detail shell become independently
+	// addressable byte ranges, so readers can fetch and decode a coarse
+	// reconstruction from a byte prefix and refine incrementally (see
+	// DecompressLevels / Refiner). Costs a level-offset table plus one
+	// codec block header per (level, slice) pair; legacy readers reject
+	// progressive windows typed rather than misparsing them.
+	Progressive bool
+	// MaxErr, when > 0, replaces the Ratio budget with an error-bounded
+	// mode: coefficients are thresholded adaptively per band and the
+	// bound is verified on the exact encoded stream (inverse transform
+	// of the codec roundtrip), tightening until the maximum absolute
+	// reconstruction error is <= MaxErr everywhere. Ratio is ignored.
+	MaxErr float64
+	// ROI optionally designates a region of interest that must meet a
+	// tighter error bound than the MaxErr background. Requires MaxErr
+	// mode.
+	ROI *ROIBounds
+}
+
+// ROIBounds is a half-open box [X0,X1)x[Y0,Y1)x[Z0,Z1) in grid
+// coordinates with its own error bound — the feature-preservation knob
+// of the error-bounded mode: background coefficients are thresholded
+// against Options.MaxErr, coefficients whose spatial support touches the
+// box against the tighter MaxErr here.
+type ROIBounds struct {
+	X0, Y0, Z0 int
+	X1, Y1, Z1 int
+	MaxErr     float64
+}
+
+// Valid reports whether the box is non-empty with non-negative origin.
+func (r ROIBounds) Valid() bool {
+	return r.X0 >= 0 && r.Y0 >= 0 && r.Z0 >= 0 &&
+		r.X1 > r.X0 && r.Y1 > r.Y0 && r.Z1 > r.Z0
+}
+
+// Contains reports whether grid point (x, y, z) lies in the box.
+func (r ROIBounds) Contains(x, y, z int) bool {
+	return x >= r.X0 && x < r.X1 && y >= r.Y0 && y < r.Y1 && z >= r.Z0 && z < r.Z1
 }
 
 // DefaultOptions returns the paper's "sweet spot" configuration from
@@ -122,6 +162,22 @@ func (o Options) Validate() error {
 	}
 	if o.TemporalLevels < -1 {
 		return fmt.Errorf("core: invalid temporal levels %d", o.TemporalLevels)
+	}
+	if o.MaxErr < 0 {
+		return fmt.Errorf("core: negative max error bound %g", o.MaxErr)
+	}
+	if o.ROI != nil {
+		if o.MaxErr <= 0 {
+			return fmt.Errorf("core: ROI bounds require error-bounded mode (MaxErr > 0)")
+		}
+		if !o.ROI.Valid() {
+			return fmt.Errorf("core: invalid ROI box [%d,%d)x[%d,%d)x[%d,%d)",
+				o.ROI.X0, o.ROI.X1, o.ROI.Y0, o.ROI.Y1, o.ROI.Z0, o.ROI.Z1)
+		}
+		if o.ROI.MaxErr <= 0 || o.ROI.MaxErr > o.MaxErr {
+			return fmt.Errorf("core: ROI max error %g must be in (0, %g] (no looser than background)",
+				o.ROI.MaxErr, o.MaxErr)
+		}
 	}
 	return nil
 }

@@ -23,20 +23,45 @@ func DecompressSlice(cw *CompressedWindow, slice int) (*grid.Field3D, error) {
 		return nil, fmt.Errorf("core: invalid dims %v", cw.Dims)
 	}
 	w := grid.NewWindow(cw.Dims)
-	for i, b := range cw.Blocks {
-		if b.Total() != cw.Dims.Len() {
-			return nil, fmt.Errorf("core: block %d has %d coefficients, grid needs %d", i, b.Total(), cw.Dims.Len())
-		}
-		f := grid.NewField3D(cw.Dims.Nx, cw.Dims.Ny, cw.Dims.Nz)
-		if err := b.DecodeInto(f.Data, 1); err != nil {
+	if cw.Progressive() {
+		// Level-major windows decode through the group scatter; shed
+		// groups contribute zero detail. The zero-filled fields double
+		// as the scatter target. Shapes are validated before any
+		// dims-derived allocation.
+		if err := validateLevelBlocks(cw); err != nil {
 			return nil, err
 		}
-		t := float64(i)
-		if cw.Times != nil && i < len(cw.Times) {
-			t = cw.Times[i]
+		datas := make([][]float64, cw.NumSlices())
+		for i := range datas {
+			f := grid.NewField3D(cw.Dims.Nx, cw.Dims.Ny, cw.Dims.Nz)
+			datas[i] = f.Data
+			t := float64(i)
+			if cw.Times != nil && i < len(cw.Times) {
+				t = cw.Times[i]
+			}
+			if err := w.Append(f, t); err != nil {
+				return nil, err
+			}
 		}
-		if err := w.Append(f, t); err != nil {
+		if err := scatterLevels(cw, datas, cw.Dims, 0, cw.SpatialLevels, 1); err != nil {
 			return nil, err
+		}
+	} else {
+		for i, b := range cw.Blocks {
+			if b.Total() != cw.Dims.Len() {
+				return nil, fmt.Errorf("core: block %d has %d coefficients, grid needs %d", i, b.Total(), cw.Dims.Len())
+			}
+			f := grid.NewField3D(cw.Dims.Nx, cw.Dims.Ny, cw.Dims.Nz)
+			if err := b.DecodeInto(f.Data, 1); err != nil {
+				return nil, err
+			}
+			t := float64(i)
+			if cw.Times != nil && i < len(cw.Times) {
+				t = cw.Times[i]
+			}
+			if err := w.Append(f, t); err != nil {
+				return nil, err
+			}
 		}
 	}
 	if err := transform.InverseTemporal(w, cw.Opts.TemporalKernel, cw.TemporalLevels, cw.Opts.Workers); err != nil {

@@ -18,7 +18,11 @@ import (
 //	[4]     codec format ID (1 = sparse, 2 = deflate, 3 = entropy; the
 //	        historical "format version" byte — version 1 files were raw
 //	        sparse blocks and version 2 DEFLATE-framed blocks, so old
-//	        containers decode unchanged through the codec registry)
+//	        containers decode unchanged through the codec registry).
+//	        The high bit (0x80) marks the v4 progressive (level-major)
+//	        layout, which inserts a level-offset table after the slice
+//	        times — see progressive.go. Pre-v4 readers reject the
+//	        combined byte as an unknown format version.
 //	[5]     mode (0 = 3D, 1 = 4D)
 //	[6]     spatial kernel
 //	[7]     temporal kernel
@@ -54,30 +58,33 @@ const (
 	maxHeaderSlices = 1 << 20 // time slices per window
 )
 
-func (cw *CompressedWindow) writeTo(w io.Writer, cdc codec.Codec) (int64, error) {
-	// Reject fields the fixed-width header cannot represent before any
-	// bytes are written: a truncated mode, level count, or dimension
-	// would pass every downstream checksum (computed over the wrong
-	// bytes) and only fail at reconstruction.
+// buildHeader validates and assembles the 40-byte common header. The
+// caller ORs progressiveFlag into byte 4 for the level-major layout.
+// Rejecting unrepresentable fields before any bytes are written matters:
+// a truncated mode, level count, or dimension would pass every
+// downstream checksum (computed over the wrong bytes) and only fail at
+// reconstruction.
+func (cw *CompressedWindow) buildHeader(cdc codec.Codec, numSlices int) ([]byte, error) {
 	if cw.Opts.Mode < 0 || cw.Opts.Mode > 0xff ||
 		cw.Opts.SpatialKernel < 0 || cw.Opts.SpatialKernel > 0xff ||
 		cw.Opts.TemporalKernel < 0 || cw.Opts.TemporalKernel > 0xff {
-		return 0, fmt.Errorf("core: mode %d or kernel %d/%d outside header byte range",
+		return nil, fmt.Errorf("core: mode %d or kernel %d/%d outside header byte range",
 			cw.Opts.Mode, cw.Opts.SpatialKernel, cw.Opts.TemporalKernel)
 	}
 	if cw.SpatialLevels < 0 || cw.SpatialLevels > maxHeaderLevels ||
 		cw.TemporalLevels < 0 || cw.TemporalLevels > maxHeaderLevels {
-		return 0, fmt.Errorf("core: decomposition levels %d/%d outside header range [0, %d]",
+		return nil, fmt.Errorf("core: decomposition levels %d/%d outside header range [0, %d]",
 			cw.SpatialLevels, cw.TemporalLevels, maxHeaderLevels)
 	}
 	if cw.Dims.Nx > maxHeaderAxis || cw.Dims.Ny > maxHeaderAxis || cw.Dims.Nz > maxHeaderAxis {
-		return 0, fmt.Errorf("core: dims %v exceed header axis cap %d", cw.Dims, maxHeaderAxis)
+		return nil, fmt.Errorf("core: dims %v exceed header axis cap %d", cw.Dims, maxHeaderAxis)
 	}
-	if len(cw.Blocks) > maxHeaderSlices {
-		return 0, fmt.Errorf("core: %d slices exceed header cap %d", len(cw.Blocks), maxHeaderSlices)
+	if numSlices > maxHeaderSlices {
+		return nil, fmt.Errorf("core: %d slices exceed header cap %d", numSlices, maxHeaderSlices)
 	}
-	bw := bufio.NewWriterSize(w, 1<<16)
-	var written int64
+	if id := cdc.ID(); byte(id)&progressiveFlag != 0 {
+		return nil, fmt.Errorf("core: codec ID %d collides with the progressive flag bit", id)
+	}
 	hdr := make([]byte, 40)
 	copy(hdr[0:4], magic[:])
 	hdr[4] = byte(cdc.ID())
@@ -90,7 +97,20 @@ func (cw *CompressedWindow) writeTo(w io.Writer, cdc codec.Codec) (int64, error)
 	binary.LittleEndian.PutUint32(hdr[24:28], uint32(cw.Dims.Nx))
 	binary.LittleEndian.PutUint32(hdr[28:32], uint32(cw.Dims.Ny))
 	binary.LittleEndian.PutUint32(hdr[32:36], uint32(cw.Dims.Nz))
-	binary.LittleEndian.PutUint32(hdr[36:40], uint32(len(cw.Blocks)))
+	binary.LittleEndian.PutUint32(hdr[36:40], uint32(numSlices))
+	return hdr, nil
+}
+
+func (cw *CompressedWindow) writeTo(w io.Writer, cdc codec.Codec) (int64, error) {
+	if cw.Progressive() {
+		return cw.writeToProgressive(w, cdc)
+	}
+	hdr, err := cw.buildHeader(cdc, len(cw.Blocks))
+	if err != nil {
+		return 0, err
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var written int64
 	n, err := bw.Write(hdr)
 	written += int64(n)
 	if err != nil {
@@ -134,6 +154,14 @@ type WindowInfo struct {
 	// Codec is the coefficient backend the window's blocks are encoded
 	// with (the header's format ID byte, already registry-validated).
 	Codec codec.ID
+	// SpatialLevels is the spatial decomposition depth recorded in the
+	// header — the number of addressable refinement levels of a
+	// progressive window.
+	SpatialLevels int
+	// Progressive marks a v4 level-major window: its payload is grouped
+	// by detail level behind a level-offset table, so byte prefixes
+	// decode to coarse reconstructions (see ReadWindowLevelTable).
+	Progressive bool
 	// Gap is non-nil when the container entry is a journaled gap marker
 	// (a window shed under backpressure) rather than a compressed window.
 	// For gaps NumSlices carries the dropped slice count so timeline
@@ -181,11 +209,17 @@ func ReadWindowInfo(r io.Reader) (WindowInfo, error) {
 		Mode:           Mode(hdr[5]),
 		SpatialKernel:  wavelet.Kernel(hdr[6]),
 		TemporalKernel: wavelet.Kernel(hdr[7]),
-		Codec:          codec.ID(hdr[4]),
+		Codec:          codec.ID(hdr[4] &^ progressiveFlag),
+		Progressive:    hdr[4]&progressiveFlag != 0,
 	}
 	if _, err := codec.ByID(wi.Codec); err != nil {
 		return WindowInfo{}, fmt.Errorf("core: unsupported format version %d: %w", hdr[4], err)
 	}
+	spatialLevels := binary.LittleEndian.Uint32(hdr[8:12])
+	if spatialLevels > maxHeaderLevels {
+		return WindowInfo{}, fmt.Errorf("core: implausible spatial levels %d in header", spatialLevels)
+	}
+	wi.SpatialLevels = int(spatialLevels)
 	wi.Dims = grid.Dims{
 		Nx: int(binary.LittleEndian.Uint32(hdr[24:28])),
 		Ny: int(binary.LittleEndian.Uint32(hdr[28:32])),
@@ -213,8 +247,18 @@ func ReadWindowInfo(r io.Reader) (WindowInfo, error) {
 // ReadCompressedWindow deserializes a window written by WriteTo. The codec
 // is resolved from the header's format ID, so windows decode transparently
 // whatever backend wrote them; the resolved codec lands in Opts.Codec and
-// is reused on re-serialization.
+// is reused on re-serialization. Progressive (v4) windows are recognized
+// by the header's progressive bit and parsed through their level-offset
+// table; legacy v2/v3 windows take the slice-major path below, unchanged.
 func ReadCompressedWindow(r io.Reader) (*CompressedWindow, error) {
+	return readCompressedWindow(r, -1, false)
+}
+
+// readCompressedWindow parses either layout. maxLevel >= 0 stops reading
+// after that level group (progressive windows only); requireProgressive
+// rejects legacy windows with ErrNotProgressive instead of reading them
+// fully.
+func readCompressedWindow(r io.Reader, maxLevel int, requireProgressive bool) (*CompressedWindow, error) {
 	hdr := make([]byte, 40)
 	if _, err := io.ReadFull(r, hdr); err != nil {
 		return nil, fmt.Errorf("core: reading header: %w", err)
@@ -225,7 +269,11 @@ func ReadCompressedWindow(r io.Reader) (*CompressedWindow, error) {
 	if [4]byte(hdr[0:4]) != magic {
 		return nil, fmt.Errorf("core: bad magic %q", hdr[0:4])
 	}
-	cdc, err := codec.ByID(codec.ID(hdr[4]))
+	progressive := hdr[4]&progressiveFlag != 0
+	if requireProgressive && !progressive {
+		return nil, ErrNotProgressive
+	}
+	cdc, err := codec.ByID(codec.ID(hdr[4] &^ progressiveFlag))
 	if err != nil {
 		return nil, fmt.Errorf("core: unsupported format version %d: %w", hdr[4], err)
 	}
@@ -273,6 +321,9 @@ func ReadCompressedWindow(r io.Reader) (*CompressedWindow, error) {
 			return nil, fmt.Errorf("core: reading time %d: %w", i, err)
 		}
 		cw.Times[i] = math.Float64frombits(binary.LittleEndian.Uint64(tb[:]))
+	}
+	if progressive {
+		return readProgressiveBody(r, cdc, cw, numSlices, maxLevel)
 	}
 	cw.Blocks = make([]codec.Block, numSlices)
 	for i := range cw.Blocks {

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+var progressiveMemo *ProgressiveResult
+
+func getProgressive(t *testing.T) *ProgressiveResult {
+	t.Helper()
+	if progressiveMemo == nil {
+		r, err := RunProgressiveStudy(TestScale(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		progressiveMemo = r
+	}
+	return progressiveMemo
+}
+
+// TestProgressiveStudyAcceptance is the PR acceptance bar: a first usable
+// preview must cost at least 10x fewer bytes than the full-window fetch,
+// at a final PSNR identical to the legacy layout (the level-major layout
+// only reorders the stream), with the refinement ladder monotone in both
+// bytes and resolution.
+func TestProgressiveStudyAcceptance(t *testing.T) {
+	r := getProgressive(t)
+	if r.PreviewGain < 10 {
+		t.Errorf("preview gain %.1fx, want >= 10x (level-0 prefix %d B, full %d B)",
+			r.PreviewGain, r.Levels[0].Bytes, r.FullBytes)
+	}
+	if d := math.Abs(r.FinalPSNR - r.LegacyPSNR); d > 1e-9 {
+		t.Errorf("final PSNR %.6f dB differs from legacy %.6f dB; the layout must not change the reconstruction",
+			r.FinalPSNR, r.LegacyPSNR)
+	}
+	if len(r.Levels) < 2 {
+		t.Fatalf("only %d refinement levels; the study needs a ladder", len(r.Levels))
+	}
+	for i := 1; i < len(r.Levels); i++ {
+		prev, cur := r.Levels[i-1], r.Levels[i]
+		if cur.Bytes <= prev.Bytes {
+			t.Errorf("level %d prefix %d B not larger than level %d prefix %d B",
+				cur.Level, cur.Bytes, prev.Level, prev.Bytes)
+		}
+		if cur.Dims.Len() <= prev.Dims.Len() {
+			t.Errorf("level %d dims %v not finer than level %d dims %v",
+				cur.Level, cur.Dims, prev.Level, prev.Dims)
+		}
+	}
+	last := r.Levels[len(r.Levels)-1]
+	if last.Bytes != r.FullBytes {
+		t.Errorf("deepest level prefix %d B != full window %d B; the extents must tile the payload",
+			last.Bytes, r.FullBytes)
+	}
+	// The layout's price: the level table and per-group block headers
+	// must stay a small fraction of the stream.
+	if overhead := float64(r.FullBytes)/float64(r.LegacyBytes) - 1; overhead > 0.10 {
+		t.Errorf("progressive layout overhead %.1f%%, want <= 10%%", 100*overhead)
+	}
+}
+
+// TestProgressiveStudyROISplit checks the error-bounded run: both regions
+// hold their bounds, and the ROI is actually held to the tighter one.
+func TestProgressiveStudyROISplit(t *testing.T) {
+	r := getProgressive(t)
+	if len(r.ROI) != 2 {
+		t.Fatalf("ROI split has %d rows, want 2", len(r.ROI))
+	}
+	for _, row := range r.ROI {
+		if row.MaxErr > row.Bound {
+			t.Errorf("%s max error %.3e exceeds its bound %.3e", row.Region, row.MaxErr, row.Bound)
+		}
+		if row.Samples == 0 {
+			t.Errorf("%s region is empty", row.Region)
+		}
+	}
+	if r.ROI[0].Bound >= r.ROI[1].Bound {
+		t.Errorf("ROI bound %.3e not tighter than background bound %.3e", r.ROI[0].Bound, r.ROI[1].Bound)
+	}
+}
+
+func TestProgressiveStudyWrite(t *testing.T) {
+	var buf bytes.Buffer
+	getProgressive(t).Write(&buf)
+	out := buf.String()
+	for _, want := range []string{"Progressive coarse-first delivery", "first usable preview", "vs original", "background"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("study output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -118,6 +118,7 @@ type Stats struct {
 	WindowsShed       int     // gap markers appended
 	SlicesShed        int     // slices covered by gap markers
 	DegradeSteps      int     // ladder rungs stepped down
+	LevelsShed        int     // finest detail levels dropped from progressive windows before any rung
 	Backpressure      int     // admission blocks + append-failure events
 	AppendRetries     int     // failed appends retried by policy
 	FinalRatio        float64 // target ratio in effect at the end
@@ -508,6 +509,20 @@ func (e *Engine) appendWindow(job *windowJob, cw *core.CompressedWindow) error {
 			}
 			return nil
 		case PolicyDegrade:
+			// A progressive window has a free degrade step before any
+			// recompression rung: dropping its finest retained detail level
+			// shrinks the payload without touching the raw window (the
+			// level-major layout makes the finest group a suffix). Only
+			// when the window is down to its approximation group does the
+			// ladder pay for a coarser recompression.
+			if dropped, ok := cw.DropFinestLevel(); ok {
+				cw = dropped
+				e.mu.Lock()
+				e.stats.LevelsShed++
+				e.mu.Unlock()
+				obs.Default().Counter("ingest.levels_shed_total").Add(1)
+				continue
+			}
 			if rung >= len(e.comps)-1 {
 				return fmt.Errorf("ingest: append failed at coarsest rung (ratio %g): %v: %w",
 					e.ratios[rung], err, ErrLadderExhausted)

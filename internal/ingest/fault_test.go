@@ -18,6 +18,7 @@ import (
 	"stwave/internal/faultio"
 	"stwave/internal/obs"
 	"stwave/internal/storage"
+	"stwave/internal/wavelet"
 )
 
 // faultWriter builds a container writer over a fault-injecting file.
@@ -246,6 +247,92 @@ func TestIngestFsyncFailure(t *testing.T) {
 	}
 	if windows, gaps, total := verifyTimeline(t, path); windows != 1 || gaps != 0 || total != 4 {
 		t.Fatalf("timeline %d/%d/%d, want the single window intact", windows, gaps, total)
+	}
+}
+
+// windowRecordSize is the on-disk record size of an already-compressed
+// window, including the journal record header.
+func windowRecordSize(t *testing.T, cw *core.CompressedWindow) int64 {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := cw.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return core.RecordHeaderSize + int64(buf.Len())
+}
+
+// TestIngestENOSPCDegradeShedsLevels: for progressive windows the degrade
+// ladder's first step is free — the finest retained detail level is
+// dropped (a suffix truncation of the level-major payload) before any
+// recompression rung is paid for, and the durable bytes are exactly the
+// deterministic encoding of the reduced window.
+func TestIngestENOSPCDegradeShedsLevels(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shedlevels.stw")
+	w, ff := faultWriter(t, path)
+	opts := testOpts()
+	opts.Progressive = true
+	opts.SpatialKernel = wavelet.Haar // 8^3 supports several Haar levels
+	eng, err := NewEngine(Config{
+		Opts: opts, Workers: 1, Policy: PolicyDegrade,
+		Ladder: []float64{8}, RetryEvery: 2 * time.Millisecond,
+	}, testDims(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := core.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := comp.CompressWindow(refWindow(t, sliceTimes(0, 4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dropped, ok := full.DropFinestLevel()
+	if !ok {
+		t.Fatal("test window has no detail level to drop; geometry too small")
+	}
+	fullSize, droppedSize := windowRecordSize(t, full), windowRecordSize(t, dropped)
+	if droppedSize >= fullSize {
+		t.Fatalf("dropped record (%d) not smaller than full (%d); test sizing broken", droppedSize, fullSize)
+	}
+	ff.SetFreeSpace(droppedSize) // full record cannot fit, one-level drop exactly does
+	stats, err := eng.Run(newTestSource(t), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff.AddFreeSpace(1 << 20) // room for the footer
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if stats.LevelsShed != 1 || stats.DegradeSteps != 0 || stats.WindowsShed != 0 {
+		t.Fatalf("stats = %+v, want exactly one shed level and no recompression rung", stats)
+	}
+	r, err := storage.OpenContainer(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw, err := r.ReadWindow(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !cw.Progressive() || len(cw.LevelBlocks) != len(full.LevelBlocks)-1 {
+		t.Fatalf("durable window has %d level groups, want %d", len(cw.LevelBlocks), len(full.LevelBlocks)-1)
+	}
+	if cw.Opts.Ratio != 4 {
+		t.Fatalf("recorded ratio %g, want the fine ratio 4 (level shed must not change rung)", cw.Opts.Ratio)
+	}
+	var got, want bytes.Buffer
+	if _, err := cw.WriteTo(&got); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dropped.WriteTo(&want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatal("durable payload differs from deterministic one-level-dropped encoding")
 	}
 }
 

@@ -131,7 +131,7 @@ func DefaultConfig() Config {
 			"internal/compress",
 		},
 		TaintReaders: []string{"BitReader"},
-		TaintStructs: []string{"internal/entropy.Block"},
+		TaintStructs: []string{"internal/entropy.Block", "internal/core.LevelExtent"},
 		CtxScope: []string{
 			"internal/core",
 			"internal/transform",
@@ -153,6 +153,11 @@ func DefaultConfig() Config {
 		BudgetOwners: []string{
 			"internal/core.CompressWindowCtx",
 			"internal/core.DecompressCtx",
+			// Partial decode and refinement are decode entry points like
+			// DecompressCtx; the Refiner resolves its budget once at
+			// construction and reuses it across Advance/Materialize.
+			"internal/core.DecompressLevelsCtx",
+			"internal/core.NewRefiner",
 			"internal/transform.Workers",
 			// Server construction owns its resource envelope: the
 			// decompress semaphore is sized once, not per request.

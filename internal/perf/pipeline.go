@@ -140,6 +140,21 @@ func RunPipeline(ctx context.Context, cfg Config, progress io.Writer) ([]Result,
 		}
 	}
 
+	// Progressive fixtures: the same window in the level-major layout,
+	// for the partial-decode and coarse-first serving benchmarks.
+	progOpts := opts
+	progOpts.Progressive = true
+	progComp, err := core.New(progOpts)
+	if err != nil {
+		return nil, err
+	}
+	progCW, err := progComp.CompressWindow(w)
+	if err != nil {
+		return nil, err
+	}
+	coarse := transform.CoarseDims(w.Dims, progCW.SpatialLevels)
+	coarseBytes := int64(coarse.Len()) * int64(benchSlices) * 8
+
 	// Container + server fixtures.
 	dir, err := os.MkdirTemp("", "stwave-perf-")
 	if err != nil {
@@ -148,6 +163,10 @@ func RunPipeline(ctx context.Context, cfg Config, progress io.Writer) ([]Result,
 	defer os.RemoveAll(dir)
 	contPath := filepath.Join(dir, "bench.stw")
 	if err := writeBenchContainer(contPath, comp, w); err != nil {
+		return nil, err
+	}
+	progPath := filepath.Join(dir, "bench-prog.stw")
+	if err := writeBenchContainer(progPath, progComp, w); err != nil {
 		return nil, err
 	}
 	reader, err := storage.OpenContainer(contPath)
@@ -164,18 +183,25 @@ func RunPipeline(ctx context.Context, cfg Config, progress io.Writer) ([]Result,
 	if err := srv.Mount("bench", contPath); err != nil {
 		return nil, err
 	}
+	if err := srv.Mount("benchprog", progPath); err != nil {
+		return nil, err
+	}
 	defer srv.Close()
 	handler := srv.Handler()
-	serveSlice := func(t int) error {
-		req := httptest.NewRequest("GET", fmt.Sprintf("/v1/bench/slice?t=%d", t), nil)
+	serveURL := func(url string) error {
+		req := httptest.NewRequest("GET", url, nil)
 		rec := httptest.NewRecorder()
 		handler.ServeHTTP(rec, req)
 		if rec.Code != http.StatusOK {
-			return fmt.Errorf("slice t=%d: status %d: %s", t, rec.Code, rec.Body.String())
+			return fmt.Errorf("%s: status %d: %s", url, rec.Code, rec.Body.String())
 		}
 		return nil
 	}
+	serveSlice := func(t int) error {
+		return serveURL(fmt.Sprintf("/v1/bench/slice?t=%d", t))
+	}
 	sliceBytes := int64(benchN*benchN*benchN) * 4 // float32 response payload
+	coarseSliceBytes := int64(coarse.Len()) * 4
 
 	suite := []pipelineBenchmark{
 		{"xform.forward4d_cdf97", rawBytes, func(ctx context.Context) error {
@@ -201,6 +227,10 @@ func RunPipeline(ctx context.Context, cfg Config, progress io.Writer) ([]Result,
 		}},
 		{"core.decompress_window", rawBytes, func(ctx context.Context) error {
 			_, err := core.DecompressCtx(ctx, cw)
+			return err
+		}},
+		{"core.partial_decode", coarseBytes, func(ctx context.Context) error {
+			_, err := core.DecompressLevelsCtx(ctx, progCW, 0)
 			return err
 		}},
 		{"codec.entropy_encode", rawBytes, func(ctx context.Context) error {
@@ -240,6 +270,13 @@ func RunPipeline(ctx context.Context, cfg Config, progress io.Writer) ([]Result,
 		{"server.slice_cold", sliceBytes, func(ctx context.Context) error {
 			srv.Cache().Flush()
 			return serveSlice(2)
+		}},
+		{"server.slice_levelK", coarseSliceBytes, func(ctx context.Context) error {
+			// Coarse-first serving end to end: the cache is flushed every
+			// iteration so the measurement covers the level-bounded prefix
+			// read and partial decode, not a cache hit.
+			srv.Cache().Flush()
+			return serveURL("/v1/benchprog/slice?t=2&levels=0")
 		}},
 	}
 

@@ -8,10 +8,18 @@ import (
 	"stwave/internal/obs"
 )
 
-// windowKey identifies one decompressed window across all mounted datasets.
+// windowKey identifies one decompressed window across all mounted
+// datasets. Partial decodes of the same window at different depths are
+// distinct entries: a level-0 preview and the full reconstruction have
+// different dims and different costs, and evicting one must not evict
+// the other.
 type windowKey struct {
 	dataset string
 	window  int
+	// levels is the number of coarse level groups a partial-decode entry
+	// holds (maxLevel+1); 0 marks a full-window entry, so existing
+	// full-window keys are the zero value.
+	levels int
 }
 
 // WindowCache is a byte-budgeted LRU cache of decompressed windows. A

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"time"
 
 	"stwave/internal/grid"
 	"stwave/internal/obs"
@@ -26,10 +27,18 @@ import (
 //	GET /debug/traces             recent request span trees (needs Config.TraceRequests)
 //	GET /debug/pprof/...          net/http/pprof profiles (needs Config.Pprof)
 //	GET /v1/datasets              list mounted datasets
-//	GET /v1/{dataset}/slice       one time slice     ?t=12&format=raw|json
+//	GET /v1/{dataset}/slice       one time slice     ?t=12&format=raw|json — add &levels=K
+//	                              to reconstruct from only the K+1 coarsest detail
+//	                              levels (progressive containers read just that byte
+//	                              prefix from disk)
 //	GET /v1/{dataset}/crop        subvolume          ?t=&x0=&y0=&z0=&nx=&ny=&nz=&format=raw|json
 //	GET /v1/{dataset}/preview     coarse approximation ?t=&levels=2&format=raw|json
 //	GET /v1/{dataset}/render      quick-look image   ?t=&kind=slice|mip&z=&axis=x|y|z&format=pgm|ppm
+//	GET /v1/{dataset}/window/{w}  raw serialized window bytes; supports HTTP Range,
+//	                              so clients holding the level table can fetch
+//	                              individual level groups for streamed refinement
+//	GET /v1/{dataset}/window/{w}/levels  level-offset table as JSON: the byte range
+//	                              and CRC of each detail level group
 //
 // raw responses are little-endian float32 sample streams (x fastest) with
 // the extents in the X-STW-Dims header; every data response carries an
@@ -52,6 +61,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/{dataset}/crop", s.data(s.handleCrop))
 	mux.HandleFunc("GET /v1/{dataset}/preview", s.data(s.handlePreview))
 	mux.HandleFunc("GET /v1/{dataset}/render", s.data(s.handleRender))
+	mux.HandleFunc("GET /v1/{dataset}/window/{w}", s.data(s.handleWindowBytes))
+	mux.HandleFunc("GET /v1/{dataset}/window/{w}/levels", s.data(s.handleWindowLevels))
 	return mux
 }
 
@@ -211,7 +222,22 @@ func (s *Server) handleSlice(w http.ResponseWriter, r *http.Request, m *mount) e
 	if err != nil {
 		return err
 	}
-	f, tv, state, err := s.fetchSlice(r.Context(), m, t)
+	// levels=K bounds the reconstruction to the K+1 coarsest detail
+	// levels — the progressive read path. Absent means full quality.
+	levels, err := intParam(r, "levels", -1)
+	if err != nil {
+		return err
+	}
+	var (
+		f     *grid.Field3D
+		tv    float64
+		state cacheState
+	)
+	if levels >= 0 {
+		f, tv, state, err = s.sliceLevel(r.Context(), m, t, levels)
+	} else {
+		f, tv, state, err = s.fetchSlice(r.Context(), m, t)
+	}
 	if err != nil {
 		return err
 	}
@@ -254,12 +280,35 @@ func (s *Server) handlePreview(w http.ResponseWriter, r *http.Request, m *mount)
 	if err != nil {
 		return err
 	}
+	if levels < 1 {
+		return badRequest("levels must be >= 1, got %d", levels)
+	}
+	// A preview downsampled by N levels is the reconstruction from only
+	// the SpatialLevels-N coarsest detail levels, so route it through the
+	// level-bounded path: on progressive containers that reads a byte
+	// prefix instead of decompressing the full window and then throwing
+	// the detail away (the pre-v4 behavior), and either way the result is
+	// cached at its own (window, depth) key. Previews coarser than the
+	// decomposition clamp to the approximation band.
+	wi, _, err := m.servable(t)
+	if err != nil {
+		return err
+	}
+	if maxLevel := m.windows[wi].info.SpatialLevels - levels; maxLevel >= 0 {
+		f, tv, state, err := s.sliceLevel(r.Context(), m, t, maxLevel)
+		if err != nil {
+			return err
+		}
+		return writeField(w, r, f, tv, state)
+	}
+	// Deeper than the stored decomposition: no byte prefix maps to this
+	// resolution, so reconstruct the approximation band's worth and keep
+	// downsampling with the same spatial kernel the container was
+	// compressed with (recorded in every window header).
 	f, tv, state, err := s.fetchSlice(r.Context(), m, t)
 	if err != nil {
 		return err
 	}
-	// Downsample with the same spatial kernel the container was compressed
-	// with (recorded in every window header).
 	coarse, err := transform.CoarseApproximation(f, m.ref.SpatialKernel, levels, 0)
 	if err != nil {
 		return badRequest("%v", err)
@@ -318,6 +367,93 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request, m *mount) 
 	default:
 		return badRequest("format must be pgm or ppm, got %q", format)
 	}
+}
+
+// windowParam parses and bounds the {w} path segment.
+func (s *Server) windowParam(r *http.Request, m *mount) (int, error) {
+	wi, err := strconv.Atoi(r.PathValue("w"))
+	if err != nil {
+		return 0, badRequest("window must be an integer, got %q", r.PathValue("w"))
+	}
+	if wi < 0 || wi >= len(m.windows) {
+		return 0, notFound("window %d out of range [0,%d)", wi, len(m.windows))
+	}
+	if m.windows[wi].info.Gap != nil {
+		return 0, gone("window %d is a gap marker (shed at ingest)", wi)
+	}
+	if m.isBad(wi) {
+		return 0, gone("window %d is corrupt", wi)
+	}
+	return wi, nil
+}
+
+// handleWindowBytes serves window w's serialized bytes verbatim, with
+// HTTP Range support: a progressive-aware client fetches the level table
+// once (see handleWindowLevels), then issues Range requests for exactly
+// the level groups it wants, verifying each against the table's CRC —
+// streamed refinement without any server-side decode.
+func (s *Server) handleWindowBytes(w http.ResponseWriter, r *http.Request, m *mount) error {
+	wi, err := s.windowParam(r, m)
+	if err != nil {
+		return err
+	}
+	sec, err := m.r.WindowSection(wi)
+	if err != nil {
+		return err
+	}
+	info := m.windows[wi].info
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-STW-Progressive", strconv.FormatBool(info.Progressive))
+	w.Header().Set("X-STW-Levels", strconv.Itoa(info.SpatialLevels))
+	// No modification time: container windows are immutable once written,
+	// and a zero time suppresses Last-Modified based caching heuristics.
+	http.ServeContent(w, r, "", time.Time{}, sec)
+	return nil
+}
+
+// levelRange is one entry of the /levels response: the absolute byte
+// range of a level group within the /window/{w} resource, plus its CRC.
+type levelRange struct {
+	Level  int    `json:"level"`
+	Offset int64  `json:"offset"`
+	Length int64  `json:"length"`
+	CRC    uint32 `json:"crc32"`
+}
+
+// handleWindowLevels serves window w's level-offset table as JSON. For
+// legacy (slice-major) windows it answers progressive:false with no
+// level list, so clients can probe capability without error handling.
+func (s *Server) handleWindowLevels(w http.ResponseWriter, r *http.Request, m *mount) error {
+	wi, err := s.windowParam(r, m)
+	if err != nil {
+		return err
+	}
+	info := m.windows[wi].info
+	resp := map[string]any{
+		"window":         wi,
+		"progressive":    info.Progressive,
+		"spatial_levels": info.SpatialLevels,
+		"num_slices":     info.NumSlices,
+		"dims":           info.Dims.String(),
+		"codec":          info.Codec.String(),
+	}
+	if info.Progressive {
+		_, table, payloadStart, err := m.r.WindowLevelTable(wi)
+		if err != nil {
+			s.noteCorrupt(m, wi, err)
+			return err
+		}
+		ranges := make([]levelRange, len(table.Extents))
+		off := payloadStart
+		for g, ext := range table.Extents {
+			ranges[g] = levelRange{Level: g, Offset: off, Length: ext.Length, CRC: ext.CRC}
+			off += ext.Length
+		}
+		resp["payload_start"] = payloadStart
+		resp["size_bytes"] = off
+		resp["levels"] = ranges
+	}
+	return writeJSON(w, resp)
 }
 
 // fetchSlice is the handlers' entry into the engine.

@@ -22,6 +22,13 @@ type Metrics struct {
 	SliceDecodes   *obs.Counter // single-slice decodes on the uncacheable path
 	BytesServed    *obs.Counter // response payload bytes written
 	CorruptWindows *obs.Counter // windows known corrupt across all mounts (found at mount scan or read time)
+	// PartialDecodes counts level-bounded decodes of progressive windows:
+	// requests that read and reconstructed only a coarse byte prefix.
+	PartialDecodes *obs.Counter
+	// ProgressiveBytesSaved accumulates the payload bytes partial reads
+	// did NOT fetch (full window size minus prefix read) — the observable
+	// I/O saving of the level-major layout.
+	ProgressiveBytesSaved *obs.Counter
 
 	// DecompressLatency is the end-to-end read+decompress latency in
 	// seconds, covering both full-window and single-slice paths.
@@ -33,17 +40,19 @@ type Metrics struct {
 func newMetrics() *Metrics {
 	reg := obs.NewRegistry()
 	return &Metrics{
-		reg:               reg,
-		Requests:          reg.Counter("server.requests_total"),
-		Errors:            reg.Counter("server.errors_total"),
-		CacheHits:         reg.Counter("server.cache_hits_total"),
-		CacheMisses:       reg.Counter("server.cache_misses_total"),
-		Coalesced:         reg.Counter("server.coalesced_total"),
-		Decompressions:    reg.Counter("server.decompressions_total"),
-		SliceDecodes:      reg.Counter("server.slice_decodes_total"),
-		BytesServed:       reg.Counter("server.bytes_served_total"),
-		CorruptWindows:    reg.Counter("server.corrupt_windows"),
-		DecompressLatency: reg.Histogram("server.decompress_seconds"),
+		reg:                   reg,
+		Requests:              reg.Counter("server.requests_total"),
+		Errors:                reg.Counter("server.errors_total"),
+		CacheHits:             reg.Counter("server.cache_hits_total"),
+		CacheMisses:           reg.Counter("server.cache_misses_total"),
+		Coalesced:             reg.Counter("server.coalesced_total"),
+		Decompressions:        reg.Counter("server.decompressions_total"),
+		SliceDecodes:          reg.Counter("server.slice_decodes_total"),
+		BytesServed:           reg.Counter("server.bytes_served_total"),
+		CorruptWindows:        reg.Counter("server.corrupt_windows"),
+		PartialDecodes:        reg.Counter("server.partial_decodes_total"),
+		ProgressiveBytesSaved: reg.Counter("server.progressive_bytes_saved_total"),
+		DecompressLatency:     reg.Histogram("server.decompress_seconds"),
 	}
 }
 
@@ -65,6 +74,8 @@ type MetricsSnapshot struct {
 	SliceDecodes   int64                 `json:"slice_decodes"`
 	BytesServed    int64                 `json:"bytes_served"`
 	CorruptWindows int64                 `json:"corrupt_windows"`
+	PartialDecodes int64                 `json:"partial_decodes"`
+	BytesSaved     int64                 `json:"progressive_bytes_saved"`
 	Decompress     obs.HistogramSnapshot `json:"decompress_latency"`
 	Cache          CacheStats            `json:"cache"`
 	Pipeline       obs.Snapshot          `json:"pipeline"`
@@ -88,6 +99,8 @@ func (m *Metrics) Snapshot(cache CacheStats) MetricsSnapshot {
 		SliceDecodes:   m.SliceDecodes.Load(),
 		BytesServed:    m.BytesServed.Load(),
 		CorruptWindows: m.CorruptWindows.Load(),
+		PartialDecodes: m.PartialDecodes.Load(),
+		BytesSaved:     m.ProgressiveBytesSaved.Load(),
 		Decompress:     m.DecompressLatency.Snapshot(),
 		Cache:          cache,
 	}

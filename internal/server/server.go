@@ -30,6 +30,7 @@ import (
 	"stwave/internal/grid"
 	"stwave/internal/obs"
 	"stwave/internal/storage"
+	"stwave/internal/transform"
 )
 
 // Config tunes the server's resource envelope.
@@ -315,11 +316,26 @@ const (
 
 // window returns the decompressed window wi of mount m, consulting the
 // cache and coalescing concurrent misses. The returned window is shared:
-// callers must not modify it. Hit/miss accounting lives inside cache.Get
-// — the flight's re-check uses the uncounted peek — so every call here
-// counts exactly one hit or one miss.
+// callers must not modify it.
 func (s *Server) window(ctx context.Context, m *mount, wi int) (*grid.Window, cacheState, error) {
-	key := windowKey{dataset: m.name, window: wi}
+	return s.windowLevel(ctx, m, wi, -1)
+}
+
+// windowLevel is window generalized to level-bounded decodes of
+// progressive windows: maxLevel < 0 decompresses the whole window;
+// maxLevel >= 0 reads only the byte prefix covering level groups
+// 0..maxLevel and reconstructs at the matching coarse dims. Each depth is
+// its own cache entry and its own flight, so a level-0 preview neither
+// waits on nor evicts the full reconstruction. Hit/miss accounting lives
+// inside cache.Get — the flight's re-check uses the uncounted peek — so
+// every call here counts exactly one hit or one miss. Callers pass
+// maxLevel >= 0 only for windows whose header says Progressive.
+func (s *Server) windowLevel(ctx context.Context, m *mount, wi, maxLevel int) (*grid.Window, cacheState, error) {
+	levels := 0
+	if maxLevel >= 0 {
+		levels = maxLevel + 1
+	}
+	key := windowKey{dataset: m.name, window: wi, levels: levels}
 	_, spc := obs.Start(ctx, "cache.lookup")
 	w, ok := s.cache.Get(key)
 	if ok {
@@ -329,7 +345,8 @@ func (s *Server) window(ctx context.Context, m *mount, wi int) (*grid.Window, ca
 	}
 	spc.SetAttr("result", "miss")
 	spc.End()
-	val, coalesced, err := s.flights.Do(ctx, "w\x00"+m.name+"\x00"+strconv.Itoa(wi), func(workCtx context.Context) (any, error) {
+	flightKey := "w\x00" + m.name + "\x00" + strconv.Itoa(wi) + "\x00" + strconv.Itoa(levels)
+	val, coalesced, err := s.flights.Do(ctx, flightKey, func(workCtx context.Context) (any, error) {
 		// Re-check under the flight: a previous flight may have populated
 		// the cache between our Get and Do. peek, not Get — this request
 		// already counted its miss.
@@ -341,14 +358,31 @@ func (s *Server) window(ctx context.Context, m *mount, wi int) (*grid.Window, ca
 		}
 		defer func() { <-s.sem }()
 		start := time.Now()
-		cw, err := m.r.ReadWindowCtx(workCtx, wi)
-		if err != nil {
-			s.noteCorrupt(m, wi, err)
-			return nil, err
-		}
-		w, err := core.DecompressCtx(workCtx, cw)
-		if err != nil {
-			return nil, err
+		var w *grid.Window
+		if maxLevel >= 0 {
+			cw, bytesRead, err := m.r.ReadWindowLevelsCtx(workCtx, wi, maxLevel)
+			if err != nil {
+				s.noteCorrupt(m, wi, err)
+				return nil, err
+			}
+			w, err = core.DecompressLevelsCtx(workCtx, cw, maxLevel)
+			if err != nil {
+				return nil, err
+			}
+			s.metrics.PartialDecodes.Add(1)
+			if total, err := m.r.WindowSizeBytes(wi); err == nil && total > bytesRead {
+				s.metrics.ProgressiveBytesSaved.Add(total - bytesRead)
+			}
+		} else {
+			cw, err := m.r.ReadWindowCtx(workCtx, wi)
+			if err != nil {
+				s.noteCorrupt(m, wi, err)
+				return nil, err
+			}
+			w, err = core.DecompressCtx(workCtx, cw)
+			if err != nil {
+				return nil, err
+			}
 		}
 		s.metrics.Decompressions.Add(1)
 		s.metrics.DecompressLatency.ObserveSince(start)
@@ -376,23 +410,76 @@ func (s *Server) noteCorrupt(m *mount, wi int, err error) {
 	}
 }
 
+// servable maps a global time index to (window, local slice), rejecting
+// gaps and known-corrupt windows with the status the handlers surface.
+func (m *mount) servable(t int) (int, int, error) {
+	wi, local, err := m.locate(t)
+	if err != nil {
+		return 0, 0, err
+	}
+	info := m.windows[wi].info
+	if info.Gap != nil {
+		return 0, 0, gone("time index %d falls in a gap: window %d shed at ingest (%s, t=[%g,%g])",
+			t, wi, info.Gap.Reason, info.Gap.T0, info.Gap.T1)
+	}
+	if m.isBad(wi) {
+		return 0, 0, gone("time index %d falls in corrupt window %d", t, wi)
+	}
+	return wi, local, nil
+}
+
+// sliceLevel returns the field at global time index t reconstructed from
+// only the coarsest maxLevel+1 detail levels, at the matching coarse dims
+// (transform.CoarseDims of the grid at depth SpatialLevels-maxLevel).
+// Progressive windows take the partial-read path — finer level groups are
+// never read from disk or decompressed. Legacy windows fall back to a
+// full decode followed by spatial downsampling, so the endpoint contract
+// (dims, semantics) is uniform across container generations; only the
+// I/O saving is progressive-only.
+func (s *Server) sliceLevel(ctx context.Context, m *mount, t, maxLevel int) (*grid.Field3D, float64, cacheState, error) {
+	wi, local, err := m.servable(t)
+	if err != nil {
+		return nil, 0, stateMiss, err
+	}
+	meta := m.windows[wi]
+	if maxLevel < 0 || maxLevel > meta.info.SpatialLevels {
+		return nil, 0, stateMiss, badRequest("levels must be in [0, %d], got %d", meta.info.SpatialLevels, maxLevel)
+	}
+	if maxLevel == meta.info.SpatialLevels {
+		return s.slice(ctx, m, t)
+	}
+	if !meta.info.Progressive {
+		f, tv, state, err := s.slice(ctx, m, t)
+		if err != nil {
+			return nil, 0, state, err
+		}
+		coarse, err := transform.CoarseApproximation(f, meta.info.SpatialKernel, meta.info.SpatialLevels-maxLevel, 0)
+		if err != nil {
+			return nil, 0, state, err
+		}
+		return coarse, tv, state, nil
+	}
+	w, state, err := s.windowLevel(ctx, m, wi, maxLevel)
+	if err != nil {
+		return nil, 0, state, err
+	}
+	tv := float64(t)
+	if w.Times != nil && local < len(w.Times) {
+		tv = w.Times[local]
+	}
+	return w.Slices[local], tv, state, nil
+}
+
 // slice returns the field at global time index t of the named dataset. For
 // cacheable windows it decompresses (or reuses) the whole window; for
 // windows larger than the cache budget it decodes just the one slice. The
 // returned field may be shared with other requests: treat as read-only.
 func (s *Server) slice(ctx context.Context, m *mount, t int) (*grid.Field3D, float64, cacheState, error) {
-	wi, local, err := m.locate(t)
+	wi, local, err := m.servable(t)
 	if err != nil {
 		return nil, 0, stateMiss, err
 	}
 	meta := m.windows[wi]
-	if meta.info.Gap != nil {
-		return nil, 0, stateMiss, gone("time index %d falls in a gap: window %d shed at ingest (%s, t=[%g,%g])",
-			t, wi, meta.info.Gap.Reason, meta.info.Gap.T0, meta.info.Gap.T1)
-	}
-	if m.isBad(wi) {
-		return nil, 0, stateMiss, gone("time index %d falls in corrupt window %d", t, wi)
-	}
 	if s.cache.Admits(meta.info.RawSizeBytes()) {
 		w, state, err := s.window(ctx, m, wi)
 		if err != nil {

@@ -72,6 +72,12 @@ type FrameInfo struct {
 	// "entropy", ...), parsed from the window header. Empty when the
 	// payload is too damaged for even the header to parse.
 	Codec string `json:"codec,omitempty"`
+	// Progressive marks a v4 level-major payload; Levels is its spatial
+	// decomposition depth (the number of addressable refinement levels).
+	// An fsck report distinguishes them because a corrupt progressive
+	// window may still serve its intact coarse prefix.
+	Progressive bool `json:"progressive,omitempty"`
+	Levels      int  `json:"levels,omitempty"`
 }
 
 // ScanReport is the result of walking a container's journal.
@@ -194,6 +200,10 @@ func classifyCodec(f io.ReaderAt, fi FrameInfo) FrameInfo {
 		fi.Codec = "gap"
 	} else {
 		fi.Codec = wi.Codec.String()
+		fi.Progressive = wi.Progressive
+		if wi.Progressive {
+			fi.Levels = wi.SpatialLevels
+		}
 	}
 	return fi
 }
