@@ -18,14 +18,15 @@ all: build vet test check
 # GOMAXPROCS=1 smoke of the same parallel stages plus the
 # ingest engine (worker budgets must degrade to clean sequential
 # execution), and short fuzz smokes of the container index parser, the
-# 1D wavelet round-trip, the record-frame codec, the gap-marker codec,
+# 1D wavelet round-trip at both precisions, the record-frame codec, the gap-marker codec,
 # the level-offset table parser of the progressive (v4) layout, the
 # entropy coder round-trip, and the coefficient codec block decoders.
 check: vet fmt-check lint docscheck bench-smoke
 	$(GO) test -race ./internal/server ./internal/storage ./internal/compress ./internal/faultio ./internal/transform ./internal/core ./internal/par ./internal/codec ./internal/entropy ./internal/ingest ./internal/lint
 	GOMAXPROCS=1 $(GO) test ./internal/par ./internal/transform ./internal/compress ./internal/core ./internal/codec ./internal/entropy ./internal/ingest
 	$(GO) test -run=NONE -fuzz=FuzzOpenContainer -fuzztime=10s ./internal/storage
-	$(GO) test -run=NONE -fuzz=FuzzWaveletRoundtrip -fuzztime=5s ./internal/wavelet
+	$(GO) test -run=NONE -fuzz='FuzzWaveletRoundtrip$$' -fuzztime=5s ./internal/wavelet
+	$(GO) test -run=NONE -fuzz=FuzzWaveletRoundtrip32 -fuzztime=5s ./internal/wavelet
 	$(GO) test -run=NONE -fuzz=FuzzRecordFrame -fuzztime=5s ./internal/core
 	$(GO) test -run=NONE -fuzz=FuzzGapMarker -fuzztime=5s ./internal/core
 	$(GO) test -run=NONE -fuzz=FuzzLevelTable -fuzztime=5s ./internal/core

@@ -43,6 +43,7 @@ import (
 	"stwave/internal/entropy"
 	"stwave/internal/grid"
 	"stwave/internal/ingest"
+	"stwave/internal/num"
 	"stwave/internal/obs"
 	"stwave/internal/sim/cloverleaf"
 	"stwave/internal/sim/ghost"
@@ -80,7 +81,8 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   stcomp compress -dims NXxNYxNZ [-ratio N] [-window T] [-mode 3d|4d]
-         [-skernel K] [-tkernel K] [-codec sparse|deflate|entropy]
+         [-precision f64|f32] [-skernel K] [-tkernel K]
+         [-codec sparse|deflate|entropy]
          [-entropy-bits N] [-entropy-error-bound X] [-entropy-lossless]
          [-progressive] [-max-err X] [-roi x0,y0,z0,x1,y1,z1 -roi-max-err X]
          [-fsync never|window|close] [-atomic]
@@ -88,10 +90,10 @@ func usage() {
   stcomp decompress -in FILE -prefix PREFIX
   stcomp info -in FILE
   stcomp ingest -source ghost|cloverleaf|tornado|synth -dims NXxNYxNZ
-         -slices N [-window T] [-mode 3d|4d] [-ratio N] [-progressive]
-         [-workers N] [-policy stall|degrade|shed] [-mem-budget BYTES]
-         [-deadline D] [-ladder R1,R2,...] [-stage DIR] [-dt X] [-seed N]
-         [-fsync never|window|close] -out FILE`)
+         -slices N [-window T] [-mode 3d|4d] [-ratio N] [-precision f64|f32]
+         [-progressive] [-workers N] [-policy stall|degrade|shed]
+         [-mem-budget BYTES] [-deadline D] [-ladder R1,R2,...] [-stage DIR]
+         [-dt X] [-seed N] [-fsync never|window|close] -out FILE`)
 }
 
 func parseDims(s string) (grid.Dims, error) {
@@ -116,6 +118,7 @@ func runCompress(args []string) error {
 	ratio := fs.Float64("ratio", 32, "compression ratio n:1")
 	window := fs.Int("window", 20, "window size (4D mode)")
 	mode := fs.String("mode", "4d", "3d or 4d")
+	precisionName := fs.String("precision", "f64", "pipeline sample precision: f64 (reference) or f32 (half the bytes end to end)")
 	skernel := fs.String("skernel", "cdf97", "spatial wavelet kernel")
 	tkernel := fs.String("tkernel", "cdf97", "temporal wavelet kernel")
 	targetNRMSE := fs.Float64("target-nrmse", 0, "if > 0, pick the ratio per window to meet this NRMSE instead of -ratio")
@@ -150,6 +153,10 @@ func runCompress(args []string) error {
 	if err != nil {
 		return err
 	}
+	precision, err := core.ParsePrecision(*precisionName)
+	if err != nil {
+		return err
+	}
 	opts := core.Options{
 		SpatialKernel:  sk,
 		TemporalKernel: tk,
@@ -159,6 +166,7 @@ func runCompress(args []string) error {
 		TemporalLevels: -1,
 		Progressive:    *progressive,
 		MaxErr:         *maxErr,
+		Precision:      precision,
 	}
 	if *roiStr != "" {
 		roi, err := parseROI(*roiStr, *roiMaxErr)
@@ -225,13 +233,31 @@ func runCompress(args []string) error {
 		if *maxErr > 0 {
 			return fmt.Errorf("-target-nrmse and -max-err are different rate-control modes; pick one")
 		}
+		if precision == core.Float32 {
+			return fmt.Errorf("-target-nrmse runs on the float64 oracle; drop -precision f32")
+		}
 		if err := compressToTarget(cw, opts, dims, fs.Args(), *targetNRMSE); err != nil {
 			return err
 		}
 		return dumpTrace(root, *tracePath)
 	}
 
-	writer, err := core.NewWriter(opts, dims, func(w *core.CompressedWindow) error {
+	if precision == core.Float32 {
+		err = compressFilesOf[float32](ctx, cw, opts, dims, fs.Args())
+	} else {
+		err = compressFilesOf[float64](ctx, cw, opts, dims, fs.Args())
+	}
+	if err != nil {
+		return err
+	}
+	return dumpTrace(root, *tracePath)
+}
+
+// compressFilesOf streams the input raw volumes through the writer at the
+// chosen precision. Raw inputs are float32 on disk either way; with
+// -precision f32 they stay float32 from load to durable bytes.
+func compressFilesOf[F num.Float](ctx context.Context, cw *storage.ContainerWriter, opts core.Options, dims grid.Dims, paths []string) error {
+	writer, err := core.NewWriterOf[F](opts, dims, func(w *core.CompressedWindow) error {
 		_, err := cw.AppendCtx(ctx, w)
 		return err
 	})
@@ -239,8 +265,8 @@ func runCompress(args []string) error {
 		return err
 	}
 	writer.SetContext(ctx)
-	for i, path := range fs.Args() {
-		f, err := grid.LoadRawFile(path, dims.Nx, dims.Ny, dims.Nz)
+	for i, path := range paths {
+		f, err := grid.LoadRawFileOf[F](path, dims.Nx, dims.Ny, dims.Nz)
 		if err != nil {
 			return fmt.Errorf("loading %s: %w", path, err)
 		}
@@ -259,7 +285,7 @@ func runCompress(args []string) error {
 	fmt.Printf("compressed %d slices (%s raw) into %d windows, %s encoded (%.1f:1 effective)\n",
 		st.SlicesIn, fmtBytes(rawBytes), st.WindowsOut, fmtBytes(st.BytesEncoded),
 		float64(rawBytes)/float64(st.BytesEncoded))
-	return dumpTrace(root, *tracePath)
+	return nil
 }
 
 // dumpTrace ends root and writes its span tree as indented JSON. A nil
@@ -382,10 +408,11 @@ func parseLadder(s string) ([]float64, error) {
 	return ladder, nil
 }
 
-// makeSource builds the streaming source for -source. ghost and
-// cloverleaf evolve real solver state, so their grids are cubic; tornado
-// and synth are analytic and sample any dims.
-func makeSource(name string, dims grid.Dims, dt float64, seed int64) (ingest.Source, error) {
+// makeSourceOf builds the streaming source for -source at the pipeline's
+// sample precision. ghost and cloverleaf evolve real solver state, so
+// their grids are cubic; tornado and synth are analytic and sample any
+// dims.
+func makeSourceOf[F num.Float](name string, dims grid.Dims, dt float64, seed int64) (ingest.SourceOf[F], error) {
 	cubic := func() (int, error) {
 		if dims.Nx != dims.Ny || dims.Ny != dims.Nz {
 			return 0, fmt.Errorf("-source %s needs a cubic grid, got %v", name, dims)
@@ -407,7 +434,7 @@ func makeSource(name string, dims grid.Dims, dt float64, seed int64) (ingest.Sou
 		if err := s.EnableScalar(ghost.ScalarConfig{Kappa: cfg.Nu, MeanGradient: 1}); err != nil {
 			return nil, err
 		}
-		return ingest.NewGhostSource(s)
+		return ingest.NewGhostSourceOf[F](s)
 	case "cloverleaf", "clover":
 		n, err := cubic()
 		if err != nil {
@@ -417,13 +444,13 @@ func makeSource(name string, dims grid.Dims, dt float64, seed int64) (ingest.Sou
 		if err != nil {
 			return nil, err
 		}
-		return ingest.NewCloverleafSource(s), nil
+		return ingest.NewCloverleafSourceOf[F](s), nil
 	case "tornado":
 		m, err := tornado.NewModel(tornado.DefaultConfig(dims.Nx, dims.Ny, dims.Nz))
 		if err != nil {
 			return nil, err
 		}
-		return ingest.NewTornadoSource(m, dt)
+		return ingest.NewTornadoSourceOf[F](m, dt)
 	case "synth":
 		cfg := synth.DefaultConfig()
 		cfg.Seed = seed
@@ -431,7 +458,7 @@ func makeSource(name string, dims grid.Dims, dt float64, seed int64) (ingest.Sou
 		if err != nil {
 			return nil, err
 		}
-		return ingest.NewSynthSource(f, dims, dt)
+		return ingest.NewSynthSourceOf[F](f, dims, dt)
 	}
 	return nil, fmt.Errorf("unknown source %q (ghost, cloverleaf, tornado, synth)", name)
 }
@@ -444,6 +471,7 @@ func runIngest(args []string) error {
 	window := fs.Int("window", 20, "window size (4D mode)")
 	mode := fs.String("mode", "4d", "3d or 4d")
 	ratio := fs.Float64("ratio", 32, "base target compression ratio n:1")
+	precisionName := fs.String("precision", "f64", "pipeline sample precision: f64 (reference) or f32 (half the bytes end to end)")
 	progressive := fs.Bool("progressive", false, "store windows level-major (v4); under -policy degrade the engine sheds detail levels before recompressing")
 	workers := fs.Int("workers", 0, "compression pipeline width (0 = GOMAXPROCS)")
 	policy := fs.String("policy", "stall", "backpressure policy: stall, degrade, or shed")
@@ -502,7 +530,7 @@ func runIngest(args []string) error {
 		return fmt.Errorf("mode must be 3d or 4d, got %q", *mode)
 	}
 
-	src, err := makeSource(strings.ToLower(*source), dims, *dt, *seed)
+	precision, err := core.ParsePrecision(*precisionName)
 	if err != nil {
 		return err
 	}
@@ -532,14 +560,18 @@ func runIngest(args []string) error {
 		return err
 	}
 	cw.Sync = syncPol
-	eng, err := ingest.NewEngine(cfg, dims, cw)
-	if err != nil {
-		return err
+	var (
+		st     ingest.Stats
+		runErr error
+	)
+	if precision == core.Float32 {
+		st, runErr = ingestRunOf[float32](cfg, dims, cw, strings.ToLower(*source), *dt, *seed, *slices, ingest.NewEngine32)
+	} else {
+		st, runErr = ingestRunOf[float64](cfg, dims, cw, strings.ToLower(*source), *dt, *seed, *slices, ingest.NewEngine)
 	}
-	st, runErr := eng.Run(src, *slices)
 	closeErr := cw.Close()
 
-	rawBytes := int64(st.SlicesIn) * int64(dims.Len()) * 8
+	rawBytes := int64(st.SlicesIn) * int64(dims.Len()) * int64(precision.SampleBytes())
 	fmt.Printf("ingested %d slices (%s raw): %d windows appended, %d shed (%d slices lost, journaled as gaps)\n",
 		st.SlicesIn, fmtBytes(rawBytes), st.WindowsAppended, st.WindowsShed, st.SlicesShed)
 	if st.Backpressure > 0 || st.DegradeSteps > 0 || st.LevelsShed > 0 {
@@ -550,6 +582,22 @@ func runIngest(args []string) error {
 		return fmt.Errorf("ingest aborted: %w (the journal at %s keeps every durably appended window; recover with stfsck)", runErr, *out)
 	}
 	return closeErr
+}
+
+// ingestRunOf builds the source and engine at the chosen precision and
+// runs the ingest; newEngine is ingest.NewEngine or ingest.NewEngine32.
+func ingestRunOf[F num.Float](cfg ingest.Config, dims grid.Dims, cw *storage.ContainerWriter,
+	source string, dt float64, seed int64, slices int,
+	newEngine func(ingest.Config, grid.Dims, *storage.ContainerWriter) (*ingest.EngineOf[F], error)) (ingest.Stats, error) {
+	src, err := makeSourceOf[F](source, dims, dt, seed)
+	if err != nil {
+		return ingest.Stats{}, err
+	}
+	eng, err := newEngine(cfg, dims, cw)
+	if err != nil {
+		return ingest.Stats{}, err
+	}
+	return eng.Run(src, slices)
 }
 
 func runDecompress(args []string) error {
@@ -585,6 +633,22 @@ func runDecompress(args []string) error {
 		cwin, err := r.ReadWindow(i)
 		if err != nil {
 			return err
+		}
+		// Raw output files are float32 either way; float32 windows skip the
+		// widen entirely by reconstructing at their native precision.
+		if cwin.Precision == core.Float32 {
+			win, err := core.Decompress32(cwin)
+			if err != nil {
+				return err
+			}
+			for _, s := range win.Slices {
+				path := fmt.Sprintf("%s%04d.raw", *prefix, n)
+				if err := s.SaveRawFile(path); err != nil {
+					return err
+				}
+				n++
+			}
+			continue
 		}
 		win, err := core.Decompress(cwin)
 		if err != nil {
@@ -642,8 +706,8 @@ func runInfo(args []string) error {
 		if cwin.Progressive() {
 			layout = fmt.Sprintf(", progressive (%d level groups)", len(cwin.LevelBlocks))
 		}
-		fmt.Printf("  window %d: %v x %d slices, %v, ratio %g:1, codec %s, kernels %v/%v, levels %d/%d%s, %s\n",
-			i, cwin.Dims, cwin.NumSlices(), cwin.Opts.Mode, cwin.Opts.Ratio,
+		fmt.Printf("  window %d: %v x %d slices, %v, %s, ratio %g:1, codec %s, kernels %v/%v, levels %d/%d%s, %s\n",
+			i, cwin.Dims, cwin.NumSlices(), cwin.Opts.Mode, cwin.Precision, cwin.Opts.Ratio,
 			cwin.Codec().Name(), cwin.Opts.SpatialKernel, cwin.Opts.TemporalKernel,
 			cwin.SpatialLevels, cwin.TemporalLevels, layout, fmtBytes(sz))
 	}

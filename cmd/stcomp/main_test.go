@@ -173,3 +173,110 @@ func TestInfoAndDecompressWithGaps(t *testing.T) {
 		}
 	}
 }
+
+// TestRunCompressFloat32RoundTrip drives the full CLI at -precision f32:
+// compress raw volumes, inspect, decompress, and check every stored
+// window carries the float32 precision flag.
+func TestRunCompressFloat32RoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	d := grid.Dims{Nx: 8, Ny: 8, Nz: 8}
+	paths := make([]string, 6)
+	for i := range paths {
+		f := grid.NewField3D32(d.Nx, d.Ny, d.Nz)
+		for j := range f.Data {
+			f.Data[j] = float32(i) + float32(j)*0.01
+		}
+		paths[i] = filepath.Join(dir, "in"+strconv.Itoa(i)+".raw")
+		if err := f.SaveRawFile(paths[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := filepath.Join(dir, "f32.stw")
+	args := append([]string{
+		"-dims", "8x8x8", "-window", "3", "-ratio", "4",
+		"-precision", "f32", "-out", out,
+	}, paths...)
+	if err := runCompress(args); err != nil {
+		t.Fatal(err)
+	}
+	r, err := storage.OpenContainer(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < r.NumWindows(); i++ {
+		wi, err := r.WindowInfo(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wi.Precision != core.Float32 {
+			t.Errorf("window %d precision %v, want Float32", i, wi.Precision)
+		}
+	}
+	r.Close()
+	if err := runInfo([]string{"-in", out}); err != nil {
+		t.Fatal(err)
+	}
+	prefix := filepath.Join(dir, "recon")
+	if err := runDecompress([]string{"-in", out, "-prefix", prefix}); err != nil {
+		t.Fatal(err)
+	}
+	files, err := filepath.Glob(prefix + "*.raw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 6 {
+		t.Fatalf("decompress wrote %d files, want 6", len(files))
+	}
+}
+
+// TestRunIngestFloat32 runs the in-situ path at -precision f32.
+func TestRunIngestFloat32(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "ingest32.stw")
+	err := runIngest([]string{
+		"-source", "synth", "-dims", "8x8x8", "-slices", "8",
+		"-window", "4", "-ratio", "8", "-workers", "2",
+		"-precision", "f32", "-out", out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := storage.OpenContainer(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.NumWindows() != 2 {
+		t.Fatalf("ingest wrote %d windows, want 2", r.NumWindows())
+	}
+	for i := 0; i < r.NumWindows(); i++ {
+		wi, err := r.WindowInfo(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wi.Precision != core.Float32 {
+			t.Errorf("window %d precision %v, want Float32", i, wi.Precision)
+		}
+	}
+}
+
+// TestRunCompressFloat32RejectsOracleModes: the rate-control modes that
+// run on the float64 oracle must refuse -precision f32 loudly.
+func TestRunCompressFloat32RejectsOracleModes(t *testing.T) {
+	dir := t.TempDir()
+	d := grid.Dims{Nx: 8, Ny: 8, Nz: 8}
+	f := grid.NewField3D32(d.Nx, d.Ny, d.Nz)
+	in := filepath.Join(dir, "in.raw")
+	if err := f.SaveRawFile(in); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "x.stw")
+	if err := runCompress([]string{"-dims", "8x8x8", "-precision", "f32",
+		"-target-nrmse", "0.01", "-out", out, in}); err == nil {
+		t.Error("-target-nrmse with -precision f32 accepted")
+	}
+	if err := runCompress([]string{"-dims", "8x8x8", "-precision", "f32",
+		"-max-err", "0.01", "-out", out, in}); err == nil {
+		t.Error("-max-err with -precision f32 accepted")
+	}
+}

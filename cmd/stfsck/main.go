@@ -107,12 +107,14 @@ func runVerify(args []string, w io.Writer) (dirty bool, err error) {
 		format = "v2 (legacy, no journal)"
 	}
 	fmt.Fprintf(w, "%s: %d bytes, format %s\n", path, rep.Size, format)
-	fmt.Fprintf(w, "  windows: %d ok, %d corrupt%s\n", rep.Good, len(rep.Corrupt), codecSummary(rep))
+	fmt.Fprintf(w, "  windows: %d ok, %d corrupt%s%s\n", rep.Good, len(rep.Corrupt), codecSummary(rep), precisionSummary(rep))
 	for _, fr := range rep.Frames {
 		if fr.State != storage.FrameOK {
 			codec := fr.Codec
 			if codec == "" {
 				codec = "unreadable header"
+			} else if fr.Precision != "" {
+				codec += ", " + fr.Precision
 			}
 			fmt.Fprintf(w, "  window %d [%d, +%d): %s (codec %s)\n", fr.Index, fr.Offset, fr.Length, fr.State, codec)
 		}
@@ -150,6 +152,34 @@ func codecSummary(rep *storage.ScanReport) string {
 		return ""
 	}
 	s := " (codecs:"
+	for i, name := range order {
+		if i > 0 {
+			s += ","
+		}
+		s += fmt.Sprintf(" %d %s", counts[name], name)
+	}
+	return s + ")"
+}
+
+// precisionSummary renders the per-precision window counts of a scan,
+// e.g. " (precision: 3 f64, 2 f32)". Mixed containers are legal; the
+// census makes them visible. Empty when no window header parsed.
+func precisionSummary(rep *storage.ScanReport) string {
+	counts := map[string]int{}
+	var order []string
+	for _, fr := range rep.Frames {
+		if fr.Precision == "" {
+			continue
+		}
+		if _, seen := counts[fr.Precision]; !seen {
+			order = append(order, fr.Precision)
+		}
+		counts[fr.Precision]++
+	}
+	if len(order) == 0 {
+		return ""
+	}
+	s := " (precision:"
 	for i, name := range order {
 		if i > 0 {
 			s += ","

@@ -60,6 +60,11 @@ type Block interface {
 	// up to workers goroutines, zeroing discarded positions. Output is
 	// identical for every worker count.
 	DecodeInto(out []float64, workers int) error
+	// DecodeInto32 is DecodeInto at single precision: the float32 pipeline's
+	// native decode path, with no widen-then-narrow round trip. For blocks
+	// that store exact float32 values (sparse, entropy-lossless) the output
+	// bits equal the encoded input bits.
+	DecodeInto32(out []float32, workers int) error
 }
 
 // IdealSizer is implemented by blocks that can report the paper's
@@ -88,6 +93,11 @@ type Codec interface {
 	// workers goroutines. Zero-valued coefficients are treated as
 	// discarded. Output is bit-identical for every worker count.
 	EncodeSlices(datas [][]float64, workers int) ([]Block, error)
+	// EncodeSlices32 is EncodeSlices at single precision. The serialized
+	// bytes are identical to encoding the exactly-widened float64 copies —
+	// the on-disk formats never stored more than float32 values — so a
+	// reader cannot tell which precision produced a stream.
+	EncodeSlices32(datas [][]float32, workers int) ([]Block, error)
 	// WriteBlock serializes one of this codec's blocks. It fails on
 	// blocks produced by a different codec.
 	WriteBlock(w io.Writer, b Block) (int64, error)

@@ -54,6 +54,24 @@ func (c entropyCodec) EncodeSlices(datas [][]float64, workers int) ([]Block, err
 	return blocks, nil
 }
 
+func (c entropyCodec) EncodeSlices32(datas [][]float32, workers int) ([]Block, error) {
+	blocks := make([]Block, len(datas))
+	errs := make([]error, len(datas))
+	outer, inner := par.Split(workers, len(datas))
+	par.For(len(datas), outer, 1, func(start, end int) {
+		for i := start; i < end; i++ {
+			b, err := entropy.Encode32(datas[i], c.params, inner)
+			blocks[i], errs[i] = b, err
+		}
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("codec: encoding slice %d: %w", i, err)
+		}
+	}
+	return blocks, nil
+}
+
 func (c entropyCodec) WriteBlock(w io.Writer, b Block) (int64, error) {
 	eb, ok := b.(*entropy.Block)
 	if !ok {

@@ -27,6 +27,12 @@ func (b SparseBlock) DecodeInto(out []float64, workers int) error {
 	return b.DecodeIntoP(out, workers)
 }
 
+// DecodeInto32 expands the block into a float32 slice, reproducing the
+// stored float32 values bit-for-bit.
+func (b SparseBlock) DecodeInto32(out []float32, workers int) error {
+	return b.DecodeInto32P(out, workers)
+}
+
 // sparseCodec is the original backend: significance bitmap + raw float32
 // values, chunk-parallel through compress.EncodeBlocks/DecodeIntoP.
 type sparseCodec struct{}
@@ -39,6 +45,10 @@ func (sparseCodec) Name() string { return "sparse" }
 
 func (sparseCodec) EncodeSlices(datas [][]float64, workers int) ([]Block, error) {
 	return wrapAll(compress.EncodeBlocks(datas, workers)), nil
+}
+
+func (sparseCodec) EncodeSlices32(datas [][]float32, workers int) ([]Block, error) {
+	return wrapAll(compress.EncodeBlocks32(datas, workers)), nil
 }
 
 func (sparseCodec) WriteBlock(w io.Writer, b Block) (int64, error) {
@@ -72,6 +82,10 @@ func (deflateCodec) Name() string { return "deflate" }
 
 func (deflateCodec) EncodeSlices(datas [][]float64, workers int) ([]Block, error) {
 	return wrapAll(compress.EncodeBlocks(datas, workers)), nil
+}
+
+func (deflateCodec) EncodeSlices32(datas [][]float32, workers int) ([]Block, error) {
+	return wrapAll(compress.EncodeBlocks32(datas, workers)), nil
 }
 
 func (deflateCodec) WriteBlock(w io.Writer, b Block) (int64, error) {

@@ -94,7 +94,7 @@ func NewSparseBlockP(coeffs []float64, workers int) *SparseBlock {
 				v := coeffs[i]
 				if !fbits.Zero(v) {
 					b.Bitmap[i>>3] |= 1 << uint(i&7)
-					b.Values[vi] = float32(v)
+					b.Values[vi] = float32(v) //stlint:ignore trunccast the sparse block stores 32-bit values by format contract (DESIGN section 5)
 					vi++
 				}
 			}
@@ -158,7 +158,7 @@ func EncodeBlocks(datas [][]float64, workers int) []*SparseBlock {
 			for i, v := range datas[bi] {
 				if !fbits.Zero(v) {
 					b.Bitmap[i>>3] |= 1 << uint(i&7)
-					b.Values[vi] = float32(v)
+					b.Values[vi] = float32(v) //stlint:ignore trunccast the sparse block stores 32-bit values by format contract (DESIGN section 5)
 					vi++
 				}
 			}

@@ -1,0 +1,198 @@
+package compress
+
+import (
+	"fmt"
+
+	"stwave/internal/fbits"
+	"stwave/internal/par"
+	"stwave/internal/scratch"
+)
+
+// float32 encode/decode paths for SparseBlock. The on-disk layout already
+// stores values as float32, so the single-precision pipeline needs no
+// format change at all — only entry points that move coefficients between
+// []float32 slabs and the block without a float64 intermediary. Structure
+// and determinism mirror the float64 paths in sparse.go exactly.
+
+// NewSparseBlock32P encodes a thresholded float32 coefficient slice on up
+// to workers goroutines; output is identical for every worker count.
+func NewSparseBlock32P(coeffs []float32, workers int) *SparseBlock {
+	n := len(coeffs)
+	b := &SparseBlock{
+		Total:  n,
+		Bitmap: make([]byte, (n+7)/8),
+	}
+	if n == 0 {
+		return b
+	}
+	nch := (n + sparseChunk - 1) / sparseChunk
+	counts := scratch.Uint64s(nch)
+	par.For(nch, workers, 1, func(start, end int) {
+		for ci := start; ci < end; ci++ {
+			lo, hi := ci*sparseChunk, (ci+1)*sparseChunk
+			if hi > n {
+				hi = n
+			}
+			c := 0
+			for _, v := range coeffs[lo:hi] {
+				if !fbits.Zero32(v) {
+					c++
+				}
+			}
+			counts[ci] = uint64(c) //stlint:ignore trunccast c is a non-negative element count
+		}
+	})
+	k := 0
+	for ci := range counts {
+		c := int(counts[ci])   //stlint:ignore trunccast counts holds per-chunk tallies bounded by len(coeffs)
+		counts[ci] = uint64(k) //stlint:ignore trunccast k is a running non-negative prefix sum
+		k += c
+	}
+	if k == 0 {
+		scratch.PutUint64s(counts)
+		return b
+	}
+	b.Values = make([]float32, k)
+	par.For(nch, workers, 1, func(start, end int) {
+		for ci := start; ci < end; ci++ {
+			lo, hi := ci*sparseChunk, (ci+1)*sparseChunk
+			if hi > n {
+				hi = n
+			}
+			vi := int(counts[ci]) //stlint:ignore trunccast counts now holds prefix offsets bounded by len(b.Values)
+			for i := lo; i < hi; i++ {
+				v := coeffs[i]
+				if !fbits.Zero32(v) {
+					b.Bitmap[i>>3] |= 1 << uint(i&7)
+					b.Values[vi] = v
+					vi++
+				}
+			}
+		}
+	})
+	scratch.PutUint64s(counts)
+	return b
+}
+
+// EncodeBlocks32 encodes one block per float32 coefficient slice with all
+// blocks, bitmaps, and value arrays carved from three shared allocations —
+// the single-precision twin of EncodeBlocks.
+func EncodeBlocks32(datas [][]float32, workers int) []*SparseBlock {
+	nb := len(datas)
+	blocks := make([]*SparseBlock, nb)
+	if nb == 0 {
+		return blocks
+	}
+	arr := make([]SparseBlock, nb)
+	counts := scratch.Uint64s(nb)
+	par.For(nb, workers, 1, func(start, end int) {
+		for bi := start; bi < end; bi++ {
+			k := 0
+			for _, v := range datas[bi] {
+				if !fbits.Zero32(v) {
+					k++
+				}
+			}
+			counts[bi] = uint64(k) //stlint:ignore trunccast k is a non-negative element count
+		}
+	})
+	totalBits, totalVals := 0, 0
+	for bi, d := range datas {
+		totalBits += (len(d) + 7) / 8
+		totalVals += int(counts[bi]) //stlint:ignore trunccast counts holds per-slice tallies bounded by len(datas[bi])
+	}
+	bitmapSlab := make([]byte, totalBits)
+	valueSlab := make([]float32, totalVals)
+	bo, vo := 0, 0
+	for bi, d := range datas {
+		bn, vn := (len(d)+7)/8, int(counts[bi]) //stlint:ignore trunccast counts holds per-slice tallies bounded by len(d)
+		arr[bi] = SparseBlock{
+			Total:  len(d),
+			Bitmap: bitmapSlab[bo : bo+bn : bo+bn],
+		}
+		if vn > 0 {
+			arr[bi].Values = valueSlab[vo : vo+vn : vo+vn]
+		}
+		blocks[bi] = &arr[bi]
+		bo += bn
+		vo += vn
+	}
+	par.For(nb, workers, 1, func(start, end int) {
+		for bi := start; bi < end; bi++ {
+			b := blocks[bi]
+			vi := 0
+			for i, v := range datas[bi] {
+				if !fbits.Zero32(v) {
+					b.Bitmap[i>>3] |= 1 << uint(i&7)
+					b.Values[vi] = v
+					vi++
+				}
+			}
+		}
+	})
+	scratch.PutUint64s(counts)
+	return blocks
+}
+
+// DecodeInto32 expands the block into a caller-provided float32 slice of
+// length Total, bit-for-bit the stored values — no widen/narrow round
+// trip.
+func (b *SparseBlock) DecodeInto32(out []float32) error {
+	return b.DecodeInto32P(out, 1)
+}
+
+// DecodeInto32P is DecodeInto32 on up to workers goroutines; output is
+// identical for every worker count.
+func (b *SparseBlock) DecodeInto32P(out []float32, workers int) error {
+	if len(out) != b.Total {
+		return fmt.Errorf("compress: DecodeInto32P length %d != total %d", len(out), b.Total)
+	}
+	n := b.Total
+	if n == 0 {
+		return nil
+	}
+	nch := (n + sparseChunk - 1) / sparseChunk
+	counts := scratch.Uint64s(nch)
+	par.For(nch, workers, 1, func(start, end int) {
+		for ci := start; ci < end; ci++ {
+			lo, hi := ci*sparseChunk, (ci+1)*sparseChunk
+			if hi > n {
+				hi = n
+			}
+			pop := 0
+			for _, byteV := range b.Bitmap[lo>>3 : (hi+7)>>3] {
+				pop += popcount(byteV)
+			}
+			counts[ci] = uint64(pop) //stlint:ignore trunccast pop is a non-negative popcount
+		}
+	})
+	vi := 0
+	for ci := range counts {
+		c := int(counts[ci])    //stlint:ignore trunccast counts holds per-chunk popcounts bounded by b.Total
+		counts[ci] = uint64(vi) //stlint:ignore trunccast vi is a running non-negative prefix sum
+		vi += c
+	}
+	if vi > len(b.Values) {
+		scratch.PutUint64s(counts)
+		return fmt.Errorf("compress: bitmap popcount %d exceeds %d stored values", vi, len(b.Values))
+	}
+	par.For(nch, workers, 1, func(start, end int) {
+		for ci := start; ci < end; ci++ {
+			lo, hi := ci*sparseChunk, (ci+1)*sparseChunk
+			if hi > n {
+				hi = n
+			}
+			vi := int(counts[ci]) //stlint:ignore trunccast counts now holds prefix offsets, checked against len(b.Values) above
+			for i := lo; i < hi; i++ {
+				if b.Bitmap[i>>3]&(1<<uint(i&7)) != 0 {
+					out[i] = b.Values[vi]
+					vi++
+				} else {
+					out[i] = 0
+				}
+			}
+		}
+	})
+	scratch.PutUint64s(counts)
+	return nil
+}

@@ -1,0 +1,224 @@
+package compress
+
+import (
+	"math"
+	"sync"
+
+	"stwave/internal/par"
+	"stwave/internal/scratch"
+)
+
+// This file is the float32 mirror of threshold.go — the selection that
+// keeps the single-precision pipeline single-precision. The histogram and
+// the cut are keyed directly on float32 IEEE bit patterns: clearing the
+// sign bit of a non-NaN float32 leaves a uint32 whose unsigned order
+// matches the magnitude order, and shifting that key into the high half
+// of a uint64 lets the bucket walk, quickselect, and tie rules reuse the
+// float64 machinery (histShift, selectKthU64Desc) unchanged. Chunking,
+// tie admission in index order, and the worker-count invariance argument
+// are identical to the float64 implementation; the two files must be
+// changed together.
+
+// sign32Mask clears to produce the float32 magnitude key.
+const sign32Mask = 1 << 31
+
+// magKey32 is the sortable magnitude key of v: the float32 bit pattern
+// with the sign cleared, widened into the top half of a uint64 so bucket
+// indices and comparisons behave exactly like float64 keys.
+func magKey32(v float32) uint64 {
+	return uint64(math.Float32bits(v)&^uint32(sign32Mask)) << 32
+}
+
+func buildChunks32(slices [][]float32) (chunks []thChunk, total int) {
+	n := 0
+	for _, s := range slices {
+		n += (len(s) + thresholdChunk - 1) / thresholdChunk
+	}
+	chunks = make([]thChunk, 0, n)
+	for si, s := range slices {
+		for lo := 0; lo < len(s); lo += thresholdChunk {
+			hi := lo + thresholdChunk
+			if hi > len(s) {
+				hi = len(s)
+			}
+			chunks = append(chunks, thChunk{si: si, lo: lo, hi: hi})
+			total += hi - lo
+		}
+	}
+	return chunks, total
+}
+
+// cutKeySlices32 finds the magnitude-bit key of the keep-th largest
+// magnitude across all slices and returns it together with the number of
+// keys strictly greater than it. Requires 0 < keep <= total.
+func cutKeySlices32(slices [][]float32, chunks []thChunk, keep, workers int) (cut uint64, greater int) {
+	var mu sync.Mutex
+	var hist [histSize]int
+	par.For(len(chunks), workers, 1, func(start, end int) {
+		var local [histSize]int
+		for ci := start; ci < end; ci++ {
+			ch := chunks[ci]
+			for _, v := range slices[ch.si][ch.lo:ch.hi] {
+				local[magKey32(v)>>histShift]++
+			}
+		}
+		mu.Lock()
+		for i, c := range local {
+			if c != 0 {
+				hist[i] += c
+			}
+		}
+		mu.Unlock()
+	})
+
+	bucket, before := 0, 0
+	for b := histSize - 1; b >= 0; b-- {
+		if before+hist[b] >= keep {
+			bucket = b
+			break
+		}
+		before += hist[b]
+	}
+
+	cands := scratch.Uint64s(hist[bucket])
+	ci := 0
+	for _, s := range slices {
+		for _, v := range s {
+			if k := magKey32(v); int(k>>histShift) == bucket { //stlint:ignore trunccast the shift keeps 11 bits, far inside int range
+				cands[ci] = k
+				ci++
+			}
+		}
+	}
+	cut = selectKthU64Desc(cands, keep-1-before)
+	greater = before
+	for _, k := range cands {
+		if k > cut {
+			greater++
+		}
+	}
+	scratch.PutUint64s(cands)
+	return cut, greater
+}
+
+// Threshold32 zeroes, in place, all but the keep largest-magnitude entries
+// of coeffs and returns the number actually retained. Ties at the cut
+// magnitude are resolved in index order, deterministically.
+func Threshold32(coeffs []float32, keep int) int {
+	return ThresholdSlices32([][]float32{coeffs}, keep, 1)
+}
+
+// ThresholdSlices32 is ThresholdSlices at single precision: the keep
+// largest magnitudes across all slices survive, ties admitted in global
+// index order, output bit-identical for every worker count including 1.
+func ThresholdSlices32(slices [][]float32, keep, workers int) int {
+	chunks, total := buildChunks32(slices)
+	if keep >= total {
+		return total
+	}
+	if keep <= 0 {
+		par.For(len(chunks), workers, 1, func(start, end int) {
+			for ci := start; ci < end; ci++ {
+				ch := chunks[ci]
+				data := slices[ch.si][ch.lo:ch.hi]
+				for j := range data {
+					data[j] = 0
+				}
+			}
+		})
+		return 0
+	}
+
+	cut, totalGreater := cutKeySlices32(slices, chunks, keep, workers)
+
+	if workers <= 1 {
+		budget := keep - totalGreater
+		for _, ch := range chunks {
+			data := slices[ch.si][ch.lo:ch.hi]
+			for j, v := range data {
+				k := magKey32(v)
+				if k > cut {
+					continue
+				}
+				if k == cut && budget > 0 {
+					budget--
+					continue
+				}
+				data[j] = 0
+			}
+		}
+		return keep
+	}
+
+	nch := len(chunks)
+	ties := scratch.Uint64s(nch)
+	par.For(nch, workers, 1, func(start, end int) {
+		for ci := start; ci < end; ci++ {
+			ch := chunks[ci]
+			t := 0
+			for _, v := range slices[ch.si][ch.lo:ch.hi] {
+				if magKey32(v) == cut {
+					t++
+				}
+			}
+			ties[ci] = uint64(t) //stlint:ignore trunccast t is a non-negative tie count
+		}
+	})
+
+	budget := keep - totalGreater
+	for ci := range ties {
+		admit := int(ties[ci]) //stlint:ignore trunccast ties holds per-chunk tallies bounded by the chunk size
+		if admit > budget {
+			admit = budget
+		}
+		ties[ci] = uint64(admit)
+		budget -= admit
+	}
+
+	par.For(nch, workers, 1, func(start, end int) {
+		for ci := start; ci < end; ci++ {
+			ch := chunks[ci]
+			data := slices[ch.si][ch.lo:ch.hi]
+			admit := int(ties[ci]) //stlint:ignore trunccast ties holds clamped admit budgets bounded by keep
+			for j, v := range data {
+				k := magKey32(v)
+				if k > cut {
+					continue
+				}
+				if k == cut && admit > 0 {
+					admit--
+					continue
+				}
+				data[j] = 0
+			}
+		}
+	})
+
+	scratch.PutUint64s(ties)
+	return keep
+}
+
+// ThresholdRatio32 discards coefficients so that a ratio:1 compression is
+// achieved, returning the retained count.
+func ThresholdRatio32(coeffs []float32, ratio float64) (int, error) {
+	keep, err := KeepCount(len(coeffs), ratio)
+	if err != nil {
+		return 0, err
+	}
+	return Threshold32(coeffs, keep), nil
+}
+
+// CutoffMagnitude32 returns the magnitude of the keep-th largest
+// coefficient without modifying coeffs.
+func CutoffMagnitude32(coeffs []float32, keep int) float32 {
+	if keep <= 0 || len(coeffs) == 0 {
+		return float32(math.Inf(1)) //stlint:ignore trunccast IEEE +Inf is exactly representable at both widths
+	}
+	if keep >= len(coeffs) {
+		return 0
+	}
+	slices := [][]float32{coeffs}
+	chunks, _ := buildChunks32(slices)
+	cut, _ := cutKeySlices32(slices, chunks, keep, 1)
+	return math.Float32frombits(uint32(cut >> 32)) //stlint:ignore trunccast the key's low 32 bits are zero by construction
+}

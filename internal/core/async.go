@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"stwave/internal/grid"
+	"stwave/internal/num"
 )
 
 // Pipeline is the reusable compress-and-deliver engine behind AsyncWriter
@@ -175,10 +177,18 @@ func (p *Pipeline) Close() error {
 //
 // WriteSlice, Flush, and Close must be called from a single goroutine;
 // the sink is also invoked from a single (internal) goroutine.
-type AsyncWriter struct {
+type AsyncWriter = AsyncWriterOf[float64]
+
+// AsyncWriter32 is the pipelined writer of the single-precision pipeline:
+// float32 slices buffer and compress at 4 bytes per sample end to end.
+type AsyncWriter32 = AsyncWriterOf[float32]
+
+// AsyncWriterOf is the precision-generic pipelined writer behind
+// AsyncWriter and AsyncWriter32.
+type AsyncWriterOf[F num.Float] struct {
 	comp    *Compressor
 	dims    grid.Dims
-	pending *grid.Window
+	pending *grid.WindowOf[F]
 	pipe    *Pipeline
 
 	slicesIn int
@@ -187,6 +197,20 @@ type AsyncWriter struct {
 // NewAsyncWriter creates a pipelined writer with the given number of
 // compression workers (>= 1) and a bounded queue of the same depth.
 func NewAsyncWriter(opts Options, dims grid.Dims, workers int, sink Sink) (*AsyncWriter, error) {
+	return newAsyncWriterOf[float64](opts, dims, workers, sink)
+}
+
+// NewAsyncWriter32 creates a pipelined single-precision writer. Options
+// with MaxErr set are rejected (the error-bounded mode runs on the
+// float64 oracle).
+func NewAsyncWriter32(opts Options, dims grid.Dims, workers int, sink Sink) (*AsyncWriter32, error) {
+	if opts.MaxErr > 0 {
+		return nil, fmt.Errorf("core: error-bounded mode (MaxErr) requires the float64 pipeline")
+	}
+	return newAsyncWriterOf[float32](opts, dims, workers, sink)
+}
+
+func newAsyncWriterOf[F num.Float](opts Options, dims grid.Dims, workers int, sink Sink) (*AsyncWriterOf[F], error) {
 	comp, err := New(opts)
 	if err != nil {
 		return nil, err
@@ -203,7 +227,7 @@ func NewAsyncWriter(opts Options, dims grid.Dims, workers int, sink Sink) (*Asyn
 	if err != nil {
 		return nil, err
 	}
-	return &AsyncWriter{comp: comp, dims: dims, pipe: pipe}, nil
+	return &AsyncWriterOf[F]{comp: comp, dims: dims, pipe: pipe}, nil
 }
 
 // WriteSlice appends one slice; full windows are queued for background
@@ -211,13 +235,13 @@ func NewAsyncWriter(opts Options, dims grid.Dims, workers int, sink Sink) (*Asyn
 // Once a worker or the sink has failed, WriteSlice reports the sticky
 // error immediately instead of buffering toward a Flush that cannot
 // succeed.
-func (aw *AsyncWriter) WriteSlice(f *grid.Field3D, t float64) error {
+func (aw *AsyncWriterOf[F]) WriteSlice(f *grid.Field3DOf[F], t float64) error {
 	if f.Dims != aw.dims {
 		return fmt.Errorf("core: slice dims %v != writer dims %v", f.Dims, aw.dims)
 	}
 	aw.slicesIn++
 	if aw.pending == nil {
-		aw.pending = grid.NewWindow(aw.dims)
+		aw.pending = grid.NewWindowOf[F](aw.dims)
 	}
 	if err := aw.pending.Append(f.Clone(), t); err != nil {
 		return err
@@ -233,11 +257,11 @@ func (aw *AsyncWriter) WriteSlice(f *grid.Field3D, t float64) error {
 	return nil
 }
 
-func (aw *AsyncWriter) enqueue() error {
+func (aw *AsyncWriterOf[F]) enqueue() error {
 	win := aw.pending
 	aw.pending = nil
 	_, err := aw.pipe.Submit(func() (*CompressedWindow, error) {
-		return aw.comp.CompressWindow(win)
+		return compressWindowOf(context.Background(), aw.comp, win)
 	})
 	return err
 }
@@ -245,7 +269,7 @@ func (aw *AsyncWriter) enqueue() error {
 // Flush queues any partial window, waits for all background work, and
 // returns the first error encountered by a worker or the sink. The writer
 // cannot be used afterwards.
-func (aw *AsyncWriter) Flush() error {
+func (aw *AsyncWriterOf[F]) Flush() error {
 	if aw.pending != nil && aw.pending.Len() > 0 {
 		if err := aw.enqueue(); err != nil {
 			aw.pipe.Close()
@@ -258,10 +282,10 @@ func (aw *AsyncWriter) Flush() error {
 // Close drains background work without flushing any partial window — the
 // abort path after an error. Like Flush, the writer cannot be used
 // afterwards. Close is idempotent.
-func (aw *AsyncWriter) Close() error {
+func (aw *AsyncWriterOf[F]) Close() error {
 	aw.pending = nil
 	return aw.pipe.Close()
 }
 
 // SlicesIn reports the number of slices accepted.
-func (aw *AsyncWriter) SlicesIn() int { return aw.slicesIn }
+func (aw *AsyncWriterOf[F]) SlicesIn() int { return aw.slicesIn }

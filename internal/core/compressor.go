@@ -6,8 +6,8 @@ import (
 	"time"
 
 	"stwave/internal/codec"
-	"stwave/internal/compress"
 	"stwave/internal/grid"
+	"stwave/internal/num"
 	"stwave/internal/obs"
 	"stwave/internal/par"
 	"stwave/internal/scratch"
@@ -65,6 +65,12 @@ type CompressedWindow struct {
 	// SpatialLevels+1 when finer levels were shed. Exactly one of
 	// Blocks / LevelBlocks is populated.
 	LevelBlocks [][]codec.Block
+	// Precision records which pipeline produced the window: Float32
+	// windows were transformed, thresholded, and encoded entirely at
+	// single precision and decode natively through Decompress32. The flag
+	// is serialized in the window header; legacy containers (which never
+	// set it) read back as Float64.
+	Precision Precision
 	// MaxErrAchieved / ROIMaxErrAchieved record the verified maximum
 	// absolute reconstruction errors (background / ROI) measured at
 	// compress time by the error-bounded mode. Informational only: they
@@ -178,28 +184,59 @@ func (c *Compressor) CompressWindow(w *grid.Window) (*CompressedWindow, error) {
 // size; the coefficient view is handed to the slice-aware threshold and
 // encode stages directly, with no gather/scatter copies.
 func (c *Compressor) CompressWindowCtx(ctx context.Context, w *grid.Window) (*CompressedWindow, error) {
+	return compressWindowOf(ctx, c, w)
+}
+
+// CompressWindow32 compresses a float32 window through the
+// single-precision pipeline: transform, threshold, and encode all move
+// 4-byte samples, halving the bytes on every memory-bound stage. The
+// error-bounded mode (MaxErr) is defined on the float64 oracle and is
+// rejected here.
+func (c *Compressor) CompressWindow32(w *grid.Window32) (*CompressedWindow, error) {
+	return c.CompressWindow32Ctx(context.Background(), w)
+}
+
+// CompressWindow32Ctx is CompressWindow32 with context propagation.
+func (c *Compressor) CompressWindow32Ctx(ctx context.Context, w *grid.Window32) (*CompressedWindow, error) {
+	return compressWindowOf(ctx, c, w)
+}
+
+// CompressWindowOf is the precision-generic entry point for callers that
+// are themselves generic over the sample type (the streaming ingest
+// engine). It is exactly CompressWindowCtx / CompressWindow32Ctx,
+// selected by F.
+func CompressWindowOf[F num.Float](ctx context.Context, c *Compressor, w *grid.WindowOf[F]) (*CompressedWindow, error) {
+	return compressWindowOf(ctx, c, w)
+}
+
+// compressWindowOf is the precision-generic compress orchestration shared
+// by CompressWindowCtx (F = float64) and CompressWindow32Ctx (F =
+// float32). Stage implementations are dispatched to their concrete
+// per-precision code (see precision.go), so the float64 instantiation runs
+// exactly the loops it always has.
+func compressWindowOf[F num.Float](ctx context.Context, c *Compressor, w *grid.WindowOf[F]) (*CompressedWindow, error) {
 	if w.Len() == 0 {
 		return nil, fmt.Errorf("core: cannot compress an empty window")
 	}
 	ctx, sp := obs.Start(ctx, "core.compress_window")
 	defer sp.End()
 	t, s := w.Len(), w.Dims.Len()
-	slab := scratch.Floats(t * s)
-	defer scratch.PutFloats(slab)
-	fields := make([]grid.Field3D, t)
-	slices := make([]*grid.Field3D, t)
-	datas := make([][]float64, t)
+	slab := scratch.FloatsOf[F](t * s)
+	defer scratch.PutFloatsOf(slab)
+	fields := make([]grid.Field3DOf[F], t)
+	slices := make([]*grid.Field3DOf[F], t)
+	datas := make([][]F, t)
 	for i := range fields {
 		d := slab[i*s : (i+1)*s : (i+1)*s]
 		copy(d, w.Slices[i].Data)
-		fields[i] = grid.Field3D{Dims: w.Dims, Data: d}
+		fields[i] = grid.Field3DOf[F]{Dims: w.Dims, Data: d}
 		slices[i] = &fields[i]
 		datas[i] = d
 	}
-	work := &grid.Window{Dims: w.Dims, Slices: slices, Times: w.Times}
+	work := &grid.WindowOf[F]{Dims: w.Dims, Slices: slices, Times: w.Times}
 	spec := c.opts.spec(work.Dims, work.Len())
 	workers := par.Workers(c.opts.Workers)
-	rawBytes := int64(work.TotalSamples()) * 8
+	rawBytes := int64(work.TotalSamples()) * int64(num.SampleBytes[F]())
 
 	if err := transform.Forward4DCtx(ctx, work, spec); err != nil {
 		return nil, fmt.Errorf("core: forward transform: %w", err)
@@ -212,15 +249,22 @@ func (c *Compressor) CompressWindowCtx(ctx context.Context, w *grid.Window) (*Co
 		Opts:           c.opts,
 		SpatialLevels:  spec.SpatialLevels,
 		TemporalLevels: spec.TemporalLevels,
+		Precision:      precisionOf[F](),
 	}
 
 	if c.opts.MaxErr > 0 {
 		// Error-bounded mode: threshold and encode fuse into one
 		// verified loop, because the bound is checked on the exact
-		// encoded stream (codec quantization included).
+		// encoded stream (codec quantization included). The mode is
+		// defined on the float64 oracle only.
+		w64, okW := any(w).(*grid.Window)
+		datas64, okD := any(datas).([][]float64)
+		if !okW || !okD {
+			return nil, fmt.Errorf("core: error-bounded mode (MaxErr) requires the float64 pipeline")
+		}
 		_, spTh := obs.Start(ctx, "core.threshold_maxerr")
 		start := time.Now()
-		err := c.thresholdMaxErr(w, datas, spec, workers, cw)
+		err := c.thresholdMaxErr(w64, datas64, spec, workers, cw)
 		spTh.End()
 		if err != nil {
 			return nil, err
@@ -229,7 +273,7 @@ func (c *Compressor) CompressWindowCtx(ctx context.Context, w *grid.Window) (*Co
 	} else {
 		_, spTh := obs.Start(ctx, "core.threshold")
 		start := time.Now()
-		if err := c.threshold(datas, workers); err != nil {
+		if err := thresholdOf(c.opts, datas, workers); err != nil {
 			spTh.End()
 			return nil, err
 		}
@@ -239,14 +283,14 @@ func (c *Compressor) CompressWindowCtx(ctx context.Context, w *grid.Window) (*Co
 		_, spEnc := obs.Start(ctx, "core.encode")
 		start = time.Now()
 		if c.opts.Progressive {
-			levelBlocks, err := encodeProgressive(cdc, datas, work.Dims, spec.SpatialLevels, workers)
+			levelBlocks, err := encodeProgressiveOf(cdc, datas, work.Dims, spec.SpatialLevels, workers)
 			if err != nil {
 				spEnc.End()
 				return nil, err
 			}
 			cw.LevelBlocks = levelBlocks
 		} else {
-			blocks, err := cdc.EncodeSlices(datas, workers)
+			blocks, err := encodeSlicesOf(cdc, datas, workers)
 			if err != nil {
 				spEnc.End()
 				return nil, fmt.Errorf("core: %s encode: %w", cdc.Name(), err)
@@ -265,39 +309,6 @@ func (c *Compressor) CompressWindowCtx(ctx context.Context, w *grid.Window) (*Co
 	return cw, nil
 }
 
-// threshold applies the ratio budget: per-slice for 3D (and for the
-// PerSliceBudget ablation), jointly over the whole window for 4D. All
-// slices share one grid, so the per-slice keep count is computed once.
-func (c *Compressor) threshold(datas [][]float64, workers int) error {
-	if c.opts.Mode == Spatial3D || c.opts.PerSliceBudget {
-		if len(datas) == 0 {
-			return nil
-		}
-		keep, err := compress.KeepCount(len(datas[0]), c.opts.Ratio)
-		if err != nil {
-			return err
-		}
-		par.For(len(datas), workers, 1, func(start, end int) {
-			for i := start; i < end; i++ {
-				compress.ThresholdSlices(datas[i:i+1], keep, 1)
-			}
-		})
-		return nil
-	}
-	// Joint budget: rank all T*S coefficients together, in place across
-	// the slice views.
-	total := 0
-	for _, d := range datas {
-		total += len(d)
-	}
-	keep, err := compress.KeepCount(total, c.opts.Ratio)
-	if err != nil {
-		return err
-	}
-	compress.ThresholdSlices(datas, keep, workers)
-	return nil
-}
-
 // Decompress reconstructs the window from its compressed form. The result is
 // a fully-allocated window independent of cw.
 func Decompress(cw *CompressedWindow) (*grid.Window, error) {
@@ -307,7 +318,30 @@ func Decompress(cw *CompressedWindow) (*grid.Window, error) {
 // DecompressCtx is Decompress with context propagation: the sparse-decode
 // and inverse-transform stages record spans under any trace carried by
 // ctx, and decode throughput lands in the process-wide metrics registry.
+//
+// Windows of either precision decode through this path (blocks widen
+// their float32 values exactly); use Decompress32 for the native
+// single-precision reconstruction of a Float32 window.
 func DecompressCtx(ctx context.Context, cw *CompressedWindow) (*grid.Window, error) {
+	return decompressOf[float64](ctx, cw)
+}
+
+// Decompress32 reconstructs the window natively at single precision:
+// blocks decode straight into float32 slabs and the inverse transform
+// runs at 4 bytes per sample. It is the bit-faithful reconstruction of a
+// window compressed by CompressWindow32.
+func Decompress32(cw *CompressedWindow) (*grid.Window32, error) {
+	return Decompress32Ctx(context.Background(), cw)
+}
+
+// Decompress32Ctx is Decompress32 with context propagation.
+func Decompress32Ctx(ctx context.Context, cw *CompressedWindow) (*grid.Window32, error) {
+	return decompressOf[float32](ctx, cw)
+}
+
+// decompressOf is the precision-generic decompress orchestration behind
+// DecompressCtx (F = float64) and Decompress32Ctx (F = float32).
+func decompressOf[F num.Float](ctx context.Context, cw *CompressedWindow) (*grid.WindowOf[F], error) {
 	if cw.NumSlices() == 0 {
 		return nil, fmt.Errorf("core: empty compressed window")
 	}
@@ -318,7 +352,7 @@ func DecompressCtx(ctx context.Context, cw *CompressedWindow) (*grid.Window, err
 		// Full-resolution decode of a level-major window: scatter every
 		// group and invert — the operations (and bits) match the legacy
 		// path exactly.
-		return DecompressLevelsCtx(ctx, cw, cw.SpatialLevels)
+		return decompressLevelsOf[F](ctx, cw, cw.SpatialLevels)
 	}
 	ctx, sp := obs.Start(ctx, "core.decompress")
 	defer sp.End()
@@ -334,9 +368,9 @@ func DecompressCtx(ctx context.Context, cw *CompressedWindow) (*grid.Window, err
 	// The result window is carved from a single backing slab: the caller
 	// owns it, so it cannot come from the pool, but one allocation replaces
 	// one per slice and the blocks decode into it in parallel.
-	slab := make([]float64, t*s)
-	fields := make([]grid.Field3D, t)
-	slices := make([]*grid.Field3D, t)
+	slab := make([]F, t*s)
+	fields := make([]grid.Field3DOf[F], t)
+	slices := make([]*grid.Field3DOf[F], t)
 	times := make([]float64, t)
 	workers := par.Workers(cw.Opts.Workers)
 	errs := make([]error, t)
@@ -344,8 +378,8 @@ func DecompressCtx(ctx context.Context, cw *CompressedWindow) (*grid.Window, err
 	par.For(t, outer, 1, func(start, end int) {
 		for i := start; i < end; i++ {
 			d := slab[i*s : (i+1)*s : (i+1)*s]
-			errs[i] = cw.Blocks[i].DecodeInto(d, inner)
-			fields[i] = grid.Field3D{Dims: cw.Dims, Data: d}
+			errs[i] = decodeBlockIntoOf(cw.Blocks[i], d, inner)
+			fields[i] = grid.Field3DOf[F]{Dims: cw.Dims, Data: d}
 			slices[i] = &fields[i]
 			times[i] = float64(i)
 			if cw.Times != nil && i < len(cw.Times) {
@@ -358,11 +392,12 @@ func DecompressCtx(ctx context.Context, cw *CompressedWindow) (*grid.Window, err
 			return nil, err
 		}
 	}
-	w := &grid.Window{Dims: cw.Dims, Slices: slices, Times: times}
+	w := &grid.WindowOf[F]{Dims: cw.Dims, Slices: slices, Times: times}
 	spDec.End()
 	decElapsed := time.Since(start)
-	observeThroughput("compress.decode_mb_per_s", int64(w.TotalSamples())*8, decElapsed)
-	observeThroughput("codec.decode_mb_per_s."+cw.Codec().Name(), int64(w.TotalSamples())*8, decElapsed)
+	rawBytes := int64(w.TotalSamples()) * int64(num.SampleBytes[F]())
+	observeThroughput("compress.decode_mb_per_s", rawBytes, decElapsed)
+	observeThroughput("codec.decode_mb_per_s."+cw.Codec().Name(), rawBytes, decElapsed)
 	spec := transform.Spec{
 		SpatialKernel:  cw.Opts.SpatialKernel,
 		SpatialLevels:  cw.SpatialLevels,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"stwave/internal/grid"
+	"stwave/internal/num"
 	"stwave/internal/transform"
 )
 
@@ -72,7 +73,7 @@ func groupRows(g LevelGroup, rowDims grid.Dims, fn func(rowBase, x0, n int)) {
 // gatherGroup copies the group's coefficients out of a full-grid Mallat
 // layout (dims full) into dst in canonical order, returning the number
 // of coefficients written. dst must have room for g.Count values.
-func gatherGroup(dst, src []float64, full grid.Dims, g LevelGroup) int {
+func gatherGroup[F num.Float](dst, src []F, full grid.Dims, g LevelGroup) int {
 	n := 0
 	groupRows(g, full, func(rowBase, x0, runLen int) {
 		copy(dst[n:n+runLen], src[rowBase+x0:rowBase+x0+runLen])
@@ -86,7 +87,7 @@ func gatherGroup(dst, src []float64, full grid.Dims, g LevelGroup) int {
 // that contains g.Outer — scattering into CoarseDims(d, L-K) places the
 // group at the same (x, y, z) coordinates it occupied in the full grid,
 // which is what makes partial reconstruction a plain K-level inverse.
-func scatterGroup(dst []float64, sub grid.Dims, src []float64, g LevelGroup) int {
+func scatterGroup[F num.Float](dst []F, sub grid.Dims, src []F, g LevelGroup) int {
 	n := 0
 	groupRows(g, sub, func(rowBase, x0, runLen int) {
 		copy(dst[rowBase+x0:rowBase+x0+runLen], src[n:n+runLen])

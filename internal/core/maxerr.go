@@ -227,7 +227,7 @@ func (c *Compressor) thresholdMaxErr(orig *grid.Window, datas [][]float64, spec 
 		var levelBlocks [][]codec.Block
 		var err error
 		if c.opts.Progressive {
-			levelBlocks, err = encodeProgressive(cdc, datas, dims, levels, workers)
+			levelBlocks, err = encodeProgressiveOf(cdc, datas, dims, levels, workers)
 		} else {
 			blocks, err = cdc.EncodeSlices(datas, workers)
 			if err != nil {

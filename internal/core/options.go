@@ -48,6 +48,55 @@ func (m Mode) String() string {
 	return fmt.Sprintf("Mode(%d)", int(m))
 }
 
+// Precision selects the sample precision the pipeline runs at end to end:
+// transform, threshold, encode, and decode all move samples of this width.
+// Float64 is the reference oracle; Float32 halves the bytes on every
+// memory-bound stage at the cost of float32 rounding in the transform.
+type Precision int
+
+const (
+	// Float64 is the double-precision reference pipeline (the default).
+	Float64 Precision = iota
+	// Float32 is the single-precision fast path. Coefficient formats are
+	// unchanged (they always stored float32 values), so only the window
+	// header records which pipeline produced a stream.
+	Float32
+)
+
+// String returns the CLI-facing name ("f64" / "f32").
+func (p Precision) String() string {
+	switch p {
+	case Float64:
+		return "f64"
+	case Float32:
+		return "f32"
+	}
+	return fmt.Sprintf("Precision(%d)", int(p))
+}
+
+// Valid reports whether p names a supported precision.
+func (p Precision) Valid() bool { return p == Float64 || p == Float32 }
+
+// SampleBytes returns the width of one sample at this precision.
+func (p Precision) SampleBytes() int {
+	if p == Float32 {
+		return 4
+	}
+	return 8
+}
+
+// ParsePrecision resolves a CLI name ("f64", "f32"; "float64"/"float32"
+// accepted as aliases). The empty string means Float64.
+func ParsePrecision(s string) (Precision, error) {
+	switch s {
+	case "", "f64", "float64":
+		return Float64, nil
+	case "f32", "float32":
+		return Float32, nil
+	}
+	return 0, fmt.Errorf("core: unknown precision %q (want f64 or f32)", s)
+}
+
 // Options configures a Compressor.
 type Options struct {
 	// Mode selects 3D (per-slice) or 4D (windowed spatiotemporal)
@@ -89,6 +138,12 @@ type Options struct {
 	// codec block header per (level, slice) pair; legacy readers reject
 	// progressive windows typed rather than misparsing them.
 	Progressive bool
+	// Precision selects the pipeline's sample width (Float64 unless set).
+	// It declares which entry points a configuration is meant for —
+	// CompressWindow at Float64, CompressWindow32 at Float32 — and is what
+	// the streaming writers and CLIs switch on. The error-bounded mode
+	// (MaxErr) is defined on the float64 oracle only.
+	Precision Precision
 	// MaxErr, when > 0, replaces the Ratio budget with an error-bounded
 	// mode: coefficients are thresholded adaptively per band and the
 	// bound is verified on the exact encoded stream (inverse transform
@@ -165,6 +220,12 @@ func (o Options) Validate() error {
 	}
 	if o.MaxErr < 0 {
 		return fmt.Errorf("core: negative max error bound %g", o.MaxErr)
+	}
+	if !o.Precision.Valid() {
+		return fmt.Errorf("core: invalid precision %d", int(o.Precision))
+	}
+	if o.Precision == Float32 && o.MaxErr > 0 {
+		return fmt.Errorf("core: error-bounded mode (MaxErr) requires the float64 pipeline; drop MaxErr or use f64 precision")
 	}
 	if o.ROI != nil {
 		if o.MaxErr <= 0 {

@@ -11,6 +11,7 @@ import (
 
 	"stwave/internal/codec"
 	"stwave/internal/grid"
+	"stwave/internal/num"
 	"stwave/internal/obs"
 	"stwave/internal/par"
 	"stwave/internal/scratch"
@@ -316,18 +317,18 @@ func ReadCompressedWindowLevels(r io.Reader, maxLevel int) (*CompressedWindow, e
 	return readCompressedWindow(r, maxLevel, true)
 }
 
-// encodeProgressive gathers thresholded full-grid coefficient slices
+// encodeProgressiveOf gathers thresholded full-grid coefficient slices
 // into level groups (coarsest first) and encodes one block per (group,
-// slice) pair — the level-major layout. The per-group gather buffers
-// come from the scratch pool.
-func encodeProgressive(cdc codec.Codec, datas [][]float64, dims grid.Dims, spatialLevels, workers int) ([][]codec.Block, error) {
+// slice) pair — the level-major layout, at either precision. The
+// per-group gather buffers come from the scratch pool.
+func encodeProgressiveOf[F num.Float](cdc codec.Codec, datas [][]F, dims grid.Dims, spatialLevels, workers int) ([][]codec.Block, error) {
 	groups := LevelGroups(dims, spatialLevels)
 	t := len(datas)
 	levelBlocks := make([][]codec.Block, len(groups))
 	encodeGroup := func(g int, lg LevelGroup) ([]codec.Block, error) {
-		slab := scratch.Floats(t * lg.Count)
-		defer scratch.PutFloats(slab)
-		gdatas := make([][]float64, t)
+		slab := scratch.FloatsOf[F](t * lg.Count)
+		defer scratch.PutFloatsOf(slab)
+		gdatas := make([][]F, t)
 		for i, d := range datas {
 			buf := slab[i*lg.Count : (i+1)*lg.Count : (i+1)*lg.Count]
 			if n := gatherGroup(buf, d, dims, lg); n != lg.Count {
@@ -335,7 +336,7 @@ func encodeProgressive(cdc codec.Codec, datas [][]float64, dims grid.Dims, spati
 			}
 			gdatas[i] = buf
 		}
-		blocks, err := cdc.EncodeSlices(gdatas, workers)
+		blocks, err := encodeSlicesOf(cdc, gdatas, workers)
 		if err != nil {
 			return nil, fmt.Errorf("core: %s encode of level group %d: %w", cdc.Name(), g, err)
 		}
@@ -383,7 +384,7 @@ func validateLevelBlocks(cw *CompressedWindow) error {
 // Groups beyond those present decode as zeros; datas must arrive
 // zero-filled. firstLevel skips groups below it (the refinement path,
 // whose coarser groups are already in place).
-func scatterLevels(cw *CompressedWindow, datas [][]float64, sub grid.Dims, firstLevel, maxLevel, workers int) error {
+func scatterLevels[F num.Float](cw *CompressedWindow, datas [][]F, sub grid.Dims, firstLevel, maxLevel, workers int) error {
 	groups := LevelGroups(cw.Dims, cw.SpatialLevels)
 	last := maxLevel
 	if last > len(cw.LevelBlocks)-1 {
@@ -402,8 +403,8 @@ func scatterLevels(cw *CompressedWindow, datas [][]float64, sub grid.Dims, first
 	errs := make([]error, t)
 	outer, inner := par.Split(workers, t)
 	par.For(t, outer, 1, func(start, end int) {
-		buf := scratch.Floats(maxCount)
-		defer scratch.PutFloats(buf)
+		buf := scratch.FloatsOf[F](maxCount)
+		defer scratch.PutFloatsOf(buf)
 		for i := start; i < end; i++ {
 			for g := firstLevel; g <= last; g++ {
 				lg := groups[g]
@@ -413,7 +414,7 @@ func scatterLevels(cw *CompressedWindow, datas [][]float64, sub grid.Dims, first
 						g, i, b.Total(), lg.Count)
 					return
 				}
-				if err := b.DecodeInto(buf[:lg.Count], inner); err != nil {
+				if err := decodeBlockIntoOf(b, buf[:lg.Count], inner); err != nil {
 					errs[i] = err
 					return
 				}
@@ -434,11 +435,11 @@ func scatterLevels(cw *CompressedWindow, datas [][]float64, sub grid.Dims, first
 // matching transform.CoarseApproximation's convention so a level-K
 // reconstruction is directly comparable to a coarse preview of the
 // original field.
-func approxRescale(datas [][]float64, skippedLevels, workers int) {
+func approxRescale[F num.Float](datas [][]F, skippedLevels, workers int) {
 	if skippedLevels <= 0 {
 		return
 	}
-	scale := math.Pow(math.Sqrt2, -3*float64(skippedLevels))
+	scale := F(math.Pow(math.Sqrt2, -3*float64(skippedLevels)))
 	par.For(len(datas), workers, 1, func(start, end int) {
 		for i := start; i < end; i++ {
 			d := datas[i]
@@ -464,6 +465,23 @@ func DecompressLevels(cw *CompressedWindow, maxLevel int) (*grid.Window, error) 
 // DecompressLevelsCtx is DecompressLevels with context propagation for
 // tracing spans, mirroring DecompressCtx.
 func DecompressLevelsCtx(ctx context.Context, cw *CompressedWindow, maxLevel int) (*grid.Window, error) {
+	return decompressLevelsOf[float64](ctx, cw, maxLevel)
+}
+
+// DecompressLevels32 is DecompressLevels at native single precision —
+// the partial-decode path of the float32 pipeline.
+func DecompressLevels32(cw *CompressedWindow, maxLevel int) (*grid.Window32, error) {
+	return decompressLevelsOf[float32](context.Background(), cw, maxLevel)
+}
+
+// DecompressLevels32Ctx is DecompressLevels32 with context propagation.
+func DecompressLevels32Ctx(ctx context.Context, cw *CompressedWindow, maxLevel int) (*grid.Window32, error) {
+	return decompressLevelsOf[float32](ctx, cw, maxLevel)
+}
+
+// decompressLevelsOf is the precision-generic level-bounded decode behind
+// DecompressLevelsCtx and DecompressLevels32.
+func decompressLevelsOf[F num.Float](ctx context.Context, cw *CompressedWindow, maxLevel int) (*grid.WindowOf[F], error) {
 	if !cw.Progressive() {
 		return nil, ErrNotProgressive
 	}
@@ -486,14 +504,14 @@ func DecompressLevelsCtx(ctx context.Context, cw *CompressedWindow, maxLevel int
 	sub := transform.CoarseDims(cw.Dims, L-maxLevel)
 	t, s := cw.NumSlices(), sub.Len()
 	workers := par.Workers(cw.Opts.Workers)
-	slab := make([]float64, t*s)
-	fields := make([]grid.Field3D, t)
-	slices := make([]*grid.Field3D, t)
-	datas := make([][]float64, t)
+	slab := make([]F, t*s)
+	fields := make([]grid.Field3DOf[F], t)
+	slices := make([]*grid.Field3DOf[F], t)
+	datas := make([][]F, t)
 	times := make([]float64, t)
 	for i := range fields {
 		d := slab[i*s : (i+1)*s : (i+1)*s]
-		fields[i] = grid.Field3D{Dims: sub, Data: d}
+		fields[i] = grid.Field3DOf[F]{Dims: sub, Data: d}
 		slices[i] = &fields[i]
 		datas[i] = d
 		times[i] = float64(i)
@@ -504,7 +522,7 @@ func DecompressLevelsCtx(ctx context.Context, cw *CompressedWindow, maxLevel int
 	if err := scatterLevels(cw, datas, sub, 0, maxLevel, workers); err != nil {
 		return nil, err
 	}
-	w := &grid.Window{Dims: sub, Slices: slices, Times: times}
+	w := &grid.WindowOf[F]{Dims: sub, Slices: slices, Times: times}
 	spec := transform.Spec{
 		SpatialKernel:  cw.Opts.SpatialKernel,
 		SpatialLevels:  maxLevel,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"stwave/internal/grid"
+	"stwave/internal/num"
 	"stwave/internal/transform"
 )
 
@@ -16,13 +17,27 @@ import (
 // for the requested slice — for a window of T slices this saves (T-1)/T of
 // the spatial inverse cost, which dominates reconstruction time.
 func DecompressSlice(cw *CompressedWindow, slice int) (*grid.Field3D, error) {
+	return decompressSliceOf[float64](cw, slice)
+}
+
+// DecompressSlice32 is DecompressSlice at native single precision: the
+// temporal inverse over the window and the single spatial inverse both
+// run at 4 bytes per sample — the server's cold-slice fast path for
+// float32 windows.
+func DecompressSlice32(cw *CompressedWindow, slice int) (*grid.Field3D32, error) {
+	return decompressSliceOf[float32](cw, slice)
+}
+
+// decompressSliceOf is the precision-generic single-slice reconstruction
+// behind DecompressSlice and DecompressSlice32.
+func decompressSliceOf[F num.Float](cw *CompressedWindow, slice int) (*grid.Field3DOf[F], error) {
 	if slice < 0 || slice >= cw.NumSlices() {
 		return nil, fmt.Errorf("core: slice %d out of range [0,%d)", slice, cw.NumSlices())
 	}
 	if !cw.Dims.Valid() {
 		return nil, fmt.Errorf("core: invalid dims %v", cw.Dims)
 	}
-	w := grid.NewWindow(cw.Dims)
+	w := grid.NewWindowOf[F](cw.Dims)
 	if cw.Progressive() {
 		// Level-major windows decode through the group scatter; shed
 		// groups contribute zero detail. The zero-filled fields double
@@ -31,9 +46,9 @@ func DecompressSlice(cw *CompressedWindow, slice int) (*grid.Field3D, error) {
 		if err := validateLevelBlocks(cw); err != nil {
 			return nil, err
 		}
-		datas := make([][]float64, cw.NumSlices())
+		datas := make([][]F, cw.NumSlices())
 		for i := range datas {
-			f := grid.NewField3D(cw.Dims.Nx, cw.Dims.Ny, cw.Dims.Nz)
+			f := grid.NewField3DOf[F](cw.Dims.Nx, cw.Dims.Ny, cw.Dims.Nz)
 			datas[i] = f.Data
 			t := float64(i)
 			if cw.Times != nil && i < len(cw.Times) {
@@ -51,8 +66,8 @@ func DecompressSlice(cw *CompressedWindow, slice int) (*grid.Field3D, error) {
 			if b.Total() != cw.Dims.Len() {
 				return nil, fmt.Errorf("core: block %d has %d coefficients, grid needs %d", i, b.Total(), cw.Dims.Len())
 			}
-			f := grid.NewField3D(cw.Dims.Nx, cw.Dims.Ny, cw.Dims.Nz)
-			if err := b.DecodeInto(f.Data, 1); err != nil {
+			f := grid.NewField3DOf[F](cw.Dims.Nx, cw.Dims.Ny, cw.Dims.Nz)
+			if err := decodeBlockIntoOf(b, f.Data, 1); err != nil {
 				return nil, err
 			}
 			t := float64(i)

@@ -21,8 +21,13 @@ import (
 //	        containers decode unchanged through the codec registry).
 //	        The high bit (0x80) marks the v4 progressive (level-major)
 //	        layout, which inserts a level-offset table after the slice
-//	        times — see progressive.go. Pre-v4 readers reject the
-//	        combined byte as an unknown format version.
+//	        times — see progressive.go. Bit 0x40 marks a float32-pipeline
+//	        window (v5): the coefficient payload is byte-identical to the
+//	        float64 layout (blocks always stored float32 values), but the
+//	        window reconstructs natively through the single-precision
+//	        inverse transform. Legacy v2-v4 containers never set either
+//	        bit and decode unchanged; pre-v5 readers reject flagged bytes
+//	        as an unknown format version rather than misparsing.
 //	[5]     mode (0 = 3D, 1 = 4D)
 //	[6]     spatial kernel
 //	[7]     temporal kernel
@@ -34,6 +39,14 @@ import (
 //	then numSlices float64 times, then numSlices blocks in the codec's
 //	own framing.
 var magic = [4]byte{'S', 'T', 'W', 'V'}
+
+// precisionFlag marks the header codec-ID byte of a float32-pipeline (v5)
+// window. It shares byte 4 with progressiveFlag; registered codec IDs are
+// validated against both bits before writing.
+const precisionFlag = 0x40
+
+// headerFlags masks the layout/precision bits out of the codec-ID byte.
+const headerFlags = progressiveFlag | precisionFlag
 
 // WriteTo serializes the compressed window through its codec (Opts.Codec;
 // sparse when unset). It implements io.WriterTo.
@@ -82,12 +95,18 @@ func (cw *CompressedWindow) buildHeader(cdc codec.Codec, numSlices int) ([]byte,
 	if numSlices > maxHeaderSlices {
 		return nil, fmt.Errorf("core: %d slices exceed header cap %d", numSlices, maxHeaderSlices)
 	}
-	if id := cdc.ID(); byte(id)&progressiveFlag != 0 {
-		return nil, fmt.Errorf("core: codec ID %d collides with the progressive flag bit", id)
+	if id := cdc.ID(); byte(id)&headerFlags != 0 {
+		return nil, fmt.Errorf("core: codec ID %d collides with a header flag bit", id)
+	}
+	if !cw.Precision.Valid() {
+		return nil, fmt.Errorf("core: invalid precision %d", int(cw.Precision))
 	}
 	hdr := make([]byte, 40)
 	copy(hdr[0:4], magic[:])
 	hdr[4] = byte(cdc.ID())
+	if cw.Precision == Float32 {
+		hdr[4] |= precisionFlag
+	}
 	hdr[5] = byte(cw.Opts.Mode)
 	hdr[6] = byte(cw.Opts.SpatialKernel)
 	hdr[7] = byte(cw.Opts.TemporalKernel)
@@ -162,6 +181,9 @@ type WindowInfo struct {
 	// by detail level behind a level-offset table, so byte prefixes
 	// decode to coarse reconstructions (see ReadWindowLevelTable).
 	Progressive bool
+	// Precision records which pipeline produced the window (the header's
+	// 0x40 flag); legacy headers never set it and report Float64.
+	Precision Precision
 	// Gap is non-nil when the container entry is a journaled gap marker
 	// (a window shed under backpressure) rather than a compressed window.
 	// For gaps NumSlices carries the dropped slice count so timeline
@@ -169,11 +191,11 @@ type WindowInfo struct {
 	Gap *GapMarker
 }
 
-// RawSizeBytes returns the size of the window once fully decompressed to
-// float64 samples — the memory cost of holding it in a decompressed-window
-// cache.
+// RawSizeBytes returns the size of the window once fully decompressed at
+// its native precision — the memory cost of holding it in a
+// decompressed-window cache (half as much for Float32 windows).
 func (wi WindowInfo) RawSizeBytes() int64 {
-	return int64(wi.Dims.Len()) * int64(wi.NumSlices) * 8
+	return int64(wi.Dims.Len()) * int64(wi.NumSlices) * int64(wi.Precision.SampleBytes())
 }
 
 // ReadWindowInfo parses only the 40-byte header of a serialized window. It
@@ -209,8 +231,12 @@ func ReadWindowInfo(r io.Reader) (WindowInfo, error) {
 		Mode:           Mode(hdr[5]),
 		SpatialKernel:  wavelet.Kernel(hdr[6]),
 		TemporalKernel: wavelet.Kernel(hdr[7]),
-		Codec:          codec.ID(hdr[4] &^ progressiveFlag),
+		Codec:          codec.ID(hdr[4] &^ headerFlags),
 		Progressive:    hdr[4]&progressiveFlag != 0,
+		Precision:      Float64,
+	}
+	if hdr[4]&precisionFlag != 0 {
+		wi.Precision = Float32
 	}
 	if _, err := codec.ByID(wi.Codec); err != nil {
 		return WindowInfo{}, fmt.Errorf("core: unsupported format version %d: %w", hdr[4], err)
@@ -273,11 +299,15 @@ func readCompressedWindow(r io.Reader, maxLevel int, requireProgressive bool) (*
 	if requireProgressive && !progressive {
 		return nil, ErrNotProgressive
 	}
-	cdc, err := codec.ByID(codec.ID(hdr[4] &^ progressiveFlag))
+	cdc, err := codec.ByID(codec.ID(hdr[4] &^ headerFlags))
 	if err != nil {
 		return nil, fmt.Errorf("core: unsupported format version %d: %w", hdr[4], err)
 	}
 	cw := &CompressedWindow{}
+	if hdr[4]&precisionFlag != 0 {
+		cw.Precision = Float32
+	}
+	cw.Opts.Precision = cw.Precision
 	cw.Opts.Codec = cdc
 	cw.Opts.Mode = Mode(hdr[5])
 	cw.Opts.SpatialKernel = wavelet.Kernel(hdr[6])

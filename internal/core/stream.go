@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"stwave/internal/grid"
+	"stwave/internal/num"
 )
 
 // Sink receives compressed windows as the stream writer flushes them —
@@ -17,11 +18,21 @@ type Sink func(*CompressedWindow) error
 // arrives (no buffering).
 //
 // Writer is not safe for concurrent use; simulations emit slices in order.
-type Writer struct {
+type Writer = WriterOf[float64]
+
+// Writer32 is the single-precision streaming writer: float32 slices are
+// buffered and compressed without ever widening to float64, so a float32
+// simulation source stays at 4 bytes per sample from fill to durable
+// bytes.
+type Writer32 = WriterOf[float32]
+
+// WriterOf is the precision-generic streaming writer behind Writer and
+// Writer32.
+type WriterOf[F num.Float] struct {
 	comp    *Compressor
 	sink    Sink
 	dims    grid.Dims
-	pending *grid.Window
+	pending *grid.WindowOf[F]
 	ctx     context.Context
 
 	// Stats accumulated across the stream.
@@ -34,6 +45,27 @@ type Writer struct {
 
 // NewWriter creates a streaming writer feeding compressed windows to sink.
 func NewWriter(opts Options, dims grid.Dims, sink Sink) (*Writer, error) {
+	return newWriterOf[float64](opts, dims, sink)
+}
+
+// NewWriter32 creates a single-precision streaming writer. Options with
+// MaxErr set are rejected (the error-bounded mode runs on the float64
+// oracle).
+func NewWriter32(opts Options, dims grid.Dims, sink Sink) (*Writer32, error) {
+	return NewWriterOf[float32](opts, dims, sink)
+}
+
+// NewWriterOf creates a streaming writer at either sample precision — the
+// generic entry behind NewWriter and NewWriter32 for callers that are
+// themselves generic over the precision.
+func NewWriterOf[F num.Float](opts Options, dims grid.Dims, sink Sink) (*WriterOf[F], error) {
+	if num.Is32[F]() && opts.MaxErr > 0 {
+		return nil, fmt.Errorf("core: error-bounded mode (MaxErr) requires the float64 pipeline")
+	}
+	return newWriterOf[F](opts, dims, sink)
+}
+
+func newWriterOf[F num.Float](opts Options, dims grid.Dims, sink Sink) (*WriterOf[F], error) {
 	comp, err := New(opts)
 	if err != nil {
 		return nil, err
@@ -44,14 +76,14 @@ func NewWriter(opts Options, dims grid.Dims, sink Sink) (*Writer, error) {
 	if sink == nil {
 		return nil, fmt.Errorf("core: nil sink")
 	}
-	return &Writer{comp: comp, sink: sink, dims: dims, ctx: context.Background()}, nil
+	return &WriterOf[F]{comp: comp, sink: sink, dims: dims, ctx: context.Background()}, nil
 }
 
 // SetContext installs the context used when compressing flushed windows.
 // Pass a context carrying an obs trace root to record per-window spans
 // across the whole stream (the stcomp -trace path). Call before the first
 // WriteSlice; a nil ctx resets to context.Background().
-func (w *Writer) SetContext(ctx context.Context) {
+func (w *WriterOf[F]) SetContext(ctx context.Context) {
 	if ctx == nil {
 		ctx = context.Background() //stlint:ignore ctxflow nil resets to a fresh root by documented contract
 	}
@@ -62,7 +94,7 @@ func (w *Writer) SetContext(ctx context.Context) {
 // cloned during compression, so the caller may reuse its buffer after the
 // call returns. When a window fills, it is compressed and flushed to the
 // sink before WriteSlice returns.
-func (w *Writer) WriteSlice(f *grid.Field3D, t float64) error {
+func (w *WriterOf[F]) WriteSlice(f *grid.Field3DOf[F], t float64) error {
 	if f.Dims != w.dims {
 		return fmt.Errorf("core: slice dims %v != writer dims %v", f.Dims, w.dims)
 	}
@@ -70,7 +102,7 @@ func (w *Writer) WriteSlice(f *grid.Field3D, t float64) error {
 
 	if w.comp.opts.Mode == Spatial3D {
 		// No temporal buffering: compress the single slice immediately.
-		win := grid.NewWindow(w.dims)
+		win := grid.NewWindowOf[F](w.dims)
 		if err := win.Append(f, t); err != nil {
 			return err
 		}
@@ -78,13 +110,13 @@ func (w *Writer) WriteSlice(f *grid.Field3D, t float64) error {
 	}
 
 	if w.pending == nil {
-		w.pending = grid.NewWindow(w.dims)
+		w.pending = grid.NewWindowOf[F](w.dims)
 	}
 	// Buffer a private copy: the simulation will overwrite its buffers.
 	if err := w.pending.Append(f.Clone(), t); err != nil {
 		return err
 	}
-	if sz := int64(w.pending.TotalSamples()) * 8; sz > w.peakBufferSize {
+	if sz := int64(w.pending.TotalSamples()) * int64(num.SampleBytes[F]()); sz > w.peakBufferSize {
 		w.peakBufferSize = sz
 	}
 	if w.pending.Len() >= w.comp.opts.WindowSize {
@@ -96,7 +128,7 @@ func (w *Writer) WriteSlice(f *grid.Field3D, t float64) error {
 }
 
 // Flush compresses any partially-filled window. Call once at end of stream.
-func (w *Writer) Flush() error {
+func (w *WriterOf[F]) Flush() error {
 	if w.pending == nil || w.pending.Len() == 0 {
 		return nil
 	}
@@ -105,8 +137,8 @@ func (w *Writer) Flush() error {
 	return w.flushWindow(win)
 }
 
-func (w *Writer) flushWindow(win *grid.Window) error {
-	cw, err := w.comp.CompressWindowCtx(w.ctx, win)
+func (w *WriterOf[F]) flushWindow(win *grid.WindowOf[F]) error {
+	cw, err := compressWindowOf(w.ctx, w.comp, win)
 	if err != nil {
 		return err
 	}
@@ -127,7 +159,7 @@ type Stats struct {
 }
 
 // Stats returns a snapshot of the writer's counters.
-func (w *Writer) Stats() Stats {
+func (w *WriterOf[F]) Stats() Stats {
 	pending := 0
 	if w.pending != nil {
 		pending = w.pending.Len()

@@ -284,7 +284,7 @@ func encodeChunk(coeffs []float64, ci int, b *Block, q Quantizer, codes []uint64
 		w.WriteExpGolomb(uint64(i-prev-1), uint(b.gapK)) //stlint:ignore trunccast gap between ascending indices is non-negative
 		prev = i
 		if b.lossless {
-			w.WriteBits(uint64(math.Float32bits(float32(v))), 32)
+			w.WriteBits(uint64(math.Float32bits(float32(v))), 32) //stlint:ignore trunccast the raw-float32 lossless mode stores 32-bit samples by contract
 			continue
 		}
 		level := q.Quantize(v)

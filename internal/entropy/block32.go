@@ -1,0 +1,311 @@
+package entropy
+
+import (
+	"fmt"
+	"math"
+
+	"stwave/internal/fbits"
+	"stwave/internal/par"
+	"stwave/internal/scratch"
+)
+
+// float32 encode/decode paths. The wire format is unchanged — the
+// quantizer step and Huffman statistics were always derived from exact
+// float64 views of the coefficients, and widening a float32 to float64 is
+// exact, so Encode32 over a float32 slice produces a byte stream
+// bit-identical to Encode over the widened copy of the same slice. That
+// makes the single-precision pipeline free at this layer: no slab-widening
+// pass on encode, no narrow pass on decode, and lossless blocks round-trip
+// the exact float32 bits in both directions. Structure mirrors block.go;
+// the two files must be changed together.
+
+// Encode32 entropy-codes one thresholded float32 coefficient slice on up
+// to workers goroutines. Zero-valued coefficients are treated as
+// discarded. The output is bit-identical for every worker count, and
+// bit-identical to Encode over the exactly-widened slice.
+func Encode32(coeffs []float32, p Params, workers int) (*Block, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(coeffs)
+	if n >= maxBlockTotal {
+		return nil, fmt.Errorf("entropy: %d coefficients exceed the format cap %d", n, maxBlockTotal)
+	}
+	b := &Block{
+		total:    n,
+		lossless: p.Lossless,
+		bitDepth: p.BitDepth,
+	}
+	if p.Lossless {
+		b.bitDepth = 0
+	}
+	nch := numChunks(n)
+	b.chunkLen = make([]uint32, nch)
+	if n == 0 {
+		return b, nil
+	}
+
+	// Pass 1: per-chunk survivor counts and magnitude maxima. Maxima are
+	// tracked as float64 — widening is exact, and the quantizer step is a
+	// float64 property of the block regardless of sample precision.
+	counts := make([]int, nch)
+	maxs := scratch.Floats(nch)
+	defer scratch.PutFloats(maxs)
+	par.For(nch, workers, 1, func(start, end int) {
+		for ci := start; ci < end; ci++ {
+			lo, hi := chunkBounds(ci, n)
+			k, m := 0, 0.0
+			for _, v := range coeffs[lo:hi] {
+				if !fbits.Zero32(v) {
+					k++
+					if a := math.Abs(float64(v)); a > m {
+						m = a
+					}
+				}
+			}
+			counts[ci], maxs[ci] = k, m
+		}
+	})
+	maxMag := 0.0
+	for ci := range counts {
+		b.retained += counts[ci]
+		if maxs[ci] > maxMag {
+			maxMag = maxs[ci]
+		}
+	}
+	q := p.newQuantizer(maxMag)
+	b.step = q.Step
+	b.gapK = gapOrder(n, b.retained)
+
+	var codes []uint64
+	if !p.Lossless && b.retained > 0 {
+		// Pass 2: global magnitude-class histogram → canonical Huffman.
+		nsyms := b.bitDepth + 2
+		hists := make([][]uint64, nch)
+		par.For(nch, workers, 1, func(start, end int) {
+			for ci := start; ci < end; ci++ {
+				lo, hi := chunkBounds(ci, n)
+				h := scratch.Uint64s(nsyms)
+				clear(h)
+				for _, v := range coeffs[lo:hi] {
+					if fbits.Zero32(v) {
+						continue
+					}
+					h[classSymbol(q.Quantize(float64(v)), b.bitDepth)]++
+				}
+				hists[ci] = h
+			}
+		})
+		hist := make([]int64, nsyms)
+		for _, h := range hists {
+			for s, c := range h {
+				hist[s] += int64(c) //stlint:ignore trunccast per-chunk symbol counts are bounded by chunkSize
+			}
+			scratch.PutUint64s(h)
+		}
+		b.lengths = huffBuildLengths(hist)
+		codes = huffCodes(b.lengths)
+	}
+
+	// Pass 3: encode every chunk into its own bitstream.
+	chunks := make([][]byte, nch)
+	par.For(nch, workers, 1, func(start, end int) {
+		for ci := start; ci < end; ci++ {
+			chunks[ci] = encodeChunk32(coeffs, ci, b, q, codes, counts[ci])
+		}
+	})
+	totalBytes := 0
+	for ci, c := range chunks {
+		if len(c) > maxChunkPayload {
+			return nil, fmt.Errorf("entropy: chunk %d payload %d exceeds format cap %d", ci, len(c), maxChunkPayload)
+		}
+		b.chunkLen[ci] = uint32(len(c))
+		totalBytes += len(c)
+	}
+	b.payload = make([]byte, 0, totalBytes)
+	for _, c := range chunks {
+		b.payload = append(b.payload, c...)
+	}
+	return b, nil
+}
+
+// encodeChunk32 produces chunk ci's bitstream from float32 coefficients.
+func encodeChunk32(coeffs []float32, ci int, b *Block, q Quantizer, codes []uint64, kc int) []byte {
+	n := b.total
+	lo, hi := chunkBounds(ci, n)
+	if kc == 0 {
+		var w BitWriter
+		w.WriteExpGolomb(0, 0)
+		return w.Bytes()
+	}
+	w := BitWriter{buf: make([]byte, 0, 16+kc*6)}
+	w.WriteExpGolomb(uint64(kc), 0) //stlint:ignore trunccast kc is a non-negative survivor count
+	prev := lo - 1
+	esc := len(codes) - 1
+	for i := lo; i < hi; i++ {
+		v := coeffs[i]
+		if fbits.Zero32(v) {
+			continue
+		}
+		w.WriteExpGolomb(uint64(i-prev-1), uint(b.gapK)) //stlint:ignore trunccast gap between ascending indices is non-negative
+		prev = i
+		if b.lossless {
+			w.WriteBits(uint64(math.Float32bits(v)), 32)
+			continue
+		}
+		level := q.Quantize(float64(v))
+		mag := levelMag(level)
+		c := magClass(mag)
+		if c > b.bitDepth {
+			w.WriteBits(codes[esc], uint(b.lengths[esc]))
+			w.WriteExpGolomb(mag-1<<uint(b.bitDepth), 0)
+		} else {
+			w.WriteBits(codes[c], uint(b.lengths[c]))
+			if c > 0 {
+				w.WriteBits(mag-1<<uint(c-1), uint(c-1)) //stlint:ignore trunccast c > 0 on this branch
+			}
+		}
+		if c > 0 {
+			if level < 0 {
+				w.WriteBit(1)
+			} else {
+				w.WriteBit(0)
+			}
+		}
+	}
+	return w.Bytes()
+}
+
+// DecodeInto32 expands the block into a float32 slice of length Total on
+// up to workers goroutines, zeroing discarded positions. Lossless blocks
+// reproduce the stored float32 bits exactly; lossy reconstructions round
+// once from the float64 dequantized value. Output is identical for every
+// worker count.
+func (b *Block) DecodeInto32(out []float32, workers int) error {
+	if len(out) != b.total {
+		return fmt.Errorf("entropy: DecodeInto32 length %d != total %d", len(out), b.total)
+	}
+	n := b.total
+	if n == 0 {
+		return nil
+	}
+	var dec *huffDecoder
+	if !b.lossless && b.retained > 0 {
+		var err error
+		dec, err = newHuffDecoder(b.lengths)
+		if err != nil {
+			return err
+		}
+	}
+	q := Quantizer{Step: b.step}
+	if !b.lossless && (!(q.Step > 0) || math.IsInf(q.Step, 0)) {
+		return fmt.Errorf("entropy: corrupt block: non-positive quantization step %g", q.Step)
+	}
+	nch := numChunks(n)
+	if len(b.chunkLen) != nch {
+		return fmt.Errorf("entropy: corrupt block: %d chunks for %d coefficients (want %d)", len(b.chunkLen), n, nch)
+	}
+	offs := make([]int, nch+1)
+	for ci, ln := range b.chunkLen {
+		offs[ci+1] = offs[ci] + int(ln)
+	}
+	if offs[nch] != len(b.payload) {
+		return fmt.Errorf("entropy: corrupt block: chunk lengths sum to %d, payload is %d bytes", offs[nch], len(b.payload))
+	}
+	errs := make([]error, nch)
+	kcs := make([]int, nch)
+	par.For(nch, workers, 1, func(start, end int) {
+		for ci := start; ci < end; ci++ {
+			kcs[ci], errs[ci] = b.decodeChunk32(out, ci, b.payload[offs[ci]:offs[ci+1]], dec, q)
+		}
+	})
+	k := 0
+	for ci := range errs {
+		if errs[ci] != nil {
+			return fmt.Errorf("entropy: chunk %d: %w", ci, errs[ci])
+		}
+		k += kcs[ci]
+	}
+	if k != b.retained {
+		return fmt.Errorf("entropy: corrupt block: chunks carry %d values, header claims %d", k, b.retained)
+	}
+	return nil
+}
+
+// decodeChunk32 expands one chunk's bitstream into out[lo:hi], returning
+// the number of values it carried.
+func (b *Block) decodeChunk32(out []float32, ci int, payload []byte, dec *huffDecoder, q Quantizer) (int, error) {
+	lo, hi := chunkBounds(ci, b.total)
+	for i := lo; i < hi; i++ {
+		out[i] = 0
+	}
+	r := NewBitReader(payload)
+	kcU, err := r.ReadExpGolomb(0)
+	if err != nil {
+		return 0, err
+	}
+	if kcU > uint64(hi-lo) { //stlint:ignore trunccast chunkBounds always yields lo < hi
+		return 0, fmt.Errorf("entropy: chunk claims %d values for %d coefficients", kcU, hi-lo)
+	}
+	kc := int(kcU)
+	pos := lo - 1
+	for j := 0; j < kc; j++ {
+		gap, err := r.ReadExpGolomb(uint(b.gapK))
+		if err != nil {
+			return 0, err
+		}
+		if gap >= uint64(hi-pos-1) { //stlint:ignore trunccast pos <= hi-1 here, as in decodeChunk
+			return 0, fmt.Errorf("entropy: index gap %d runs past chunk end", gap)
+		}
+		pos += 1 + int(gap)
+		if pos >= hi {
+			return 0, fmt.Errorf("entropy: decoded index %d runs past chunk end", pos)
+		}
+		if b.lossless {
+			vbits, err := r.ReadBits(32)
+			if err != nil {
+				return 0, err
+			}
+			out[pos] = math.Float32frombits(uint32(vbits)) //stlint:ignore trunccast ReadBits(32) yields at most 32 bits
+			continue
+		}
+		sym, err := dec.Decode(r)
+		if err != nil {
+			return 0, err
+		}
+		var mag uint64
+		switch {
+		case sym == 0:
+			out[pos] = 0
+			continue // class 0 carries no sign bit
+		case sym <= b.bitDepth:
+			extra := uint64(0)
+			if sym > 1 {
+				extra, err = r.ReadBits(uint(sym - 1)) //stlint:ignore trunccast sym > 1 on this branch
+				if err != nil {
+					return 0, err
+				}
+			}
+			mag = 1<<uint(sym-1) | extra //stlint:ignore trunccast sym >= 1: the zero class continues above
+		default: // escape
+			over, err := r.ReadExpGolomb(0)
+			if err != nil {
+				return 0, err
+			}
+			if over > uint64(quantMagCap) {
+				return 0, fmt.Errorf("entropy: escape magnitude %d exceeds quantizer range", over)
+			}
+			mag = over + 1<<uint(b.bitDepth)
+		}
+		sign, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		level := int64(mag) //stlint:ignore trunccast mag is bounded by quantMagCap + 2^31 < 2^63
+		if sign == 1 {
+			level = -level
+		}
+		out[pos] = float32(q.Dequantize(level)) //stlint:ignore trunccast single rounding from the float64 reconstruction is the f32 contract
+	}
+	return kc, nil
+}

@@ -51,3 +51,36 @@ func Eq(a, b float64) bool {
 func isNaNBits(b uint64) bool {
 	return b&expMask == expMask && b&(1<<52-1) != 0
 }
+
+// Single-precision variants for the float32 fast path. Semantics mirror
+// the float64 predicates exactly, defined on float32 bit patterns.
+
+const (
+	expMask32  = 0xff << 23
+	signMask32 = 1 << 31
+)
+
+// Zero32 reports whether x is exactly zero of either sign.
+func Zero32(x float32) bool {
+	return math.Float32bits(x)&^uint32(signMask32) == 0
+}
+
+// Same32 reports whether a and b carry identical bit patterns.
+func Same32(a, b float32) bool {
+	return math.Float32bits(a) == math.Float32bits(b)
+}
+
+// Eq32 reports whether a == b under IEEE-754 rules, implemented with bit
+// tests exactly like Eq.
+func Eq32(a, b float32) bool {
+	ba, bb := math.Float32bits(a), math.Float32bits(b)
+	if ba&^uint32(signMask32) == 0 && bb&^uint32(signMask32) == 0 {
+		return true
+	}
+	return ba == bb && !isNaNBits32(ba)
+}
+
+// isNaNBits32 reports whether the bit pattern encodes a float32 NaN.
+func isNaNBits32(b uint32) bool {
+	return b&expMask32 == expMask32 && b&(1<<23-1) != 0
+}

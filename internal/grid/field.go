@@ -5,11 +5,19 @@
 // All fields store samples in X-fastest (C-contiguous with X innermost)
 // order: index = (z*Ny + y)*Nx + x. This matches the raw-volume conventions
 // of VAPOR and most simulation dumps.
+//
+// The containers are generic over the sample precision (num.Float):
+// Field3D and Window are aliases for the float64 instantiation — the
+// reference-oracle precision every pre-existing call site uses — while
+// Field3D32 / Window32 name the single-precision fast path that halves
+// memory traffic end-to-end.
 package grid
 
 import (
 	"fmt"
 	"math"
+
+	"stwave/internal/num"
 )
 
 // Dims describes the extent of a 3D grid.
@@ -26,25 +34,43 @@ func (d Dims) Valid() bool { return d.Nx > 0 && d.Ny > 0 && d.Nz > 0 }
 // String renders the dims as "NxXNyXNz".
 func (d Dims) String() string { return fmt.Sprintf("%dx%dx%d", d.Nx, d.Ny, d.Nz) }
 
-// Field3D is a scalar field sampled on a 3D rectilinear grid.
-type Field3D struct {
+// Field3DOf is a scalar field sampled on a 3D rectilinear grid, with
+// samples stored at precision F.
+type Field3DOf[F num.Float] struct {
 	Dims Dims
 	// Data holds Dims.Len() samples in X-fastest order.
-	Data []float64
+	Data []F
 }
 
-// NewField3D allocates a zeroed field with the given extents.
-func NewField3D(nx, ny, nz int) *Field3D {
+// Field3D is the double-precision field every reference path operates on.
+type Field3D = Field3DOf[float64]
+
+// Field3D32 is the single-precision field of the float32 fast path.
+type Field3D32 = Field3DOf[float32]
+
+// NewField3DOf allocates a zeroed field with the given extents at
+// precision F.
+func NewField3DOf[F num.Float](nx, ny, nz int) *Field3DOf[F] {
 	d := Dims{nx, ny, nz}
 	if !d.Valid() {
 		panic(fmt.Sprintf("grid: invalid dims %v", d))
 	}
-	return &Field3D{Dims: d, Data: make([]float64, d.Len())}
+	return &Field3DOf[F]{Dims: d, Data: make([]F, d.Len())}
 }
 
-// FromData wraps an existing sample slice as a field. The slice is not
+// NewField3D allocates a zeroed float64 field with the given extents.
+func NewField3D(nx, ny, nz int) *Field3D {
+	return NewField3DOf[float64](nx, ny, nz)
+}
+
+// NewField3D32 allocates a zeroed float32 field with the given extents.
+func NewField3D32(nx, ny, nz int) *Field3D32 {
+	return NewField3DOf[float32](nx, ny, nz)
+}
+
+// FromDataOf wraps an existing sample slice as a field. The slice is not
 // copied; len(data) must equal nx*ny*nz.
-func FromData(nx, ny, nz int, data []float64) (*Field3D, error) {
+func FromDataOf[F num.Float](nx, ny, nz int, data []F) (*Field3DOf[F], error) {
 	d := Dims{nx, ny, nz}
 	if !d.Valid() {
 		return nil, fmt.Errorf("grid: invalid dims %v", d)
@@ -52,33 +78,53 @@ func FromData(nx, ny, nz int, data []float64) (*Field3D, error) {
 	if len(data) != d.Len() {
 		return nil, fmt.Errorf("grid: data length %d does not match dims %v (%d)", len(data), d, d.Len())
 	}
-	return &Field3D{Dims: d, Data: data}, nil
+	return &Field3DOf[F]{Dims: d, Data: data}, nil
+}
+
+// FromData wraps an existing float64 sample slice as a field.
+func FromData(nx, ny, nz int, data []float64) (*Field3D, error) {
+	return FromDataOf(nx, ny, nz, data)
+}
+
+// Widen returns a float64 copy of the field (the identity copy when F is
+// already float64).
+func (f *Field3DOf[F]) Widen() *Field3D {
+	out := &Field3D{Dims: f.Dims, Data: make([]float64, len(f.Data))}
+	num.Convert(out.Data, f.Data)
+	return out
+}
+
+// Narrow returns a float32 copy of the field, rounding each sample.
+func (f *Field3DOf[F]) Narrow() *Field3D32 {
+	out := &Field3D32{Dims: f.Dims, Data: make([]float32, len(f.Data))}
+	num.Convert(out.Data, f.Data)
+	return out
 }
 
 // Index returns the linear index of point (x, y, z).
-func (f *Field3D) Index(x, y, z int) int {
+func (f *Field3DOf[F]) Index(x, y, z int) int {
 	return (z*f.Dims.Ny+y)*f.Dims.Nx + x
 }
 
 // At returns the sample at (x, y, z).
-func (f *Field3D) At(x, y, z int) float64 { return f.Data[f.Index(x, y, z)] }
+func (f *Field3DOf[F]) At(x, y, z int) F { return f.Data[f.Index(x, y, z)] }
 
 // Set stores v at (x, y, z).
-func (f *Field3D) Set(x, y, z int, v float64) { f.Data[f.Index(x, y, z)] = v }
+func (f *Field3DOf[F]) Set(x, y, z int, v F) { f.Data[f.Index(x, y, z)] = v }
 
 // Clone returns a deep copy of the field.
-func (f *Field3D) Clone() *Field3D {
-	c := &Field3D{Dims: f.Dims, Data: make([]float64, len(f.Data))}
+func (f *Field3DOf[F]) Clone() *Field3DOf[F] {
+	c := &Field3DOf[F]{Dims: f.Dims, Data: make([]F, len(f.Data))}
 	copy(c.Data, f.Data)
 	return c
 }
 
 // MinMax returns the smallest and largest sample values. NaNs are ignored;
 // an all-NaN or empty field returns (+Inf, -Inf).
-func (f *Field3D) MinMax() (min, max float64) {
-	min, max = math.Inf(1), math.Inf(-1)
+func (f *Field3DOf[F]) MinMax() (min, max F) {
+	min, max = F(math.Inf(1)), F(math.Inf(-1))
 	for _, v := range f.Data {
-		if math.IsNaN(v) {
+		if math.IsNaN(float64(v)) {
 			continue
 		}
 		if v < min {
@@ -93,20 +139,20 @@ func (f *Field3D) MinMax() (min, max float64) {
 
 // Range returns max-min of the field's samples, used to normalize error
 // metrics ("errors are normalized by the range of the data").
-func (f *Field3D) Range() float64 {
+func (f *Field3DOf[F]) Range() F {
 	min, max := f.MinMax()
 	return max - min
 }
 
 // Fill sets every sample to v.
-func (f *Field3D) Fill(v float64) {
+func (f *Field3DOf[F]) Fill(v F) {
 	for i := range f.Data {
 		f.Data[i] = v
 	}
 }
 
 // AddScaled accumulates a*g into f point-wise. Dims must match.
-func (f *Field3D) AddScaled(a float64, g *Field3D) error {
+func (f *Field3DOf[F]) AddScaled(a F, g *Field3DOf[F]) error {
 	if f.Dims != g.Dims {
 		return fmt.Errorf("grid: dims mismatch %v vs %v", f.Dims, g.Dims)
 	}

@@ -6,12 +6,12 @@ import "fmt"
 // interpolation of f, with the two grids aligned at their corners. Used to
 // compare multiresolution previews against full-resolution data and to
 // bring staggered variables onto a common grid.
-func (f *Field3D) Resample(nx, ny, nz int) (*Field3D, error) {
+func (f *Field3DOf[F]) Resample(nx, ny, nz int) (*Field3DOf[F], error) {
 	d := Dims{Nx: nx, Ny: ny, Nz: nz}
 	if !d.Valid() {
 		return nil, fmt.Errorf("grid: invalid resample dims %v", d)
 	}
-	out := NewField3D(nx, ny, nz)
+	out := NewField3DOf[F](nx, ny, nz)
 	scale := func(dstN, srcN int) float64 {
 		if dstN <= 1 {
 			return 0
@@ -26,7 +26,7 @@ func (f *Field3D) Resample(nx, ny, nz int) (*Field3D, error) {
 		for y := 0; y < ny; y++ {
 			gy := float64(y) * sy
 			for x := 0; x < nx; x++ {
-				out.Set(x, y, z, f.interp(float64(x)*sx, gy, gz))
+				out.Set(x, y, z, F(f.interp(float64(x)*sx, gy, gz)))
 			}
 		}
 	}
@@ -34,7 +34,7 @@ func (f *Field3D) Resample(nx, ny, nz int) (*Field3D, error) {
 }
 
 // interp evaluates the field at fractional grid coordinates with clamping.
-func (f *Field3D) interp(gx, gy, gz float64) float64 {
+func (f *Field3DOf[F]) interp(gx, gy, gz float64) float64 {
 	clamp := func(v float64, n int) (int, float64) {
 		if v < 0 {
 			v = 0
@@ -52,7 +52,7 @@ func (f *Field3D) interp(gx, gy, gz float64) float64 {
 		return i, v - float64(i)
 	}
 	if f.Dims.Nx == 1 && f.Dims.Ny == 1 && f.Dims.Nz == 1 {
-		return f.Data[0]
+		return float64(f.Data[0])
 	}
 	x0, fx := clamp(gx, max2(f.Dims.Nx, 2))
 	y0, fy := clamp(gy, max2(f.Dims.Ny, 2))
@@ -67,7 +67,7 @@ func (f *Field3D) interp(gx, gy, gz float64) float64 {
 		if z >= f.Dims.Nz {
 			z = f.Dims.Nz - 1
 		}
-		return f.At(x, y, z)
+		return float64(f.At(x, y, z))
 	}
 	c00 := at(x0, y0, z0) + fx*(at(x0+1, y0, z0)-at(x0, y0, z0))
 	c10 := at(x0, y0+1, z0) + fx*(at(x0+1, y0+1, z0)-at(x0, y0+1, z0))

@@ -7,7 +7,7 @@ import "fmt"
 // analysis works: "the tornado domain analyzed in this paper is
 // significantly smaller than the full model domain" — scientists crop to
 // the region of interest before (or after) compression.
-func (f *Field3D) SubVolume(x0, y0, z0, nx, ny, nz int) (*Field3D, error) {
+func (f *Field3DOf[F]) SubVolume(x0, y0, z0, nx, ny, nz int) (*Field3DOf[F], error) {
 	if nx < 1 || ny < 1 || nz < 1 {
 		return nil, fmt.Errorf("grid: subvolume extents must be positive, got %dx%dx%d", nx, ny, nz)
 	}
@@ -16,7 +16,7 @@ func (f *Field3D) SubVolume(x0, y0, z0, nx, ny, nz int) (*Field3D, error) {
 		return nil, fmt.Errorf("grid: subvolume [%d:%d, %d:%d, %d:%d] outside %v",
 			x0, x0+nx, y0, y0+ny, z0, z0+nz, f.Dims)
 	}
-	out := NewField3D(nx, ny, nz)
+	out := NewField3DOf[F](nx, ny, nz)
 	for z := 0; z < nz; z++ {
 		for y := 0; y < ny; y++ {
 			srcBase := ((z0+z)*f.Dims.Ny+(y0+y))*f.Dims.Nx + x0
@@ -28,8 +28,8 @@ func (f *Field3D) SubVolume(x0, y0, z0, nx, ny, nz int) (*Field3D, error) {
 }
 
 // SubWindow applies SubVolume to every slice, preserving times.
-func (w *Window) SubWindow(x0, y0, z0, nx, ny, nz int) (*Window, error) {
-	out := NewWindow(Dims{Nx: nx, Ny: ny, Nz: nz})
+func (w *WindowOf[F]) SubWindow(x0, y0, z0, nx, ny, nz int) (*WindowOf[F], error) {
+	out := NewWindowOf[F](Dims{Nx: nx, Ny: ny, Nz: nz})
 	for i, s := range w.Slices {
 		sub, err := s.SubVolume(x0, y0, z0, nx, ny, nz)
 		if err != nil {
@@ -48,13 +48,13 @@ func (w *Window) SubWindow(x0, y0, z0, nx, ny, nz int) (*Window, error) {
 
 // SliceXY extracts the 2D plane z = k as a Ny x Nx row-major sample grid
 // (for rendering and quick inspection).
-func (f *Field3D) SliceXY(k int) ([][]float64, error) {
+func (f *Field3DOf[F]) SliceXY(k int) ([][]F, error) {
 	if k < 0 || k >= f.Dims.Nz {
 		return nil, fmt.Errorf("grid: z index %d outside [0,%d)", k, f.Dims.Nz)
 	}
-	out := make([][]float64, f.Dims.Ny)
+	out := make([][]F, f.Dims.Ny)
 	for y := 0; y < f.Dims.Ny; y++ {
-		row := make([]float64, f.Dims.Nx)
+		row := make([]F, f.Dims.Nx)
 		base := (k*f.Dims.Ny + y) * f.Dims.Nx
 		copy(row, f.Data[base:base+f.Dims.Nx])
 		out[y] = row

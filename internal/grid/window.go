@@ -1,26 +1,48 @@
 package grid
 
-import "fmt"
+import (
+	"fmt"
 
-// Window is an ordered group of time slices of one variable, all on the same
-// grid — the unit the paper's spatiotemporal compressor operates on
-// (Section IV-A, Figure 1).
-type Window struct {
+	"stwave/internal/num"
+)
+
+// WindowOf is an ordered group of time slices of one variable, all on the
+// same grid — the unit the paper's spatiotemporal compressor operates on
+// (Section IV-A, Figure 1) — at sample precision F. Simulation times stay
+// float64 at both precisions: they are metadata, not coefficient traffic.
+type WindowOf[F num.Float] struct {
 	Dims   Dims
-	Slices []*Field3D
+	Slices []*Field3DOf[F]
 	// Times holds the simulation time of each slice; optional (nil means
 	// uniformly spaced unit steps). When present, len(Times) == len(Slices).
 	Times []float64
 }
 
-// NewWindow creates an empty window for the given grid extents.
+// Window is the double-precision window of the reference pipeline.
+type Window = WindowOf[float64]
+
+// Window32 is the single-precision window of the float32 fast path.
+type Window32 = WindowOf[float32]
+
+// NewWindowOf creates an empty window for the given grid extents at
+// precision F.
+func NewWindowOf[F num.Float](d Dims) *WindowOf[F] {
+	return &WindowOf[F]{Dims: d}
+}
+
+// NewWindow creates an empty float64 window for the given grid extents.
 func NewWindow(d Dims) *Window {
-	return &Window{Dims: d}
+	return NewWindowOf[float64](d)
+}
+
+// NewWindow32 creates an empty float32 window for the given grid extents.
+func NewWindow32(d Dims) *Window32 {
+	return NewWindowOf[float32](d)
 }
 
 // Append adds a slice to the window at simulation time t. The slice's dims
 // must match the window's.
-func (w *Window) Append(f *Field3D, t float64) error {
+func (w *WindowOf[F]) Append(f *Field3DOf[F], t float64) error {
 	if f.Dims != w.Dims {
 		return fmt.Errorf("grid: slice dims %v do not match window dims %v", f.Dims, w.Dims)
 	}
@@ -30,14 +52,14 @@ func (w *Window) Append(f *Field3D, t float64) error {
 }
 
 // Len returns the number of time slices currently in the window.
-func (w *Window) Len() int { return len(w.Slices) }
+func (w *WindowOf[F]) Len() int { return len(w.Slices) }
 
 // TotalSamples returns the number of scalar samples across all slices.
-func (w *Window) TotalSamples() int { return w.Len() * w.Dims.Len() }
+func (w *WindowOf[F]) TotalSamples() int { return w.Len() * w.Dims.Len() }
 
 // Clone deep-copies the window.
-func (w *Window) Clone() *Window {
-	c := &Window{Dims: w.Dims, Slices: make([]*Field3D, len(w.Slices))}
+func (w *WindowOf[F]) Clone() *WindowOf[F] {
+	c := &WindowOf[F]{Dims: w.Dims, Slices: make([]*Field3DOf[F], len(w.Slices))}
 	for i, s := range w.Slices {
 		c.Slices[i] = s.Clone()
 	}
@@ -47,9 +69,33 @@ func (w *Window) Clone() *Window {
 	return c
 }
 
+// Widen returns a float64 copy of the window.
+func (w *WindowOf[F]) Widen() *Window {
+	c := &Window{Dims: w.Dims, Slices: make([]*Field3D, len(w.Slices))}
+	for i, s := range w.Slices {
+		c.Slices[i] = s.Widen()
+	}
+	if w.Times != nil {
+		c.Times = append([]float64(nil), w.Times...)
+	}
+	return c
+}
+
+// Narrow returns a float32 copy of the window, rounding each sample.
+func (w *WindowOf[F]) Narrow() *Window32 {
+	c := &Window32{Dims: w.Dims, Slices: make([]*Field3D32, len(w.Slices))}
+	for i, s := range w.Slices {
+		c.Slices[i] = s.Narrow()
+	}
+	if w.Times != nil {
+		c.Times = append([]float64(nil), w.Times...)
+	}
+	return c
+}
+
 // Range returns the global max-min across all slices (the normalization used
 // for window-wide error metrics).
-func (w *Window) Range() float64 {
+func (w *WindowOf[F]) Range() F {
 	if w.Len() == 0 {
 		return 0
 	}
@@ -70,11 +116,11 @@ func (w *Window) Range() float64 {
 // from slice 0 — the paper's temporal-resolution reduction ("res=1/2" is
 // stride 2, "res=1/4" is stride 4). The returned window shares slice storage
 // with w.
-func (w *Window) Subsample(stride int) (*Window, error) {
+func (w *WindowOf[F]) Subsample(stride int) (*WindowOf[F], error) {
 	if stride < 1 {
 		return nil, fmt.Errorf("grid: subsample stride must be >= 1, got %d", stride)
 	}
-	out := NewWindow(w.Dims)
+	out := NewWindowOf[F](w.Dims)
 	for i := 0; i < len(w.Slices); i += stride {
 		out.Slices = append(out.Slices, w.Slices[i])
 		if w.Times != nil {
@@ -89,17 +135,17 @@ func (w *Window) Subsample(stride int) (*Window, error) {
 // Partition splits the window into consecutive chunks of at most size
 // slices, in order — the paper's fixed-size temporal windows. The final
 // chunk may be shorter. Chunks share slice storage with w.
-func (w *Window) Partition(size int) ([]*Window, error) {
+func (w *WindowOf[F]) Partition(size int) ([]*WindowOf[F], error) {
 	if size < 1 {
 		return nil, fmt.Errorf("grid: partition size must be >= 1, got %d", size)
 	}
-	var out []*Window
+	var out []*WindowOf[F]
 	for start := 0; start < len(w.Slices); start += size {
 		end := start + size
 		if end > len(w.Slices) {
 			end = len(w.Slices)
 		}
-		chunk := NewWindow(w.Dims)
+		chunk := NewWindowOf[F](w.Dims)
 		chunk.Slices = w.Slices[start:end]
 		if w.Times != nil {
 			chunk.Times = w.Times[start:end]
@@ -112,7 +158,7 @@ func (w *Window) Partition(size int) ([]*Window, error) {
 // GatherSeries copies the time series at linear grid index p across all
 // slices into dst (len(dst) must be >= w.Len()) and returns the filled
 // prefix. Used by the temporal transform step.
-func (w *Window) GatherSeries(p int, dst []float64) []float64 {
+func (w *WindowOf[F]) GatherSeries(p int, dst []F) []F {
 	n := len(w.Slices)
 	for t := 0; t < n; t++ {
 		dst[t] = w.Slices[t].Data[p]
@@ -121,7 +167,7 @@ func (w *Window) GatherSeries(p int, dst []float64) []float64 {
 }
 
 // ScatterSeries writes src back to grid index p across slices.
-func (w *Window) ScatterSeries(p int, src []float64) {
+func (w *WindowOf[F]) ScatterSeries(p int, src []F) {
 	for t := range src {
 		w.Slices[t].Data[p] = src[t]
 	}

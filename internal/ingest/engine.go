@@ -1,6 +1,7 @@
 package ingest
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -8,6 +9,7 @@ import (
 
 	"stwave/internal/core"
 	"stwave/internal/grid"
+	"stwave/internal/num"
 	"stwave/internal/obs"
 	"stwave/internal/scratch"
 	"stwave/internal/storage"
@@ -125,20 +127,30 @@ type Stats struct {
 	PeakInFlightBytes int64   // high-water mark of the raw-byte ledger
 }
 
-// windowJob is the per-window bookkeeping the delivery side needs: the
+// windowJobOf is the per-window bookkeeping the delivery side needs: the
 // retained raw window (for degrade recompression and buffer recycling),
 // its ledger charge, which rung compressed it, and any staged slice ids.
-type windowJob struct {
-	win      *grid.Window
+type windowJobOf[F num.Float] struct {
+	win      *grid.WindowOf[F]
 	gap      *core.GapMarker // non-nil: journal a gap instead of a window
 	rung     int
 	rawBytes int64
 	stageIDs []int
 }
 
-// Engine drives one streaming ingest run. Create with NewEngine, call Run
-// once.
-type Engine struct {
+// Engine drives one streaming double-precision ingest run. Create with
+// NewEngine, call Run once.
+type Engine = EngineOf[float64]
+
+// Engine32 is the single-precision ingest engine: window buffers hold
+// float32 samples (half the raw-byte ledger per slice, so the same
+// MemBudget admits twice the slices) and compression runs the native
+// float32 pipeline down to the container bytes.
+type Engine32 = EngineOf[float32]
+
+// EngineOf is the precision-generic ingest engine behind Engine and
+// Engine32.
+type EngineOf[F num.Float] struct {
 	cfg     Config
 	w       *storage.ContainerWriter
 	comps   []*core.Compressor // rung 0 = base ratio, then the ladder
@@ -149,7 +161,7 @@ type Engine struct {
 	mu       sync.Mutex
 	rung     int
 	inFlight int64
-	jobs     map[int]*windowJob
+	jobs     map[int]*windowJobOf[F]
 	stats    Stats
 	notify   chan struct{}
 }
@@ -159,6 +171,19 @@ type Engine struct {
 // run the file is still a valid journal for RecoverContainer — that is
 // the crash-consistent drain.
 func NewEngine(cfg Config, dims grid.Dims, w *storage.ContainerWriter) (*Engine, error) {
+	cfg.Opts.Precision = core.Float64
+	return newEngineOf[float64](cfg, dims, w)
+}
+
+// NewEngine32 builds a single-precision engine appending to w. The
+// error-bounded mode (MaxErr) is defined on the float64 oracle and is
+// rejected.
+func NewEngine32(cfg Config, dims grid.Dims, w *storage.ContainerWriter) (*Engine32, error) {
+	cfg.Opts.Precision = core.Float32
+	return newEngineOf[float32](cfg, dims, w)
+}
+
+func newEngineOf[F num.Float](cfg Config, dims grid.Dims, w *storage.ContainerWriter) (*EngineOf[F], error) {
 	if w == nil {
 		return nil, fmt.Errorf("ingest: nil container writer")
 	}
@@ -200,23 +225,26 @@ func NewEngine(cfg Config, dims grid.Dims, w *storage.ContainerWriter) (*Engine,
 	if winSize < 1 {
 		return nil, fmt.Errorf("ingest: window size %d must be >= 1", winSize)
 	}
-	return &Engine{
+	return &EngineOf[F]{
 		cfg:     cfg,
 		w:       w,
 		comps:   comps,
 		ratios:  ratios,
 		winSize: winSize,
 		dims:    dims,
-		jobs:    make(map[int]*windowJob),
+		jobs:    make(map[int]*windowJobOf[F]),
 		notify:  make(chan struct{}, 1),
 	}, nil
 }
 
-// sliceBytes is the in-memory cost of one raw slice.
-func (e *Engine) sliceBytes() int64 { return int64(e.dims.Len()) * 8 }
+// sliceBytes is the in-memory cost of one raw slice at the engine's
+// sample precision — the float32 engine charges half the ledger bytes.
+func (e *EngineOf[F]) sliceBytes() int64 {
+	return int64(e.dims.Len()) * int64(num.SampleBytes[F]())
+}
 
 // wake nudges a producer blocked in the admission gate.
-func (e *Engine) wake() {
+func (e *EngineOf[F]) wake() {
 	select {
 	case e.notify <- struct{}{}:
 	default:
@@ -224,7 +252,7 @@ func (e *Engine) wake() {
 }
 
 // countBackpressure records one policy activation.
-func (e *Engine) countBackpressure(p Policy) {
+func (e *EngineOf[F]) countBackpressure(p Policy) {
 	obs.Default().Counter("ingest.backpressure_events_total." + p.String()).Add(1)
 	e.mu.Lock()
 	e.stats.Backpressure++
@@ -232,7 +260,7 @@ func (e *Engine) countBackpressure(p Policy) {
 }
 
 // charge adds bytes to the in-flight ledger and updates the gauges.
-func (e *Engine) charge(n int64) {
+func (e *EngineOf[F]) charge(n int64) {
 	e.mu.Lock()
 	e.inFlight += n
 	if e.inFlight > e.stats.PeakInFlightBytes {
@@ -250,7 +278,7 @@ func (e *Engine) charge(n int64) {
 // (or shed behind a gap marker), or on the first unrecoverable error — in
 // which case the journal still ends at a record boundary with everything
 // previously acknowledged intact.
-func (e *Engine) Run(src Source, totalSlices int) (Stats, error) {
+func (e *EngineOf[F]) Run(src SourceOf[F], totalSlices int) (Stats, error) {
 	if src.Dims() != e.dims {
 		return e.snapshot(), fmt.Errorf("ingest: source dims %v != engine dims %v", src.Dims(), e.dims)
 	}
@@ -296,7 +324,7 @@ func (e *Engine) Run(src Source, totalSlices int) (Stats, error) {
 // admit blocks until charging need bytes fits the budget, applying the
 // backpressure policy. Returns admitted=false when the policy decided to
 // shed the window instead.
-func (e *Engine) admit(need int64, pipe *core.Pipeline) (bool, error) {
+func (e *EngineOf[F]) admit(need int64, pipe *core.Pipeline) (bool, error) {
 	if e.cfg.MemBudget <= 0 {
 		e.charge(need)
 		return true, nil
@@ -340,14 +368,14 @@ func (e *Engine) admit(need int64, pipe *core.Pipeline) (bool, error) {
 	}
 }
 
-func (e *Engine) loadInFlight() int64 {
+func (e *EngineOf[F]) loadInFlight() int64 {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.inFlight
 }
 
 // stepRung moves the ladder down one rung (coarser) if one remains.
-func (e *Engine) stepRung() {
+func (e *EngineOf[F]) stepRung() {
 	e.mu.Lock()
 	if e.rung < len(e.comps)-1 {
 		e.rung++
@@ -359,12 +387,12 @@ func (e *Engine) stepRung() {
 
 // produceWindow fills one window from the source (recycled buffers),
 // optionally stages its slices, and submits it for compression.
-func (e *Engine) produceWindow(pipe *core.Pipeline, nextID *int, src Source, n int) error {
+func (e *EngineOf[F]) produceWindow(pipe *core.Pipeline, nextID *int, src SourceOf[F], n int) error {
 	start := time.Now()
-	win := grid.NewWindow(e.dims)
-	job := &windowJob{win: win, rawBytes: int64(n) * e.sliceBytes()}
+	win := grid.NewWindowOf[F](e.dims)
+	job := &windowJobOf[F]{win: win, rawBytes: int64(n) * e.sliceBytes()}
 	for i := 0; i < n; i++ {
-		f, err := grid.FromData(e.dims.Nx, e.dims.Ny, e.dims.Nz, scratch.Floats(e.dims.Len()))
+		f, err := grid.FromDataOf(e.dims.Nx, e.dims.Ny, e.dims.Nz, scratch.FloatsOf[F](e.dims.Len()))
 		if err != nil {
 			e.releaseJob(job)
 			return err
@@ -379,7 +407,7 @@ func (e *Engine) produceWindow(pipe *core.Pipeline, nextID *int, src Source, n i
 			return err
 		}
 		if e.cfg.Stage != nil {
-			id, err := e.cfg.Stage.PutSlice(f)
+			id, err := storage.PutSliceOf(e.cfg.Stage, f)
 			if err != nil {
 				e.releaseJob(job)
 				return fmt.Errorf("ingest: staging slice: %w", err)
@@ -401,7 +429,7 @@ func (e *Engine) produceWindow(pipe *core.Pipeline, nextID *int, src Source, n i
 	*nextID++
 	_, err := pipe.Submit(func() (*core.CompressedWindow, error) {
 		cstart := time.Now()
-		cw, err := comp.CompressWindow(win)
+		cw, err := core.CompressWindowOf(context.Background(), comp, win)
 		if err == nil {
 			obs.Default().Histogram("ingest.compress_seconds").ObserveSince(cstart)
 		}
@@ -412,7 +440,7 @@ func (e *Engine) produceWindow(pipe *core.Pipeline, nextID *int, src Source, n i
 
 // shedWindow steps the solver past n slices and journals a gap marker in
 // their place, routed through the pipeline so it lands in timeline order.
-func (e *Engine) shedWindow(pipe *core.Pipeline, nextID *int, src Source, n int) error {
+func (e *EngineOf[F]) shedWindow(pipe *core.Pipeline, nextID *int, src SourceOf[F], n int) error {
 	var t0, t1 float64
 	for i := 0; i < n; i++ {
 		t, err := src.Skip()
@@ -430,7 +458,7 @@ func (e *Engine) shedWindow(pipe *core.Pipeline, nextID *int, src Source, n int)
 	obs.Default().Counter("ingest.slices_in_total").Add(int64(n))
 	g := core.GapMarker{Slices: n, T0: t0, T1: t1, Reason: core.GapShed}
 	e.mu.Lock()
-	e.jobs[*nextID] = &windowJob{gap: &g}
+	e.jobs[*nextID] = &windowJobOf[F]{gap: &g}
 	e.mu.Unlock()
 	*nextID++
 	_, err := pipe.Submit(func() (*core.CompressedWindow, error) { return nil, nil })
@@ -440,7 +468,7 @@ func (e *Engine) shedWindow(pipe *core.Pipeline, nextID *int, src Source, n int)
 // deliver is the pipeline sink: it journals one entry (window or gap) in
 // submission order, applying the backpressure policy to append failures,
 // then releases the window's memory and wakes the producer.
-func (e *Engine) deliver(id int, cw *core.CompressedWindow) error {
+func (e *EngineOf[F]) deliver(id int, cw *core.CompressedWindow) error {
 	e.mu.Lock()
 	job := e.jobs[id]
 	e.mu.Unlock()
@@ -469,7 +497,7 @@ func (e *Engine) deliver(id int, cw *core.CompressedWindow) error {
 // stall retries the same bytes until the deadline, degrade recompresses
 // the retained raw window at coarser rungs, shed gives the window up and
 // journals a write-failed gap in its place.
-func (e *Engine) appendWindow(job *windowJob, cw *core.CompressedWindow) error {
+func (e *EngineOf[F]) appendWindow(job *windowJobOf[F], cw *core.CompressedWindow) error {
 	start := time.Now()
 	deadline := time.Now().Add(e.cfg.Deadline)
 	rung := job.rung
@@ -538,7 +566,7 @@ func (e *Engine) appendWindow(job *windowJob, cw *core.CompressedWindow) error {
 			e.stats.DegradeSteps++
 			e.mu.Unlock()
 			obs.Default().Counter("ingest.degrade_steps_total").Add(1)
-			recompressed, rerr := e.comps[rung].CompressWindow(job.win)
+			recompressed, rerr := core.CompressWindowOf(context.Background(), e.comps[rung], job.win)
 			if rerr != nil {
 				return rerr
 			}
@@ -555,7 +583,7 @@ func (e *Engine) appendWindow(job *windowJob, cw *core.CompressedWindow) error {
 // appendGap journals one gap marker, with the same deadline-bounded retry
 // as a stalled window append — losing data AND the record of the loss is
 // the one outcome every policy forbids.
-func (e *Engine) appendGap(g core.GapMarker) error {
+func (e *EngineOf[F]) appendGap(g core.GapMarker) error {
 	deadline := time.Now().Add(e.cfg.Deadline)
 	for {
 		_, err := e.w.AppendGap(g)
@@ -581,10 +609,10 @@ func (e *Engine) appendGap(g core.GapMarker) error {
 }
 
 // releaseJob recycles a window's raw buffers and drops its staged slices.
-func (e *Engine) releaseJob(job *windowJob) {
+func (e *EngineOf[F]) releaseJob(job *windowJobOf[F]) {
 	if job.win != nil {
 		for _, s := range job.win.Slices {
-			scratch.PutFloats(s.Data)
+			scratch.PutFloatsOf(s.Data)
 			s.Data = nil
 		}
 		job.win = nil
@@ -598,9 +626,9 @@ func (e *Engine) releaseJob(job *windowJob) {
 }
 
 // releaseLeftovers recycles every job the pipeline abandoned on error.
-func (e *Engine) releaseLeftovers() {
+func (e *EngineOf[F]) releaseLeftovers() {
 	e.mu.Lock()
-	left := make([]*windowJob, 0, len(e.jobs))
+	left := make([]*windowJobOf[F], 0, len(e.jobs))
 	for id, job := range e.jobs {
 		left = append(left, job)
 		delete(e.jobs, id)
@@ -615,7 +643,7 @@ func (e *Engine) releaseLeftovers() {
 }
 
 // snapshot copies the stats under the lock and stamps the final ratio.
-func (e *Engine) snapshot() Stats {
+func (e *EngineOf[F]) snapshot() Stats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	s := e.stats

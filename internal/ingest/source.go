@@ -9,145 +9,227 @@
 // policy: stall the solver, degrade to a coarser target ratio, or shed
 // whole windows behind a journaled gap marker so the timeline never
 // shifts.
+//
+// Both sample precisions stream through the same engine: the float64 path
+// is the reference pipeline, and the float32 path (SourceOf[float32],
+// NewEngine32) keeps single-precision sources at 4 bytes per sample from
+// the solver fill through the durable container bytes — the window
+// buffers, the staging tier, and the compressed payload never widen.
 package ingest
 
 import (
 	"fmt"
 
 	"stwave/internal/grid"
+	"stwave/internal/num"
 	"stwave/internal/sim/cloverleaf"
 	"stwave/internal/sim/ghost"
 	"stwave/internal/sim/synth"
 	"stwave/internal/sim/tornado"
 )
 
-// Source produces one scalar field slice per simulation step. The engine
-// owns dst and recycles it between windows, so implementations must fill
-// it in place rather than retain it.
-type Source interface {
+// SourceOf produces one scalar field slice per simulation step at sample
+// precision F. The engine owns dst and recycles it between windows, so
+// implementations must fill it in place rather than retain it.
+type SourceOf[F num.Float] interface {
 	// Dims is the slice geometry every Next fill will have.
 	Dims() grid.Dims
 	// Next advances the simulation one step, fills dst with the tracked
 	// field, and returns the slice's simulation time.
-	Next(dst *grid.Field3D) (float64, error)
+	Next(dst *grid.Field3DOf[F]) (float64, error)
 	// Skip advances one step without sampling — the shed policy drops a
 	// window's worth of output but the simulation must keep its own state
 	// marching. Returns the skipped slice's simulation time.
 	Skip() (float64, error)
 }
 
-// ghostSource tracks the passive scalar of the pseudo-spectral solver.
-type ghostSource struct{ s *ghost.Solver }
+// Source is the double-precision source interface — the reference path.
+type Source = SourceOf[float64]
 
-// NewGhostSource adapts a ghost solver (which must have a scalar
-// attached) as a streaming source.
-func NewGhostSource(s *ghost.Solver) (Source, error) {
+// Source32 is the single-precision source interface: slices are filled as
+// float32 and stay float32 through compression.
+type Source32 = SourceOf[float32]
+
+// fillGhost dispatches a ghost scalar fill to the concrete precision.
+func fillGhost[F num.Float](s *ghost.Solver, dst *grid.Field3DOf[F]) error {
+	switch d := any(dst).(type) {
+	case *grid.Field3D:
+		return s.ScalarInto(d)
+	case *grid.Field3D32:
+		return s.ScalarInto32(d)
+	}
+	return fmt.Errorf("ingest: unsupported precision %T", dst)
+}
+
+// ghostSourceOf tracks the passive scalar of the pseudo-spectral solver.
+type ghostSourceOf[F num.Float] struct{ s *ghost.Solver }
+
+// NewGhostSourceOf adapts a ghost solver (which must have a scalar
+// attached) as a streaming source at precision F.
+func NewGhostSourceOf[F num.Float](s *ghost.Solver) (SourceOf[F], error) {
 	if !s.HasScalar() {
 		return nil, fmt.Errorf("ingest: ghost solver has no scalar attached")
 	}
-	return &ghostSource{s: s}, nil
+	return &ghostSourceOf[F]{s: s}, nil
 }
 
-func (g *ghostSource) Dims() grid.Dims {
+// NewGhostSource adapts a ghost solver as a double-precision source.
+func NewGhostSource(s *ghost.Solver) (Source, error) {
+	return NewGhostSourceOf[float64](s)
+}
+
+func (g *ghostSourceOf[F]) Dims() grid.Dims {
 	return grid.Dims{Nx: g.s.N(), Ny: g.s.N(), Nz: g.s.N()}
 }
 
-func (g *ghostSource) Next(dst *grid.Field3D) (float64, error) {
+func (g *ghostSourceOf[F]) Next(dst *grid.Field3DOf[F]) (float64, error) {
 	g.s.Step()
-	return g.s.Time(), g.s.ScalarInto(dst)
+	return g.s.Time(), fillGhost(g.s, dst)
 }
 
-func (g *ghostSource) Skip() (float64, error) {
+func (g *ghostSourceOf[F]) Skip() (float64, error) {
 	g.s.Step()
 	return g.s.Time(), nil
 }
 
-// cloverleafSource tracks the density field of the Euler solver.
-type cloverleafSource struct{ s *cloverleaf.Solver }
-
-// NewCloverleafSource adapts a cloverleaf solver as a streaming source.
-func NewCloverleafSource(s *cloverleaf.Solver) Source {
-	return &cloverleafSource{s: s}
+// fillCloverleaf dispatches a density fill to the concrete precision.
+func fillCloverleaf[F num.Float](s *cloverleaf.Solver, dst *grid.Field3DOf[F]) error {
+	switch d := any(dst).(type) {
+	case *grid.Field3D:
+		return s.DensityInto(d)
+	case *grid.Field3D32:
+		return s.DensityInto32(d)
+	}
+	return fmt.Errorf("ingest: unsupported precision %T", dst)
 }
 
-func (c *cloverleafSource) Dims() grid.Dims {
+// cloverleafSourceOf tracks the density field of the Euler solver.
+type cloverleafSourceOf[F num.Float] struct{ s *cloverleaf.Solver }
+
+// NewCloverleafSourceOf adapts a cloverleaf solver as a streaming source
+// at precision F.
+func NewCloverleafSourceOf[F num.Float](s *cloverleaf.Solver) SourceOf[F] {
+	return &cloverleafSourceOf[F]{s: s}
+}
+
+// NewCloverleafSource adapts a cloverleaf solver as a double-precision
+// source.
+func NewCloverleafSource(s *cloverleaf.Solver) Source {
+	return NewCloverleafSourceOf[float64](s)
+}
+
+func (c *cloverleafSourceOf[F]) Dims() grid.Dims {
 	return grid.Dims{Nx: c.s.N(), Ny: c.s.N(), Nz: c.s.N()}
 }
 
-func (c *cloverleafSource) Next(dst *grid.Field3D) (float64, error) {
+func (c *cloverleafSourceOf[F]) Next(dst *grid.Field3DOf[F]) (float64, error) {
 	c.s.Step()
-	return c.s.Time(), c.s.DensityInto(dst)
+	return c.s.Time(), fillCloverleaf(c.s, dst)
 }
 
-func (c *cloverleafSource) Skip() (float64, error) {
+func (c *cloverleafSourceOf[F]) Skip() (float64, error) {
 	c.s.Step()
 	return c.s.Time(), nil
 }
 
-// tornadoSource samples the analytic supercell's cloud mixing ratio on a
+// fillTornado dispatches a cloud-water fill to the concrete precision.
+func fillTornado[F num.Float](m *tornado.Model, dst *grid.Field3DOf[F], t float64) error {
+	switch d := any(dst).(type) {
+	case *grid.Field3D:
+		return m.CloudMixingRatioInto(d, t)
+	case *grid.Field3D32:
+		return m.CloudMixingRatioInto32(d, t)
+	}
+	return fmt.Errorf("ingest: unsupported precision %T", dst)
+}
+
+// tornadoSourceOf samples the analytic supercell's cloud mixing ratio on a
 // fixed step size.
-type tornadoSource struct {
+type tornadoSourceOf[F num.Float] struct {
 	m    *tornado.Model
 	dt   float64
 	step int
 }
 
-// NewTornadoSource adapts the analytic tornado model as a streaming
-// source stepping dt per slice.
-func NewTornadoSource(m *tornado.Model, dt float64) (Source, error) {
+// NewTornadoSourceOf adapts the analytic tornado model as a streaming
+// source stepping dt per slice at precision F.
+func NewTornadoSourceOf[F num.Float](m *tornado.Model, dt float64) (SourceOf[F], error) {
 	if dt <= 0 {
 		return nil, fmt.Errorf("ingest: step size %g must be positive", dt)
 	}
-	return &tornadoSource{m: m, dt: dt}, nil
+	return &tornadoSourceOf[F]{m: m, dt: dt}, nil
 }
 
-func (s *tornadoSource) Dims() grid.Dims {
+// NewTornadoSource adapts the analytic tornado model as a
+// double-precision source stepping dt per slice.
+func NewTornadoSource(m *tornado.Model, dt float64) (Source, error) {
+	return NewTornadoSourceOf[float64](m, dt)
+}
+
+func (s *tornadoSourceOf[F]) Dims() grid.Dims {
 	cfg := s.m.Config()
 	return grid.Dims{Nx: cfg.Nx, Ny: cfg.Ny, Nz: cfg.Nz}
 }
 
-func (s *tornadoSource) Next(dst *grid.Field3D) (float64, error) {
+func (s *tornadoSourceOf[F]) Next(dst *grid.Field3DOf[F]) (float64, error) {
 	t := float64(s.step) * s.dt
 	s.step++
-	return t, s.m.CloudMixingRatioInto(dst, t)
+	return t, fillTornado(s.m, dst, t)
 }
 
-func (s *tornadoSource) Skip() (float64, error) {
+func (s *tornadoSourceOf[F]) Skip() (float64, error) {
 	t := float64(s.step) * s.dt
 	s.step++
 	return t, nil
 }
 
-// synthSource samples the kinematic turbulence field at a chosen grid
+// fillSynth dispatches a kinematic scalar fill to the concrete precision.
+func fillSynth[F num.Float](f *synth.Field, dst *grid.Field3DOf[F], t float64) error {
+	switch d := any(dst).(type) {
+	case *grid.Field3D:
+		return f.SampleScalarInto(d, t)
+	case *grid.Field3D32:
+		return f.SampleScalarInto32(d, t)
+	}
+	return fmt.Errorf("ingest: unsupported precision %T", dst)
+}
+
+// synthSourceOf samples the kinematic turbulence field at a chosen grid
 // size and step.
-type synthSource struct {
+type synthSourceOf[F num.Float] struct {
 	f    *synth.Field
 	dims grid.Dims
 	dt   float64
 	step int
 }
 
-// NewSynthSource adapts a synthetic kinematic field as a streaming
-// source sampling dims at interval dt.
-func NewSynthSource(f *synth.Field, dims grid.Dims, dt float64) (Source, error) {
+// NewSynthSourceOf adapts a synthetic kinematic field as a streaming
+// source sampling dims at interval dt at precision F.
+func NewSynthSourceOf[F num.Float](f *synth.Field, dims grid.Dims, dt float64) (SourceOf[F], error) {
 	if !dims.Valid() {
 		return nil, fmt.Errorf("ingest: invalid dims %v", dims)
 	}
 	if dt <= 0 {
 		return nil, fmt.Errorf("ingest: step size %g must be positive", dt)
 	}
-	return &synthSource{f: f, dims: dims, dt: dt}, nil
+	return &synthSourceOf[F]{f: f, dims: dims, dt: dt}, nil
 }
 
-func (s *synthSource) Dims() grid.Dims { return s.dims }
+// NewSynthSource adapts a synthetic kinematic field as a double-precision
+// source sampling dims at interval dt.
+func NewSynthSource(f *synth.Field, dims grid.Dims, dt float64) (Source, error) {
+	return NewSynthSourceOf[float64](f, dims, dt)
+}
 
-func (s *synthSource) Next(dst *grid.Field3D) (float64, error) {
+func (s *synthSourceOf[F]) Dims() grid.Dims { return s.dims }
+
+func (s *synthSourceOf[F]) Next(dst *grid.Field3DOf[F]) (float64, error) {
 	t := float64(s.step) * s.dt
 	s.step++
-	return t, s.f.SampleScalarInto(dst, t)
+	return t, fillSynth(s.f, dst, t)
 }
 
-func (s *synthSource) Skip() (float64, error) {
+func (s *synthSourceOf[F]) Skip() (float64, error) {
 	t := float64(s.step) * s.dt
 	s.step++
 	return t, nil

@@ -151,12 +151,16 @@ func DefaultConfig() Config {
 			"internal/server",
 		},
 		BudgetOwners: []string{
-			"internal/core.CompressWindowCtx",
-			"internal/core.DecompressCtx",
+			// The precision-generic bodies are the shared entry points
+			// behind both the float64 and float32 wrappers (CompressWindowCtx,
+			// CompressWindow32Ctx, ...): each resolves the budget exactly once
+			// per call and hands shares down, so they are the owners now.
+			"internal/core.compressWindowOf",
+			"internal/core.decompressOf",
 			// Partial decode and refinement are decode entry points like
-			// DecompressCtx; the Refiner resolves its budget once at
+			// decompressOf; the Refiner resolves its budget once at
 			// construction and reuses it across Advance/Materialize.
-			"internal/core.DecompressLevelsCtx",
+			"internal/core.decompressLevelsOf",
 			"internal/core.NewRefiner",
 			"internal/transform.Workers",
 			// Server construction owns its resource envelope: the

@@ -76,3 +76,34 @@ func minConstTooBig(u uint64) uint32 {
 func suppressedReinterpret(n int32) uint32 {
 	return uint32(n) //stlint:ignore trunccast two's-complement bit reinterpretation is the wire format
 }
+
+func floatNarrow(v float64) float32 {
+	return float32(v) // want `\[trunccast\] float32\(v\) silently rounds float64`
+}
+
+func floatNarrowConstExact() float32 {
+	return float32(1.5) // 1.5 is exactly representable at 32 bits: no finding
+}
+
+const inexact64 float64 = 0.1
+const exact64 float64 = 1.5
+
+func floatNarrowTypedConstInexact() float32 {
+	return float32(inexact64) // want `\[trunccast\] float32\(inexact64\) silently rounds float64`
+}
+
+func floatNarrowTypedConstExact() float32 {
+	return float32(exact64) // typed constant exactly representable at 32 bits: no finding
+}
+
+func floatWiden(v float32) float64 {
+	return float64(v) // widening preserves every value: no finding
+}
+
+func floatSame(v float32) float32 {
+	return float32(v) // same width: no finding
+}
+
+func suppressedRounding(v float64) float32 {
+	return float32(v) //stlint:ignore trunccast the raw wire format is 32-bit by contract
+}

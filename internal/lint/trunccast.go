@@ -23,11 +23,16 @@ import (
 //   - a relational bounds guard on the same expression earlier in the
 //     enclosing function (if n > math.MaxUint32 { ... } before uint32(n))
 //
+// Float conversions are covered too: float32(x) of a float64 operand
+// silently rounds, which on the same encode paths is the widen-then-
+// narrow round trip the native float32 pipeline exists to avoid (see
+// checkFloatNarrow).
+//
 // The analyzer runs only on packages named by Config.TruncScope (the
 // encode/record paths); an empty scope means every package.
 var TruncCast = &Analyzer{
 	Name: "trunccast",
-	Doc:  "narrowing integer conversions in encode/record paths need a preceding bounds guard",
+	Doc:  "narrowing integer and float conversions in encode/record paths need a bounds guard or documented contract",
 	Run:  runTruncCast,
 }
 
@@ -66,7 +71,7 @@ func checkTruncIn(pass *Pass, root ast.Node, guardScope ast.Node) {
 			return true
 		}
 		dst, ok := tv.Type.Underlying().(*types.Basic)
-		if !ok || dst.Info()&types.IsInteger == 0 {
+		if !ok || dst.Info()&(types.IsInteger|types.IsFloat) == 0 {
 			return true
 		}
 		arg := ast.Unparen(call.Args[0])
@@ -75,7 +80,14 @@ func checkTruncIn(pass *Pass, root ast.Node, guardScope ast.Node) {
 			return true
 		}
 		src, ok := atv.Type.Underlying().(*types.Basic)
-		if !ok || src.Info()&types.IsInteger == 0 {
+		if !ok {
+			return true
+		}
+		if dst.Info()&types.IsFloat != 0 {
+			checkFloatNarrow(pass, call, dst, src, arg, atv)
+			return true
+		}
+		if src.Info()&types.IsInteger == 0 {
 			return true
 		}
 		reason := truncRisk(dst, src)
@@ -104,6 +116,34 @@ func checkTruncIn(pass *Pass, root ast.Node, guardScope ast.Node) {
 			tv.Type, types.ExprString(call.Args[0]), reason, types.ExprString(arg))
 		return true
 	})
+}
+
+// checkFloatNarrow reports float32 conversions of a float64 operand. On
+// the encode paths in TruncScope such a conversion silently rounds — the
+// widen-then-narrow round trip the native float32 pipeline exists to
+// avoid, and a double rounding the single-rounding error bound in
+// DESIGN §13 does not cover. A constant exactly representable at 32 bits
+// is accepted; a deliberate format-level narrowing carries an
+// stlint:ignore with its contract.
+func checkFloatNarrow(pass *Pass, call *ast.CallExpr, dst, src *types.Basic, arg ast.Expr, atv types.TypeAndValue) {
+	if dst.Kind() != types.Float32 || src.Kind() != types.Float64 {
+		return
+	}
+	if atv.Value != nil && floatFits32(atv.Value) {
+		return
+	}
+	pass.Reportf(call.Pos(), "float32(%s) silently rounds float64; keep the f32 path native, or annotate the one documented rounding",
+		types.ExprString(call.Args[0]))
+}
+
+// floatFits32 reports whether constant v round-trips through float32
+// exactly, so the conversion cannot change the value.
+func floatFits32(v constant.Value) bool {
+	if v.Kind() != constant.Float && v.Kind() != constant.Int {
+		return false
+	}
+	f, _ := constant.Float64Val(v)
+	return float64(float32(f)) == f //stlint:ignore floateq exact round-trip representability is the point of the check
 }
 
 func truncInScope(scope []string, pkgPath string) bool {

@@ -15,6 +15,7 @@ import (
 	"stwave/internal/core"
 	"stwave/internal/grid"
 	"stwave/internal/ingest"
+	"stwave/internal/num"
 	"stwave/internal/obs"
 	"stwave/internal/server"
 	"stwave/internal/sim/synth"
@@ -58,6 +59,21 @@ func benchGrid() *grid.Window {
 			}
 		}
 		if err := w.Append(f, float64(t)); err != nil {
+			panic(err) // dims are static; Append cannot fail
+		}
+	}
+	return w
+}
+
+// benchGrid32 is benchGrid narrowed to float32: the same coherent signal,
+// half the bytes, for the fast-path comparison rows.
+func benchGrid32() *grid.Window32 {
+	src := benchGrid()
+	w := grid.NewWindow32(src.Dims)
+	for i, s := range src.Slices {
+		f := grid.NewField3D32(src.Dims.Nx, src.Dims.Ny, src.Dims.Nz)
+		num.Convert(f.Data, s.Data)
+		if err := w.Append(f, src.Times[i]); err != nil {
 			panic(err) // dims are static; Append cannot fail
 		}
 	}
@@ -140,6 +156,19 @@ func RunPipeline(ctx context.Context, cfg Config, progress io.Writer) ([]Result,
 		}
 	}
 
+	// float32 fast-path fixtures: the same coherent window at half the
+	// bytes, a working copy for the in-place transform, and a matching
+	// container for the cold serving row. Comparing these rows against
+	// their f64 twins is the memory-bound speedup claim in benchmark form.
+	w32 := benchGrid32()
+	rawBytes32 := int64(w32.TotalSamples()) * 4
+	work32 := w32.Clone()
+	copyInto32 := func(dst, src *grid.Window32) {
+		for i, s := range src.Slices {
+			copy(dst.Slices[i].Data, s.Data)
+		}
+	}
+
 	// Progressive fixtures: the same window in the level-major layout,
 	// for the partial-decode and coarse-first serving benchmarks.
 	progOpts := opts
@@ -169,6 +198,10 @@ func RunPipeline(ctx context.Context, cfg Config, progress io.Writer) ([]Result,
 	if err := writeBenchContainer(progPath, progComp, w); err != nil {
 		return nil, err
 	}
+	path32 := filepath.Join(dir, "bench-f32.stw")
+	if err := writeBenchContainer32(path32, opts, w32); err != nil {
+		return nil, err
+	}
 	reader, err := storage.OpenContainer(contPath)
 	if err != nil {
 		return nil, err
@@ -184,6 +217,9 @@ func RunPipeline(ctx context.Context, cfg Config, progress io.Writer) ([]Result,
 		return nil, err
 	}
 	if err := srv.Mount("benchprog", progPath); err != nil {
+		return nil, err
+	}
+	if err := srv.Mount("bench32", path32); err != nil {
 		return nil, err
 	}
 	defer srv.Close()
@@ -277,6 +313,22 @@ func RunPipeline(ctx context.Context, cfg Config, progress io.Writer) ([]Result,
 			// read and partial decode, not a cache hit.
 			srv.Cache().Flush()
 			return serveURL("/v1/benchprog/slice?t=2&levels=0")
+		}},
+		// float32 fast-path rows: the same workloads as their f64 twins
+		// (xform.forward4d_cdf97, core.compress_window, server.slice_cold)
+		// at half the bytes per sample. The memory-bound pipeline should
+		// show these well under their f64 counterparts' ns/op.
+		{"xform.forward4d_cdf97_f32", rawBytes32, func(ctx context.Context) error {
+			copyInto32(work32, w32)
+			return transform.Forward4DCtx(ctx, work32, spec)
+		}},
+		{"core.compress_window_f32", rawBytes32, func(ctx context.Context) error {
+			_, err := comp.CompressWindow32Ctx(ctx, w32)
+			return err
+		}},
+		{"server.slice_cold_f32", sliceBytes, func(ctx context.Context) error {
+			srv.Cache().Flush()
+			return serveURL("/v1/bench32/slice?t=2")
 		}},
 	}
 
@@ -403,6 +455,36 @@ func RunPipeline(ctx context.Context, cfg Config, progress io.Writer) ([]Result,
 		results = append(results, r)
 	}
 	return results, nil
+}
+
+// writeBenchContainer32 streams the float32 bench window into a fresh
+// container via the native single-precision writer.
+func writeBenchContainer32(path string, opts core.Options, w *grid.Window32) error {
+	cont, err := storage.CreateContainer(path)
+	if err != nil {
+		return err
+	}
+	o := opts
+	o.Precision = core.Float32
+	writer, err := core.NewWriter32(o, w.Dims, func(cw *core.CompressedWindow) error {
+		_, err := cont.Append(cw)
+		return err
+	})
+	if err != nil {
+		cont.Close() //stlint:ignore uncheckederr the construction error is what matters
+		return err
+	}
+	for i, s := range w.Slices {
+		if err := writer.WriteSlice(s, float64(i)); err != nil {
+			cont.Close() //stlint:ignore uncheckederr the write error is what matters
+			return err
+		}
+	}
+	if err := writer.Flush(); err != nil {
+		cont.Close() //stlint:ignore uncheckederr the flush error is what matters
+		return err
+	}
+	return cont.Close()
 }
 
 // writeBenchContainer streams the bench window into a fresh container.

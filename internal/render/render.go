@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"stwave/internal/grid"
+	"stwave/internal/num"
 )
 
 // Image is a row-major grayscale image with float64 intensities in [0, 1].
@@ -49,8 +50,9 @@ func normalize(v, lo, hi float64) float64 {
 }
 
 // SliceXY renders the z=k plane of the field, normalized to the field's
-// global min/max (so slices of one variable share a scale).
-func SliceXY(f *grid.Field3D, k int) (*Image, error) {
+// global min/max (so slices of one variable share a scale). Both sample
+// precisions render directly; intensities are always float64.
+func SliceXY[F num.Float](f *grid.Field3DOf[F], k int) (*Image, error) {
 	plane, err := f.SliceXY(k)
 	if err != nil {
 		return nil, err
@@ -59,7 +61,7 @@ func SliceXY(f *grid.Field3D, k int) (*Image, error) {
 	im := NewImage(f.Dims.Nx, f.Dims.Ny)
 	for y, row := range plane {
 		for x, v := range row {
-			im.Set(x, y, normalize(v, lo, hi))
+			im.Set(x, y, normalize(float64(v), float64(lo), float64(hi)))
 		}
 	}
 	return im, nil
@@ -77,10 +79,12 @@ const (
 	AlongX
 )
 
-// MIP computes a maximum-intensity projection along the chosen axis.
-func MIP(f *grid.Field3D, axis MIPAxis) (*Image, error) {
+// MIP computes a maximum-intensity projection along the chosen axis. Both
+// sample precisions project directly; intensities are always float64.
+func MIP[F num.Float](f *grid.Field3DOf[F], axis MIPAxis) (*Image, error) {
 	d := f.Dims
-	lo, hi := f.MinMax()
+	flo, fhi := f.MinMax()
+	lo, hi := float64(flo), float64(fhi)
 	var w, h int
 	switch axis {
 	case AlongZ:
@@ -99,7 +103,7 @@ func MIP(f *grid.Field3D, axis MIPAxis) (*Image, error) {
 	for z := 0; z < d.Nz; z++ {
 		for y := 0; y < d.Ny; y++ {
 			for x := 0; x < d.Nx; x++ {
-				v := f.At(x, y, z)
+				v := float64(f.At(x, y, z))
 				var px, py int
 				switch axis {
 				case AlongZ:

@@ -1,5 +1,5 @@
 // Package scratch is the pipeline's shared scratch-buffer arena: a set of
-// size-classed sync.Pools for the temporary float64 and uint64 slices the
+// size-classed sync.Pools for the temporary float64, float32, and uint64 slices the
 // compression hot path burns through (transform tile slabs, threshold
 // candidate buffers, cloned work windows). Reusing them drives the
 // steady-state allocation count of core.CompressWindow toward zero.
@@ -15,6 +15,8 @@ package scratch
 import (
 	"math/bits"
 	"sync"
+
+	"stwave/internal/num"
 )
 
 // minClass is the smallest pooled capacity (1 << minClass). Buffers under
@@ -28,15 +30,17 @@ const maxClass = 27
 
 // pools[c] holds *[]T buffers of capacity exactly 1 << c.
 var (
-	floatPools  [maxClass + 1]sync.Pool
-	uint64Pools [maxClass + 1]sync.Pool
+	floatPools   [maxClass + 1]sync.Pool
+	float32Pools [maxClass + 1]sync.Pool
+	uint64Pools  [maxClass + 1]sync.Pool
 	// Box pools recycle the *[]T header boxes between Get and Put: a
 	// pointer round-trips through a sync.Pool without allocating, but
 	// boxing a fresh slice header on every Put would cost one small heap
 	// allocation per call — exactly the steady-state garbage this package
 	// exists to remove.
-	floatBoxes  sync.Pool
-	uint64Boxes sync.Pool
+	floatBoxes   sync.Pool
+	float32Boxes sync.Pool
+	uint64Boxes  sync.Pool
 )
 
 // class returns the pool class for a request of n elements: the smallest
@@ -84,6 +88,57 @@ func PutFloats(s []float64) {
 		}
 		*p = s[:cap(s)]
 		floatPools[c].Put(p)
+	}
+}
+
+// Floats32 returns a float32 slice of length n with arbitrary contents.
+func Floats32(n int) []float32 {
+	if c, ok := class(n); ok {
+		if p, _ := float32Pools[c].Get().(*[]float32); p != nil {
+			s := *p
+			*p = nil
+			float32Boxes.Put(p)
+			return s[:n]
+		}
+		return make([]float32, n, 1<<c)
+	}
+	return make([]float32, n)
+}
+
+// PutFloats32 returns a buffer to the arena for reuse.
+func PutFloats32(s []float32) {
+	if c, ok := putClass(cap(s)); ok {
+		p, _ := float32Boxes.Get().(*[]float32)
+		if p == nil {
+			p = new([]float32)
+		}
+		*p = s[:cap(s)]
+		float32Pools[c].Put(p)
+	}
+}
+
+// FloatsOf returns a slice of length n at precision F with arbitrary
+// contents — the precision-generic pipeline stages' view of the arena.
+// The pointer-based type switch dispatches to the concrete pool without
+// boxing the slice itself.
+func FloatsOf[F num.Float](n int) []F {
+	var s []F
+	switch p := any(&s).(type) {
+	case *[]float64:
+		*p = Floats(n)
+	case *[]float32:
+		*p = Floats32(n)
+	}
+	return s
+}
+
+// PutFloatsOf returns a precision-generic buffer to the arena for reuse.
+func PutFloatsOf[F num.Float](s []F) {
+	switch p := any(&s).(type) {
+	case *[]float64:
+		PutFloats(*p)
+	case *[]float32:
+		PutFloats32(*p)
 	}
 }
 

@@ -12,11 +12,9 @@ import (
 	"strconv"
 	"time"
 
-	"stwave/internal/grid"
 	"stwave/internal/obs"
 	"stwave/internal/render"
 	"stwave/internal/storage"
-	"stwave/internal/transform"
 )
 
 // Handler returns the server's HTTP interface:
@@ -191,13 +189,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 // datasetInfo is one entry of /v1/datasets.
 type datasetInfo struct {
-	Name    string `json:"name"`
-	Windows int    `json:"windows"`
-	Slices  int    `json:"slices"`
-	Dims    string `json:"dims"`
-	Codec   string `json:"codec"`
-	Corrupt int    `json:"corrupt_windows,omitempty"`
-	Gaps    int    `json:"gap_windows,omitempty"`
+	Name      string `json:"name"`
+	Windows   int    `json:"windows"`
+	Slices    int    `json:"slices"`
+	Dims      string `json:"dims"`
+	Codec     string `json:"codec"`
+	Precision string `json:"precision"`
+	Corrupt   int    `json:"corrupt_windows,omitempty"`
+	Gaps      int    `json:"gap_windows,omitempty"`
 }
 
 func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
@@ -205,13 +204,14 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	for _, name := range s.order {
 		m := s.mounts[name]
 		out = append(out, datasetInfo{
-			Name:    name,
-			Windows: len(m.windows),
-			Slices:  m.slices,
-			Dims:    m.ref.Dims.String(),
-			Codec:   m.codecNames(),
-			Corrupt: m.badCount(),
-			Gaps:    m.gaps,
+			Name:      name,
+			Windows:   len(m.windows),
+			Slices:    m.slices,
+			Dims:      m.ref.Dims.String(),
+			Codec:     m.codecNames(),
+			Precision: m.precisionNames(),
+			Corrupt:   m.badCount(),
+			Gaps:      m.gaps,
 		})
 	}
 	writeJSON(w, out)
@@ -229,19 +229,19 @@ func (s *Server) handleSlice(w http.ResponseWriter, r *http.Request, m *mount) e
 		return err
 	}
 	var (
-		f     *grid.Field3D
+		v     sliceView
 		tv    float64
 		state cacheState
 	)
 	if levels >= 0 {
-		f, tv, state, err = s.sliceLevel(r.Context(), m, t, levels)
+		v, tv, state, err = s.sliceLevel(r.Context(), m, t, levels)
 	} else {
-		f, tv, state, err = s.fetchSlice(r.Context(), m, t)
+		v, tv, state, err = s.fetchSlice(r.Context(), m, t)
 	}
 	if err != nil {
 		return err
 	}
-	return writeField(w, r, f, tv, state)
+	return writeField(w, r, v, tv, state)
 }
 
 func (s *Server) handleCrop(w http.ResponseWriter, r *http.Request, m *mount) error {
@@ -260,11 +260,11 @@ func (s *Server) handleCrop(w http.ResponseWriter, r *http.Request, m *mount) er
 		}
 		box[i] = v
 	}
-	f, tv, state, err := s.fetchSlice(r.Context(), m, t)
+	v, tv, state, err := s.fetchSlice(r.Context(), m, t)
 	if err != nil {
 		return err
 	}
-	sub, err := f.SubVolume(box[0], box[1], box[2], box[3], box[4], box[5])
+	sub, err := v.subVolume(box[0], box[1], box[2], box[3], box[4], box[5])
 	if err != nil {
 		return badRequest("%v", err)
 	}
@@ -295,21 +295,21 @@ func (s *Server) handlePreview(w http.ResponseWriter, r *http.Request, m *mount)
 		return err
 	}
 	if maxLevel := m.windows[wi].info.SpatialLevels - levels; maxLevel >= 0 {
-		f, tv, state, err := s.sliceLevel(r.Context(), m, t, maxLevel)
+		v, tv, state, err := s.sliceLevel(r.Context(), m, t, maxLevel)
 		if err != nil {
 			return err
 		}
-		return writeField(w, r, f, tv, state)
+		return writeField(w, r, v, tv, state)
 	}
 	// Deeper than the stored decomposition: no byte prefix maps to this
 	// resolution, so reconstruct the approximation band's worth and keep
 	// downsampling with the same spatial kernel the container was
 	// compressed with (recorded in every window header).
-	f, tv, state, err := s.fetchSlice(r.Context(), m, t)
+	v, tv, state, err := s.fetchSlice(r.Context(), m, t)
 	if err != nil {
 		return err
 	}
-	coarse, err := transform.CoarseApproximation(f, m.ref.SpatialKernel, levels, 0)
+	coarse, err := v.coarse(m.ref.SpatialKernel, levels, 0)
 	if err != nil {
 		return badRequest("%v", err)
 	}
@@ -321,7 +321,7 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request, m *mount) 
 	if err != nil {
 		return err
 	}
-	f, _, state, err := s.fetchSlice(r.Context(), m, t)
+	v, _, state, err := s.fetchSlice(r.Context(), m, t)
 	if err != nil {
 		return err
 	}
@@ -329,11 +329,11 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request, m *mount) 
 	var im *render.Image
 	switch kind {
 	case "slice":
-		z, err := intParam(r, "z", f.Dims.Nz/2)
+		z, err := intParam(r, "z", v.dims().Nz/2)
 		if err != nil {
 			return err
 		}
-		im, err = render.SliceXY(f, z)
+		im, err = v.sliceImage(z)
 		if err != nil {
 			return badRequest("%v", err)
 		}
@@ -349,7 +349,7 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request, m *mount) 
 		default:
 			return badRequest("axis must be x, y, or z")
 		}
-		im, err = render.MIP(f, axis)
+		im, err = v.mipImage(axis)
 		if err != nil {
 			return badRequest("%v", err)
 		}
@@ -457,31 +457,46 @@ func (s *Server) handleWindowLevels(w http.ResponseWriter, r *http.Request, m *m
 }
 
 // fetchSlice is the handlers' entry into the engine.
-func (s *Server) fetchSlice(ctx context.Context, m *mount, t int) (*grid.Field3D, float64, cacheState, error) {
+func (s *Server) fetchSlice(ctx context.Context, m *mount, t int) (sliceView, float64, cacheState, error) {
 	return s.slice(ctx, m, t)
 }
 
 // writeField emits a field as raw float32 or JSON, tagging extent, time,
-// and cache-state headers.
-func writeField(w http.ResponseWriter, r *http.Request, f *grid.Field3D, tv float64, state cacheState) error {
+// and cache-state headers. The raw wire format is little-endian float32
+// regardless of container precision, so float32 views serialize without
+// any widen-then-narrow round trip.
+func writeField(w http.ResponseWriter, r *http.Request, v sliceView, tv float64, state cacheState) error {
 	w.Header().Set("X-Cache", string(state))
-	w.Header().Set("X-STW-Dims", f.Dims.String())
+	w.Header().Set("X-STW-Dims", v.dims().String())
 	w.Header().Set("X-STW-Time", strconv.FormatFloat(tv, 'g', -1, 64))
 	switch format := paramOr(r, "format", "raw"); format {
 	case "raw":
+		n := v.samples()
 		w.Header().Set("Content-Type", "application/octet-stream")
-		w.Header().Set("Content-Length", strconv.Itoa(len(f.Data)*4))
-		buf := make([]byte, len(f.Data)*4)
-		for i, v := range f.Data {
-			binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(float32(v)))
+		w.Header().Set("Content-Length", strconv.Itoa(n*4))
+		buf := make([]byte, n*4)
+		if v.f32 != nil {
+			for i, s := range v.f32.Data {
+				binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(s))
+			}
+		} else {
+			for i, s := range v.f64.Data {
+				binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(float32(s)))
+			}
 		}
 		_, err := w.Write(buf)
 		return err
 	case "json":
+		var data any = nil
+		if v.f32 != nil {
+			data = v.f32.Data
+		} else {
+			data = v.f64.Data
+		}
 		return writeJSON(w, map[string]any{
-			"dims": f.Dims.String(),
+			"dims": v.dims().String(),
 			"time": tv,
-			"data": f.Data,
+			"data": data,
 		})
 	default:
 		return badRequest("format must be raw or json, got %q", format)

@@ -27,10 +27,8 @@ import (
 	"time"
 
 	"stwave/internal/core"
-	"stwave/internal/grid"
 	"stwave/internal/obs"
 	"stwave/internal/storage"
-	"stwave/internal/transform"
 )
 
 // Config tunes the server's resource envelope.
@@ -137,6 +135,27 @@ func (m *mount) codecNames() string {
 			continue
 		}
 		seen[m.windows[i].info.Codec.String()] = true
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ",")
+}
+
+// precisionNames returns the sample precisions the mount's readable
+// windows use — normally one of "f64"/"f32"; mixed containers list both,
+// sorted, so the census surfaces per-dataset precision at a glance.
+func (m *mount) precisionNames() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	seen := map[string]bool{}
+	for i := range m.windows {
+		if m.bad[i] || m.windows[i].info.Gap != nil {
+			continue
+		}
+		seen[m.windows[i].info.Precision.String()] = true
 	}
 	names := make([]string, 0, len(seen))
 	for n := range seen {
@@ -317,8 +336,31 @@ const (
 // window returns the decompressed window wi of mount m, consulting the
 // cache and coalescing concurrent misses. The returned window is shared:
 // callers must not modify it.
-func (s *Server) window(ctx context.Context, m *mount, wi int) (*grid.Window, cacheState, error) {
+func (s *Server) window(ctx context.Context, m *mount, wi int) (cachedWindow, cacheState, error) {
 	return s.windowLevel(ctx, m, wi, -1)
+}
+
+// decompressWindow runs the full decode at the container's native
+// precision: float32 windows reconstruct through the 4-byte pipeline and
+// are cached at half the budget cost.
+func decompressWindow(ctx context.Context, cw *core.CompressedWindow) (cachedWindow, error) {
+	if cw.Precision == core.Float32 {
+		w, err := core.Decompress32Ctx(ctx, cw)
+		return cache32(w), err
+	}
+	w, err := core.DecompressCtx(ctx, cw)
+	return cache64(w), err
+}
+
+// decompressWindowLevels is decompressWindow for level-bounded decodes of
+// progressive windows.
+func decompressWindowLevels(ctx context.Context, cw *core.CompressedWindow, maxLevel int) (cachedWindow, error) {
+	if cw.Precision == core.Float32 {
+		w, err := core.DecompressLevels32Ctx(ctx, cw, maxLevel)
+		return cache32(w), err
+	}
+	w, err := core.DecompressLevelsCtx(ctx, cw, maxLevel)
+	return cache64(w), err
 }
 
 // windowLevel is window generalized to level-bounded decodes of
@@ -330,7 +372,7 @@ func (s *Server) window(ctx context.Context, m *mount, wi int) (*grid.Window, ca
 // inside cache.Get — the flight's re-check uses the uncounted peek — so
 // every call here counts exactly one hit or one miss. Callers pass
 // maxLevel >= 0 only for windows whose header says Progressive.
-func (s *Server) windowLevel(ctx context.Context, m *mount, wi, maxLevel int) (*grid.Window, cacheState, error) {
+func (s *Server) windowLevel(ctx context.Context, m *mount, wi, maxLevel int) (cachedWindow, cacheState, error) {
 	levels := 0
 	if maxLevel >= 0 {
 		levels = maxLevel + 1
@@ -358,14 +400,14 @@ func (s *Server) windowLevel(ctx context.Context, m *mount, wi, maxLevel int) (*
 		}
 		defer func() { <-s.sem }()
 		start := time.Now()
-		var w *grid.Window
+		var w cachedWindow
 		if maxLevel >= 0 {
 			cw, bytesRead, err := m.r.ReadWindowLevelsCtx(workCtx, wi, maxLevel)
 			if err != nil {
 				s.noteCorrupt(m, wi, err)
 				return nil, err
 			}
-			w, err = core.DecompressLevelsCtx(workCtx, cw, maxLevel)
+			w, err = decompressWindowLevels(workCtx, cw, maxLevel)
 			if err != nil {
 				return nil, err
 			}
@@ -379,7 +421,7 @@ func (s *Server) windowLevel(ctx context.Context, m *mount, wi, maxLevel int) (*
 				s.noteCorrupt(m, wi, err)
 				return nil, err
 			}
-			w, err = core.DecompressCtx(workCtx, cw)
+			w, err = decompressWindow(workCtx, cw)
 			if err != nil {
 				return nil, err
 			}
@@ -390,14 +432,14 @@ func (s *Server) windowLevel(ctx context.Context, m *mount, wi, maxLevel int) (*
 		return w, nil
 	})
 	if err != nil {
-		return nil, stateMiss, err
+		return cachedWindow{}, stateMiss, err
 	}
 	state := stateMiss
 	if coalesced {
 		s.metrics.Coalesced.Add(1)
 		state = stateCoalesced
 	}
-	return val.(*grid.Window), state, nil
+	return val.(cachedWindow), state, nil
 }
 
 // noteCorrupt records a newly discovered corrupt window in the mount and
@@ -436,60 +478,52 @@ func (m *mount) servable(t int) (int, int, error) {
 // full decode followed by spatial downsampling, so the endpoint contract
 // (dims, semantics) is uniform across container generations; only the
 // I/O saving is progressive-only.
-func (s *Server) sliceLevel(ctx context.Context, m *mount, t, maxLevel int) (*grid.Field3D, float64, cacheState, error) {
+func (s *Server) sliceLevel(ctx context.Context, m *mount, t, maxLevel int) (sliceView, float64, cacheState, error) {
 	wi, local, err := m.servable(t)
 	if err != nil {
-		return nil, 0, stateMiss, err
+		return sliceView{}, 0, stateMiss, err
 	}
 	meta := m.windows[wi]
 	if maxLevel < 0 || maxLevel > meta.info.SpatialLevels {
-		return nil, 0, stateMiss, badRequest("levels must be in [0, %d], got %d", meta.info.SpatialLevels, maxLevel)
+		return sliceView{}, 0, stateMiss, badRequest("levels must be in [0, %d], got %d", meta.info.SpatialLevels, maxLevel)
 	}
 	if maxLevel == meta.info.SpatialLevels {
 		return s.slice(ctx, m, t)
 	}
 	if !meta.info.Progressive {
-		f, tv, state, err := s.slice(ctx, m, t)
+		v, tv, state, err := s.slice(ctx, m, t)
 		if err != nil {
-			return nil, 0, state, err
+			return sliceView{}, 0, state, err
 		}
-		coarse, err := transform.CoarseApproximation(f, meta.info.SpatialKernel, meta.info.SpatialLevels-maxLevel, 0)
+		coarse, err := v.coarse(meta.info.SpatialKernel, meta.info.SpatialLevels-maxLevel, 0)
 		if err != nil {
-			return nil, 0, state, err
+			return sliceView{}, 0, state, err
 		}
 		return coarse, tv, state, nil
 	}
 	w, state, err := s.windowLevel(ctx, m, wi, maxLevel)
 	if err != nil {
-		return nil, 0, state, err
+		return sliceView{}, 0, state, err
 	}
-	tv := float64(t)
-	if w.Times != nil && local < len(w.Times) {
-		tv = w.Times[local]
-	}
-	return w.Slices[local], tv, state, nil
+	return w.slice(local), w.timeAt(local, float64(t)), state, nil
 }
 
 // slice returns the field at global time index t of the named dataset. For
 // cacheable windows it decompresses (or reuses) the whole window; for
 // windows larger than the cache budget it decodes just the one slice. The
 // returned field may be shared with other requests: treat as read-only.
-func (s *Server) slice(ctx context.Context, m *mount, t int) (*grid.Field3D, float64, cacheState, error) {
+func (s *Server) slice(ctx context.Context, m *mount, t int) (sliceView, float64, cacheState, error) {
 	wi, local, err := m.servable(t)
 	if err != nil {
-		return nil, 0, stateMiss, err
+		return sliceView{}, 0, stateMiss, err
 	}
 	meta := m.windows[wi]
 	if s.cache.Admits(meta.info.RawSizeBytes()) {
 		w, state, err := s.window(ctx, m, wi)
 		if err != nil {
-			return nil, 0, state, err
+			return sliceView{}, 0, state, err
 		}
-		tv := float64(t)
-		if w.Times != nil && local < len(w.Times) {
-			tv = w.Times[local]
-		}
-		return w.Slices[local], tv, state, nil
+		return w.slice(local), w.timeAt(local, float64(t)), state, nil
 	}
 	// Uncacheable path: the window can never fit the budget, so skip the
 	// full decompression and reconstruct only the requested slice. Still
@@ -506,20 +540,27 @@ func (s *Server) slice(ctx context.Context, m *mount, t int) (*grid.Field3D, flo
 			return nil, err
 		}
 		_, spd := obs.Start(workCtx, "core.decompress_slice")
-		f, err := core.DecompressSlice(cw, local)
+		var v sliceView
+		if cw.Precision == core.Float32 {
+			f, derr := core.DecompressSlice32(cw, local)
+			err, v = derr, view32(f)
+		} else {
+			f, derr := core.DecompressSlice(cw, local)
+			err, v = derr, view64(f)
+		}
 		spd.End()
 		if err != nil {
 			return nil, err
 		}
 		s.metrics.SliceDecodes.Add(1)
 		s.metrics.DecompressLatency.ObserveSince(start)
-		return f, nil
+		return v, nil
 	})
 	if err != nil {
-		return nil, 0, stateUncached, err
+		return sliceView{}, 0, stateUncached, err
 	}
 	if coalesced {
 		s.metrics.Coalesced.Add(1)
 	}
-	return val.(*grid.Field3D), float64(t), stateUncached, nil
+	return val.(sliceView), float64(t), stateUncached, nil
 }

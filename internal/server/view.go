@@ -1,0 +1,74 @@
+package server
+
+import (
+	"stwave/internal/grid"
+	"stwave/internal/render"
+	"stwave/internal/transform"
+	"stwave/internal/wavelet"
+)
+
+// sliceView is one reconstructed time slice at its native container
+// precision. Exactly one of the fields is non-nil. Handlers operate on the
+// view directly — crop, coarsen, render, and raw serialization all have
+// native paths at both precisions — so float32 containers never pay a
+// widen-then-narrow round trip on the hot path. Views share storage with
+// the window cache: treat the data as read-only.
+type sliceView struct {
+	f64 *grid.Field3D
+	f32 *grid.Field3D32
+}
+
+// view64 wraps a double-precision field.
+func view64(f *grid.Field3D) sliceView { return sliceView{f64: f} }
+
+// view32 wraps a single-precision field.
+func view32(f *grid.Field3D32) sliceView { return sliceView{f32: f} }
+
+// dims returns the field extents at either precision.
+func (v sliceView) dims() grid.Dims {
+	if v.f32 != nil {
+		return v.f32.Dims
+	}
+	return v.f64.Dims
+}
+
+// samples returns the number of samples in the field.
+func (v sliceView) samples() int { return v.dims().Len() }
+
+// subVolume crops the view at its native precision.
+func (v sliceView) subVolume(x0, y0, z0, nx, ny, nz int) (sliceView, error) {
+	if v.f32 != nil {
+		sub, err := v.f32.SubVolume(x0, y0, z0, nx, ny, nz)
+		return sliceView{f32: sub}, err
+	}
+	sub, err := v.f64.SubVolume(x0, y0, z0, nx, ny, nz)
+	return sliceView{f64: sub}, err
+}
+
+// coarse downsamples the view by the given number of wavelet levels at its
+// native precision.
+func (v sliceView) coarse(k wavelet.Kernel, levels, workers int) (sliceView, error) {
+	if v.f32 != nil {
+		c, err := transform.CoarseApproximation(v.f32, k, levels, workers)
+		return sliceView{f32: c}, err
+	}
+	c, err := transform.CoarseApproximation(v.f64, k, levels, workers)
+	return sliceView{f64: c}, err
+}
+
+// sliceImage renders the z=k plane at the view's native precision.
+func (v sliceView) sliceImage(k int) (*render.Image, error) {
+	if v.f32 != nil {
+		return render.SliceXY(v.f32, k)
+	}
+	return render.SliceXY(v.f64, k)
+}
+
+// mipImage renders a maximum-intensity projection at the view's native
+// precision.
+func (v sliceView) mipImage(axis render.MIPAxis) (*render.Image, error) {
+	if v.f32 != nil {
+		return render.MIP(v.f32, axis)
+	}
+	return render.MIP(v.f64, axis)
+}

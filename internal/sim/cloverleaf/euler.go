@@ -18,6 +18,7 @@ import (
 	"math"
 
 	"stwave/internal/grid"
+	"stwave/internal/num"
 )
 
 // gamma is the ideal-gas adiabatic index.
@@ -395,5 +396,16 @@ func (s *Solver) DensityInto(dst *grid.Field3D) error {
 		return fmt.Errorf("cloverleaf: dst dims %v != solver dims %v", dst.Dims, want)
 	}
 	copy(dst.Data, s.rho)
+	return nil
+}
+
+// DensityInto32 is DensityInto narrowing to float32 at the fill point —
+// the single-precision ingest path. The solver marches in float64; only
+// the sampled field is stored at 4 bytes per sample. dst must be N³.
+func (s *Solver) DensityInto32(dst *grid.Field3D32) error {
+	if want := (grid.Dims{Nx: s.n, Ny: s.n, Nz: s.n}); dst.Dims != want {
+		return fmt.Errorf("cloverleaf: dst dims %v != solver dims %v", dst.Dims, want)
+	}
+	num.Convert(dst.Data, s.rho)
 	return nil
 }

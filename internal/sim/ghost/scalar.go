@@ -200,6 +200,26 @@ func (s *Solver) ScalarInto(dst *grid.Field3D) error {
 	return nil
 }
 
+// ScalarInto32 is ScalarInto narrowing to float32 at the fill point — the
+// single-precision ingest path's recycled-buffer variant. The solver state
+// stays float64 (the spectral step needs the headroom); only the sampled
+// field is stored at 4 bytes per sample. dst must be N³.
+func (s *Solver) ScalarInto32(dst *grid.Field3D32) error {
+	if s.scalar == nil {
+		return fmt.Errorf("ghost: no scalar attached")
+	}
+	want := grid.Dims{Nx: s.n, Ny: s.n, Nz: s.n}
+	if dst.Dims != want {
+		return fmt.Errorf("ghost: dst dims %v != solver dims %v", dst.Dims, want)
+	}
+	copy(s.scalar.physT, s.scalar.th)
+	s.plan.Inverse(s.scalar.physT)
+	for i := range dst.Data {
+		dst.Data[i] = float32(real(s.scalar.physT[i]))
+	}
+	return nil
+}
+
 // ScalarVariance returns the volume-averaged scalar variance <θ²> - <θ>².
 func (s *Solver) ScalarVariance() float64 {
 	if s.scalar == nil {

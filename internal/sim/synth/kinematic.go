@@ -14,6 +14,7 @@ import (
 
 	"stwave/internal/fbits"
 	"stwave/internal/grid"
+	"stwave/internal/num"
 )
 
 // Config controls the generated ensemble.
@@ -141,6 +142,20 @@ func (f *Field) SampleScalar(nx, ny, nz int, t float64) *grid.Field3D {
 // allocating — the recycled-buffer variant the streaming ingest path
 // uses. dst supplies the sampling resolution.
 func (f *Field) SampleScalarInto(dst *grid.Field3D, t float64) error {
+	return sampleScalarIntoOf(f, dst, t)
+}
+
+// SampleScalarInto32 is SampleScalarInto storing at float32 — the
+// single-precision ingest path. The mode sum stays float64; only the
+// sampled field is 4 bytes per sample.
+func (f *Field) SampleScalarInto32(dst *grid.Field3D32, t float64) error {
+	return sampleScalarIntoOf(f, dst, t)
+}
+
+// sampleScalarIntoOf is the precision-generic fill loop behind the two
+// SampleScalarInto variants: evaluation stays float64, the store narrows
+// (or not) at the fill point.
+func sampleScalarIntoOf[F num.Float](f *Field, dst *grid.Field3DOf[F], t float64) error {
 	if !dst.Dims.Valid() {
 		return fmt.Errorf("synth: invalid dst dims %v", dst.Dims)
 	}
@@ -153,7 +168,7 @@ func (f *Field) SampleScalarInto(dst *grid.Field3D, t float64) error {
 		for y := 0; y < ny; y++ {
 			Y := float64(y) * hy
 			for x := 0; x < nx; x++ {
-				dst.Set(x, y, z, f.ScalarAt(float64(x)*hx, Y, Z, t))
+				dst.Set(x, y, z, F(f.ScalarAt(float64(x)*hx, Y, Z, t)))
 			}
 		}
 	}

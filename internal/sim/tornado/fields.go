@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"stwave/internal/grid"
+	"stwave/internal/num"
 )
 
 // Cell spacing helpers: grid index i maps to physical coordinate
@@ -33,6 +34,13 @@ func (m *Model) sample(fn func(x, y, z float64) float64) *grid.Field3D {
 // sampleInto fills dst by evaluating fn at every cell center, without
 // allocating; dst must match the model grid.
 func (m *Model) sampleInto(dst *grid.Field3D, fn func(x, y, z float64) float64) error {
+	return sampleIntoOf(m, dst, fn)
+}
+
+// sampleIntoOf is the precision-generic fill loop behind sampleInto and
+// the Into32 variants: the analytic evaluation stays float64, the store
+// narrows (or not) at the fill point.
+func sampleIntoOf[F num.Float](m *Model, dst *grid.Field3DOf[F], fn func(x, y, z float64) float64) error {
 	if want := (grid.Dims{Nx: m.cfg.Nx, Ny: m.cfg.Ny, Nz: m.cfg.Nz}); dst.Dims != want {
 		return fmt.Errorf("tornado: dst dims %v != model dims %v", dst.Dims, want)
 	}
@@ -41,7 +49,7 @@ func (m *Model) sampleInto(dst *grid.Field3D, fn func(x, y, z float64) float64) 
 		for j := 0; j < m.cfg.Ny; j++ {
 			Y := m.CellY(j)
 			for i := 0; i < m.cfg.Nx; i++ {
-				dst.Set(i, j, k, fn(m.CellX(i), Y, Z))
+				dst.Set(i, j, k, F(fn(m.CellX(i), Y, Z)))
 			}
 		}
 	}
@@ -105,6 +113,16 @@ func (m *Model) CloudMixingRatio(t float64) *grid.Field3D {
 // variant. dst must match the model grid.
 func (m *Model) CloudMixingRatioInto(dst *grid.Field3D, t float64) error {
 	return m.sampleInto(dst, func(x, y, z float64) float64 {
+		return m.CloudMixingRatioAt(x, y, z, t)
+	})
+}
+
+// CloudMixingRatioInto32 is CloudMixingRatioInto storing at float32 — the
+// single-precision ingest path. The analytic evaluation stays float64;
+// only the sampled field is 4 bytes per sample. dst must match the model
+// grid.
+func (m *Model) CloudMixingRatioInto32(dst *grid.Field3D32, t float64) error {
+	return sampleIntoOf(m, dst, func(x, y, z float64) float64 {
 		return m.CloudMixingRatioAt(x, y, z, t)
 	})
 }

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"stwave/internal/grid"
+	"stwave/internal/num"
 	"stwave/internal/obs"
 )
 
@@ -68,6 +69,19 @@ func NewBurstBuffer(dir string, model *PerfModel, dims grid.Dims) (*BurstBuffer,
 
 // PutSlice writes a slice to the buffer tier and returns its id.
 func (b *BurstBuffer) PutSlice(f *grid.Field3D) (int, error) {
+	return PutSliceOf(b, f)
+}
+
+// PutSlice32 stages a float32 slice. The on-disk staging format is
+// float32 either way (SaveRawFile), so both precisions share the tier and
+// the perf accounting.
+func (b *BurstBuffer) PutSlice32(f *grid.Field3D32) (int, error) {
+	return PutSliceOf(b, f)
+}
+
+// PutSliceOf is the precision-generic staging write behind PutSlice and
+// PutSlice32.
+func PutSliceOf[F num.Float](b *BurstBuffer, f *grid.Field3DOf[F]) (int, error) {
 	if f.Dims != b.dims {
 		return 0, fmt.Errorf("storage: slice dims %v != buffer dims %v", f.Dims, b.dims)
 	}
@@ -95,13 +109,24 @@ func (b *BurstBuffer) PutSlice(f *grid.Field3D) (int, error) {
 
 // GetSlice reads a staged slice back.
 func (b *BurstBuffer) GetSlice(id int) (*grid.Field3D, error) {
+	return GetSliceOf[float64](b, id)
+}
+
+// GetSlice32 reads a staged slice back at float32 without a widen pass.
+func (b *BurstBuffer) GetSlice32(id int) (*grid.Field3D32, error) {
+	return GetSliceOf[float32](b, id)
+}
+
+// GetSliceOf is the precision-generic staging read behind GetSlice and
+// GetSlice32.
+func GetSliceOf[F num.Float](b *BurstBuffer, id int) (*grid.Field3DOf[F], error) {
 	b.mu.Lock()
 	path, ok := b.live[id]
 	b.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("storage: no slice %d in buffer", id)
 	}
-	f, err := grid.LoadRawFile(path, b.dims.Nx, b.dims.Ny, b.dims.Nz)
+	f, err := grid.LoadRawFileOf[F](path, b.dims.Nx, b.dims.Ny, b.dims.Nz)
 	if err != nil {
 		return nil, err
 	}

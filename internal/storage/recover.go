@@ -72,6 +72,10 @@ type FrameInfo struct {
 	// "entropy", ...), parsed from the window header. Empty when the
 	// payload is too damaged for even the header to parse.
 	Codec string `json:"codec,omitempty"`
+	// Precision names the window's sample precision ("f64" or "f32"),
+	// parsed from the same header bit the decoder dispatches on. Empty for
+	// gap markers and unparseable payloads.
+	Precision string `json:"precision,omitempty"`
 	// Progressive marks a v4 level-major payload; Levels is its spatial
 	// decomposition depth (the number of addressable refinement levels).
 	// An fsck report distinguishes them because a corrupt progressive
@@ -200,6 +204,7 @@ func classifyCodec(f io.ReaderAt, fi FrameInfo) FrameInfo {
 		fi.Codec = "gap"
 	} else {
 		fi.Codec = wi.Codec.String()
+		fi.Precision = wi.Precision.String()
 		fi.Progressive = wi.Progressive
 		if wi.Progressive {
 			fi.Levels = wi.SpatialLevels

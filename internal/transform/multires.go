@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"stwave/internal/grid"
+	"stwave/internal/num"
 	"stwave/internal/wavelet"
 )
 
@@ -26,7 +27,7 @@ func CoarseDims(d grid.Dims, levels int) grid.Dims {
 // expose for previews: a level-L preview has 1/8^L the samples.
 //
 // f is not modified.
-func CoarseApproximation(f *grid.Field3D, k wavelet.Kernel, levels, workers int) (*grid.Field3D, error) {
+func CoarseApproximation[F num.Float](f *grid.Field3DOf[F], k wavelet.Kernel, levels, workers int) (*grid.Field3DOf[F], error) {
 	if levels < 0 {
 		return nil, fmt.Errorf("transform: negative level count %d", levels)
 	}
@@ -38,7 +39,7 @@ func CoarseApproximation(f *grid.Field3D, k wavelet.Kernel, levels, workers int)
 		return nil, err
 	}
 	cd := CoarseDims(f.Dims, levels)
-	out := grid.NewField3D(cd.Nx, cd.Ny, cd.Nz)
+	out := grid.NewField3DOf[F](cd.Nx, cd.Ny, cd.Nz)
 	// Undo the per-level sqrt(2)^3 amplitude gain of the approximation band.
 	scale := math.Pow(math.Sqrt2, -3*float64(levels))
 	for z := 0; z < cd.Nz; z++ {
@@ -46,7 +47,7 @@ func CoarseApproximation(f *grid.Field3D, k wavelet.Kernel, levels, workers int)
 			srcBase := (z*f.Dims.Ny + y) * f.Dims.Nx
 			dstBase := (z*cd.Ny + y) * cd.Nx
 			for x := 0; x < cd.Nx; x++ {
-				out.Data[dstBase+x] = work.Data[srcBase+x] * scale
+				out.Data[dstBase+x] = work.Data[srcBase+x] * F(scale)
 			}
 		}
 	}

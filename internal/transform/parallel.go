@@ -16,6 +16,7 @@ package transform
 
 import (
 	"stwave/internal/grid"
+	"stwave/internal/num"
 	"stwave/internal/par"
 )
 
@@ -29,7 +30,7 @@ func Workers(requested int) int {
 // receives the inner per-slice budget. With a single outer worker the
 // loop degenerates to a plain sequential walk with early error return and
 // no goroutines or bookkeeping allocations.
-func forEachSlice(slices []*grid.Field3D, budget int, fn func(i int, f *grid.Field3D, inner int) error) error {
+func forEachSlice[F num.Float](slices []*grid.Field3DOf[F], budget int, fn func(i int, f *grid.Field3DOf[F], inner int) error) error {
 	outer, inner := par.Split(budget, len(slices))
 	if outer <= 1 {
 		for i, f := range slices {

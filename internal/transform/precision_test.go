@@ -1,0 +1,89 @@
+package transform
+
+import (
+	"math"
+	"testing"
+
+	"stwave/internal/grid"
+	"stwave/internal/wavelet"
+)
+
+// eps32 is float32 machine epsilon (2^-23).
+const eps32 = 1.1920928955078125e-07
+
+func oracleWindows(d grid.Dims, slices int) (*grid.Window, *grid.Window32) {
+	w64 := grid.NewWindow(d)
+	w32 := grid.NewWindow32(d)
+	for t := 0; t < slices; t++ {
+		f64 := grid.NewField3D(d.Nx, d.Ny, d.Nz)
+		f32 := grid.NewField3D32(d.Nx, d.Ny, d.Nz)
+		tt := float64(t) * 0.07
+		for z := 0; z < d.Nz; z++ {
+			for y := 0; y < d.Ny; y++ {
+				for x := 0; x < d.Nx; x++ {
+					v := math.Sin(0.5*float64(x)+tt)*math.Cos(0.4*float64(y)) +
+						0.3*math.Sin(0.6*float64(z)-tt)
+					f64.Set(x, y, z, v)
+					f32.Set(x, y, z, float32(v))
+				}
+			}
+		}
+		if err := w64.Append(f64, float64(t)); err != nil {
+			panic(err)
+		}
+		if err := w32.Append(f32, float64(t)); err != nil {
+			panic(err)
+		}
+	}
+	return w64, w32
+}
+
+// TestForward4DFloat32MatchesOracle runs the full 4D transform at both
+// precisions over every window shape the pipeline ships (1/10/20/40
+// slices) and both kernels, and checks the float32 coefficients against
+// the float64 oracle. The bound composes the 1D ladder bound (see
+// wavelet.TestFloat32MatchesFloat64Oracle1D) over the four axis passes:
+// each pass contributes O(levels*eps32) relative error against the
+// largest coefficient magnitude, so the composed error stays within
+// C*(spatial+temporal+1)*eps32 of the oracle; C = 512 covers the four
+// passes with worst-case alignment slack.
+func TestForward4DFloat32MatchesOracle(t *testing.T) {
+	d := grid.Dims{Nx: 13, Ny: 11, Nz: 9}
+	for _, kernel := range []wavelet.Kernel{wavelet.CDF97, wavelet.CDF53} {
+		for _, slices := range []int{1, 10, 20, 40} {
+			w64, w32 := oracleWindows(d, slices)
+			spec := Spec{
+				SpatialKernel:  kernel,
+				SpatialLevels:  -1,
+				TemporalKernel: kernel,
+				TemporalLevels: -1,
+				Workers:        2,
+			}
+			if err := Forward4D(w64, spec); err != nil {
+				t.Fatalf("%v slices=%d: f64: %v", kernel, slices, err)
+			}
+			if err := Forward4D(w32, spec); err != nil {
+				t.Fatalf("%v slices=%d: f32: %v", kernel, slices, err)
+			}
+			spatial, temporal := spec.resolve(d, slices)
+			coefMax := 1.0
+			for _, s := range w64.Slices {
+				for _, c := range s.Data {
+					if a := math.Abs(c); a > coefMax {
+						coefMax = a
+					}
+				}
+			}
+			tol := 512 * eps32 * float64(spatial+temporal+1) * coefMax
+			for si := range w64.Slices {
+				a, b := w64.Slices[si].Data, w32.Slices[si].Data
+				for i := range a {
+					if diff := math.Abs(float64(b[i]) - a[i]); !(diff <= tol) {
+						t.Fatalf("%v slices=%d: slice %d coeff %d: f32 %g vs f64 %g (|diff| %g > tol %g)",
+							kernel, slices, si, i, b[i], a[i], diff, tol)
+					}
+				}
+			}
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"stwave/internal/grid"
+	"stwave/internal/num"
 	"stwave/internal/par"
 	"stwave/internal/scratch"
 	"stwave/internal/wavelet"
@@ -16,12 +17,13 @@ import (
 // lifting loops over a full cache line of lanes.
 const spatialLanes = 64
 
-// contigSlab caps (in elements) the slab size of the contiguous fast
+// contigSlabBytes caps (in bytes) the slab size of the contiguous fast
 // paths in passY and passZ: at level 0 the grid's own memory layout
 // already matches the blocked-kernel lane layout, so the transform can
 // lift straight out of f.Data with no gather copy — worthwhile only
-// while the region still fits in cache (32768 elements = 256 KiB).
-const contigSlab = 1 << 15
+// while the region still fits in cache (256 KiB, i.e. twice the float64
+// element budget when lifting float32).
+const contigSlabBytes = 1 << 18
 
 // Levels3D returns the number of transform levels the paper's Equation 2
 // permits for a 3D grid: the per-axis maximum evaluated at the shortest
@@ -41,7 +43,7 @@ func Levels3D(k wavelet.Kernel, d grid.Dims) int {
 // field in place: each pass runs one single-level 1D transform along every X
 // row, then every Y column, then every Z pencil of the current approximation
 // cube, then halves the cube. workers < 1 uses all CPUs.
-func Forward3D(f *grid.Field3D, k wavelet.Kernel, levels, workers int) error {
+func Forward3D[F num.Float](f *grid.Field3DOf[F], k wavelet.Kernel, levels, workers int) error {
 	if levels < 0 {
 		return fmt.Errorf("transform: negative level count %d", levels)
 	}
@@ -60,7 +62,7 @@ func Forward3D(f *grid.Field3D, k wavelet.Kernel, levels, workers int) error {
 }
 
 // Inverse3D undoes Forward3D with the same kernel and level count.
-func Inverse3D(f *grid.Field3D, k wavelet.Kernel, levels, workers int) error {
+func Inverse3D[F num.Float](f *grid.Field3DOf[F], k wavelet.Kernel, levels, workers int) error {
 	if levels < 0 {
 		return fmt.Errorf("transform: negative level count %d", levels)
 	}
@@ -91,7 +93,7 @@ func half(n int) int { return (n + 1) / 2 }
 // (cnx, cny, cnz) approximation cube. Rows are contiguous in memory, so
 // the scalar kernel already streams; rows are batched into tasks of at
 // least ~4096 samples so short rows never pay goroutine overhead.
-func passX(f *grid.Field3D, k wavelet.Kernel, cnx, cny, cnz, workers int, inverse bool) {
+func passX[F num.Float](f *grid.Field3DOf[F], k wavelet.Kernel, cnx, cny, cnz, workers int, inverse bool) {
 	if cnx < 2 {
 		return
 	}
@@ -103,15 +105,18 @@ func passX(f *grid.Field3D, k wavelet.Kernel, cnx, cny, cnz, workers int, invers
 		passXRange(f, k, cnx, cny, 0, lines, inverse)
 		return
 	}
-	grain := 1 + 4096/cnx
+	// Constant byte grain: ~32 KiB of samples per task at either
+	// precision, so float32 rows batch twice as many samples before
+	// paying goroutine overhead.
+	grain := 1 + (32768/num.SampleBytes[F]())/cnx
 	par.For(lines, workers, grain, func(start, end int) {
 		passXRange(f, k, cnx, cny, start, end, inverse)
 	})
 }
 
-func passXRange(f *grid.Field3D, k wavelet.Kernel, cnx, cny, start, end int, inverse bool) {
+func passXRange[F num.Float](f *grid.Field3DOf[F], k wavelet.Kernel, cnx, cny, start, end int, inverse bool) {
 	nx, ny := f.Dims.Nx, f.Dims.Ny
-	scr := scratch.Floats(cnx)
+	scr := scratch.FloatsOf[F](cnx)
 	for li := start; li < end; li++ {
 		y := li % cny
 		z := li / cny
@@ -122,21 +127,21 @@ func passXRange(f *grid.Field3D, k wavelet.Kernel, cnx, cny, start, end int, inv
 			wavelet.ForwardStep(k, row, scr)
 		}
 	}
-	scratch.PutFloats(scr)
+	scratch.PutFloatsOf(scr)
 }
 
 // passY transforms strided Y lines (stride Nx) inside the approximation
 // cube. Tiles of spatialLanes neighbouring X positions are transposed
 // into a contiguous (cny × lanes) slab with one bulk copy per Y level,
 // transformed together by the blocked kernel, and scattered back.
-func passY(f *grid.Field3D, k wavelet.Kernel, cnx, cny, cnz, workers int, inverse bool) {
+func passY[F num.Float](f *grid.Field3DOf[F], k wavelet.Kernel, cnx, cny, cnz, workers int, inverse bool) {
 	if cny < 2 {
 		return
 	}
 	// Contiguous fast path: when the pass covers full X rows (level 0),
 	// the cny×nx plane region at each z is already laid out exactly like
 	// a blocked slab with nx lanes — lift it in place, no gather.
-	if nx := f.Dims.Nx; cnx == nx && cny*nx <= contigSlab {
+	if nx := f.Dims.Nx; cnx == nx && cny*nx*num.SampleBytes[F]() <= contigSlabBytes {
 		if workers <= 1 {
 			passYContig(f, k, cny, 0, cnz, inverse)
 			return
@@ -161,9 +166,9 @@ func passY(f *grid.Field3D, k wavelet.Kernel, cnx, cny, cnz, workers int, invers
 // directly on f.Data: each z plane's first cny rows form a contiguous
 // (cny × nx) slab. The forward kernel clobbers its source, which is fine —
 // the result is copied over the same region.
-func passYContig(f *grid.Field3D, k wavelet.Kernel, cny, z0, z1 int, inverse bool) {
+func passYContig[F num.Float](f *grid.Field3DOf[F], k wavelet.Kernel, cny, z0, z1 int, inverse bool) {
 	nx, ny := f.Dims.Nx, f.Dims.Ny
-	scr := scratch.Floats(cny * nx)
+	scr := scratch.FloatsOf[F](cny * nx)
 	for z := z0; z < z1; z++ {
 		src := f.Data[z*ny*nx : z*ny*nx+cny*nx]
 		if inverse {
@@ -173,13 +178,13 @@ func passYContig(f *grid.Field3D, k wavelet.Kernel, cny, z0, z1 int, inverse boo
 		}
 		copy(src, scr[:cny*nx])
 	}
-	scratch.PutFloats(scr)
+	scratch.PutFloatsOf(scr)
 }
 
-func passYRange(f *grid.Field3D, k wavelet.Kernel, cnx, cny, ntx, start, end int, inverse bool) {
+func passYRange[F num.Float](f *grid.Field3DOf[F], k wavelet.Kernel, cnx, cny, ntx, start, end int, inverse bool) {
 	nx, ny := f.Dims.Nx, f.Dims.Ny
-	slab := scratch.Floats(cny * spatialLanes)
-	scr := scratch.Floats(cny * spatialLanes)
+	slab := scratch.FloatsOf[F](cny * spatialLanes)
+	scr := scratch.FloatsOf[F](cny * spatialLanes)
 	for ti := start; ti < end; ti++ {
 		x0 := (ti % ntx) * spatialLanes
 		z := ti / ntx
@@ -202,14 +207,14 @@ func passYRange(f *grid.Field3D, k wavelet.Kernel, cnx, cny, ntx, start, end int
 			copy(f.Data[base+y*nx:base+y*nx+lanes], scr[y*lanes:(y+1)*lanes])
 		}
 	}
-	scratch.PutFloats(scr)
-	scratch.PutFloats(slab)
+	scratch.PutFloatsOf(scr)
+	scratch.PutFloatsOf(slab)
 }
 
 // passZ transforms strided Z pencils (stride Nx*Ny) inside the
 // approximation cube, blocked exactly like passY: lanes are neighbouring
 // X positions at a fixed Y, the series runs along Z.
-func passZ(f *grid.Field3D, k wavelet.Kernel, cnx, cny, cnz, workers int, inverse bool) {
+func passZ[F num.Float](f *grid.Field3DOf[F], k wavelet.Kernel, cnx, cny, cnz, workers int, inverse bool) {
 	if cnz < 2 {
 		return
 	}
@@ -217,9 +222,9 @@ func passZ(f *grid.Field3D, k wavelet.Kernel, cnx, cny, cnz, workers int, invers
 	// (level 0), the whole cnz-deep region is one blocked slab with
 	// nx*ny lanes. Serial only — the tiled path below is what splits the
 	// work across goroutines.
-	if nx, ny := f.Dims.Nx, f.Dims.Ny; workers <= 1 && cnx == nx && cny == ny && cnz*ny*nx <= contigSlab {
+	if nx, ny := f.Dims.Nx, f.Dims.Ny; workers <= 1 && cnx == nx && cny == ny && cnz*ny*nx*num.SampleBytes[F]() <= contigSlabBytes {
 		lanes := ny * nx
-		scr := scratch.Floats(cnz * lanes)
+		scr := scratch.FloatsOf[F](cnz * lanes)
 		src := f.Data[:cnz*lanes]
 		if inverse {
 			wavelet.InverseStepBlockTo(k, src, scr, cnz, lanes)
@@ -227,7 +232,7 @@ func passZ(f *grid.Field3D, k wavelet.Kernel, cnx, cny, cnz, workers int, invers
 			wavelet.ForwardStepBlockTo(k, src, scr, cnz, lanes)
 		}
 		copy(src, scr[:cnz*lanes])
-		scratch.PutFloats(scr)
+		scratch.PutFloatsOf(scr)
 		return
 	}
 	ntx := (cnx + spatialLanes - 1) / spatialLanes
@@ -241,11 +246,11 @@ func passZ(f *grid.Field3D, k wavelet.Kernel, cnx, cny, cnz, workers int, invers
 	})
 }
 
-func passZRange(f *grid.Field3D, k wavelet.Kernel, cnx, cnz, ntx, start, end int, inverse bool) {
+func passZRange[F num.Float](f *grid.Field3DOf[F], k wavelet.Kernel, cnx, cnz, ntx, start, end int, inverse bool) {
 	nx, ny := f.Dims.Nx, f.Dims.Ny
 	stride := nx * ny
-	slab := scratch.Floats(cnz * spatialLanes)
-	scr := scratch.Floats(cnz * spatialLanes)
+	slab := scratch.FloatsOf[F](cnz * spatialLanes)
+	scr := scratch.FloatsOf[F](cnz * spatialLanes)
 	for ti := start; ti < end; ti++ {
 		x0 := (ti % ntx) * spatialLanes
 		y := ti / ntx
@@ -266,6 +271,6 @@ func passZRange(f *grid.Field3D, k wavelet.Kernel, cnx, cnz, ntx, start, end int
 			copy(f.Data[base+z*stride:base+z*stride+lanes], scr[z*lanes:(z+1)*lanes])
 		}
 	}
-	scratch.PutFloats(scr)
-	scratch.PutFloats(slab)
+	scratch.PutFloatsOf(scr)
+	scratch.PutFloatsOf(slab)
 }

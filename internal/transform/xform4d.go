@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"stwave/internal/grid"
+	"stwave/internal/num"
 	"stwave/internal/obs"
 	"stwave/internal/par"
 	"stwave/internal/scratch"
@@ -29,12 +30,12 @@ func LevelsTemporal(k wavelet.Kernel, windowSize int) int {
 // ForwardTemporal applies a multi-level 1D wavelet transform along the time
 // axis at every grid point of the window, in place. levels must not exceed
 // LevelsTemporal(k, w.Len()).
-func ForwardTemporal(w *grid.Window, k wavelet.Kernel, levels, workers int) error {
+func ForwardTemporal[F num.Float](w *grid.WindowOf[F], k wavelet.Kernel, levels, workers int) error {
 	return temporalPass(w, k, levels, workers, false)
 }
 
 // InverseTemporal undoes ForwardTemporal.
-func InverseTemporal(w *grid.Window, k wavelet.Kernel, levels, workers int) error {
+func InverseTemporal[F num.Float](w *grid.WindowOf[F], k wavelet.Kernel, levels, workers int) error {
 	return temporalPass(w, k, levels, workers, true)
 }
 
@@ -50,7 +51,7 @@ func temporalLens(t, levels int) []int {
 	return lens
 }
 
-func temporalPass(w *grid.Window, k wavelet.Kernel, levels, workers int, inverse bool) error {
+func temporalPass[F num.Float](w *grid.WindowOf[F], k wavelet.Kernel, levels, workers int, inverse bool) error {
 	t := w.Len()
 	if levels < 0 {
 		return fmt.Errorf("transform: negative temporal level count %d", levels)
@@ -74,9 +75,9 @@ func temporalPass(w *grid.Window, k wavelet.Kernel, levels, workers int, inverse
 	return nil
 }
 
-func temporalRange(w *grid.Window, k wavelet.Kernel, lens []int, t, points, start, end int, inverse bool) {
-	slab := scratch.Floats(t * temporalLanes)
-	scr := scratch.Floats(t * temporalLanes)
+func temporalRange[F num.Float](w *grid.WindowOf[F], k wavelet.Kernel, lens []int, t, points, start, end int, inverse bool) {
+	slab := scratch.FloatsOf[F](t * temporalLanes)
+	scr := scratch.FloatsOf[F](t * temporalLanes)
 	for tile := start; tile < end; tile++ {
 		p0 := tile * temporalLanes
 		lanes := points - p0
@@ -113,8 +114,8 @@ func temporalRange(w *grid.Window, k wavelet.Kernel, lens []int, t, points, star
 			copy(w.Slices[ti].Data[p0:p0+lanes], scr[ti*lanes:(ti+1)*lanes])
 		}
 	}
-	scratch.PutFloats(scr)
-	scratch.PutFloats(slab)
+	scratch.PutFloatsOf(scr)
+	scratch.PutFloatsOf(slab)
 }
 
 // Spec describes a full spatiotemporal transform configuration.
@@ -157,7 +158,7 @@ func stageDone(stage string, k wavelet.Kernel, start time.Time) {
 // Forward4D runs the paper's two-step spatiotemporal transform on the window
 // in place: first the 3D non-standard decomposition on every slice, then the
 // temporal transform at every grid point.
-func Forward4D(w *grid.Window, s Spec) error {
+func Forward4D[F num.Float](w *grid.WindowOf[F], s Spec) error {
 	return Forward4DCtx(context.Background(), w, s)
 }
 
@@ -166,12 +167,12 @@ func Forward4D(w *grid.Window, s Spec) error {
 // carried by ctx and a per-window duration in the metrics registry. The
 // 3D stage parallelizes across slices, handing each slice the inner share
 // of the worker budget (par.Split), so the machine is never oversubscribed.
-func Forward4DCtx(ctx context.Context, w *grid.Window, s Spec) error {
+func Forward4DCtx[F num.Float](ctx context.Context, w *grid.WindowOf[F], s Spec) error {
 	spatial, temporal := s.resolve(w.Dims, w.Len())
 	_, sp3 := obs.Start(ctx, "xform.forward_3d")
 	sp3.SetAttr("kernel", s.SpatialKernel.String())
 	start := time.Now()
-	err := forEachSlice(w.Slices, s.Workers, func(i int, f *grid.Field3D, inner int) error {
+	err := forEachSlice(w.Slices, s.Workers, func(i int, f *grid.Field3DOf[F], inner int) error {
 		if err := Forward3D(f, s.SpatialKernel, spatial, inner); err != nil {
 			return fmt.Errorf("transform: slice %d: %w", i, err)
 		}
@@ -196,14 +197,14 @@ func Forward4DCtx(ctx context.Context, w *grid.Window, s Spec) error {
 
 // Inverse4D undoes Forward4D: temporal inverse first, then per-slice 3D
 // inverse — the order the paper notes costs random access to single slices.
-func Inverse4D(w *grid.Window, s Spec) error {
+func Inverse4D[F num.Float](w *grid.WindowOf[F], s Spec) error {
 	return Inverse4DCtx(context.Background(), w, s)
 }
 
 // Inverse4DCtx is Inverse4D with context propagation for tracing spans
 // and per-stage registry timings, mirroring Forward4DCtx (including its
 // slice-parallel 3D stage and worker-budget split).
-func Inverse4DCtx(ctx context.Context, w *grid.Window, s Spec) error {
+func Inverse4DCtx[F num.Float](ctx context.Context, w *grid.WindowOf[F], s Spec) error {
 	spatial, temporal := s.resolve(w.Dims, w.Len())
 	_, spT := obs.Start(ctx, "xform.inverse_temporal")
 	spT.SetAttr("kernel", s.TemporalKernel.String())
@@ -218,7 +219,7 @@ func Inverse4DCtx(ctx context.Context, w *grid.Window, s Spec) error {
 	_, sp3 := obs.Start(ctx, "xform.inverse_3d")
 	sp3.SetAttr("kernel", s.SpatialKernel.String())
 	start = time.Now()
-	err := forEachSlice(w.Slices, s.Workers, func(i int, f *grid.Field3D, inner int) error {
+	err := forEachSlice(w.Slices, s.Workers, func(i int, f *grid.Field3DOf[F], inner int) error {
 		if err := Inverse3D(f, s.SpatialKernel, spatial, inner); err != nil {
 			return fmt.Errorf("transform: slice %d: %w", i, err)
 		}

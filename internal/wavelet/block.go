@@ -1,6 +1,10 @@
 package wavelet
 
-import "math"
+import (
+	"math"
+
+	"stwave/internal/num"
+)
 
 // This file implements the blocked (multi-lane) form of the lifting filter
 // banks: the same ladder as lift.go applied to L independent signals at
@@ -25,7 +29,7 @@ import "math"
 
 // liftStepBlock applies one lifting step to every lane of the slab
 // holding n samples x L lanes. parity and c as in liftStep.
-func liftStepBlock(x []float64, n, L int, parity int, c float64) {
+func liftStepBlock[F num.Float](x []F, n, L int, parity int, c F) {
 	if n < 2 || L < 1 {
 		return
 	}
@@ -72,7 +76,7 @@ func liftStepBlock(x []float64, n, L int, parity int, c float64) {
 // even row updated as soon as both odd neighbour rows are. Requires
 // n >= 2. Bit-identical per lane to liftStepBlock(x, n, L, 1, ca)
 // followed by liftStepBlock(x, n, L, 0, cb).
-func liftPairOddEvenBlock(x []float64, n, L int, ca, cb float64) {
+func liftPairOddEvenBlock[F num.Float](x []F, n, L int, ca, cb F) {
 	x = x[:n*L]
 	if n == 2 {
 		r0 := x[:L]
@@ -164,7 +168,7 @@ func liftPairOddEvenBlock(x []float64, n, L int, ca, cb float64) {
 // neighbours; even results go straight to dst. Requires n >= 2.
 // Bit-identical per lane to liftStepBlock(x, n, L, 1, ca) followed by the
 // final even step + deinterleave+scale.
-func liftPairDeinterleaveScaledBlock(x, dst []float64, n, L int, ca, cb, lo, hi float64) {
+func liftPairDeinterleaveScaledBlock[F num.Float](x, dst []F, n, L int, ca, cb, lo, hi F) {
 	x = x[:n*L]
 	na := approxLen(n)
 	if n == 2 {
@@ -286,7 +290,7 @@ func liftPairDeinterleaveScaledBlock(x, dst []float64, n, L int, ca, cb, lo, hi 
 // even-parity lifting step. src is read only. Requires n >= 2.
 // Bit-identical per lane to interleaving each lane as
 // [approx*lo | detail*hi] and then running liftStepBlock(dst, n, L, 0, c).
-func interleaveScaledLiftEvenBlock(src, dst []float64, n, L int, lo, hi, c float64) {
+func interleaveScaledLiftEvenBlock[F num.Float](src, dst []F, n, L int, lo, hi, c F) {
 	na := approxLen(n)
 	for i := 0; i < n-na; i++ {
 		s := src[(na+i)*L : (na+i)*L+L]
@@ -338,7 +342,7 @@ func interleaveScaledLiftEvenBlock(src, dst []float64, n, L int, lo, hi, c float
 // forwardLiftBlock runs the analysis ladder for kernel k on the slab x
 // (n samples x L lanes), writing [approx | detail] per lane into dst.
 // x is clobbered. Mirrors forwardLift exactly.
-func forwardLiftBlock(k Kernel, x, dst []float64, n, L int) {
+func forwardLiftBlock[F num.Float](k Kernel, x, dst []F, n, L int) {
 	if n == 0 {
 		return
 	}
@@ -349,9 +353,9 @@ func forwardLiftBlock(k Kernel, x, dst []float64, n, L int) {
 	switch k {
 	case CDF97:
 		liftPairOddEvenBlock(x, n, L, cdf97Alpha, cdf97Beta)
-		liftPairDeinterleaveScaledBlock(x, dst, n, L, cdf97Gamma, cdf97Delta, cdf97ScaleLo, cdf97ScaleHi)
+		liftPairDeinterleaveScaledBlock(x, dst, n, L, cdf97Gamma, cdf97Delta, F(cdf97ScaleLo), F(cdf97ScaleHi))
 	case CDF53:
-		liftPairDeinterleaveScaledBlock(x, dst, n, L, -0.5, 0.25, cdf53ScaleLo, cdf53ScaleHi)
+		liftPairDeinterleaveScaledBlock(x, dst, n, L, -0.5, 0.25, F(cdf53ScaleLo), F(cdf53ScaleHi))
 	case Haar:
 		forwardHaarBlock(x, dst, n, L)
 	case Daub4:
@@ -364,7 +368,7 @@ func forwardLiftBlock(k Kernel, x, dst []float64, n, L int) {
 // inverseLiftBlock is the exact inverse of forwardLiftBlock: src holds
 // [approx | detail] per lane, dst receives the reconstructed signals.
 // src is not modified; dst is used as scratch. Mirrors inverseLift.
-func inverseLiftBlock(k Kernel, src, dst []float64, n, L int) {
+func inverseLiftBlock[F num.Float](k Kernel, src, dst []F, n, L int) {
 	if n == 0 {
 		return
 	}
@@ -374,11 +378,11 @@ func inverseLiftBlock(k Kernel, src, dst []float64, n, L int) {
 	}
 	switch k {
 	case CDF97:
-		interleaveScaledLiftEvenBlock(src, dst, n, L, 1/cdf97ScaleLo, 1/cdf97ScaleHi, -cdf97Delta)
+		interleaveScaledLiftEvenBlock(src, dst, n, L, F(1/cdf97ScaleLo), F(1/cdf97ScaleHi), -cdf97Delta)
 		liftPairOddEvenBlock(dst, n, L, -cdf97Gamma, -cdf97Beta)
 		liftStepBlock(dst, n, L, 1, -cdf97Alpha)
 	case CDF53:
-		interleaveScaledLiftEvenBlock(src, dst, n, L, 1/cdf53ScaleLo, 1/cdf53ScaleHi, -0.25)
+		interleaveScaledLiftEvenBlock(src, dst, n, L, F(1/cdf53ScaleLo), F(1/cdf53ScaleHi), -0.25)
 		liftStepBlock(dst, n, L, 1, 0.5)
 	case Haar:
 		inverseHaarBlock(src, dst, n, L)
@@ -390,7 +394,7 @@ func inverseLiftBlock(k Kernel, src, dst []float64, n, L int) {
 }
 
 // forwardHaarBlock is forwardHaar per lane, odd-length carry included.
-func forwardHaarBlock(x, dst []float64, n, L int) {
+func forwardHaarBlock[F num.Float](x, dst []F, n, L int) {
 	na := approxLen(n)
 	const s = 0.7071067811865476 // 1/sqrt(2)
 	for i := 0; 2*i+1 < n; i++ {
@@ -417,7 +421,7 @@ func forwardHaarBlock(x, dst []float64, n, L int) {
 	}
 }
 
-func inverseHaarBlock(src, dst []float64, n, L int) {
+func inverseHaarBlock[F num.Float](src, dst []F, n, L int) {
 	na := approxLen(n)
 	const s = 0.7071067811865476
 	for i := 0; 2*i+1 < n; i++ {
@@ -446,14 +450,14 @@ func inverseHaarBlock(src, dst []float64, n, L int) {
 
 // forwardDaub4Block is forwardDaub4 per lane (periodic extension, even n
 // required; odd n copies through, matching the scalar kernel).
-func forwardDaub4Block(x, dst []float64, n, L int) {
+func forwardDaub4Block[F num.Float](x, dst []F, n, L int) {
 	if n%2 != 0 {
 		copy(dst[:n*L], x[:n*L])
 		return
 	}
 	na := n / 2
-	h := daub4Lo
-	g := [4]float64{h[3], -h[2], h[1], -h[0]}
+	h := [4]F{daub4H0, daub4H1, daub4H2, daub4H3}
+	g := [4]F{h[3], -h[2], h[1], -h[0]}
 	for i := 0; i < na; i++ {
 		dlo := dst[i*L : i*L+L]
 		dhi := dst[(na+i)*L : (na+i)*L+L]
@@ -475,14 +479,14 @@ func forwardDaub4Block(x, dst []float64, n, L int) {
 	}
 }
 
-func inverseDaub4Block(src, dst []float64, n, L int) {
+func inverseDaub4Block[F num.Float](src, dst []F, n, L int) {
 	if n%2 != 0 {
 		copy(dst[:n*L], src[:n*L])
 		return
 	}
 	na := n / 2
-	h := daub4Lo
-	g := [4]float64{h[3], -h[2], h[1], -h[0]}
+	h := [4]F{daub4H0, daub4H1, daub4H2, daub4H3}
+	g := [4]F{h[3], -h[2], h[1], -h[0]}
 	for i := range dst[:n*L] {
 		dst[i] = 0
 	}
@@ -509,7 +513,7 @@ func inverseDaub4Block(src, dst []float64, n, L int) {
 // clobbered as lifting scratch. dst must hold at least n*L floats and
 // must not alias src. Slabs with n < 2 samples are left unwritten, so
 // callers treat them as pass-through, like the scalar step.
-func ForwardStepBlockTo(k Kernel, src, dst []float64, n, L int) {
+func ForwardStepBlockTo[F num.Float](k Kernel, src, dst []F, n, L int) {
 	if n < 2 || L < 1 {
 		return
 	}
@@ -520,7 +524,7 @@ func ForwardStepBlockTo(k Kernel, src, dst []float64, n, L int) {
 // [approx | detail] per lane and is left unmodified, dst receives the
 // reconstructed signals. Bit-identical per lane to InverseStep. dst must
 // not alias src; n < 2 slabs are left unwritten.
-func InverseStepBlockTo(k Kernel, src, dst []float64, n, L int) {
+func InverseStepBlockTo[F num.Float](k Kernel, src, dst []F, n, L int) {
 	if n < 2 || L < 1 {
 		return
 	}
@@ -529,7 +533,7 @@ func InverseStepBlockTo(k Kernel, src, dst []float64, n, L int) {
 
 // ForwardStepBlock is the in-place form of ForwardStepBlockTo: the slab
 // is transformed using scratch (>= n*L floats) as the lifting buffer.
-func ForwardStepBlock(k Kernel, slab []float64, n, L int, scratch []float64) {
+func ForwardStepBlock[F num.Float](k Kernel, slab []F, n, L int, scratch []F) {
 	if n < 2 || L < 1 {
 		return
 	}
@@ -539,7 +543,7 @@ func ForwardStepBlock(k Kernel, slab []float64, n, L int, scratch []float64) {
 
 // InverseStepBlock undoes exactly one ForwardStepBlock in place, lane
 // for lane bit-identical to InverseStep.
-func InverseStepBlock(k Kernel, slab []float64, n, L int, scratch []float64) {
+func InverseStepBlock[F num.Float](k Kernel, slab []F, n, L int, scratch []F) {
 	if n < 2 || L < 1 {
 		return
 	}

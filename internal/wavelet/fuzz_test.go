@@ -11,6 +11,85 @@ import (
 // reproduce the input to within a tight relative tolerance. This is the
 // perfect-reconstruction property the whole pipeline leans on — lossiness
 // is supposed to come only from thresholding, never from the transform.
+// FuzzWaveletRoundtrip32 is the float32 instantiation of the same
+// perfect-reconstruction property: the single-precision ladder must
+// invert to within a small multiple of float32 machine epsilon, with no
+// widening anywhere in the loop (the arithmetic runs in float32).
+func FuzzWaveletRoundtrip32(f *testing.F) {
+	seed := make([]byte, 0, 17*4+2)
+	for i := 0; i < 17; i++ {
+		seed = binary.LittleEndian.AppendUint32(seed, math.Float32bits(float32(i)*0.37-3))
+	}
+	f.Add(append(seed, 1, 3))
+	f.Add([]byte{0, 0})
+	f.Add([]byte{1, 200, 0xff, 0xfe, 0xfd, 0xfc, 0xfb, 0xfa, 0xf9, 0xf8})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		kernel := CDF97
+		if data[0]&1 == 1 {
+			kernel = CDF53
+		}
+		levelSeed := int(data[1])
+		data = data[2:]
+
+		n := len(data) / 4
+		if n == 0 || n > 1<<12 {
+			return
+		}
+		orig := make([]float32, n)
+		maxAbs := float32(0)
+		for i := range orig {
+			v := math.Float32frombits(binary.LittleEndian.Uint32(data[4*i:]))
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) || abs32(v) > 1e30 {
+				v = float32(math.Mod(float64(math.Float32frombits(math.Float32bits(v)&(1<<28-1))), 1e6))
+			}
+			orig[i] = v
+			if a := abs32(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+
+		maxL := MaxLevels(kernel, n)
+		if maxL < 0 {
+			t.Fatalf("MaxLevels(%v, %d) = %d", kernel, n, maxL)
+		}
+		levels := 0
+		if maxL > 0 {
+			levels = levelSeed % (maxL + 1)
+		}
+
+		work := make([]float32, n)
+		copy(work, orig)
+		scratch := make([]float32, n)
+		if err := Transform1D(kernel, work, levels, scratch); err != nil {
+			t.Fatalf("Transform1D[float32](%v, n=%d, levels=%d): %v", kernel, n, levels, err)
+		}
+		if err := Inverse1D(kernel, work, levels, scratch); err != nil {
+			t.Fatalf("Inverse1D[float32](%v, n=%d, levels=%d): %v", kernel, n, levels, err)
+		}
+
+		// float32 epsilon is ~1.2e-7; a fixed ladder of adds and scales
+		// keeps the error a small multiple of that per level.
+		tol := 1e-4 * math.Max(float64(maxAbs), 1)
+		for i := range orig {
+			if d := math.Abs(float64(work[i]) - float64(orig[i])); !(d <= tol) {
+				t.Fatalf("%v n=%d levels=%d: sample %d: got %g want %g (|diff| %g > tol %g)",
+					kernel, n, levels, i, work[i], orig[i], d, tol)
+			}
+		}
+	})
+}
+
+func abs32(v float32) float32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
 func FuzzWaveletRoundtrip(f *testing.F) {
 	seed := make([]byte, 0, 17*8+2)
 	for i := 0; i < 17; i++ {

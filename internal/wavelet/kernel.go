@@ -144,10 +144,14 @@ var (
 	cdf53ScaleHi = 1 / math.Sqrt2
 )
 
-// Daubechies-4 (db2) orthonormal filter coefficients.
-var daub4Lo = [4]float64{
-	0.48296291314453414,
-	0.8365163037378079,
-	0.22414386804185735,
-	-0.12940952255126037,
-}
+// Daubechies-4 (db2) orthonormal filter coefficients, kept untyped so the
+// generic kernels instantiate them at either precision with one correctly
+// rounded conversion.
+const (
+	daub4H0 = 0.48296291314453414
+	daub4H1 = 0.8365163037378079
+	daub4H2 = 0.22414386804185735
+	daub4H3 = -0.12940952255126037
+)
+
+var daub4Lo = [4]float64{daub4H0, daub4H1, daub4H2, daub4H3}

@@ -1,6 +1,6 @@
 package wavelet
 
-import "math"
+import "stwave/internal/num"
 
 // This file implements the lifting-scheme filter banks. A single forward
 // pass works on the interleaved signal x[0..n-1]: even indices carry the
@@ -15,6 +15,13 @@ import "math"
 // perfectly reconstructing transform for every length n >= 2 with symmetric
 // kernels. After the ladder, samples are de-interleaved into
 // [approximation | detail] halves and scaled.
+//
+// Every kernel is generic over num.Float: the float64 instantiation is
+// bit-identical to the original scalar code (lifting constants are untyped
+// and scale factors are converted with F(...), which is the identity at
+// float64), and the float32 instantiation performs every operation in
+// single precision with the same operand ordering, so each precision is
+// bit-stable on its own.
 
 // reflect maps an out-of-range index into [0, n-1] using whole-sample
 // symmetric extension. n must be >= 2. Indices more than n-1 outside the
@@ -34,7 +41,7 @@ func reflect(i, n int) int {
 // liftStep applies one lifting step in place to the interleaved signal.
 // parity selects which samples are updated (0 = even, 1 = odd); c is the
 // lifting coefficient.
-func liftStep(x []float64, parity int, c float64) {
+func liftStep[F num.Float](x []F, parity int, c F) {
 	n := len(x)
 	if n < 2 {
 		return
@@ -77,7 +84,7 @@ func liftStep(x []float64, parity int, c float64) {
 // odd neighbours are. Requires len(x) >= 2. Bit-identical to
 // liftStep(x, 1, ca) followed by liftStep(x, 0, cb): every sample sees
 // exactly the same operand values in the same expression shapes.
-func liftPairOddEven(x []float64, ca, cb float64) {
+func liftPairOddEven[F num.Float](x []F, ca, cb F) {
 	n := len(x)
 	if n == 2 {
 		m := x[0]
@@ -116,7 +123,7 @@ func liftPairOddEven(x []float64, ca, cb float64) {
 // results to the approximation half scaled by lo. x is left unmodified.
 // Requires len(x) >= 2. Bit-identical to liftStep(x, 1, ca) followed by
 // liftEvenDeinterleaveScaled(x, dst, cb, lo, hi).
-func liftPairDeinterleaveScaled(x, dst []float64, ca, cb, lo, hi float64) {
+func liftPairDeinterleaveScaled[F num.Float](x, dst []F, ca, cb, lo, hi F) {
 	n := len(x)
 	na := approxLen(n)
 	if n == 2 {
@@ -151,7 +158,7 @@ func liftPairDeinterleaveScaled(x, dst []float64, ca, cb, lo, hi float64) {
 // forwardLift runs the full analysis ladder for kernel k on the interleaved
 // signal, then de-interleaves into dst as [approx | detail] and applies the
 // normalization scales. len(dst) == len(x). x is clobbered.
-func forwardLift(k Kernel, x, dst []float64) {
+func forwardLift[F num.Float](k Kernel, x, dst []F) {
 	n := len(x)
 	if n == 0 {
 		return
@@ -162,10 +169,10 @@ func forwardLift(k Kernel, x, dst []float64) {
 	}
 	switch k {
 	case CDF97:
-		liftPairOddEven(x, cdf97Alpha, cdf97Beta)
-		liftPairDeinterleaveScaled(x, dst, cdf97Gamma, cdf97Delta, cdf97ScaleLo, cdf97ScaleHi)
+		liftPairOddEven(x, F(cdf97Alpha), F(cdf97Beta))
+		liftPairDeinterleaveScaled(x, dst, F(cdf97Gamma), F(cdf97Delta), F(cdf97ScaleLo), F(cdf97ScaleHi))
 	case CDF53:
-		liftPairDeinterleaveScaled(x, dst, -0.5, 0.25, cdf53ScaleLo, cdf53ScaleHi)
+		liftPairDeinterleaveScaled(x, dst, F(-0.5), F(0.25), F(cdf53ScaleLo), F(cdf53ScaleHi))
 	case Haar:
 		forwardHaar(x, dst)
 	case Daub4:
@@ -178,7 +185,7 @@ func forwardLift(k Kernel, x, dst []float64) {
 // inverseLift is the exact inverse of forwardLift: src holds
 // [approx | detail] coefficients, dst receives the reconstructed signal.
 // len(src) == len(dst). src is not modified; dst is used as scratch.
-func inverseLift(k Kernel, src, dst []float64) {
+func inverseLift[F num.Float](k Kernel, src, dst []F) {
 	n := len(src)
 	if n == 0 {
 		return
@@ -189,12 +196,12 @@ func inverseLift(k Kernel, src, dst []float64) {
 	}
 	switch k {
 	case CDF97:
-		interleaveScaledLiftEven(src, dst, 1/cdf97ScaleLo, 1/cdf97ScaleHi, -cdf97Delta)
-		liftPairOddEven(dst, -cdf97Gamma, -cdf97Beta)
-		liftStep(dst, 1, -cdf97Alpha)
+		interleaveScaledLiftEven(src, dst, F(1/cdf97ScaleLo), F(1/cdf97ScaleHi), F(-cdf97Delta))
+		liftPairOddEven(dst, F(-cdf97Gamma), F(-cdf97Beta))
+		liftStep(dst, 1, F(-cdf97Alpha))
 	case CDF53:
-		interleaveScaledLiftEven(src, dst, 1/cdf53ScaleLo, 1/cdf53ScaleHi, -0.25)
-		liftStep(dst, 1, 0.5)
+		interleaveScaledLiftEven(src, dst, F(1/cdf53ScaleLo), F(1/cdf53ScaleHi), F(-0.25))
+		liftStep(dst, 1, F(0.5))
 	case Haar:
 		inverseHaar(src, dst)
 	case Daub4:
@@ -214,7 +221,7 @@ func approxLen(n int) int { return (n + 1) / 2 }
 // against the odd neighbours already in dst. Requires len(src) >= 2.
 // Bit-identical to interleaving src as [approx*lo | detail*hi] and then
 // running liftStep(dst, 0, c).
-func interleaveScaledLiftEven(src, dst []float64, lo, hi, c float64) {
+func interleaveScaledLiftEven[F num.Float](src, dst []F, lo, hi, c F) {
 	n := len(src)
 	na := approxLen(n)
 	for i := 0; i < n-na; i++ {
@@ -236,21 +243,22 @@ func interleaveScaledLiftEven(src, dst []float64, lo, hi, c float64) {
 // — the lowpass DC gain — so that constant signals still compact perfectly
 // at deeper levels; the transform stays non-expansive and perfectly
 // reconstructing.
-func forwardHaar(x, dst []float64) {
+func forwardHaar[F num.Float](x, dst []F) {
 	n := len(x)
 	na := approxLen(n)
 	const s = 0.7071067811865476 // 1/sqrt(2)
+	const sqrt2 = 1.4142135623730951
 	for i := 0; 2*i+1 < n; i++ {
 		a, b := x[2*i], x[2*i+1]
 		dst[i] = (a + b) * s
 		dst[na+i] = (a - b) * s
 	}
 	if n%2 == 1 {
-		dst[na-1] = x[n-1] * math.Sqrt2
+		dst[na-1] = x[n-1] * sqrt2
 	}
 }
 
-func inverseHaar(src, dst []float64) {
+func inverseHaar[F num.Float](src, dst []F) {
 	n := len(src)
 	na := approxLen(n)
 	const s = 0.7071067811865476
@@ -267,18 +275,18 @@ func inverseHaar(src, dst []float64) {
 // forwardDaub4 computes the orthonormal Daubechies-4 transform with periodic
 // boundary extension. Requires even n (callers guarantee this via
 // MaxLevels, which returns 0 levels for odd lengths with this kernel).
-func forwardDaub4(x, dst []float64) {
+func forwardDaub4[F num.Float](x, dst []F) {
 	n := len(x)
 	if n%2 != 0 {
 		copy(dst, x)
 		return
 	}
 	na := n / 2
-	h := daub4Lo
+	h := [4]F{daub4H0, daub4H1, daub4H2, daub4H3}
 	// Highpass is the quadrature mirror: g[k] = (-1)^k h[3-k].
-	g := [4]float64{h[3], -h[2], h[1], -h[0]}
+	g := [4]F{h[3], -h[2], h[1], -h[0]}
 	for i := 0; i < na; i++ {
-		var lo, hi float64
+		var lo, hi F
 		for k := 0; k < 4; k++ {
 			v := x[(2*i+k)%n]
 			lo += h[k] * v
@@ -289,15 +297,15 @@ func forwardDaub4(x, dst []float64) {
 	}
 }
 
-func inverseDaub4(src, dst []float64) {
+func inverseDaub4[F num.Float](src, dst []F) {
 	n := len(src)
 	if n%2 != 0 {
 		copy(dst, src)
 		return
 	}
 	na := n / 2
-	h := daub4Lo
-	g := [4]float64{h[3], -h[2], h[1], -h[0]}
+	h := [4]F{daub4H0, daub4H1, daub4H2, daub4H3}
+	g := [4]F{h[3], -h[2], h[1], -h[0]}
 	for i := range dst {
 		dst[i] = 0
 	}

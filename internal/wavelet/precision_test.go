@@ -1,0 +1,67 @@
+package wavelet
+
+import (
+	"math"
+	"testing"
+)
+
+// eps32 is float32 machine epsilon (2^-23).
+const eps32 = 1.1920928955078125e-07
+
+// TestFloat32MatchesFloat64Oracle1D checks the single-precision ladder
+// against the float64 oracle on every kernel and a spread of lengths.
+//
+// Bound derivation: one lifting step updates a sample with d += a*(s0+s1)
+// — two adds and one multiply, each rounding with relative error <= eps.
+// A CDF97 level applies four lifting steps plus a scaling pass (CDF53:
+// two steps, no scaling), so a sample accumulates at most ~10 roundings
+// per level, and the analysis gain bounds coefficient growth by a small
+// constant per level. The float32 path therefore stays within
+// C*(levels+1)*eps32 of the float64 coefficients, relative to the
+// largest magnitude in play; C = 64 leaves slack for the worst-case
+// alignment of those roundings.
+func TestFloat32MatchesFloat64Oracle1D(t *testing.T) {
+	for _, kernel := range []Kernel{CDF97, CDF53} {
+		for _, n := range []int{1, 10, 20, 40, 64, 127} {
+			sig64 := make([]float64, n)
+			sig32 := make([]float32, n)
+			maxAbs := 0.0
+			for i := range sig64 {
+				v := math.Sin(0.37*float64(i)) + 0.25*math.Cos(1.9*float64(i)+0.4)
+				sig64[i] = v
+				sig32[i] = float32(v)
+				if a := math.Abs(v); a > maxAbs {
+					maxAbs = a
+				}
+			}
+			maxL := MaxLevels(kernel, n)
+			for levels := 0; levels <= maxL; levels++ {
+				w64 := append([]float64(nil), sig64...)
+				w32 := append([]float32(nil), sig32...)
+				s64 := make([]float64, n)
+				s32 := make([]float32, n)
+				if err := Transform1D(kernel, w64, levels, s64); err != nil {
+					t.Fatalf("%v n=%d levels=%d: f64: %v", kernel, n, levels, err)
+				}
+				if err := Transform1D(kernel, w32, levels, s32); err != nil {
+					t.Fatalf("%v n=%d levels=%d: f32: %v", kernel, n, levels, err)
+				}
+				coefMax := math.Max(maxAbs, 1)
+				for _, c := range w64 {
+					if a := math.Abs(c); a > coefMax {
+						coefMax = a
+					}
+				}
+				tol := 64 * eps32 * float64(levels+1) * coefMax
+				for i := range w64 {
+					// The f32 input itself already sits eps32*|v| from the f64
+					// signal, which the same bound absorbs.
+					if d := math.Abs(float64(w32[i]) - w64[i]); !(d <= tol) {
+						t.Fatalf("%v n=%d levels=%d: coeff %d: f32 %g vs f64 %g (|diff| %g > tol %g)",
+							kernel, n, levels, i, w32[i], w64[i], d, tol)
+					}
+				}
+			}
+		}
+	}
+}

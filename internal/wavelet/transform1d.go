@@ -1,6 +1,10 @@
 package wavelet
 
-import "fmt"
+import (
+	"fmt"
+
+	"stwave/internal/num"
+)
 
 // Transform1D applies a multi-level forward DWT in place to data using the
 // standard pyramid: each level transforms the approximation band left by the
@@ -10,12 +14,12 @@ import "fmt"
 // The coefficient layout after L levels over a signal of length n is the
 // usual Mallat ordering: [A_L | D_L | D_{L-1} | ... | D_1] where
 // len(A_L)=ceil^L(n/2) and each detail band follows its approximation.
-func Transform1D(k Kernel, data []float64, levels int, scratch []float64) error {
+func Transform1D[F num.Float](k Kernel, data []F, levels int, scratch []F) error {
 	if err := checkLevels(k, len(data), levels); err != nil {
 		return err
 	}
 	if scratch == nil {
-		scratch = make([]float64, len(data))
+		scratch = make([]F, len(data))
 	}
 	n := len(data)
 	for l := 0; l < levels; l++ {
@@ -30,12 +34,12 @@ func Transform1D(k Kernel, data []float64, levels int, scratch []float64) error 
 }
 
 // Inverse1D undoes Transform1D with the same kernel and level count.
-func Inverse1D(k Kernel, data []float64, levels int, scratch []float64) error {
+func Inverse1D[F num.Float](k Kernel, data []F, levels int, scratch []F) error {
 	if err := checkLevels(k, len(data), levels); err != nil {
 		return err
 	}
 	if scratch == nil {
-		scratch = make([]float64, len(data))
+		scratch = make([]F, len(data))
 	}
 	// Reconstruct from the coarsest level outward. Compute band lengths.
 	lens := bandLengths(len(data), levels)
@@ -112,7 +116,7 @@ func ApproxLenAfter(n, levels int) int {
 // multi-dimensional non-standard decomposition uses, where the level budget
 // is computed once globally rather than per line. scratch must be at least
 // len(data) long. Signals shorter than 2 samples are left unchanged.
-func ForwardStep(k Kernel, data, scratch []float64) {
+func ForwardStep[F num.Float](k Kernel, data, scratch []F) {
 	n := len(data)
 	if n < 2 {
 		return
@@ -122,7 +126,7 @@ func ForwardStep(k Kernel, data, scratch []float64) {
 }
 
 // InverseStep undoes exactly one ForwardStep.
-func InverseStep(k Kernel, data, scratch []float64) {
+func InverseStep[F num.Float](k Kernel, data, scratch []F) {
 	n := len(data)
 	if n < 2 {
 		return
